@@ -1,0 +1,801 @@
+//! Offline αDB construction: walks the schema graph, computes per-property
+//! statistics, and materializes derived relations (paper Section 5,
+//! Figure 4's "offline module").
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use squid_relation::{
+    Column, Database, DataType, InvertedIndex, RelationError, Result, RowId, Table, TableRole,
+    TableSchema, Value,
+};
+
+use crate::properties::{discover_properties, PropKind, PropertyDef};
+use crate::stats::{
+    CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats,
+};
+
+/// Configuration knobs for αDB construction.
+#[derive(Debug, Clone)]
+pub struct AdbConfig {
+    /// Skip numeric derived properties whose attribute has more distinct
+    /// values than this (bounds the precomputed suffix grids).
+    pub max_numeric_derived_domain: usize,
+    /// Materialize derived relations as real tables in the αDB database
+    /// (needed for running abduced queries on the αDB, Example 2.2).
+    pub materialize_derived: bool,
+    /// Worker threads for per-property statistics computation; 1 disables
+    /// parallelism.
+    pub parallel_workers: usize,
+}
+
+impl Default for AdbConfig {
+    fn default() -> Self {
+        AdbConfig {
+            max_numeric_derived_domain: 256,
+            materialize_derived: true,
+            parallel_workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Build-time statistics (Figure 18 reports these for the paper datasets).
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Wall-clock build time in milliseconds.
+    pub build_millis: u128,
+    /// Number of discovered semantic properties.
+    pub property_count: usize,
+    /// Number of materialized derived relations.
+    pub derived_table_count: usize,
+    /// Total rows across materialized derived relations.
+    pub derived_row_count: usize,
+    /// Rows in the original database.
+    pub original_row_count: usize,
+}
+
+/// One semantic property with its precomputed statistics.
+#[derive(Debug, Clone)]
+pub struct Property {
+    /// Structural definition.
+    pub def: PropertyDef,
+    /// Precomputed statistics.
+    pub stats: PropStats,
+    /// Name of the materialized derived relation, if any.
+    pub derived_table: Option<String>,
+}
+
+/// All properties and statistics of one entity table.
+#[derive(Debug, Clone)]
+pub struct EntityProps {
+    /// Entity table name.
+    pub table: String,
+    /// Primary-key column name.
+    pub pk_column: String,
+    /// Number of entities (|Q*(D)| for the trivial base query).
+    pub n: usize,
+    /// Discovered properties with statistics.
+    pub props: Vec<Property>,
+    /// Entity primary-key value → row id.
+    pub pk_to_row: HashMap<i64, RowId>,
+}
+
+impl EntityProps {
+    /// Find a property by id.
+    pub fn property(&self, id: &str) -> Option<&Property> {
+        self.props.iter().find(|p| p.def.id == id)
+    }
+}
+
+/// The abduction-ready database.
+#[derive(Debug, Clone)]
+pub struct ADb {
+    /// Global inverted column index for entity lookup.
+    pub inverted: InvertedIndex,
+    /// Per-entity-table properties and statistics.
+    pub entities: HashMap<String, EntityProps>,
+    /// The αDB database: the original tables plus materialized derived
+    /// relations (schema `(entity_id, value, count)`).
+    pub database: Database,
+    /// Build statistics.
+    pub build_stats: BuildStats,
+}
+
+impl ADb {
+    /// Build the αDB with default configuration.
+    pub fn build(db: &Database) -> Result<ADb> {
+        Self::build_with(db, &AdbConfig::default())
+    }
+
+    /// Build the αDB.
+    pub fn build_with(db: &Database, config: &AdbConfig) -> Result<ADb> {
+        let start = Instant::now();
+        db.validate()?;
+        let inverted = InvertedIndex::build(db);
+        let defs = discover_properties(db);
+        let mut adb_database = db.clone();
+        let mut entities: HashMap<String, EntityProps> = HashMap::new();
+        let mut derived_table_count = 0usize;
+        let mut derived_row_count = 0usize;
+
+        for entity_name in db.tables_with_role(TableRole::Entity) {
+            let table = db.table(entity_name)?;
+            let pk_idx = table.schema().primary_key.ok_or_else(|| {
+                RelationError::InvalidSchema(format!(
+                    "entity table {entity_name} needs a primary key"
+                ))
+            })?;
+            let pk_column = table.schema().columns[pk_idx].name.clone();
+            let mut pk_to_row: HashMap<i64, RowId> = HashMap::with_capacity(table.len());
+            for (rid, row) in table.iter() {
+                if let Some(pk) = row[pk_idx].as_int() {
+                    pk_to_row.insert(pk, rid);
+                }
+            }
+            let n = table.len();
+            // Per-property statistics are independent: compute them in
+            // parallel (a scoped-thread fork/join over the defs).
+            let entity_defs: Vec<&PropertyDef> =
+                defs.iter().filter(|d| d.entity == entity_name).collect();
+            let stats_results: Vec<Result<Option<PropStats>>> = if config.parallel_workers > 1
+                && entity_defs.len() > 1
+            {
+                let workers = config.parallel_workers.min(entity_defs.len());
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let mut results: Vec<Result<Option<PropStats>>> =
+                    (0..entity_defs.len()).map(|_| Ok(None)).collect();
+                let slots: Vec<std::sync::Mutex<&mut Result<Option<PropStats>>>> =
+                    results.iter_mut().map(std::sync::Mutex::new).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(def) = entity_defs.get(i) else {
+                                break;
+                            };
+                            let r = compute_stats(db, def, table.len(), &pk_to_row, config);
+                            **slots[i].lock().expect("slot lock") = r;
+                        });
+                    }
+                });
+                drop(slots);
+                results
+            } else {
+                entity_defs
+                    .iter()
+                    .map(|def| compute_stats(db, def, table.len(), &pk_to_row, config))
+                    .collect()
+            };
+
+            let mut props = Vec::new();
+            for (def, stats) in entity_defs.into_iter().zip(stats_results) {
+                let Some(stats) = stats? else {
+                    continue;
+                };
+                let derived_table = if config.materialize_derived {
+                    materialize(
+                        &mut adb_database,
+                        def,
+                        &stats,
+                        table,
+                        pk_idx,
+                        &mut derived_row_count,
+                    )?
+                } else {
+                    None
+                };
+                if derived_table.is_some() {
+                    derived_table_count += 1;
+                }
+                props.push(Property {
+                    def: def.clone(),
+                    stats,
+                    derived_table,
+                });
+            }
+            entities.insert(
+                entity_name.to_string(),
+                EntityProps {
+                    table: entity_name.to_string(),
+                    pk_column,
+                    n,
+                    props,
+                    pk_to_row,
+                },
+            );
+        }
+
+        let build_stats = BuildStats {
+            build_millis: start.elapsed().as_millis(),
+            property_count: entities.values().map(|e| e.props.len()).sum(),
+            derived_table_count,
+            derived_row_count,
+            original_row_count: db.total_rows(),
+        };
+        Ok(ADb {
+            inverted,
+            entities,
+            database: adb_database,
+            build_stats,
+        })
+    }
+
+    /// Properties of one entity table.
+    pub fn entity(&self, table: &str) -> Option<&EntityProps> {
+        self.entities.get(table)
+    }
+}
+
+/// Map `pk value → value of a column` for a referenced table.
+fn pk_value_map(db: &Database, table: &str, column: &str) -> Result<HashMap<i64, Value>> {
+    let t = db.table(table)?;
+    let pk = t.schema().primary_key.ok_or_else(|| {
+        RelationError::InvalidSchema(format!("{table} needs a primary key"))
+    })?;
+    let ci = t
+        .schema()
+        .column_index(column)
+        .ok_or_else(|| RelationError::UnknownColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })?;
+    let mut map = HashMap::with_capacity(t.len());
+    for (_, row) in t.iter() {
+        if let Some(k) = row[pk].as_int() {
+            map.insert(k, row[ci].clone());
+        }
+    }
+    Ok(map)
+}
+
+fn col(db: &Database, table: &str, column: &str) -> Result<usize> {
+    db.table(table)?
+        .schema()
+        .column_index(column)
+        .ok_or_else(|| RelationError::UnknownColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })
+}
+
+fn compute_stats(
+    db: &Database,
+    def: &PropertyDef,
+    n: usize,
+    pk_to_row: &HashMap<i64, RowId>,
+    config: &AdbConfig,
+) -> Result<Option<PropStats>> {
+    let entity_table = db.table(&def.entity)?;
+    Ok(match &def.kind {
+        PropKind::DirectCategorical { column } => {
+            let ci = col(db, &def.entity, column)?;
+            let mut stats = CategoricalStats {
+                per_entity: vec![Vec::new(); n],
+                ..Default::default()
+            };
+            for (rid, row) in entity_table.iter() {
+                let v = &row[ci];
+                if !v.is_null() {
+                    *stats.value_entity_counts.entry(v.clone()).or_insert(0) += 1;
+                    stats.per_entity[rid].push(v.clone());
+                }
+            }
+            Some(PropStats::Categorical(stats))
+        }
+        PropKind::DirectNumeric { column } => {
+            let ci = col(db, &def.entity, column)?;
+            let per_entity: Vec<Option<f64>> = entity_table
+                .iter()
+                .map(|(_, row)| row[ci].as_float())
+                .collect();
+            Some(PropStats::Numeric(NumericStats::build(per_entity)))
+        }
+        PropKind::FactCategorical {
+            fact,
+            fact_entity_col,
+            fact_prop_col,
+            prop_table,
+            prop_column,
+        } => {
+            let fact_t = db.table(fact)?;
+            let fe = col(db, fact, fact_entity_col)?;
+            let fp = col(db, fact, fact_prop_col)?;
+            let prop_values = pk_value_map(db, prop_table, prop_column)?;
+            let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
+            for (_, row) in fact_t.iter() {
+                let (Some(e), Some(p)) = (row[fe].as_int(), row[fp].as_int()) else {
+                    continue;
+                };
+                let (Some(&rid), Some(v)) = (pk_to_row.get(&e), prop_values.get(&p)) else {
+                    continue;
+                };
+                if !v.is_null() && !per_entity[rid].contains(v) {
+                    per_entity[rid].push(v.clone());
+                }
+            }
+            let mut value_entity_counts: HashMap<Value, usize> = HashMap::new();
+            for vals in &per_entity {
+                for v in vals {
+                    *value_entity_counts.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+            Some(PropStats::Categorical(CategoricalStats {
+                value_entity_counts,
+                per_entity,
+            }))
+        }
+        PropKind::InlineCategorical {
+            fact,
+            fact_entity_col,
+            column,
+        } => {
+            let fact_t = db.table(fact)?;
+            let fe = col(db, fact, fact_entity_col)?;
+            let fc = col(db, fact, column)?;
+            let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
+            for (_, row) in fact_t.iter() {
+                let Some(e) = row[fe].as_int() else { continue };
+                let Some(&rid) = pk_to_row.get(&e) else {
+                    continue;
+                };
+                let v = &row[fc];
+                if !v.is_null() && !per_entity[rid].contains(v) {
+                    per_entity[rid].push(v.clone());
+                }
+            }
+            let mut value_entity_counts: HashMap<Value, usize> = HashMap::new();
+            for vals in &per_entity {
+                for v in vals {
+                    *value_entity_counts.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+            Some(PropStats::Categorical(CategoricalStats {
+                value_entity_counts,
+                per_entity,
+            }))
+        }
+        PropKind::FactAttrCount {
+            fact,
+            fact_entity_col,
+            column,
+        } => {
+            let fact_t = db.table(fact)?;
+            let fe = col(db, fact, fact_entity_col)?;
+            let fc = col(db, fact, column)?;
+            let mut per_entity: Vec<HashMap<Value, u64>> = vec![HashMap::new(); n];
+            for (_, row) in fact_t.iter() {
+                let Some(e) = row[fe].as_int() else { continue };
+                let Some(&rid) = pk_to_row.get(&e) else {
+                    continue;
+                };
+                let v = &row[fc];
+                if !v.is_null() {
+                    *per_entity[rid].entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+            Some(PropStats::Derived(DerivedStats::build(per_entity)))
+        }
+        PropKind::MidAttrCount {
+            fact,
+            fact_entity_col,
+            fact_mid_col,
+            mid_table,
+            column,
+            numeric,
+        } => {
+            let fact_t = db.table(fact)?;
+            let fe = col(db, fact, fact_entity_col)?;
+            let fm = col(db, fact, fact_mid_col)?;
+            let mid_values = pk_value_map(db, mid_table, column)?;
+            if *numeric {
+                // (value, count) multisets per entity.
+                let mut maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); n];
+                let mut distinct: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                for (_, row) in fact_t.iter() {
+                    let (Some(e), Some(m)) = (row[fe].as_int(), row[fm].as_int()) else {
+                        continue;
+                    };
+                    let (Some(&rid), Some(v)) = (pk_to_row.get(&e), mid_values.get(&m)) else {
+                        continue;
+                    };
+                    let Some(x) = v.as_float() else { continue };
+                    let bits = x.to_bits();
+                    distinct.insert(bits);
+                    *maps[rid].entry(bits).or_insert(0) += 1;
+                }
+                if distinct.len() > config.max_numeric_derived_domain {
+                    return Ok(None); // domain too wide to precompute
+                }
+                let per_entity: Vec<Vec<(f64, u64)>> = maps
+                    .into_iter()
+                    .map(|m| {
+                        m.into_iter()
+                            .map(|(bits, c)| (f64::from_bits(bits), c))
+                            .collect()
+                    })
+                    .collect();
+                Some(PropStats::DerivedNumeric(DerivedNumericStats::build(
+                    per_entity,
+                )))
+            } else {
+                let mut per_entity: Vec<HashMap<Value, u64>> = vec![HashMap::new(); n];
+                for (_, row) in fact_t.iter() {
+                    let (Some(e), Some(m)) = (row[fe].as_int(), row[fm].as_int()) else {
+                        continue;
+                    };
+                    let (Some(&rid), Some(v)) = (pk_to_row.get(&e), mid_values.get(&m)) else {
+                        continue;
+                    };
+                    if !v.is_null() {
+                        *per_entity[rid].entry(v.clone()).or_insert(0) += 1;
+                    }
+                }
+                Some(PropStats::Derived(DerivedStats::build(per_entity)))
+            }
+        }
+        PropKind::TwoHopCount {
+            fact1,
+            f1_entity_col,
+            f1_mid_col,
+            fact2,
+            f2_mid_col,
+            f2_prop_col,
+            prop_table,
+            prop_column,
+            ..
+        } => {
+            // mid pk → property values (a movie's genres).
+            let fact2_t = db.table(fact2)?;
+            let f2m = col(db, fact2, f2_mid_col)?;
+            let f2p = col(db, fact2, f2_prop_col)?;
+            let prop_values = pk_value_map(db, prop_table, prop_column)?;
+            let mut mid_to_props: HashMap<i64, Vec<Value>> = HashMap::new();
+            for (_, row) in fact2_t.iter() {
+                let (Some(m), Some(p)) = (row[f2m].as_int(), row[f2p].as_int()) else {
+                    continue;
+                };
+                if let Some(v) = prop_values.get(&p) {
+                    if !v.is_null() {
+                        mid_to_props.entry(m).or_default().push(v.clone());
+                    }
+                }
+            }
+            let fact1_t = db.table(fact1)?;
+            let f1e = col(db, fact1, f1_entity_col)?;
+            let f1m = col(db, fact1, f1_mid_col)?;
+            let mut per_entity: Vec<HashMap<Value, u64>> = vec![HashMap::new(); n];
+            for (_, row) in fact1_t.iter() {
+                let (Some(e), Some(m)) = (row[f1e].as_int(), row[f1m].as_int()) else {
+                    continue;
+                };
+                let Some(&rid) = pk_to_row.get(&e) else {
+                    continue;
+                };
+                if let Some(props) = mid_to_props.get(&m) {
+                    for v in props {
+                        *per_entity[rid].entry(v.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+            Some(PropStats::Derived(DerivedStats::build(per_entity)))
+        }
+    })
+}
+
+/// Sanitize a property id into a valid derived-table name.
+fn derived_table_name(def: &PropertyDef) -> String {
+    let mut s = String::with_capacity(def.id.len() + 8);
+    s.push_str("adb_");
+    for ch in def.id.chars() {
+        s.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    s
+}
+
+/// Materialize a derived relation `(entity_id, value, count)` for derived
+/// properties (the paper's `persontogenre`). Returns the table name.
+fn materialize(
+    adb: &mut Database,
+    def: &PropertyDef,
+    stats: &PropStats,
+    entity_table: &Table,
+    pk_idx: usize,
+    derived_row_count: &mut usize,
+) -> Result<Option<String>> {
+    let (rows, value_type): (Vec<(RowId, Value, u64)>, DataType) = match stats {
+        PropStats::Derived(d) => {
+            let mut rows = Vec::new();
+            let mut vt = DataType::Text;
+            for (rid, counts) in d.per_entity.iter().enumerate() {
+                for (v, &c) in counts {
+                    if let Some(t) = v.data_type() {
+                        vt = t;
+                    }
+                    rows.push((rid, v.clone(), c));
+                }
+            }
+            (rows, vt)
+        }
+        PropStats::DerivedNumeric(d) => {
+            let mut rows = Vec::new();
+            for (rid, ent) in d.per_entity.iter().enumerate() {
+                for &(x, c) in ent {
+                    rows.push((rid, Value::Float(x), c));
+                }
+            }
+            (rows, DataType::Float)
+        }
+        _ => return Ok(None),
+    };
+    let name = derived_table_name(def);
+    let mut table = Table::new(
+        TableSchema::new(
+            &name,
+            vec![
+                Column::new("entity_id", DataType::Int),
+                Column::new("value", value_type),
+                Column::new("count", DataType::Int),
+            ],
+        )
+        .with_role(TableRole::Fact)
+        .with_foreign_key("entity_id", &def.entity, pk_idx),
+    );
+    for (rid, v, c) in rows {
+        let pk = entity_table
+            .cell(rid, pk_idx)
+            .cloned()
+            .unwrap_or(Value::Null);
+        table.insert(vec![pk, v, Value::Int(c as i64)])?;
+        *derived_row_count += 1;
+    }
+    adb.add_table(table)?;
+    Ok(Some(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::mini_imdb;
+    use squid_engine::{Executor, PathStep, Pred, Query, QueryBlock, SemiJoin};
+
+    fn adb() -> ADb {
+        ADb::build(&mini_imdb()).unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_stats() {
+        let a = adb();
+        assert!(a.build_stats.property_count > 5);
+        assert!(a.build_stats.derived_table_count > 0);
+        assert!(a.build_stats.derived_row_count > 0);
+        assert_eq!(
+            a.build_stats.original_row_count,
+            mini_imdb().total_rows()
+        );
+    }
+
+    #[test]
+    fn person_gender_stats() {
+        let a = adb();
+        let e = a.entity("person").unwrap();
+        assert_eq!(e.n, 8);
+        assert_eq!(e.pk_column, "id");
+        let p = e.property("person.gender").unwrap();
+        let PropStats::Categorical(s) = &p.stats else {
+            panic!("expected categorical")
+        };
+        assert_eq!(s.selectivity_eq(&Value::text("Male"), e.n), 0.75);
+        assert_eq!(s.domain_size(), 2);
+    }
+
+    #[test]
+    fn two_hop_persontogenre_counts() {
+        let a = adb();
+        let e = a.entity("person").unwrap();
+        let p = e
+            .props
+            .iter()
+            .find(|p| {
+                matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre")
+            })
+            .unwrap();
+        let PropStats::Derived(s) = &p.stats else {
+            panic!("expected derived")
+        };
+        // Jim Carrey (row 0, id 1) appears in 5 comedies.
+        let jim_row = e.pk_to_row[&1];
+        assert_eq!(s.count_of(jim_row, &Value::text("Comedy")), 5);
+        // Stallone (id 4) has 3 action movies, 0 comedies.
+        let sly = e.pk_to_row[&4];
+        assert_eq!(s.count_of(sly, &Value::text("Action")), 3);
+        assert_eq!(s.count_of(sly, &Value::text("Comedy")), 0);
+        // Selectivity of ≥4 comedies: Jim (5), Eddie (4), Robin (4) → 3/8.
+        assert_eq!(s.selectivity(&Value::text("Comedy"), 4, e.n), 0.375);
+        // Selectivity of ≥5 comedies: only Jim → 1/8.
+        assert_eq!(s.selectivity(&Value::text("Comedy"), 5, e.n), 0.125);
+    }
+
+    #[test]
+    fn derived_tables_agree_with_online_counts() {
+        let a = adb();
+        let e = a.entity("person").unwrap();
+        let p = e
+            .props
+            .iter()
+            .find(|p| {
+                matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre")
+            })
+            .unwrap();
+        let tname = p.derived_table.as_ref().unwrap();
+        // Query the materialized relation: persons with >= 4 comedies.
+        let q = Query::single(
+            QueryBlock::new("person").semi_join(SemiJoin::exists(vec![PathStep::new(
+                tname, "id", "entity_id",
+            )
+            .filter(Pred::eq("value", "Comedy"))
+            .filter(Pred::ge("count", 4))])),
+            "name",
+        );
+        let rs = Executor::new(&a.database).execute(&q).unwrap();
+        assert_eq!(rs.len(), 3); // Jim Carrey, Eddie Murphy, Robin Williams
+    }
+
+    #[test]
+    fn adb_query_equivalent_to_original_spjai() {
+        // Example 2.2: Q4 on the original database == Q5 on the αDB.
+        let a = adb();
+        let original = Query::single(
+            QueryBlock::new("person").semi_join(SemiJoin::at_least(
+                4,
+                vec![
+                    PathStep::new("castinfo", "id", "person_id"),
+                    PathStep::new("movietogenre", "movie_id", "movie_id"),
+                    PathStep::new("genre", "genre_id", "id")
+                        .filter(Pred::eq("name", "Comedy")),
+                ],
+            )),
+            "name",
+        );
+        let e = a.entity("person").unwrap();
+        let p = e
+            .props
+            .iter()
+            .find(|p| {
+                matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre")
+            })
+            .unwrap();
+        let tname = p.derived_table.as_ref().unwrap();
+        let adb_q = Query::single(
+            QueryBlock::new("person").semi_join(SemiJoin::exists(vec![PathStep::new(
+                tname, "id", "entity_id",
+            )
+            .filter(Pred::eq("value", "Comedy"))
+            .filter(Pred::ge("count", 4))])),
+            "name",
+        );
+        let exec = Executor::new(&a.database);
+        let r1 = exec.execute(&original).unwrap();
+        let r2 = exec.execute(&adb_q).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn mid_attr_numeric_builds_suffix_stats() {
+        let a = adb();
+        let e = a.entity("person").unwrap();
+        let p = e
+            .props
+            .iter()
+            .find(|p| p.def.attr_name == "movie.year")
+            .unwrap();
+        let PropStats::DerivedNumeric(s) = &p.stats else {
+            panic!("expected derived numeric")
+        };
+        // Jim Carrey: movies 0-4, years 1994..2002; 3 movies from 1998 on.
+        let jim = e.pk_to_row[&1];
+        assert_eq!(s.suffix_count_of(jim, 1998.0), 3);
+        assert_eq!(s.suffix_count_of(jim, 1990.0), 5);
+    }
+
+    #[test]
+    fn fact_attr_role_counts() {
+        let a = adb();
+        let e = a.entity("person").unwrap();
+        let p = e
+            .props
+            .iter()
+            .find(|p| matches!(&p.def.kind, PropKind::FactAttrCount { column, .. } if column == "role"))
+            .unwrap();
+        let PropStats::Derived(s) = &p.stats else {
+            panic!("expected derived")
+        };
+        let emma = e.pk_to_row[&8];
+        assert_eq!(s.count_of(emma, &Value::text("actress")), 2);
+        assert_eq!(s.count_of(emma, &Value::text("actor")), 0);
+    }
+
+    #[test]
+    fn inverted_index_finds_examples() {
+        let a = adb();
+        let cols = a.inverted.columns_containing_all(&["Jim Carrey", "Eddie Murphy"]);
+        assert_eq!(cols, vec![("person".to_string(), 1)]);
+    }
+
+    #[test]
+    fn no_materialization_when_disabled() {
+        let cfg = AdbConfig {
+            materialize_derived: false,
+            ..Default::default()
+        };
+        let a = ADb::build_with(&mini_imdb(), &cfg).unwrap();
+        assert_eq!(a.build_stats.derived_table_count, 0);
+        assert!(a.entities["person"].props.iter().all(|p| p.derived_table.is_none()));
+    }
+
+    #[test]
+    fn numeric_domain_guard_skips_wide_attributes() {
+        let cfg = AdbConfig {
+            max_numeric_derived_domain: 2, // mini IMDb has 10 distinct years
+            ..Default::default()
+        };
+        let a = ADb::build_with(&mini_imdb(), &cfg).unwrap();
+        assert!(a.entities["person"]
+            .props
+            .iter()
+            .all(|p| p.def.attr_name != "movie.year"));
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::test_fixtures::mini_imdb;
+    use squid_relation::Value;
+
+    /// Parallel and sequential builds must produce identical statistics.
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let db = mini_imdb();
+        let seq = ADb::build_with(
+            &db,
+            &AdbConfig {
+                parallel_workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let par = ADb::build_with(
+            &db,
+            &AdbConfig {
+                parallel_workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            seq.build_stats.property_count,
+            par.build_stats.property_count
+        );
+        assert_eq!(
+            seq.build_stats.derived_row_count,
+            par.build_stats.derived_row_count
+        );
+        for (name, e_seq) in &seq.entities {
+            let e_par = par.entity(name).unwrap();
+            assert_eq!(e_seq.props.len(), e_par.props.len());
+            for (a, b) in e_seq.props.iter().zip(&e_par.props) {
+                assert_eq!(a.def, b.def);
+                // Spot-check selectivities agree.
+                if let (PropStats::Derived(x), PropStats::Derived(y)) = (&a.stats, &b.stats) {
+                    assert_eq!(
+                        x.selectivity(&Value::text("Comedy"), 3, e_seq.n),
+                        y.selectivity(&Value::text("Comedy"), 3, e_par.n)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # squid-adb
+//!
+//! The abduction-ready database (αDB) of the SQuID paper, Section 5: an
+//! offline module that walks the schema graph to discover basic and derived
+//! semantic properties, precomputes their selectivity statistics, builds the
+//! global inverted column index for entity lookup, and materializes derived
+//! relations (like `persontogenre`) so that SPJAI queries on the original
+//! database reduce to SPJ queries on the αDB.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod properties;
+pub mod stats;
+pub mod test_fixtures;
+
+pub use build::{ADb, AdbConfig, BuildStats, EntityProps, Property};
+pub use properties::{discover_properties, PropKind, PropertyDef};
+pub use stats::{
+    CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats,
+};

@@ -1,0 +1,502 @@
+//! Precomputed per-property statistics: exactly the information SQuID's
+//! online phase needs to compute filter selectivities ψ(φ) and domain
+//! coverages in O(log n) ("smart selectivity computation", Section 5).
+
+use std::collections::HashMap;
+
+use squid_relation::{RowId, Value};
+
+/// Statistics for a categorical property (direct attribute or a property
+/// table reached through one fact hop). Multi-valued per entity in the
+/// fact-hop case (a movie can have several genres).
+#[derive(Debug, Clone, Default)]
+pub struct CategoricalStats {
+    /// For each value: how many *distinct entities* carry it.
+    pub value_entity_counts: HashMap<Value, usize>,
+    /// Per-entity value sets, indexed by entity row id.
+    pub per_entity: Vec<Vec<Value>>,
+}
+
+impl CategoricalStats {
+    /// Number of distinct values in the active domain.
+    pub fn domain_size(&self) -> usize {
+        self.value_entity_counts.len()
+    }
+
+    /// ψ(φ⟨A, v, ⊥⟩) relative to `n` entities.
+    pub fn selectivity_eq(&self, v: &Value, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        *self.value_entity_counts.get(v).unwrap_or(&0) as f64 / n as f64
+    }
+
+    /// ψ of a disjunctive `IN` filter (sum of per-value entity counts; an
+    /// upper bound that is exact when values are mutually exclusive, as for
+    /// single-valued attributes).
+    pub fn selectivity_in(&self, values: &[Value], n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let total: usize = values
+            .iter()
+            .map(|v| *self.value_entity_counts.get(v).unwrap_or(&0))
+            .sum();
+        (total as f64 / n as f64).min(1.0)
+    }
+
+    /// Domain coverage of an equality filter: 1/|domain|.
+    pub fn coverage_eq(&self) -> f64 {
+        match self.domain_size() {
+            0 => 1.0,
+            d => 1.0 / d as f64,
+        }
+    }
+
+    /// Domain coverage of an `IN` filter with `k` values.
+    pub fn coverage_in(&self, k: usize) -> f64 {
+        match self.domain_size() {
+            0 => 1.0,
+            d => (k as f64 / d as f64).min(1.0),
+        }
+    }
+
+    /// Value set of one entity.
+    pub fn values_of(&self, row: RowId) -> &[Value] {
+        self.per_entity.get(row).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Statistics for a direct numeric attribute. Stores the sorted distinct
+/// values with prefix counts so that ψ(φ⟨A, [l, h], ⊥⟩) is two binary
+/// searches — the paper's trick of only precomputing
+/// ψ(φ⟨A, [min, v], ⊥⟩) for every v.
+#[derive(Debug, Clone, Default)]
+pub struct NumericStats {
+    /// Distinct values ascending.
+    pub sorted_values: Vec<f64>,
+    /// `prefix[i]` = number of entities with value ≤ `sorted_values[i]`.
+    pub prefix: Vec<usize>,
+    /// Per-entity value (None for null).
+    pub per_entity: Vec<Option<f64>>,
+}
+
+impl NumericStats {
+    /// Build from per-entity values.
+    pub fn build(per_entity: Vec<Option<f64>>) -> Self {
+        let mut vals: Vec<f64> = per_entity.iter().flatten().copied().collect();
+        vals.sort_by(f64::total_cmp);
+        let mut sorted_values = Vec::new();
+        let mut prefix = Vec::new();
+        let mut running = 0usize;
+        let mut i = 0;
+        while i < vals.len() {
+            let v = vals[i];
+            let mut j = i;
+            while j < vals.len() && vals[j] == v {
+                j += 1;
+            }
+            running += j - i;
+            sorted_values.push(v);
+            prefix.push(running);
+            i = j;
+        }
+        NumericStats {
+            sorted_values,
+            prefix,
+            per_entity,
+        }
+    }
+
+    /// Number of entities with value ≤ `x`.
+    fn count_le(&self, x: f64) -> usize {
+        let idx = self.sorted_values.partition_point(|&v| v <= x);
+        if idx == 0 {
+            0
+        } else {
+            self.prefix[idx - 1]
+        }
+    }
+
+    /// ψ(φ⟨A, [l, h], ⊥⟩) relative to `n` entities.
+    pub fn selectivity_range(&self, l: f64, h: f64, n: usize) -> f64 {
+        if n == 0 || h < l {
+            return 0.0;
+        }
+        let below_l = if l.is_finite() {
+            self.count_le(l - f64::EPSILON.max(l.abs() * f64::EPSILON))
+        } else {
+            0
+        };
+        // Exact: count ≤ h minus count < l. Compute count < l via ≤ on the
+        // predecessor distinct value.
+        let lt_l = {
+            let idx = self.sorted_values.partition_point(|&v| v < l);
+            if idx == 0 {
+                0
+            } else {
+                self.prefix[idx - 1]
+            }
+        };
+        let _ = below_l;
+        (self.count_le(h) - lt_l) as f64 / n as f64
+    }
+
+    /// Domain coverage of `[l, h]` relative to the active domain span.
+    pub fn coverage_range(&self, l: f64, h: f64) -> f64 {
+        let (Some(&min), Some(&max)) = (self.sorted_values.first(), self.sorted_values.last())
+        else {
+            return 1.0;
+        };
+        if max <= min {
+            return 1.0;
+        }
+        ((h.min(max) - l.max(min)) / (max - min)).clamp(0.0, 1.0)
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted_values.first().copied()
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted_values.last().copied()
+    }
+
+    /// Value of one entity.
+    pub fn value_of(&self, row: RowId) -> Option<f64> {
+        self.per_entity.get(row).copied().flatten()
+    }
+}
+
+/// Statistics for a derived (counted) property: per-entity association
+/// counts per value, plus per-value sorted count distributions so that
+/// ψ(φ⟨A, v, θ⟩) — the fraction of entities associated with value `v` at
+/// least θ times — is a binary search.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedStats {
+    /// Per entity row: value → association count.
+    pub per_entity: Vec<HashMap<Value, u64>>,
+    /// Per entity row: total association count (for normalization).
+    pub entity_totals: Vec<u64>,
+    /// For each value: ascending per-entity counts (entities with count > 0).
+    pub value_count_dists: HashMap<Value, Vec<u64>>,
+    /// For each value: ascending per-entity fractions count/total.
+    pub value_frac_dists: HashMap<Value, Vec<f64>>,
+}
+
+impl DerivedStats {
+    /// Build from the per-entity count maps.
+    pub fn build(per_entity: Vec<HashMap<Value, u64>>) -> Self {
+        let entity_totals: Vec<u64> = per_entity
+            .iter()
+            .map(|m| m.values().copied().sum())
+            .collect();
+        let mut value_count_dists: HashMap<Value, Vec<u64>> = HashMap::new();
+        let mut value_frac_dists: HashMap<Value, Vec<f64>> = HashMap::new();
+        for (row, counts) in per_entity.iter().enumerate() {
+            let total = entity_totals[row];
+            for (v, &c) in counts {
+                if c == 0 {
+                    continue;
+                }
+                value_count_dists.entry(v.clone()).or_default().push(c);
+                let frac = if total > 0 { c as f64 / total as f64 } else { 0.0 };
+                value_frac_dists.entry(v.clone()).or_default().push(frac);
+            }
+        }
+        for d in value_count_dists.values_mut() {
+            d.sort_unstable();
+        }
+        for d in value_frac_dists.values_mut() {
+            d.sort_by(f64::total_cmp);
+        }
+        DerivedStats {
+            per_entity,
+            entity_totals,
+            value_count_dists,
+            value_frac_dists,
+        }
+    }
+
+    /// Number of distinct values in the active domain.
+    pub fn domain_size(&self) -> usize {
+        self.value_count_dists.len()
+    }
+
+    /// ψ(φ⟨A, v, θ⟩) relative to `n` entities.
+    pub fn selectivity(&self, v: &Value, theta: u64, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let Some(dist) = self.value_count_dists.get(v) else {
+            return 0.0;
+        };
+        let below = dist.partition_point(|&c| c < theta);
+        (dist.len() - below) as f64 / n as f64
+    }
+
+    /// ψ of a *normalized* filter: fraction of entities whose share of
+    /// associations to `v` is at least `frac` (case-study mode, §7.4).
+    pub fn selectivity_frac(&self, v: &Value, frac: f64, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let Some(dist) = self.value_frac_dists.get(v) else {
+            return 0.0;
+        };
+        let below = dist.partition_point(|&c| c < frac);
+        (dist.len() - below) as f64 / n as f64
+    }
+
+    /// Domain coverage of an equality-on-value filter.
+    pub fn coverage_eq(&self) -> f64 {
+        match self.domain_size() {
+            0 => 1.0,
+            d => 1.0 / d as f64,
+        }
+    }
+
+    /// Count map of one entity.
+    pub fn counts_of(&self, row: RowId) -> Option<&HashMap<Value, u64>> {
+        self.per_entity.get(row)
+    }
+
+    /// Association count of one entity for one value.
+    pub fn count_of(&self, row: RowId, v: &Value) -> u64 {
+        self.per_entity
+            .get(row)
+            .and_then(|m| m.get(v))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Normalized share of one entity's associations going to `v`.
+    pub fn frac_of(&self, row: RowId, v: &Value) -> f64 {
+        let total = self.entity_totals.get(row).copied().unwrap_or(0);
+        if total == 0 {
+            0.0
+        } else {
+            self.count_of(row, v) as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics for a derived property over a *numeric* mid-entity attribute
+/// (e.g. number of movies with `year >= c`). Supports suffix-range filters.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedNumericStats {
+    /// Per entity row: ascending `(attribute value, association count)`.
+    pub per_entity: Vec<Vec<(f64, u64)>>,
+    /// Sorted distinct attribute values (candidate cutpoints).
+    pub cutpoints: Vec<f64>,
+    /// For each cutpoint: ascending per-entity suffix counts
+    /// (#associations with value ≥ cutpoint; entities with 0 omitted).
+    pub per_cut_dists: Vec<Vec<u64>>,
+}
+
+impl DerivedNumericStats {
+    /// Build from per-entity `(value, count)` multisets.
+    pub fn build(mut per_entity: Vec<Vec<(f64, u64)>>) -> Self {
+        for v in &mut per_entity {
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        let mut cutpoints: Vec<f64> = per_entity
+            .iter()
+            .flat_map(|v| v.iter().map(|(x, _)| *x))
+            .collect();
+        cutpoints.sort_by(f64::total_cmp);
+        cutpoints.dedup();
+        let mut per_cut_dists: Vec<Vec<u64>> = vec![Vec::new(); cutpoints.len()];
+        for ent in &per_entity {
+            // Suffix counts for this entity at each cutpoint it reaches.
+            for (ci, &cut) in cutpoints.iter().enumerate() {
+                let start = ent.partition_point(|&(x, _)| x < cut);
+                let suffix: u64 = ent[start..].iter().map(|(_, c)| c).sum();
+                if suffix > 0 {
+                    per_cut_dists[ci].push(suffix);
+                }
+            }
+        }
+        for d in &mut per_cut_dists {
+            d.sort_unstable();
+        }
+        DerivedNumericStats {
+            per_entity,
+            cutpoints,
+            per_cut_dists,
+        }
+    }
+
+    /// Suffix count for one entity: #associations with value ≥ `cut`.
+    pub fn suffix_count_of(&self, row: RowId, cut: f64) -> u64 {
+        let Some(ent) = self.per_entity.get(row) else {
+            return 0;
+        };
+        let start = ent.partition_point(|&(x, _)| x < cut);
+        ent[start..].iter().map(|(_, c)| c).sum()
+    }
+
+    /// ψ(φ⟨A ≥ cut, θ⟩): fraction of entities with suffix count ≥ θ.
+    pub fn selectivity_ge(&self, cut: f64, theta: u64, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        // Snap to the smallest cutpoint ≥ cut (suffix counts are piecewise
+        // constant between cutpoints).
+        let ci = self.cutpoints.partition_point(|&c| c < cut);
+        let Some(dist) = self.per_cut_dists.get(ci) else {
+            return 0.0;
+        };
+        let below = dist.partition_point(|&c| c < theta);
+        (dist.len() - below) as f64 / n as f64
+    }
+
+    /// Domain coverage of the suffix range `[cut, max]`.
+    pub fn coverage_ge(&self, cut: f64) -> f64 {
+        let (Some(&min), Some(&max)) = (self.cutpoints.first(), self.cutpoints.last()) else {
+            return 1.0;
+        };
+        if max <= min {
+            return 1.0;
+        }
+        ((max - cut.max(min)) / (max - min)).clamp(0.0, 1.0)
+    }
+}
+
+/// The statistics attached to one property.
+#[derive(Debug, Clone)]
+pub enum PropStats {
+    /// Categorical (direct or fact-hop).
+    Categorical(CategoricalStats),
+    /// Direct numeric.
+    Numeric(NumericStats),
+    /// Derived counted (fact attribute, mid attribute, or two-hop).
+    Derived(DerivedStats),
+    /// Derived over a numeric mid attribute (suffix ranges).
+    DerivedNumeric(DerivedNumericStats),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::text(s)
+    }
+
+    #[test]
+    fn categorical_selectivity_and_coverage() {
+        let mut s = CategoricalStats::default();
+        s.value_entity_counts.insert(v("Male"), 3);
+        s.value_entity_counts.insert(v("Female"), 3);
+        s.per_entity = vec![vec![v("Male")]; 3];
+        assert_eq!(s.selectivity_eq(&v("Male"), 6), 0.5);
+        assert_eq!(s.selectivity_eq(&v("Other"), 6), 0.0);
+        assert_eq!(s.coverage_eq(), 0.5);
+        assert_eq!(s.selectivity_in(&[v("Male"), v("Female")], 6), 1.0);
+        assert_eq!(s.coverage_in(2), 1.0);
+    }
+
+    #[test]
+    fn numeric_range_selectivity_matches_figure6() {
+        // Ages from Figure 6: 50, 90, 60, 50, 29, 60.
+        let s = NumericStats::build(vec![
+            Some(50.0),
+            Some(90.0),
+            Some(60.0),
+            Some(50.0),
+            Some(29.0),
+            Some(60.0),
+        ]);
+        // ψ(φ⟨age,[50,90],⊥⟩) = 5/6 per the paper.
+        assert!((s.selectivity_range(50.0, 90.0, 6) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((s.selectivity_range(29.0, 29.0, 6) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.selectivity_range(91.0, 99.0, 6), 0.0);
+        assert_eq!(s.selectivity_range(0.0, 100.0, 6), 1.0);
+    }
+
+    #[test]
+    fn numeric_coverage() {
+        let s = NumericStats::build(vec![Some(0.0), Some(100.0)]);
+        assert!((s.coverage_range(40.0, 90.0) - 0.5).abs() < 1e-12);
+        assert!((s.coverage_range(-10.0, 200.0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn numeric_empty_is_safe() {
+        let s = NumericStats::build(vec![None, None]);
+        assert_eq!(s.selectivity_range(0.0, 1.0, 2), 0.0);
+        assert_eq!(s.coverage_range(0.0, 1.0), 1.0);
+        assert_eq!(s.value_of(0), None);
+    }
+
+    #[test]
+    fn derived_selectivity_by_threshold() {
+        // 4 entities; comedy counts 5, 3, 0, 1.
+        let mk = |pairs: &[(&str, u64)]| {
+            pairs
+                .iter()
+                .map(|(k, c)| (v(k), *c))
+                .collect::<HashMap<_, _>>()
+        };
+        let s = DerivedStats::build(vec![
+            mk(&[("Comedy", 5)]),
+            mk(&[("Comedy", 3), ("Drama", 1)]),
+            mk(&[("Drama", 2)]),
+            mk(&[("Comedy", 1)]),
+        ]);
+        assert_eq!(s.selectivity(&v("Comedy"), 1, 4), 0.75);
+        assert_eq!(s.selectivity(&v("Comedy"), 3, 4), 0.5);
+        assert_eq!(s.selectivity(&v("Comedy"), 6, 4), 0.0);
+        assert_eq!(s.selectivity(&v("Missing"), 1, 4), 0.0);
+        assert_eq!(s.count_of(0, &v("Comedy")), 5);
+        assert_eq!(s.count_of(2, &v("Comedy")), 0);
+        assert_eq!(s.domain_size(), 2);
+    }
+
+    #[test]
+    fn derived_normalized_fractions() {
+        let mk = |pairs: &[(&str, u64)]| {
+            pairs
+                .iter()
+                .map(|(k, c)| (v(k), *c))
+                .collect::<HashMap<_, _>>()
+        };
+        let s = DerivedStats::build(vec![
+            mk(&[("Comedy", 3), ("Drama", 1)]), // 75% comedy
+            mk(&[("Comedy", 1), ("Drama", 3)]), // 25% comedy
+        ]);
+        assert!((s.frac_of(0, &v("Comedy")) - 0.75).abs() < 1e-12);
+        assert_eq!(s.selectivity_frac(&v("Comedy"), 0.5, 2), 0.5);
+        assert_eq!(s.selectivity_frac(&v("Comedy"), 0.2, 2), 1.0);
+    }
+
+    #[test]
+    fn derived_numeric_suffix_counts() {
+        // Entity 0: movies in 2008 (2 of them) and 2012 (3). Entity 1: 2005 (1).
+        let s = DerivedNumericStats::build(vec![
+            vec![(2008.0, 2), (2012.0, 3)],
+            vec![(2005.0, 1)],
+        ]);
+        assert_eq!(s.suffix_count_of(0, 2010.0), 3);
+        assert_eq!(s.suffix_count_of(0, 2000.0), 5);
+        assert_eq!(s.suffix_count_of(1, 2010.0), 0);
+        // ψ(year ≥ 2010, θ=3) = 1/2 entities.
+        assert_eq!(s.selectivity_ge(2010.0, 3, 2), 0.5);
+        assert_eq!(s.selectivity_ge(2010.0, 4, 2), 0.0);
+        assert_eq!(s.selectivity_ge(2000.0, 1, 2), 1.0);
+        // Coverage shrinks as the cut rises.
+        assert!(s.coverage_ge(2012.0) < s.coverage_ge(2005.0));
+    }
+
+    #[test]
+    fn derived_numeric_empty_is_safe() {
+        let s = DerivedNumericStats::build(vec![vec![], vec![]]);
+        assert_eq!(s.selectivity_ge(0.0, 1, 2), 0.0);
+        assert_eq!(s.coverage_ge(0.0), 1.0);
+    }
+}

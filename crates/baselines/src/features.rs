@@ -1,0 +1,351 @@
+//! Feature extraction for the learning baselines: turn a (possibly
+//! denormalized) relational table into a numeric/categorical feature
+//! matrix.
+//!
+//! The TALOS-style QRE baseline (§7.5) "first performs a full join among
+//! the participating relations and then performs classification on the
+//! denormalized table". [`denormalize`] reproduces that: one output row per
+//! (entity, fact row) pair, carrying the entity's attributes plus the fact
+//! and associated table's attributes; entities absent from a fact table
+//! keep a single row with missing fact features.
+
+use std::collections::HashMap;
+
+use squid_relation::{Database, DataType, RowId, TableRole, Value};
+
+/// The kind of one feature column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Categorical (string-interned).
+    Categorical,
+    /// Numeric.
+    Numeric,
+}
+
+/// One feature value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureValue {
+    /// Interned categorical code.
+    Cat(u32),
+    /// Numeric value.
+    Num(f64),
+    /// Missing (nulls, or features from a block this row doesn't have).
+    Missing,
+}
+
+/// A dense feature matrix with per-column string interning.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureMatrix {
+    /// Column names (qualified, e.g. `movie.year`).
+    pub names: Vec<String>,
+    /// Column kinds.
+    pub kinds: Vec<FeatureKind>,
+    /// Interned category labels per column (empty for numeric columns).
+    pub vocab: Vec<Vec<String>>,
+    /// Row-major data.
+    pub rows: Vec<Vec<FeatureValue>>,
+}
+
+impl FeatureMatrix {
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The label of a categorical code.
+    pub fn label(&self, column: usize, code: u32) -> &str {
+        &self.vocab[column][code as usize]
+    }
+}
+
+/// Builder that interns categorical values per column.
+struct MatrixBuilder {
+    matrix: FeatureMatrix,
+    intern: Vec<HashMap<String, u32>>,
+}
+
+impl MatrixBuilder {
+    fn new() -> Self {
+        MatrixBuilder {
+            matrix: FeatureMatrix::default(),
+            intern: Vec::new(),
+        }
+    }
+
+    fn add_column(&mut self, name: String, kind: FeatureKind) -> usize {
+        self.matrix.names.push(name);
+        self.matrix.kinds.push(kind);
+        self.matrix.vocab.push(Vec::new());
+        self.intern.push(HashMap::new());
+        self.matrix.names.len() - 1
+    }
+
+    fn encode(&mut self, column: usize, v: &Value) -> FeatureValue {
+        match (self.matrix.kinds[column], v) {
+            (_, Value::Null) => FeatureValue::Missing,
+            (FeatureKind::Numeric, v) => v
+                .as_float()
+                .map(FeatureValue::Num)
+                .unwrap_or(FeatureValue::Missing),
+            (FeatureKind::Categorical, v) => {
+                let s = v.to_string();
+                let next = self.intern[column].len() as u32;
+                let code = *self.intern[column].entry(s.clone()).or_insert_with(|| {
+                    next
+                });
+                if code == next {
+                    self.matrix.vocab[column].push(s);
+                }
+                FeatureValue::Cat(code)
+            }
+        }
+    }
+}
+
+fn kind_of(dtype: DataType) -> FeatureKind {
+    match dtype {
+        DataType::Int | DataType::Float => FeatureKind::Numeric,
+        DataType::Text | DataType::Bool => FeatureKind::Categorical,
+    }
+}
+
+/// Extract features from a single table (one row per table row). Excludes
+/// the primary key and any `name`-like projection columns passed in
+/// `exclude`.
+pub fn single_table(db: &Database, table: &str, exclude: &[&str]) -> (FeatureMatrix, Vec<RowId>) {
+    let t = db.table(table).expect("table exists");
+    let schema = t.schema();
+    let mut b = MatrixBuilder::new();
+    let mut cols: Vec<usize> = Vec::new();
+    for (i, c) in schema.columns.iter().enumerate() {
+        if schema.primary_key == Some(i) || exclude.contains(&c.name.as_str()) {
+            continue;
+        }
+        b.add_column(format!("{table}.{}", c.name), kind_of(c.dtype));
+        cols.push(i);
+    }
+    let mut origin = Vec::with_capacity(t.len());
+    for (rid, row) in t.iter() {
+        let frow: Vec<FeatureValue> = cols
+            .iter()
+            .enumerate()
+            .map(|(fi, &ci)| b.encode(fi, &row[ci]))
+            .collect();
+        b.matrix.rows.push(frow);
+        origin.push(rid);
+    }
+    (b.matrix, origin)
+}
+
+/// TALOS-style denormalization: the entity table joined with every fact
+/// table that references it (plus the referenced tables' attributes). One
+/// output row per (entity row, fact row); entities with no fact rows keep
+/// one row of missing fact features. Returns the matrix and the entity row
+/// id each feature row came from.
+pub fn denormalize(db: &Database, entity: &str, exclude: &[&str]) -> (FeatureMatrix, Vec<RowId>) {
+    let t = db.table(entity).expect("entity exists");
+    let schema = t.schema();
+    let pk = schema.primary_key.expect("entity pk");
+    let mut b = MatrixBuilder::new();
+
+    // Entity columns.
+    let mut entity_cols: Vec<(usize, usize)> = Vec::new(); // (feature, column)
+    for (i, c) in schema.columns.iter().enumerate() {
+        if i == pk || exclude.contains(&c.name.as_str()) {
+            continue;
+        }
+        let f = b.add_column(format!("{entity}.{}", c.name), kind_of(c.dtype));
+        entity_cols.push((f, i));
+    }
+
+    // One feature block per fact table referencing the entity; each block
+    // contributes the fact's own attributes plus the referenced target's
+    // attributes (including its display name — TALOS sees `movie.title`).
+    struct Block {
+        fact: String,
+        fact_feature_cols: Vec<(usize, usize)>,
+        target: Option<TargetBlock>,
+        /// entity pk value → fact row ids
+        by_entity: HashMap<i64, Vec<RowId>>,
+    }
+    struct TargetBlock {
+        table: String,
+        feature_cols: Vec<(usize, usize)>,
+        fact_target_col: usize,
+        pk_to_row: HashMap<i64, RowId>,
+    }
+
+    let mut blocks: Vec<Block> = Vec::new();
+    for assoc in db.associations_of(entity) {
+        let fact_t = db.table(assoc.fact_table).unwrap();
+        let fact_schema = fact_t.schema();
+        let mut fact_feature_cols = Vec::new();
+        for (i, c) in fact_schema.columns.iter().enumerate() {
+            if fact_schema.foreign_key_on(i).is_some() || fact_schema.primary_key == Some(i) {
+                continue;
+            }
+            let f = b.add_column(
+                format!("{}.{}", assoc.fact_table, c.name),
+                kind_of(c.dtype),
+            );
+            fact_feature_cols.push((f, i));
+        }
+        let target_t = db.table(assoc.to_table).unwrap();
+        let target_schema = target_t.schema();
+        let target = if target_schema.role != TableRole::Fact {
+            let tpk = target_schema.primary_key.expect("target pk");
+            let mut feature_cols = Vec::new();
+            for (i, c) in target_schema.columns.iter().enumerate() {
+                if i == tpk {
+                    continue;
+                }
+                let f = b.add_column(
+                    format!("{}.{}", assoc.to_table, c.name),
+                    kind_of(c.dtype),
+                );
+                feature_cols.push((f, i));
+            }
+            let pk_to_row: HashMap<i64, RowId> = target_t
+                .iter()
+                .filter_map(|(rid, r)| r[tpk].as_int().map(|k| (k, rid)))
+                .collect();
+            Some(TargetBlock {
+                table: assoc.to_table.to_string(),
+                feature_cols,
+                fact_target_col: assoc.to_column,
+                pk_to_row,
+            })
+        } else {
+            None
+        };
+        let mut by_entity: HashMap<i64, Vec<RowId>> = HashMap::new();
+        for (rid, r) in fact_t.iter() {
+            if let Some(k) = r[assoc.from_column].as_int() {
+                by_entity.entry(k).or_default().push(rid);
+            }
+        }
+        blocks.push(Block {
+            fact: assoc.fact_table.to_string(),
+            fact_feature_cols,
+            target,
+            by_entity,
+        });
+    }
+
+    let width = b.matrix.names.len();
+    let mut origin = Vec::new();
+    for (rid, row) in t.iter() {
+        let Some(pk_val) = row[pk].as_int() else {
+            continue;
+        };
+        let mut base = vec![FeatureValue::Missing; width];
+        for &(f, ci) in &entity_cols {
+            base[f] = b.encode(f, &row[ci]);
+        }
+        let mut emitted = false;
+        for block in &blocks {
+            let Some(fact_rows) = block.by_entity.get(&pk_val) else {
+                continue;
+            };
+            let fact_t = db.table(&block.fact).unwrap();
+            for &fr in fact_rows {
+                let frow = fact_t.row(fr).unwrap();
+                let mut out = base.clone();
+                for &(f, ci) in &block.fact_feature_cols {
+                    out[f] = b.encode(f, &frow[ci]);
+                }
+                if let Some(tb) = &block.target {
+                    if let Some(k) = frow[tb.fact_target_col].as_int() {
+                        if let Some(&trid) = tb.pk_to_row.get(&k) {
+                            let tt = db.table(&tb.table).unwrap();
+                            let trow = tt.row(trid).unwrap();
+                            for &(f, ci) in &tb.feature_cols {
+                                out[f] = b.encode(f, &trow[ci]);
+                            }
+                        }
+                    }
+                }
+                b.matrix.rows.push(out);
+                origin.push(rid);
+                emitted = true;
+            }
+        }
+        if !emitted {
+            b.matrix.rows.push(base);
+            origin.push(rid);
+        }
+    }
+    (b.matrix, origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squid_adb::test_fixtures::{figure6_db, mini_imdb};
+
+    #[test]
+    fn single_table_shapes() {
+        let db = figure6_db();
+        let (m, origin) = single_table(&db, "person", &["name"]);
+        assert_eq!(m.width(), 2); // gender, age
+        assert_eq!(m.len(), 6);
+        assert_eq!(origin.len(), 6);
+        assert_eq!(m.kinds[0], FeatureKind::Categorical);
+        assert_eq!(m.kinds[1], FeatureKind::Numeric);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let db = figure6_db();
+        let (m, _) = single_table(&db, "person", &["name"]);
+        // First row is Tom Cruise, Male → code 0.
+        assert_eq!(m.rows[0][0], FeatureValue::Cat(0));
+        assert_eq!(m.label(0, 0), "Male");
+        // Julia Roberts (row 3) is Female → code 1.
+        assert_eq!(m.rows[3][0], FeatureValue::Cat(1));
+        assert_eq!(m.label(0, 1), "Female");
+    }
+
+    #[test]
+    fn denormalize_emits_one_row_per_fact_row() {
+        let db = mini_imdb();
+        let (m, origin) = denormalize(&db, "person", &["name"]);
+        // castinfo has 24 rows; every person appears in at least one movie,
+        // so the matrix has exactly 24 rows.
+        assert_eq!(m.len(), 24);
+        assert_eq!(origin.len(), 24);
+        // Features include person attrs, castinfo.role, and movie attrs.
+        assert!(m.names.iter().any(|n| n == "person.gender"));
+        assert!(m.names.iter().any(|n| n == "castinfo.role"));
+        assert!(m.names.iter().any(|n| n == "movie.title"));
+        assert!(m.names.iter().any(|n| n == "movie.year"));
+    }
+
+    #[test]
+    fn denormalized_rows_map_back_to_entities() {
+        let db = mini_imdb();
+        let (_, origin) = denormalize(&db, "person", &["name"]);
+        // Jim Carrey (row 0 of person) has 5 castinfo rows.
+        let jim_rows = origin.iter().filter(|&&r| r == 0).count();
+        assert_eq!(jim_rows, 5);
+    }
+
+    #[test]
+    fn movie_denormalization_includes_genre_and_cast_blocks() {
+        let db = mini_imdb();
+        let (m, _) = denormalize(&db, "movie", &["title"]);
+        assert!(m.names.iter().any(|n| n == "genre.name"));
+        assert!(m.names.iter().any(|n| n == "person.country"));
+        assert!(m.len() > db.table("movie").unwrap().len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Random forest: bagged decision trees with per-split feature
+//! subsampling. One of the two probability estimators used in the
+//! PU-learning comparison (§7.6, "PU (RF)").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dtree::{DecisionTree, TreeConfig};
+use crate::features::{FeatureMatrix, FeatureValue};
+
+/// Forest configuration.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree config (feature subsampling is applied automatically when
+    /// `None`: √width).
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub bootstrap_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            trees: 20,
+            tree: TreeConfig {
+                max_depth: 16,
+                ..Default::default()
+            },
+            bootstrap_fraction: 1.0,
+            seed: 0xF0E5,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit on the full matrix with boolean labels.
+    pub fn fit(x: &FeatureMatrix, y: &[bool], config: &ForestConfig) -> RandomForest {
+        assert_eq!(x.len(), y.len());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let subsample = config
+            .tree
+            .feature_subsample
+            .unwrap_or_else(|| ((x.width() as f64).sqrt().ceil() as usize).max(1));
+        let n = x.len();
+        let sample_size = ((n as f64) * config.bootstrap_fraction).ceil() as usize;
+        let mut trees = Vec::with_capacity(config.trees);
+        for _ in 0..config.trees {
+            // Bootstrap by materializing a resampled matrix view.
+            let mut bx = FeatureMatrix {
+                names: x.names.clone(),
+                kinds: x.kinds.clone(),
+                vocab: x.vocab.clone(),
+                rows: Vec::with_capacity(sample_size),
+            };
+            let mut by = Vec::with_capacity(sample_size);
+            for _ in 0..sample_size {
+                let i = rng.random_range(0..n);
+                bx.rows.push(x.rows[i].clone());
+                by.push(y[i]);
+            }
+            let cfg = TreeConfig {
+                feature_subsample: Some(subsample),
+                ..config.tree.clone()
+            };
+            trees.push(DecisionTree::fit(&bx, &by, &cfg, &mut rng));
+        }
+        RandomForest { trees }
+    }
+
+    /// Mean positive probability across trees.
+    pub fn predict_proba(&self, row: &[FeatureValue]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(row))
+            .sum::<f64>()
+            / self.trees.len() as f64
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, row: &[FeatureValue]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True iff the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureKind;
+
+    fn dataset() -> (FeatureMatrix, Vec<bool>) {
+        let mut m = FeatureMatrix {
+            names: vec!["a".into(), "b".into()],
+            kinds: vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            vocab: vec![vec![], vec![]],
+            rows: vec![],
+        };
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let a = (i % 30) as f64;
+            let b = (i / 30) as f64;
+            m.rows.push(vec![FeatureValue::Num(a), FeatureValue::Num(b)]);
+            y.push(a < 15.0 && b < 2.0);
+        }
+        (m, y)
+    }
+
+    #[test]
+    fn forest_learns_and_is_deterministic() {
+        let (x, y) = dataset();
+        let f1 = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let f2 = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let correct = x
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(i, row)| f1.predict(row) == y[*i])
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.9, "{correct}/120");
+        for row in &x.rows {
+            assert_eq!(f1.predict_proba(row), f2.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn probabilities_average_over_trees() {
+        let (x, y) = dataset();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                trees: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(f.len(), 5);
+        for row in &x.rows {
+            let p = f.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # squid-baselines
+//!
+//! From-scratch implementations of the systems SQuID is evaluated against:
+//! a CART decision tree and random forest, Elkan-Noto positive-unlabeled
+//! learning (the §7.6 comparison), and a TALOS-style closed-world query
+//! reverse engineering baseline (the §7.5 comparison). Feature extraction
+//! (including TALOS's denormalizing join) lives in [`features`].
+
+#![warn(missing_docs)]
+
+pub mod dtree;
+pub mod features;
+pub mod forest;
+pub mod pu;
+pub mod talos;
+
+pub use dtree::{DecisionTree, TreeConfig};
+pub use features::{denormalize, single_table, FeatureKind, FeatureMatrix, FeatureValue};
+pub use forest::{ForestConfig, RandomForest};
+pub use pu::{PuClassifier, PuConfig, PuEstimator};
+pub use talos::{default_excludes, talos_reverse_engineer, TalosResult};

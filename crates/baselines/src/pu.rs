@@ -1,0 +1,271 @@
+//! Positive-and-Unlabeled learning after Elkan & Noto (KDD 2008), the
+//! method SQuID is compared against in §7.6 [21].
+//!
+//! Under the "selected completely at random" assumption, a classifier g
+//! trained to separate *labeled* from *unlabeled* satisfies
+//! `g(x) = c · p(y=1|x)` where `c = p(s=1|y=1)` is the label frequency.
+//! Estimating ĉ as the average of g over held-out labeled positives turns
+//! g into a true class-posterior estimate: `p(y=1|x) = g(x)/ĉ`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dtree::{DecisionTree, TreeConfig};
+use crate::features::{FeatureMatrix, FeatureValue};
+use crate::forest::{ForestConfig, RandomForest};
+
+/// Probability estimator used inside PU-learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PuEstimator {
+    /// Single decision tree ("PU (DT)" in Figure 16).
+    DecisionTree,
+    /// Random forest ("PU (RF)").
+    RandomForest,
+}
+
+/// PU-learning configuration.
+#[derive(Debug, Clone)]
+pub struct PuConfig {
+    /// Estimator choice.
+    pub estimator: PuEstimator,
+    /// Fraction of positives held out to estimate ĉ.
+    pub holdout_fraction: f64,
+    /// Decision threshold on the adjusted posterior.
+    pub threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PuConfig {
+    fn default() -> Self {
+        PuConfig {
+            estimator: PuEstimator::DecisionTree,
+            holdout_fraction: 0.2,
+            threshold: 0.5,
+            seed: 0x9057,
+        }
+    }
+}
+
+enum Model {
+    Tree(DecisionTree),
+    Forest(RandomForest),
+}
+
+impl Model {
+    fn proba(&self, row: &[FeatureValue]) -> f64 {
+        match self {
+            Model::Tree(t) => t.predict_proba(row),
+            Model::Forest(f) => f.predict_proba(row),
+        }
+    }
+}
+
+/// A fitted PU classifier.
+pub struct PuClassifier {
+    model: Model,
+    /// Estimated label frequency ĉ = p(s=1 | y=1).
+    pub c_hat: f64,
+    threshold: f64,
+}
+
+impl PuClassifier {
+    /// Fit from positive example row indices over the full matrix; all
+    /// other rows are unlabeled.
+    pub fn fit(x: &FeatureMatrix, positives: &[usize], config: &PuConfig) -> PuClassifier {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Split positives into train/holdout.
+        let mut pos: Vec<usize> = positives.to_vec();
+        for i in (1..pos.len()).rev() {
+            let j = rng.random_range(0..=i);
+            pos.swap(i, j);
+        }
+        let holdout_n = ((pos.len() as f64 * config.holdout_fraction).round() as usize)
+            .clamp(1, pos.len().saturating_sub(1).max(1));
+        let (holdout, train_pos) = pos.split_at(holdout_n.min(pos.len()));
+
+        // s-labels: 1 for training positives, 0 otherwise.
+        let mut s = vec![false; x.len()];
+        for &i in train_pos {
+            s[i] = true;
+        }
+        // Keep the holdout out of training by masking: we train on all rows
+        // except the holdout (standard Elkan-Noto non-traditional setup).
+        let keep: Vec<usize> = (0..x.len()).filter(|i| !holdout.contains(i)).collect();
+        let mut tx = FeatureMatrix {
+            names: x.names.clone(),
+            kinds: x.kinds.clone(),
+            vocab: x.vocab.clone(),
+            rows: keep.iter().map(|&i| x.rows[i].clone()).collect(),
+        };
+        let ty: Vec<bool> = keep.iter().map(|&i| s[i]).collect();
+        let model = match config.estimator {
+            PuEstimator::DecisionTree => {
+                let cfg = TreeConfig {
+                    max_depth: 12,
+                    min_samples_split: 4,
+                    ..Default::default()
+                };
+                Model::Tree(DecisionTree::fit(&tx, &ty, &cfg, &mut rng))
+            }
+            PuEstimator::RandomForest => {
+                let cfg = ForestConfig {
+                    trees: 15,
+                    seed: rng.random(),
+                    ..Default::default()
+                };
+                Model::Forest(RandomForest::fit(&tx, &ty, &cfg))
+            }
+        };
+        tx.rows.clear();
+
+        // ĉ = mean g over held-out positives.
+        let c_hat = if holdout.is_empty() {
+            1.0
+        } else {
+            (holdout
+                .iter()
+                .map(|&i| model.proba(&x.rows[i]))
+                .sum::<f64>()
+                / holdout.len() as f64)
+                .max(1e-6)
+        };
+        PuClassifier {
+            model,
+            c_hat,
+            threshold: config.threshold,
+        }
+    }
+
+    /// Adjusted posterior p(y=1|x) = g(x)/ĉ, clamped to [0, 1].
+    pub fn predict_proba(&self, row: &[FeatureValue]) -> f64 {
+        (self.model.proba(row) / self.c_hat).clamp(0.0, 1.0)
+    }
+
+    /// Predicted-positive row indices over a matrix.
+    pub fn predict_positive(&self, x: &FeatureMatrix) -> Vec<usize> {
+        (0..x.len())
+            .filter(|&i| self.predict_proba(&x.rows[i]) >= self.threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureKind;
+
+    /// 400 rows, 2 numeric features; true class = quadrant (a<20, b<20).
+    fn dataset() -> (FeatureMatrix, Vec<bool>) {
+        let mut m = FeatureMatrix {
+            names: vec!["a".into(), "b".into()],
+            kinds: vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            vocab: vec![vec![], vec![]],
+            rows: vec![],
+        };
+        let mut truth = Vec::new();
+        for i in 0..400 {
+            let a = (i % 40) as f64;
+            let b = (i / 40) as f64 * 4.0;
+            m.rows.push(vec![FeatureValue::Num(a), FeatureValue::Num(b)]);
+            truth.push(a < 20.0 && b < 20.0);
+        }
+        (m, truth)
+    }
+
+    fn f_score(pred: &[usize], truth: &[bool]) -> f64 {
+        let pred_set: std::collections::BTreeSet<usize> = pred.iter().copied().collect();
+        let tp = truth
+            .iter()
+            .enumerate()
+            .filter(|(i, &t)| t && pred_set.contains(i))
+            .count() as f64;
+        let p = if pred_set.is_empty() {
+            0.0
+        } else {
+            tp / pred_set.len() as f64
+        };
+        let total_pos = truth.iter().filter(|&&t| t).count() as f64;
+        let r = tp / total_pos;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    #[test]
+    fn recovers_concept_with_many_positives() {
+        let (x, truth) = dataset();
+        // Label 70% of the true positives.
+        let positives: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .filter(|(i, &t)| t && i % 10 < 7)
+            .map(|(i, _)| i)
+            .collect();
+        let clf = PuClassifier::fit(&x, &positives, &PuConfig::default());
+        let pred = clf.predict_positive(&x);
+        let f = f_score(&pred, &truth);
+        assert!(f > 0.8, "f-score {f}");
+    }
+
+    #[test]
+    fn few_positives_hurt_recall() {
+        let (x, truth) = dataset();
+        let many: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .filter(|(i, &t)| t && i % 10 < 7)
+            .map(|(i, _)| i)
+            .collect();
+        let few: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .filter(|(i, &t)| t && i % 10 == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let f_many = f_score(
+            &PuClassifier::fit(&x, &many, &PuConfig::default()).predict_positive(&x),
+            &truth,
+        );
+        let f_few = f_score(
+            &PuClassifier::fit(&x, &few, &PuConfig::default()).predict_positive(&x),
+            &truth,
+        );
+        assert!(
+            f_many >= f_few,
+            "more positives must not hurt: {f_many} vs {f_few}"
+        );
+    }
+
+    #[test]
+    fn c_hat_is_estimated_in_unit_interval() {
+        let (x, truth) = dataset();
+        let positives: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .collect();
+        let clf = PuClassifier::fit(&x, &positives, &PuConfig::default());
+        assert!(clf.c_hat > 0.0 && clf.c_hat <= 1.0, "{}", clf.c_hat);
+    }
+
+    #[test]
+    fn forest_estimator_also_works() {
+        let (x, truth) = dataset();
+        let positives: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .filter(|(i, &t)| t && i % 2 == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let cfg = PuConfig {
+            estimator: PuEstimator::RandomForest,
+            ..Default::default()
+        };
+        let pred = PuClassifier::fit(&x, &positives, &cfg).predict_positive(&x);
+        assert!(f_score(&pred, &truth) > 0.6);
+    }
+}

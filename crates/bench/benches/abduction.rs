@@ -1,0 +1,90 @@
+//! Criterion benches for the abduction pipeline — the timing counterparts
+//! of Figure 9(a) (time vs #examples) and Figure 9(b) (time vs dataset
+//! size), plus αDB construction (Figure 18's precomputation column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squid_adb::ADb;
+use squid_bench::{params_for, sample_examples};
+use squid_core::Squid;
+use squid_datasets::{
+    generate_imdb, generate_imdb_variant, imdb_queries, ImdbConfig, ImdbVariant,
+};
+
+fn bench_adb_build(c: &mut Criterion) {
+    let cfg = ImdbConfig {
+        persons: 1_500,
+        movies: 800,
+        ..ImdbConfig::default()
+    };
+    let db = generate_imdb(&cfg);
+    c.bench_function("adb_build/imdb_1500p", |b| {
+        b.iter(|| ADb::build(std::hint::black_box(&db)).unwrap())
+    });
+}
+
+fn bench_discovery_vs_examples(c: &mut Criterion) {
+    // Figure 9(a): abduction time as |E| grows.
+    let cfg = ImdbConfig {
+        persons: 1_500,
+        movies: 800,
+        ..ImdbConfig::default()
+    };
+    let db = generate_imdb(&cfg);
+    let adb = ADb::build(&db).unwrap();
+    let queries = imdb_queries(&db);
+    let q = queries.iter().find(|q| q.id == "IQ15").unwrap();
+    let squid = Squid::with_params(&adb, params_for("imdb"));
+    let mut group = c.benchmark_group("fig9a_discovery_vs_examples");
+    for k in [5usize, 10, 20, 30] {
+        let (examples, _) = sample_examples(&db, &q.query, k, 3);
+        let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &refs, |b, refs| {
+            b.iter(|| {
+                squid
+                    .discover_on("movie", "title", std::hint::black_box(refs))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_discovery_vs_dataset_size(c: &mut Criterion) {
+    // Figure 9(b): abduction time across sm/base/bs/bd variants.
+    let cfg = ImdbConfig {
+        persons: 1_000,
+        movies: 600,
+        ..ImdbConfig::default()
+    };
+    let mut group = c.benchmark_group("fig9b_discovery_vs_size");
+    for (tag, variant) in [
+        ("sm", ImdbVariant::Small),
+        ("base", ImdbVariant::Base),
+        ("bs", ImdbVariant::BigSparse),
+        ("bd", ImdbVariant::BigDense),
+    ] {
+        let db = generate_imdb_variant(&cfg, variant);
+        let adb = ADb::build(&db).unwrap();
+        let queries = imdb_queries(&db);
+        let q = queries.iter().find(|q| q.id == "IQ15").unwrap();
+        let (examples, _) = sample_examples(&db, &q.query, 10, 3);
+        let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+        let squid = Squid::with_params(&adb, params_for("imdb"));
+        group.bench_function(tag, |b| {
+            b.iter(|| {
+                squid
+                    .discover_on("movie", "title", std::hint::black_box(&refs))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adb_build,
+    bench_discovery_vs_examples,
+    bench_discovery_vs_dataset_size
+);
+criterion_main!(benches);

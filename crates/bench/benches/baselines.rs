@@ -1,0 +1,75 @@
+//! Criterion benches for the comparison baselines — the timing
+//! counterparts of Figure 14/15's discovery-time columns (TALOS vs SQuID)
+//! and Figure 16(b)'s PU-learning training time.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squid_adb::ADb;
+use squid_baselines::{
+    single_table, talos_reverse_engineer, PuClassifier, PuConfig, PuEstimator,
+};
+use squid_bench::full_output;
+use squid_core::{Squid, SquidParams};
+use squid_datasets::{adult_queries, generate_adult, AdultConfig};
+
+fn bench_fig14_qre(c: &mut Criterion) {
+    let db = generate_adult(&AdultConfig {
+        rows: 4_000,
+        ..AdultConfig::default()
+    });
+    let adb = ADb::build(&db).unwrap();
+    let queries = adult_queries(&db, 0xA0, 3);
+    let q = &queries[0];
+    let (examples, truth) = full_output(&db, &q.query);
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    let squid = Squid::with_params(&adb, SquidParams::optimistic());
+    c.bench_function("fig14/squid_qre", |b| {
+        b.iter(|| {
+            squid
+                .discover_on("adult", "name", std::hint::black_box(&refs))
+                .unwrap()
+        })
+    });
+    c.bench_function("fig14/talos_qre", |b| {
+        b.iter(|| {
+            talos_reverse_engineer(
+                std::hint::black_box(&db),
+                "adult",
+                &["name"],
+                std::hint::black_box(&truth),
+            )
+        })
+    });
+}
+
+fn bench_fig16b_pu_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16b_pu_training");
+    for rows in [2_000usize, 8_000] {
+        let db = generate_adult(&AdultConfig {
+            rows,
+            ..AdultConfig::default()
+        });
+        let queries = adult_queries(&db, 0xA0, 1);
+        let (_, truth) = full_output(&db, &queries[0].query);
+        let positives: Vec<usize> = truth.iter().copied().take(25).collect();
+        let (x, _) = single_table(&db, "adult", &["name"]);
+        let _unused: BTreeSet<usize> = BTreeSet::new();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                PuClassifier::fit(
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&positives),
+                    &PuConfig {
+                        estimator: PuEstimator::DecisionTree,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_qre, bench_fig16b_pu_scaling);
+criterion_main!(benches);

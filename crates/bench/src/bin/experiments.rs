@@ -1,0 +1,88 @@
+//! The experiment harness binary: regenerates every table and figure of
+//! the paper's evaluation on the synthetic datasets.
+//!
+//! ```text
+//! cargo run --release -p squid-bench --bin experiments -- all
+//! cargo run --release -p squid-bench --bin experiments -- fig10 fig14 --fast
+//! ```
+
+use squid_bench::context::{Context, HarnessConfig};
+use squid_bench::{
+    ablation, fig10_accuracy, fig11_runtime, fig12_disambiguation, fig13_case_studies,
+    fig9_scalability, pu_comparison, qre_comparison, sensitivity, tables,
+};
+
+const USAGE: &str = "\
+usage: experiments [--fast] <experiment>...
+experiments:
+  fig9a    abduction time vs #examples (IMDb, DBLP)
+  fig9b    abduction time vs dataset size (IMDb variants)
+  fig10    accuracy vs #examples (all IMDb + DBLP queries)
+  fig11    abduced vs actual query runtime
+  fig12    effect of entity disambiguation
+  fig13    case studies (funny actors, sci-fi, researchers)
+  fig14    QRE on Adult: SQuID vs TALOS
+  fig15    QRE on IMDb/DBLP: SQuID vs TALOS
+  fig16a   PU-learning accuracy comparison
+  fig16b   PU-learning scalability comparison
+  fig23    sensitivity to rho
+  fig24    sensitivity to gamma
+  fig25    sensitivity to tau_a
+  fig26    sensitivity to tau_s
+  ablation prior-component ablation (delta/alpha/lambda on/off)
+  table18  dataset description table
+  tables   benchmark query listings (fig 19/20/22)
+  all      everything above";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if selected.contains(&"all") {
+        selected = vec![
+            "table18", "tables", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16a", "fig16b", "fig23", "fig24", "fig25", "fig26", "ablation",
+        ];
+    }
+    let t0 = std::time::Instant::now();
+    eprintln!("building datasets and αDBs (fast={fast})...");
+    let ctx = Context::build(HarnessConfig { fast });
+    eprintln!("context ready in {:?}", t0.elapsed());
+
+    for exp in selected {
+        let t = std::time::Instant::now();
+        match exp {
+            "fig9a" => fig9_scalability::run_fig9a(&ctx),
+            "fig9b" => fig9_scalability::run_fig9b(&ctx),
+            "fig10" => fig10_accuracy::run(&ctx),
+            "fig11" => fig11_runtime::run(&ctx),
+            "fig12" => fig12_disambiguation::run(&ctx),
+            "fig13" => fig13_case_studies::run(&ctx),
+            "fig14" => qre_comparison::run_fig14(&ctx),
+            "fig15" => qre_comparison::run_fig15(&ctx),
+            "fig16a" => pu_comparison::run_fig16a(&ctx),
+            "fig16b" => pu_comparison::run_fig16b(&ctx),
+            "fig23" => sensitivity::run_fig23(&ctx),
+            "fig24" => sensitivity::run_fig24(&ctx),
+            "fig25" => sensitivity::run_fig25(&ctx),
+            "fig26" => sensitivity::run_fig26(&ctx),
+            "ablation" => ablation::run(&ctx),
+            "table18" => tables::run_table18(&ctx),
+            "tables" => tables::run_query_tables(&ctx),
+            other => {
+                eprintln!("unknown experiment {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{exp} done in {:?}]", t.elapsed());
+        println!();
+    }
+}

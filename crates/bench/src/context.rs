@@ -1,0 +1,137 @@
+//! Shared experiment context: datasets, αDBs, and benchmark suites built
+//! once per harness invocation.
+
+use squid_adb::ADb;
+use squid_datasets::{
+    adult_queries, dblp_queries, generate_adult, generate_dblp, generate_imdb, imdb_queries,
+    AdultConfig, BenchmarkQuery, DblpConfig, ImdbConfig,
+};
+use squid_relation::Database;
+
+/// One dataset bundled with its αDB and benchmark suite.
+pub struct Workload {
+    /// Dataset tag ("imdb", "dblp", "adult").
+    pub tag: &'static str,
+    /// The generated database.
+    pub db: Database,
+    /// Its abduction-ready form.
+    pub adb: ADb,
+    /// The benchmark queries.
+    pub queries: Vec<BenchmarkQuery>,
+}
+
+impl Workload {
+    /// Look up a benchmark query by id.
+    pub fn query(&self, id: &str) -> &BenchmarkQuery {
+        self.queries
+            .iter()
+            .find(|q| q.id == id)
+            .unwrap_or_else(|| panic!("unknown benchmark query {id}"))
+    }
+}
+
+/// Harness-wide configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Reduced sizes/repeats for smoke runs.
+    pub fast: bool,
+}
+
+/// Everything the figures need.
+pub struct Context {
+    /// IMDb workload.
+    pub imdb: Workload,
+    /// DBLP workload.
+    pub dblp: Workload,
+    /// Adult workload.
+    pub adult: Workload,
+    /// Harness configuration.
+    pub config: HarnessConfig,
+}
+
+impl Context {
+    /// IMDb generation config for the current mode.
+    pub fn imdb_config(&self) -> ImdbConfig {
+        if self.config.fast {
+            ImdbConfig {
+                persons: 1_500,
+                movies: 800,
+                ..ImdbConfig::default()
+            }
+        } else {
+            ImdbConfig::default()
+        }
+    }
+
+    /// Build all workloads.
+    pub fn build(config: HarnessConfig) -> Context {
+        let imdb_cfg = if config.fast {
+            ImdbConfig {
+                persons: 1_500,
+                movies: 800,
+                ..ImdbConfig::default()
+            }
+        } else {
+            ImdbConfig::default()
+        };
+        let dblp_cfg = if config.fast {
+            DblpConfig {
+                authors: 800,
+                publications: 2_400,
+                ..DblpConfig::default()
+            }
+        } else {
+            DblpConfig::default()
+        };
+        let adult_cfg = if config.fast {
+            AdultConfig {
+                rows: 2_000,
+                ..AdultConfig::default()
+            }
+        } else {
+            AdultConfig::default()
+        };
+
+        let imdb_db = generate_imdb(&imdb_cfg);
+        let imdb = Workload {
+            tag: "imdb",
+            adb: ADb::build(&imdb_db).expect("imdb αDB"),
+            queries: imdb_queries(&imdb_db),
+            db: imdb_db,
+        };
+        let dblp_db = generate_dblp(&dblp_cfg);
+        let dblp = Workload {
+            tag: "dblp",
+            adb: ADb::build(&dblp_db).expect("dblp αDB"),
+            queries: dblp_queries(&dblp_db),
+            db: dblp_db,
+        };
+        let adult_db = generate_adult(&adult_cfg);
+        let adult = Workload {
+            tag: "adult",
+            adb: ADb::build(&adult_db).expect("adult αDB"),
+            queries: adult_queries(&adult_db, 0xA0, 20),
+            db: adult_db,
+        };
+        Context {
+            imdb,
+            dblp,
+            adult,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_context_builds_everything() {
+        let ctx = Context::build(HarnessConfig { fast: true });
+        assert_eq!(ctx.imdb.queries.len(), 16);
+        assert_eq!(ctx.dblp.queries.len(), 5);
+        assert!(ctx.adult.queries.len() >= 15);
+        assert!(ctx.imdb.adb.build_stats.property_count > 0);
+    }
+}

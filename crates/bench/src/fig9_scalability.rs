@@ -1,0 +1,90 @@
+//! Figure 9: abduction time scalability — (a) against the number of
+//! examples on IMDb and DBLP, (b) against dataset size on the four IMDb
+//! variants (sm/base/bs/bd).
+
+use std::time::Duration;
+
+use squid_adb::ADb;
+use squid_core::Squid;
+use squid_datasets::{generate_imdb_variant, imdb_queries, ImdbVariant};
+
+use crate::context::{Context, Workload};
+use crate::{mean, params_for, sample_examples};
+
+fn avg_abduction_time(workload: &Workload, k: usize, repeats: u64) -> Duration {
+    let squid = Squid::with_params(&workload.adb, params_for(workload.tag));
+    let mut times = Vec::new();
+    for q in &workload.queries {
+        for seed in 0..repeats {
+            let (examples, _) = sample_examples(&workload.db, &q.query, k, seed);
+            if examples.is_empty() {
+                continue;
+            }
+            let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+            if let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) {
+                times.push(d.elapsed.as_secs_f64());
+            }
+        }
+    }
+    Duration::from_secs_f64(mean(&times))
+}
+
+/// Figure 9(a): average abduction time vs number of examples.
+pub fn run_fig9a(ctx: &Context) {
+    println!("# Figure 9(a): abduction time vs #examples (averaged over benchmark queries)");
+    println!("{:<10} {:>14} {:>14}", "examples", "imdb_ms", "dblp_ms");
+    let sizes = [5usize, 10, 15, 20, 25, 30];
+    let repeats = if ctx.config.fast { 2 } else { 5 };
+    for &k in &sizes {
+        let t_imdb = avg_abduction_time(&ctx.imdb, k, repeats);
+        let t_dblp = avg_abduction_time(&ctx.dblp, k, repeats);
+        println!(
+            "{:<10} {:>14.3} {:>14.3}",
+            k,
+            t_imdb.as_secs_f64() * 1e3,
+            t_dblp.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Figure 9(b): average abduction time vs dataset size (IMDb variants).
+pub fn run_fig9b(ctx: &Context) {
+    println!("# Figure 9(b): abduction time vs dataset size (IMDb variants)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "examples", "sm_ms", "base_ms", "bs_ms", "bd_ms", ""
+    );
+    let cfg = ctx.imdb_config();
+    let variants = [
+        ImdbVariant::Small,
+        ImdbVariant::Base,
+        ImdbVariant::BigSparse,
+        ImdbVariant::BigDense,
+    ];
+    let workloads: Vec<Workload> = variants
+        .iter()
+        .map(|&v| {
+            let db = generate_imdb_variant(&cfg, v);
+            Workload {
+                tag: "imdb",
+                adb: ADb::build(&db).expect("variant αDB"),
+                queries: imdb_queries(&db),
+                db,
+            }
+        })
+        .collect();
+    let sizes = [5usize, 10, 15, 20, 25, 30];
+    let repeats = if ctx.config.fast { 1 } else { 3 };
+    for &k in &sizes {
+        let times: Vec<f64> = workloads
+            .iter()
+            .map(|w| avg_abduction_time(w, k, repeats).as_secs_f64() * 1e3)
+            .collect();
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>12.3} {:>12.3}",
+            k, times[0], times[1], times[2], times[3]
+        );
+    }
+    println!("# expectation: time grows with |E| (linear) and with dataset size;");
+    println!("# bd (dense associations) is slower than bs at equal entity count.");
+}

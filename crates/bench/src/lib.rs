@@ -1,0 +1,130 @@
+//! # squid-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section 7 + appendices) on the synthetic datasets.
+//! Run `cargo run --release -p squid-bench --bin experiments -- all` (or a
+//! single figure id) to print the corresponding rows/series.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod context;
+pub mod fig10_accuracy;
+pub mod fig11_runtime;
+pub mod fig12_disambiguation;
+pub mod fig13_case_studies;
+pub mod fig9_scalability;
+pub mod pu_comparison;
+pub mod qre_comparison;
+pub mod sensitivity;
+pub mod tables;
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use squid_core::{Accuracy, Discovery, Squid, SquidError, SquidParams};
+use squid_engine::{Executor, Query};
+use squid_relation::{Database, RowId};
+
+/// Sample `k` distinct example values from a query's output (plus the full
+/// output row set as ground truth).
+pub fn sample_examples(
+    db: &Database,
+    query: &Query,
+    k: usize,
+    seed: u64,
+) -> (Vec<String>, BTreeSet<RowId>) {
+    let rs = Executor::new(db).execute(query).expect("query executes");
+    let values = rs.project(db, &query.projection).expect("projection");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    for i in 0..k.min(idx.len()) {
+        let j = rng.random_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx.truncate(k.min(values.len()));
+    let examples = idx.iter().map(|&i| values[i].to_string()).collect();
+    (examples, rs.rows)
+}
+
+/// The complete output of a query as example values (closed-world / QRE
+/// input).
+pub fn full_output(db: &Database, query: &Query) -> (Vec<String>, BTreeSet<RowId>) {
+    let rs = Executor::new(db).execute(query).expect("query executes");
+    let values = rs.project(db, &query.projection).expect("projection");
+    (values.iter().map(|v| v.to_string()).collect(), rs.rows)
+}
+
+/// Run discovery against a fixed target, returning the accuracy against
+/// `truth` alongside the discovery itself.
+pub fn discover_and_score(
+    squid: &Squid<'_>,
+    query: &Query,
+    examples: &[String],
+    truth: &BTreeSet<RowId>,
+) -> Result<(Discovery, Accuracy), SquidError> {
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    let d = squid.discover_on(query.root(), &query.projection, &refs)?;
+    let acc = Accuracy::of(&d.rows, truth);
+    Ok((d, acc))
+}
+
+/// Recommended parameters per dataset (the paper tunes once per dataset,
+/// Appendix E).
+pub fn params_for(dataset: &str) -> SquidParams {
+    match dataset {
+        // DBLP association counts (papers per venue) are smaller than IMDb
+        // careers, so the significance threshold is lower.
+        "dblp" => SquidParams {
+            tau_a: 3,
+            ..SquidParams::default()
+        },
+        _ => SquidParams::default(),
+    }
+}
+
+/// Format a float column.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squid_datasets::{generate_imdb, imdb_queries, ImdbConfig};
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let db = generate_imdb(&ImdbConfig::tiny());
+        let q = &imdb_queries(&db)[0].query;
+        let (a, truth) = sample_examples(&db, q, 5, 9);
+        let (b, _) = sample_examples(&db, q, 5, 9);
+        assert_eq!(a, b);
+        assert!(a.len() <= 5);
+        assert!(!truth.is_empty());
+    }
+
+    #[test]
+    fn full_output_covers_everything() {
+        let db = generate_imdb(&ImdbConfig::tiny());
+        let q = &imdb_queries(&db)[0].query;
+        let (vals, truth) = full_output(&db, q);
+        assert_eq!(vals.len(), truth.len());
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parameter sensitivity experiments (Appendix E, Figures 23–26): the
+//! effect of ρ, γ, τa, and τs on abduction f-score.
+
+use squid_core::{Squid, SquidParams};
+
+use crate::context::{Context, Workload};
+use crate::{discover_and_score, mean, sample_examples};
+
+fn f_scores(
+    workload: &Workload,
+    query_id: &str,
+    params: &SquidParams,
+    sizes: &[usize],
+    draws: u64,
+) -> Vec<f64> {
+    let q = workload.query(query_id);
+    let squid = Squid::with_params(&workload.adb, params.clone());
+    sizes
+        .iter()
+        .map(|&k| {
+            let mut fs = Vec::new();
+            for seed in 0..draws {
+                let (examples, truth) = sample_examples(&workload.db, &q.query, k, seed);
+                if examples.is_empty() {
+                    continue;
+                }
+                if let Ok((_, acc)) = discover_and_score(&squid, &q.query, &examples, &truth) {
+                    fs.push(acc.f_score);
+                }
+            }
+            mean(&fs)
+        })
+        .collect()
+}
+
+fn print_sweep(
+    workload: &Workload,
+    queries: &[&str],
+    label: &str,
+    settings: &[(String, SquidParams)],
+    sizes: &[usize],
+    draws: u64,
+) {
+    for id in queries {
+        println!("## {id}");
+        print!("{:<10}", "examples");
+        for (name, _) in settings {
+            print!(" {:>12}", format!("{label}={name}"));
+        }
+        println!();
+        let series: Vec<Vec<f64>> = settings
+            .iter()
+            .map(|(_, p)| f_scores(workload, id, p, sizes, draws))
+            .collect();
+        for (i, &k) in sizes.iter().enumerate() {
+            print!("{k:<10}");
+            for s in &series {
+                print!(" {:>12.3}", s[i]);
+            }
+            println!();
+        }
+    }
+}
+
+/// Figure 23: base prior ρ ∈ {0.5, 0.1, 0.01}.
+pub fn run_fig23(ctx: &Context) {
+    println!("# Figure 23: effect of the base filter prior ρ (IMDb)");
+    let sizes = [3usize, 5, 10, 15, 20];
+    let draws = if ctx.config.fast { 3 } else { 8 };
+    let settings: Vec<(String, SquidParams)> = [0.5, 0.1, 0.01]
+        .iter()
+        .map(|&rho| {
+            (
+                format!("{rho}"),
+                SquidParams {
+                    rho,
+                    ..SquidParams::default()
+                },
+            )
+        })
+        .collect();
+    print_sweep(
+        &ctx.imdb,
+        &["IQ2", "IQ3", "IQ4", "IQ11", "IQ16"],
+        "rho",
+        &settings,
+        &sizes,
+        draws,
+    );
+    println!("# expectation: low ρ favors some queries, hurts others; ρ=0.1 is a");
+    println!("# good average (the default).");
+}
+
+/// Figure 24: coverage penalty γ ∈ {10, 5, 2, 0}.
+pub fn run_fig24(ctx: &Context) {
+    println!("# Figure 24: effect of the domain-coverage penalty γ (IMDb)");
+    let sizes = [3usize, 5, 10, 15, 20];
+    let draws = if ctx.config.fast { 3 } else { 8 };
+    let settings: Vec<(String, SquidParams)> = [10.0, 5.0, 2.0, 0.0]
+        .iter()
+        .map(|&gamma| {
+            (
+                format!("{gamma}"),
+                SquidParams {
+                    gamma,
+                    ..SquidParams::default()
+                },
+            )
+        })
+        .collect();
+    print_sweep(
+        &ctx.imdb,
+        &["IQ2", "IQ3", "IQ4", "IQ11", "IQ16"],
+        "gamma",
+        &settings,
+        &sizes,
+        draws,
+    );
+}
+
+/// Figure 25: association-strength threshold τa ∈ {0, 5} on IQ5.
+pub fn run_fig25(ctx: &Context) {
+    println!("# Figure 25: effect of the association-strength threshold τa (IQ5, IMDb)");
+    let sizes = [3usize, 5, 7, 9, 11, 13, 15];
+    let draws = if ctx.config.fast { 3 } else { 8 };
+    let settings: Vec<(String, SquidParams)> = [0u64, 5]
+        .iter()
+        .map(|&tau_a| {
+            (
+                format!("{tau_a}"),
+                SquidParams {
+                    tau_a,
+                    ..SquidParams::default()
+                },
+            )
+        })
+        .collect();
+    print_sweep(&ctx.imdb, &["IQ5"], "tau_a", &settings, &sizes, draws);
+    println!("# expectation: with few examples high τa drops coincidental weak");
+    println!("# filters; the effect diminishes as examples grow.");
+}
+
+/// Figure 26: skewness threshold τs ∈ {N/A, 0, 2, 4} on IQ1.
+pub fn run_fig26(ctx: &Context) {
+    println!("# Figure 26: effect of the skewness threshold τs (IQ1, IMDb)");
+    let sizes = [3usize, 5, 7, 9, 11, 13, 15];
+    let draws = if ctx.config.fast { 3 } else { 8 };
+    let mut settings: Vec<(String, SquidParams)> = vec![(
+        "N/A".to_string(),
+        SquidParams {
+            tau_s: None,
+            ..SquidParams::default()
+        },
+    )];
+    for tau in [0.0, 2.0, 4.0] {
+        settings.push((
+            format!("{tau}"),
+            SquidParams {
+                tau_s: Some(tau),
+                ..SquidParams::default()
+            },
+        ));
+    }
+    print_sweep(&ctx.imdb, &["IQ1"], "tau_s", &settings, &sizes, draws);
+}

@@ -1,0 +1,81 @@
+//! Tabular outputs: Figure 18 (dataset descriptions + αDB precomputation
+//! stats) and Figures 19/20/22 (benchmark query listings with join and
+//! selection predicate counts and result cardinalities).
+
+use squid_adb::ADb;
+use squid_datasets::generate_imdb_variant;
+use squid_datasets::ImdbVariant;
+
+use crate::context::{Context, Workload};
+
+/// Figure 18: dataset description table.
+pub fn run_table18(ctx: &Context) {
+    println!("# Figure 18: dataset descriptions and αDB precomputation stats");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "dataset", "relations", "rows", "props", "derived_rows", "build_ms"
+    );
+    let report = |tag: &str, wl: &Workload| {
+        let s = &wl.adb.build_stats;
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            tag,
+            wl.db.tables().count(),
+            s.original_row_count,
+            s.property_count,
+            s.derived_row_count,
+            s.build_millis
+        );
+    };
+    report("imdb", &ctx.imdb);
+    report("dblp", &ctx.dblp);
+    report("adult", &ctx.adult);
+
+    // IMDb variants (sm / bs / bd).
+    let cfg = ctx.imdb_config();
+    for (tag, v) in [
+        ("sm-imdb", ImdbVariant::Small),
+        ("bs-imdb", ImdbVariant::BigSparse),
+        ("bd-imdb", ImdbVariant::BigDense),
+    ] {
+        let db = generate_imdb_variant(&cfg, v);
+        let adb = ADb::build(&db).expect("variant αDB");
+        let s = &adb.build_stats;
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            tag,
+            db.tables().count(),
+            s.original_row_count,
+            s.property_count,
+            s.derived_row_count,
+            s.build_millis
+        );
+    }
+}
+
+fn list_queries(workload: &Workload) {
+    println!(
+        "{:<6} {:>6} {:>6} {:>8}  description",
+        "id", "joins", "sels", "card"
+    );
+    for q in &workload.queries {
+        println!(
+            "{:<6} {:>6} {:>6} {:>8}  {}",
+            q.id,
+            q.query.join_predicate_count(),
+            q.query.selection_predicate_count(),
+            q.cardinality(&workload.db),
+            q.description
+        );
+    }
+}
+
+/// Figures 19 / 20 / 22: benchmark query listings.
+pub fn run_query_tables(ctx: &Context) {
+    println!("# Figure 19: IMDb benchmark queries");
+    list_queries(&ctx.imdb);
+    println!("# Figure 20: DBLP benchmark queries");
+    list_queries(&ctx.dblp);
+    println!("# Figure 22: Adult benchmark queries (randomized, seed-stable)");
+    list_queries(&ctx.adult);
+}

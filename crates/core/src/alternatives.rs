@@ -1,0 +1,216 @@
+//! Top-k alternative queries — ranking candidate filter subsets by query
+//! posterior (an extension in the spirit of Section 2.1's "ranks the valid
+//! queries based on a probabilistic abduction model").
+//!
+//! Algorithm 1 returns *the* maximum-posterior subset, but exposing the
+//! runner-up queries lets an interface show "did you mean...?"
+//! alternatives. Because decisions factorize, the k best subsets are
+//! obtained by flipping decisions in order of their (log) confidence
+//! margins — a classic k-best-over-independent-choices enumeration.
+
+use crate::abduce::{log_posterior, ScoredFilter};
+
+/// One alternative query: a subset of filters and its (relative) log
+/// posterior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlternativeQuery {
+    /// Inclusion mask aligned with the `scored` slice.
+    pub include: Vec<bool>,
+    /// Log posterior (up to the shared constant).
+    pub log_posterior: f64,
+}
+
+impl AlternativeQuery {
+    /// Indices of the included filters.
+    pub fn included_indices(&self) -> Vec<usize> {
+        self.include
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Enumerate the `k` highest-posterior filter subsets, best first. The
+/// first entry is always Algorithm 1's optimum.
+///
+/// The search frontier flips decisions in ascending margin order; with
+/// independent decisions this enumerates subsets in exact posterior order
+/// (standard k-best for independent binary choices).
+pub fn top_k_queries(scored: &[ScoredFilter], k: usize) -> Vec<AlternativeQuery> {
+    let n = scored.len();
+    let best: Vec<bool> = scored.iter().map(|s| s.included).collect();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Cost of flipping decision i away from the optimum (≥ 0).
+    let mut costs: Vec<(f64, usize)> = scored
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let hi = s.include_score.max(s.exclude_score).max(1e-300);
+            let lo = s.include_score.min(s.exclude_score).max(1e-300);
+            (hi.ln() - lo.ln(), i)
+        })
+        .collect();
+    costs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Best-first search over flip sets: a state is a sorted index list into
+    // `costs`; successors extend or advance the last flip (Lawler-style).
+    #[derive(PartialEq)]
+    struct State {
+        cost: f64,
+        flips: Vec<usize>, // indices into `costs`, strictly increasing
+    }
+    impl Eq for State {}
+    impl Ord for State {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .cost
+                .total_cmp(&self.cost)
+                .then_with(|| other.flips.cmp(&self.flips))
+        }
+    }
+    impl PartialOrd for State {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(State {
+        cost: 0.0,
+        flips: Vec::new(),
+    });
+    let mut out = Vec::with_capacity(k.min(1 << n.min(20)));
+    while let Some(state) = heap.pop() {
+        // Materialize this subset.
+        let mut include = best.clone();
+        for &ci in &state.flips {
+            let idx = costs[ci].1;
+            include[idx] = !include[idx];
+        }
+        out.push(AlternativeQuery {
+            log_posterior: log_posterior(scored, &include),
+            include,
+        });
+        if out.len() >= k {
+            break;
+        }
+        // Successors: extend with the next unused flip, or advance the last.
+        let start = state.flips.last().map(|&l| l + 1).unwrap_or(0);
+        if start < costs.len() {
+            let mut extended = state.flips.clone();
+            extended.push(start);
+            heap.push(State {
+                cost: state.cost + costs[start].0,
+                flips: extended,
+            });
+        }
+        if let Some(&last) = state.flips.last() {
+            if last + 1 < costs.len() {
+                let mut advanced = state.flips.clone();
+                *advanced.last_mut().unwrap() = last + 1;
+                heap.push(State {
+                    cost: state.cost - costs[last].0 + costs[last + 1].0,
+                    flips: advanced,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abduce::abduce;
+    use crate::filter::{CandidateFilter, FilterValue};
+    use crate::params::SquidParams;
+    use squid_relation::Value;
+
+    fn cat(attr: &str, selectivity: f64) -> CandidateFilter {
+        CandidateFilter {
+            prop_id: format!("p.{attr}"),
+            attr_name: attr.into(),
+            value: FilterValue::CatEq(Value::text("v")),
+            selectivity,
+            coverage: 0.1,
+        }
+    }
+
+    fn scored() -> Vec<crate::abduce::ScoredFilter> {
+        abduce(
+            vec![cat("a", 0.05), cat("b", 0.4), cat("c", 0.9), cat("d", 0.3)],
+            4,
+            &SquidParams::default(),
+        )
+    }
+
+    #[test]
+    fn first_alternative_is_the_optimum() {
+        let s = scored();
+        let alts = top_k_queries(&s, 3);
+        let algo1: Vec<bool> = s.iter().map(|x| x.included).collect();
+        assert_eq!(alts[0].include, algo1);
+    }
+
+    #[test]
+    fn posteriors_are_non_increasing() {
+        let s = scored();
+        let alts = top_k_queries(&s, 8);
+        for w in alts.windows(2) {
+            assert!(
+                w[0].log_posterior >= w[1].log_posterior - 1e-9,
+                "{} then {}",
+                w[0].log_posterior,
+                w[1].log_posterior
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_exact_for_small_n() {
+        let s = scored();
+        let alts = top_k_queries(&s, 16);
+        assert_eq!(alts.len(), 16);
+        // Compare against brute force: every subset, sorted by posterior.
+        let mut brute: Vec<f64> = (0..16u32)
+            .map(|mask| {
+                let include: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+                log_posterior(&s, &include)
+            })
+            .collect();
+        brute.sort_by(|a, b| b.total_cmp(a));
+        for (alt, expected) in alts.iter().zip(&brute) {
+            assert!(
+                (alt.log_posterior - expected).abs() < 1e-9,
+                "{} vs {}",
+                alt.log_posterior,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_and_distinct_masks() {
+        let s = scored();
+        assert!(top_k_queries(&s, 0).is_empty());
+        let alts = top_k_queries(&s, 10);
+        let mut masks: Vec<&Vec<bool>> = alts.iter().map(|a| &a.include).collect();
+        let n = masks.len();
+        masks.sort();
+        masks.dedup();
+        assert_eq!(masks.len(), n, "subsets must be distinct");
+    }
+
+    #[test]
+    fn included_indices_helper() {
+        let alt = AlternativeQuery {
+            include: vec![true, false, true],
+            log_posterior: 0.0,
+        };
+        assert_eq!(alt.included_indices(), vec![0, 2]);
+    }
+}

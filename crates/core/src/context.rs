@@ -1,0 +1,337 @@
+//! Semantic context discovery (paper Section 6.1.2): given the resolved
+//! example entities, derive all *minimal valid* candidate filters Φ from the
+//! αDB's precomputed properties.
+
+use squid_adb::{EntityProps, PropStats};
+use squid_relation::{RowId, Value};
+
+use crate::filter::{CandidateFilter, FilterValue};
+use crate::params::SquidParams;
+
+/// Derive the candidate filter set Φ for `examples` (entity row ids).
+///
+/// Each returned filter is valid (every example satisfies it) and minimal
+/// (tightest bounds / maximal θ), per Definitions 3.1–3.2.
+pub fn discover_contexts(
+    entity: &EntityProps,
+    examples: &[RowId],
+    params: &SquidParams,
+) -> Vec<CandidateFilter> {
+    let mut out = Vec::new();
+    if examples.is_empty() {
+        return out;
+    }
+    let n = entity.n;
+    for prop in &entity.props {
+        match &prop.stats {
+            PropStats::Categorical(s) => {
+                // Values shared by every example.
+                let mut shared: Vec<Value> = s.values_of(examples[0]).to_vec();
+                for &row in &examples[1..] {
+                    let vals = s.values_of(row);
+                    shared.retain(|v| vals.contains(v));
+                    if shared.is_empty() {
+                        break;
+                    }
+                }
+                if !shared.is_empty() {
+                    for v in shared {
+                        out.push(CandidateFilter {
+                            prop_id: prop.def.id.clone(),
+                            attr_name: prop.def.attr_name.clone(),
+                            selectivity: s.selectivity_eq(&v, n),
+                            coverage: s.coverage_eq(),
+                            value: FilterValue::CatEq(v),
+                        });
+                    }
+                } else if params.allow_disjunction {
+                    // Footnote 7: single-valued categorical attributes may
+                    // form a small disjunction covering all examples.
+                    let mut union: Vec<Value> = Vec::new();
+                    let mut ok = true;
+                    for &row in examples {
+                        let vals = s.values_of(row);
+                        if vals.len() != 1 {
+                            ok = false;
+                            break;
+                        }
+                        if !union.contains(&vals[0]) {
+                            union.push(vals[0].clone());
+                        }
+                    }
+                    if ok && union.len() >= 2 && union.len() <= params.disjunction_limit {
+                        union.sort();
+                        out.push(CandidateFilter {
+                            prop_id: prop.def.id.clone(),
+                            attr_name: prop.def.attr_name.clone(),
+                            selectivity: s.selectivity_in(&union, n),
+                            coverage: s.coverage_in(union.len()),
+                            value: FilterValue::CatIn(union),
+                        });
+                    }
+                }
+            }
+            PropStats::Numeric(s) => {
+                // Tightest range [vmin, vmax]; requires every example to
+                // have a value (validity).
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut all = true;
+                for &row in examples {
+                    match s.value_of(row) {
+                        Some(x) => {
+                            lo = lo.min(x);
+                            hi = hi.max(x);
+                        }
+                        None => {
+                            all = false;
+                            break;
+                        }
+                    }
+                }
+                if all && lo.is_finite() {
+                    out.push(CandidateFilter {
+                        prop_id: prop.def.id.clone(),
+                        attr_name: prop.def.attr_name.clone(),
+                        selectivity: s.selectivity_range(lo, hi, n),
+                        coverage: s.coverage_range(lo, hi),
+                        value: FilterValue::NumRange(lo, hi),
+                    });
+                }
+            }
+            PropStats::Derived(s) => {
+                // Values every example is associated with (count > 0);
+                // θ = minimum association strength (Section 6.1.2).
+                let Some(first) = s.counts_of(examples[0]) else {
+                    continue;
+                };
+                let mut shared: Vec<(Value, u64, f64)> = first
+                    .iter()
+                    .map(|(v, &c)| (v.clone(), c, s.frac_of(examples[0], v)))
+                    .collect();
+                for &row in &examples[1..] {
+                    shared.retain_mut(|(v, theta, frac)| {
+                        let c = s.count_of(row, v);
+                        if c == 0 {
+                            return false;
+                        }
+                        *theta = (*theta).min(c);
+                        *frac = frac.min(s.frac_of(row, v));
+                        true
+                    });
+                    if shared.is_empty() {
+                        break;
+                    }
+                }
+                shared.sort_by(|a, b| a.0.cmp(&b.0));
+                for (v, theta, frac) in shared {
+                    let (value, selectivity) = if params.normalize_association {
+                        (
+                            FilterValue::DerivedFrac {
+                                value: v.clone(),
+                                frac,
+                                raw_theta: theta,
+                            },
+                            s.selectivity_frac(&v, frac, n),
+                        )
+                    } else {
+                        (
+                            FilterValue::DerivedEq {
+                                value: v.clone(),
+                                theta,
+                            },
+                            s.selectivity(&v, theta, n),
+                        )
+                    };
+                    out.push(CandidateFilter {
+                        prop_id: prop.def.id.clone(),
+                        attr_name: prop.def.attr_name.clone(),
+                        selectivity,
+                        coverage: s.coverage_eq(),
+                        value,
+                    });
+                }
+            }
+            PropStats::DerivedNumeric(s) => {
+                // Range filter `attr ≥ c` with θ = min suffix count. Every
+                // cutpoint yields a valid filter; pick the most surprising
+                // (minimum selectivity) point on the (c, θ(c)) frontier —
+                // abduction favors exactly that one.
+                let mut best: Option<(f64, u64, f64)> = None; // (cut, θ, ψ)
+                for &cut in &s.cutpoints {
+                    let theta = examples
+                        .iter()
+                        .map(|&r| s.suffix_count_of(r, cut))
+                        .min()
+                        .unwrap_or(0);
+                    if theta == 0 {
+                        continue;
+                    }
+                    let psi = s.selectivity_ge(cut, theta, n);
+                    let better = match best {
+                        None => true,
+                        Some((_, _, best_psi)) => psi < best_psi,
+                    };
+                    if better {
+                        best = Some((cut, theta, psi));
+                    }
+                }
+                if let Some((cut, theta, psi)) = best {
+                    out.push(CandidateFilter {
+                        prop_id: prop.def.id.clone(),
+                        attr_name: prop.def.attr_name.clone(),
+                        selectivity: psi,
+                        coverage: s.coverage_ge(cut),
+                        value: FilterValue::DerivedGe { cut, theta },
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squid_adb::{test_fixtures, ADb};
+
+    fn setup() -> (ADb, Vec<RowId>) {
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        // Examples: Jim Carrey (id 1) and Eddie Murphy (id 2).
+        let rows = {
+            let e = adb.entity("person").unwrap();
+            vec![e.pk_to_row[&1], e.pk_to_row[&2]]
+        };
+        (adb, rows)
+    }
+
+    fn find<'a>(filters: &'a [CandidateFilter], attr: &str) -> Option<&'a CandidateFilter> {
+        filters.iter().find(|f| f.attr_name == attr)
+    }
+
+    #[test]
+    fn discovers_shared_basic_categorical() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        let gender = find(&filters, "gender").expect("gender context");
+        assert_eq!(gender.value, FilterValue::CatEq(Value::text("Male")));
+        assert_eq!(gender.selectivity, 0.75); // 6 of 8 persons are Male
+        let country = find(&filters, "country").expect("country context");
+        assert_eq!(country.value, FilterValue::CatEq(Value::text("USA")));
+    }
+
+    #[test]
+    fn discovers_numeric_range() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        let by = find(&filters, "birth_year").expect("birth_year context");
+        assert_eq!(by.value, FilterValue::NumRange(1961.0, 1962.0));
+        assert_eq!(by.selectivity, 0.25); // Jim + Eddie only
+    }
+
+    #[test]
+    fn discovers_derived_genre_counts_with_min_theta() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        let comedy = filters
+            .iter()
+            .find(|f| {
+                f.attr_name == "genre.name"
+                    && matches!(&f.value, FilterValue::DerivedEq { value, .. } if value == &Value::text("Comedy"))
+            })
+            .expect("comedy derived context");
+        // Jim has 5 comedies, Eddie 4 → θ = min = 4.
+        assert_eq!(
+            comedy.value,
+            FilterValue::DerivedEq {
+                value: Value::text("Comedy"),
+                theta: 4
+            }
+        );
+    }
+
+    #[test]
+    fn no_context_for_unshared_property() {
+        let (adb, _) = setup();
+        let e = adb.entity("person").unwrap();
+        // Jim Carrey (USA) + Arnold (Austria): country not shared.
+        let rows = vec![e.pk_to_row[&1], e.pk_to_row[&5]];
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        assert!(find(&filters, "country").is_none());
+    }
+
+    #[test]
+    fn disjunction_when_enabled() {
+        let (adb, _) = setup();
+        let e = adb.entity("person").unwrap();
+        let rows = vec![e.pk_to_row[&1], e.pk_to_row[&5]];
+        let params = SquidParams {
+            allow_disjunction: true,
+            ..SquidParams::default()
+        };
+        let filters = discover_contexts(e, &rows, &params);
+        let country = find(&filters, "country").expect("IN filter");
+        assert!(matches!(&country.value, FilterValue::CatIn(vs) if vs.len() == 2));
+    }
+
+    #[test]
+    fn normalized_mode_emits_fractions() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let filters = discover_contexts(e, &rows, &SquidParams::normalized());
+        let comedy = filters
+            .iter()
+            .find(|f| {
+                f.attr_name == "genre.name"
+                    && matches!(&f.value, FilterValue::DerivedFrac { value, .. } if value == &Value::text("Comedy"))
+            })
+            .expect("normalized comedy context");
+        let FilterValue::DerivedFrac { frac, raw_theta, .. } = &comedy.value else {
+            unreachable!()
+        };
+        assert!(*frac > 0.9); // both are pure comedy actors here
+        assert_eq!(*raw_theta, 4);
+    }
+
+    #[test]
+    fn derived_numeric_picks_most_selective_cut() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        let year = find(&filters, "movie.year").expect("year suffix context");
+        let FilterValue::DerivedGe { theta, .. } = &year.value else {
+            panic!("expected DerivedGe, got {:?}", year.value)
+        };
+        assert!(*theta >= 1);
+        assert!(year.selectivity > 0.0 && year.selectivity <= 1.0);
+    }
+
+    #[test]
+    fn all_candidates_are_valid_on_examples() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        assert!(!filters.is_empty());
+        for f in &filters {
+            let prop = e.property(&f.prop_id).unwrap();
+            for &r in &rows {
+                assert!(
+                    f.matches_row(prop, r),
+                    "filter {} must match example row {r}",
+                    f.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_examples_yield_no_filters() {
+        let (adb, _) = setup();
+        let e = adb.entity("person").unwrap();
+        assert!(discover_contexts(e, &[], &SquidParams::default()).is_empty());
+    }
+}

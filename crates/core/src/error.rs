@@ -1,0 +1,80 @@
+//! Error type for query intent discovery.
+
+use std::fmt;
+
+use squid_relation::RelationError;
+
+/// Errors surfaced by the SQuID online phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SquidError {
+    /// No examples were provided.
+    EmptyExamples,
+    /// No `(entity table, column)` contains all the example values.
+    NoMatchingColumn {
+        /// The examples that failed to resolve.
+        examples: Vec<String>,
+    },
+    /// The requested projection target does not exist or is not an entity
+    /// table known to the αDB.
+    UnknownTarget {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// One example did not match any entity in the requested target.
+    EntityNotFound {
+        /// The unresolved example value.
+        example: String,
+        /// Target table.
+        table: String,
+    },
+    /// Underlying relational error.
+    Relation(RelationError),
+}
+
+impl fmt::Display for SquidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SquidError::EmptyExamples => write!(f, "no example tuples provided"),
+            SquidError::NoMatchingColumn { examples } => write!(
+                f,
+                "no entity-table column contains all examples: {}",
+                examples.join(", ")
+            ),
+            SquidError::UnknownTarget { table, column } => {
+                write!(f, "unknown projection target {table}.{column}")
+            }
+            SquidError::EntityNotFound { example, table } => {
+                write!(f, "example {example:?} matches no entity in {table}")
+            }
+            SquidError::Relation(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SquidError {}
+
+impl From<RelationError> for SquidError {
+    fn from(e: RelationError) -> Self {
+        SquidError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SquidError::NoMatchingColumn {
+            examples: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("a, b"));
+        let e = SquidError::EntityNotFound {
+            example: "X".into(),
+            table: "person".into(),
+        };
+        assert!(e.to_string().contains("person"));
+    }
+}

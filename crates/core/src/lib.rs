@@ -1,0 +1,51 @@
+//! # squid-core
+//!
+//! The SQuID system of Fariha & Meliou (VLDB 2019): semantic
+//! similarity-aware query intent discovery by abductive reasoning.
+//!
+//! Given a handful of example values and an abduction-ready database
+//! ([`squid_adb::ADb`]), [`Squid`] resolves the examples to entities
+//! (disambiguating multi-matches), discovers the semantic contexts they
+//! share (basic attributes, fact-hop properties, and derived aggregate
+//! associations), and abduces the filter set that maximizes the query
+//! posterior — producing an executable SPJAI query plus its result tuples.
+//!
+//! ```
+//! use squid_adb::{test_fixtures, ADb};
+//! use squid_core::{Squid, SquidParams};
+//!
+//! let db = test_fixtures::mini_imdb();
+//! let adb = ADb::build(&db).unwrap();
+//! let mut params = SquidParams::default();
+//! params.tau_a = 3;
+//! let squid = Squid::with_params(&adb, params);
+//! let d = squid.discover(&["Jim Carrey", "Eddie Murphy"]).unwrap();
+//! println!("{}", d.sql());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abduce;
+pub mod alternatives;
+pub mod context;
+pub mod disambiguate;
+pub mod error;
+pub mod filter;
+pub mod metrics;
+pub mod params;
+pub mod prior;
+pub mod query_gen;
+pub mod recommend;
+pub mod squid;
+
+pub use abduce::{abduce as abduce_filters, log_posterior, ScoredFilter};
+pub use alternatives::{top_k_queries, AlternativeQuery};
+pub use context::discover_contexts;
+pub use disambiguate::{disambiguate, similarity_score};
+pub use error::SquidError;
+pub use filter::{CandidateFilter, FilterValue};
+pub use metrics::Accuracy;
+pub use params::SquidParams;
+pub use query_gen::{adb_query, evaluate, original_query};
+pub use recommend::{recommend_examples, uncertainty, Recommendation};
+pub use squid::{Discovery, Squid};

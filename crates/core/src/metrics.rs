@@ -1,0 +1,95 @@
+//! Precision / recall / f-score over result row-id sets (Section 7.1,
+//! "Metrics"): precision = |Q'∩Q| / |Q'|, recall = |Q'∩Q| / |Q|.
+
+use std::collections::BTreeSet;
+
+use squid_relation::RowId;
+
+/// Accuracy metrics comparing an inferred result against the intended one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// |Q'(D) ∩ Q(D)| / |Q'(D)|.
+    pub precision: f64,
+    /// |Q'(D) ∩ Q(D)| / |Q(D)|.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_score: f64,
+}
+
+impl Accuracy {
+    /// Compute metrics from the inferred and intended row sets.
+    pub fn of(inferred: &BTreeSet<RowId>, intended: &BTreeSet<RowId>) -> Accuracy {
+        let inter = inferred.intersection(intended).count() as f64;
+        let precision = if inferred.is_empty() {
+            0.0
+        } else {
+            inter / inferred.len() as f64
+        };
+        let recall = if intended.is_empty() {
+            0.0
+        } else {
+            inter / intended.len() as f64
+        };
+        let f_score = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Accuracy {
+            precision,
+            recall,
+            f_score,
+        }
+    }
+
+    /// A perfect score (instance-equivalent queries, the QRE success
+    /// criterion of §7.5).
+    pub fn is_perfect(&self) -> bool {
+        self.f_score >= 1.0 - 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[RowId]) -> BTreeSet<RowId> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let a = Accuracy::of(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 1.0);
+        assert!(a.is_perfect());
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = Accuracy::of(&set(&[1, 2, 3, 4]), &set(&[3, 4, 5, 6, 7, 8]));
+        assert_eq!(a.precision, 0.5);
+        assert!((a.recall - 2.0 / 6.0).abs() < 1e-12);
+        let expected_f = 2.0 * 0.5 * (2.0 / 6.0) / (0.5 + 2.0 / 6.0);
+        assert!((a.f_score - expected_f).abs() < 1e-12);
+        assert!(!a.is_perfect());
+    }
+
+    #[test]
+    fn empty_sets_are_zero_not_nan() {
+        let a = Accuracy::of(&set(&[]), &set(&[1]));
+        assert_eq!(a.precision, 0.0);
+        assert_eq!(a.recall, 0.0);
+        assert_eq!(a.f_score, 0.0);
+        let b = Accuracy::of(&set(&[1]), &set(&[]));
+        assert_eq!(b.recall, 0.0);
+        assert!(!b.f_score.is_nan());
+    }
+
+    #[test]
+    fn too_general_query_has_low_precision_high_recall() {
+        let a = Accuracy::of(&set(&(0..100).collect::<Vec<_>>()), &set(&[1, 2, 3]));
+        assert!((a.precision - 0.03).abs() < 1e-12);
+        assert_eq!(a.recall, 1.0);
+    }
+}

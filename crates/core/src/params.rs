@@ -1,0 +1,115 @@
+//! SQuID's tunable parameters (paper Figure 21 and Appendix E).
+
+/// All knobs of the probabilistic abduction model.
+#[derive(Debug, Clone)]
+pub struct SquidParams {
+    /// Base filter prior ρ: default tendency to include a filter.
+    /// Default 0.1 (Figure 21).
+    pub rho: f64,
+    /// Domain-coverage penalty exponent γ (Appendix A). 0 disables the
+    /// penalty. Default 2.
+    pub gamma: f64,
+    /// Domain-coverage threshold η (Appendix A): coverage up to η is not
+    /// penalized. Default 0.4.
+    pub eta: f64,
+    /// Association-strength threshold τa: derived filters with θ < τa are
+    /// insignificant (α = 0). Default 5.
+    pub tau_a: u64,
+    /// Skewness threshold τs for the outlier impact λ (Appendix B).
+    /// `None` disables the outlier test entirely (λ = 1 everywhere),
+    /// matching the "τs = N/A" configuration of Figure 26. Default 2.0.
+    pub tau_s: Option<f64>,
+    /// Outlier constant k in the mean/standard-deviation rule
+    /// `(θ − mean) > k·σ` (Appendix B). Default 2.0.
+    pub outlier_k: f64,
+    /// Use normalized association strength (the fraction of an entity's
+    /// associations, §7.4 case studies) instead of raw counts.
+    pub normalize_association: bool,
+    /// When normalizing, the minimum share used in place of τa (raw τa still
+    /// gates noise). Default 0.5.
+    pub min_frac: f64,
+    /// Allow disjunctive categorical filters (paper footnote 7): when the
+    /// examples do not share a single value but use at most
+    /// `disjunction_limit` distinct values, emit an `IN` filter.
+    pub allow_disjunction: bool,
+    /// Maximum number of values in a disjunctive filter.
+    pub disjunction_limit: usize,
+    /// Upper bound on exhaustive disambiguation combinations before falling
+    /// back to the greedy strategy.
+    pub max_disambiguation_combinations: usize,
+    /// Entity disambiguation on/off (Figure 12's "w/ DA" vs "w/o DA";
+    /// disabled picks the first candidate mapping for each example).
+    pub disambiguate: bool,
+}
+
+impl Default for SquidParams {
+    fn default() -> Self {
+        SquidParams {
+            rho: 0.1,
+            gamma: 2.0,
+            eta: 0.4,
+            tau_a: 5,
+            tau_s: Some(2.0),
+            outlier_k: 2.0,
+            normalize_association: false,
+            min_frac: 0.5,
+            allow_disjunction: false,
+            disjunction_limit: 3,
+            max_disambiguation_combinations: 4096,
+            disambiguate: true,
+        }
+    }
+}
+
+impl SquidParams {
+    /// Optimistic preset for the query-reverse-engineering mode (§7.5,
+    /// Appendix E): high filter prior, low association-strength threshold,
+    /// no coverage penalty, no outlier pruning — keep every consistent
+    /// filter, since in the closed world nothing is coincidental.
+    pub fn optimistic() -> Self {
+        SquidParams {
+            rho: 0.9,
+            gamma: 0.0,
+            tau_a: 1,
+            tau_s: None,
+            ..Default::default()
+        }
+    }
+
+    /// Case-study preset (§7.4): normalized association strength.
+    pub fn normalized() -> Self {
+        SquidParams {
+            normalize_association: true,
+            tau_a: 2,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_figure21() {
+        let p = SquidParams::default();
+        assert_eq!(p.rho, 0.1);
+        assert_eq!(p.gamma, 2.0);
+        assert_eq!(p.tau_a, 5);
+        assert_eq!(p.tau_s, Some(2.0));
+    }
+
+    #[test]
+    fn optimistic_preset_keeps_filters() {
+        let p = SquidParams::optimistic();
+        assert!(p.rho > 0.5);
+        assert_eq!(p.tau_a, 1);
+        assert!(p.tau_s.is_none());
+        assert_eq!(p.gamma, 0.0);
+    }
+
+    #[test]
+    fn normalized_preset_enables_fractions() {
+        assert!(SquidParams::normalized().normalize_association);
+    }
+}

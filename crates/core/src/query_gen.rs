@@ -1,0 +1,280 @@
+//! Turning an abduced filter set ϕ into executable queries (Section 6.2):
+//! the SPJAI form over the original database, the SPJ form over the αDB's
+//! materialized derived relations (Example 2.2), and a direct evaluation
+//! path against the αDB's per-entity statistics.
+
+use std::collections::BTreeSet;
+
+use squid_adb::{EntityProps, PropKind};
+use squid_engine::{PathStep, Pred, Query, QueryBlock, SemiJoin};
+use squid_relation::{RowId, Value};
+
+use crate::filter::{CandidateFilter, FilterValue};
+
+/// Build the SPJAI query over the ORIGINAL database expressing the base
+/// query plus the chosen filters. Normalized (fraction) filters cannot be
+/// expressed in this query class and are skipped (callers evaluate them via
+/// [`evaluate`]); the returned flag reports whether any were skipped.
+pub fn original_query(
+    entity: &EntityProps,
+    filters: &[CandidateFilter],
+    projection: &str,
+) -> (Query, bool) {
+    let mut block = QueryBlock::new(&entity.table);
+    let mut skipped_normalized = false;
+    for f in filters {
+        let Some(prop) = entity.property(&f.prop_id) else {
+            continue;
+        };
+        match &f.value {
+            FilterValue::CatEq(v) => match &prop.def.kind {
+                PropKind::DirectCategorical { column } => {
+                    block = block.filter(Pred::eq(column, v.clone()));
+                }
+                _ => {
+                    if let Some(sj) = prop.def.semi_join(&entity.pk_column, v, 1) {
+                        block = block.semi_join(sj);
+                    }
+                }
+            },
+            FilterValue::CatIn(vs) => {
+                if let PropKind::DirectCategorical { column } = &prop.def.kind {
+                    block = block.filter(Pred::in_set(column, vs.clone()));
+                }
+            }
+            FilterValue::NumRange(l, h) => {
+                if let PropKind::DirectNumeric { column } = &prop.def.kind {
+                    block = block.filter(range_pred(column, *l, *h));
+                }
+            }
+            FilterValue::DerivedEq { value, theta } => {
+                if let Some(sj) = prop.def.semi_join(&entity.pk_column, value, *theta) {
+                    block = block.semi_join(sj);
+                }
+            }
+            FilterValue::DerivedGe { cut, theta } => {
+                if let Some(sj) =
+                    prop.def
+                        .semi_join_ge(&entity.pk_column, &num_value(*cut), *theta)
+                {
+                    block = block.semi_join(sj);
+                }
+            }
+            FilterValue::DerivedFrac { .. } => {
+                skipped_normalized = true;
+            }
+        }
+    }
+    (Query::single(block, projection), skipped_normalized)
+}
+
+/// Build the equivalent SPJ query over the αDB (derived relations replace
+/// the aggregation joins, Example 2.2). Returns `None` when a chosen filter
+/// has no αDB-expressible form (normalized fractions, or derived relations
+/// that were not materialized).
+pub fn adb_query(
+    entity: &EntityProps,
+    filters: &[CandidateFilter],
+    projection: &str,
+) -> Option<Query> {
+    let mut block = QueryBlock::new(&entity.table);
+    for f in filters {
+        let prop = entity.property(&f.prop_id)?;
+        match &f.value {
+            FilterValue::CatEq(v) => match &prop.def.kind {
+                PropKind::DirectCategorical { column } => {
+                    block = block.filter(Pred::eq(column, v.clone()));
+                }
+                _ => {
+                    let sj = prop.def.semi_join(&entity.pk_column, v, 1)?;
+                    block = block.semi_join(sj);
+                }
+            },
+            FilterValue::CatIn(vs) => {
+                if let PropKind::DirectCategorical { column } = &prop.def.kind {
+                    block = block.filter(Pred::in_set(column, vs.clone()));
+                } else {
+                    return None;
+                }
+            }
+            FilterValue::NumRange(l, h) => {
+                if let PropKind::DirectNumeric { column } = &prop.def.kind {
+                    block = block.filter(range_pred(column, *l, *h));
+                } else {
+                    return None;
+                }
+            }
+            FilterValue::DerivedEq { value, theta } => {
+                let table = prop.derived_table.as_deref()?;
+                block = block.semi_join(SemiJoin::exists(vec![PathStep::new(
+                    table,
+                    &entity.pk_column,
+                    "entity_id",
+                )
+                .filter(Pred::eq("value", value.clone()))
+                .filter(Pred::ge("count", Value::Int(*theta as i64)))]));
+            }
+            // Suffix ranges need SUM over derived rows: not expressible as
+            // a single SPJ filter on the materialized relation.
+            FilterValue::DerivedGe { .. } | FilterValue::DerivedFrac { .. } => return None,
+        }
+    }
+    Some(Query::single(block, projection))
+}
+
+/// Evaluate the chosen filters directly against the αDB's per-entity
+/// statistics: the set of qualifying entity rows. This is exact for every
+/// filter kind (including normalized fractions) and is how SQuID returns
+/// result tuples in real time.
+pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> BTreeSet<RowId> {
+    let mut out = BTreeSet::new();
+    'rows: for row in 0..entity.n {
+        for f in filters {
+            let Some(prop) = entity.property(&f.prop_id) else {
+                continue 'rows;
+            };
+            if !f.matches_row(prop, row) {
+                continue 'rows;
+            }
+        }
+        out.insert(row);
+    }
+    out
+}
+
+fn num_value(x: f64) -> Value {
+    if x.fract() == 0.0 && x.abs() < i64::MAX as f64 {
+        Value::Int(x as i64)
+    } else {
+        Value::Float(x)
+    }
+}
+
+fn range_pred(column: &str, l: f64, h: f64) -> Pred {
+    Pred::between(column, num_value(l), num_value(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::discover_contexts;
+    use crate::params::SquidParams;
+    use squid_adb::{test_fixtures, ADb};
+    use squid_engine::{to_sql, Executor};
+
+    fn comedy_filter(entity: &EntityProps) -> CandidateFilter {
+        let prop = entity
+            .props
+            .iter()
+            .find(|p| matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre"))
+            .unwrap();
+        CandidateFilter {
+            prop_id: prop.def.id.clone(),
+            attr_name: prop.def.attr_name.clone(),
+            value: FilterValue::DerivedEq {
+                value: Value::text("Comedy"),
+                theta: 4,
+            },
+            selectivity: 0.375,
+            coverage: 0.25,
+        }
+    }
+
+    #[test]
+    fn original_and_adb_forms_agree_with_direct_evaluation() {
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        let e = adb.entity("person").unwrap();
+        let filters = vec![comedy_filter(e)];
+
+        let direct = evaluate(e, &filters);
+        assert_eq!(direct.len(), 3); // Jim, Eddie, Robin
+
+        let (orig, skipped) = original_query(e, &filters, "name");
+        assert!(!skipped);
+        let exec = Executor::new(&adb.database);
+        let r_orig = exec.execute(&orig).unwrap();
+        assert_eq!(r_orig.rows, direct);
+
+        let aq = adb_query(e, &filters, "name").expect("αDB form");
+        let r_adb = exec.execute(&aq).unwrap();
+        assert_eq!(r_adb.rows, direct);
+
+        // The αDB form is structurally simpler: fewer joins.
+        assert!(aq.join_predicate_count() < orig.join_predicate_count());
+    }
+
+    #[test]
+    fn basic_filters_become_root_predicates() {
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        let e = adb.entity("person").unwrap();
+        let f = CandidateFilter {
+            prop_id: "person.gender".into(),
+            attr_name: "gender".into(),
+            value: FilterValue::CatEq(Value::text("Male")),
+            selectivity: 0.75,
+            coverage: 0.5,
+        };
+        let (q, _) = original_query(e, &[f], "name");
+        assert_eq!(q.join_predicate_count(), 0);
+        assert_eq!(q.selection_predicate_count(), 1);
+        assert!(to_sql(&q).contains("t0.gender = 'Male'"));
+    }
+
+    #[test]
+    fn normalized_filters_skip_sql_but_evaluate() {
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        let e = adb.entity("person").unwrap();
+        let prop = e
+            .props
+            .iter()
+            .find(|p| matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre"))
+            .unwrap();
+        let f = CandidateFilter {
+            prop_id: prop.def.id.clone(),
+            attr_name: prop.def.attr_name.clone(),
+            value: FilterValue::DerivedFrac {
+                value: Value::text("Comedy"),
+                frac: 0.9,
+                raw_theta: 4,
+            },
+            selectivity: 0.3,
+            coverage: 0.25,
+        };
+        let (_, skipped) = original_query(e, std::slice::from_ref(&f), "name");
+        assert!(skipped);
+        assert!(adb_query(e, std::slice::from_ref(&f), "name").is_none());
+        let rows = evaluate(e, &[f]);
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn evaluation_matches_contexts_for_examples() {
+        // Whatever contexts are discovered from the examples, the examples
+        // themselves must satisfy all of them (Lemma 3.1).
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        let e = adb.entity("person").unwrap();
+        let rows = vec![e.pk_to_row[&1], e.pk_to_row[&2]];
+        let filters = discover_contexts(e, &rows, &SquidParams::default());
+        let result = evaluate(e, &filters);
+        for r in &rows {
+            assert!(result.contains(r));
+        }
+    }
+
+    #[test]
+    fn numeric_range_renders_between() {
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        let e = adb.entity("person").unwrap();
+        let f = CandidateFilter {
+            prop_id: "person.birth_year".into(),
+            attr_name: "birth_year".into(),
+            value: FilterValue::NumRange(1961.0, 1962.0),
+            selectivity: 0.25,
+            coverage: 0.1,
+        };
+        let (q, _) = original_query(e, &[f], "name");
+        assert!(to_sql(&q).contains("BETWEEN 1961 AND 1962"));
+        let exec = Executor::new(&adb.database);
+        assert_eq!(exec.execute(&q).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Example recommendation — one of the paper's "future directions"
+//! (Section 9: "example recommendation to increase sample diversity and
+//! improve abduction").
+//!
+//! After a discovery, some filters are *uncertain*: their include and
+//! exclude scores are close, so a few more examples could flip them. The
+//! most informative next example is a tuple from the current result that
+//! **violates** uncertain excluded filters or **fails to pin down**
+//! uncertain included ones: if the user confirms such a tuple as a valid
+//! example, the contested filter is refuted (it would no longer be valid);
+//! if the user rejects it, the filter gains support. We rank candidate
+//! tuples by the total uncertainty mass they would resolve.
+
+use squid_adb::EntityProps;
+use squid_relation::RowId;
+
+use crate::abduce::ScoredFilter;
+use crate::squid::Discovery;
+
+/// A recommended next example with its diagnostic score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Entity row to show the user.
+    pub row: RowId,
+    /// Total uncertainty mass this tuple would resolve if labeled.
+    pub score: f64,
+    /// Ids of the contested filters this tuple discriminates.
+    pub discriminates: Vec<String>,
+}
+
+/// How contested a decision is: 1 when include and exclude scores tie,
+/// approaching 0 for confident decisions.
+pub fn uncertainty(s: &ScoredFilter) -> f64 {
+    let hi = s.include_score.max(s.exclude_score);
+    let lo = s.include_score.min(s.exclude_score);
+    if hi <= 0.0 {
+        0.0
+    } else {
+        lo / hi
+    }
+}
+
+/// Rank the `k` most informative next examples among the discovery's
+/// current result rows (excluding the rows already given as examples).
+///
+/// A candidate tuple discriminates a contested filter iff it does *not*
+/// satisfy it: asking the user about that tuple directly tests whether the
+/// filter belongs to the intent.
+pub fn recommend_examples(
+    entity: &EntityProps,
+    discovery: &Discovery,
+    k: usize,
+    min_uncertainty: f64,
+) -> Vec<Recommendation> {
+    let contested: Vec<&ScoredFilter> = discovery
+        .scored
+        .iter()
+        .filter(|s| uncertainty(s) >= min_uncertainty)
+        .collect();
+    if contested.is_empty() {
+        return Vec::new();
+    }
+    let mut recs: Vec<Recommendation> = Vec::new();
+    for &row in &discovery.rows {
+        if discovery.example_rows.contains(&row) {
+            continue;
+        }
+        let mut score = 0.0;
+        let mut discriminates = Vec::new();
+        for s in &contested {
+            let Some(prop) = entity.property(&s.filter.prop_id) else {
+                continue;
+            };
+            if !s.filter.matches_row(prop, row) {
+                score += uncertainty(s);
+                discriminates.push(s.filter.prop_id.clone());
+            }
+        }
+        if score > 0.0 {
+            recs.push(Recommendation {
+                row,
+                score,
+                discriminates,
+            });
+        }
+    }
+    recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.row.cmp(&b.row)));
+    recs.truncate(k);
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SquidParams;
+    use crate::squid::Squid;
+    use squid_adb::{test_fixtures, ADb};
+
+    fn discovery() -> (ADb, Discovery) {
+        let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+        let d = {
+            let squid = Squid::with_params(
+                &adb,
+                SquidParams {
+                    tau_a: 2,
+                    ..SquidParams::default()
+                },
+            );
+            squid.discover(&["Jim Carrey", "Eddie Murphy"]).unwrap()
+        };
+        (adb, d)
+    }
+
+    #[test]
+    fn uncertainty_peaks_at_ties() {
+        let (_, d) = discovery();
+        for s in &d.scored {
+            let u = uncertainty(s);
+            assert!((0.0..=1.0).contains(&u), "{u}");
+            if (s.include_score - s.exclude_score).abs() < 1e-15 {
+                assert!((u - 1.0).abs() < 1e-9 || s.include_score == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn recommendations_come_from_result_minus_examples() {
+        let (adb, d) = discovery();
+        let entity = adb.entity("person").unwrap();
+        let recs = recommend_examples(entity, &d, 5, 0.0);
+        for r in &recs {
+            assert!(d.rows.contains(&r.row));
+            assert!(!d.example_rows.contains(&r.row));
+            assert!(r.score > 0.0);
+            assert!(!r.discriminates.is_empty());
+        }
+    }
+
+    #[test]
+    fn high_threshold_yields_nothing() {
+        let (adb, d) = discovery();
+        let entity = adb.entity("person").unwrap();
+        // No decision is ever *perfectly* contested here.
+        let recs = recommend_examples(entity, &d, 5, 1.1);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn recommendations_are_ranked_and_bounded() {
+        let (adb, d) = discovery();
+        let entity = adb.entity("person").unwrap();
+        let recs = recommend_examples(entity, &d, 2, 0.0);
+        assert!(recs.len() <= 2);
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

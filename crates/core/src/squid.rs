@@ -1,0 +1,370 @@
+//! The end-to-end SQuID API (Figure 4's online "query intent discovery"
+//! module): entity lookup & disambiguation → semantic context discovery →
+//! query abduction → executable query + result tuples.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use squid_adb::ADb;
+use squid_engine::Query;
+use squid_relation::{DataType, RowId, TableRole};
+
+use crate::abduce::{abduce, ScoredFilter};
+use crate::context::discover_contexts;
+use crate::disambiguate::{disambiguate, similarity_score};
+use crate::error::SquidError;
+use crate::filter::CandidateFilter;
+use crate::params::SquidParams;
+use crate::query_gen::{adb_query, evaluate, original_query};
+
+/// The outcome of one query intent discovery run.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// Entity table the examples resolved to.
+    pub entity_table: String,
+    /// Projected column (the one containing the example values).
+    pub projection_column: String,
+    /// Resolved example entity rows (after disambiguation).
+    pub example_rows: Vec<RowId>,
+    /// Every candidate filter with its abduction decision and scores.
+    pub scored: Vec<ScoredFilter>,
+    /// The abduced SPJAI query over the original database.
+    pub query: Query,
+    /// The equivalent SPJ query over the αDB, when expressible.
+    pub adb_query: Option<Query>,
+    /// Result rows (entity row ids) of the abduced query, evaluated
+    /// directly against the αDB statistics.
+    pub rows: BTreeSet<RowId>,
+    /// Online abduction time (entity lookup through query generation).
+    pub elapsed: Duration,
+}
+
+impl Discovery {
+    /// The filters Algorithm 1 chose to include.
+    pub fn chosen_filters(&self) -> Vec<&CandidateFilter> {
+        self.scored
+            .iter()
+            .filter(|s| s.included)
+            .map(|s| &s.filter)
+            .collect()
+    }
+
+    /// SQL rendering of the abduced query.
+    pub fn sql(&self) -> String {
+        squid_engine::to_sql(&self.query)
+    }
+}
+
+/// Semantic similarity-aware query intent discovery.
+pub struct Squid<'a> {
+    adb: &'a ADb,
+    params: SquidParams,
+}
+
+impl<'a> Squid<'a> {
+    /// New instance with default parameters.
+    pub fn new(adb: &'a ADb) -> Self {
+        Squid {
+            adb,
+            params: SquidParams::default(),
+        }
+    }
+
+    /// New instance with explicit parameters.
+    pub fn with_params(adb: &'a ADb, params: SquidParams) -> Self {
+        Squid { adb, params }
+    }
+
+    /// Current parameters.
+    pub fn params(&self) -> &SquidParams {
+        &self.params
+    }
+
+    /// Discover the most likely query intent behind `examples`
+    /// (single-column string values, e.g. person names).
+    ///
+    /// The projection target is inferred via the inverted column index: the
+    /// candidate `(entity table, text column)` pairs containing *all*
+    /// examples, ranked by the semantic similarity of their disambiguated
+    /// entities (a rare coherent match beats a scattered one).
+    pub fn discover(&self, examples: &[&str]) -> Result<Discovery, SquidError> {
+        if examples.is_empty() {
+            return Err(SquidError::EmptyExamples);
+        }
+        let started = Instant::now();
+        let candidates = self.candidate_targets(examples);
+        if candidates.is_empty() {
+            return Err(SquidError::NoMatchingColumn {
+                examples: examples.iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        // Rank candidate targets by resolved-entity similarity.
+        let mut best: Option<(f64, String, usize, Vec<RowId>)> = None;
+        for (table, column) in candidates {
+            let Ok(rows) = self.resolve_examples(&table, column, examples) else {
+                continue;
+            };
+            let entity = self.adb.entity(&table).expect("entity exists");
+            let score = similarity_score(entity, &rows);
+            if best
+                .as_ref()
+                .is_none_or(|(b, _, _, _)| score > *b)
+            {
+                best = Some((score, table, column, rows));
+            }
+        }
+        let Some((_, table, column, rows)) = best else {
+            return Err(SquidError::NoMatchingColumn {
+                examples: examples.iter().map(|s| s.to_string()).collect(),
+            });
+        };
+        self.finish(started, &table, column, rows)
+    }
+
+    /// Discover with an explicit projection target `table.column`
+    /// (skips target inference).
+    pub fn discover_on(
+        &self,
+        table: &str,
+        column: &str,
+        examples: &[&str],
+    ) -> Result<Discovery, SquidError> {
+        if examples.is_empty() {
+            return Err(SquidError::EmptyExamples);
+        }
+        let started = Instant::now();
+        let entity = self
+            .adb
+            .entity(table)
+            .ok_or_else(|| SquidError::UnknownTarget {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let ci = self
+            .adb
+            .database
+            .table(table)?
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| SquidError::UnknownTarget {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let _ = entity;
+        let rows = self.resolve_examples(table, ci, examples)?;
+        self.finish(started, table, ci, rows)
+    }
+
+    /// Candidate `(entity table, column)` targets containing all examples.
+    fn candidate_targets(&self, examples: &[&str]) -> Vec<(String, usize)> {
+        self.adb
+            .inverted
+            .columns_containing_all(examples)
+            .into_iter()
+            .filter(|(t, _)| {
+                self.adb.entity(t).is_some()
+                    && self
+                        .adb
+                        .database
+                        .table(t)
+                        .map(|tab| tab.schema().role == TableRole::Entity)
+                        .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Resolve examples to entity rows in a fixed target, disambiguating
+    /// multi-matches.
+    fn resolve_examples(
+        &self,
+        table: &str,
+        column: usize,
+        examples: &[&str],
+    ) -> Result<Vec<RowId>, SquidError> {
+        let entity = self
+            .adb
+            .entity(table)
+            .ok_or_else(|| SquidError::UnknownTarget {
+                table: table.to_string(),
+                column: format!("#{column}"),
+            })?;
+        let mut candidates: Vec<Vec<RowId>> = Vec::with_capacity(examples.len());
+        for ex in examples {
+            let rows = self.adb.inverted.lookup_in(ex, table, column);
+            if rows.is_empty() {
+                return Err(SquidError::EntityNotFound {
+                    example: ex.to_string(),
+                    table: table.to_string(),
+                });
+            }
+            candidates.push(rows);
+        }
+        if !self.params.disambiguate {
+            return Ok(candidates.iter().map(|c| c[0]).collect());
+        }
+        Ok(disambiguate(entity, &candidates, &self.params))
+    }
+
+    fn finish(
+        &self,
+        started: Instant,
+        table: &str,
+        column: usize,
+        mut rows: Vec<RowId>,
+    ) -> Result<Discovery, SquidError> {
+        let entity = self.adb.entity(table).expect("entity exists");
+        // Duplicate example strings may resolve to the same entity.
+        rows.sort_unstable();
+        rows.dedup();
+        let candidates = discover_contexts(entity, &rows, &self.params);
+        let scored = abduce(candidates, rows.len(), &self.params);
+        let chosen: Vec<CandidateFilter> = scored
+            .iter()
+            .filter(|s| s.included)
+            .map(|s| s.filter.clone())
+            .collect();
+        let schema = self.adb.database.table(table)?.schema().clone();
+        let projection_column = schema.columns[column].name.clone();
+        let (query, _) = original_query(entity, &chosen, &projection_column);
+        let adb_q = adb_query(entity, &chosen, &projection_column);
+        let result_rows = evaluate(entity, &chosen);
+        Ok(Discovery {
+            entity_table: table.to_string(),
+            projection_column,
+            example_rows: rows,
+            scored,
+            query,
+            adb_query: adb_q,
+            rows: result_rows,
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+/// Ensure text columns exist for target inference (compile-time helper used
+/// in tests; text columns are the only valid example carriers).
+pub fn is_text_column(dtype: DataType) -> bool {
+    dtype == DataType::Text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squid_adb::test_fixtures::{figure6_db, mini_imdb};
+
+    #[test]
+    fn discovers_comedy_actor_intent() {
+        // Example 1.3 in miniature: funny actors share an unusually high
+        // comedy count; Male/USA are common and must be dropped.
+        let db = mini_imdb();
+        let adb = ADb::build(&db).unwrap();
+        let params = SquidParams {
+            tau_a: 3, // the mini dataset's counts are small
+            ..SquidParams::default()
+        };
+        let squid = Squid::with_params(&adb, params);
+        let d = squid
+            .discover(&["Jim Carrey", "Eddie Murphy", "Robin Williams"])
+            .unwrap();
+        assert_eq!(d.entity_table, "person");
+        assert_eq!(d.projection_column, "name");
+        assert_eq!(d.example_rows.len(), 3);
+        let chosen = d.chosen_filters();
+        assert!(
+            chosen
+                .iter()
+                .any(|f| f.describe().contains("Comedy")),
+            "comedy filter expected among {:?}",
+            chosen.iter().map(|f| f.describe()).collect::<Vec<_>>()
+        );
+        // The generic contexts are dropped: gender=Male covers 6/8 persons.
+        assert!(chosen.iter().all(|f| f.attr_name != "gender"));
+        // The result contains exactly the three comedy actors.
+        assert_eq!(d.rows.len(), 3);
+        assert!(d.sql().contains("Comedy"));
+    }
+
+    #[test]
+    fn figure6_examples_yield_ranges_but_drop_common_gender() {
+        let db = figure6_db();
+        let adb = ADb::build(&db).unwrap();
+        let squid = Squid::new(&adb);
+        let d = squid.discover(&["Tom Cruise", "Clint Eastwood"]).unwrap();
+        // φ⟨gender,Male,⊥⟩ has ψ=1/2, φ⟨age,[50,90],⊥⟩ ψ=5/6: with two
+        // examples neither is convincing under ρ=0.1 → near-generic query.
+        for s in &d.scored {
+            if s.filter.attr_name == "age" {
+                assert!(!s.included);
+            }
+        }
+        assert!(d.rows.len() >= 2);
+    }
+
+    #[test]
+    fn unknown_example_errors() {
+        let adb = ADb::build(&mini_imdb()).unwrap();
+        let squid = Squid::new(&adb);
+        let err = squid.discover(&["No Such Person"]).unwrap_err();
+        assert!(matches!(err, SquidError::NoMatchingColumn { .. }));
+    }
+
+    #[test]
+    fn empty_examples_error() {
+        let adb = ADb::build(&mini_imdb()).unwrap();
+        let squid = Squid::new(&adb);
+        assert_eq!(squid.discover(&[]).unwrap_err(), SquidError::EmptyExamples);
+    }
+
+    #[test]
+    fn discover_on_fixed_target() {
+        let adb = ADb::build(&mini_imdb()).unwrap();
+        let squid = Squid::new(&adb);
+        let d = squid
+            .discover_on("person", "name", &["Jim Carrey", "Eddie Murphy"])
+            .unwrap();
+        assert_eq!(d.entity_table, "person");
+        let err = squid
+            .discover_on("person", "nope", &["Jim Carrey"])
+            .unwrap_err();
+        assert!(matches!(err, SquidError::UnknownTarget { .. }));
+        let err = squid
+            .discover_on("person", "name", &["No Such Person"])
+            .unwrap_err();
+        assert!(matches!(err, SquidError::EntityNotFound { .. }));
+    }
+
+    #[test]
+    fn duplicate_examples_deduplicate() {
+        let adb = ADb::build(&mini_imdb()).unwrap();
+        let squid = Squid::new(&adb);
+        let d = squid
+            .discover_on("person", "name", &["Jim Carrey", "Jim Carrey"])
+            .unwrap();
+        assert_eq!(d.example_rows.len(), 1);
+    }
+
+    #[test]
+    fn examples_always_in_result() {
+        // E ⊆ Q(D): Definition 2.1's hard constraint.
+        let adb = ADb::build(&mini_imdb()).unwrap();
+        let squid = Squid::new(&adb);
+        for exs in [
+            vec!["Jim Carrey", "Eddie Murphy"],
+            vec!["Sylvester Stallone", "Arnold Schwarzenegger"],
+            vec!["Julia Roberts", "Emma Stone"],
+        ] {
+            let d = squid.discover(&exs).unwrap();
+            for r in &d.example_rows {
+                assert!(d.rows.contains(r), "examples must satisfy Qϕ");
+            }
+        }
+    }
+
+    #[test]
+    fn elapsed_is_recorded() {
+        let adb = ADb::build(&mini_imdb()).unwrap();
+        let squid = Squid::new(&adb);
+        let d = squid.discover(&["Jim Carrey", "Eddie Murphy"]).unwrap();
+        assert!(d.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Seeded synthetic DBLP-like dataset (substitute for the paper's 22 MB
+//! DBLP subset: 81 conferences, 2000–2015).
+//!
+//! Schema:
+//!
+//! * `author(id, name, country)` — entity
+//! * `publication(id, title, year)` — entity
+//! * `venue(id, name)` — property
+//! * `writes(author_id, pub_id)` — fact
+//! * `pubtovenue(pub_id, venue_id)` — fact
+//!
+//! Authors have heavy-tailed productivity and venue loyalty (database
+//! people publish in database venues), which is what DQ1/DQ2's intents
+//! ("authors with ≥ k SIGMOD papers") rely on.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+
+use crate::rng_util::{power_law, weighted_index};
+
+/// Venue names with popularity weights. The first two are the database
+/// flagships used by DQ1–DQ3.
+pub const VENUES: &[(&str, f64)] = &[
+    ("SIGMOD", 0.10),
+    ("VLDB", 0.10),
+    ("ICDE", 0.08),
+    ("KDD", 0.08),
+    ("SIGIR", 0.06),
+    ("WWW", 0.06),
+    ("AAAI", 0.08),
+    ("IJCAI", 0.07),
+    ("NIPS", 0.08),
+    ("ICML", 0.07),
+    ("SOSP", 0.03),
+    ("OSDI", 0.03),
+    ("PODS", 0.03),
+    ("CIKM", 0.05),
+    ("EDBT", 0.04),
+    ("ICDT", 0.02),
+    ("STOC", 0.01),
+    ("FOCS", 0.01),
+];
+
+/// Author countries with weights.
+pub const AUTHOR_COUNTRIES: &[(&str, f64)] = &[
+    ("USA", 0.40),
+    ("China", 0.15),
+    ("Germany", 0.08),
+    ("Canada", 0.07),
+    ("UK", 0.07),
+    ("India", 0.06),
+    ("France", 0.05),
+    ("Italy", 0.04),
+    ("Japan", 0.04),
+    ("Australia", 0.04),
+];
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of authors.
+    pub authors: usize,
+    /// Number of publications.
+    pub publications: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            authors: 3_000,
+            publications: 9_000,
+            seed: 0xDB19,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// Small preset for unit tests.
+    pub fn tiny() -> Self {
+        DblpConfig {
+            authors: 300,
+            publications: 900,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate the synthetic DBLP database.
+pub fn generate_dblp(config: &DblpConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+
+    db.create_table(
+        TableSchema::new(
+            "author",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("country", DataType::Text),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "publication",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("year", DataType::Int),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "venue",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+        )
+        .with_primary_key("id")
+        .with_role(TableRole::Property),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "writes",
+            vec![
+                Column::new("author_id", DataType::Int),
+                Column::new("pub_id", DataType::Int),
+            ],
+        )
+        .with_role(TableRole::Fact)
+        .with_foreign_key("author_id", "author", 0)
+        .with_foreign_key("pub_id", "publication", 0),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "pubtovenue",
+            vec![
+                Column::new("pub_id", DataType::Int),
+                Column::new("venue_id", DataType::Int),
+            ],
+        )
+        .with_role(TableRole::Fact)
+        .with_foreign_key("pub_id", "publication", 0)
+        .with_foreign_key("venue_id", "venue", 0),
+    )
+    .unwrap();
+    db.meta.exclude("author", "name");
+    db.meta.exclude("publication", "title");
+
+    for (i, (v, _)) in VENUES.iter().enumerate() {
+        db.insert("venue", vec![Value::Int(i as i64), Value::text(v)])
+            .unwrap();
+    }
+
+    // Publications with venue assignment; bucket by venue for the loyalty
+    // sampling below.
+    let venue_weights: Vec<f64> = VENUES.iter().map(|(_, w)| *w).collect();
+    let mut pubs_by_venue: Vec<Vec<i64>> = vec![Vec::new(); VENUES.len()];
+    for p in 0..config.publications as i64 {
+        let year = rng.random_range(2000..=2015);
+        let venue = weighted_index(&mut rng, &venue_weights);
+        db.insert(
+            "publication",
+            vec![
+                Value::Int(p),
+                Value::text(format!("On the Theory of Things {p:06}")),
+                Value::Int(year),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "pubtovenue",
+            vec![Value::Int(p), Value::Int(venue as i64)],
+        )
+        .unwrap();
+        pubs_by_venue[venue].push(p);
+    }
+
+    // Authors with heavy-tailed productivity and venue loyalty. The first
+    // dozens are "database people" anchored to SIGMOD/VLDB so that DQ1/DQ2
+    // have non-trivial answers.
+    let country_weights: Vec<f64> = AUTHOR_COUNTRIES.iter().map(|(_, w)| *w).collect();
+    for a in 0..config.authors as i64 {
+        let country = AUTHOR_COUNTRIES[weighted_index(&mut rng, &country_weights)].0;
+        db.insert(
+            "author",
+            vec![
+                Value::Int(a),
+                Value::text(format!("Author {a:05}")),
+                Value::text(country),
+            ],
+        )
+        .unwrap();
+        let is_db_person = (a as usize) < config.authors / 25;
+        let productivity = if is_db_person {
+            rng.random_range(25..=60)
+        } else {
+            power_law(&mut rng, 0.9, 80)
+        };
+        let home_venue = if is_db_person {
+            // Split the community between the two flagships.
+            if a % 2 == 0 {
+                0 // SIGMOD
+            } else {
+                1 // VLDB
+            }
+        } else {
+            weighted_index(&mut rng, &venue_weights)
+        };
+        let loyalty = if is_db_person { 0.55 } else { 0.6 };
+        let mut seen: HashSet<i64> = HashSet::new();
+        for _ in 0..productivity {
+            let p = if rng.random_bool(loyalty) && !pubs_by_venue[home_venue].is_empty() {
+                *crate::rng_util::choose(&mut rng, &pubs_by_venue[home_venue])
+            } else if is_db_person && rng.random_bool(0.6) {
+                // DB people also publish in the sibling flagship.
+                let other = 1 - home_venue;
+                *crate::rng_util::choose(&mut rng, &pubs_by_venue[other])
+            } else {
+                rng.random_range(0..config.publications as i64)
+            };
+            if seen.insert(p) {
+                db.insert("writes", vec![Value::Int(a), Value::Int(p)])
+                    .unwrap();
+            }
+        }
+    }
+
+    db.validate().expect("generated schema is valid");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = DblpConfig::tiny();
+        let a = generate_dblp(&cfg);
+        let b = generate_dblp(&cfg);
+        assert_eq!(a.table("writes").unwrap().len(), b.table("writes").unwrap().len());
+        assert_eq!(a.table("author").unwrap().len(), cfg.authors);
+        assert_eq!(a.table("publication").unwrap().len(), cfg.publications);
+    }
+
+    #[test]
+    fn db_community_is_prolific_in_flagships() {
+        let cfg = DblpConfig::tiny();
+        let db = generate_dblp(&cfg);
+        // Count SIGMOD/VLDB papers of author 0 (a planted DB person).
+        let writes = db.table("writes").unwrap();
+        let ptv = db.table("pubtovenue").unwrap();
+        let venue_of: std::collections::HashMap<i64, i64> = ptv
+            .iter()
+            .map(|(_, r)| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        let count = writes
+            .iter()
+            .filter(|(_, r)| r[0].as_int() == Some(0))
+            .filter(|(_, r)| {
+                let v = venue_of[&r[1].as_int().unwrap()];
+                v == 0 || v == 1
+            })
+            .count();
+        assert!(count >= 10, "planted DB person has {count} flagship papers");
+    }
+
+    #[test]
+    fn years_in_range() {
+        let db = generate_dblp(&DblpConfig::tiny());
+        for (_, r) in db.table("publication").unwrap().iter() {
+            let y = r[2].as_int().unwrap();
+            assert!((2000..=2015).contains(&y));
+        }
+    }
+}

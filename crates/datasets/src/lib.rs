@@ -1,0 +1,24 @@
+//! # squid-datasets
+//!
+//! Seeded synthetic datasets and benchmark workloads reproducing the shape
+//! of the SQuID paper's evaluation data: an IMDb-like database (with
+//! sm/bs/bd scaling variants per Appendix D.1), a DBLP-like database, the
+//! Adult census table, the IQ1-IQ16 / DQ1-DQ5 / AQ01-AQ20 benchmark query
+//! suites (Figures 19, 20, 22), and the three case studies of §7.4.
+//!
+//! Everything is deterministic given the configured seed.
+
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod case_studies;
+pub mod dblp;
+pub mod imdb;
+pub mod queries;
+pub mod rng_util;
+
+pub use adult::{generate_adult, AdultConfig};
+pub use case_studies::{funny_actors, prolific_db_researchers, scifi_2000s, CaseStudy};
+pub use dblp::{generate_dblp, DblpConfig};
+pub use imdb::{generate_imdb, generate_imdb_variant, ImdbConfig, ImdbVariant};
+pub use queries::{adult_queries, dblp_queries, imdb_queries, BenchmarkQuery};

@@ -1,0 +1,84 @@
+//! Small deterministic sampling helpers shared by the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample an index according to (unnormalized) weights.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Sample from a bounded discrete power law on `[1, max]`:
+/// `P(k) ∝ k^(-alpha)` approximated by inverse-transform sampling of the
+/// continuous Pareto, then clamped. Produces the heavy-tailed career /
+/// productivity sizes the IMDb and DBLP generators rely on.
+pub fn power_law(rng: &mut StdRng, alpha: f64, max: u64) -> u64 {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    let x = u.powf(-1.0 / alpha);
+    (x.floor() as u64).clamp(1, max)
+}
+
+/// Choose one element of a slice uniformly.
+pub fn choose<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights = [0.9, 0.1];
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert!(counts[0] > 8_000, "{counts:?}");
+        assert!(counts[1] > 300, "{counts:?}");
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<u64> = (0..20_000).map(|_| power_law(&mut rng, 1.2, 100)).collect();
+        assert!(samples.iter().all(|&s| (1..=100).contains(&s)));
+        let ones = samples.iter().filter(|&&s| s == 1).count();
+        let big = samples.iter().filter(|&&s| s >= 50).count();
+        assert!(ones > samples.len() / 3, "mass at 1: {ones}");
+        assert!(big > 10, "a tail must exist: {big}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| power_law(&mut rng, 1.1, 80)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| power_law(&mut rng, 1.1, 80)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(choose(&mut rng, &items)));
+        }
+    }
+}

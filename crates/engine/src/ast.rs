@@ -1,0 +1,315 @@
+//! Query representation for the SPJAI class the paper targets
+//! (select-project-join with optional group-by count aggregation and
+//! intersection, Section 2.1 footnote 6).
+//!
+//! A [`Query`] is an intersection of [`QueryBlock`]s over the same root
+//! entity table. Each block filters the root rows by local conjunctive
+//! predicates and by *semi-join constraints*: key-foreign-key join paths
+//! (chains of fact/attribute tables) that must match at least `min_count`
+//! times — `min_count = 1` is a plain semi-join, `min_count = k` expresses
+//! `GROUP BY root HAVING count(*) >= k`.
+
+use squid_relation::Value;
+
+/// Comparison operator for selection predicates. The paper limits selections
+/// to `attribute OP value` with `OP ∈ {=, >=, <=}`; `Between` and `In` are
+/// the conjunctive range / disjunctive categorical forms SQuID emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmpOp {
+    /// `attr = value`.
+    Eq,
+    /// `attr >= value`.
+    Ge,
+    /// `attr <= value`.
+    Le,
+    /// `low <= attr <= high` (one predicate in the paper's counting).
+    Between(Value, Value),
+    /// `attr IN (v1, v2, ...)` — disjunction over categorical values
+    /// (paper footnote 7).
+    In(Vec<Value>),
+}
+
+/// One selection predicate on a named column of the table it is attached to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Column name within the owning table.
+    pub column: String,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Right-hand value for `Eq`/`Ge`/`Le`; ignored for `Between`/`In`
+    /// (which carry their operands inline).
+    pub value: Value,
+}
+
+impl Pred {
+    /// `column = value`.
+    pub fn eq(column: &str, value: impl Into<Value>) -> Self {
+        Pred {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `column >= value`.
+    pub fn ge(column: &str, value: impl Into<Value>) -> Self {
+        Pred {
+            column: column.into(),
+            op: CmpOp::Ge,
+            value: value.into(),
+        }
+    }
+
+    /// `column <= value`.
+    pub fn le(column: &str, value: impl Into<Value>) -> Self {
+        Pred {
+            column: column.into(),
+            op: CmpOp::Le,
+            value: value.into(),
+        }
+    }
+
+    /// `low <= column <= high`.
+    pub fn between(column: &str, low: impl Into<Value>, high: impl Into<Value>) -> Self {
+        Pred {
+            column: column.into(),
+            op: CmpOp::Between(low.into(), high.into()),
+            value: Value::Null,
+        }
+    }
+
+    /// `column IN (values)`.
+    pub fn in_set(column: &str, values: Vec<Value>) -> Self {
+        Pred {
+            column: column.into(),
+            op: CmpOp::In(values),
+            value: Value::Null,
+        }
+    }
+
+    /// Does `v` satisfy this predicate? Nulls never match.
+    pub fn matches(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        match &self.op {
+            CmpOp::Eq => v == &self.value,
+            CmpOp::Ge => v >= &self.value,
+            CmpOp::Le => v <= &self.value,
+            CmpOp::Between(lo, hi) => v >= lo && v <= hi,
+            CmpOp::In(set) => set.contains(v),
+        }
+    }
+}
+
+/// One hop of a semi-join path: join the *parent* table's `parent_column`
+/// to this `table`'s `child_column`, then apply local `predicates`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Table visited at this step.
+    pub table: String,
+    /// Column of the parent (root, or previous step's table) on the join.
+    pub parent_column: String,
+    /// Column of `table` equated with the parent column.
+    pub child_column: String,
+    /// Conjunctive local predicates on `table`.
+    pub predicates: Vec<Pred>,
+}
+
+impl PathStep {
+    /// Convenience constructor with no local predicates.
+    pub fn new(table: &str, parent_column: &str, child_column: &str) -> Self {
+        PathStep {
+            table: table.into(),
+            parent_column: parent_column.into(),
+            child_column: child_column.into(),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Attach a local predicate.
+    pub fn filter(mut self, pred: Pred) -> Self {
+        self.predicates.push(pred);
+        self
+    }
+}
+
+/// A semi-join constraint: the join path must produce at least `min_count`
+/// result tuples per root row (counting join multiplicity, exactly like
+/// `GROUP BY root.pk HAVING count(*) >= min_count`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemiJoin {
+    /// Join path from the root (first step joins a root column).
+    pub path: Vec<PathStep>,
+    /// Minimum number of path instantiations (1 = plain semi-join).
+    pub min_count: u64,
+}
+
+impl SemiJoin {
+    /// Plain semi-join (exists at least one match).
+    pub fn exists(path: Vec<PathStep>) -> Self {
+        SemiJoin { path, min_count: 1 }
+    }
+
+    /// `HAVING count(*) >= k` semantics.
+    pub fn at_least(k: u64, path: Vec<PathStep>) -> Self {
+        SemiJoin {
+            path,
+            min_count: k,
+        }
+    }
+}
+
+/// One SPJ block over a root entity table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBlock {
+    /// Root (entity) table.
+    pub root: String,
+    /// Conjunctive predicates on root columns.
+    pub root_predicates: Vec<Pred>,
+    /// Semi-join constraints.
+    pub semi_joins: Vec<SemiJoin>,
+}
+
+impl QueryBlock {
+    /// New block with no constraints (selects all root rows).
+    pub fn new(root: &str) -> Self {
+        QueryBlock {
+            root: root.into(),
+            root_predicates: Vec::new(),
+            semi_joins: Vec::new(),
+        }
+    }
+
+    /// Add a root predicate.
+    pub fn filter(mut self, pred: Pred) -> Self {
+        self.root_predicates.push(pred);
+        self
+    }
+
+    /// Add a semi-join constraint.
+    pub fn semi_join(mut self, sj: SemiJoin) -> Self {
+        self.semi_joins.push(sj);
+        self
+    }
+}
+
+/// A full SPJAI query: intersection of blocks over the same root table,
+/// projecting `projection` (a root column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Intersected blocks; all must share the same root table.
+    pub blocks: Vec<QueryBlock>,
+    /// Projected root column name.
+    pub projection: String,
+}
+
+impl Query {
+    /// Single-block query.
+    pub fn single(block: QueryBlock, projection: &str) -> Self {
+        Query {
+            blocks: vec![block],
+            projection: projection.into(),
+        }
+    }
+
+    /// Intersection of several blocks.
+    pub fn intersect(blocks: Vec<QueryBlock>, projection: &str) -> Self {
+        Query {
+            blocks,
+            projection: projection.into(),
+        }
+    }
+
+    /// Root table name (of the first block).
+    pub fn root(&self) -> &str {
+        &self.blocks[0].root
+    }
+
+    /// Number of join predicates: each path step contributes one
+    /// key-foreign-key equality.
+    pub fn join_predicate_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.semi_joins)
+            .map(|sj| sj.path.len())
+            .sum()
+    }
+
+    /// Number of selection predicates (Between/In count as one each;
+    /// a `min_count > 1` HAVING clause counts as one).
+    pub fn selection_predicate_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| {
+                b.root_predicates.len()
+                    + b.semi_joins
+                        .iter()
+                        .map(|sj| {
+                            sj.path.iter().map(|s| s.predicates.len()).sum::<usize>()
+                                + usize::from(sj.min_count > 1)
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Total predicates, the metric compared against TALOS (Figs 14–15).
+    pub fn total_predicate_count(&self) -> usize {
+        self.join_predicate_count() + self.selection_predicate_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_matching() {
+        assert!(Pred::eq("g", "Male").matches(&Value::text("Male")));
+        assert!(!Pred::eq("g", "Male").matches(&Value::text("Female")));
+        assert!(Pred::ge("age", 50).matches(&Value::Int(50)));
+        assert!(!Pred::ge("age", 50).matches(&Value::Int(49)));
+        assert!(Pred::le("age", 50).matches(&Value::Int(50)));
+        assert!(Pred::between("age", 40, 60).matches(&Value::Int(60)));
+        assert!(!Pred::between("age", 40, 60).matches(&Value::Int(61)));
+        assert!(Pred::in_set("g", vec![Value::text("M"), Value::text("F")])
+            .matches(&Value::text("F")));
+        assert!(!Pred::eq("age", 1).matches(&Value::Null));
+    }
+
+    #[test]
+    fn predicate_counts() {
+        // Shape of Q4 from the paper: person ⋈ castinfo ⋈ movietogenre ⋈
+        // genre[name=Comedy], HAVING count >= 40.
+        let q = Query::single(
+            QueryBlock::new("person").semi_join(SemiJoin::at_least(
+                40,
+                vec![
+                    PathStep::new("castinfo", "id", "person_id"),
+                    PathStep::new("movietogenre", "movie_id", "movie_id"),
+                    PathStep::new("genre", "genre_id", "id")
+                        .filter(Pred::eq("name", "Comedy")),
+                ],
+            )),
+            "name",
+        );
+        assert_eq!(q.join_predicate_count(), 3);
+        assert_eq!(q.selection_predicate_count(), 2); // genre=Comedy + HAVING
+        assert_eq!(q.total_predicate_count(), 5);
+    }
+
+    #[test]
+    fn intersection_counts_all_blocks() {
+        let b = QueryBlock::new("person").filter(Pred::eq("gender", "Male"));
+        let q = Query::intersect(vec![b.clone(), b], "name");
+        assert_eq!(q.selection_predicate_count(), 2);
+        assert_eq!(q.root(), "person");
+    }
+
+    #[test]
+    fn exists_is_min_count_one() {
+        let sj = SemiJoin::exists(vec![PathStep::new("castinfo", "id", "person_id")]);
+        assert_eq!(sj.min_count, 1);
+    }
+}

@@ -1,0 +1,449 @@
+//! Query executor.
+//!
+//! Blocks are evaluated root-first: root rows are filtered by local
+//! predicates, then each semi-join path is folded bottom-up into a
+//! `join-key → tuple count` map, so a whole path costs one scan per step
+//! regardless of root cardinality. Intersection intersects root row-id sets.
+
+use std::collections::{BTreeSet, HashMap};
+
+use squid_relation::{Database, RelationError, Result, RowId, Table, Value};
+
+use crate::ast::{PathStep, Pred, Query, QueryBlock, SemiJoin};
+
+/// Result of executing a [`Query`]: the qualifying root rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Root table the ids refer to.
+    pub root: String,
+    /// Qualifying root row ids (sorted, deduplicated).
+    pub rows: BTreeSet<RowId>,
+}
+
+impl ResultSet {
+    /// Output cardinality (number of result tuples).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows qualify.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Materialize the projected column values in row-id order.
+    pub fn project(&self, db: &Database, column: &str) -> Result<Vec<Value>> {
+        let table = db.table(&self.root)?;
+        let ci = table
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                table: self.root.clone(),
+                column: column.to_string(),
+            })?;
+        Ok(self
+            .rows
+            .iter()
+            .filter_map(|&r| table.cell(r, ci).cloned())
+            .collect())
+    }
+
+    /// Size of the intersection with another result set (same root assumed).
+    pub fn intersection_size(&self, other: &ResultSet) -> usize {
+        self.rows.intersection(&other.rows).count()
+    }
+}
+
+/// Executes queries against a database.
+pub struct Executor<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor borrowing the database.
+    pub fn new(db: &'a Database) -> Self {
+        Executor { db }
+    }
+
+    /// Execute a query, returning the qualifying root rows.
+    pub fn execute(&self, query: &Query) -> Result<ResultSet> {
+        if query.blocks.is_empty() {
+            return Err(RelationError::InvalidSchema(
+                "query must have at least one block".into(),
+            ));
+        }
+        let root = query.blocks[0].root.clone();
+        let mut rows: Option<BTreeSet<RowId>> = None;
+        for block in &query.blocks {
+            if block.root != root {
+                return Err(RelationError::InvalidSchema(
+                    "all intersected blocks must share the root table".into(),
+                ));
+            }
+            let this = self.execute_block(block)?;
+            rows = Some(match rows {
+                None => this,
+                Some(prev) => prev.intersection(&this).cloned().collect(),
+            });
+        }
+        Ok(ResultSet {
+            root,
+            rows: rows.unwrap_or_default(),
+        })
+    }
+
+    /// Execute one block.
+    fn execute_block(&self, block: &QueryBlock) -> Result<BTreeSet<RowId>> {
+        let root_table = self.db.table(&block.root)?;
+        let root_pred_cols = resolve_preds(root_table, &block.root_predicates)?;
+
+        // Fold every semi-join into a per-root-join-column count map first.
+        let mut sj_maps: Vec<(usize, u64, HashMap<Value, u64>)> =
+            Vec::with_capacity(block.semi_joins.len());
+        for sj in &block.semi_joins {
+            let (root_col, map) = self.fold_semi_join(root_table, sj)?;
+            sj_maps.push((root_col, sj.min_count, map));
+        }
+
+        let mut out = BTreeSet::new();
+        'rows: for (rid, row) in root_table.iter() {
+            for (ci, pred) in &root_pred_cols {
+                if !pred.matches(&row[*ci]) {
+                    continue 'rows;
+                }
+            }
+            for (root_col, min_count, map) in &sj_maps {
+                let count = map.get(&row[*root_col]).copied().unwrap_or(0);
+                if count < *min_count {
+                    continue 'rows;
+                }
+            }
+            out.insert(rid);
+        }
+        Ok(out)
+    }
+
+    /// Fold a semi-join path bottom-up. Returns the root column index the
+    /// first step joins on, and a map `root-join-value → tuple count`.
+    fn fold_semi_join(
+        &self,
+        root_table: &Table,
+        sj: &SemiJoin,
+    ) -> Result<(usize, HashMap<Value, u64>)> {
+        if sj.path.is_empty() {
+            return Err(RelationError::InvalidSchema(
+                "semi-join path must be non-empty".into(),
+            ));
+        }
+        // `deeper` maps a value of this step's outgoing join column (the
+        // column the next step's child joins against) to the tuple count of
+        // the remaining path suffix.
+        let mut deeper: Option<HashMap<Value, u64>> = None;
+        for (i, step) in sj.path.iter().enumerate().rev() {
+            let table = self.db.table(&step.table)?;
+            let preds = resolve_preds(table, &step.predicates)?;
+            let child_ci = column_index(table, &step.child_column)?;
+            // Column in THIS table that the next (deeper) step joins on.
+            let next_parent_ci = match sj.path.get(i + 1) {
+                Some(next) => Some(column_index(table, &next.parent_column)?),
+                None => None,
+            };
+            let mut map: HashMap<Value, u64> = HashMap::new();
+            'rows: for (_, row) in table.iter() {
+                for (ci, pred) in &preds {
+                    if !pred.matches(&row[*ci]) {
+                        continue 'rows;
+                    }
+                }
+                let w = match (next_parent_ci, &deeper) {
+                    (Some(ci), Some(deep)) => match deep.get(&row[ci]) {
+                        Some(&w) => w,
+                        None => continue 'rows,
+                    },
+                    _ => 1,
+                };
+                let key = &row[child_ci];
+                if !key.is_null() {
+                    *map.entry(key.clone()).or_insert(0) += w;
+                }
+            }
+            deeper = Some(map);
+        }
+        let root_ci = column_index(root_table, &sj.path[0].parent_column)?;
+        Ok((root_ci, deeper.unwrap_or_default()))
+    }
+}
+
+fn column_index(table: &Table, column: &str) -> Result<usize> {
+    table
+        .schema()
+        .column_index(column)
+        .ok_or_else(|| RelationError::UnknownColumn {
+            table: table.name().to_string(),
+            column: column.to_string(),
+        })
+}
+
+fn resolve_preds<'p>(table: &Table, preds: &'p [Pred]) -> Result<Vec<(usize, &'p Pred)>> {
+    preds
+        .iter()
+        .map(|p| Ok((column_index(table, &p.column)?, p)))
+        .collect()
+}
+
+/// Convenience: execute and return projected values.
+pub fn run_query(db: &Database, query: &Query) -> Result<Vec<Value>> {
+    let rs = Executor::new(db).execute(query)?;
+    rs.project(db, &query.projection)
+}
+
+/// Walk a semi-join path for ONE root row and count matching tuples.
+/// Used by tests as an oracle against the folded evaluation.
+pub fn count_path_for_row(
+    db: &Database,
+    root_table: &Table,
+    row: RowId,
+    sj: &SemiJoin,
+) -> Result<u64> {
+    fn rec(db: &Database, key: &Value, path: &[PathStep]) -> Result<u64> {
+        let Some(step) = path.first() else {
+            return Ok(1);
+        };
+        let table = db.table(&step.table)?;
+        let child_ci = column_index(table, &step.child_column)?;
+        let preds = resolve_preds(table, &step.predicates)?;
+        let mut total = 0u64;
+        'rows: for (_, row) in table.iter() {
+            if &row[child_ci] != key {
+                continue;
+            }
+            for (ci, pred) in &preds {
+                if !pred.matches(&row[*ci]) {
+                    continue 'rows;
+                }
+            }
+            let next_key = match path.get(1) {
+                Some(next) => {
+                    let ci = column_index(table, &next.parent_column)?;
+                    Some(row[ci].clone())
+                }
+                None => None,
+            };
+            total += match next_key {
+                Some(k) => rec(db, &k, &path[1..])?,
+                None => 1,
+            };
+        }
+        Ok(total)
+    }
+    let root_ci = column_index(root_table, &sj.path[0].parent_column)?;
+    let key = root_table.cell(row, root_ci).cloned().unwrap_or(Value::Null);
+    rec(db, &key, &sj.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{PathStep, Pred, QueryBlock, SemiJoin};
+    use squid_relation::{Column, DataType, TableRole, TableSchema};
+
+    /// The CS-academics database of Figure 1.
+    fn academics_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "academics",
+                vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("name", DataType::Text),
+                ],
+            )
+            .with_primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "research",
+                vec![
+                    Column::new("aid", DataType::Int),
+                    Column::new("interest", DataType::Text),
+                ],
+            )
+            .with_role(TableRole::Fact)
+            .with_foreign_key("aid", "academics", 0),
+        )
+        .unwrap();
+        let people = [
+            (100, "Thomas Cormen"),
+            (101, "Dan Suciu"),
+            (102, "Jiawei Han"),
+            (103, "Sam Madden"),
+            (104, "James Kurose"),
+            (105, "Joseph Hellerstein"),
+        ];
+        for (id, name) in people {
+            db.insert("academics", vec![Value::Int(id), Value::text(name)])
+                .unwrap();
+        }
+        let interests = [
+            (100, "algorithms"),
+            (101, "data management"),
+            (102, "data mining"),
+            (103, "data management"),
+            (103, "distributed systems"),
+            (104, "computer networks"),
+            (105, "data management"),
+            (105, "distributed systems"),
+        ];
+        for (aid, interest) in interests {
+            db.insert("research", vec![Value::Int(aid), Value::text(interest)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn q1_selects_everyone() {
+        let db = academics_db();
+        let q = Query::single(QueryBlock::new("academics"), "name");
+        let names = run_query(&db, &q).unwrap();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn q2_data_management_researchers() {
+        // Q2 from Example 1.1.
+        let db = academics_db();
+        let q = Query::single(
+            QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
+                "research",
+                "id",
+                "aid",
+            )
+            .filter(Pred::eq("interest", "data management"))])),
+            "name",
+        );
+        let mut names: Vec<String> = run_query(&db, &q)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["Dan Suciu", "Joseph Hellerstein", "Sam Madden"]
+        );
+    }
+
+    #[test]
+    fn having_count_filters_by_multiplicity() {
+        let db = academics_db();
+        // Academics with at least 2 research interests.
+        let q = Query::single(
+            QueryBlock::new("academics").semi_join(SemiJoin::at_least(
+                2,
+                vec![PathStep::new("research", "id", "aid")],
+            )),
+            "name",
+        );
+        let mut names: Vec<String> = run_query(&db, &q)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Joseph Hellerstein", "Sam Madden"]);
+    }
+
+    #[test]
+    fn intersection_of_blocks() {
+        let db = academics_db();
+        let dm = QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
+            "research", "id", "aid",
+        )
+        .filter(Pred::eq("interest", "data management"))]));
+        let ds = QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
+            "research", "id", "aid",
+        )
+        .filter(Pred::eq("interest", "distributed systems"))]));
+        let q = Query::intersect(vec![dm, ds], "name");
+        let mut names: Vec<String> = run_query(&db, &q)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Joseph Hellerstein", "Sam Madden"]);
+    }
+
+    #[test]
+    fn folded_counts_agree_with_naive_oracle() {
+        let db = academics_db();
+        let sj = SemiJoin::at_least(2, vec![PathStep::new("research", "id", "aid")]);
+        let root = db.table("academics").unwrap();
+        let exec = Executor::new(&db);
+        let (root_ci, map) = exec.fold_semi_join(root, &sj).unwrap();
+        for (rid, row) in root.iter() {
+            let folded = map.get(&row[root_ci]).copied().unwrap_or(0);
+            let oracle = count_path_for_row(&db, root, rid, &sj).unwrap();
+            assert_eq!(folded, oracle, "row {rid}");
+        }
+    }
+
+    #[test]
+    fn empty_result_for_unsatisfiable_predicate() {
+        let db = academics_db();
+        let q = Query::single(
+            QueryBlock::new("academics").filter(Pred::eq("name", "Nobody")),
+            "name",
+        );
+        let rs = Executor::new(&db).execute(&q).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let db = academics_db();
+        let q = Query::single(
+            QueryBlock::new("academics").filter(Pred::eq("nope", 1)),
+            "name",
+        );
+        assert!(Executor::new(&db).execute(&q).is_err());
+    }
+
+    #[test]
+    fn unknown_root_is_an_error() {
+        let db = academics_db();
+        let q = Query::single(QueryBlock::new("missing"), "name");
+        assert!(Executor::new(&db).execute(&q).is_err());
+    }
+
+    #[test]
+    fn mismatched_intersection_roots_rejected() {
+        let db = academics_db();
+        let q = Query::intersect(
+            vec![QueryBlock::new("academics"), QueryBlock::new("research")],
+            "name",
+        );
+        assert!(Executor::new(&db).execute(&q).is_err());
+    }
+
+    #[test]
+    fn projection_returns_values_in_row_order() {
+        let db = academics_db();
+        let q = Query::single(QueryBlock::new("academics"), "name");
+        let rs = Executor::new(&db).execute(&q).unwrap();
+        let names = rs.project(&db, "name").unwrap();
+        assert_eq!(names[0], Value::text("Thomas Cormen"));
+    }
+
+    #[test]
+    fn intersection_size_helper() {
+        let db = academics_db();
+        let all = Executor::new(&db)
+            .execute(&Query::single(QueryBlock::new("academics"), "name"))
+            .unwrap();
+        assert_eq!(all.intersection_size(&all), 6);
+    }
+}

@@ -1,0 +1,181 @@
+//! Rendering [`Query`] values as human-readable SQL, matching the style the
+//! paper uses for its example queries (Q2, Q4, Q5).
+
+use std::fmt::Write as _;
+
+use squid_relation::Value;
+
+use crate::ast::{CmpOp, Pred, Query, QueryBlock};
+
+/// Render a SQL literal.
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+fn render_pred(alias: &str, pred: &Pred, out: &mut String) {
+    let col = format!("{alias}.{}", pred.column);
+    match &pred.op {
+        CmpOp::Eq => {
+            let _ = write!(out, "{col} = {}", literal(&pred.value));
+        }
+        CmpOp::Ge => {
+            let _ = write!(out, "{col} >= {}", literal(&pred.value));
+        }
+        CmpOp::Le => {
+            let _ = write!(out, "{col} <= {}", literal(&pred.value));
+        }
+        CmpOp::Between(lo, hi) => {
+            let _ = write!(out, "{col} BETWEEN {} AND {}", literal(lo), literal(hi));
+        }
+        CmpOp::In(vals) => {
+            let list: Vec<String> = vals.iter().map(literal).collect();
+            let _ = write!(out, "{col} IN ({})", list.join(", "));
+        }
+    }
+}
+
+fn render_block(block: &QueryBlock, projection: &str) -> String {
+    let root_alias = "t0";
+    let mut from = vec![format!("{} AS {root_alias}", block.root)];
+    let mut conds: Vec<String> = Vec::new();
+    let mut having: Vec<String> = Vec::new();
+    let mut alias_no = 1usize;
+
+    for pred in &block.root_predicates {
+        let mut s = String::new();
+        render_pred(root_alias, pred, &mut s);
+        conds.push(s);
+    }
+
+    let mut needs_group = false;
+    for sj in &block.semi_joins {
+        let mut parent_alias = root_alias.to_string();
+        let mut first_alias_of_path = String::new();
+        for (i, step) in sj.path.iter().enumerate() {
+            let alias = format!("t{alias_no}");
+            alias_no += 1;
+            from.push(format!("{} AS {alias}", step.table));
+            conds.push(format!(
+                "{parent_alias}.{} = {alias}.{}",
+                step.parent_column, step.child_column
+            ));
+            for pred in &step.predicates {
+                let mut s = String::new();
+                render_pred(&alias, pred, &mut s);
+                conds.push(s);
+            }
+            if i == 0 {
+                first_alias_of_path = alias.clone();
+            }
+            parent_alias = alias;
+        }
+        if sj.min_count > 1 {
+            needs_group = true;
+            having.push(format!(
+                "count(DISTINCT {first_alias_of_path}.*) >= {}",
+                sj.min_count
+            ));
+        }
+    }
+
+    let mut sql = format!(
+        "SELECT DISTINCT {root_alias}.{projection}\nFROM {}",
+        from.join(", ")
+    );
+    if !conds.is_empty() {
+        let _ = write!(sql, "\nWHERE {}", conds.join("\n  AND "));
+    }
+    if needs_group {
+        let _ = write!(sql, "\nGROUP BY {root_alias}.{projection}");
+        let _ = write!(sql, "\nHAVING {}", having.join(" AND "));
+    }
+    sql
+}
+
+/// Render a full query (blocks joined with `INTERSECT`).
+pub fn to_sql(query: &Query) -> String {
+    query
+        .blocks
+        .iter()
+        .map(|b| render_block(b, &query.projection))
+        .collect::<Vec<_>>()
+        .join("\nINTERSECT\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{PathStep, SemiJoin};
+
+    #[test]
+    fn renders_spj_with_semi_join() {
+        let q = Query::single(
+            QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
+                "research", "id", "aid",
+            )
+            .filter(Pred::eq("interest", "data management"))])),
+            "name",
+        );
+        let sql = to_sql(&q);
+        assert!(sql.contains("SELECT DISTINCT t0.name"));
+        assert!(sql.contains("FROM academics AS t0, research AS t1"));
+        assert!(sql.contains("t0.id = t1.aid"));
+        assert!(sql.contains("t1.interest = 'data management'"));
+        assert!(!sql.contains("GROUP BY"));
+    }
+
+    #[test]
+    fn renders_having_for_aggregated_semi_join() {
+        let q = Query::single(
+            QueryBlock::new("person").semi_join(SemiJoin::at_least(
+                40,
+                vec![
+                    PathStep::new("castinfo", "id", "person_id"),
+                    PathStep::new("movietogenre", "movie_id", "movie_id"),
+                    PathStep::new("genre", "genre_id", "id")
+                        .filter(Pred::eq("name", "Comedy")),
+                ],
+            )),
+            "name",
+        );
+        let sql = to_sql(&q);
+        assert!(sql.contains("GROUP BY t0.name"));
+        assert!(sql.contains(">= 40"));
+        assert!(sql.contains("genre AS t3"));
+    }
+
+    #[test]
+    fn renders_intersect() {
+        let b = QueryBlock::new("person");
+        let q = Query::intersect(vec![b.clone(), b], "name");
+        assert!(to_sql(&q).contains("INTERSECT"));
+    }
+
+    #[test]
+    fn renders_between_and_in() {
+        let q = Query::single(
+            QueryBlock::new("person")
+                .filter(Pred::between("age", 41, 45))
+                .filter(Pred::in_set(
+                    "gender",
+                    vec![Value::text("Male"), Value::text("Female")],
+                )),
+            "name",
+        );
+        let sql = to_sql(&q);
+        assert!(sql.contains("t0.age BETWEEN 41 AND 45"));
+        assert!(sql.contains("t0.gender IN ('Male', 'Female')"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_literals() {
+        let q = Query::single(
+            QueryBlock::new("movie").filter(Pred::eq("title", "It's a Wonderful Life")),
+            "title",
+        );
+        assert!(to_sql(&q).contains("'It''s a Wonderful Life'"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Executor edge cases: empty tables, null join keys, multi-hop paths with
+//! empty intermediate levels, and SQL rendering of degenerate queries.
+
+use squid_engine::{run_query, to_sql, Executor, PathStep, Pred, Query, QueryBlock, SemiJoin};
+use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+
+fn three_level_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "a",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "ab",
+            vec![
+                Column::new("a_id", DataType::Int),
+                Column::new("b_id", DataType::Int),
+            ],
+        )
+        .with_role(TableRole::Fact)
+        .with_foreign_key("a_id", "a", 0)
+        .with_foreign_key("b_id", "b", 0),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "b",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("tag", DataType::Text),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn empty_root_table_yields_empty_result() {
+    let db = three_level_db();
+    let q = Query::single(QueryBlock::new("a"), "name");
+    assert!(run_query(&db, &q).unwrap().is_empty());
+}
+
+#[test]
+fn semi_join_over_empty_fact_table() {
+    let mut db = three_level_db();
+    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    let q = Query::single(
+        QueryBlock::new("a").semi_join(SemiJoin::exists(vec![PathStep::new(
+            "ab", "id", "a_id",
+        )])),
+        "name",
+    );
+    assert!(run_query(&db, &q).unwrap().is_empty());
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let mut db = three_level_db();
+    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    db.insert("b", vec![Value::Int(7), Value::text("t")]).unwrap();
+    // Fact row with a NULL a_id: must not join to anything.
+    db.insert("ab", vec![Value::Null, Value::Int(7)]).unwrap();
+    let q = Query::single(
+        QueryBlock::new("a").semi_join(SemiJoin::exists(vec![
+            PathStep::new("ab", "id", "a_id"),
+            PathStep::new("b", "b_id", "id"),
+        ])),
+        "name",
+    );
+    assert!(run_query(&db, &q).unwrap().is_empty());
+}
+
+#[test]
+fn two_hop_path_counts_join_multiplicity() {
+    let mut db = three_level_db();
+    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    db.insert("b", vec![Value::Int(10), Value::text("t")]).unwrap();
+    db.insert("b", vec![Value::Int(11), Value::text("t")]).unwrap();
+    // a1 links to both b rows; both carry tag t → count 2.
+    db.insert("ab", vec![Value::Int(1), Value::Int(10)]).unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(11)]).unwrap();
+    let q = |k: u64| {
+        Query::single(
+            QueryBlock::new("a").semi_join(SemiJoin::at_least(
+                k,
+                vec![
+                    PathStep::new("ab", "id", "a_id"),
+                    PathStep::new("b", "b_id", "id").filter(Pred::eq("tag", "t")),
+                ],
+            )),
+            "name",
+        )
+    };
+    assert_eq!(run_query(&db, &q(2)).unwrap().len(), 1);
+    assert_eq!(run_query(&db, &q(3)).unwrap().len(), 0);
+}
+
+#[test]
+fn duplicate_fact_rows_inflate_counts() {
+    // SQL count(*) semantics: duplicated association rows count twice.
+    let mut db = three_level_db();
+    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    db.insert("b", vec![Value::Int(10), Value::text("t")]).unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(10)]).unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(10)]).unwrap();
+    let q = Query::single(
+        QueryBlock::new("a").semi_join(SemiJoin::at_least(
+            2,
+            vec![PathStep::new("ab", "id", "a_id")],
+        )),
+        "name",
+    );
+    assert_eq!(run_query(&db, &q).unwrap().len(), 1);
+}
+
+#[test]
+fn projection_of_unknown_column_errors() {
+    let mut db = three_level_db();
+    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    let q = Query::single(QueryBlock::new("a"), "nope");
+    let rs = Executor::new(&db).execute(&q).unwrap();
+    assert!(rs.project(&db, "nope").is_err());
+}
+
+#[test]
+fn sql_renders_unfiltered_block() {
+    let q = Query::single(QueryBlock::new("a"), "name");
+    let sql = to_sql(&q);
+    assert_eq!(sql, "SELECT DISTINCT t0.name\nFROM a AS t0");
+}
+
+#[test]
+fn result_set_projection_preserves_row_order() {
+    let mut db = three_level_db();
+    for i in 0..5 {
+        db.insert("a", vec![Value::Int(i), Value::text(format!("n{i}"))])
+            .unwrap();
+    }
+    let q = Query::single(QueryBlock::new("a"), "name");
+    let rs = Executor::new(&db).execute(&q).unwrap();
+    let names: Vec<String> = rs
+        .project(&db, "name")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    assert_eq!(names, vec!["n0", "n1", "n2", "n3", "n4"]);
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the query executor: the folded semi-join
+//! evaluation must agree with a naive per-row oracle on randomly generated
+//! two-level databases, and predicates must behave like their set
+//! definitions.
+
+use proptest::prelude::*;
+use squid_engine::exec::count_path_for_row;
+use squid_engine::{Executor, PathStep, Pred, Query, QueryBlock, SemiJoin};
+use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+
+/// Random entity/fact database: `e(id, tag)` and `f(e_id, label)`.
+fn build_db(tags: &[u8], facts: &[(usize, u8)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "e",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("tag", DataType::Int),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "f",
+            vec![
+                Column::new("e_id", DataType::Int),
+                Column::new("label", DataType::Int),
+            ],
+        )
+        .with_role(TableRole::Fact)
+        .with_foreign_key("e_id", "e", 0),
+    )
+    .unwrap();
+    for (i, t) in tags.iter().enumerate() {
+        db.insert("e", vec![Value::Int(i as i64), Value::Int(*t as i64)])
+            .unwrap();
+    }
+    for (e, l) in facts {
+        let e = e % tags.len().max(1);
+        db.insert("f", vec![Value::Int(e as i64), Value::Int(*l as i64)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn folded_semi_join_matches_oracle(
+        tags in prop::collection::vec(0u8..4, 1..12),
+        facts in prop::collection::vec((0usize..12, 0u8..4), 0..40),
+        label in 0u8..4,
+        min_count in 1u64..4,
+    ) {
+        let db = build_db(&tags, &facts);
+        let sj = SemiJoin::at_least(
+            min_count,
+            vec![PathStep::new("f", "id", "e_id")
+                .filter(Pred::eq("label", label as i64))],
+        );
+        let q = Query::single(QueryBlock::new("e").semi_join(sj.clone()), "tag");
+        let rs = Executor::new(&db).execute(&q).unwrap();
+        let root = db.table("e").unwrap();
+        for (rid, _) in root.iter() {
+            let count = count_path_for_row(&db, root, rid, &sj).unwrap();
+            prop_assert_eq!(
+                rs.rows.contains(&rid),
+                count >= min_count,
+                "row {} count {} min {}", rid, count, min_count
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_is_subset_of_blocks(
+        tags in prop::collection::vec(0u8..4, 1..12),
+        facts in prop::collection::vec((0usize..12, 0u8..4), 0..40),
+        l1 in 0u8..4,
+        l2 in 0u8..4,
+    ) {
+        let db = build_db(&tags, &facts);
+        let mk = |l: u8| {
+            QueryBlock::new("e").semi_join(SemiJoin::exists(vec![
+                PathStep::new("f", "id", "e_id").filter(Pred::eq("label", l as i64)),
+            ]))
+        };
+        let exec = Executor::new(&db);
+        let both = exec
+            .execute(&Query::intersect(vec![mk(l1), mk(l2)], "tag"))
+            .unwrap();
+        let only1 = exec.execute(&Query::single(mk(l1), "tag")).unwrap();
+        let only2 = exec.execute(&Query::single(mk(l2), "tag")).unwrap();
+        for r in &both.rows {
+            prop_assert!(only1.rows.contains(r));
+            prop_assert!(only2.rows.contains(r));
+        }
+        prop_assert_eq!(
+            both.rows.len(),
+            only1.rows.intersection(&only2.rows).count()
+        );
+    }
+
+    #[test]
+    fn root_predicates_filter_like_a_scan(
+        tags in prop::collection::vec(0u8..6, 1..20),
+        lo in 0u8..6,
+        width in 0u8..3,
+    ) {
+        let db = build_db(&tags, &[]);
+        let hi = lo.saturating_add(width);
+        let q = Query::single(
+            QueryBlock::new("e").filter(Pred::between("tag", lo as i64, hi as i64)),
+            "tag",
+        );
+        let rs = Executor::new(&db).execute(&q).unwrap();
+        let expected: Vec<usize> = tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t >= lo && t <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        let got: Vec<usize> = rs.rows.iter().copied().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn adding_filters_never_grows_results(
+        tags in prop::collection::vec(0u8..4, 1..15),
+        facts in prop::collection::vec((0usize..15, 0u8..4), 0..40),
+        label in 0u8..4,
+    ) {
+        let db = build_db(&tags, &facts);
+        let base = QueryBlock::new("e");
+        let filtered = base.clone().semi_join(SemiJoin::exists(vec![
+            PathStep::new("f", "id", "e_id").filter(Pred::eq("label", label as i64)),
+        ]));
+        let exec = Executor::new(&db);
+        let all = exec.execute(&Query::single(base, "tag")).unwrap();
+        let some = exec.execute(&Query::single(filtered, "tag")).unwrap();
+        prop_assert!(some.rows.is_subset(&all.rows));
+    }
+
+    #[test]
+    fn raising_min_count_shrinks_results(
+        tags in prop::collection::vec(0u8..3, 1..12),
+        facts in prop::collection::vec((0usize..12, 0u8..3), 0..50),
+        label in 0u8..3,
+    ) {
+        let db = build_db(&tags, &facts);
+        let exec = Executor::new(&db);
+        let mut prev: Option<std::collections::BTreeSet<usize>> = None;
+        for k in 1..=4u64 {
+            let q = Query::single(
+                QueryBlock::new("e").semi_join(SemiJoin::at_least(
+                    k,
+                    vec![PathStep::new("f", "id", "e_id")
+                        .filter(Pred::eq("label", label as i64))],
+                )),
+                "tag",
+            );
+            let rs = exec.execute(&q).unwrap();
+            if let Some(p) = &prev {
+                prop_assert!(rs.rows.is_subset(p), "k={k}");
+            }
+            prev = Some(rs.rows);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Column indexes: hash indexes for point lookups (joins, categorical
+//! selectivity) and ordered indexes for range predicates. The paper's αDB
+//! uses PostgreSQL B-tree indexes; these structures play that role here.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// Hash index: value → sorted row ids. O(1) point lookups.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// Build over one column of a table. Nulls are not indexed.
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for (id, row) in table.iter() {
+            let v = &row[column];
+            if !v.is_null() {
+                map.entry(v.clone()).or_default().push(id);
+            }
+        }
+        HashIndex { map }
+    }
+
+    /// Row ids whose column equals `value` (empty slice if none).
+    pub fn get(&self, value: &Value) -> &[RowId] {
+        self.map.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of rows matching `value`.
+    pub fn count(&self, value: &Value) -> usize {
+        self.get(value).len()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate `(value, row_ids)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Vec<RowId>)> {
+        self.map.iter()
+    }
+}
+
+/// Ordered index: value → sorted row ids, supporting range scans.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedIndex {
+    map: BTreeMap<Value, Vec<RowId>>,
+}
+
+impl OrderedIndex {
+    /// Build over one column of a table. Nulls are not indexed.
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut map: BTreeMap<Value, Vec<RowId>> = BTreeMap::new();
+        for (id, row) in table.iter() {
+            let v = &row[column];
+            if !v.is_null() {
+                map.entry(v.clone()).or_default().push(id);
+            }
+        }
+        OrderedIndex { map }
+    }
+
+    /// Row ids with values in `[low, high]` (inclusive both ends).
+    pub fn range(&self, low: &Value, high: &Value) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for (_, ids) in self
+            .map
+            .range::<Value, _>((Bound::Included(low.clone()), Bound::Included(high.clone())))
+        {
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// Count of rows with values in `[low, high]`.
+    pub fn range_count(&self, low: &Value, high: &Value) -> usize {
+        self.map
+            .range::<Value, _>((Bound::Included(low.clone()), Bound::Included(high.clone())))
+            .map(|(_, ids)| ids.len())
+            .sum()
+    }
+
+    /// Smallest indexed value.
+    pub fn min(&self) -> Option<&Value> {
+        self.map.keys().next()
+    }
+
+    /// Largest indexed value.
+    pub fn max(&self) -> Option<&Value> {
+        self.map.keys().next_back()
+    }
+
+    /// Distinct values in ascending order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.map.keys()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn ages_table() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "person",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("age", DataType::Int),
+            ],
+        ));
+        for (i, age) in [50i64, 90, 60, 50, 29, 60].iter().enumerate() {
+            t.insert(vec![Value::Int(i as i64), Value::Int(*age)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn hash_index_point_lookup() {
+        let t = ages_table();
+        let idx = HashIndex::build(&t, 1);
+        assert_eq!(idx.get(&Value::Int(50)), &[0, 3]);
+        assert_eq!(idx.count(&Value::Int(60)), 2);
+        assert_eq!(idx.count(&Value::Int(1000)), 0);
+        assert_eq!(idx.distinct_count(), 4);
+    }
+
+    #[test]
+    fn hash_index_skips_nulls() {
+        let mut t = ages_table();
+        t.insert(vec![Value::Int(6), Value::Null]).unwrap();
+        let idx = HashIndex::build(&t, 1);
+        assert_eq!(idx.get(&Value::Null), &[] as &[RowId]);
+    }
+
+    #[test]
+    fn ordered_index_range_scan() {
+        let t = ages_table();
+        let idx = OrderedIndex::build(&t, 1);
+        let mut ids = idx.range(&Value::Int(50), &Value::Int(60));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2, 3, 5]);
+        assert_eq!(idx.range_count(&Value::Int(50), &Value::Int(60)), 4);
+        assert_eq!(idx.range_count(&Value::Int(91), &Value::Int(95)), 0);
+    }
+
+    #[test]
+    fn ordered_index_min_max() {
+        let t = ages_table();
+        let idx = OrderedIndex::build(&t, 1);
+        assert_eq!(idx.min(), Some(&Value::Int(29)));
+        assert_eq!(idx.max(), Some(&Value::Int(90)));
+        let vals: Vec<i64> = idx.values().filter_map(|v| v.as_int()).collect();
+        assert_eq!(vals, vec![29, 50, 60, 90]);
+    }
+
+    #[test]
+    fn range_is_inclusive_on_both_ends() {
+        let t = ages_table();
+        let idx = OrderedIndex::build(&t, 1);
+        assert_eq!(idx.range_count(&Value::Int(29), &Value::Int(29)), 1);
+        assert_eq!(idx.range_count(&Value::Int(90), &Value::Int(90)), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Global inverted column index over all text attributes (paper Section 5,
+//! "Entity lookup"). Maps a (case-folded) text value to every `(table,
+//! column, row)` where it occurs, so user-provided example strings can be
+//! matched to candidate entities in O(1).
+
+use std::collections::HashMap;
+
+use crate::catalog::Database;
+use crate::table::RowId;
+use crate::value::DataType;
+
+/// One occurrence of a text value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Posting {
+    /// Table containing the value.
+    pub table: String,
+    /// Column index within the table.
+    pub column: usize,
+    /// Row id within the table.
+    pub row: RowId,
+}
+
+/// The global inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    map: HashMap<String, Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    /// Build over every text column of every table in the database.
+    pub fn build(db: &Database) -> Self {
+        let mut map: HashMap<String, Vec<Posting>> = HashMap::new();
+        for table in db.tables() {
+            for (ci, col) in table.schema().columns.iter().enumerate() {
+                if col.dtype != DataType::Text {
+                    continue;
+                }
+                for (rid, row) in table.iter() {
+                    if let Some(s) = row[ci].as_text() {
+                        map.entry(Self::fold(s)).or_default().push(Posting {
+                            table: table.name().to_string(),
+                            column: ci,
+                            row: rid,
+                        });
+                    }
+                }
+            }
+        }
+        InvertedIndex { map }
+    }
+
+    /// Case folding used for lookups: trimmed, lowercase.
+    fn fold(s: &str) -> String {
+        s.trim().to_lowercase()
+    }
+
+    /// All occurrences of `value` (case-insensitive exact match).
+    pub fn lookup(&self, value: &str) -> &[Posting] {
+        self.map
+            .get(&Self::fold(value))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Occurrences of `value` restricted to one `(table, column)`.
+    pub fn lookup_in(&self, value: &str, table: &str, column: usize) -> Vec<RowId> {
+        self.lookup(value)
+            .iter()
+            .filter(|p| p.table == table && p.column == column)
+            .map(|p| p.row)
+            .collect()
+    }
+
+    /// The `(table, column)` pairs that contain *all* of the given values —
+    /// the candidate projection attributes for a set of examples.
+    pub fn columns_containing_all(&self, values: &[&str]) -> Vec<(String, usize)> {
+        let mut candidates: Option<Vec<(String, usize)>> = None;
+        for v in values {
+            let mut cols: Vec<(String, usize)> = self
+                .lookup(v)
+                .iter()
+                .map(|p| (p.table.clone(), p.column))
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            candidates = Some(match candidates {
+                None => cols,
+                Some(prev) => prev.into_iter().filter(|c| cols.contains(c)).collect(),
+            });
+            if matches!(candidates.as_deref(), Some([])) {
+                break;
+            }
+        }
+        candidates.unwrap_or_default()
+    }
+
+    /// Number of distinct indexed strings.
+    pub fn distinct_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "person",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "movie",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("title", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        db.insert("person", vec![Value::Int(1), Value::text("Jim Carrey")])
+            .unwrap();
+        db.insert("person", vec![Value::Int(2), Value::text("Titanic")])
+            .unwrap(); // a person named like a movie: ambiguity
+        db.insert("movie", vec![Value::Int(1), Value::text("Titanic")])
+            .unwrap();
+        db.insert("movie", vec![Value::Int(2), Value::text("Titanic")])
+            .unwrap(); // remake: same title twice
+        db.insert("movie", vec![Value::Int(3), Value::text("The Matrix")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.lookup("jim carrey").len(), 1);
+        assert_eq!(idx.lookup("JIM CARREY").len(), 1);
+        assert_eq!(idx.lookup("  Jim Carrey  ").len(), 1);
+        assert_eq!(idx.lookup("nobody").len(), 0);
+    }
+
+    #[test]
+    fn ambiguous_values_return_all_postings() {
+        let idx = InvertedIndex::build(&db());
+        // "Titanic" occurs as one person and two movies.
+        assert_eq!(idx.lookup("Titanic").len(), 3);
+        assert_eq!(idx.lookup_in("Titanic", "movie", 1), vec![0, 1]);
+        assert_eq!(idx.lookup_in("Titanic", "person", 1), vec![1]);
+    }
+
+    #[test]
+    fn columns_containing_all_intersects() {
+        let idx = InvertedIndex::build(&db());
+        let cols = idx.columns_containing_all(&["Titanic", "The Matrix"]);
+        assert_eq!(cols, vec![("movie".to_string(), 1)]);
+        // No table holds both a person name and a missing value.
+        assert!(idx
+            .columns_containing_all(&["Jim Carrey", "The Matrix"])
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_no_candidates() {
+        let idx = InvertedIndex::build(&db());
+        assert!(idx.columns_containing_all(&[]).is_empty());
+    }
+}

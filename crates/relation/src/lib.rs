@@ -1,0 +1,29 @@
+//! # squid-relation
+//!
+//! In-memory relational substrate for the SQuID reproduction: typed values,
+//! schemas with primary/foreign keys and entity/property/fact role
+//! annotations, row tables, hash and ordered column indexes, and the global
+//! inverted column index used for example-to-entity lookup.
+//!
+//! The paper (Fariha & Meliou, VLDB 2019) runs on PostgreSQL; this crate is
+//! the from-scratch stand-in that the query engine (`squid-engine`), the
+//! abduction-ready database (`squid-adb`), and SQuID itself (`squid-core`)
+//! build upon.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod index;
+pub mod inverted;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Association, Database};
+pub use error::{RelationError, Result};
+pub use index::{HashIndex, OrderedIndex};
+pub use inverted::{InvertedIndex, Posting};
+pub use schema::{Column, ForeignKey, SchemaMeta, TableRole, TableSchema};
+pub use table::{RowId, Table};
+pub use value::{DataType, Value};

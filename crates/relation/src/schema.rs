@@ -1,0 +1,225 @@
+//! Table schemas, key constraints, and the administrator-provided metadata
+//! that SQuID's offline module relies on (Section 5 of the paper).
+//!
+//! Per the paper, αDB construction only needs: (1) the schema with primary
+//! and foreign key constraints, and (2) light metadata flagging which tables
+//! describe *entities* (person, movie) and which describe *properties*
+//! (genre). Fact tables — associations between entities and properties — are
+//! then discovered automatically from the key-foreign-key graph.
+
+use crate::value::DataType;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Declared type for non-null cells.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// A foreign-key constraint: `column` in this table references
+/// `ref_table.ref_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Index of the referencing column in the owning table.
+    pub column: usize,
+    /// Name of the referenced table.
+    pub ref_table: String,
+    /// Index of the referenced column (that table's primary key).
+    pub ref_column: usize,
+}
+
+/// The role a table plays in the schema graph, as annotated by the
+/// administrator (paper Section 5, "Semantic property discovery").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableRole {
+    /// Describes entities users query for (person, movie, author).
+    Entity,
+    /// Describes values of a semantic property (genre, venue).
+    Property,
+    /// Associates entities with entities or properties (castinfo,
+    /// movietogenre). Fact tables are usually *discovered*, but may also be
+    /// annotated directly.
+    Fact,
+}
+
+/// Schema of one table: named typed columns plus key constraints.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+    /// Index of the primary-key column, if any (single-column keys only,
+    /// which covers the star/galaxy schemas the paper targets).
+    pub primary_key: Option<usize>,
+    /// Outgoing foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Role annotation used by αDB construction.
+    pub role: TableRole,
+}
+
+impl TableSchema {
+    /// Create a schema with no keys, defaulting to the `Entity` role.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: None,
+            foreign_keys: Vec::new(),
+            role: TableRole::Entity,
+        }
+    }
+
+    /// Set the primary key by column name. Panics if the column is unknown
+    /// (schema construction is programmer-driven, so this is a logic error).
+    pub fn with_primary_key(mut self, column: &str) -> Self {
+        let idx = self
+            .column_index(column)
+            .unwrap_or_else(|| panic!("unknown primary key column {column}"));
+        self.primary_key = Some(idx);
+        self
+    }
+
+    /// Add a foreign key by column name. The referenced column index is
+    /// resolved later by [`crate::catalog::Database::validate`]; here we
+    /// record the referenced table and assume its primary key (index fixed up
+    /// at validation time, stored as 0 until then if unknown).
+    pub fn with_foreign_key(mut self, column: &str, ref_table: &str, ref_column_idx: usize) -> Self {
+        let idx = self
+            .column_index(column)
+            .unwrap_or_else(|| panic!("unknown foreign key column {column}"));
+        self.foreign_keys.push(ForeignKey {
+            column: idx,
+            ref_table: ref_table.to_string(),
+            ref_column: ref_column_idx,
+        });
+        self
+    }
+
+    /// Set the table role.
+    pub fn with_role(mut self, role: TableRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// The foreign key on a given column, if any.
+    pub fn foreign_key_on(&self, column: usize) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| fk.column == column)
+    }
+}
+
+/// Administrator metadata beyond per-table roles: attributes that must never
+/// be treated as semantic properties (surrogate keys, display names used as
+/// the projection attribute, free text).
+#[derive(Debug, Clone, Default)]
+pub struct SchemaMeta {
+    /// `(table, column)` pairs excluded from semantic-property discovery.
+    pub non_semantic: Vec<(String, String)>,
+}
+
+impl SchemaMeta {
+    /// Mark `table.column` as non-semantic.
+    pub fn exclude(&mut self, table: &str, column: &str) {
+        self.non_semantic
+            .push((table.to_string(), column.to_string()));
+    }
+
+    /// Is `table.column` excluded from property discovery?
+    pub fn is_non_semantic(&self, table: &str, column: &str) -> bool {
+        self.non_semantic
+            .iter()
+            .any(|(t, c)| t == table && c == column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_schema() -> TableSchema {
+        TableSchema::new(
+            "person",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("gender", DataType::Text),
+            ],
+        )
+        .with_primary_key("id")
+    }
+
+    #[test]
+    fn primary_key_resolves_by_name() {
+        let s = person_schema();
+        assert_eq!(s.primary_key, Some(0));
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = person_schema();
+        assert_eq!(s.column_index("gender"), Some(2));
+        assert_eq!(s.column("gender").unwrap().dtype, DataType::Text);
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn foreign_keys_attach_to_columns() {
+        let s = TableSchema::new(
+            "castinfo",
+            vec![
+                Column::new("person_id", DataType::Int),
+                Column::new("movie_id", DataType::Int),
+            ],
+        )
+        .with_role(TableRole::Fact)
+        .with_foreign_key("person_id", "person", 0)
+        .with_foreign_key("movie_id", "movie", 0);
+        assert_eq!(s.foreign_keys.len(), 2);
+        assert_eq!(s.foreign_key_on(1).unwrap().ref_table, "movie");
+        assert!(s.foreign_key_on(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown primary key column")]
+    fn unknown_pk_panics() {
+        let _ = TableSchema::new("t", vec![Column::new("a", DataType::Int)])
+            .with_primary_key("b");
+    }
+
+    #[test]
+    fn schema_meta_exclusions() {
+        let mut m = SchemaMeta::default();
+        m.exclude("person", "name");
+        assert!(m.is_non_semantic("person", "name"));
+        assert!(!m.is_non_semantic("person", "gender"));
+        assert!(!m.is_non_semantic("movie", "name"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Row-oriented in-memory tables.
+//!
+//! Tables are append-only: rows get dense ids (`RowId`) equal to their
+//! insertion position, which indexes and the αDB rely on.
+
+use crate::error::{RelationError, Result};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Dense row identifier within a single table.
+pub type RowId = usize;
+
+/// An in-memory table: a schema plus rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name (shorthand for `schema().name`).
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after checking arity and column types. Returns its id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId> {
+        if row.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                if dt != self.schema.columns[i].dtype {
+                    return Err(RelationError::TypeMismatch {
+                        table: self.schema.name.clone(),
+                        column: self.schema.columns[i].name.clone(),
+                        expected: self.schema.columns[i].dtype,
+                        got: dt,
+                    });
+                }
+            }
+        }
+        let id = self.rows.len();
+        self.rows.push(row);
+        Ok(id)
+    }
+
+    /// Append many rows; stops at the first error.
+    pub fn insert_all<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Borrow a row by id.
+    pub fn row(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(id).map(|r| r.as_slice())
+    }
+
+    /// Borrow a single cell.
+    pub fn cell(&self, id: RowId, column: usize) -> Option<&Value> {
+        self.rows.get(id).and_then(|r| r.get(column))
+    }
+
+    /// Iterate `(row_id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    }
+
+    /// Iterate the values of one column (including nulls).
+    pub fn column_values(&self, column: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[column])
+    }
+
+    /// Find the first row whose `column` equals `value` (linear scan; use an
+    /// index for hot paths).
+    pub fn find_first(&self, column: usize, value: &Value) -> Option<RowId> {
+        self.rows.iter().position(|r| &r[column] == value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, 1), Some(&Value::text("a")));
+        assert_eq!(t.row(0).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::text("oops"), Value::text("a")])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn nulls_pass_type_check() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        assert!(t.cell(0, 1).unwrap().is_null());
+    }
+
+    #[test]
+    fn row_ids_are_dense() {
+        let mut t = table();
+        for i in 0..5 {
+            let id = t.insert(vec![Value::Int(i), Value::text("x")]).unwrap();
+            assert_eq!(id as i64, i);
+        }
+        let ids: Vec<_> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn find_first_scans() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::text("b")]).unwrap();
+        assert_eq!(t.find_first(1, &Value::text("b")), Some(1));
+        assert_eq!(t.find_first(1, &Value::text("z")), None);
+    }
+
+    #[test]
+    fn column_values_iterates_in_order() {
+        let mut t = table();
+        t.insert(vec![Value::Int(2), Value::text("b")]).unwrap();
+        t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
+        let vals: Vec<i64> = t.column_values(0).filter_map(|v| v.as_int()).collect();
+        assert_eq!(vals, vec![2, 1]);
+    }
+}

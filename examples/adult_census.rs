@@ -1,0 +1,80 @@
+//! Adult census scenario: single-relation intent discovery plus the §7.6
+//! head-to-head against Elkan–Noto PU-learning with the same examples.
+//!
+//! ```text
+//! cargo run --release --example adult_census
+//! ```
+
+use std::collections::BTreeSet;
+
+use squid_adb::ADb;
+use squid_baselines::{single_table, PuClassifier, PuConfig, PuEstimator};
+use squid_core::{Accuracy, Squid, SquidParams};
+use squid_datasets::{adult_queries, generate_adult, AdultConfig};
+use squid_engine::Executor;
+use squid_relation::RowId;
+
+fn main() {
+    let cfg = AdultConfig::default();
+    println!("Generating synthetic Adult census ({} rows)...", cfg.rows);
+    let db = generate_adult(&cfg);
+    let adb = ADb::build(&db).expect("αDB");
+    let queries = adult_queries(&db, 0xA0, 20);
+    let q = &queries[0];
+    println!("Hidden intent: {}\n", q.description);
+
+    let rs = Executor::new(&db).execute(&q.query).unwrap();
+    let names = rs.project(&db, "name").unwrap();
+    // 20% of the output as examples.
+    let k = (rs.len() / 5).max(3);
+    let examples: Vec<String> = names.iter().take(k).map(|v| v.to_string()).collect();
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    println!("Providing {k} of {} output tuples as examples.\n", rs.len());
+
+    // ---- SQuID ----------------------------------------------------------
+    let squid = Squid::with_params(&adb, SquidParams::optimistic());
+    let d = squid.discover_on("adult", "name", &refs).expect("discovery");
+    let acc = Accuracy::of(&d.rows, &rs.rows);
+    println!(
+        "SQuID     : precision={:.3} recall={:.3} f={:.3} time={:?}",
+        acc.precision, acc.recall, acc.f_score, d.elapsed
+    );
+    println!("  abduced SQL:\n{}", indent(&d.sql()));
+
+    // ---- PU-learning with the same positives ---------------------------
+    let (x, _) = single_table(&db, "adult", &["name"]);
+    let positives: Vec<RowId> = d.example_rows.clone();
+    for (estimator, tag) in [
+        (PuEstimator::DecisionTree, "PU (DT)"),
+        (PuEstimator::RandomForest, "PU (RF)"),
+    ] {
+        let t = std::time::Instant::now();
+        let clf = PuClassifier::fit(
+            &x,
+            &positives,
+            &PuConfig {
+                estimator,
+                ..Default::default()
+            },
+        );
+        let pred: BTreeSet<RowId> = clf.predict_positive(&x).into_iter().collect();
+        let acc = Accuracy::of(&pred, &rs.rows);
+        println!(
+            "{tag:<10}: precision={:.3} recall={:.3} f={:.3} time={:?} (c^={:.2})",
+            acc.precision,
+            acc.recall,
+            acc.f_score,
+            t.elapsed(),
+            clf.c_hat
+        );
+    }
+    println!("\nWith few positives PU-learning favors precision and loses recall;");
+    println!("SQuID exploits the query-shaped hypothesis space and stays robust.");
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

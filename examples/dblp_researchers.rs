@@ -1,0 +1,67 @@
+//! DBLP scenario: prolific database researchers (the §7.4 case study) and
+//! the DQ2-style aggregated intent ("authors with ≥ k SIGMOD and ≥ k VLDB
+//! papers"), showing intersection queries abduced from examples.
+//!
+//! ```text
+//! cargo run --release --example dblp_researchers
+//! ```
+
+use squid_adb::ADb;
+use squid_core::{Accuracy, Squid, SquidParams};
+use squid_datasets::{dblp_queries, generate_dblp, prolific_db_researchers, DblpConfig};
+use squid_engine::Executor;
+
+fn main() {
+    let cfg = DblpConfig::default();
+    println!(
+        "Generating synthetic DBLP ({} authors, {} publications)...",
+        cfg.authors, cfg.publications
+    );
+    let db = generate_dblp(&cfg);
+    let adb = ADb::build(&db).expect("αDB");
+    println!(
+        "αDB built: {} properties, {} derived rows\n",
+        adb.build_stats.property_count, adb.build_stats.derived_row_count
+    );
+    let params = SquidParams {
+        tau_a: 3,
+        ..SquidParams::default()
+    };
+    let squid = Squid::with_params(&adb, params);
+
+    // ---- DQ2: flagship-venue intent ------------------------------------
+    let queries = dblp_queries(&db);
+    let dq2 = queries.iter().find(|q| q.id == "DQ2").unwrap();
+    let rs = Executor::new(&db).execute(&dq2.query).unwrap();
+    let names = rs.project(&db, "name").unwrap();
+    let examples: Vec<String> = names.iter().take(8).map(|v| v.to_string()).collect();
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    println!("Intent: {}", dq2.description);
+    println!("Examples: {refs:?}\n");
+    let d = squid.discover_on("author", "name", &refs).expect("discovery");
+    println!("Chosen filters:");
+    for f in d.chosen_filters() {
+        println!("  {}", f.describe());
+    }
+    let acc = Accuracy::of(&d.rows, &rs.rows);
+    println!(
+        "\nAccuracy vs intended query: precision={:.3} recall={:.3} f={:.3}",
+        acc.precision, acc.recall, acc.f_score
+    );
+    println!("\nAbduced SQL:\n{}", d.sql());
+
+    // ---- Case study: prolific DB researchers ---------------------------
+    let study = prolific_db_researchers(&db);
+    let examples: Vec<&str> = study.list.iter().take(10).map(String::as_str).collect();
+    println!("\nCase study: {} (list of {})", study.name, study.list.len());
+    match squid.discover_on("author", "name", &examples) {
+        Ok(d) => {
+            println!("Chosen filters:");
+            for f in d.chosen_filters() {
+                println!("  {}", f.describe());
+            }
+            println!("Result cardinality: {}", d.rows.len());
+        }
+        Err(e) => println!("discovery failed: {e}"),
+    }
+}

@@ -1,0 +1,94 @@
+//! IMDb scenarios in the spirit of the paper's Examples 1.2/1.3: the same
+//! kind of example lists ("funny actors" vs "action stars") that a
+//! structure-only QBE system cannot distinguish, resolved by SQuID through
+//! implicit derived properties (how many Comedy movies someone appears in).
+//!
+//! ```text
+//! cargo run --release --example imdb_intents
+//! ```
+
+use squid_adb::ADb;
+use squid_core::{Squid, SquidParams};
+use squid_datasets::{funny_actors, generate_imdb, imdb_queries, ImdbConfig};
+
+fn main() {
+    let cfg = ImdbConfig::default();
+    println!("Generating synthetic IMDb ({} persons, {} movies)...", cfg.persons, cfg.movies);
+    let db = generate_imdb(&cfg);
+    let t = std::time::Instant::now();
+    let adb = ADb::build(&db).expect("αDB");
+    println!(
+        "αDB built in {:?}: {} properties, {} derived relations ({} rows)\n",
+        t.elapsed(),
+        adb.build_stats.property_count,
+        adb.build_stats.derived_table_count,
+        adb.build_stats.derived_row_count
+    );
+
+    // ---- Scenario 1: funny actors (Example 1.3) -----------------------
+    // Take names from the simulated human list of comedy actors and ask
+    // SQuID for the intent, with normalized association strength (§7.4).
+    let study = funny_actors(&db);
+    let examples: Vec<&str> = study.list.iter().take(3).map(String::as_str).collect();
+    println!("Scenario 1 — funny actors. Examples: {examples:?}");
+    let squid = Squid::with_params(&adb, SquidParams::normalized());
+    match squid.discover(&examples) {
+        Ok(d) => {
+            println!("  abduced in {:?}; chosen filters:", d.elapsed);
+            for f in d.chosen_filters() {
+                println!("    {}", f.describe());
+            }
+            println!("  result cardinality: {}", d.rows.len());
+        }
+        Err(e) => println!("  discovery failed: {e}"),
+    }
+
+    // ---- Scenario 2: a precise structured intent (IQ15) ---------------
+    // Japanese Animation movies: a SPJ intent with one basic fact-hop
+    // filter (genre) and one direct attribute (country).
+    let queries = imdb_queries(&db);
+    let iq15 = queries.iter().find(|q| q.id == "IQ15").unwrap();
+    let rs = squid_engine::Executor::new(&db).execute(&iq15.query).unwrap();
+    let titles = rs.project(&db, "title").unwrap();
+    let examples: Vec<String> = titles.iter().take(5).map(|v| v.to_string()).collect();
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    println!("\nScenario 2 — {}. Examples: {refs:?}", iq15.description);
+    let squid = Squid::new(&adb);
+    match squid.discover(&refs) {
+        Ok(d) => {
+            println!("  abduced SQL:\n{}", indent(&d.sql()));
+            println!(
+                "  result cardinality: {} (intended: {})",
+                d.rows.len(),
+                rs.len()
+            );
+        }
+        Err(e) => println!("  discovery failed: {e}"),
+    }
+
+    // ---- Scenario 3: aggregated group-by intent (IQ9) ------------------
+    let iq9 = queries.iter().find(|q| q.id == "IQ9").unwrap();
+    let rs = squid_engine::Executor::new(&db).execute(&iq9.query).unwrap();
+    let names = rs.project(&db, "name").unwrap();
+    let examples: Vec<String> = names.iter().take(6).map(|v| v.to_string()).collect();
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    println!("\nScenario 3 — {}. Examples: {refs:?}", iq9.description);
+    match squid.discover(&refs) {
+        Ok(d) => {
+            println!("  abduced SQL:\n{}", indent(&d.sql()));
+            println!(
+                "  result cardinality: {} (intended: {})",
+                d.rows.len(),
+                rs.len()
+            );
+        }
+        Err(e) => println!("  discovery failed: {e}"),
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,181 @@
+//! `squid` — command-line query intent discovery over the bundled
+//! synthetic datasets.
+//!
+//! ```text
+//! squid imdb "Person 000121" "Person 000620"
+//! squid --normalized imdb "Person 000019" "Person 000026"
+//! squid --alternatives 3 --recommend 5 dblp "Author 00012" "Author 00044"
+//! ```
+
+use squid_adb::ADb;
+use squid_core::{recommend_examples, top_k_queries, Squid, SquidParams};
+use squid_datasets::{generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig};
+use squid_relation::Database;
+
+const USAGE: &str = "\
+usage: squid [flags] <dataset> <example>...
+datasets: imdb | dblp | adult
+flags:
+  --normalized        use normalized association strength (case-study mode)
+  --optimistic        QRE preset (closed-world reverse engineering)
+  --alternatives <k>  also print the k best alternative queries
+  --recommend <k>     suggest k informative next examples
+  --rho <x>           override the base filter prior";
+
+fn build_dataset(name: &str) -> Option<Database> {
+    match name {
+        "imdb" => Some(generate_imdb(&ImdbConfig::default())),
+        "dblp" => Some(generate_dblp(&DblpConfig::default())),
+        "adult" => Some(generate_adult(&AdultConfig::default())),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = SquidParams::default();
+    let mut alternatives = 0usize;
+    let mut recommend = 0usize;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--normalized" => params = SquidParams::normalized(),
+            "--optimistic" => params = SquidParams::optimistic(),
+            "--alternatives" => {
+                alternatives = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--alternatives needs a number"))
+            }
+            "--recommend" => {
+                recommend = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--recommend needs a number"))
+            }
+            "--rho" => {
+                params.rho = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--rho needs a number"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() < 2 {
+        die::<()>(USAGE);
+        return;
+    }
+    let dataset = positional.remove(0);
+    let examples: Vec<&str> = positional.iter().map(String::as_str).collect();
+
+    let Some(db) = build_dataset(&dataset) else {
+        die::<()>(&format!("unknown dataset {dataset:?}\n{USAGE}"));
+        return;
+    };
+    eprintln!("building αDB for {dataset}...");
+    let t = std::time::Instant::now();
+    let adb = match ADb::build(&db) {
+        Ok(a) => a,
+        Err(e) => {
+            die::<()>(&format!("αDB build failed: {e}"));
+            return;
+        }
+    };
+    eprintln!(
+        "αDB ready in {:?} ({} properties, {} derived rows)",
+        t.elapsed(),
+        adb.build_stats.property_count,
+        adb.build_stats.derived_row_count
+    );
+
+    let squid = Squid::with_params(&adb, params);
+    let d = match squid.discover(&examples) {
+        Ok(d) => d,
+        Err(e) => {
+            die::<()>(&format!("discovery failed: {e}"));
+            return;
+        }
+    };
+    println!(
+        "resolved {} example(s) in {}.{} ({:?})",
+        d.example_rows.len(),
+        d.entity_table,
+        d.projection_column,
+        d.elapsed
+    );
+    println!("\nabduction decisions:");
+    for s in &d.scored {
+        println!(
+            "  [{}] {}  ψ={:.4} prior={:.4}",
+            if s.included { "x" } else { " " },
+            s.filter.describe(),
+            s.filter.selectivity,
+            s.prior
+        );
+    }
+    println!("\nabduced query:\n{}", d.sql());
+    println!("\nresult: {} tuples", d.rows.len());
+    let table = adb.database.table(&d.entity_table).expect("entity table");
+    let ci = table
+        .schema()
+        .column_index(&d.projection_column)
+        .expect("projection column");
+    for (i, &row) in d.rows.iter().take(10).enumerate() {
+        if let Some(v) = table.cell(row, ci) {
+            println!("  {}. {v}", i + 1);
+        }
+    }
+    if d.rows.len() > 10 {
+        println!("  ... ({} more)", d.rows.len() - 10);
+    }
+
+    if alternatives > 0 {
+        println!("\ntop-{alternatives} alternative queries (log-posterior):");
+        for (i, alt) in top_k_queries(&d.scored, alternatives + 1)
+            .iter()
+            .enumerate()
+            .skip(1)
+        {
+            let filters: Vec<String> = alt
+                .included_indices()
+                .iter()
+                .map(|&j| d.scored[j].filter.describe())
+                .collect();
+            println!(
+                "  {i}. {:.3}: {{{}}}",
+                alt.log_posterior,
+                filters.join(", ")
+            );
+        }
+    }
+
+    if recommend > 0 {
+        let entity = adb.entity(&d.entity_table).expect("entity");
+        let recs = recommend_examples(entity, &d, recommend, 0.05);
+        if recs.is_empty() {
+            println!("\nno contested filters — no examples to recommend.");
+        } else {
+            println!("\ninformative next examples (confirming one refutes the listed filters):");
+            for r in &recs {
+                let v = table.cell(r.row, ci).cloned();
+                println!(
+                    "  {} (score {:.3}) — tests {}",
+                    v.map(|v| v.to_string()).unwrap_or_default(),
+                    r.score,
+                    r.discriminates.join(", ")
+                );
+            }
+        }
+    }
+}
+
+fn die<T>(msg: &str) -> T {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,24 @@
+//! # squid-repro
+//!
+//! Umbrella crate for the SQuID reproduction (Fariha & Meliou, VLDB 2019:
+//! "Example-Driven Query Intent Discovery: Abductive Reasoning using
+//! Semantic Similarity"). Re-exports the workspace crates under one roof
+//! so examples, integration tests, and downstream users can depend on a
+//! single package.
+//!
+//! * [`relation`] — in-memory relational substrate (tables, keys, indexes)
+//! * [`engine`] — SPJAI query AST, executor, SQL rendering
+//! * [`adb`] — the abduction-ready database (derived relations + statistics)
+//! * [`core`] — SQuID: contexts, priors, Algorithm 1, disambiguation
+//! * [`baselines`] — decision tree / random forest / PU-learning / TALOS
+//! * [`datasets`] — seeded synthetic IMDb / DBLP / Adult + benchmark suites
+//!
+//! See the repository README for a guided tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction record.
+
+pub use squid_adb as adb;
+pub use squid_baselines as baselines;
+pub use squid_core as core;
+pub use squid_datasets as datasets;
+pub use squid_engine as engine;
+pub use squid_relation as relation;

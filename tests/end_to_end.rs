@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: generated datasets → αDB → SQuID
+//! discovery → accuracy against the benchmark ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use squid_adb::ADb;
+use squid_core::{Accuracy, Squid, SquidParams};
+use squid_datasets::{
+    dblp_queries, generate_dblp, generate_imdb, imdb_queries, DblpConfig, ImdbConfig,
+};
+use squid_engine::Executor;
+use squid_relation::Database;
+
+/// Sample `k` distinct example values from a query's output.
+fn sample_examples(
+    db: &Database,
+    query: &squid_engine::Query,
+    k: usize,
+    seed: u64,
+) -> (Vec<String>, std::collections::BTreeSet<usize>) {
+    let rs = Executor::new(db).execute(query).unwrap();
+    let values = rs.project(db, &query.projection).unwrap();
+    let rows: Vec<usize> = rs.rows.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    for i in 0..k.min(idx.len()) {
+        let j = rng.random_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx.truncate(k.min(rows.len()));
+    let examples = idx.iter().map(|&i| values[i].to_string()).collect();
+    (examples, rs.rows)
+}
+
+#[test]
+fn squid_recovers_japanese_animation_intent() {
+    let db = generate_imdb(&ImdbConfig::tiny());
+    let adb = ADb::build(&db).unwrap();
+    let queries = imdb_queries(&db);
+    let iq15 = queries.iter().find(|q| q.id == "IQ15").unwrap();
+    let (examples, truth) = sample_examples(&db, &iq15.query, 10, 7);
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    let squid = Squid::new(&adb);
+    let d = squid.discover(&refs).unwrap();
+    assert_eq!(d.entity_table, "movie");
+    let acc = Accuracy::of(&d.rows, &truth);
+    assert!(
+        acc.f_score > 0.5,
+        "IQ15 f-score {} (chosen: {:?})",
+        acc.f_score,
+        d.chosen_filters()
+            .iter()
+            .map(|f| f.describe())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn squid_drops_filters_for_generic_intent() {
+    // IQ7: all movies — with enough random movies as examples, SQuID must
+    // abduce a near-empty filter set (recall ≈ 1).
+    let db = generate_imdb(&ImdbConfig::tiny());
+    let adb = ADb::build(&db).unwrap();
+    let queries = imdb_queries(&db);
+    let iq7 = queries.iter().find(|q| q.id == "IQ7").unwrap();
+    let (examples, truth) = sample_examples(&db, &iq7.query, 20, 3);
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    let d = Squid::new(&adb).discover(&refs).unwrap();
+    let acc = Accuracy::of(&d.rows, &truth);
+    assert!(
+        acc.recall > 0.9,
+        "recall {} with filters {:?}",
+        acc.recall,
+        d.chosen_filters()
+            .iter()
+            .map(|f| f.describe())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn examples_are_always_contained_in_result() {
+    // Definition 2.1: E ⊆ Q(D), for every benchmark query and example draw.
+    let db = generate_imdb(&ImdbConfig::tiny());
+    let adb = ADb::build(&db).unwrap();
+    let squid = Squid::new(&adb);
+    for q in imdb_queries(&db) {
+        let (examples, _) = sample_examples(&db, &q.query, 5, 11);
+        if examples.is_empty() {
+            continue;
+        }
+        let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+        let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) else {
+            continue;
+        };
+        for r in &d.example_rows {
+            assert!(d.rows.contains(r), "{}: example row {r} missing", q.id);
+        }
+    }
+}
+
+#[test]
+fn accuracy_improves_with_more_examples_on_average() {
+    let db = generate_imdb(&ImdbConfig::tiny());
+    let adb = ADb::build(&db).unwrap();
+    let queries = imdb_queries(&db);
+    let squid = Squid::new(&adb);
+    let mut f_small = 0.0;
+    let mut f_large = 0.0;
+    let mut n = 0.0;
+    for q in queries.iter().filter(|q| ["IQ4", "IQ11", "IQ15"].contains(&q.id.as_str())) {
+        for seed in 0..3u64 {
+            let (ex_small, truth) = sample_examples(&db, &q.query, 3, seed);
+            let (ex_large, _) = sample_examples(&db, &q.query, 15, seed);
+            let small: Vec<&str> = ex_small.iter().map(String::as_str).collect();
+            let large: Vec<&str> = ex_large.iter().map(String::as_str).collect();
+            let d_small = squid
+                .discover_on(q.query.root(), &q.query.projection, &small)
+                .unwrap();
+            let d_large = squid
+                .discover_on(q.query.root(), &q.query.projection, &large)
+                .unwrap();
+            f_small += Accuracy::of(&d_small.rows, &truth).f_score;
+            f_large += Accuracy::of(&d_large.rows, &truth).f_score;
+            n += 1.0;
+        }
+    }
+    f_small /= n;
+    f_large /= n;
+    assert!(
+        f_large >= f_small - 0.05,
+        "more examples should not hurt: {f_small:.3} -> {f_large:.3}"
+    );
+    assert!(f_large > 0.5, "15-example f-score too low: {f_large:.3}");
+}
+
+#[test]
+fn dblp_flagship_intent_is_discoverable() {
+    let db = generate_dblp(&DblpConfig::tiny());
+    let adb = ADb::build(&db).unwrap();
+    let queries = dblp_queries(&db);
+    let dq2 = queries.iter().find(|q| q.id == "DQ2").unwrap();
+    let (examples, truth) = sample_examples(&db, &dq2.query, 10, 5);
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    let params = SquidParams {
+        tau_a: 3, // DBLP associations are smaller than IMDb careers
+        ..SquidParams::default()
+    };
+    let d = Squid::with_params(&adb, params)
+        .discover_on("author", "name", &refs)
+        .unwrap();
+    let acc = Accuracy::of(&d.rows, &truth);
+    assert!(
+        acc.f_score > 0.3,
+        "DQ2 f-score {} (chosen: {:?})",
+        acc.f_score,
+        d.chosen_filters()
+            .iter()
+            .map(|f| f.describe())
+            .collect::<Vec<_>>()
+    );
+}

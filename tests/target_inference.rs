@@ -1,0 +1,136 @@
+//! Target inference: when example values occur in several entity tables,
+//! `Squid::discover` must pick the table where the resolved entities are
+//! semantically coherent (Section 6.1.1's "examples are likely alike"
+//! insight, applied at the table level).
+
+use squid_adb::ADb;
+use squid_core::{Squid, SquidParams};
+use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+
+/// A database where the strings "Alpha" and "Beta" name both persons and
+/// movies. The persons share gender+country+age; the movies share nothing.
+fn ambiguous_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "person",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("gender", DataType::Text),
+                Column::new("country", DataType::Text),
+                Column::new("age", DataType::Int),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "movie",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("year", DataType::Int),
+                Column::new("country", DataType::Text),
+            ],
+        )
+        .with_primary_key("id"),
+    )
+    .unwrap();
+    db.meta.exclude("person", "name");
+    db.meta.exclude("movie", "title");
+    let persons: &[(i64, &str, &str, &str, i64)] = &[
+        (1, "Alpha", "Female", "Canada", 34),
+        (2, "Beta", "Female", "Canada", 36),
+        (3, "Gamma", "Male", "USA", 50),
+        (4, "Delta", "Male", "UK", 60),
+        (5, "Epsilon", "Female", "USA", 41),
+        (6, "Zeta", "Male", "Canada", 29),
+    ];
+    for &(id, n, g, c, a) in persons {
+        db.insert(
+            "person",
+            vec![
+                Value::Int(id),
+                Value::text(n),
+                Value::text(g),
+                Value::text(c),
+                Value::Int(a),
+            ],
+        )
+        .unwrap();
+    }
+    let movies: &[(i64, &str, i64, &str)] = &[
+        (1, "Alpha", 1971, "Japan"),
+        (2, "Beta", 2015, "France"),
+        (3, "Other Film", 1999, "USA"),
+        (4, "Another Film", 2005, "UK"),
+    ];
+    for &(id, t, y, c) in movies {
+        db.insert(
+            "movie",
+            vec![Value::Int(id), Value::text(t), Value::Int(y), Value::text(c)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn discover_prefers_the_coherent_table() {
+    let db = ambiguous_db();
+    let adb = ADb::build(&db).unwrap();
+    let squid = Squid::new(&adb);
+    // "Alpha" and "Beta" exist as persons (two similar Canadian women) and
+    // as movies (dissimilar: different years and countries). The person
+    // interpretation is more coherent.
+    let d = squid.discover(&["Alpha", "Beta"]).unwrap();
+    assert_eq!(d.entity_table, "person");
+    assert_eq!(d.projection_column, "name");
+}
+
+#[test]
+fn discover_on_overrides_inference() {
+    let db = ambiguous_db();
+    let adb = ADb::build(&db).unwrap();
+    let squid = Squid::new(&adb);
+    let d = squid.discover_on("movie", "title", &["Alpha", "Beta"]).unwrap();
+    assert_eq!(d.entity_table, "movie");
+}
+
+#[test]
+fn unique_values_resolve_without_ambiguity() {
+    let db = ambiguous_db();
+    let adb = ADb::build(&db).unwrap();
+    let squid = Squid::new(&adb);
+    let d = squid.discover(&["Gamma", "Delta"]).unwrap();
+    assert_eq!(d.entity_table, "person");
+    assert_eq!(d.example_rows.len(), 2);
+}
+
+#[test]
+fn property_tables_are_not_targets() {
+    // Example values that only occur in a Property-role table must not
+    // resolve (SQuID projects entity tables).
+    let mut db = ambiguous_db();
+    db.create_table(
+        TableSchema::new(
+            "genre",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+        )
+        .with_primary_key("id")
+        .with_role(TableRole::Property),
+    )
+    .unwrap();
+    db.insert("genre", vec![Value::Int(1), Value::text("Comedy")])
+        .unwrap();
+    db.insert("genre", vec![Value::Int(2), Value::text("Drama")])
+        .unwrap();
+    let adb = ADb::build(&db).unwrap();
+    let squid = Squid::with_params(&adb, SquidParams::default());
+    assert!(squid.discover(&["Comedy", "Drama"]).is_err());
+}
