@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use squid_adb::ADb;
 use squid_bench::{params_for, sample_examples};
 use squid_core::Squid;
-use squid_datasets::{
-    generate_imdb, generate_imdb_variant, imdb_queries, ImdbConfig, ImdbVariant,
-};
+use squid_datasets::{generate_imdb, generate_imdb_variant, imdb_queries, ImdbConfig, ImdbVariant};
 
 fn bench_adb_build(c: &mut Criterion) {
     let cfg = ImdbConfig {
@@ -70,6 +68,9 @@ fn bench_discovery_vs_dataset_size(c: &mut Criterion) {
         let (examples, _) = sample_examples(&db, &q.query, 10, 3);
         let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
         let squid = Squid::with_params(&adb, params_for("imdb"));
+        if squid.discover_on("movie", "title", &refs).is_err() {
+            continue; // variant too small for this query's example draw
+        }
         group.bench_function(tag, |b| {
             b.iter(|| {
                 squid

@@ -21,7 +21,7 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 use crate::rng_util::{power_law, weighted_index};
 
@@ -259,6 +259,12 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
     let mut movies_by_genre: Vec<Vec<i64>> = vec![Vec::new(); GENRES.len()];
     let russian_cluster = (config.movies / 50).max(10); // post-2010 Russian movies (IQ10)
     let anime_idx = GENRES.iter().position(|(g, _)| *g == "Animation").unwrap();
+    let horror_idx = GENRES.iter().position(|(g, _)| *g == "Horror").unwrap();
+    let drama_idx = GENRES.iter().position(|(g, _)| *g == "Drama").unwrap();
+    // Planted anchor slate (in the same spirit as the Russian cluster and
+    // the saga trilogy): a few USA Horror-Drama movies from 2005-2008 keep
+    // the rare IQ11 genre pair non-empty at every dataset scale and seed.
+    let festival_slate = russian_cluster..russian_cluster + (config.movies / 60).max(4);
 
     for m in 0..config.movies as i64 {
         let is_russian_cluster = (m as usize) < russian_cluster;
@@ -294,7 +300,17 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
             }
         }
         let language = language_of(country, &mut rng);
-        let title = format!("The {} Story {m:05}", GENRES[primary].0);
+        let (country, year, genres, language) = if festival_slate.contains(&(m as usize)) {
+            (
+                "USA",
+                2005 + m.rem_euclid(4),
+                vec![horror_idx, drama_idx],
+                "English",
+            )
+        } else {
+            (country, year, genres, language)
+        };
+        let title = format!("The {} Story {m:05}", GENRES[genres[0]].0);
         movie_rows.push((m, title, year, country, language));
         for &g in &genres {
             movies_by_genre[g].push(m);
@@ -303,9 +319,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
     }
 
     // Trilogy for IQ2: the last three movies become "Saga Part 1..3".
-    let saga_ids: Vec<i64> = (0..3)
-        .map(|k| config.movies as i64 - 3 + k)
-        .collect();
+    let saga_ids: Vec<i64> = (0..3).map(|k| config.movies as i64 - 3 + k).collect();
     for (k, &mid) in saga_ids.iter().enumerate() {
         movie_rows[mid as usize].1 = format!("Saga Part {}", k + 1);
     }
@@ -364,7 +378,11 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
         };
         names.push(name.clone());
 
-        let gender = if rng.random_bool(0.65) { "Male" } else { "Female" };
+        let gender = if rng.random_bool(0.65) {
+            "Male"
+        } else {
+            "Female"
+        };
         let in_russian_cluster = (p as usize) < russian_actor_cluster;
         let country = if in_russian_cluster {
             "Russia"
@@ -433,7 +451,11 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
         if (russian_actor_cluster..russian_actor_cluster + 20).contains(&(p as usize)) {
             for &mid in &saga_ids {
                 if seen.insert(mid) {
-                    let role = if gender == "Female" { "actress" } else { "actor" };
+                    let role = if gender == "Female" {
+                        "actress"
+                    } else {
+                        "actor"
+                    };
                     db.insert(
                         "castinfo",
                         vec![Value::Int(p), Value::Int(mid), Value::text(role)],
@@ -488,14 +510,20 @@ fn duplicate_entities(base: &Database, dense: bool, config: &ImdbConfig) -> Data
     let np = config.persons as i64;
     let nm = config.movies as i64;
 
-    for (g, name) in base.table("genre").unwrap().iter().map(|(_, r)| {
-        (r[0].as_int().unwrap(), r[1].clone())
-    }) {
+    for (g, name) in base
+        .table("genre")
+        .unwrap()
+        .iter()
+        .map(|(_, r)| (r[0].as_int().unwrap(), r[1]))
+    {
         db.insert("genre", vec![Value::Int(g), name]).unwrap();
     }
-    for (c, name) in base.table("company").unwrap().iter().map(|(_, r)| {
-        (r[0].as_int().unwrap(), r[1].clone())
-    }) {
+    for (c, name) in base
+        .table("company")
+        .unwrap()
+        .iter()
+        .map(|(_, r)| (r[0].as_int().unwrap(), r[1]))
+    {
         db.insert("company", vec![Value::Int(c), name]).unwrap();
     }
     for (_, r) in base.table("person").unwrap().iter() {
@@ -534,30 +562,21 @@ fn duplicate_entities(base: &Database, dense: bool, config: &ImdbConfig) -> Data
     }
     for (_, r) in base.table("castinfo").unwrap().iter() {
         let (p, m) = (r[0].as_int().unwrap(), r[1].as_int().unwrap());
-        let role = r[2].clone();
-        db.insert(
-            "castinfo",
-            vec![Value::Int(p), Value::Int(m), role.clone()],
-        )
-        .unwrap();
+        let role = r[2];
+        db.insert("castinfo", vec![Value::Int(p), Value::Int(m), role])
+            .unwrap();
         // Appendix D.1: bs adds (P2, M2); bd additionally adds (P1, M2)
         // and (P2, M1).
         db.insert(
             "castinfo",
-            vec![Value::Int(p + np), Value::Int(m + nm), role.clone()],
+            vec![Value::Int(p + np), Value::Int(m + nm), role],
         )
         .unwrap();
         if dense {
-            db.insert(
-                "castinfo",
-                vec![Value::Int(p), Value::Int(m + nm), role.clone()],
-            )
-            .unwrap();
-            db.insert(
-                "castinfo",
-                vec![Value::Int(p + np), Value::Int(m), role],
-            )
-            .unwrap();
+            db.insert("castinfo", vec![Value::Int(p), Value::Int(m + nm), role])
+                .unwrap();
+            db.insert("castinfo", vec![Value::Int(p + np), Value::Int(m), role])
+                .unwrap();
         }
     }
     db.validate().expect("variant schema is valid");
@@ -573,7 +592,10 @@ mod tests {
         let cfg = ImdbConfig::tiny();
         let a = generate_imdb(&cfg);
         let b = generate_imdb(&cfg);
-        assert_eq!(a.table("castinfo").unwrap().len(), b.table("castinfo").unwrap().len());
+        assert_eq!(
+            a.table("castinfo").unwrap().len(),
+            b.table("castinfo").unwrap().len()
+        );
         assert_eq!(
             a.table("person").unwrap().cell(17, 1),
             b.table("person").unwrap().cell(17, 1)
@@ -609,9 +631,7 @@ mod tests {
         let movie = db.table("movie").unwrap();
         let russian_recent = movie
             .iter()
-            .filter(|(_, r)| {
-                r[3].as_text() == Some("Russia") && r[2].as_int().unwrap_or(0) > 2010
-            })
+            .filter(|(_, r)| r[3].as_text() == Some("Russia") && r[2].as_int().unwrap_or(0) > 2010)
             .count();
         assert!(russian_recent >= 5, "{russian_recent}");
     }
@@ -620,10 +640,7 @@ mod tests {
     fn duplicate_names_exist() {
         let db = generate_imdb(&ImdbConfig::default());
         let person = db.table("person").unwrap();
-        let mut names: Vec<&str> = person
-            .iter()
-            .filter_map(|(_, r)| r[1].as_text())
-            .collect();
+        let mut names: Vec<&str> = person.iter().filter_map(|(_, r)| r[1].as_text()).collect();
         let total = names.len();
         names.sort_unstable();
         names.dedup();
