@@ -2,18 +2,15 @@
 //! statistics, and materializes derived relations (paper Section 5,
 //! Figure 4's "offline module").
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use squid_relation::{
-    Column, Database, DataType, InvertedIndex, RelationError, Result, RowId, Table, TableRole,
-    TableSchema, Value,
+    Column, DataType, Database, FxHashMap, FxHashSet, InvertedIndex, RelationError, Result, RowId,
+    Table, TableRole, TableSchema, Value,
 };
 
 use crate::properties::{discover_properties, PropKind, PropertyDef};
-use crate::stats::{
-    CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats,
-};
+use crate::stats::{CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats};
 
 /// Configuration knobs for αDB construction.
 #[derive(Debug, Clone)]
@@ -79,7 +76,7 @@ pub struct EntityProps {
     /// Discovered properties with statistics.
     pub props: Vec<Property>,
     /// Entity primary-key value → row id.
-    pub pk_to_row: HashMap<i64, RowId>,
+    pub pk_to_row: FxHashMap<i64, RowId>,
 }
 
 impl EntityProps {
@@ -95,7 +92,7 @@ pub struct ADb {
     /// Global inverted column index for entity lookup.
     pub inverted: InvertedIndex,
     /// Per-entity-table properties and statistics.
-    pub entities: HashMap<String, EntityProps>,
+    pub entities: FxHashMap<String, EntityProps>,
     /// The αDB database: the original tables plus materialized derived
     /// relations (schema `(entity_id, value, count)`).
     pub database: Database,
@@ -116,7 +113,7 @@ impl ADb {
         let inverted = InvertedIndex::build(db);
         let defs = discover_properties(db);
         let mut adb_database = db.clone();
-        let mut entities: HashMap<String, EntityProps> = HashMap::new();
+        let mut entities: FxHashMap<String, EntityProps> = FxHashMap::default();
         let mut derived_table_count = 0usize;
         let mut derived_row_count = 0usize;
 
@@ -128,15 +125,23 @@ impl ADb {
                 ))
             })?;
             let pk_column = table.schema().columns[pk_idx].name.clone();
-            let mut pk_to_row: HashMap<i64, RowId> = HashMap::with_capacity(table.len());
-            for (rid, row) in table.iter() {
-                if let Some(pk) = row[pk_idx].as_int() {
+            let pk_col = table.column(pk_idx);
+            // Hot-path lookup structure (dense vector when pks are dense)
+            // plus the hash map exposed on `EntityProps` for consumers.
+            let id_map = IdMap::build(pk_col, table.len());
+            let mut pk_to_row: FxHashMap<i64, RowId> = FxHashMap::default();
+            pk_to_row.reserve(table.len());
+            for rid in 0..table.len() {
+                if let Some(pk) = pk_col.int_at(rid) {
                     pk_to_row.insert(pk, rid);
                 }
             }
             let n = table.len();
-            // Per-property statistics are independent: compute them in
-            // parallel (a scoped-thread fork/join over the defs).
+            // Per-property statistics are independent: fan them out over
+            // `parallel_workers` scoped threads pulling indices from a
+            // shared atomic counter (work-stealing without locks — each
+            // worker owns its output vector and results are scattered back
+            // by index afterwards).
             let entity_defs: Vec<&PropertyDef> =
                 defs.iter().filter(|d| d.entity == entity_name).collect();
             let stats_results: Vec<Result<Option<PropStats>>> = if config.parallel_workers > 1
@@ -144,28 +149,42 @@ impl ADb {
             {
                 let workers = config.parallel_workers.min(entity_defs.len());
                 let next = std::sync::atomic::AtomicUsize::new(0);
+                let per_worker: Vec<Vec<(usize, Result<Option<PropStats>>)>> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..workers)
+                            .map(|_| {
+                                let next = &next;
+                                let entity_defs = &entity_defs;
+                                let id_map = &id_map;
+                                scope.spawn(move || {
+                                    let mut out = Vec::new();
+                                    loop {
+                                        let i =
+                                            next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        let Some(def) = entity_defs.get(i) else {
+                                            break;
+                                        };
+                                        out.push((i, compute_stats(db, def, n, id_map, config)));
+                                    }
+                                    out
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("stats worker panicked"))
+                            .collect()
+                    });
                 let mut results: Vec<Result<Option<PropStats>>> =
                     (0..entity_defs.len()).map(|_| Ok(None)).collect();
-                let slots: Vec<std::sync::Mutex<&mut Result<Option<PropStats>>>> =
-                    results.iter_mut().map(std::sync::Mutex::new).collect();
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(|| loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some(def) = entity_defs.get(i) else {
-                                break;
-                            };
-                            let r = compute_stats(db, def, table.len(), &pk_to_row, config);
-                            **slots[i].lock().expect("slot lock") = r;
-                        });
-                    }
-                });
-                drop(slots);
+                for (i, r) in per_worker.into_iter().flatten() {
+                    results[i] = r;
+                }
                 results
             } else {
                 entity_defs
                     .iter()
-                    .map(|def| compute_stats(db, def, table.len(), &pk_to_row, config))
+                    .map(|def| compute_stats(db, def, n, &id_map, config))
                     .collect()
             };
 
@@ -228,12 +247,15 @@ impl ADb {
     }
 }
 
-/// Map `pk value → value of a column` for a referenced table.
-fn pk_value_map(db: &Database, table: &str, column: &str) -> Result<HashMap<i64, Value>> {
+/// Map `pk value → value of a column` for a referenced table. Reads the
+/// columnar view; dense pk spaces become a flat vector, and the produced
+/// `Value`s are `Copy` scalars — no cloning, no hashing on dense lookups.
+fn pk_value_map(db: &Database, table: &str, column: &str) -> Result<ValMap> {
     let t = db.table(table)?;
-    let pk = t.schema().primary_key.ok_or_else(|| {
-        RelationError::InvalidSchema(format!("{table} needs a primary key"))
-    })?;
+    let pk = t
+        .schema()
+        .primary_key
+        .ok_or_else(|| RelationError::InvalidSchema(format!("{table} needs a primary key")))?;
     let ci = t
         .schema()
         .column_index(column)
@@ -241,13 +263,114 @@ fn pk_value_map(db: &Database, table: &str, column: &str) -> Result<HashMap<i64,
             table: table.to_string(),
             column: column.to_string(),
         })?;
-    let mut map = HashMap::with_capacity(t.len());
-    for (_, row) in t.iter() {
-        if let Some(k) = row[pk].as_int() {
-            map.insert(k, row[ci].clone());
+    let pk_col = t.column(pk);
+    let val_col = t.column(ci);
+    match IdMap::build(pk_col, t.len()) {
+        IdMap::Dense { offset, slots } => {
+            let mut vals = vec![Value::Null; slots.len()];
+            for (i, &rid) in slots.iter().enumerate() {
+                if rid != NO_ROW {
+                    vals[i] = val_col.value_at(rid as RowId);
+                }
+            }
+            Ok(ValMap::Dense {
+                offset,
+                slots: vals,
+            })
+        }
+        IdMap::Sparse(map) => {
+            let mut vals = FxHashMap::default();
+            vals.reserve(map.len());
+            for (&k, &rid) in &map {
+                vals.insert(k, val_col.value_at(rid));
+            }
+            Ok(ValMap::Sparse(vals))
         }
     }
-    Ok(map)
+}
+
+/// `pk → row id` lookup specialized to a flat vector when the key space is
+/// dense (the generated datasets use 0..n ids, so the dense path is the
+/// common case) — one bounds check instead of a hash per fact row.
+enum IdMap {
+    Dense { offset: i64, slots: Vec<u32> },
+    Sparse(FxHashMap<i64, RowId>),
+}
+
+const NO_ROW: u32 = u32::MAX;
+
+impl IdMap {
+    fn build(pk_col: &squid_relation::ColumnVec, len: usize) -> IdMap {
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for rid in 0..len {
+            if let Some(pk) = pk_col.int_at(rid) {
+                lo = lo.min(pk);
+                hi = hi.max(pk);
+            }
+        }
+        let span = hi.checked_sub(lo).and_then(|s| s.checked_add(1));
+        let fits_u32 = len < NO_ROW as usize; // NO_ROW is the empty-slot sentinel
+        match span {
+            Some(span) if fits_u32 && lo <= hi && (span as u128) <= (4 * len as u128 + 1024) => {
+                let mut slots = vec![NO_ROW; span as usize];
+                for rid in 0..len {
+                    if let Some(pk) = pk_col.int_at(rid) {
+                        slots[(pk - lo) as usize] =
+                            u32::try_from(rid).expect("row id exceeds dense IdMap range");
+                    }
+                }
+                IdMap::Dense { offset: lo, slots }
+            }
+            _ => {
+                let mut map = FxHashMap::default();
+                map.reserve(len);
+                for rid in 0..len {
+                    if let Some(pk) = pk_col.int_at(rid) {
+                        map.insert(pk, rid);
+                    }
+                }
+                IdMap::Sparse(map)
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: i64) -> Option<RowId> {
+        match self {
+            IdMap::Dense { offset, slots } => {
+                let idx = key.checked_sub(*offset)?;
+                match slots.get(usize::try_from(idx).ok()?) {
+                    Some(&r) if r != NO_ROW => Some(r as RowId),
+                    _ => None,
+                }
+            }
+            IdMap::Sparse(map) => map.get(&key).copied(),
+        }
+    }
+}
+
+/// `pk → attribute value` with the same dense/sparse specialization
+/// (`Value::Null` marks empty dense slots; nulls are not stored).
+enum ValMap {
+    Dense { offset: i64, slots: Vec<Value> },
+    Sparse(FxHashMap<i64, Value>),
+}
+
+impl ValMap {
+    #[inline]
+    fn get(&self, key: i64) -> Option<&Value> {
+        match self {
+            ValMap::Dense { offset, slots } => {
+                let idx = key.checked_sub(*offset)?;
+                match slots.get(usize::try_from(idx).ok()?) {
+                    Some(v) if !v.is_null() => Some(v),
+                    _ => None,
+                }
+            }
+            ValMap::Sparse(map) => map.get(&key),
+        }
+    }
 }
 
 fn col(db: &Database, table: &str, column: &str) -> Result<usize> {
@@ -260,36 +383,40 @@ fn col(db: &Database, table: &str, column: &str) -> Result<usize> {
         })
 }
 
+/// Compute one property's statistics. Every scan below reads the columnar
+/// view (`ColumnVec`): join keys come from contiguous `i64` slices via
+/// `int_at`, cells are reconstructed as `Copy` scalars via `value_at`, and
+/// nothing in the per-row loops clones a `Value` or touches a `String`.
 fn compute_stats(
     db: &Database,
     def: &PropertyDef,
     n: usize,
-    pk_to_row: &HashMap<i64, RowId>,
+    pk_to_row: &IdMap,
     config: &AdbConfig,
 ) -> Result<Option<PropStats>> {
     let entity_table = db.table(&def.entity)?;
     Ok(match &def.kind {
         PropKind::DirectCategorical { column } => {
             let ci = col(db, &def.entity, column)?;
+            let cv = entity_table.column(ci);
             let mut stats = CategoricalStats {
                 per_entity: vec![Vec::new(); n],
                 ..Default::default()
             };
-            for (rid, row) in entity_table.iter() {
-                let v = &row[ci];
-                if !v.is_null() {
-                    *stats.value_entity_counts.entry(v.clone()).or_insert(0) += 1;
-                    stats.per_entity[rid].push(v.clone());
+            for rid in 0..n {
+                if cv.is_null(rid) {
+                    continue;
                 }
+                let v = cv.value_at(rid);
+                *stats.value_entity_counts.entry(v).or_insert(0) += 1;
+                stats.per_entity[rid].push(v);
             }
             Some(PropStats::Categorical(stats))
         }
         PropKind::DirectNumeric { column } => {
             let ci = col(db, &def.entity, column)?;
-            let per_entity: Vec<Option<f64>> = entity_table
-                .iter()
-                .map(|(_, row)| row[ci].as_float())
-                .collect();
+            let cv = entity_table.column(ci);
+            let per_entity: Vec<Option<f64>> = (0..n).map(|rid| cv.float_at(rid)).collect();
             Some(PropStats::Numeric(NumericStats::build(per_entity)))
         }
         PropKind::FactCategorical {
@@ -300,31 +427,22 @@ fn compute_stats(
             prop_column,
         } => {
             let fact_t = db.table(fact)?;
-            let fe = col(db, fact, fact_entity_col)?;
-            let fp = col(db, fact, fact_prop_col)?;
+            let fe = fact_t.column(col(db, fact, fact_entity_col)?);
+            let fp = fact_t.column(col(db, fact, fact_prop_col)?);
             let prop_values = pk_value_map(db, prop_table, prop_column)?;
             let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
-            for (_, row) in fact_t.iter() {
-                let (Some(e), Some(p)) = (row[fe].as_int(), row[fp].as_int()) else {
+            for row in 0..fact_t.len() {
+                let (Some(e), Some(p)) = (fe.int_at(row), fp.int_at(row)) else {
                     continue;
                 };
-                let (Some(&rid), Some(v)) = (pk_to_row.get(&e), prop_values.get(&p)) else {
+                let (Some(rid), Some(v)) = (pk_to_row.get(e), prop_values.get(p)) else {
                     continue;
                 };
                 if !v.is_null() && !per_entity[rid].contains(v) {
-                    per_entity[rid].push(v.clone());
+                    per_entity[rid].push(*v);
                 }
             }
-            let mut value_entity_counts: HashMap<Value, usize> = HashMap::new();
-            for vals in &per_entity {
-                for v in vals {
-                    *value_entity_counts.entry(v.clone()).or_insert(0) += 1;
-                }
-            }
-            Some(PropStats::Categorical(CategoricalStats {
-                value_entity_counts,
-                per_entity,
-            }))
+            Some(PropStats::Categorical(categorical_from_sets(per_entity)))
         }
         PropKind::InlineCategorical {
             fact,
@@ -332,29 +450,23 @@ fn compute_stats(
             column,
         } => {
             let fact_t = db.table(fact)?;
-            let fe = col(db, fact, fact_entity_col)?;
-            let fc = col(db, fact, column)?;
+            let fe = fact_t.column(col(db, fact, fact_entity_col)?);
+            let fc = fact_t.column(col(db, fact, column)?);
             let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
-            for (_, row) in fact_t.iter() {
-                let Some(e) = row[fe].as_int() else { continue };
-                let Some(&rid) = pk_to_row.get(&e) else {
+            for row in 0..fact_t.len() {
+                let Some(e) = fe.int_at(row) else { continue };
+                let Some(rid) = pk_to_row.get(e) else {
                     continue;
                 };
-                let v = &row[fc];
-                if !v.is_null() && !per_entity[rid].contains(v) {
-                    per_entity[rid].push(v.clone());
+                if fc.is_null(row) {
+                    continue;
+                }
+                let v = fc.value_at(row);
+                if !per_entity[rid].contains(&v) {
+                    per_entity[rid].push(v);
                 }
             }
-            let mut value_entity_counts: HashMap<Value, usize> = HashMap::new();
-            for vals in &per_entity {
-                for v in vals {
-                    *value_entity_counts.entry(v.clone()).or_insert(0) += 1;
-                }
-            }
-            Some(PropStats::Categorical(CategoricalStats {
-                value_entity_counts,
-                per_entity,
-            }))
+            Some(PropStats::Categorical(categorical_from_sets(per_entity)))
         }
         PropKind::FactAttrCount {
             fact,
@@ -362,17 +474,16 @@ fn compute_stats(
             column,
         } => {
             let fact_t = db.table(fact)?;
-            let fe = col(db, fact, fact_entity_col)?;
-            let fc = col(db, fact, column)?;
-            let mut per_entity: Vec<HashMap<Value, u64>> = vec![HashMap::new(); n];
-            for (_, row) in fact_t.iter() {
-                let Some(e) = row[fe].as_int() else { continue };
-                let Some(&rid) = pk_to_row.get(&e) else {
+            let fe = fact_t.column(col(db, fact, fact_entity_col)?);
+            let fc = fact_t.column(col(db, fact, column)?);
+            let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
+            for row in 0..fact_t.len() {
+                let Some(e) = fe.int_at(row) else { continue };
+                let Some(rid) = pk_to_row.get(e) else {
                     continue;
                 };
-                let v = &row[fc];
-                if !v.is_null() {
-                    *per_entity[rid].entry(v.clone()).or_insert(0) += 1;
+                if !fc.is_null(row) {
+                    *per_entity[rid].entry(fc.value_at(row)).or_insert(0) += 1;
                 }
             }
             Some(PropStats::Derived(DerivedStats::build(per_entity)))
@@ -386,51 +497,75 @@ fn compute_stats(
             numeric,
         } => {
             let fact_t = db.table(fact)?;
-            let fe = col(db, fact, fact_entity_col)?;
-            let fm = col(db, fact, fact_mid_col)?;
+            let fe = fact_t.column(col(db, fact, fact_entity_col)?);
+            let fm = fact_t.column(col(db, fact, fact_mid_col)?);
             let mid_values = pk_value_map(db, mid_table, column)?;
             if *numeric {
-                // (value, count) multisets per entity.
-                let mut maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); n];
-                let mut distinct: std::collections::HashSet<u64> =
-                    std::collections::HashSet::new();
-                for (_, row) in fact_t.iter() {
-                    let (Some(e), Some(m)) = (row[fe].as_int(), row[fm].as_int()) else {
+                // Cheap domain pre-check: the fact-reached domain is a
+                // subset of the mid attribute's domain, so when the mid
+                // column itself fits the budget (the common case) the
+                // fact scan needs no distinct-tracking at all. When it
+                // does not, the guard is decided exactly — on the
+                // fact-reached values — after accumulation, preserving
+                // the original semantics.
+                let mid_t = db.table(mid_table)?;
+                let mid_ci = col(db, mid_table, column)?;
+                let mid_cv = mid_t.column(mid_ci);
+                let mut mid_distinct: FxHashSet<u64> = FxHashSet::default();
+                for rid in 0..mid_t.len() {
+                    if let Some(x) = mid_cv.float_at(rid) {
+                        mid_distinct.insert(x.to_bits());
+                    }
+                }
+                let needs_exact_guard = mid_distinct.len() > config.max_numeric_derived_domain;
+                // (value, count) multisets per entity: raw pushes into
+                // per-entity vectors (no hashing in the fact scan), then
+                // one sort + coalesce pass per entity.
+                let mut per_entity: Vec<Vec<(f64, u64)>> = vec![Vec::new(); n];
+                for row in 0..fact_t.len() {
+                    let (Some(e), Some(m)) = (fe.int_at(row), fm.int_at(row)) else {
                         continue;
                     };
-                    let (Some(&rid), Some(v)) = (pk_to_row.get(&e), mid_values.get(&m)) else {
+                    let (Some(rid), Some(v)) = (pk_to_row.get(e), mid_values.get(m)) else {
                         continue;
                     };
                     let Some(x) = v.as_float() else { continue };
-                    let bits = x.to_bits();
-                    distinct.insert(bits);
-                    *maps[rid].entry(bits).or_insert(0) += 1;
+                    per_entity[rid].push((x, 1));
                 }
-                if distinct.len() > config.max_numeric_derived_domain {
-                    return Ok(None); // domain too wide to precompute
+                for ent in &mut per_entity {
+                    ent.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    ent.dedup_by(|next, acc| {
+                        if acc.0 == next.0 {
+                            acc.1 += next.1;
+                            true
+                        } else {
+                            false
+                        }
+                    });
                 }
-                let per_entity: Vec<Vec<(f64, u64)>> = maps
-                    .into_iter()
-                    .map(|m| {
-                        m.into_iter()
-                            .map(|(bits, c)| (f64::from_bits(bits), c))
-                            .collect()
-                    })
-                    .collect();
+                if needs_exact_guard {
+                    let mut reached: FxHashSet<u64> = FxHashSet::default();
+                    for ent in &per_entity {
+                        reached.extend(ent.iter().map(|(x, _)| x.to_bits()));
+                    }
+                    if reached.len() > config.max_numeric_derived_domain {
+                        return Ok(None); // domain too wide to precompute
+                    }
+                }
                 Some(PropStats::DerivedNumeric(DerivedNumericStats::build(
                     per_entity,
                 )))
             } else {
-                let mut per_entity: Vec<HashMap<Value, u64>> = vec![HashMap::new(); n];
-                for (_, row) in fact_t.iter() {
-                    let (Some(e), Some(m)) = (row[fe].as_int(), row[fm].as_int()) else {
+                let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
+                for row in 0..fact_t.len() {
+                    let (Some(e), Some(m)) = (fe.int_at(row), fm.int_at(row)) else {
                         continue;
                     };
-                    let (Some(&rid), Some(v)) = (pk_to_row.get(&e), mid_values.get(&m)) else {
+                    let (Some(rid), Some(v)) = (pk_to_row.get(e), mid_values.get(m)) else {
                         continue;
                     };
                     if !v.is_null() {
-                        *per_entity[rid].entry(v.clone()).or_insert(0) += 1;
+                        *per_entity[rid].entry(*v).or_insert(0) += 1;
                     }
                 }
                 Some(PropStats::Derived(DerivedStats::build(per_entity)))
@@ -440,49 +575,84 @@ fn compute_stats(
             fact1,
             f1_entity_col,
             f1_mid_col,
+            mid_table,
             fact2,
             f2_mid_col,
             f2_prop_col,
             prop_table,
             prop_column,
-            ..
         } => {
-            // mid pk → property values (a movie's genres).
+            // mid row → property values (a movie's genres), dense by the
+            // mid table's row ids so the fact1 scan does no pk hashing.
+            let mid_t = db.table(mid_table)?;
+            let mid_pk = mid_t.schema().primary_key.ok_or_else(|| {
+                RelationError::InvalidSchema(format!("{mid_table} needs a primary key"))
+            })?;
+            let mid_ids = IdMap::build(mid_t.column(mid_pk), mid_t.len());
             let fact2_t = db.table(fact2)?;
-            let f2m = col(db, fact2, f2_mid_col)?;
-            let f2p = col(db, fact2, f2_prop_col)?;
+            let f2m = fact2_t.column(col(db, fact2, f2_mid_col)?);
+            let f2p = fact2_t.column(col(db, fact2, f2_prop_col)?);
             let prop_values = pk_value_map(db, prop_table, prop_column)?;
-            let mut mid_to_props: HashMap<i64, Vec<Value>> = HashMap::new();
-            for (_, row) in fact2_t.iter() {
-                let (Some(m), Some(p)) = (row[f2m].as_int(), row[f2p].as_int()) else {
+            let mut mid_props: Vec<Vec<Value>> = vec![Vec::new(); mid_t.len()];
+            // Dangling mid ids (fact rows referencing a pk with no mid
+            // row) still join fact1-to-fact2 in the live query, so they
+            // must still count here; they go to a sparse side map.
+            let mut dangling: FxHashMap<i64, Vec<Value>> = FxHashMap::default();
+            for row in 0..fact2_t.len() {
+                let (Some(m), Some(p)) = (f2m.int_at(row), f2p.int_at(row)) else {
                     continue;
                 };
-                if let Some(v) = prop_values.get(&p) {
-                    if !v.is_null() {
-                        mid_to_props.entry(m).or_default().push(v.clone());
-                    }
+                let Some(v) = prop_values.get(p) else {
+                    continue;
+                };
+                if v.is_null() {
+                    continue;
+                }
+                match mid_ids.get(m) {
+                    Some(mid_row) => mid_props[mid_row].push(*v),
+                    None => dangling.entry(m).or_default().push(*v),
                 }
             }
             let fact1_t = db.table(fact1)?;
-            let f1e = col(db, fact1, f1_entity_col)?;
-            let f1m = col(db, fact1, f1_mid_col)?;
-            let mut per_entity: Vec<HashMap<Value, u64>> = vec![HashMap::new(); n];
-            for (_, row) in fact1_t.iter() {
-                let (Some(e), Some(m)) = (row[f1e].as_int(), row[f1m].as_int()) else {
+            let f1e = fact1_t.column(col(db, fact1, f1_entity_col)?);
+            let f1m = fact1_t.column(col(db, fact1, f1_mid_col)?);
+            let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
+            for row in 0..fact1_t.len() {
+                let (Some(e), Some(m)) = (f1e.int_at(row), f1m.int_at(row)) else {
                     continue;
                 };
-                let Some(&rid) = pk_to_row.get(&e) else {
+                let Some(rid) = pk_to_row.get(e) else {
                     continue;
                 };
-                if let Some(props) = mid_to_props.get(&m) {
-                    for v in props {
-                        *per_entity[rid].entry(v.clone()).or_insert(0) += 1;
-                    }
+                let props = match mid_ids.get(m) {
+                    Some(mid_row) => &mid_props[mid_row],
+                    None => match dangling.get(&m) {
+                        Some(props) => props,
+                        None => continue,
+                    },
+                };
+                for v in props {
+                    *per_entity[rid].entry(*v).or_insert(0) += 1;
                 }
             }
             Some(PropStats::Derived(DerivedStats::build(per_entity)))
         }
     })
+}
+
+/// Assemble categorical stats from per-entity value sets (tallies how many
+/// distinct entities carry each value).
+fn categorical_from_sets(per_entity: Vec<Vec<Value>>) -> CategoricalStats {
+    let mut value_entity_counts: FxHashMap<Value, usize> = FxHashMap::default();
+    for vals in &per_entity {
+        for v in vals {
+            *value_entity_counts.entry(*v).or_insert(0) += 1;
+        }
+    }
+    CategoricalStats {
+        value_entity_counts,
+        per_entity,
+    }
 }
 
 /// Sanitize a property id into a valid derived-table name.
@@ -514,7 +684,7 @@ fn materialize(
                     if let Some(t) = v.data_type() {
                         vt = t;
                     }
-                    rows.push((rid, v.clone(), c));
+                    rows.push((rid, *v, c));
                 }
             }
             (rows, vt)
@@ -543,12 +713,13 @@ fn materialize(
         .with_role(TableRole::Fact)
         .with_foreign_key("entity_id", &def.entity, pk_idx),
     );
+    table.reserve(rows.len());
     for (rid, v, c) in rows {
         let pk = entity_table
             .cell(rid, pk_idx)
-            .cloned()
+            .copied()
             .unwrap_or(Value::Null);
-        table.insert(vec![pk, v, Value::Int(c as i64)])?;
+        table.insert_slice(&[pk, v, Value::Int(c as i64)])?;
         *derived_row_count += 1;
     }
     adb.add_table(table)?;
@@ -571,10 +742,7 @@ mod tests {
         assert!(a.build_stats.property_count > 5);
         assert!(a.build_stats.derived_table_count > 0);
         assert!(a.build_stats.derived_row_count > 0);
-        assert_eq!(
-            a.build_stats.original_row_count,
-            mini_imdb().total_rows()
-        );
+        assert_eq!(a.build_stats.original_row_count, mini_imdb().total_rows());
     }
 
     #[test]
@@ -633,7 +801,9 @@ mod tests {
         // Query the materialized relation: persons with >= 4 comedies.
         let q = Query::single(
             QueryBlock::new("person").semi_join(SemiJoin::exists(vec![PathStep::new(
-                tname, "id", "entity_id",
+                tname,
+                "id",
+                "entity_id",
             )
             .filter(Pred::eq("value", "Comedy"))
             .filter(Pred::ge("count", 4))])),
@@ -653,8 +823,7 @@ mod tests {
                 vec![
                     PathStep::new("castinfo", "id", "person_id"),
                     PathStep::new("movietogenre", "movie_id", "movie_id"),
-                    PathStep::new("genre", "genre_id", "id")
-                        .filter(Pred::eq("name", "Comedy")),
+                    PathStep::new("genre", "genre_id", "id").filter(Pred::eq("name", "Comedy")),
                 ],
             )),
             "name",
@@ -670,7 +839,9 @@ mod tests {
         let tname = p.derived_table.as_ref().unwrap();
         let adb_q = Query::single(
             QueryBlock::new("person").semi_join(SemiJoin::exists(vec![PathStep::new(
-                tname, "id", "entity_id",
+                tname,
+                "id",
+                "entity_id",
             )
             .filter(Pred::eq("value", "Comedy"))
             .filter(Pred::ge("count", 4))])),
@@ -720,8 +891,41 @@ mod tests {
     #[test]
     fn inverted_index_finds_examples() {
         let a = adb();
-        let cols = a.inverted.columns_containing_all(&["Jim Carrey", "Eddie Murphy"]);
+        let cols = a
+            .inverted
+            .columns_containing_all(&["Jim Carrey", "Eddie Murphy"]);
         assert_eq!(cols, vec![("person".to_string(), 1)]);
+    }
+
+    #[test]
+    fn two_hop_counts_include_dangling_mid_ids() {
+        // Row-level referential integrity is not enforced: a castinfo +
+        // movietogenre pair can reference a movie id with no movie row.
+        // The live abduced query joins fact1 to fact2 directly, so the
+        // precomputed counts must include such associations too.
+        let mut db = mini_imdb();
+        db.insert(
+            "castinfo",
+            vec![Value::Int(1), Value::Int(999), Value::text("actor")],
+        )
+        .unwrap();
+        db.insert("movietogenre", vec![Value::Int(999), Value::Int(0)])
+            .unwrap(); // genre 0 = Comedy
+        let a = ADb::build(&db).unwrap();
+        let e = a.entity("person").unwrap();
+        let p = e
+            .props
+            .iter()
+            .find(|p| {
+                matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre")
+            })
+            .unwrap();
+        let PropStats::Derived(s) = &p.stats else {
+            panic!("expected derived")
+        };
+        // Jim Carrey (id 1) had 5 comedies; the dangling movie adds one.
+        let jim = e.pk_to_row[&1];
+        assert_eq!(s.count_of(jim, &Value::text("Comedy")), 6);
     }
 
     #[test]
@@ -732,7 +936,10 @@ mod tests {
         };
         let a = ADb::build_with(&mini_imdb(), &cfg).unwrap();
         assert_eq!(a.build_stats.derived_table_count, 0);
-        assert!(a.entities["person"].props.iter().all(|p| p.derived_table.is_none()));
+        assert!(a.entities["person"]
+            .props
+            .iter()
+            .all(|p| p.derived_table.is_none()));
     }
 
     #[test]

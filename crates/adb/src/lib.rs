@@ -16,6 +16,4 @@ pub mod test_fixtures;
 
 pub use build::{ADb, AdbConfig, BuildStats, EntityProps, Property};
 pub use properties::{discover_properties, PropKind, PropertyDef};
-pub use stats::{
-    CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats,
-};
+pub use stats::{CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats};

@@ -16,7 +16,7 @@
 //! Discovery is restricted to a depth of two fact tables, as in the paper.
 
 use squid_engine::{PathStep, Pred, SemiJoin};
-use squid_relation::{Database, DataType, TableRole, Value};
+use squid_relation::{DataType, Database, TableRole, Value};
 
 /// How a semantic property is reached from its entity table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,8 +151,7 @@ impl PropertyDef {
                 prop_column,
             } => Some(SemiJoin::exists(vec![
                 PathStep::new(fact, pk_column, fact_entity_col),
-                PathStep::new(prop_table, fact_prop_col, "id")
-                    .filter(Pred::eq(prop_column, v.clone())),
+                PathStep::new(prop_table, fact_prop_col, "id").filter(Pred::eq(prop_column, *v)),
             ])),
             PropKind::InlineCategorical {
                 fact,
@@ -163,15 +162,14 @@ impl PropertyDef {
                 pk_column,
                 fact_entity_col,
             )
-            .filter(Pred::eq(column, v.clone()))])),
+            .filter(Pred::eq(column, *v))])),
             PropKind::FactAttrCount {
                 fact,
                 fact_entity_col,
                 column,
             } => Some(SemiJoin::at_least(
                 theta,
-                vec![PathStep::new(fact, pk_column, fact_entity_col)
-                    .filter(Pred::eq(column, v.clone()))],
+                vec![PathStep::new(fact, pk_column, fact_entity_col).filter(Pred::eq(column, *v))],
             )),
             PropKind::MidAttrCount {
                 fact,
@@ -184,8 +182,7 @@ impl PropertyDef {
                 theta,
                 vec![
                     PathStep::new(fact, pk_column, fact_entity_col),
-                    PathStep::new(mid_table, fact_mid_col, "id")
-                        .filter(Pred::eq(column, v.clone())),
+                    PathStep::new(mid_table, fact_mid_col, "id").filter(Pred::eq(column, *v)),
                 ],
             )),
             PropKind::TwoHopCount {
@@ -203,8 +200,7 @@ impl PropertyDef {
                 vec![
                     PathStep::new(fact1, pk_column, f1_entity_col),
                     PathStep::new(fact2, f1_mid_col, f2_mid_col),
-                    PathStep::new(prop_table, f2_prop_col, "id")
-                        .filter(Pred::eq(prop_column, v.clone())),
+                    PathStep::new(prop_table, f2_prop_col, "id").filter(Pred::eq(prop_column, *v)),
                 ],
             )),
         }
@@ -226,8 +222,7 @@ impl PropertyDef {
                 theta,
                 vec![
                     PathStep::new(fact, pk_column, fact_entity_col),
-                    PathStep::new(mid_table, fact_mid_col, "id")
-                        .filter(Pred::ge(column, cut.clone())),
+                    PathStep::new(mid_table, fact_mid_col, "id").filter(Pred::ge(column, *cut)),
                 ],
             )),
             _ => None,
@@ -238,8 +233,8 @@ impl PropertyDef {
     /// `[low, high]`.
     pub fn root_pred(&self, v: &Value) -> Option<Pred> {
         match &self.kind {
-            PropKind::DirectCategorical { column } => Some(Pred::eq(column, v.clone())),
-            PropKind::DirectNumeric { column } => Some(Pred::eq(column, v.clone())),
+            PropKind::DirectCategorical { column } => Some(Pred::eq(column, *v)),
+            PropKind::DirectNumeric { column } => Some(Pred::eq(column, *v)),
             _ => None,
         }
     }
@@ -265,7 +260,9 @@ fn value_columns<'a>(
     schema.columns.iter().enumerate().filter(move |(i, _)| {
         schema.primary_key != Some(*i)
             && schema.foreign_key_on(*i).is_none()
-            && !db.meta.is_non_semantic(&table_name, &schema.columns[*i].name)
+            && !db
+                .meta
+                .is_non_semantic(&table_name, &schema.columns[*i].name)
     })
 }
 
@@ -462,8 +459,9 @@ mod tests {
         let db = mini_imdb();
         let props = discover_properties(&db);
         assert!(props.iter().any(|p| p.id == "person.gender"));
-        assert!(props.iter().any(|p| p.id == "person.birth_year"
-            && matches!(p.kind, PropKind::DirectNumeric { .. })));
+        assert!(props.iter().any(
+            |p| p.id == "person.birth_year" && matches!(p.kind, PropKind::DirectNumeric { .. })
+        ));
         // Primary keys and names are excluded.
         assert!(!props.iter().any(|p| p.id == "person.id"));
         assert!(!props.iter().any(|p| p.id == "person.name"));
@@ -502,8 +500,9 @@ mod tests {
             && p.attr_name == "movie.country"
             && matches!(p.kind, PropKind::MidAttrCount { numeric: false, .. })));
         // movie -> person.country (number of American cast members)
-        assert!(props.iter().any(|p| p.entity == "movie"
-            && p.attr_name == "person.country"));
+        assert!(props
+            .iter()
+            .any(|p| p.entity == "movie" && p.attr_name == "person.country"));
         // numeric mid attribute
         assert!(props.iter().any(|p| p.entity == "person"
             && p.attr_name == "movie.year"
@@ -591,9 +590,7 @@ mod identity_tests {
         assert!(matches!(p.kind, PropKind::FactCategorical { .. }));
         assert!(!p.kind.is_derived());
         // movie ~ castinfo ~ person!name: "features the person named X".
-        assert!(props
-            .iter()
-            .any(|p| p.id == "movie~castinfo~person!name"));
+        assert!(props.iter().any(|p| p.id == "movie~castinfo~person!name"));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! online phase needs to compute filter selectivities ψ(φ) and domain
 //! coverages in O(log n) ("smart selectivity computation", Section 5).
 
-use std::collections::HashMap;
-
-use squid_relation::{RowId, Value};
+use squid_relation::{FxHashMap, RowId, Value};
 
 /// Statistics for a categorical property (direct attribute or a property
 /// table reached through one fact hop). Multi-valued per entity in the
@@ -12,7 +10,7 @@ use squid_relation::{RowId, Value};
 #[derive(Debug, Clone, Default)]
 pub struct CategoricalStats {
     /// For each value: how many *distinct entities* carry it.
-    pub value_entity_counts: HashMap<Value, usize>,
+    pub value_entity_counts: FxHashMap<Value, usize>,
     /// Per-entity value sets, indexed by entity row id.
     pub per_entity: Vec<Vec<Value>>,
 }
@@ -63,7 +61,10 @@ impl CategoricalStats {
 
     /// Value set of one entity.
     pub fn values_of(&self, row: RowId) -> &[Value] {
-        self.per_entity.get(row).map(|v| v.as_slice()).unwrap_or(&[])
+        self.per_entity
+            .get(row)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -177,33 +178,37 @@ impl NumericStats {
 #[derive(Debug, Clone, Default)]
 pub struct DerivedStats {
     /// Per entity row: value → association count.
-    pub per_entity: Vec<HashMap<Value, u64>>,
+    pub per_entity: Vec<FxHashMap<Value, u64>>,
     /// Per entity row: total association count (for normalization).
     pub entity_totals: Vec<u64>,
     /// For each value: ascending per-entity counts (entities with count > 0).
-    pub value_count_dists: HashMap<Value, Vec<u64>>,
+    pub value_count_dists: FxHashMap<Value, Vec<u64>>,
     /// For each value: ascending per-entity fractions count/total.
-    pub value_frac_dists: HashMap<Value, Vec<f64>>,
+    pub value_frac_dists: FxHashMap<Value, Vec<f64>>,
 }
 
 impl DerivedStats {
     /// Build from the per-entity count maps.
-    pub fn build(per_entity: Vec<HashMap<Value, u64>>) -> Self {
+    pub fn build(per_entity: Vec<FxHashMap<Value, u64>>) -> Self {
         let entity_totals: Vec<u64> = per_entity
             .iter()
             .map(|m| m.values().copied().sum())
             .collect();
-        let mut value_count_dists: HashMap<Value, Vec<u64>> = HashMap::new();
-        let mut value_frac_dists: HashMap<Value, Vec<f64>> = HashMap::new();
+        let mut value_count_dists: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
+        let mut value_frac_dists: FxHashMap<Value, Vec<f64>> = FxHashMap::default();
         for (row, counts) in per_entity.iter().enumerate() {
             let total = entity_totals[row];
             for (v, &c) in counts {
                 if c == 0 {
                     continue;
                 }
-                value_count_dists.entry(v.clone()).or_default().push(c);
-                let frac = if total > 0 { c as f64 / total as f64 } else { 0.0 };
-                value_frac_dists.entry(v.clone()).or_default().push(frac);
+                value_count_dists.entry(*v).or_default().push(c);
+                let frac = if total > 0 {
+                    c as f64 / total as f64
+                } else {
+                    0.0
+                };
+                value_frac_dists.entry(*v).or_default().push(frac);
             }
         }
         for d in value_count_dists.values_mut() {
@@ -259,7 +264,7 @@ impl DerivedStats {
     }
 
     /// Count map of one entity.
-    pub fn counts_of(&self, row: RowId) -> Option<&HashMap<Value, u64>> {
+    pub fn counts_of(&self, row: RowId) -> Option<&FxHashMap<Value, u64>> {
         self.per_entity.get(row)
     }
 
@@ -298,6 +303,10 @@ pub struct DerivedNumericStats {
 
 impl DerivedNumericStats {
     /// Build from per-entity `(value, count)` multisets.
+    ///
+    /// Per-entity suffix counts are produced by one descending merge walk
+    /// over (cutpoints × the entity's own values) — O(C + K) per entity
+    /// instead of the naive O(C × K) binary-search-and-sum.
     pub fn build(mut per_entity: Vec<Vec<(f64, u64)>>) -> Self {
         for v in &mut per_entity {
             v.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -309,11 +318,10 @@ impl DerivedNumericStats {
         cutpoints.sort_by(f64::total_cmp);
         cutpoints.dedup();
         let mut per_cut_dists: Vec<Vec<u64>> = vec![Vec::new(); cutpoints.len()];
+        let mut buf = Vec::new();
         for ent in &per_entity {
-            // Suffix counts for this entity at each cutpoint it reaches.
-            for (ci, &cut) in cutpoints.iter().enumerate() {
-                let start = ent.partition_point(|&(x, _)| x < cut);
-                let suffix: u64 = ent[start..].iter().map(|(_, c)| c).sum();
+            suffix_walk(ent, &cutpoints, &mut buf);
+            for (ci, &suffix) in buf.iter().enumerate() {
                 if suffix > 0 {
                     per_cut_dists[ci].push(suffix);
                 }
@@ -326,6 +334,18 @@ impl DerivedNumericStats {
             per_entity,
             cutpoints,
             per_cut_dists,
+        }
+    }
+
+    /// Fill `out[ci]` with this entity's suffix count at every cutpoint
+    /// (one descending walk; `out` is resized to `cutpoints.len()`).
+    pub fn suffix_counts_into(&self, row: RowId, out: &mut Vec<u64>) {
+        match self.per_entity.get(row) {
+            Some(ent) => suffix_walk(ent, &self.cutpoints, out),
+            None => {
+                out.clear();
+                out.resize(self.cutpoints.len(), 0);
+            }
         }
     }
 
@@ -362,6 +382,34 @@ impl DerivedNumericStats {
             return 1.0;
         }
         ((max - cut.max(min)) / (max - min)).clamp(0.0, 1.0)
+    }
+}
+
+/// `out[ci]` = total count of `ent` entries NOT below `cutpoints[ci]`
+/// (matching `partition_point(|x| x < cut)`: NaN entries are never below
+/// any cut, so they count into every suffix). `ent` must be ascending by
+/// total order; one merge walk from the top.
+fn suffix_walk(ent: &[(f64, u64)], cutpoints: &[f64], out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(cutpoints.len(), 0);
+    let mut j = ent.len();
+    let mut run = 0u64;
+    // NaNs sort above every finite cut and `x < cut` is false for them:
+    // consume them into the running suffix first.
+    while j > 0 && ent[j - 1].0.is_nan() {
+        run += ent[j - 1].1;
+        j -= 1;
+    }
+    for ci in (0..cutpoints.len()).rev() {
+        let cut = cutpoints[ci];
+        // NOT below the cut in partial order (NaN included), matching
+        // `partition_point(|x| x < cut)`.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        while j > 0 && !(ent[j - 1].0 < cut) {
+            run += ent[j - 1].1;
+            j -= 1;
+        }
+        out[ci] = run;
     }
 }
 
@@ -441,7 +489,7 @@ mod tests {
             pairs
                 .iter()
                 .map(|(k, c)| (v(k), *c))
-                .collect::<HashMap<_, _>>()
+                .collect::<FxHashMap<_, _>>()
         };
         let s = DerivedStats::build(vec![
             mk(&[("Comedy", 5)]),
@@ -464,7 +512,7 @@ mod tests {
             pairs
                 .iter()
                 .map(|(k, c)| (v(k), *c))
-                .collect::<HashMap<_, _>>()
+                .collect::<FxHashMap<_, _>>()
         };
         let s = DerivedStats::build(vec![
             mk(&[("Comedy", 3), ("Drama", 1)]), // 75% comedy
@@ -478,10 +526,7 @@ mod tests {
     #[test]
     fn derived_numeric_suffix_counts() {
         // Entity 0: movies in 2008 (2 of them) and 2012 (3). Entity 1: 2005 (1).
-        let s = DerivedNumericStats::build(vec![
-            vec![(2008.0, 2), (2012.0, 3)],
-            vec![(2005.0, 1)],
-        ]);
+        let s = DerivedNumericStats::build(vec![vec![(2008.0, 2), (2012.0, 3)], vec![(2005.0, 1)]]);
         assert_eq!(s.suffix_count_of(0, 2010.0), 3);
         assert_eq!(s.suffix_count_of(0, 2000.0), 5);
         assert_eq!(s.suffix_count_of(1, 2010.0), 0);
@@ -491,6 +536,22 @@ mod tests {
         assert_eq!(s.selectivity_ge(2000.0, 1, 2), 1.0);
         // Coverage shrinks as the cut rises.
         assert!(s.coverage_ge(2012.0) < s.coverage_ge(2005.0));
+    }
+
+    #[test]
+    fn derived_numeric_nan_entries_count_into_every_suffix() {
+        // partition_point(|x| x < cut) keeps NaN in every suffix; the
+        // build-time walk must agree with the point query.
+        let s =
+            DerivedNumericStats::build(vec![vec![(2010.0, 3), (f64::NAN, 1)], vec![(2005.0, 1)]]);
+        for &cut in &[1990.0, 2005.0, 2010.0] {
+            assert_eq!(s.suffix_count_of(0, cut), if cut <= 2010.0 { 4 } else { 1 });
+            let ci = s.cutpoints.partition_point(|&c| c < cut);
+            assert!(
+                s.per_cut_dists[ci].contains(&s.suffix_count_of(0, cut)),
+                "walk and point query disagree at cut {cut}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! sample table). Public so downstream crates' tests and examples can reuse
 //! them; not part of the stable API.
 
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 /// Miniature IMDb-shaped database:
 ///
@@ -125,7 +125,12 @@ pub fn mini_imdb() -> Database {
     for &(id, t, y, c) in movies {
         db.insert(
             "movie",
-            vec![Value::Int(id), Value::text(t), Value::Int(y), Value::text(c)],
+            vec![
+                Value::Int(id),
+                Value::text(t),
+                Value::Int(y),
+                Value::text(c),
+            ],
         )
         .unwrap();
     }

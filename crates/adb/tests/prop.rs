@@ -2,11 +2,9 @@
 //! selectivity must agree with a brute-force count over the underlying
 //! per-entity data.
 
-use std::collections::HashMap;
-
 use proptest::prelude::*;
 use squid_adb::{CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats};
-use squid_relation::Value;
+use squid_relation::{FxHashMap, Value};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -51,10 +49,10 @@ proptest! {
         value in 0u8..4,
         theta in 1u64..10,
     ) {
-        let per_entity: Vec<HashMap<Value, u64>> = counts
+        let per_entity: Vec<FxHashMap<Value, u64>> = counts
             .iter()
             .map(|pairs| {
-                let mut m = HashMap::new();
+                let mut m = FxHashMap::default();
                 for (v, c) in pairs {
                     *m.entry(Value::Int(*v as i64)).or_insert(0) += c;
                 }
@@ -82,10 +80,10 @@ proptest! {
         value in 0u8..3,
         frac_pct in 0u32..=100,
     ) {
-        let per_entity: Vec<HashMap<Value, u64>> = counts
+        let per_entity: Vec<FxHashMap<Value, u64>> = counts
             .iter()
             .map(|pairs| {
-                let mut m = HashMap::new();
+                let mut m = FxHashMap::default();
                 for (v, c) in pairs {
                     *m.entry(Value::Int(*v as i64)).or_insert(0) += c;
                 }
@@ -122,7 +120,7 @@ proptest! {
             .iter()
             .map(|pairs| {
                 // Merge duplicate years per entity.
-                let mut m: HashMap<i64, u64> = HashMap::new();
+                let mut m: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
                 for (y, c) in pairs {
                     *m.entry(*y).or_insert(0) += c;
                 }

@@ -33,7 +33,9 @@ impl Split {
     /// Does a row go left?
     pub fn goes_left(&self, row: &[FeatureValue]) -> bool {
         match self {
-            Split::CatEq { feature, code } => matches!(row[*feature], FeatureValue::Cat(c) if c == *code),
+            Split::CatEq { feature, code } => {
+                matches!(row[*feature], FeatureValue::Cat(c) if c == *code)
+            }
             Split::NumLe { feature, threshold } => {
                 matches!(row[*feature], FeatureValue::Num(x) if x <= *threshold)
             }
@@ -180,11 +182,7 @@ fn build(
 ) -> Node {
     let pos = idx.iter().filter(|&&i| y[i]).count();
     let total = idx.len();
-    if depth >= config.max_depth
-        || total < config.min_samples_split
-        || pos == 0
-        || pos == total
-    {
+    if depth >= config.max_depth || total < config.min_samples_split || pos == 0 || pos == total {
         return Node::Leaf {
             positives: pos,
             total,
@@ -224,13 +222,10 @@ fn build(
                     }
                     let rpos = pos - lpos;
                     let rtot = total - ltot;
-                    let w = (ltot as f64 * gini(lpos, ltot)
-                        + rtot as f64 * gini(rpos, rtot))
+                    let w = (ltot as f64 * gini(lpos, ltot) + rtot as f64 * gini(rpos, rtot))
                         / total as f64;
                     let gain = parent_gini - w;
-                    if gain > 1e-12
-                        && best.as_ref().is_none_or(|(g, _)| gain > *g)
-                    {
+                    if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                         best = Some((gain, Split::CatEq { feature: f, code }));
                     }
                 }
@@ -266,13 +261,10 @@ fn build(
                     }
                     let rpos = pos - lpos;
                     let rtot = total - ltot;
-                    let w = (ltot as f64 * gini(lpos, ltot)
-                        + rtot as f64 * gini(rpos, rtot))
+                    let w = (ltot as f64 * gini(lpos, ltot) + rtot as f64 * gini(rpos, rtot))
                         / total as f64;
                     let gain = parent_gini - w;
-                    if gain > 1e-12
-                        && best.as_ref().is_none_or(|(g, _)| gain > *g)
-                    {
+                    if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                         best = Some((
                             gain,
                             Split::NumLe {
@@ -330,7 +322,8 @@ mod tests {
         for i in 0..40 {
             let cat = if i % 2 == 0 { 0 } else { 1 };
             let num = i as f64;
-            m.rows.push(vec![FeatureValue::Cat(cat), FeatureValue::Num(num)]);
+            m.rows
+                .push(vec![FeatureValue::Cat(cat), FeatureValue::Num(num)]);
             // Positive iff cat == A and num <= 19.
             y.push(cat == 0 && num <= 19.0);
         }

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use squid_relation::{Database, DataType, RowId, TableRole, Value};
+use squid_relation::{DataType, Database, RowId, TableRole, Value};
 
 /// The kind of one feature column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,9 +100,7 @@ impl MatrixBuilder {
             (FeatureKind::Categorical, v) => {
                 let s = v.to_string();
                 let next = self.intern[column].len() as u32;
-                let code = *self.intern[column].entry(s.clone()).or_insert_with(|| {
-                    next
-                });
+                let code = *self.intern[column].entry(s.clone()).or_insert_with(|| next);
                 if code == next {
                     self.matrix.vocab[column].push(s);
                 }
@@ -194,10 +192,7 @@ pub fn denormalize(db: &Database, entity: &str, exclude: &[&str]) -> (FeatureMat
             if fact_schema.foreign_key_on(i).is_some() || fact_schema.primary_key == Some(i) {
                 continue;
             }
-            let f = b.add_column(
-                format!("{}.{}", assoc.fact_table, c.name),
-                kind_of(c.dtype),
-            );
+            let f = b.add_column(format!("{}.{}", assoc.fact_table, c.name), kind_of(c.dtype));
             fact_feature_cols.push((f, i));
         }
         let target_t = db.table(assoc.to_table).unwrap();
@@ -209,10 +204,7 @@ pub fn denormalize(db: &Database, entity: &str, exclude: &[&str]) -> (FeatureMat
                 if i == tpk {
                     continue;
                 }
-                let f = b.add_column(
-                    format!("{}.{}", assoc.to_table, c.name),
-                    kind_of(c.dtype),
-                );
+                let f = b.add_column(format!("{}.{}", assoc.to_table, c.name), kind_of(c.dtype));
                 feature_cols.push((f, i));
             }
             let pk_to_row: HashMap<i64, RowId> = target_t

@@ -82,11 +82,7 @@ impl RandomForest {
         if self.trees.is_empty() {
             return 0.0;
         }
-        self.trees
-            .iter()
-            .map(|t| t.predict_proba(row))
-            .sum::<f64>()
-            / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict_proba(row)).sum::<f64>() / self.trees.len() as f64
     }
 
     /// Hard prediction at threshold 0.5.
@@ -121,7 +117,8 @@ mod tests {
         for i in 0..120 {
             let a = (i % 30) as f64;
             let b = (i / 30) as f64;
-            m.rows.push(vec![FeatureValue::Num(a), FeatureValue::Num(b)]);
+            m.rows
+                .push(vec![FeatureValue::Num(a), FeatureValue::Num(b)]);
             y.push(a < 15.0 && b < 2.0);
         }
         (m, y)

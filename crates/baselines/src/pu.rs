@@ -167,7 +167,8 @@ mod tests {
         for i in 0..400 {
             let a = (i % 40) as f64;
             let b = (i / 40) as f64 * 4.0;
-            m.rows.push(vec![FeatureValue::Num(a), FeatureValue::Num(b)]);
+            m.rows
+                .push(vec![FeatureValue::Num(a), FeatureValue::Num(b)]);
             truth.push(a < 20.0 && b < 20.0);
         }
         (m, truth)

@@ -17,12 +17,11 @@
 //!   refers to" (the IQ1 discussion), so the tree learns person-level
 //!   proxies and misses the movie predicate.
 
-use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use squid_relation::{Database, RowId, TableRole};
+use squid_relation::{Database, RowId, RowSet, TableRole};
 
 use crate::dtree::{DecisionTree, TreeConfig};
 use crate::features::{denormalize, single_table, FeatureMatrix};
@@ -31,7 +30,7 @@ use crate::features::{denormalize, single_table, FeatureMatrix};
 #[derive(Debug, Clone)]
 pub struct TalosResult {
     /// Entities predicted to belong to the query output.
-    pub predicted_rows: BTreeSet<RowId>,
+    pub predicted_rows: RowSet,
     /// Number of predicates in the extracted query (splits on paths to
     /// positive leaves).
     pub predicate_count: usize,
@@ -45,7 +44,7 @@ pub fn talos_reverse_engineer(
     db: &Database,
     entity: &str,
     projection_exclude: &[&str],
-    output_rows: &BTreeSet<RowId>,
+    output_rows: &RowSet,
 ) -> TalosResult {
     let started = Instant::now();
     // Denormalize when the entity participates in fact tables; otherwise
@@ -57,7 +56,7 @@ pub fn talos_reverse_engineer(
         single_table(db, entity, projection_exclude)
     };
     // Closed world: label each denormalized row by entity membership.
-    let y: Vec<bool> = origin.iter().map(|r| output_rows.contains(r)).collect();
+    let y: Vec<bool> = origin.iter().map(|&r| output_rows.contains(r)).collect();
     let mut rng = StdRng::seed_from_u64(0x7A105);
     let cfg = TreeConfig {
         max_depth: 40,
@@ -69,7 +68,7 @@ pub fn talos_reverse_engineer(
 
     // An entity is predicted positive if ANY of its denormalized rows is —
     // this is where the IQ1-style mislabeling shows up.
-    let mut predicted: BTreeSet<RowId> = BTreeSet::new();
+    let mut predicted = RowSet::new();
     for (i, row) in x.rows.iter().enumerate() {
         if tree.predict(row) {
             predicted.insert(origin[i]);
@@ -117,7 +116,7 @@ mod tests {
         // Closed world on Figure 6: output = males aged [50, 90]. A
         // decision tree recovers this exactly.
         let db = figure6_db();
-        let output: BTreeSet<RowId> = [0, 1, 2].into_iter().collect();
+        let output: RowSet = [0usize, 1, 2].into_iter().collect();
         let r = talos_reverse_engineer(&db, "person", &["name"], &output);
         assert_eq!(r.predicted_rows, output);
         assert!(r.predicate_count >= 1);
@@ -127,7 +126,7 @@ mod tests {
     fn cast_of_movie_shows_label_noise() {
         // IQ1 shape: cast of "Funny Five" (movie 4) = persons 1, 2, 8.
         let db = mini_imdb();
-        let output: BTreeSet<RowId> = [0, 1, 7].into_iter().collect(); // rows of ids 1,2,8
+        let output: RowSet = [0usize, 1, 7].into_iter().collect(); // rows of ids 1,2,8
         let r = talos_reverse_engineer(&db, "person", &["name"], &output);
         // TALOS covers the output (closed world lets it memorize)...
         for row in &output {
@@ -143,7 +142,7 @@ mod tests {
     #[test]
     fn empty_output_yields_empty_prediction() {
         let db = figure6_db();
-        let r = talos_reverse_engineer(&db, "person", &["name"], &BTreeSet::new());
+        let r = talos_reverse_engineer(&db, "person", &["name"], &RowSet::new());
         assert!(r.predicted_rows.is_empty());
         assert_eq!(r.predicate_count, 0);
     }

@@ -2,13 +2,9 @@
 //! counterparts of Figure 14/15's discovery-time columns (TALOS vs SQuID)
 //! and Figure 16(b)'s PU-learning training time.
 
-use std::collections::BTreeSet;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use squid_adb::ADb;
-use squid_baselines::{
-    single_table, talos_reverse_engineer, PuClassifier, PuConfig, PuEstimator,
-};
+use squid_baselines::{single_table, talos_reverse_engineer, PuClassifier, PuConfig, PuEstimator};
 use squid_bench::full_output;
 use squid_core::{Squid, SquidParams};
 use squid_datasets::{adult_queries, generate_adult, AdultConfig};
@@ -52,9 +48,8 @@ fn bench_fig16b_pu_scaling(c: &mut Criterion) {
         });
         let queries = adult_queries(&db, 0xA0, 1);
         let (_, truth) = full_output(&db, &queries[0].query);
-        let positives: Vec<usize> = truth.iter().copied().take(25).collect();
+        let positives: Vec<usize> = truth.iter().take(25).collect();
         let (x, _) = single_table(&db, "adult", &["name"]);
-        let _unused: BTreeSet<usize> = BTreeSet::new();
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
             b.iter(|| {
                 PuClassifier::fit(

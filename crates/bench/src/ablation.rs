@@ -38,10 +38,11 @@ fn variant(name: &str) -> (String, SquidParams) {
 /// Run the prior-component ablation.
 pub fn run(ctx: &Context) {
     println!("# Ablation: filter-prior components (IMDb, mean f-score over all IQ queries)");
-    let variants: Vec<(String, SquidParams)> = ["full", "no-delta", "no-alpha", "no-lambda", "rho-only"]
-        .iter()
-        .map(|n| variant(n))
-        .collect();
+    let variants: Vec<(String, SquidParams)> =
+        ["full", "no-delta", "no-alpha", "no-lambda", "rho-only"]
+            .iter()
+            .map(|n| variant(n))
+            .collect();
     let sizes = [3usize, 5, 10, 20];
     let draws = if ctx.config.fast { 3 } else { 8 };
     print!("{:<10}", "examples");
@@ -60,8 +61,7 @@ pub fn run(ctx: &Context) {
                     if examples.is_empty() {
                         continue;
                     }
-                    if let Ok((_, acc)) = discover_and_score(&squid, &q.query, &examples, &truth)
-                    {
+                    if let Ok((_, acc)) = discover_and_score(&squid, &q.query, &examples, &truth) {
                         fs.push(acc.f_score);
                     }
                 }

@@ -50,9 +50,7 @@ pub fn run(ctx: &Context) {
                 if let Ok((_, acc)) = discover_and_score(&with_da, &q.query, &examples, &truth) {
                     f_with.push(acc.f_score);
                 }
-                if let Ok((_, acc)) =
-                    discover_and_score(&without_da, &q.query, &examples, &truth)
-                {
+                if let Ok((_, acc)) = discover_and_score(&without_da, &q.query, &examples, &truth) {
                     f_without.push(acc.f_score);
                 }
             }

@@ -3,21 +3,19 @@
 //! (DBLP). Ground truth is the list itself; the abduced output is filtered
 //! through the popularity mask (Appendix D, footnote 14) before scoring.
 
-use std::collections::BTreeSet;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use squid_core::{Accuracy, Squid, SquidParams};
 use squid_datasets::{funny_actors, prolific_db_researchers, scifi_2000s, CaseStudy};
-use squid_relation::RowId;
+use squid_relation::RowSet;
 
 use crate::context::{Context, Workload};
 use crate::mean;
 
-fn list_rows(workload: &Workload, cs: &CaseStudy) -> BTreeSet<RowId> {
+fn list_rows(workload: &Workload, cs: &CaseStudy) -> RowSet {
     let t = workload.db.table(&cs.entity).unwrap();
     let ci = t.schema().column_index(&cs.column).unwrap();
-    let mut out = BTreeSet::new();
+    let mut out = RowSet::new();
     for v in &cs.list {
         for (rid, row) in t.iter() {
             if row[ci].as_text() == Some(v.as_str()) {
@@ -55,11 +53,7 @@ fn run_study(workload: &Workload, cs: &CaseStudy, params: SquidParams, draws: u6
                 continue;
             };
             // Popularity mask: score within the list-worthy population.
-            let masked: BTreeSet<RowId> = d
-                .rows
-                .intersection(&cs.popularity_mask)
-                .copied()
-                .collect();
+            let masked = d.rows.intersection(&cs.popularity_mask);
             let acc = Accuracy::of(&masked, &truth);
             ps.push(acc.precision);
             rs.push(acc.recall);

@@ -19,22 +19,15 @@ pub mod qre_comparison;
 pub mod sensitivity;
 pub mod tables;
 
-use std::collections::BTreeSet;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use squid_core::{Accuracy, Discovery, Squid, SquidError, SquidParams};
 use squid_engine::{Executor, Query};
-use squid_relation::{Database, RowId};
+use squid_relation::{Database, RowSet};
 
 /// Sample `k` distinct example values from a query's output (plus the full
 /// output row set as ground truth).
-pub fn sample_examples(
-    db: &Database,
-    query: &Query,
-    k: usize,
-    seed: u64,
-) -> (Vec<String>, BTreeSet<RowId>) {
+pub fn sample_examples(db: &Database, query: &Query, k: usize, seed: u64) -> (Vec<String>, RowSet) {
     let rs = Executor::new(db).execute(query).expect("query executes");
     let values = rs.project(db, &query.projection).expect("projection");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -50,7 +43,7 @@ pub fn sample_examples(
 
 /// The complete output of a query as example values (closed-world / QRE
 /// input).
-pub fn full_output(db: &Database, query: &Query) -> (Vec<String>, BTreeSet<RowId>) {
+pub fn full_output(db: &Database, query: &Query) -> (Vec<String>, RowSet) {
     let rs = Executor::new(db).execute(query).expect("query executes");
     let values = rs.project(db, &query.projection).expect("projection");
     (values.iter().map(|v| v.to_string()).collect(), rs.rows)
@@ -62,7 +55,7 @@ pub fn discover_and_score(
     squid: &Squid<'_>,
     query: &Query,
     examples: &[String],
-    truth: &BTreeSet<RowId>,
+    truth: &RowSet,
 ) -> Result<(Discovery, Accuracy), SquidError> {
     let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
     let d = squid.discover_on(query.root(), &query.projection, &refs)?;

@@ -2,14 +2,13 @@
 //! — (a) accuracy vs fraction of positives given as examples, for decision
 //! tree and random forest estimators; (b) scalability vs dataset size.
 
-use std::collections::BTreeSet;
 use std::time::Instant;
 
 use squid_adb::ADb;
 use squid_baselines::{single_table, PuClassifier, PuConfig, PuEstimator};
 use squid_core::{Accuracy, Squid, SquidParams};
 use squid_datasets::{adult_queries, generate_adult, AdultConfig};
-use squid_relation::RowId;
+use squid_relation::{RowId, RowSet};
 
 use crate::context::Context;
 use crate::{full_output, mean, sample_examples};
@@ -19,7 +18,7 @@ fn pu_run(
     positives: &[RowId],
     estimator: PuEstimator,
     seed: u64,
-) -> (BTreeSet<RowId>, f64) {
+) -> (RowSet, f64) {
     let (x, origin) = single_table(db, "adult", &["name"]);
     // For a single table, feature row i corresponds to entity row origin[i]
     // (identity mapping), so positives index directly.
@@ -31,7 +30,7 @@ fn pu_run(
     };
     let t = Instant::now();
     let clf = PuClassifier::fit(&x, positives, &cfg);
-    let pred: BTreeSet<RowId> = clf.predict_positive(&x).into_iter().collect();
+    let pred: RowSet = clf.predict_positive(&x).into_iter().collect();
     (pred, t.elapsed().as_secs_f64())
 }
 

@@ -56,7 +56,7 @@ pub fn discover_contexts(
                             break;
                         }
                         if !union.contains(&vals[0]) {
-                            union.push(vals[0].clone());
+                            union.push(vals[0]);
                         }
                     }
                     if ok && union.len() >= 2 && union.len() <= params.disjunction_limit {
@@ -107,7 +107,7 @@ pub fn discover_contexts(
                 };
                 let mut shared: Vec<(Value, u64, f64)> = first
                     .iter()
-                    .map(|(v, &c)| (v.clone(), c, s.frac_of(examples[0], v)))
+                    .map(|(v, &c)| (*v, c, s.frac_of(examples[0], v)))
                     .collect();
                 for &row in &examples[1..] {
                     shared.retain_mut(|(v, theta, frac)| {
@@ -123,12 +123,12 @@ pub fn discover_contexts(
                         break;
                     }
                 }
-                shared.sort_by(|a, b| a.0.cmp(&b.0));
+                shared.sort_by_key(|a| a.0);
                 for (v, theta, frac) in shared {
                     let (value, selectivity) = if params.normalize_association {
                         (
                             FilterValue::DerivedFrac {
-                                value: v.clone(),
+                                value: v,
                                 frac,
                                 raw_theta: theta,
                             },
@@ -136,10 +136,7 @@ pub fn discover_contexts(
                         )
                     } else {
                         (
-                            FilterValue::DerivedEq {
-                                value: v.clone(),
-                                theta,
-                            },
+                            FilterValue::DerivedEq { value: v, theta },
                             s.selectivity(&v, theta, n),
                         )
                     };
@@ -156,15 +153,21 @@ pub fn discover_contexts(
                 // Range filter `attr ≥ c` with θ = min suffix count. Every
                 // cutpoint yields a valid filter; pick the most surprising
                 // (minimum selectivity) point on the (c, θ(c)) frontier —
-                // abduction favors exactly that one.
+                // abduction favors exactly that one. Suffix counts come
+                // from one descending walk per example (O(C + K)), not a
+                // binary search per (example, cutpoint) pair.
+                let mut thetas: Vec<u64> = vec![u64::MAX; s.cutpoints.len()];
+                let mut buf: Vec<u64> = Vec::new();
+                for &r in examples {
+                    s.suffix_counts_into(r, &mut buf);
+                    for (t, &c) in thetas.iter_mut().zip(&buf) {
+                        *t = (*t).min(c);
+                    }
+                }
                 let mut best: Option<(f64, u64, f64)> = None; // (cut, θ, ψ)
-                for &cut in &s.cutpoints {
-                    let theta = examples
-                        .iter()
-                        .map(|&r| s.suffix_count_of(r, cut))
-                        .min()
-                        .unwrap_or(0);
-                    if theta == 0 {
+                for (ci, &cut) in s.cutpoints.iter().enumerate() {
+                    let theta = thetas[ci];
+                    if theta == 0 || theta == u64::MAX {
                         continue;
                     }
                     let psi = s.selectivity_ge(cut, theta, n);
@@ -290,7 +293,10 @@ mod tests {
                     && matches!(&f.value, FilterValue::DerivedFrac { value, .. } if value == &Value::text("Comedy"))
             })
             .expect("normalized comedy context");
-        let FilterValue::DerivedFrac { frac, raw_theta, .. } = &comedy.value else {
+        let FilterValue::DerivedFrac {
+            frac, raw_theta, ..
+        } = &comedy.value
+        else {
             unreachable!()
         };
         assert!(*frac > 0.9); // both are pure comedy actors here

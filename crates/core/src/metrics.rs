@@ -1,9 +1,7 @@
 //! Precision / recall / f-score over result row-id sets (Section 7.1,
 //! "Metrics"): precision = |Q'∩Q| / |Q'|, recall = |Q'∩Q| / |Q|.
 
-use std::collections::BTreeSet;
-
-use squid_relation::RowId;
+use squid_relation::RowSet;
 
 /// Accuracy metrics comparing an inferred result against the intended one.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,8 +16,8 @@ pub struct Accuracy {
 
 impl Accuracy {
     /// Compute metrics from the inferred and intended row sets.
-    pub fn of(inferred: &BTreeSet<RowId>, intended: &BTreeSet<RowId>) -> Accuracy {
-        let inter = inferred.intersection(intended).count() as f64;
+    pub fn of(inferred: &RowSet, intended: &RowSet) -> Accuracy {
+        let inter = inferred.intersection_size(intended) as f64;
         let precision = if inferred.is_empty() {
             0.0
         } else {
@@ -53,7 +51,7 @@ impl Accuracy {
 mod tests {
     use super::*;
 
-    fn set(ids: &[RowId]) -> BTreeSet<RowId> {
+    fn set(ids: &[usize]) -> RowSet {
         ids.iter().copied().collect()
     }
 

@@ -3,11 +3,9 @@
 //! materialized derived relations (Example 2.2), and a direct evaluation
 //! path against the αDB's per-entity statistics.
 
-use std::collections::BTreeSet;
-
 use squid_adb::{EntityProps, PropKind};
 use squid_engine::{PathStep, Pred, Query, QueryBlock, SemiJoin};
-use squid_relation::{RowId, Value};
+use squid_relation::{RowSet, Value};
 
 use crate::filter::{CandidateFilter, FilterValue};
 
@@ -29,7 +27,7 @@ pub fn original_query(
         match &f.value {
             FilterValue::CatEq(v) => match &prop.def.kind {
                 PropKind::DirectCategorical { column } => {
-                    block = block.filter(Pred::eq(column, v.clone()));
+                    block = block.filter(Pred::eq(column, *v));
                 }
                 _ => {
                     if let Some(sj) = prop.def.semi_join(&entity.pk_column, v, 1) {
@@ -53,9 +51,9 @@ pub fn original_query(
                 }
             }
             FilterValue::DerivedGe { cut, theta } => {
-                if let Some(sj) =
-                    prop.def
-                        .semi_join_ge(&entity.pk_column, &num_value(*cut), *theta)
+                if let Some(sj) = prop
+                    .def
+                    .semi_join_ge(&entity.pk_column, &num_value(*cut), *theta)
                 {
                     block = block.semi_join(sj);
                 }
@@ -83,7 +81,7 @@ pub fn adb_query(
         match &f.value {
             FilterValue::CatEq(v) => match &prop.def.kind {
                 PropKind::DirectCategorical { column } => {
-                    block = block.filter(Pred::eq(column, v.clone()));
+                    block = block.filter(Pred::eq(column, *v));
                 }
                 _ => {
                     let sj = prop.def.semi_join(&entity.pk_column, v, 1)?;
@@ -111,7 +109,7 @@ pub fn adb_query(
                     &entity.pk_column,
                     "entity_id",
                 )
-                .filter(Pred::eq("value", value.clone()))
+                .filter(Pred::eq("value", *value))
                 .filter(Pred::ge("count", Value::Int(*theta as i64)))]));
             }
             // Suffix ranges need SUM over derived rows: not expressible as
@@ -126,13 +124,21 @@ pub fn adb_query(
 /// statistics: the set of qualifying entity rows. This is exact for every
 /// filter kind (including normalized fractions) and is how SQuID returns
 /// result tuples in real time.
-pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> BTreeSet<RowId> {
-    let mut out = BTreeSet::new();
+pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> RowSet {
+    let mut out = RowSet::with_universe(entity.n);
+    // Resolve each filter's property once, not once per row. A filter
+    // whose property is unknown excludes every row (as before).
+    let mut resolved = Vec::with_capacity(filters.len());
+    for f in filters {
+        let Some(prop) = entity.property(&f.prop_id) else {
+            return out;
+        };
+        resolved.push((f, prop));
+    }
+    // Most selective filter first: rows that fail short-circuit earliest.
+    resolved.sort_by(|a, b| a.0.selectivity.total_cmp(&b.0.selectivity));
     'rows: for row in 0..entity.n {
-        for f in filters {
-            let Some(prop) = entity.property(&f.prop_id) else {
-                continue 'rows;
-            };
+        for (f, prop) in &resolved {
             if !f.matches_row(prop, row) {
                 continue 'rows;
             }
@@ -257,7 +263,7 @@ mod tests {
         let filters = discover_contexts(e, &rows, &SquidParams::default());
         let result = evaluate(e, &filters);
         for r in &rows {
-            assert!(result.contains(r));
+            assert!(result.contains(*r));
         }
     }
 

@@ -61,7 +61,7 @@ pub fn recommend_examples(
         return Vec::new();
     }
     let mut recs: Vec<Recommendation> = Vec::new();
-    for &row in &discovery.rows {
+    for row in &discovery.rows {
         if discovery.example_rows.contains(&row) {
             continue;
         }
@@ -129,7 +129,7 @@ mod tests {
         let entity = adb.entity("person").unwrap();
         let recs = recommend_examples(entity, &d, 5, 0.0);
         for r in &recs {
-            assert!(d.rows.contains(&r.row));
+            assert!(d.rows.contains(r.row));
             assert!(!d.example_rows.contains(&r.row));
             assert!(r.score > 0.0);
             assert!(!r.discriminates.is_empty());

@@ -2,12 +2,11 @@
 //! module): entity lookup & disambiguation → semantic context discovery →
 //! query abduction → executable query + result tuples.
 
-use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use squid_adb::ADb;
 use squid_engine::Query;
-use squid_relation::{DataType, RowId, TableRole};
+use squid_relation::{DataType, RowId, RowSet, TableRole};
 
 use crate::abduce::{abduce, ScoredFilter};
 use crate::context::discover_contexts;
@@ -33,8 +32,8 @@ pub struct Discovery {
     /// The equivalent SPJ query over the αDB, when expressible.
     pub adb_query: Option<Query>,
     /// Result rows (entity row ids) of the abduced query, evaluated
-    /// directly against the αDB statistics.
-    pub rows: BTreeSet<RowId>,
+    /// directly against the αDB statistics (a dense bitmap).
+    pub rows: RowSet,
     /// Online abduction time (entity lookup through query generation).
     pub elapsed: Duration,
 }
@@ -106,10 +105,7 @@ impl<'a> Squid<'a> {
             };
             let entity = self.adb.entity(&table).expect("entity exists");
             let score = similarity_score(entity, &rows);
-            if best
-                .as_ref()
-                .is_none_or(|(b, _, _, _)| score > *b)
-            {
+            if best.as_ref().is_none_or(|(b, _, _, _)| score > *b) {
                 best = Some((score, table, column, rows));
             }
         }
@@ -271,9 +267,7 @@ mod tests {
         assert_eq!(d.example_rows.len(), 3);
         let chosen = d.chosen_filters();
         assert!(
-            chosen
-                .iter()
-                .any(|f| f.describe().contains("Comedy")),
+            chosen.iter().any(|f| f.describe().contains("Comedy")),
             "comedy filter expected among {:?}",
             chosen.iter().map(|f| f.describe()).collect::<Vec<_>>()
         );
@@ -355,7 +349,7 @@ mod tests {
         ] {
             let d = squid.discover(&exs).unwrap();
             for r in &d.example_rows {
-                assert!(d.rows.contains(r), "examples must satisfy Qϕ");
+                assert!(d.rows.contains(*r), "examples must satisfy Qϕ");
             }
         }
     }

@@ -15,10 +15,7 @@ fn arb_filter() -> impl Strategy<Value = CandidateFilter> {
         0usize..6,
         0.0f64..=1.0,
         0.0f64..=1.0,
-        prop_oneof![
-            Just(None),
-            (1u64..60).prop_map(Some),
-        ],
+        prop_oneof![Just(None), (1u64..60).prop_map(Some),],
     )
         .prop_map(|(prop, selectivity, coverage, theta)| CandidateFilter {
             prop_id: format!("prop{prop}"),
@@ -115,7 +112,7 @@ proptest! {
             .collect();
         let result = evaluate(entity, &chosen);
         for r in &rows {
-            prop_assert!(result.contains(r));
+            prop_assert!(result.contains(*r));
         }
     }
 
@@ -125,6 +122,8 @@ proptest! {
         inferred in prop::collection::btree_set(0usize..50, 0..30),
         intended in prop::collection::btree_set(0usize..50, 0..30),
     ) {
+        let inferred: squid_relation::RowSet = inferred.into_iter().collect();
+        let intended: squid_relation::RowSet = intended.into_iter().collect();
         let a = Accuracy::of(&inferred, &intended);
         prop_assert!((0.0..=1.0).contains(&a.precision));
         prop_assert!((0.0..=1.0).contains(&a.recall));

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use squid_relation::{Column, Database, DataType, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableSchema, Value};
 
 use crate::rng_util::weighted_index;
 
@@ -172,7 +172,11 @@ pub fn generate_adult(config: &AdultConfig) -> Database {
     }
 
     for i in 0..config.rows as i64 {
-        let sex = if rng.random_bool(0.67) { "Male" } else { "Female" };
+        let sex = if rng.random_bool(0.67) {
+            "Male"
+        } else {
+            "Female"
+        };
         let marital = pick(&mut rng, domains::MARITAL);
         // Relationship correlates with sex and marital status, loosely.
         let relationship = if marital == "Married-civ-spouse" {
@@ -235,7 +239,10 @@ mod tests {
         let a = generate_adult(&cfg);
         let b = generate_adult(&cfg);
         assert_eq!(a.table("adult").unwrap().len(), cfg.rows);
-        assert_eq!(a.table("adult").unwrap().cell(5, 4), b.table("adult").unwrap().cell(5, 4));
+        assert_eq!(
+            a.table("adult").unwrap().cell(5, 4),
+            b.table("adult").unwrap().cell(5, 4)
+        );
     }
 
     #[test]
@@ -248,11 +255,8 @@ mod tests {
             .count() as f64
             / t.len() as f64;
         assert!((0.78..0.92).contains(&white), "white fraction {white}");
-        let forty = t
-            .iter()
-            .filter(|(_, r)| r[12].as_int() == Some(40))
-            .count() as f64
-            / t.len() as f64;
+        let forty =
+            t.iter().filter(|(_, r)| r[12].as_int() == Some(40)).count() as f64 / t.len() as f64;
         assert!(forty > 0.4, "40-hour weeks {forty}");
     }
 

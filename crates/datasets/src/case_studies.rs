@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use squid_relation::{Database, RowId};
+use squid_relation::{Database, RowId, RowSet};
 
 /// A simulated human list for one abstract intent.
 #[derive(Debug, Clone)]
@@ -26,10 +26,10 @@ pub struct CaseStudy {
     /// The human list: example values to sample from.
     pub list: Vec<String>,
     /// Ground-truth intent rows (for recall).
-    pub intent_rows: BTreeSet<RowId>,
+    pub intent_rows: RowSet,
     /// Popularity mask: rows considered "list-worthy"; precision is
     /// measured within this mask (Appendix D, footnote 14).
-    pub popularity_mask: BTreeSet<RowId>,
+    pub popularity_mask: RowSet,
 }
 
 /// Career size (number of castinfo rows) per person row.
@@ -86,27 +86,37 @@ fn build_list(
     db: &Database,
     table: &str,
     column: &str,
-    intent: &BTreeSet<RowId>,
+    intent: &RowSet,
     popularity: &HashMap<RowId, usize>,
     list_size: usize,
     noise_rate: f64,
     seed: u64,
-) -> (Vec<String>, BTreeSet<RowId>) {
+) -> (Vec<String>, RowSet) {
     let t = db.table(table).unwrap();
     let ci = t.schema().column_index(column).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     // Rank intent members by popularity; the list takes the top slice.
-    let mut ranked: Vec<RowId> = intent.iter().copied().collect();
-    ranked.sort_by_key(|&r| (std::cmp::Reverse(popularity.get(&r).copied().unwrap_or(0)), r));
+    let mut ranked: Vec<RowId> = intent.iter().collect();
+    ranked.sort_by_key(|&r| {
+        (
+            std::cmp::Reverse(popularity.get(&r).copied().unwrap_or(0)),
+            r,
+        )
+    });
     let core = ((list_size as f64) * (1.0 - noise_rate)) as usize;
     let mut rows: Vec<RowId> = ranked.into_iter().take(core).collect();
     // Off-intent noise: popular entities that are NOT in the intent.
     let mut outsiders: Vec<RowId> = popularity
         .iter()
-        .filter(|(r, _)| !intent.contains(r))
+        .filter(|(r, _)| !intent.contains(**r))
         .map(|(r, _)| *r)
         .collect();
-    outsiders.sort_by_key(|&r| (std::cmp::Reverse(popularity.get(&r).copied().unwrap_or(0)), r));
+    outsiders.sort_by_key(|&r| {
+        (
+            std::cmp::Reverse(popularity.get(&r).copied().unwrap_or(0)),
+            r,
+        )
+    });
     while rows.len() < list_size && !outsiders.is_empty() {
         let idx = rng.random_range(0..outsiders.len().min(200));
         rows.push(outsiders.swap_remove(idx));
@@ -118,7 +128,7 @@ fn build_list(
         .map(|r| popularity.get(r).copied().unwrap_or(0))
         .min()
         .unwrap_or(0);
-    let mask: BTreeSet<RowId> = popularity
+    let mask: RowSet = popularity
         .iter()
         .filter(|(_, &p)| p >= min_pop)
         .map(|(r, _)| *r)
@@ -134,7 +144,7 @@ fn build_list(
 /// (≥ 60% comedy share and ≥ 8 comedies).
 pub fn funny_actors(db: &Database) -> CaseStudy {
     let counts = comedy_counts(db);
-    let intent: BTreeSet<RowId> = counts
+    let intent: RowSet = counts
         .iter()
         .filter(|(_, (c, t))| *c >= 8 && (*c as f64) / (*t as f64).max(1.0) >= 0.6)
         .map(|(r, _)| *r)
@@ -169,7 +179,7 @@ pub fn scifi_2000s(db: &Database) -> CaseStudy {
         .filter(|(_, r)| r[1].as_int() == Some(scifi_id))
         .map(|(_, r)| r[0].as_int().unwrap())
         .collect();
-    let intent: BTreeSet<RowId> = movie
+    let intent: RowSet = movie
         .iter()
         .filter(|(_, r)| {
             let y = r[2].as_int().unwrap_or(0);
@@ -231,7 +241,7 @@ pub fn prolific_db_researchers(db: &Database) -> CaseStudy {
             }
         }
     }
-    let intent: BTreeSet<RowId> = counts
+    let intent: RowSet = counts
         .iter()
         .filter(|(_, &c)| c >= 12)
         .map(|(r, _)| *r)
@@ -274,7 +284,11 @@ mod tests {
     fn researcher_study_has_30_names() {
         let db = generate_dblp(&DblpConfig::tiny());
         let cs = prolific_db_researchers(&db);
-        assert!(cs.list.len() <= 30 && cs.list.len() >= 10, "{}", cs.list.len());
+        assert!(
+            cs.list.len() <= 30 && cs.list.len() >= 10,
+            "{}",
+            cs.list.len()
+        );
         assert!(!cs.intent_rows.is_empty());
     }
 

@@ -17,7 +17,7 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 use crate::rng_util::{power_law, weighted_index};
 
@@ -181,11 +181,8 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
             ],
         )
         .unwrap();
-        db.insert(
-            "pubtovenue",
-            vec![Value::Int(p), Value::Int(venue as i64)],
-        )
-        .unwrap();
+        db.insert("pubtovenue", vec![Value::Int(p), Value::Int(venue as i64)])
+            .unwrap();
         pubs_by_venue[venue].push(p);
     }
 
@@ -252,7 +249,10 @@ mod tests {
         let cfg = DblpConfig::tiny();
         let a = generate_dblp(&cfg);
         let b = generate_dblp(&cfg);
-        assert_eq!(a.table("writes").unwrap().len(), b.table("writes").unwrap().len());
+        assert_eq!(
+            a.table("writes").unwrap().len(),
+            b.table("writes").unwrap().len()
+        );
         assert_eq!(a.table("author").unwrap().len(), cfg.authors);
         assert_eq!(a.table("publication").unwrap().len(), cfg.publications);
     }

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use squid_engine::{Executor, PathStep, Pred, Query, QueryBlock, SemiJoin};
-use squid_relation::{Database, DataType};
+use squid_relation::{DataType, Database};
 
 /// One benchmark query: the hidden "intended" query of an experiment.
 #[derive(Debug, Clone)]
@@ -212,20 +212,10 @@ fn person_in_movie(title: &str) -> SemiJoin {
 
 /// Pick the largest `k` from `candidates` whose query cardinality is at
 /// least `lo`; falls back to the smallest candidate.
-fn tune_k(
-    db: &Database,
-    make: impl Fn(u64) -> Query,
-    candidates: &[u64],
-    lo: usize,
-) -> u64 {
+fn tune_k(db: &Database, make: impl Fn(u64) -> Query, candidates: &[u64], lo: usize) -> u64 {
     for &k in candidates {
         let q = make(k);
-        if Executor::new(db)
-            .execute(&q)
-            .map(|r| r.len())
-            .unwrap_or(0)
-            >= lo
-        {
+        if Executor::new(db).execute(&q).map(|r| r.len()).unwrap_or(0) >= lo {
             return k;
         }
     }
@@ -265,7 +255,9 @@ pub fn imdb_queries(db: &Database) -> Vec<BenchmarkQuery> {
                 .filter(Pred::eq("country", "Canada"))
                 .filter(Pred::ge("birth_year", 1970))
                 .semi_join(SemiJoin::exists(vec![PathStep::new(
-                    "castinfo", "id", "person_id",
+                    "castinfo",
+                    "id",
+                    "person_id",
                 )
                 .filter(Pred::eq("role", "actress"))])),
             "name",
@@ -300,8 +292,7 @@ pub fn imdb_queries(db: &Database) -> Vec<BenchmarkQuery> {
         &format!("Movies directed by {}", f.top_director),
         Query::single(
             QueryBlock::new("movie").semi_join(SemiJoin::exists(vec![
-                PathStep::new("castinfo", "id", "movie_id")
-                    .filter(Pred::eq("role", "director")),
+                PathStep::new("castinfo", "id", "movie_id").filter(Pred::eq("role", "director")),
                 PathStep::new("person", "person_id", "id")
                     .filter(Pred::eq("name", f.top_director.as_str())),
             ])),
@@ -351,8 +342,7 @@ pub fn imdb_queries(db: &Database) -> Vec<BenchmarkQuery> {
                     iq9_k,
                     vec![
                         PathStep::new("castinfo", "id", "person_id"),
-                        PathStep::new("movie", "movie_id", "id")
-                            .filter(Pred::eq("country", "USA")),
+                        PathStep::new("movie", "movie_id", "id").filter(Pred::eq("country", "USA")),
                     ],
                 )),
             "name",
@@ -501,8 +491,7 @@ pub fn dblp_queries(db: &Database) -> Vec<BenchmarkQuery> {
         "Authors who published in both SIGMOD and VLDB",
         Query::intersect(
             vec![
-                QueryBlock::new("author")
-                    .semi_join(SemiJoin::exists(author_in_venue("SIGMOD"))),
+                QueryBlock::new("author").semi_join(SemiJoin::exists(author_in_venue("SIGMOD"))),
                 QueryBlock::new("author").semi_join(SemiJoin::exists(author_in_venue("VLDB"))),
             ],
             "name",
@@ -545,8 +534,7 @@ pub fn dblp_queries(db: &Database) -> Vec<BenchmarkQuery> {
                 .filter(Pred::between("year", 2010, 2012))
                 .semi_join(SemiJoin::exists(vec![
                     PathStep::new("pubtovenue", "id", "pub_id"),
-                    PathStep::new("venue", "venue_id", "id")
-                        .filter(Pred::eq("name", "SIGMOD")),
+                    PathStep::new("venue", "venue_id", "id").filter(Pred::eq("name", "SIGMOD")),
                 ])),
             "title",
         ),
@@ -611,8 +599,7 @@ pub fn dblp_queries(db: &Database) -> Vec<BenchmarkQuery> {
             QueryBlock::new("publication")
                 .semi_join(SemiJoin::exists(vec![
                     PathStep::new("writes", "id", "pub_id"),
-                    PathStep::new("author", "author_id", "id")
-                        .filter(Pred::eq("country", "USA")),
+                    PathStep::new("author", "author_id", "id").filter(Pred::eq("country", "USA")),
                 ]))
                 .semi_join(SemiJoin::exists(vec![
                     PathStep::new("writes", "id", "pub_id"),
@@ -664,7 +651,7 @@ pub fn adult_queries(db: &Database, seed: u64, count: usize) -> Vec<BenchmarkQue
             let (ci, name, dtype) = attrs[ai];
             match dtype {
                 DataType::Text | DataType::Bool => {
-                    let v = row[ci].clone();
+                    let v = row[ci];
                     desc.push(format!("{name} = {v}"));
                     block = block.filter(Pred::eq(name, v));
                 }

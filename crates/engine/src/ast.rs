@@ -153,10 +153,7 @@ impl SemiJoin {
 
     /// `HAVING count(*) >= k` semantics.
     pub fn at_least(k: u64, path: Vec<PathStep>) -> Self {
-        SemiJoin {
-            path,
-            min_count: k,
-        }
+        SemiJoin { path, min_count: k }
     }
 }
 
@@ -273,8 +270,9 @@ mod tests {
         assert!(Pred::le("age", 50).matches(&Value::Int(50)));
         assert!(Pred::between("age", 40, 60).matches(&Value::Int(60)));
         assert!(!Pred::between("age", 40, 60).matches(&Value::Int(61)));
-        assert!(Pred::in_set("g", vec![Value::text("M"), Value::text("F")])
-            .matches(&Value::text("F")));
+        assert!(
+            Pred::in_set("g", vec![Value::text("M"), Value::text("F")]).matches(&Value::text("F"))
+        );
         assert!(!Pred::eq("age", 1).matches(&Value::Null));
     }
 
@@ -288,8 +286,7 @@ mod tests {
                 vec![
                     PathStep::new("castinfo", "id", "person_id"),
                     PathStep::new("movietogenre", "movie_id", "movie_id"),
-                    PathStep::new("genre", "genre_id", "id")
-                        .filter(Pred::eq("name", "Comedy")),
+                    PathStep::new("genre", "genre_id", "id").filter(Pred::eq("name", "Comedy")),
                 ],
             )),
             "name",

@@ -3,21 +3,32 @@
 //! Blocks are evaluated root-first: root rows are filtered by local
 //! predicates, then each semi-join path is folded bottom-up into a
 //! `join-key → tuple count` map, so a whole path costs one scan per step
-//! regardless of root cardinality. Intersection intersects root row-id sets.
+//! regardless of root cardinality. Intersection intersects root row-id
+//! bitmaps.
+//!
+//! Hot-path layout: predicates are compiled once per scan against the
+//! table's columnar view ([`squid_relation::ColumnVec`]) into typed
+//! matchers — integer range checks, symbol equality, bitmap null tests —
+//! so the per-row loop performs no `Value` construction, cloning, or
+//! string work. Semi-join fold maps are keyed by raw `u64` encodings of
+//! the join column (symbol id / integer bits) whenever both sides of a
+//! link share a type, falling back to `Value` keys only for heterogeneous
+//! joins.
 
-use std::collections::{BTreeSet, HashMap};
+use squid_relation::{
+    ColumnVec, DataType, Database, FxHashMap, RelationError, Result, RowId, RowSet, Sym, Table,
+    Value,
+};
 
-use squid_relation::{Database, RelationError, Result, RowId, Table, Value};
-
-use crate::ast::{PathStep, Pred, Query, QueryBlock, SemiJoin};
+use crate::ast::{CmpOp, PathStep, Pred, Query, QueryBlock, SemiJoin};
 
 /// Result of executing a [`Query`]: the qualifying root rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResultSet {
     /// Root table the ids refer to.
     pub root: String,
-    /// Qualifying root row ids (sorted, deduplicated).
-    pub rows: BTreeSet<RowId>,
+    /// Qualifying root row ids (a dense bitmap; iterates ascending).
+    pub rows: RowSet,
 }
 
 impl ResultSet {
@@ -34,23 +45,374 @@ impl ResultSet {
     /// Materialize the projected column values in row-id order.
     pub fn project(&self, db: &Database, column: &str) -> Result<Vec<Value>> {
         let table = db.table(&self.root)?;
-        let ci = table
-            .schema()
-            .column_index(column)
-            .ok_or_else(|| RelationError::UnknownColumn {
-                table: self.root.clone(),
-                column: column.to_string(),
-            })?;
-        Ok(self
-            .rows
-            .iter()
-            .filter_map(|&r| table.cell(r, ci).cloned())
-            .collect())
+        let ci =
+            table
+                .schema()
+                .column_index(column)
+                .ok_or_else(|| RelationError::UnknownColumn {
+                    table: self.root.clone(),
+                    column: column.to_string(),
+                })?;
+        let col = table.column(ci);
+        Ok(self.rows.iter().map(|r| col.value_at(r)).collect())
     }
 
     /// Size of the intersection with another result set (same root assumed).
     pub fn intersection_size(&self, other: &ResultSet) -> usize {
-        self.rows.intersection(&other.rows).count()
+        self.rows.intersection_size(&other.rows)
+    }
+}
+
+/// A predicate compiled against one column's typed storage. Matching a row
+/// is a couple of integer/float comparisons — never a `Value` match.
+enum CompiledPred<'t> {
+    /// Cannot match any row (e.g. text probe that was never interned).
+    Never,
+    /// `lo <= cell <= hi` on an Int column.
+    IntRange {
+        vals: &'t [i64],
+        nulls: &'t RowSet,
+        lo: i64,
+        hi: i64,
+    },
+    /// `lo <= cell <= hi` (total order) on a Float column.
+    FloatRange {
+        vals: &'t [f64],
+        nulls: &'t RowSet,
+        lo: f64,
+        hi: f64,
+    },
+    /// Symbol equality on a Text column (nulls excluded by sentinel).
+    SymEq { vals: &'t [u32], sym: u32 },
+    /// Symbol membership on a Text column.
+    SymIn { vals: &'t [u32], syms: Vec<u32> },
+    /// Boolean equality.
+    BoolEq {
+        vals: &'t [bool],
+        nulls: &'t RowSet,
+        expect: bool,
+    },
+    /// Rare shapes (string ranges, numeric IN): evaluated per row through
+    /// the generic `Pred::matches` on a reconstructed `Copy` scalar.
+    Generic { col: &'t ColumnVec, pred: &'t Pred },
+}
+
+impl CompiledPred<'_> {
+    #[inline]
+    fn matches(&self, row: RowId) -> bool {
+        match self {
+            CompiledPred::Never => false,
+            CompiledPred::IntRange {
+                vals,
+                nulls,
+                lo,
+                hi,
+            } => {
+                let v = vals[row];
+                *lo <= v && v <= *hi && !nulls.contains(row)
+            }
+            CompiledPred::FloatRange {
+                vals,
+                nulls,
+                lo,
+                hi,
+            } => {
+                let v = vals[row];
+                v.total_cmp(lo).is_ge() && v.total_cmp(hi).is_le() && !nulls.contains(row)
+            }
+            CompiledPred::SymEq { vals, sym } => vals[row] == *sym,
+            CompiledPred::SymIn { vals, syms } => syms.contains(&vals[row]),
+            CompiledPred::BoolEq {
+                vals,
+                nulls,
+                expect,
+            } => vals[row] == *expect && !nulls.contains(row),
+            CompiledPred::Generic { col, pred } => pred.matches(&col.value_at(row)),
+        }
+    }
+}
+
+/// Compile `pred` against `table`'s columnar storage.
+fn compile_pred<'t>(table: &'t Table, pred: &'t Pred) -> Result<CompiledPred<'t>> {
+    let ci = column_index(table, &pred.column)?;
+    let col = table.column(ci);
+    let dtype = table.schema().columns[ci].dtype;
+    let generic = || CompiledPred::Generic { col, pred };
+
+    Ok(match (dtype, &pred.op) {
+        (DataType::Text, CmpOp::Eq) => match &pred.value {
+            Value::Text(s) => CompiledPred::SymEq {
+                vals: col.syms().expect("text column"),
+                sym: s.id(),
+            },
+            _ => CompiledPred::Never, // non-text never equals text
+        },
+        (DataType::Text, CmpOp::In(vals)) => {
+            let syms: Vec<u32> = vals
+                .iter()
+                .filter_map(|v| v.as_sym())
+                .map(Sym::id)
+                .collect();
+            if syms.is_empty() {
+                CompiledPred::Never
+            } else {
+                CompiledPred::SymIn {
+                    vals: col.syms().expect("text column"),
+                    syms,
+                }
+            }
+        }
+        (DataType::Int, op) => match int_bounds(op, &pred.value) {
+            Bounds::Range(lo, hi) if lo <= hi => CompiledPred::IntRange {
+                vals: col.ints().expect("int column"),
+                nulls: col.nulls(),
+                lo,
+                hi,
+            },
+            Bounds::Range(..) | Bounds::Never => CompiledPred::Never,
+            Bounds::Fallback => generic(),
+        },
+        (DataType::Float, op) => match float_bounds(op, &pred.value) {
+            Some((lo, hi)) => CompiledPred::FloatRange {
+                vals: col.floats().expect("float column"),
+                nulls: col.nulls(),
+                lo,
+                hi,
+            },
+            None => generic(),
+        },
+        (DataType::Bool, CmpOp::Eq) => match &pred.value {
+            Value::Bool(b) => CompiledPred::BoolEq {
+                vals: col.bools().expect("bool column"),
+                nulls: col.nulls(),
+                expect: *b,
+            },
+            _ => CompiledPred::Never,
+        },
+        _ => generic(),
+    })
+}
+
+enum Bounds {
+    Range(i64, i64),
+    Never,
+    Fallback,
+}
+
+/// Integer bounds `[lo, hi]` equivalent to `op` on an Int column, widening
+/// float operands through ceil/floor exactly like `Value`'s numeric order.
+/// NaN operands fall back to the generic matcher (which reproduces the
+/// total-order semantics precisely).
+fn int_bounds(op: &CmpOp, value: &Value) -> Bounds {
+    // Smallest integer >= v (total order), or None when no such integer
+    // exists. -0.0 sorts strictly below Int(0) in `Value`'s order, and any
+    // finite float at or above 2^63 exceeds every i64.
+    fn lo_of(v: &Value) -> Option<i64> {
+        match v {
+            Value::Int(i) => Some(*i),
+            Value::Float(x) if x.is_finite() && *x < i64::MAX as f64 => Some(clamp_i64(x.ceil())),
+            Value::Float(x) if *x == f64::NEG_INFINITY => Some(i64::MIN),
+            _ => None, // 2^63-boundary / NaN / +inf handled by callers
+        }
+    }
+    // Largest integer <= v (total order).
+    fn hi_of(v: &Value) -> Option<i64> {
+        match v {
+            Value::Int(i) => Some(*i),
+            Value::Float(x) if *x == 0.0 && x.is_sign_negative() => Some(-1),
+            Value::Float(x) if x.is_finite() => {
+                if *x < i64::MIN as f64 {
+                    None
+                } else {
+                    Some(clamp_i64(x.floor()))
+                }
+            }
+            Value::Float(x) if *x == f64::INFINITY => Some(i64::MAX),
+            _ => None,
+        }
+    }
+    let is_nan = matches!(value, Value::Float(x) if x.is_nan());
+    // `Value` widens i64 operands through `as f64` (lossy near 2^63), so
+    // bounds touching that region can admit i64::MAX-adjacent rows; the
+    // generic matcher reproduces those semantics exactly.
+    let near_i64_max =
+        |v: &Value| matches!(v, Value::Float(x) if x.is_finite() && x.abs() >= i64::MAX as f64);
+    match op {
+        _ if is_nan => Bounds::Fallback,
+        CmpOp::Eq | CmpOp::Ge | CmpOp::Le if near_i64_max(value) => Bounds::Fallback,
+        CmpOp::Between(l, h) if near_i64_max(l) || near_i64_max(h) => Bounds::Fallback,
+        CmpOp::Eq => match value {
+            Value::Int(i) => Bounds::Range(*i, *i),
+            Value::Float(x)
+                if x.is_finite()
+                    && x.fract() == 0.0
+                    && in_i64(*x)
+                    && !(*x == 0.0 && x.is_sign_negative()) =>
+            {
+                Bounds::Range(*x as i64, *x as i64)
+            }
+            Value::Float(_) => Bounds::Never, // non-integral / -0.0 / infinite
+            _ => Bounds::Never,               // cross-type eq with Int
+        },
+        CmpOp::Ge => match lo_of(value) {
+            Some(lo) => Bounds::Range(lo, i64::MAX),
+            None => Bounds::Never, // v >= +inf (NaN handled above)
+        },
+        CmpOp::Le => match hi_of(value) {
+            Some(hi) => Bounds::Range(i64::MIN, hi),
+            None => Bounds::Never, // v <= -inf
+        },
+        CmpOp::Between(l, h) => {
+            if matches!(l, Value::Float(x) if x.is_nan())
+                || matches!(h, Value::Float(x) if x.is_nan())
+            {
+                return Bounds::Fallback;
+            }
+            match (lo_of(l), hi_of(h)) {
+                (Some(lo), Some(hi)) => Bounds::Range(lo, hi),
+                (None, _) => Bounds::Never, // lower bound above all ints
+                (_, None) => Bounds::Never, // upper bound below all ints
+            }
+        }
+        CmpOp::In(_) => Bounds::Fallback,
+    }
+}
+
+fn in_i64(x: f64) -> bool {
+    x >= i64::MIN as f64 && x < i64::MAX as f64
+}
+
+fn clamp_i64(x: f64) -> i64 {
+    if x >= i64::MAX as f64 {
+        i64::MAX
+    } else if x <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        x as i64
+    }
+}
+
+/// Lowest / highest values of `f64::total_cmp`'s order (negative and
+/// positive NaN with full payload).
+const TOTAL_MIN: f64 = f64::from_bits(u64::MAX);
+const TOTAL_MAX: f64 = f64::from_bits(0x7FFF_FFFF_FFFF_FFFF);
+
+/// Float bounds `[lo, hi]` (total order) equivalent to `op` on a Float
+/// column; `None` falls back to the generic matcher.
+fn float_bounds(op: &CmpOp, value: &Value) -> Option<(f64, f64)> {
+    fn num(v: &Value) -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+    match op {
+        CmpOp::Eq => num(value).map(|x| (x, x)),
+        CmpOp::Ge => num(value).map(|x| (x, TOTAL_MAX)),
+        CmpOp::Le => num(value).map(|x| (TOTAL_MIN, x)),
+        CmpOp::Between(l, h) => Some((num(l)?, num(h)?)),
+        CmpOp::In(_) => None,
+    }
+}
+
+fn column_index(table: &Table, column: &str) -> Result<usize> {
+    table
+        .schema()
+        .column_index(column)
+        .ok_or_else(|| RelationError::UnknownColumn {
+            table: table.name().to_string(),
+            column: column.to_string(),
+        })
+}
+
+fn compile_preds<'t>(table: &'t Table, preds: &'t [Pred]) -> Result<Vec<CompiledPred<'t>>> {
+    preds.iter().map(|p| compile_pred(table, p)).collect()
+}
+
+/// A semi-join fold result: `join-key → tuple count`, keyed by a raw
+/// `u64` encoding of the producing column's values plus their type.
+pub struct CountMap {
+    dtype: DataType,
+    map: FxHashMap<u64, u64>,
+}
+
+impl CountMap {
+    /// Count for the join key of `col` at `row` (0 when absent/null).
+    /// Requires `dtype == self.dtype`; heterogeneous links go through
+    /// [`CountMap::into_lookup`], which decodes the map ONCE.
+    pub fn count_at(&self, col: &ColumnVec, dtype: DataType, row: RowId) -> u64 {
+        debug_assert_eq!(dtype, self.dtype, "use into_lookup for mixed types");
+        encode_key(col, self.dtype, row)
+            .and_then(|k| self.map.get(&k).copied())
+            .unwrap_or(0)
+    }
+
+    /// Specialize this map for probes from a column of `probe_dtype`:
+    /// same-typed links keep the raw `u64` keys; heterogeneous links
+    /// (e.g. Int joined against Float) decode every key into a
+    /// `Value`-keyed map once, so each probe stays O(1) and numeric
+    /// cross-type equality (3 == 3.0) keeps holding.
+    fn into_lookup(self, probe_dtype: DataType) -> CountLookup {
+        if probe_dtype == self.dtype {
+            CountLookup::Typed(self)
+        } else {
+            let by_value: FxHashMap<Value, u64> = self
+                .map
+                .iter()
+                .map(|(&k, &w)| (decode_key(self.dtype, k), w))
+                .collect();
+            CountLookup::ByValue(by_value)
+        }
+    }
+}
+
+/// A [`CountMap`] specialized to the probing column's type.
+enum CountLookup {
+    Typed(CountMap),
+    ByValue(FxHashMap<Value, u64>),
+}
+
+impl CountLookup {
+    #[inline]
+    fn count_at(&self, col: &ColumnVec, dtype: DataType, row: RowId) -> u64 {
+        match self {
+            CountLookup::Typed(map) => map.count_at(col, dtype, row),
+            CountLookup::ByValue(map) => {
+                let probe = col.value_at(row);
+                if probe.is_null() {
+                    0
+                } else {
+                    map.get(&probe).copied().unwrap_or(0)
+                }
+            }
+        }
+    }
+}
+
+/// Encode the cell at `row` as a raw map key; `None` for nulls.
+#[inline]
+fn encode_key(col: &ColumnVec, dtype: DataType, row: RowId) -> Option<u64> {
+    match dtype {
+        DataType::Int => col.int_at(row).map(|v| v as u64),
+        DataType::Float => col.float_at(row).map(f64::to_bits),
+        DataType::Text => col.sym_at(row).map(u64::from),
+        DataType::Bool => {
+            if col.is_null(row) {
+                None
+            } else {
+                col.bools().and_then(|b| b.get(row)).map(|&b| b as u64)
+            }
+        }
+    }
+}
+
+fn decode_key(dtype: DataType, key: u64) -> Value {
+    match dtype {
+        DataType::Int => Value::Int(key as i64),
+        DataType::Float => Value::Float(f64::from_bits(key)),
+        DataType::Text => Value::Text(Sym::from_id(key as u32)),
+        DataType::Bool => Value::Bool(key != 0),
     }
 }
 
@@ -73,7 +435,7 @@ impl<'a> Executor<'a> {
             ));
         }
         let root = query.blocks[0].root.clone();
-        let mut rows: Option<BTreeSet<RowId>> = None;
+        let mut rows: Option<RowSet> = None;
         for block in &query.blocks {
             if block.root != root {
                 return Err(RelationError::InvalidSchema(
@@ -83,7 +445,10 @@ impl<'a> Executor<'a> {
             let this = self.execute_block(block)?;
             rows = Some(match rows {
                 None => this,
-                Some(prev) => prev.intersection(&this).cloned().collect(),
+                Some(mut prev) => {
+                    prev.intersect_with(&this);
+                    prev
+                }
             });
         }
         Ok(ResultSet {
@@ -93,28 +458,39 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute one block.
-    fn execute_block(&self, block: &QueryBlock) -> Result<BTreeSet<RowId>> {
+    fn execute_block(&self, block: &QueryBlock) -> Result<RowSet> {
         let root_table = self.db.table(&block.root)?;
-        let root_pred_cols = resolve_preds(root_table, &block.root_predicates)?;
+        let preds = compile_preds(root_table, &block.root_predicates)?;
 
         // Fold every semi-join into a per-root-join-column count map first.
-        let mut sj_maps: Vec<(usize, u64, HashMap<Value, u64>)> =
-            Vec::with_capacity(block.semi_joins.len());
+        struct SjCheck<'t> {
+            col: &'t ColumnVec,
+            dtype: DataType,
+            min_count: u64,
+            lookup: CountLookup,
+        }
+        let mut checks: Vec<SjCheck<'_>> = Vec::with_capacity(block.semi_joins.len());
         for sj in &block.semi_joins {
-            let (root_col, map) = self.fold_semi_join(root_table, sj)?;
-            sj_maps.push((root_col, sj.min_count, map));
+            let (root_ci, map) = self.fold_semi_join(root_table, sj)?;
+            let dtype = root_table.schema().columns[root_ci].dtype;
+            checks.push(SjCheck {
+                col: root_table.column(root_ci),
+                dtype,
+                min_count: sj.min_count,
+                lookup: map.into_lookup(dtype),
+            });
         }
 
-        let mut out = BTreeSet::new();
-        'rows: for (rid, row) in root_table.iter() {
-            for (ci, pred) in &root_pred_cols {
-                if !pred.matches(&row[*ci]) {
+        let n = root_table.len();
+        let mut out = RowSet::with_universe(n);
+        'rows: for rid in 0..n {
+            for pred in &preds {
+                if !pred.matches(rid) {
                     continue 'rows;
                 }
             }
-            for (root_col, min_count, map) in &sj_maps {
-                let count = map.get(&row[*root_col]).copied().unwrap_or(0);
-                if count < *min_count {
+            for c in &checks {
+                if c.lookup.count_at(c.col, c.dtype, rid) < c.min_count {
                     continue 'rows;
                 }
             }
@@ -124,71 +500,65 @@ impl<'a> Executor<'a> {
     }
 
     /// Fold a semi-join path bottom-up. Returns the root column index the
-    /// first step joins on, and a map `root-join-value → tuple count`.
-    fn fold_semi_join(
+    /// first step joins on, and a map `root-join-key → tuple count`.
+    pub(crate) fn fold_semi_join(
         &self,
         root_table: &Table,
         sj: &SemiJoin,
-    ) -> Result<(usize, HashMap<Value, u64>)> {
+    ) -> Result<(usize, CountMap)> {
         if sj.path.is_empty() {
             return Err(RelationError::InvalidSchema(
                 "semi-join path must be non-empty".into(),
             ));
         }
-        // `deeper` maps a value of this step's outgoing join column (the
+        // `deeper` maps a key of this step's outgoing join column (the
         // column the next step's child joins against) to the tuple count of
         // the remaining path suffix.
-        let mut deeper: Option<HashMap<Value, u64>> = None;
+        let mut deeper: Option<CountMap> = None;
         for (i, step) in sj.path.iter().enumerate().rev() {
             let table = self.db.table(&step.table)?;
-            let preds = resolve_preds(table, &step.predicates)?;
+            let preds = compile_preds(table, &step.predicates)?;
             let child_ci = column_index(table, &step.child_column)?;
-            // Column in THIS table that the next (deeper) step joins on.
-            let next_parent_ci = match sj.path.get(i + 1) {
-                Some(next) => Some(column_index(table, &next.parent_column)?),
-                None => None,
+            let child_col = table.column(child_ci);
+            let child_dtype = table.schema().columns[child_ci].dtype;
+            // Column in THIS table that the next (deeper) step joins on,
+            // with the deeper map specialized to its type up front.
+            let next_parent = match (sj.path.get(i + 1), deeper.take()) {
+                (Some(next), Some(deep)) => {
+                    let ci = column_index(table, &next.parent_column)?;
+                    let dtype = table.schema().columns[ci].dtype;
+                    Some((table.column(ci), dtype, deep.into_lookup(dtype)))
+                }
+                _ => None,
             };
-            let mut map: HashMap<Value, u64> = HashMap::new();
-            'rows: for (_, row) in table.iter() {
-                for (ci, pred) in &preds {
-                    if !pred.matches(&row[*ci]) {
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            let n = table.len();
+            'rows: for row in 0..n {
+                for pred in &preds {
+                    if !pred.matches(row) {
                         continue 'rows;
                     }
                 }
-                let w = match (next_parent_ci, &deeper) {
-                    (Some(ci), Some(deep)) => match deep.get(&row[ci]) {
-                        Some(&w) => w,
-                        None => continue 'rows,
+                let w = match &next_parent {
+                    Some((col, dtype, deep)) => match deep.count_at(col, *dtype, row) {
+                        0 => continue 'rows,
+                        w => w,
                     },
-                    _ => 1,
+                    None => 1,
                 };
-                let key = &row[child_ci];
-                if !key.is_null() {
-                    *map.entry(key.clone()).or_insert(0) += w;
-                }
+                let Some(key) = encode_key(child_col, child_dtype, row) else {
+                    continue 'rows; // null join keys never match
+                };
+                *map.entry(key).or_insert(0) += w;
             }
-            deeper = Some(map);
+            deeper = Some(CountMap {
+                dtype: child_dtype,
+                map,
+            });
         }
         let root_ci = column_index(root_table, &sj.path[0].parent_column)?;
-        Ok((root_ci, deeper.unwrap_or_default()))
+        Ok((root_ci, deeper.expect("non-empty path")))
     }
-}
-
-fn column_index(table: &Table, column: &str) -> Result<usize> {
-    table
-        .schema()
-        .column_index(column)
-        .ok_or_else(|| RelationError::UnknownColumn {
-            table: table.name().to_string(),
-            column: column.to_string(),
-        })
-}
-
-fn resolve_preds<'p>(table: &Table, preds: &'p [Pred]) -> Result<Vec<(usize, &'p Pred)>> {
-    preds
-        .iter()
-        .map(|p| Ok((column_index(table, &p.column)?, p)))
-        .collect()
 }
 
 /// Convenience: execute and return projected values.
@@ -211,7 +581,11 @@ pub fn count_path_for_row(
         };
         let table = db.table(&step.table)?;
         let child_ci = column_index(table, &step.child_column)?;
-        let preds = resolve_preds(table, &step.predicates)?;
+        let preds: Vec<(usize, &Pred)> = step
+            .predicates
+            .iter()
+            .map(|p| Ok((column_index(table, &p.column)?, p)))
+            .collect::<Result<_>>()?;
         let mut total = 0u64;
         'rows: for (_, row) in table.iter() {
             if &row[child_ci] != key {
@@ -225,7 +599,7 @@ pub fn count_path_for_row(
             let next_key = match path.get(1) {
                 Some(next) => {
                     let ci = column_index(table, &next.parent_column)?;
-                    Some(row[ci].clone())
+                    Some(row[ci])
                 }
                 None => None,
             };
@@ -237,7 +611,13 @@ pub fn count_path_for_row(
         Ok(total)
     }
     let root_ci = column_index(root_table, &sj.path[0].parent_column)?;
-    let key = root_table.cell(row, root_ci).cloned().unwrap_or(Value::Null);
+    let key = root_table
+        .cell(row, root_ci)
+        .copied()
+        .unwrap_or(Value::Null);
+    if key.is_null() {
+        return Ok(0);
+    }
     rec(db, &key, &sj.path)
 }
 
@@ -316,9 +696,7 @@ mod tests {
         let db = academics_db();
         let q = Query::single(
             QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
-                "research",
-                "id",
-                "aid",
+                "research", "id", "aid",
             )
             .filter(Pred::eq("interest", "data management"))])),
             "name",
@@ -329,10 +707,7 @@ mod tests {
             .map(|v| v.to_string())
             .collect();
         names.sort();
-        assert_eq!(
-            names,
-            vec!["Dan Suciu", "Joseph Hellerstein", "Sam Madden"]
-        );
+        assert_eq!(names, vec!["Dan Suciu", "Joseph Hellerstein", "Sam Madden"]);
     }
 
     #[test]
@@ -383,8 +758,10 @@ mod tests {
         let root = db.table("academics").unwrap();
         let exec = Executor::new(&db);
         let (root_ci, map) = exec.fold_semi_join(root, &sj).unwrap();
-        for (rid, row) in root.iter() {
-            let folded = map.get(&row[root_ci]).copied().unwrap_or(0);
+        let col = root.column(root_ci);
+        let dtype = root.schema().columns[root_ci].dtype;
+        for (rid, _) in root.iter() {
+            let folded = map.count_at(col, dtype, rid);
             let oracle = count_path_for_row(&db, root, rid, &sj).unwrap();
             assert_eq!(folded, oracle, "row {rid}");
         }
@@ -400,6 +777,21 @@ mod tests {
         let rs = Executor::new(&db).execute(&q).unwrap();
         assert!(rs.is_empty());
         assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn text_predicate_for_never_interned_value_matches_nothing() {
+        let db = academics_db();
+        // A probe string no cell ever contained: the compiled predicate
+        // must short-circuit to Never without growing the dictionary.
+        let q = Query::single(
+            QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
+                "research", "id", "aid",
+            )
+            .filter(Pred::eq("interest", "quantum basket weaving"))])),
+            "name",
+        );
+        assert!(run_query(&db, &q).unwrap().is_empty());
     }
 
     #[test]
@@ -445,5 +837,32 @@ mod tests {
             .execute(&Query::single(QueryBlock::new("academics"), "name"))
             .unwrap();
         assert_eq!(all.intersection_size(&all), 6);
+    }
+
+    #[test]
+    fn numeric_predicates_match_value_semantics() {
+        // Int column probed with float bounds: 3 == 3.0, 3 >= 2.5 etc.
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![Column::new("x", DataType::Int)]))
+            .unwrap();
+        for i in 0..10i64 {
+            db.insert("t", vec![Value::Int(i)]).unwrap();
+        }
+        db.insert("t", vec![Value::Null]).unwrap();
+        let run = |pred: Pred| {
+            run_query(&db, &Query::single(QueryBlock::new("t").filter(pred), "x"))
+                .unwrap()
+                .len()
+        };
+        assert_eq!(run(Pred::eq("x", Value::Float(3.0))), 1);
+        assert_eq!(run(Pred::eq("x", Value::Float(3.5))), 0);
+        assert_eq!(run(Pred::ge("x", Value::Float(2.5))), 7);
+        assert_eq!(run(Pred::le("x", Value::Float(2.5))), 3);
+        assert_eq!(
+            run(Pred::between("x", Value::Float(1.5), Value::Float(4.0))),
+            3
+        );
+        // Nulls never match, even for ranges covering the 0 sentinel.
+        assert_eq!(run(Pred::between("x", Value::Int(-5), Value::Int(100))), 10);
     }
 }

@@ -10,7 +10,7 @@ use crate::ast::{CmpOp, Pred, Query, QueryBlock};
 /// Render a SQL literal.
 fn literal(v: &Value) -> String {
     match v {
-        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Text(s) => format!("'{}'", s.as_str().replace('\'', "''")),
         other => other.to_string(),
     }
 }
@@ -135,8 +135,7 @@ mod tests {
                 vec![
                     PathStep::new("castinfo", "id", "person_id"),
                     PathStep::new("movietogenre", "movie_id", "movie_id"),
-                    PathStep::new("genre", "genre_id", "id")
-                        .filter(Pred::eq("name", "Comedy")),
+                    PathStep::new("genre", "genre_id", "id").filter(Pred::eq("name", "Comedy")),
                 ],
             )),
             "name",

@@ -2,7 +2,7 @@
 //! empty intermediate levels, and SQL rendering of degenerate queries.
 
 use squid_engine::{run_query, to_sql, Executor, PathStep, Pred, Query, QueryBlock, SemiJoin};
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 fn three_level_db() -> Database {
     let mut db = Database::new();
@@ -54,11 +54,10 @@ fn empty_root_table_yields_empty_result() {
 #[test]
 fn semi_join_over_empty_fact_table() {
     let mut db = three_level_db();
-    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    db.insert("a", vec![Value::Int(1), Value::text("x")])
+        .unwrap();
     let q = Query::single(
-        QueryBlock::new("a").semi_join(SemiJoin::exists(vec![PathStep::new(
-            "ab", "id", "a_id",
-        )])),
+        QueryBlock::new("a").semi_join(SemiJoin::exists(vec![PathStep::new("ab", "id", "a_id")])),
         "name",
     );
     assert!(run_query(&db, &q).unwrap().is_empty());
@@ -67,8 +66,10 @@ fn semi_join_over_empty_fact_table() {
 #[test]
 fn null_join_keys_never_match() {
     let mut db = three_level_db();
-    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
-    db.insert("b", vec![Value::Int(7), Value::text("t")]).unwrap();
+    db.insert("a", vec![Value::Int(1), Value::text("x")])
+        .unwrap();
+    db.insert("b", vec![Value::Int(7), Value::text("t")])
+        .unwrap();
     // Fact row with a NULL a_id: must not join to anything.
     db.insert("ab", vec![Value::Null, Value::Int(7)]).unwrap();
     let q = Query::single(
@@ -84,12 +85,17 @@ fn null_join_keys_never_match() {
 #[test]
 fn two_hop_path_counts_join_multiplicity() {
     let mut db = three_level_db();
-    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
-    db.insert("b", vec![Value::Int(10), Value::text("t")]).unwrap();
-    db.insert("b", vec![Value::Int(11), Value::text("t")]).unwrap();
+    db.insert("a", vec![Value::Int(1), Value::text("x")])
+        .unwrap();
+    db.insert("b", vec![Value::Int(10), Value::text("t")])
+        .unwrap();
+    db.insert("b", vec![Value::Int(11), Value::text("t")])
+        .unwrap();
     // a1 links to both b rows; both carry tag t → count 2.
-    db.insert("ab", vec![Value::Int(1), Value::Int(10)]).unwrap();
-    db.insert("ab", vec![Value::Int(1), Value::Int(11)]).unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(10)])
+        .unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(11)])
+        .unwrap();
     let q = |k: u64| {
         Query::single(
             QueryBlock::new("a").semi_join(SemiJoin::at_least(
@@ -110,10 +116,14 @@ fn two_hop_path_counts_join_multiplicity() {
 fn duplicate_fact_rows_inflate_counts() {
     // SQL count(*) semantics: duplicated association rows count twice.
     let mut db = three_level_db();
-    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
-    db.insert("b", vec![Value::Int(10), Value::text("t")]).unwrap();
-    db.insert("ab", vec![Value::Int(1), Value::Int(10)]).unwrap();
-    db.insert("ab", vec![Value::Int(1), Value::Int(10)]).unwrap();
+    db.insert("a", vec![Value::Int(1), Value::text("x")])
+        .unwrap();
+    db.insert("b", vec![Value::Int(10), Value::text("t")])
+        .unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(10)])
+        .unwrap();
+    db.insert("ab", vec![Value::Int(1), Value::Int(10)])
+        .unwrap();
     let q = Query::single(
         QueryBlock::new("a").semi_join(SemiJoin::at_least(
             2,
@@ -127,7 +137,8 @@ fn duplicate_fact_rows_inflate_counts() {
 #[test]
 fn projection_of_unknown_column_errors() {
     let mut db = three_level_db();
-    db.insert("a", vec![Value::Int(1), Value::text("x")]).unwrap();
+    db.insert("a", vec![Value::Int(1), Value::text("x")])
+        .unwrap();
     let q = Query::single(QueryBlock::new("a"), "nope");
     let rs = Executor::new(&db).execute(&q).unwrap();
     assert!(rs.project(&db, "nope").is_err());

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use squid_engine::exec::count_path_for_row;
 use squid_engine::{Executor, PathStep, Pred, Query, QueryBlock, SemiJoin};
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 /// Random entity/fact database: `e(id, tag)` and `f(e_id, label)`.
 fn build_db(tags: &[u8], facts: &[(usize, u8)]) -> Database {
@@ -68,7 +68,7 @@ proptest! {
         for (rid, _) in root.iter() {
             let count = count_path_for_row(&db, root, rid, &sj).unwrap();
             prop_assert_eq!(
-                rs.rows.contains(&rid),
+                rs.rows.contains(rid),
                 count >= min_count,
                 "row {} count {} min {}", rid, count, min_count
             );
@@ -100,7 +100,7 @@ proptest! {
         }
         prop_assert_eq!(
             both.rows.len(),
-            only1.rows.intersection(&only2.rows).count()
+            only1.rows.intersection_size(&only2.rows)
         );
     }
 
@@ -123,7 +123,7 @@ proptest! {
             .filter(|(_, &t)| t >= lo && t <= hi)
             .map(|(i, _)| i)
             .collect();
-        let got: Vec<usize> = rs.rows.iter().copied().collect();
+        let got: Vec<usize> = rs.rows.iter().collect();
         prop_assert_eq!(got, expected);
     }
 
@@ -152,7 +152,7 @@ proptest! {
     ) {
         let db = build_db(&tags, &facts);
         let exec = Executor::new(&db);
-        let mut prev: Option<std::collections::BTreeSet<usize>> = None;
+        let mut prev: Option<squid_relation::RowSet> = None;
         for k in 1..=4u64 {
             let q = Query::single(
                 QueryBlock::new("e").semi_join(SemiJoin::at_least(

@@ -268,8 +268,7 @@ mod tests {
     fn validate_rejects_keyless_fact_table() {
         let mut db = Database::new();
         db.create_table(
-            TableSchema::new("f", vec![Column::new("a", DataType::Int)])
-                .with_role(TableRole::Fact),
+            TableSchema::new("f", vec![Column::new("a", DataType::Int)]).with_role(TableRole::Fact),
         )
         .unwrap();
         assert!(db.validate().is_err());

@@ -56,10 +56,7 @@ impl fmt::Display for RelationError {
                 column,
                 expected,
                 got,
-            } => write!(
-                f,
-                "table {table}.{column}: expected {expected}, got {got}"
-            ),
+            } => write!(f, "table {table}.{column}: expected {expected}, got {got}"),
             RelationError::UnknownTable(t) => write!(f, "unknown table {t}"),
             RelationError::UnknownColumn { table, column } => {
                 write!(f, "unknown column {table}.{column}")

@@ -2,8 +2,10 @@
 //! selectivity) and ordered indexes for range predicates. The paper's αDB
 //! uses PostgreSQL B-tree indexes; these structures play that role here.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::ops::Bound;
+
+use crate::fxhash::FxHashMap;
 
 use crate::table::{RowId, Table};
 use crate::value::Value;
@@ -11,17 +13,17 @@ use crate::value::Value;
 /// Hash index: value → sorted row ids. O(1) point lookups.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
-    map: HashMap<Value, Vec<RowId>>,
+    map: FxHashMap<Value, Vec<RowId>>,
 }
 
 impl HashIndex {
     /// Build over one column of a table. Nulls are not indexed.
     pub fn build(table: &Table, column: usize) -> Self {
-        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        let mut map: FxHashMap<Value, Vec<RowId>> = FxHashMap::default();
         for (id, row) in table.iter() {
             let v = &row[column];
             if !v.is_null() {
-                map.entry(v.clone()).or_default().push(id);
+                map.entry(*v).or_default().push(id);
             }
         }
         HashIndex { map }
@@ -61,7 +63,7 @@ impl OrderedIndex {
         for (id, row) in table.iter() {
             let v = &row[column];
             if !v.is_null() {
-                map.entry(v.clone()).or_default().push(id);
+                map.entry(*v).or_default().push(id);
             }
         }
         OrderedIndex { map }
@@ -72,7 +74,7 @@ impl OrderedIndex {
         let mut out = Vec::new();
         for (_, ids) in self
             .map
-            .range::<Value, _>((Bound::Included(low.clone()), Bound::Included(high.clone())))
+            .range::<Value, _>((Bound::Included(*low), Bound::Included(*high)))
         {
             out.extend_from_slice(ids);
         }
@@ -82,7 +84,7 @@ impl OrderedIndex {
     /// Count of rows with values in `[low, high]`.
     pub fn range_count(&self, low: &Value, high: &Value) -> usize {
         self.map
-            .range::<Value, _>((Bound::Included(low.clone()), Bound::Included(high.clone())))
+            .range::<Value, _>((Bound::Included(*low), Bound::Included(*high)))
             .map(|(_, ids)| ids.len())
             .sum()
     }
@@ -123,7 +125,8 @@ mod tests {
             ],
         ));
         for (i, age) in [50i64, 90, 60, 50, 29, 60].iter().enumerate() {
-            t.insert(vec![Value::Int(i as i64), Value::Int(*age)]).unwrap();
+            t.insert(vec![Value::Int(i as i64), Value::Int(*age)])
+                .unwrap();
         }
         t
     }

@@ -1,0 +1,153 @@
+//! Global string interner: dictionary-encodes every text value into a
+//! `u32` symbol ([`Sym`]) so that equality, hashing, and group-by on text
+//! are O(1) integer operations in every hot path (executor predicate
+//! loops, αDB statistics scans, inverted-index postings).
+//!
+//! Interned strings are leaked (`Box::leak`) exactly once per distinct
+//! string, which is the same memory footprint as any dictionary encoding:
+//! the dictionary lives for the process lifetime. Resolution back to
+//! `&'static str` therefore needs no lock-guarded borrow — the lock is
+//! held only while consulting the id table, never while the caller uses
+//! the string.
+
+use std::sync::{OnceLock, RwLock};
+
+use crate::fxhash::FxHashMap;
+
+/// An interned string: a dense `u32` id into the global dictionary.
+///
+/// Two `Sym`s are equal iff their underlying strings are equal, so `Eq` /
+/// `Hash` are single integer operations. Ordering of raw `Sym`s is by id
+/// (insertion order), NOT lexicographic — callers needing lexicographic
+/// order compare [`Sym::as_str`] (as `Value`'s `Ord` does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Dictionary {
+    ids: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn dictionary() -> &'static RwLock<Dictionary> {
+    static DICT: OnceLock<RwLock<Dictionary>> = OnceLock::new();
+    DICT.get_or_init(|| {
+        RwLock::new(Dictionary {
+            ids: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its stable symbol (allocates only for strings
+    /// never seen before).
+    pub fn intern(s: &str) -> Sym {
+        let dict = dictionary();
+        if let Some(&id) = dict.read().expect("interner lock").ids.get(s) {
+            return Sym(id);
+        }
+        let mut w = dict.write().expect("interner lock");
+        if let Some(&id) = w.ids.get(s) {
+            return Sym(id); // raced with another writer
+        }
+        let leaked: &'static str = Box::leak(s.into());
+        let id = u32::try_from(w.strings.len()).expect("interner overflow");
+        w.strings.push(leaked);
+        w.ids.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// Look up the symbol of `s` WITHOUT interning — `None` when `s` was
+    /// never interned. Use this for probe-only paths (e.g. user-supplied
+    /// lookup strings) so unbounded external input cannot grow the
+    /// dictionary.
+    pub fn get(s: &str) -> Option<Sym> {
+        dictionary()
+            .read()
+            .expect("interner lock")
+            .ids
+            .get(s)
+            .map(|&id| Sym(id))
+    }
+
+    /// The interned string. O(1): one shared-lock acquisition and a vector
+    /// index; the returned reference outlives the lock.
+    pub fn as_str(self) -> &'static str {
+        dictionary().read().expect("interner lock").strings[self.0 as usize]
+    }
+
+    /// The raw dictionary id (dense, insertion-ordered). Stable for the
+    /// process lifetime; used by columnar storage and compact postings.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct from a raw id previously obtained via [`Sym::id`].
+    ///
+    /// The id must have come from this process's dictionary; out-of-range
+    /// ids panic on [`Sym::as_str`].
+    pub fn from_id(id: u32) -> Sym {
+        Sym(id)
+    }
+
+    /// Number of distinct strings interned so far (diagnostics).
+    pub fn dictionary_size() -> usize {
+        dictionary().read().expect("interner lock").strings.len()
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::intern("hello");
+        let b = Sym::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Sym::intern("alpha-test");
+        let b = Sym::intern("beta-test");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha-test");
+        assert_eq!(b.as_str(), "beta-test");
+    }
+
+    #[test]
+    fn probe_does_not_intern() {
+        let before = Sym::dictionary_size();
+        assert_eq!(Sym::get("never-interned-probe-xyzzy"), None);
+        assert_eq!(Sym::dictionary_size(), before);
+        let s = Sym::intern("now-interned-xyzzy");
+        assert_eq!(Sym::get("now-interned-xyzzy"), Some(s));
+    }
+
+    #[test]
+    fn roundtrips_through_raw_ids() {
+        let s = Sym::intern("roundtrip");
+        assert_eq!(Sym::from_id(s.id()), s);
+        assert_eq!(Sym::from_id(s.id()).as_str(), "roundtrip");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let symz: Vec<Sym> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| Sym::intern("concurrent-shared")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(symz.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -2,87 +2,148 @@
 //! "Entity lookup"). Maps a (case-folded) text value to every `(table,
 //! column, row)` where it occurs, so user-provided example strings can be
 //! matched to candidate entities in O(1).
-
-use std::collections::HashMap;
+//!
+//! Hot-path layout: keys are interned symbols of the folded strings and
+//! postings are packed 8-byte `(table: u16, column: u16, row: u32)`
+//! triples — table names live once in a small catalog instead of a heap
+//! `String` per posting. Postings are sorted and deduplicated at build
+//! time, so range/equality filtering over them is cache-friendly and
+//! branch-predictable.
 
 use crate::catalog::Database;
-use crate::table::RowId;
+use crate::fxhash::FxHashMap;
+use crate::intern::Sym;
+use crate::table::{RowId, NULL_SYM};
 use crate::value::DataType;
+use std::borrow::Cow;
 
-/// One occurrence of a text value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// One occurrence of a text value, packed to 8 bytes.
+///
+/// `table` is an index into the index's table catalog (see
+/// [`InvertedIndex::table_name`]), not a `String` — resolving it is only
+/// needed at the API boundary, never in scan loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Posting {
-    /// Table containing the value.
-    pub table: String,
+    /// Catalog id of the table containing the value.
+    pub table: u16,
     /// Column index within the table.
-    pub column: usize,
+    pub column: u16,
     /// Row id within the table.
-    pub row: RowId,
+    pub row: u32,
 }
 
 /// The global inverted index.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    map: HashMap<String, Vec<Posting>>,
+    map: FxHashMap<Sym, Vec<Posting>>,
+    /// Catalog: posting `table` ids → table names (index build order).
+    tables: Vec<String>,
 }
 
 impl InvertedIndex {
     /// Build over every text column of every table in the database.
     pub fn build(db: &Database) -> Self {
-        let mut map: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut map: FxHashMap<Sym, Vec<Posting>> = FxHashMap::default();
+        let mut tables: Vec<String> = Vec::new();
         for table in db.tables() {
+            let ti = u16::try_from(tables.len()).expect("more than u16::MAX tables");
+            tables.push(table.name().to_string());
             for (ci, col) in table.schema().columns.iter().enumerate() {
                 if col.dtype != DataType::Text {
                     continue;
                 }
-                for (rid, row) in table.iter() {
-                    if let Some(s) = row[ci].as_text() {
-                        map.entry(Self::fold(s)).or_default().push(Posting {
-                            table: table.name().to_string(),
-                            column: ci,
-                            row: rid,
-                        });
+                let ci16 = u16::try_from(ci).expect("more than u16::MAX columns");
+                let syms = table.column(ci).syms().expect("text column");
+                for (rid, &sym) in syms.iter().enumerate() {
+                    if sym == NULL_SYM {
+                        continue;
                     }
+                    let raw = Sym::from_id(sym);
+                    let folded = match Self::fold(raw.as_str()) {
+                        // Identity fold (trim removed nothing): reuse the
+                        // cell's own symbol, zero allocations.
+                        Cow::Borrowed(b) if b.len() == raw.as_str().len() => raw,
+                        other => Sym::intern(&other),
+                    };
+                    map.entry(folded).or_default().push(Posting {
+                        table: ti,
+                        column: ci16,
+                        row: u32::try_from(rid).expect("more than u32::MAX rows"),
+                    });
                 }
             }
         }
-        InvertedIndex { map }
+        // Sort + dedup each postings list once at build time: lookups hand
+        // out slices that are ordered by (table, column, row) and free of
+        // duplicates (e.g. the same folded value indexed twice for a row).
+        for postings in map.values_mut() {
+            postings.sort_unstable();
+            postings.dedup();
+        }
+        InvertedIndex { map, tables }
     }
 
-    /// Case folding used for lookups: trimmed, lowercase.
-    fn fold(s: &str) -> String {
-        s.trim().to_lowercase()
+    /// Case folding used for lookups: trimmed, lowercase. Returns a
+    /// borrowed `Cow` (zero allocations) when the input is already trimmed
+    /// lowercase — the common case on the entity-lookup hot loop, where
+    /// values were folded once at build time.
+    fn fold(s: &str) -> Cow<'_, str> {
+        let trimmed = s.trim();
+        // The borrow fast path is ASCII-only: non-ASCII text always goes
+        // through `to_lowercase` so Unicode forms with multi-char or
+        // titlecase (Lt) mappings fold identically to the old behavior.
+        if !trimmed.is_ascii() || trimmed.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(trimmed.to_lowercase())
+        } else if trimmed.len() == s.len() {
+            Cow::Borrowed(s)
+        } else {
+            Cow::Borrowed(trimmed)
+        }
+    }
+
+    /// Resolve a posting's catalog id to its table name.
+    pub fn table_name(&self, posting: &Posting) -> &str {
+        &self.tables[posting.table as usize]
     }
 
     /// All occurrences of `value` (case-insensitive exact match).
+    ///
+    /// Probe-only: never interns `value`, so arbitrary user input cannot
+    /// grow the global dictionary.
     pub fn lookup(&self, value: &str) -> &[Posting] {
-        self.map
-            .get(&Self::fold(value))
+        Sym::get(&Self::fold(value))
+            .and_then(|sym| self.map.get(&sym))
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
 
     /// Occurrences of `value` restricted to one `(table, column)`.
     pub fn lookup_in(&self, value: &str, table: &str, column: usize) -> Vec<RowId> {
+        let Some(ti) = self.tables.iter().position(|t| t == table) else {
+            return Vec::new();
+        };
+        let ti = ti as u16;
+        let ci = column as u16;
         self.lookup(value)
             .iter()
-            .filter(|p| p.table == table && p.column == column)
-            .map(|p| p.row)
+            .filter(|p| p.table == ti && p.column == ci)
+            .map(|p| p.row as RowId)
             .collect()
     }
 
     /// The `(table, column)` pairs that contain *all* of the given values —
     /// the candidate projection attributes for a set of examples.
     pub fn columns_containing_all(&self, values: &[&str]) -> Vec<(String, usize)> {
-        let mut candidates: Option<Vec<(String, usize)>> = None;
+        let mut candidates: Option<Vec<(u16, u16)>> = None;
         for v in values {
-            let mut cols: Vec<(String, usize)> = self
-                .lookup(v)
-                .iter()
-                .map(|p| (p.table.clone(), p.column))
-                .collect();
-            cols.sort_unstable();
-            cols.dedup();
+            // Postings are sorted by (table, column, row): distinct
+            // (table, column) pairs fall out of a linear dedup pass.
+            let mut cols: Vec<(u16, u16)> = Vec::new();
+            for p in self.lookup(v) {
+                if cols.last() != Some(&(p.table, p.column)) {
+                    cols.push((p.table, p.column));
+                }
+            }
             candidates = Some(match candidates {
                 None => cols,
                 Some(prev) => prev.into_iter().filter(|c| cols.contains(c)).collect(),
@@ -91,7 +152,11 @@ impl InvertedIndex {
                 break;
             }
         }
-        candidates.unwrap_or_default()
+        candidates
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(t, c)| (self.tables[t as usize].clone(), c as usize))
+            .collect()
     }
 
     /// Number of distinct indexed strings.
@@ -170,5 +235,41 @@ mod tests {
     fn empty_input_yields_no_candidates() {
         let idx = InvertedIndex::build(&db());
         assert!(idx.columns_containing_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn postings_are_packed_sorted_and_deduplicated() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(std::mem::size_of::<Posting>(), 8);
+        let ps = idx.lookup("titanic");
+        let mut sorted = ps.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ps, &sorted[..], "postings sorted and deduped at build");
+        // Catalog ids resolve back to table names.
+        let names: Vec<&str> = ps.iter().map(|p| idx.table_name(p)).collect();
+        assert_eq!(names, vec!["movie", "movie", "person"]);
+    }
+
+    #[test]
+    fn fold_fast_path_borrows_lowercase_ascii() {
+        assert!(matches!(
+            InvertedIndex::fold("already folded"),
+            Cow::Borrowed("already folded")
+        ));
+        assert!(matches!(
+            InvertedIndex::fold("  padded  "),
+            Cow::Borrowed("padded")
+        ));
+        assert_eq!(InvertedIndex::fold("MiXeD").as_ref(), "mixed");
+        assert_eq!(InvertedIndex::fold("ÉCOLE").as_ref(), "école");
+    }
+
+    #[test]
+    fn lookup_does_not_grow_the_dictionary() {
+        let idx = InvertedIndex::build(&db());
+        let before = Sym::dictionary_size();
+        assert!(idx.lookup("Unindexed Probe Value 123").is_empty());
+        assert_eq!(Sym::dictionary_size(), before);
     }
 }

@@ -9,21 +9,57 @@
 //! the from-scratch stand-in that the query engine (`squid-engine`), the
 //! abduction-ready database (`squid-adb`), and SQuID itself (`squid-core`)
 //! build upon.
+//!
+//! ## Storage layout & hot paths
+//!
+//! The substrate is tuned so that the two costs the paper measures — αDB
+//! construction (Figure 18) and online abduction latency (Figure 9) — run
+//! over cache-friendly, allocation-free inner loops:
+//!
+//! * **Dictionary-encoded text** ([`intern::Sym`]): every `Value::Text`
+//!   is a `u32` symbol into a global interner. [`Value`] is a 16-byte
+//!   `Copy` scalar; text equality, hashing, and group-by are integer
+//!   operations, and lexicographic ordering resolves strings only when two
+//!   symbols actually differ.
+//! * **Columnar table view** ([`table::ColumnVec`]): each [`Table`]
+//!   maintains per-column typed vectors (`Vec<i64>`, `Vec<f64>`, symbol
+//!   `Vec<u32>`, `Vec<bool>`) plus a null bitmap alongside the row view.
+//!   The executor's predicate scans, semi-join folds, and the αDB
+//!   statistics pass read these slices directly — no per-cell `Value`
+//!   matching, no row indirection.
+//! * **Compact inverted index** ([`inverted::InvertedIndex`]): postings
+//!   are packed 8-byte `(table: u16, column: u16, row: u32)` triples keyed
+//!   by folded-string symbols, sorted and deduplicated at build time;
+//!   lookups are probe-only and never grow the dictionary.
+//! * **Bitmap row sets** ([`rowset::RowSet`]): qualifying-row sets are
+//!   dense `Vec<u64>` bitmaps with word-parallel intersect/union/count,
+//!   replacing per-element tree-set operations in block intersection and
+//!   result handling.
+//!
+//! Planned follow-ups live in `ROADMAP.md` (SIMD-friendly predicate
+//! kernels over the columnar slices, a sharded interner for write-heavy
+//! parallel loads).
 
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod error;
+pub mod fxhash;
 pub mod index;
+pub mod intern;
 pub mod inverted;
+pub mod rowset;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use catalog::{Association, Database};
 pub use error::{RelationError, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::{HashIndex, OrderedIndex};
+pub use intern::Sym;
 pub use inverted::{InvertedIndex, Posting};
+pub use rowset::RowSet;
 pub use schema::{Column, ForeignKey, SchemaMeta, TableRole, TableSchema};
-pub use table::{RowId, Table};
+pub use table::{ColumnData, ColumnVec, RowId, Table, NULL_SYM};
 pub use value::{DataType, Value};

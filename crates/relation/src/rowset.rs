@@ -1,0 +1,353 @@
+//! Dense bitmap row sets: the executor's working representation of "which
+//! root rows qualify". Replaces `BTreeSet<RowId>` on the hot paths —
+//! intersect/union/count become word-wide (64 rows at a time) operations
+//! and membership is one shift and mask.
+//!
+//! Row ids are dense insertion positions (see [`crate::table::Table`]), so
+//! a bitmap over `0..len` wastes nothing. Iteration yields ascending row
+//! ids, matching the ordered-set semantics the previous `BTreeSet`
+//! representation provided.
+
+use crate::table::RowId;
+
+/// A set of row ids backed by a `Vec<u64>` bitmap.
+#[derive(Clone, Default)]
+pub struct RowSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RowSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RowSet::default()
+    }
+
+    /// Empty set pre-sized for rows `0..universe` (avoids regrowth during
+    /// scans that insert in ascending order).
+    pub fn with_universe(universe: usize) -> Self {
+        RowSet {
+            words: vec![0; universe.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// The set `{0, 1, .., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = RowSet::with_universe(universe);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if !universe.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (universe % 64)) - 1;
+            }
+        }
+        s.len = universe;
+        s
+    }
+
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `row`; returns true if it was newly inserted.
+    pub fn insert(&mut self, row: RowId) -> bool {
+        let (w, b) = (row / 64, row % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove `row`; returns true if it was present.
+    pub fn remove(&mut self, row: RowId) -> bool {
+        let (w, b) = (row / 64, row % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: RowId) -> bool {
+        self.words
+            .get(row / 64)
+            .is_some_and(|w| w & (1u64 << (row % 64)) != 0)
+    }
+
+    /// Iterate rows in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place intersection (`self &= other`), word-parallel.
+    pub fn intersect_with(&mut self, other: &RowSet) {
+        if other.words.len() < self.words.len() {
+            self.words.truncate(other.words.len());
+        }
+        let mut count = 0usize;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+            count += w.count_ones() as usize;
+        }
+        self.len = count;
+    }
+
+    /// In-place union (`self |= other`), word-parallel.
+    pub fn union_with(&mut self, other: &RowSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut count = 0usize;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        for w in &self.words {
+            count += w.count_ones() as usize;
+        }
+        self.len = count;
+    }
+
+    /// New set: `self & other`.
+    pub fn intersection(&self, other: &RowSet) -> RowSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// New set: `self | other`.
+    pub fn union(&self, other: &RowSet) -> RowSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// `|self & other|` without materializing the intersection.
+    pub fn intersection_size(&self, other: &RowSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True iff every row of `self` is in `other`.
+    pub fn is_subset(&self, other: &RowSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+}
+
+impl FromIterator<RowId> for RowSet {
+    fn from_iter<I: IntoIterator<Item = RowId>>(iter: I) -> Self {
+        let mut s = RowSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<RowId> for RowSet {
+    fn extend<I: IntoIterator<Item = RowId>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl PartialEq for RowSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for RowSet {}
+
+impl std::fmt::Debug for RowSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a RowSet {
+    type Item = RowId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over a [`RowSet`].
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = RowId;
+
+    fn next(&mut self) -> Option<RowId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn of(ids: &[RowId]) -> RowSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = RowSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(200));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5) && s.contains(200));
+        assert!(!s.contains(6) && !s.contains(10_000));
+    }
+
+    #[test]
+    fn remove_updates_len() {
+        let mut s = of(&[1, 2, 3]);
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert!(!s.remove(999));
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn iteration_is_ascending_like_btreeset() {
+        let ids = [7usize, 0, 63, 64, 65, 128, 300, 2];
+        let bitmap: Vec<RowId> = of(&ids).iter().collect();
+        let btree: Vec<RowId> = ids
+            .iter()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(bitmap, btree);
+    }
+
+    #[test]
+    fn intersect_empty_sparse_full() {
+        let full = RowSet::full(130);
+        assert_eq!(full.len(), 130);
+        let sparse = of(&[0, 64, 129]);
+        assert_eq!(full.intersection(&sparse), sparse);
+        assert_eq!(sparse.intersection(&RowSet::new()), RowSet::new());
+        let disjoint = of(&[1, 65]);
+        assert!(sparse.intersection(&disjoint).is_empty());
+        assert_eq!(sparse.intersection_size(&full), 3);
+    }
+
+    #[test]
+    fn union_counts_once() {
+        let a = of(&[1, 2, 100]);
+        let b = of(&[2, 3]);
+        let u = a.union(&b);
+        assert_eq!(u, of(&[1, 2, 3, 100]));
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = of(&[1, 64]);
+        let b = of(&[1, 2, 64, 65]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(RowSet::new().is_subset(&a));
+        assert!(a.is_subset(&a));
+        // Differently sized word vectors still compare correctly.
+        assert!(of(&[1]).is_subset(&of(&[1, 1000])));
+        assert!(!of(&[1, 1000]).is_subset(&of(&[1])));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let mut a = of(&[3]);
+        let mut b = of(&[3, 500]);
+        b.remove(500); // leaves b with more (zero) words than a
+        assert_eq!(a, b);
+        a.insert(500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_handles_word_boundaries() {
+        for n in [0usize, 1, 63, 64, 65, 128] {
+            let f = RowSet::full(n);
+            assert_eq!(f.len(), n);
+            assert_eq!(f.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parity_with_btreeset_on_mixed_ops() {
+        // Deterministic pseudo-random workload mirrored against BTreeSet.
+        let mut x: u64 = 0x1234_5678;
+        let mut bitmap = RowSet::new();
+        let mut btree = BTreeSet::new();
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let row = (x >> 33) as usize % 500;
+            if x & 1 == 0 {
+                assert_eq!(bitmap.insert(row), btree.insert(row));
+            } else {
+                assert_eq!(bitmap.remove(row), btree.remove(&row));
+            }
+        }
+        assert_eq!(bitmap.len(), btree.len());
+        assert_eq!(
+            bitmap.iter().collect::<Vec<_>>(),
+            btree.iter().copied().collect::<Vec<_>>()
+        );
+    }
+}

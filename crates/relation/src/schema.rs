@@ -96,7 +96,12 @@ impl TableSchema {
     /// resolved later by [`crate::catalog::Database::validate`]; here we
     /// record the referenced table and assume its primary key (index fixed up
     /// at validation time, stored as 0 until then if unknown).
-    pub fn with_foreign_key(mut self, column: &str, ref_table: &str, ref_column_idx: usize) -> Self {
+    pub fn with_foreign_key(
+        mut self,
+        column: &str,
+        ref_table: &str,
+        ref_column_idx: usize,
+    ) -> Self {
         let idx = self
             .column_index(column)
             .unwrap_or_else(|| panic!("unknown foreign key column {column}"));
@@ -210,8 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown primary key column")]
     fn unknown_pk_panics() {
-        let _ = TableSchema::new("t", vec![Column::new("a", DataType::Int)])
-            .with_primary_key("b");
+        let _ = TableSchema::new("t", vec![Column::new("a", DataType::Int)]).with_primary_key("b");
     }
 
     #[test]

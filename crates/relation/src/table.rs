@@ -1,28 +1,196 @@
-//! Row-oriented in-memory tables.
+//! In-memory tables with a dual layout: a row view for point access and
+//! construction, and a **columnar view** — per-column typed vectors plus a
+//! null bitmap — that the executor's predicate scans, semi-join folds, and
+//! the αDB statistics pass read so their inner loops touch contiguous
+//! `i64`/`f64`/`u32` data instead of matching `Value` enums per cell.
 //!
 //! Tables are append-only: rows get dense ids (`RowId`) equal to their
-//! insertion position, which indexes and the αDB rely on.
+//! insertion position, which indexes, bitmaps, and the αDB rely on. Both
+//! layouts are maintained incrementally on insert, so the columnar view is
+//! always current and costs no separate build pass.
 
 use crate::error::{RelationError, Result};
+use crate::rowset::RowSet;
 use crate::schema::TableSchema;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 
 /// Dense row identifier within a single table.
 pub type RowId = usize;
 
-/// An in-memory table: a schema plus rows.
+/// Sentinel stored in text columns at null positions (never a valid
+/// interner id in practice — the dictionary would need 4 billion strings).
+pub const NULL_SYM: u32 = u32::MAX;
+
+/// Typed storage of one column (sentinels occupy null positions).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// `i64` cells (sentinel 0 at nulls).
+    Int(Vec<i64>),
+    /// `f64` cells (sentinel 0.0 at nulls).
+    Float(Vec<f64>),
+    /// Interned-symbol ids (sentinel [`NULL_SYM`] at nulls).
+    Text(Vec<u32>),
+    /// Boolean cells (sentinel `false` at nulls).
+    Bool(Vec<bool>),
+}
+
+/// One column of the columnar view: typed data plus a null bitmap.
+#[derive(Debug, Clone)]
+pub struct ColumnVec {
+    data: ColumnData,
+    nulls: RowSet,
+}
+
+impl ColumnVec {
+    fn new(dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Text => ColumnData::Text(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        };
+        ColumnVec {
+            data,
+            nulls: RowSet::new(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match &mut self.data {
+            ColumnData::Int(xs) => xs.reserve(additional),
+            ColumnData::Float(xs) => xs.reserve(additional),
+            ColumnData::Text(xs) => xs.reserve(additional),
+            ColumnData::Bool(xs) => xs.reserve(additional),
+        }
+    }
+
+    fn push(&mut self, row: RowId, v: &Value) {
+        if v.is_null() {
+            self.nulls.insert(row);
+        }
+        match &mut self.data {
+            ColumnData::Int(xs) => xs.push(v.as_int().unwrap_or(0)),
+            ColumnData::Float(xs) => xs.push(v.as_float().unwrap_or(0.0)),
+            ColumnData::Text(xs) => xs.push(v.as_sym().map(|s| s.id()).unwrap_or(NULL_SYM)),
+            ColumnData::Bool(xs) => xs.push(v.as_bool().unwrap_or(false)),
+        }
+    }
+
+    /// The typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Dense `i64` cells, if this is an Int column.
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Dense `f64` cells, if this is a Float column.
+    pub fn floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Dense interned-symbol ids, if this is a Text column.
+    pub fn syms(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Text(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Dense boolean cells, if this is a Bool column.
+    pub fn bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Null bitmap (rows whose cell is NULL).
+    pub fn nulls(&self) -> &RowSet {
+        &self.nulls
+    }
+
+    /// Is the cell at `row` NULL?
+    pub fn is_null(&self, row: RowId) -> bool {
+        self.nulls.contains(row)
+    }
+
+    /// Non-null `i64` at `row` (Int columns only).
+    pub fn int_at(&self, row: RowId) -> Option<i64> {
+        if self.is_null(row) {
+            return None;
+        }
+        self.ints().and_then(|xs| xs.get(row).copied())
+    }
+
+    /// Non-null numeric value at `row`, widened to `f64` (Int or Float).
+    pub fn float_at(&self, row: RowId) -> Option<f64> {
+        if self.is_null(row) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(xs) => xs.get(row).map(|&x| x as f64),
+            ColumnData::Float(xs) => xs.get(row).copied(),
+            _ => None,
+        }
+    }
+
+    /// Non-null symbol id at `row` (Text columns only).
+    pub fn sym_at(&self, row: RowId) -> Option<u32> {
+        match &self.data {
+            ColumnData::Text(xs) => xs.get(row).copied().filter(|&s| s != NULL_SYM),
+            _ => None,
+        }
+    }
+
+    /// Reconstruct the cell as a [`Value`] (a `Copy` scalar; no heap work).
+    pub fn value_at(&self, row: RowId) -> Value {
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(xs) => Value::Int(xs[row]),
+            ColumnData::Float(xs) => Value::Float(xs[row]),
+            ColumnData::Text(xs) => Value::Text(crate::intern::Sym::from_id(xs[row])),
+            ColumnData::Bool(xs) => Value::Bool(xs[row]),
+        }
+    }
+}
+
+/// An in-memory table: a schema plus rows in both layouts. The row view is
+/// a single flat `Vec<Value>` with `arity` stride — `Value` is `Copy`, so
+/// inserting a row is a bounds-checked memcpy with no per-row allocation,
+/// and cloning a table is a handful of flat memcpys.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Vec<Value>>,
+    /// Flat row-major cells; row `i` is `cells[i*arity .. (i+1)*arity]`.
+    cells: Vec<Value>,
+    len: usize,
+    columns: Vec<ColumnVec>,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Self {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| ColumnVec::new(c.dtype))
+            .collect();
         Table {
             schema,
-            rows: Vec::new(),
+            cells: Vec::new(),
+            len: 0,
+            columns,
         }
     }
 
@@ -38,16 +206,26 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True iff the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// Pre-allocate space for `additional` more rows in both layouts.
+    pub fn reserve(&mut self, additional: usize) {
+        self.cells.reserve(additional * self.schema.arity());
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
     }
 
     /// Append a row after checking arity and column types. Returns its id.
-    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId> {
+    /// Copies the cells out of the slice (`Value` is `Copy`) — no per-row
+    /// heap allocation.
+    pub fn insert_slice(&mut self, row: &[Value]) -> Result<RowId> {
         if row.len() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 table: self.schema.name.clone(),
@@ -67,9 +245,18 @@ impl Table {
                 }
             }
         }
-        let id = self.rows.len();
-        self.rows.push(row);
+        let id = self.len;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(id, v);
+        }
+        self.cells.extend_from_slice(row);
+        self.len += 1;
         Ok(id)
+    }
+
+    /// Append a row (owned-vector convenience over [`Table::insert_slice`]).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId> {
+        self.insert_slice(&row)
     }
 
     /// Append many rows; stops at the first error.
@@ -82,34 +269,48 @@ impl Table {
 
     /// Borrow a row by id.
     pub fn row(&self, id: RowId) -> Option<&[Value]> {
-        self.rows.get(id).map(|r| r.as_slice())
+        if id >= self.len {
+            return None;
+        }
+        let a = self.schema.arity();
+        Some(&self.cells[id * a..(id + 1) * a])
     }
 
     /// Borrow a single cell.
     pub fn cell(&self, id: RowId, column: usize) -> Option<&Value> {
-        self.rows.get(id).and_then(|r| r.get(column))
+        if id >= self.len || column >= self.schema.arity() {
+            return None;
+        }
+        Some(&self.cells[id * self.schema.arity() + column])
+    }
+
+    /// The columnar view of one column.
+    pub fn column(&self, column: usize) -> &ColumnVec {
+        &self.columns[column]
     }
 
     /// Iterate `(row_id, row)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
-        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+        let arity = self.schema.arity();
+        (0..self.len).map(move |i| (i, &self.cells[i * arity..(i + 1) * arity]))
     }
 
     /// Iterate the values of one column (including nulls).
     pub fn column_values(&self, column: usize) -> impl Iterator<Item = &Value> {
-        self.rows.iter().map(move |r| &r[column])
+        (0..self.len).map(move |i| &self.cells[i * self.schema.arity() + column])
     }
 
     /// Find the first row whose `column` equals `value` (linear scan; use an
     /// index for hot paths).
     pub fn find_first(&self, column: usize, value: &Value) -> Option<RowId> {
-        self.rows.iter().position(|r| &r[column] == value)
+        (0..self.len).find(|&i| &self.cells[i * self.schema.arity() + column] == value)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::Sym;
     use crate::schema::Column;
     use crate::value::DataType;
 
@@ -183,5 +384,46 @@ mod tests {
         t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
         let vals: Vec<i64> = t.column_values(0).filter_map(|v| v.as_int()).collect();
         assert_eq!(vals, vec![2, 1]);
+    }
+
+    #[test]
+    fn columnar_view_tracks_inserts() {
+        let mut t = table();
+        t.insert(vec![Value::Int(7), Value::text("alpha")]).unwrap();
+        t.insert(vec![Value::Null, Value::text("beta")]).unwrap();
+        t.insert(vec![Value::Int(9), Value::Null]).unwrap();
+
+        let ids = t.column(0);
+        assert_eq!(ids.ints(), Some(&[7, 0, 9][..]));
+        assert!(!ids.is_null(0) && ids.is_null(1) && !ids.is_null(2));
+        assert_eq!(ids.int_at(0), Some(7));
+        assert_eq!(ids.int_at(1), None);
+        assert_eq!(ids.float_at(2), Some(9.0));
+
+        let names = t.column(1);
+        let syms = names.syms().unwrap();
+        assert_eq!(syms[0], Sym::intern("alpha").id());
+        assert_eq!(syms[1], Sym::intern("beta").id());
+        assert_eq!(syms[2], NULL_SYM);
+        assert_eq!(names.sym_at(2), None);
+        assert_eq!(names.value_at(0), Value::text("alpha"));
+        assert_eq!(names.value_at(2), Value::Null);
+    }
+
+    #[test]
+    fn columnar_view_agrees_with_row_view() {
+        let mut t = table();
+        for i in 0..100i64 {
+            let name = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::text(format!("n{}", i % 13))
+            };
+            t.insert(vec![Value::Int(i), name]).unwrap();
+        }
+        for (rid, row) in t.iter() {
+            assert_eq!(t.column(0).value_at(rid), row[0]);
+            assert_eq!(t.column(1).value_at(rid), row[1]);
+        }
     }
 }

@@ -5,11 +5,18 @@
 //! values must conform to. Values carry a total order (`Ord`) so they can be
 //! used as keys in ordered indexes and for range predicates; floats are
 //! ordered with `f64::total_cmp` and hashed through their bit pattern.
+//!
+//! Text values are dictionary-encoded through the global interner
+//! ([`Sym`]): a `Value` is a 16-byte `Copy` scalar, text equality and
+//! hashing are single integer operations, and "cloning" a value is a
+//! register move — no `Arc` traffic, no heap allocation anywhere on the
+//! scan paths.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+
+use crate::intern::Sym;
 
 /// The declared type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,7 +25,7 @@ pub enum DataType {
     Int,
     /// 64-bit IEEE float with total ordering.
     Float,
-    /// Immutable UTF-8 string (cheaply clonable).
+    /// Interned UTF-8 string (dictionary-encoded, `Copy`).
     Text,
     /// Boolean.
     Bool,
@@ -40,7 +47,7 @@ impl fmt::Display for DataType {
 /// `Null` compares less than every non-null value; mixed-type comparisons
 /// fall back to a fixed type rank so that the order is total (needed for
 /// B-tree style indexes), but well-typed tables never mix types in a column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
     /// SQL NULL / missing.
     Null,
@@ -48,16 +55,16 @@ pub enum Value {
     Int(i64),
     /// Floating point value.
     Float(f64),
-    /// Text value. `Arc<str>` keeps row clones cheap.
-    Text(Arc<str>),
+    /// Text value, dictionary-encoded via the global interner.
+    Text(Sym),
     /// Boolean value.
     Bool(bool),
 }
 
 impl Value {
-    /// Construct a text value from anything string-like.
+    /// Construct a text value from anything string-like (interns it).
     pub fn text(s: impl AsRef<str>) -> Self {
-        Value::Text(Arc::from(s.as_ref()))
+        Value::Text(Sym::intern(s.as_ref()))
     }
 
     /// The dynamic type of this value, or `None` for `Null`.
@@ -94,14 +101,22 @@ impl Value {
     }
 
     /// String payload, if this is `Text`.
-    pub fn as_text(&self) -> Option<&str> {
+    pub fn as_text(&self) -> Option<&'static str> {
         match self {
-            Value::Text(s) => Some(s),
+            Value::Text(s) => Some(s.as_str()),
             _ => None,
         }
     }
 
-    /// Boolean payload, if this is `Bool`.
+    /// Interned symbol, if this is `Text`.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Text(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a `Bool`.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -123,7 +138,13 @@ impl Value {
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        use Value::*;
+        match (self, other) {
+            // Fast paths: no string resolution, symbol ids decide equality.
+            (Text(a), Text(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            _ => self.cmp(other) == Ordering::Equal,
+        }
     }
 }
 
@@ -145,7 +166,15 @@ impl Ord for Value {
             (Float(a), Float(b)) => a.total_cmp(b),
             (Int(a), Float(b)) => (*a as f64).total_cmp(b),
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
-            (Text(a), Text(b)) => a.as_ref().cmp(b.as_ref()),
+            // Same symbol is equal without resolving; otherwise compare the
+            // underlying strings to keep the order lexicographic.
+            (Text(a), Text(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.as_str().cmp(b.as_str())
+                }
+            }
             _ => self.type_rank().cmp(&other.type_rank()),
         }
     }
@@ -168,8 +197,10 @@ impl Hash for Value {
                 x.to_bits().hash(state);
             }
             Value::Text(s) => {
+                // Symbol ids are injective over strings, so hashing the id
+                // is consistent with `Eq` and skips string resolution.
                 3u8.hash(state);
-                s.hash(state);
+                s.id().hash(state);
             }
         }
     }
@@ -181,7 +212,7 @@ impl fmt::Display for Value {
             Value::Null => write!(f, "NULL"),
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
-            Value::Text(s) => write!(f, "{s}"),
+            Value::Text(s) => write!(f, "{}", s.as_str()),
             Value::Bool(b) => write!(f, "{b}"),
         }
     }
@@ -219,7 +250,13 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(Arc::from(v.as_str()))
+        Value::text(v)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(v: Sym) -> Self {
+        Value::Text(v)
     }
 }
 
@@ -258,6 +295,27 @@ mod tests {
     fn text_ordering_is_lexicographic() {
         assert!(Value::text("abc") < Value::text("abd"));
         assert!(Value::text("ab") < Value::text("abc"));
+        // Insertion order must NOT leak into Value ordering.
+        let late = Value::text("zz-interned-later");
+        let early = Value::text("aa-interned-after-z");
+        assert!(early < late);
+    }
+
+    #[test]
+    fn interned_text_roundtrips() {
+        let v = Value::text("  Mixed Case  ");
+        assert_eq!(v.as_text(), Some("  Mixed Case  "));
+        assert_eq!(v.to_string(), "  Mixed Case  ");
+        assert_eq!(v, Value::text("  Mixed Case  "));
+        assert_eq!(hash_of(&v), hash_of(&Value::text("  Mixed Case  ")));
+        assert_ne!(v, Value::text("mixed case"));
+    }
+
+    #[test]
+    fn values_are_copy_scalars() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+        assert!(std::mem::size_of::<Value>() <= 16);
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! cargo run --release --example adult_census
 //! ```
 
-use std::collections::BTreeSet;
-
 use squid_adb::ADb;
 use squid_baselines::{single_table, PuClassifier, PuConfig, PuEstimator};
 use squid_core::{Accuracy, Squid, SquidParams};
@@ -33,7 +31,9 @@ fn main() {
 
     // ---- SQuID ----------------------------------------------------------
     let squid = Squid::with_params(&adb, SquidParams::optimistic());
-    let d = squid.discover_on("adult", "name", &refs).expect("discovery");
+    let d = squid
+        .discover_on("adult", "name", &refs)
+        .expect("discovery");
     let acc = Accuracy::of(&d.rows, &rs.rows);
     println!(
         "SQuID     : precision={:.3} recall={:.3} f={:.3} time={:?}",
@@ -57,7 +57,7 @@ fn main() {
                 ..Default::default()
             },
         );
-        let pred: BTreeSet<RowId> = clf.predict_positive(&x).into_iter().collect();
+        let pred: squid_relation::RowSet = clf.predict_positive(&x).into_iter().collect();
         let acc = Accuracy::of(&pred, &rs.rows);
         println!(
             "{tag:<10}: precision={:.3} recall={:.3} f={:.3} time={:?} (c^={:.2})",

@@ -38,7 +38,9 @@ fn main() {
     let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
     println!("Intent: {}", dq2.description);
     println!("Examples: {refs:?}\n");
-    let d = squid.discover_on("author", "name", &refs).expect("discovery");
+    let d = squid
+        .discover_on("author", "name", &refs)
+        .expect("discovery");
     println!("Chosen filters:");
     for f in d.chosen_filters() {
         println!("  {}", f.describe());
@@ -53,7 +55,11 @@ fn main() {
     // ---- Case study: prolific DB researchers ---------------------------
     let study = prolific_db_researchers(&db);
     let examples: Vec<&str> = study.list.iter().take(10).map(String::as_str).collect();
-    println!("\nCase study: {} (list of {})", study.name, study.list.len());
+    println!(
+        "\nCase study: {} (list of {})",
+        study.name,
+        study.list.len()
+    );
     match squid.discover_on("author", "name", &examples) {
         Ok(d) => {
             println!("Chosen filters:");

@@ -13,7 +13,10 @@ use squid_datasets::{funny_actors, generate_imdb, imdb_queries, ImdbConfig};
 
 fn main() {
     let cfg = ImdbConfig::default();
-    println!("Generating synthetic IMDb ({} persons, {} movies)...", cfg.persons, cfg.movies);
+    println!(
+        "Generating synthetic IMDb ({} persons, {} movies)...",
+        cfg.persons, cfg.movies
+    );
     let db = generate_imdb(&cfg);
     let t = std::time::Instant::now();
     let adb = ADb::build(&db).expect("αDB");
@@ -48,7 +51,9 @@ fn main() {
     // filter (genre) and one direct attribute (country).
     let queries = imdb_queries(&db);
     let iq15 = queries.iter().find(|q| q.id == "IQ15").unwrap();
-    let rs = squid_engine::Executor::new(&db).execute(&iq15.query).unwrap();
+    let rs = squid_engine::Executor::new(&db)
+        .execute(&iq15.query)
+        .unwrap();
     let titles = rs.project(&db, "title").unwrap();
     let examples: Vec<String> = titles.iter().take(5).map(|v| v.to_string()).collect();
     let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
@@ -68,7 +73,9 @@ fn main() {
 
     // ---- Scenario 3: aggregated group-by intent (IQ9) ------------------
     let iq9 = queries.iter().find(|q| q.id == "IQ9").unwrap();
-    let rs = squid_engine::Executor::new(&db).execute(&iq9.query).unwrap();
+    let rs = squid_engine::Executor::new(&db)
+        .execute(&iq9.query)
+        .unwrap();
     let names = rs.project(&db, "name").unwrap();
     let examples: Vec<String> = names.iter().take(6).map(|v| v.to_string()).collect();
     let refs: Vec<&str> = examples.iter().map(String::as_str).collect();

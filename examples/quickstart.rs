@@ -12,7 +12,7 @@
 
 use squid_adb::ADb;
 use squid_core::{Squid, SquidParams};
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 fn academics_db() -> Database {
     let mut db = Database::new();
@@ -69,9 +69,11 @@ fn academics_db() -> Database {
 
 fn main() {
     let db = academics_db();
-    println!("Database: {} academics, {} research-interest facts\n",
+    println!(
+        "Database: {} academics, {} research-interest facts\n",
         db.table("academics").unwrap().len(),
-        db.table("research").unwrap().len());
+        db.table("research").unwrap().len()
+    );
 
     // Offline phase: build the abduction-ready database.
     let adb = ADb::build(&db).expect("αDB build");

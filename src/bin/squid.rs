@@ -9,7 +9,9 @@
 
 use squid_adb::ADb;
 use squid_core::{recommend_examples, top_k_queries, Squid, SquidParams};
-use squid_datasets::{generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig};
+use squid_datasets::{
+    generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig,
+};
 use squid_relation::Database;
 
 const USAGE: &str = "\
@@ -126,7 +128,7 @@ fn main() {
         .schema()
         .column_index(&d.projection_column)
         .expect("projection column");
-    for (i, &row) in d.rows.iter().take(10).enumerate() {
+    for (i, row) in d.rows.iter().take(10).enumerate() {
         if let Some(v) = table.cell(row, ci) {
             println!("  {}. {v}", i + 1);
         }

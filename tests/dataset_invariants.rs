@@ -16,10 +16,7 @@ fn check_referential_integrity(db: &Database) {
         for fk in &table.schema().foreign_keys {
             let target = db.table(&fk.ref_table).unwrap();
             let tpk = target.schema().primary_key.unwrap();
-            let keys: HashSet<i64> = target
-                .iter()
-                .filter_map(|(_, r)| r[tpk].as_int())
-                .collect();
+            let keys: HashSet<i64> = target.iter().filter_map(|(_, r)| r[tpk].as_int()).collect();
             for (rid, row) in table.iter() {
                 if let Some(v) = row[fk.column].as_int() {
                     assert!(
@@ -49,7 +46,11 @@ fn imdb_variants_referential_integrity() {
         movies: 90,
         ..ImdbConfig::tiny()
     };
-    for v in [ImdbVariant::Small, ImdbVariant::BigSparse, ImdbVariant::BigDense] {
+    for v in [
+        ImdbVariant::Small,
+        ImdbVariant::BigSparse,
+        ImdbVariant::BigDense,
+    ] {
         check_referential_integrity(&generate_imdb_variant(&cfg, v));
     }
 }
@@ -158,7 +159,10 @@ fn different_seeds_produce_different_data() {
         ..ImdbConfig::tiny()
     });
     // Same shape, different content.
-    assert_eq!(a.table("person").unwrap().len(), b.table("person").unwrap().len());
+    assert_eq!(
+        a.table("person").unwrap().len(),
+        b.table("person").unwrap().len()
+    );
     let ga: Vec<_> = (0..20)
         .map(|i| a.table("person").unwrap().cell(i, 2).cloned())
         .collect();

@@ -17,10 +17,10 @@ fn sample_examples(
     query: &squid_engine::Query,
     k: usize,
     seed: u64,
-) -> (Vec<String>, std::collections::BTreeSet<usize>) {
+) -> (Vec<String>, squid_relation::RowSet) {
     let rs = Executor::new(db).execute(query).unwrap();
     let values = rs.project(db, &query.projection).unwrap();
-    let rows: Vec<usize> = rs.rows.iter().copied().collect();
+    let rows: Vec<usize> = rs.rows.iter().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..rows.len()).collect();
     for i in 0..k.min(idx.len()) {
@@ -94,7 +94,7 @@ fn examples_are_always_contained_in_result() {
             continue;
         };
         for r in &d.example_rows {
-            assert!(d.rows.contains(r), "{}: example row {r} missing", q.id);
+            assert!(d.rows.contains(*r), "{}: example row {r} missing", q.id);
         }
     }
 }
@@ -108,7 +108,10 @@ fn accuracy_improves_with_more_examples_on_average() {
     let mut f_small = 0.0;
     let mut f_large = 0.0;
     let mut n = 0.0;
-    for q in queries.iter().filter(|q| ["IQ4", "IQ11", "IQ15"].contains(&q.id.as_str())) {
+    for q in queries
+        .iter()
+        .filter(|q| ["IQ4", "IQ11", "IQ15"].contains(&q.id.as_str()))
+    {
         for seed in 0..3u64 {
             let (ex_small, truth) = sample_examples(&db, &q.query, 3, seed);
             let (ex_large, _) = sample_examples(&db, &q.query, 15, seed);

@@ -2,9 +2,7 @@
 //! queries, example recommendation, and disjunctive categorical filters.
 
 use squid_adb::{test_fixtures, ADb};
-use squid_core::{
-    evaluate, recommend_examples, top_k_queries, Squid, SquidParams,
-};
+use squid_core::{evaluate, recommend_examples, top_k_queries, Squid, SquidParams};
 use squid_datasets::{generate_imdb, imdb_queries, ImdbConfig};
 use squid_engine::Executor;
 
@@ -42,7 +40,7 @@ fn alternatives_rank_real_discoveries() {
             .collect();
         let rows = evaluate(entity, &filters);
         for r in &d.example_rows {
-            assert!(rows.contains(r));
+            assert!(rows.contains(*r));
         }
     }
 }
@@ -69,7 +67,7 @@ fn recommendations_target_contested_filters() {
     // Whatever is recommended must be actionable: in the result, not yet
     // an example, and discriminating at least one filter.
     for r in &recs {
-        assert!(d.rows.contains(&r.row));
+        assert!(d.rows.contains(r.row));
         assert!(!d.example_rows.contains(&r.row));
         assert!(!r.discriminates.is_empty());
     }
@@ -90,18 +88,14 @@ fn disjunction_extension_recovers_in_filters() {
     let d = squid
         .discover(&["Jim Carrey", "Arnold Schwarzenegger"])
         .unwrap();
-    let described: Vec<String> = d
-        .scored
-        .iter()
-        .map(|s| s.filter.describe())
-        .collect();
+    let described: Vec<String> = d.scored.iter().map(|s| s.filter.describe()).collect();
     assert!(
         described.iter().any(|s| s.contains('{')),
         "an IN candidate should exist: {described:?}"
     );
     // And the result still contains both examples.
     for r in &d.example_rows {
-        assert!(d.rows.contains(r));
+        assert!(d.rows.contains(*r));
     }
 }
 
@@ -132,6 +126,6 @@ fn normalized_mode_finds_share_based_intents() {
     // Both examples are pure comedy actors: the shared share is high.
     assert!(comedy.filter.describe().contains('%'));
     for r in &d.example_rows {
-        assert!(d.rows.contains(r));
+        assert!(d.rows.contains(*r));
     }
 }

@@ -3,12 +3,12 @@
 //! output, should produce instance-equivalent queries for the supported
 //! family and beat the TALOS baseline on predicate size.
 
-use std::collections::BTreeSet;
-
 use squid_adb::ADb;
 use squid_baselines::{default_excludes, talos_reverse_engineer};
 use squid_core::{Accuracy, Squid, SquidParams};
-use squid_datasets::{adult_queries, generate_adult, generate_imdb, imdb_queries, AdultConfig, ImdbConfig};
+use squid_datasets::{
+    adult_queries, generate_adult, generate_imdb, imdb_queries, AdultConfig, ImdbConfig,
+};
 use squid_engine::Executor;
 
 #[test]
@@ -105,7 +105,7 @@ fn closed_world_output_is_superset_of_examples() {
         .collect();
     let refs: Vec<&str> = values.iter().map(String::as_str).collect();
     let d = squid.discover_on("movie", "title", &refs).unwrap();
-    let example_set: BTreeSet<usize> = d.example_rows.iter().copied().collect();
+    let example_set: squid_relation::RowSet = d.example_rows.iter().copied().collect();
     assert!(example_set.is_subset(&d.rows));
 }
 

@@ -5,7 +5,7 @@
 
 use squid_adb::ADb;
 use squid_core::{Squid, SquidParams};
-use squid_relation::{Column, Database, DataType, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 /// A database where the strings "Alpha" and "Beta" name both persons and
 /// movies. The persons share gender+country+age; the movies share nothing.
@@ -70,7 +70,12 @@ fn ambiguous_db() -> Database {
     for &(id, t, y, c) in movies {
         db.insert(
             "movie",
-            vec![Value::Int(id), Value::text(t), Value::Int(y), Value::text(c)],
+            vec![
+                Value::Int(id),
+                Value::text(t),
+                Value::Int(y),
+                Value::text(c),
+            ],
         )
         .unwrap();
     }
@@ -95,7 +100,9 @@ fn discover_on_overrides_inference() {
     let db = ambiguous_db();
     let adb = ADb::build(&db).unwrap();
     let squid = Squid::new(&adb);
-    let d = squid.discover_on("movie", "title", &["Alpha", "Beta"]).unwrap();
+    let d = squid
+        .discover_on("movie", "title", &["Alpha", "Beta"])
+        .unwrap();
     assert_eq!(d.entity_table, "movie");
 }
 
