@@ -5,8 +5,8 @@
 use std::time::Instant;
 
 use squid_relation::{
-    Column, DataType, Database, FxHashMap, FxHashSet, InvertedIndex, RelationError, Result, RowId,
-    Table, TableRole, TableSchema, Value,
+    kernel, Column, ColumnBuilder, DataType, Database, FxHashMap, FxHashSet, InvertedIndex,
+    RelationError, Result, RowId, Table, TableRole, TableSchema, Value,
 };
 
 use crate::properties::{discover_properties, PropKind, PropertyDef};
@@ -131,11 +131,9 @@ impl ADb {
             let id_map = IdMap::build(pk_col, table.len());
             let mut pk_to_row: FxHashMap<i64, RowId> = FxHashMap::default();
             pk_to_row.reserve(table.len());
-            for rid in 0..table.len() {
-                if let Some(pk) = pk_col.int_at(rid) {
-                    pk_to_row.insert(pk, rid);
-                }
-            }
+            kernel::scan_ints(pk_col, table.len(), |rid, pk| {
+                pk_to_row.insert(pk, rid);
+            });
             let n = table.len();
             // Per-property statistics are independent: fan them out over
             // `parallel_workers` scoped threads pulling indices from a
@@ -303,33 +301,27 @@ impl IdMap {
     fn build(pk_col: &squid_relation::ColumnVec, len: usize) -> IdMap {
         let mut lo = i64::MAX;
         let mut hi = i64::MIN;
-        for rid in 0..len {
-            if let Some(pk) = pk_col.int_at(rid) {
-                lo = lo.min(pk);
-                hi = hi.max(pk);
-            }
-        }
+        kernel::scan_ints(pk_col, len, |_, pk| {
+            lo = lo.min(pk);
+            hi = hi.max(pk);
+        });
         let span = hi.checked_sub(lo).and_then(|s| s.checked_add(1));
         let fits_u32 = len < NO_ROW as usize; // NO_ROW is the empty-slot sentinel
         match span {
             Some(span) if fits_u32 && lo <= hi && (span as u128) <= (4 * len as u128 + 1024) => {
                 let mut slots = vec![NO_ROW; span as usize];
-                for rid in 0..len {
-                    if let Some(pk) = pk_col.int_at(rid) {
-                        slots[(pk - lo) as usize] =
-                            u32::try_from(rid).expect("row id exceeds dense IdMap range");
-                    }
-                }
+                kernel::scan_ints(pk_col, len, |rid, pk| {
+                    slots[(pk - lo) as usize] =
+                        u32::try_from(rid).expect("row id exceeds dense IdMap range");
+                });
                 IdMap::Dense { offset: lo, slots }
             }
             _ => {
                 let mut map = FxHashMap::default();
                 map.reserve(len);
-                for rid in 0..len {
-                    if let Some(pk) = pk_col.int_at(rid) {
-                        map.insert(pk, rid);
-                    }
-                }
+                kernel::scan_ints(pk_col, len, |rid, pk| {
+                    map.insert(pk, rid);
+                });
                 IdMap::Sparse(map)
             }
         }
@@ -383,10 +375,12 @@ fn col(db: &Database, table: &str, column: &str) -> Result<usize> {
         })
 }
 
-/// Compute one property's statistics. Every scan below reads the columnar
-/// view (`ColumnVec`): join keys come from contiguous `i64` slices via
-/// `int_at`, cells are reconstructed as `Copy` scalars via `value_at`, and
-/// nothing in the per-row loops clones a `Value` or touches a `String`.
+/// Compute one property's statistics. Every scan below goes through the
+/// shared batch kernels ([`squid_relation::kernel`]): null filtering is
+/// done 64 rows at a time on the columnar null words, join keys come from
+/// contiguous `i64` slices, the resulting row sets fold through the dense
+/// pk maps, and nothing in the inner loops matches a `Value` enum or
+/// touches a `String`.
 fn compute_stats(
     db: &Database,
     def: &PropertyDef,
@@ -398,26 +392,17 @@ fn compute_stats(
     Ok(match &def.kind {
         PropKind::DirectCategorical { column } => {
             let ci = col(db, &def.entity, column)?;
-            let cv = entity_table.column(ci);
-            let mut stats = CategoricalStats {
-                per_entity: vec![Vec::new(); n],
-                ..Default::default()
-            };
-            for rid in 0..n {
-                if cv.is_null(rid) {
-                    continue;
-                }
-                let v = cv.value_at(rid);
-                *stats.value_entity_counts.entry(v).or_insert(0) += 1;
-                stats.per_entity[rid].push(v);
-            }
-            Some(PropStats::Categorical(stats))
+            Some(PropStats::Categorical(CategoricalStats::from_column(
+                entity_table.column(ci),
+                n,
+            )))
         }
         PropKind::DirectNumeric { column } => {
             let ci = col(db, &def.entity, column)?;
-            let cv = entity_table.column(ci);
-            let per_entity: Vec<Option<f64>> = (0..n).map(|rid| cv.float_at(rid)).collect();
-            Some(PropStats::Numeric(NumericStats::build(per_entity)))
+            Some(PropStats::Numeric(NumericStats::from_column(
+                entity_table.column(ci),
+                n,
+            )))
         }
         PropKind::FactCategorical {
             fact,
@@ -431,17 +416,14 @@ fn compute_stats(
             let fp = fact_t.column(col(db, fact, fact_prop_col)?);
             let prop_values = pk_value_map(db, prop_table, prop_column)?;
             let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
-            for row in 0..fact_t.len() {
-                let (Some(e), Some(p)) = (fe.int_at(row), fp.int_at(row)) else {
-                    continue;
-                };
+            kernel::scan_int_pairs(fe, fp, fact_t.len(), |_, e, p| {
                 let (Some(rid), Some(v)) = (pk_to_row.get(e), prop_values.get(p)) else {
-                    continue;
+                    return;
                 };
                 if !v.is_null() && !per_entity[rid].contains(v) {
                     per_entity[rid].push(*v);
                 }
-            }
+            });
             Some(PropStats::Categorical(categorical_from_sets(per_entity)))
         }
         PropKind::InlineCategorical {
@@ -453,18 +435,16 @@ fn compute_stats(
             let fe = fact_t.column(col(db, fact, fact_entity_col)?);
             let fc = fact_t.column(col(db, fact, column)?);
             let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
-            for row in 0..fact_t.len() {
-                let Some(e) = fe.int_at(row) else { continue };
-                let Some(rid) = pk_to_row.get(e) else {
-                    continue;
-                };
-                if fc.is_null(row) {
-                    continue;
-                }
-                let v = fc.value_at(row);
-                if !per_entity[rid].contains(&v) {
-                    per_entity[rid].push(v);
-                }
+            if let Some(fe_vals) = fe.ints() {
+                kernel::scan_non_null_pair(fe, fc, fact_t.len(), |row| {
+                    let Some(rid) = pk_to_row.get(fe_vals[row]) else {
+                        return;
+                    };
+                    let v = fc.value_at(row);
+                    if !per_entity[rid].contains(&v) {
+                        per_entity[rid].push(v);
+                    }
+                });
             }
             Some(PropStats::Categorical(categorical_from_sets(per_entity)))
         }
@@ -477,14 +457,13 @@ fn compute_stats(
             let fe = fact_t.column(col(db, fact, fact_entity_col)?);
             let fc = fact_t.column(col(db, fact, column)?);
             let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
-            for row in 0..fact_t.len() {
-                let Some(e) = fe.int_at(row) else { continue };
-                let Some(rid) = pk_to_row.get(e) else {
-                    continue;
-                };
-                if !fc.is_null(row) {
+            if let Some(fe_vals) = fe.ints() {
+                kernel::scan_non_null_pair(fe, fc, fact_t.len(), |row| {
+                    let Some(rid) = pk_to_row.get(fe_vals[row]) else {
+                        return;
+                    };
                     *per_entity[rid].entry(fc.value_at(row)).or_insert(0) += 1;
-                }
+                });
             }
             Some(PropStats::Derived(DerivedStats::build(per_entity)))
         }
@@ -512,26 +491,21 @@ fn compute_stats(
                 let mid_ci = col(db, mid_table, column)?;
                 let mid_cv = mid_t.column(mid_ci);
                 let mut mid_distinct: FxHashSet<u64> = FxHashSet::default();
-                for rid in 0..mid_t.len() {
-                    if let Some(x) = mid_cv.float_at(rid) {
-                        mid_distinct.insert(x.to_bits());
-                    }
-                }
+                kernel::scan_floats(mid_cv, mid_t.len(), |_, x| {
+                    mid_distinct.insert(x.to_bits());
+                });
                 let needs_exact_guard = mid_distinct.len() > config.max_numeric_derived_domain;
                 // (value, count) multisets per entity: raw pushes into
                 // per-entity vectors (no hashing in the fact scan), then
                 // one sort + coalesce pass per entity.
                 let mut per_entity: Vec<Vec<(f64, u64)>> = vec![Vec::new(); n];
-                for row in 0..fact_t.len() {
-                    let (Some(e), Some(m)) = (fe.int_at(row), fm.int_at(row)) else {
-                        continue;
-                    };
+                kernel::scan_int_pairs(fe, fm, fact_t.len(), |_, e, m| {
                     let (Some(rid), Some(v)) = (pk_to_row.get(e), mid_values.get(m)) else {
-                        continue;
+                        return;
                     };
-                    let Some(x) = v.as_float() else { continue };
+                    let Some(x) = v.as_float() else { return };
                     per_entity[rid].push((x, 1));
-                }
+                });
                 for ent in &mut per_entity {
                     ent.sort_by(|a, b| a.0.total_cmp(&b.0));
                     ent.dedup_by(|next, acc| {
@@ -557,17 +531,14 @@ fn compute_stats(
                 )))
             } else {
                 let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
-                for row in 0..fact_t.len() {
-                    let (Some(e), Some(m)) = (fe.int_at(row), fm.int_at(row)) else {
-                        continue;
-                    };
+                kernel::scan_int_pairs(fe, fm, fact_t.len(), |_, e, m| {
                     let (Some(rid), Some(v)) = (pk_to_row.get(e), mid_values.get(m)) else {
-                        continue;
+                        return;
                     };
                     if !v.is_null() {
                         *per_entity[rid].entry(*v).or_insert(0) += 1;
                     }
-                }
+                });
                 Some(PropStats::Derived(DerivedStats::build(per_entity)))
             }
         }
@@ -598,43 +569,37 @@ fn compute_stats(
             // row) still join fact1-to-fact2 in the live query, so they
             // must still count here; they go to a sparse side map.
             let mut dangling: FxHashMap<i64, Vec<Value>> = FxHashMap::default();
-            for row in 0..fact2_t.len() {
-                let (Some(m), Some(p)) = (f2m.int_at(row), f2p.int_at(row)) else {
-                    continue;
-                };
+            kernel::scan_int_pairs(f2m, f2p, fact2_t.len(), |_, m, p| {
                 let Some(v) = prop_values.get(p) else {
-                    continue;
+                    return;
                 };
                 if v.is_null() {
-                    continue;
+                    return;
                 }
                 match mid_ids.get(m) {
                     Some(mid_row) => mid_props[mid_row].push(*v),
                     None => dangling.entry(m).or_default().push(*v),
                 }
-            }
+            });
             let fact1_t = db.table(fact1)?;
             let f1e = fact1_t.column(col(db, fact1, f1_entity_col)?);
             let f1m = fact1_t.column(col(db, fact1, f1_mid_col)?);
             let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
-            for row in 0..fact1_t.len() {
-                let (Some(e), Some(m)) = (f1e.int_at(row), f1m.int_at(row)) else {
-                    continue;
-                };
+            kernel::scan_int_pairs(f1e, f1m, fact1_t.len(), |_, e, m| {
                 let Some(rid) = pk_to_row.get(e) else {
-                    continue;
+                    return;
                 };
                 let props = match mid_ids.get(m) {
                     Some(mid_row) => &mid_props[mid_row],
                     None => match dangling.get(&m) {
                         Some(props) => props,
-                        None => continue,
+                        None => return,
                     },
                 };
                 for v in props {
                     *per_entity[rid].entry(*v).or_insert(0) += 1;
                 }
-            }
+            });
             Some(PropStats::Derived(DerivedStats::build(per_entity)))
         }
     })
@@ -667,6 +632,11 @@ fn derived_table_name(def: &PropertyDef) -> String {
 
 /// Materialize a derived relation `(entity_id, value, count)` for derived
 /// properties (the paper's `persontogenre`). Returns the table name.
+///
+/// Columnar bulk build: the per-entity count structures stream straight
+/// into typed [`ColumnBuilder`]s and [`Table::from_columns`] derives the
+/// row view once — no intermediate row vector and no per-row arity/type
+/// checks on the materialization path.
 fn materialize(
     adb: &mut Database,
     def: &PropertyDef,
@@ -675,54 +645,65 @@ fn materialize(
     pk_idx: usize,
     derived_row_count: &mut usize,
 ) -> Result<Option<String>> {
-    let (rows, value_type): (Vec<(RowId, Value, u64)>, DataType) = match stats {
+    let (row_hint, value_type) = match stats {
         PropStats::Derived(d) => {
-            let mut rows = Vec::new();
-            let mut vt = DataType::Text;
-            for (rid, counts) in d.per_entity.iter().enumerate() {
-                for (v, &c) in counts {
-                    if let Some(t) = v.data_type() {
-                        vt = t;
-                    }
-                    rows.push((rid, *v, c));
-                }
-            }
-            (rows, vt)
+            let vt = d
+                .per_entity
+                .iter()
+                .flat_map(|m| m.keys())
+                .find_map(|v| v.data_type())
+                .unwrap_or(DataType::Text);
+            (d.per_entity.iter().map(|m| m.len()).sum::<usize>(), vt)
         }
-        PropStats::DerivedNumeric(d) => {
-            let mut rows = Vec::new();
-            for (rid, ent) in d.per_entity.iter().enumerate() {
-                for &(x, c) in ent {
-                    rows.push((rid, Value::Float(x), c));
-                }
-            }
-            (rows, DataType::Float)
-        }
+        PropStats::DerivedNumeric(d) => (
+            d.per_entity.iter().map(|e| e.len()).sum::<usize>(),
+            DataType::Float,
+        ),
         _ => return Ok(None),
     };
-    let name = derived_table_name(def);
-    let mut table = Table::new(
-        TableSchema::new(
-            &name,
-            vec![
-                Column::new("entity_id", DataType::Int),
-                Column::new("value", value_type),
-                Column::new("count", DataType::Int),
-            ],
-        )
-        .with_role(TableRole::Fact)
-        .with_foreign_key("entity_id", &def.entity, pk_idx),
+    // Entity pk values gathered once in row order (dtype dispatch hoisted
+    // out of the emission loops).
+    let pk_vals = kernel::gather(
+        entity_table.column(pk_idx),
+        &squid_relation::RowSet::full(entity_table.len()),
     );
-    table.reserve(rows.len());
-    for (rid, v, c) in rows {
-        let pk = entity_table
-            .cell(rid, pk_idx)
-            .copied()
-            .unwrap_or(Value::Null);
-        table.insert_slice(&[pk, v, Value::Int(c as i64)])?;
-        *derived_row_count += 1;
+    let mut ent = ColumnBuilder::with_capacity(DataType::Int, row_hint);
+    let mut val = ColumnBuilder::with_capacity(value_type, row_hint);
+    let mut cnt = ColumnBuilder::with_capacity(DataType::Int, row_hint);
+    match stats {
+        PropStats::Derived(d) => {
+            for (rid, counts) in d.per_entity.iter().enumerate() {
+                for (v, &c) in counts {
+                    ent.push_value(&pk_vals[rid])?;
+                    val.push_value(v)?;
+                    cnt.push_int(c as i64);
+                }
+            }
+        }
+        PropStats::DerivedNumeric(d) => {
+            for (rid, ents) in d.per_entity.iter().enumerate() {
+                for &(x, c) in ents {
+                    ent.push_value(&pk_vals[rid])?;
+                    val.push_float(x);
+                    cnt.push_int(c as i64);
+                }
+            }
+        }
+        _ => unreachable!("filtered above"),
     }
-    adb.add_table(table)?;
+    *derived_row_count += ent.len();
+    let name = derived_table_name(def);
+    let schema = TableSchema::new(
+        &name,
+        vec![
+            Column::new("entity_id", DataType::Int),
+            Column::new("value", value_type),
+            Column::new("count", DataType::Int),
+        ],
+    )
+    .with_role(TableRole::Fact)
+    .with_foreign_key("entity_id", &def.entity, pk_idx);
+    adb.add_table(Table::from_columns(schema, vec![ent, val, cnt])?)?;
     Ok(Some(name))
 }
 

@@ -2,7 +2,7 @@
 //! online phase needs to compute filter selectivities ψ(φ) and domain
 //! coverages in O(log n) ("smart selectivity computation", Section 5).
 
-use squid_relation::{FxHashMap, RowId, Value};
+use squid_relation::{kernel, ColumnVec, FxHashMap, RowId, Value};
 
 /// Statistics for a categorical property (direct attribute or a property
 /// table reached through one fact hop). Multi-valued per entity in the
@@ -16,6 +16,23 @@ pub struct CategoricalStats {
 }
 
 impl CategoricalStats {
+    /// Build from a direct attribute column of the entity table, scanning
+    /// batch-wise: the kernel non-null words skip NULL cells 64 rows at a
+    /// time, and each surviving cell is reconstructed once as a `Copy`
+    /// scalar.
+    pub fn from_column(cv: &ColumnVec, n: usize) -> CategoricalStats {
+        let mut stats = CategoricalStats {
+            per_entity: vec![Vec::new(); n],
+            ..Default::default()
+        };
+        kernel::scan_non_null(cv, n, |rid| {
+            let v = cv.value_at(rid);
+            *stats.value_entity_counts.entry(v).or_insert(0) += 1;
+            stats.per_entity[rid].push(v);
+        });
+        stats
+    }
+
     /// Number of distinct values in the active domain.
     pub fn domain_size(&self) -> usize {
         self.value_entity_counts.len()
@@ -83,6 +100,14 @@ pub struct NumericStats {
 }
 
 impl NumericStats {
+    /// Build from a direct numeric attribute column, scanning batch-wise
+    /// (non-null words; Int cells widened to `f64` like `float_at`).
+    pub fn from_column(cv: &ColumnVec, n: usize) -> NumericStats {
+        let mut per_entity: Vec<Option<f64>> = vec![None; n];
+        kernel::scan_floats(cv, n, |rid, x| per_entity[rid] = Some(x));
+        Self::build(per_entity)
+    }
+
     /// Build from per-entity values.
     pub fn build(per_entity: Vec<Option<f64>>) -> Self {
         let mut vals: Vec<f64> = per_entity.iter().flatten().copied().collect();
@@ -188,34 +213,40 @@ pub struct DerivedStats {
 }
 
 impl DerivedStats {
-    /// Build from the per-entity count maps.
+    /// Build from the per-entity count maps. The count and fraction
+    /// distributions are accumulated through ONE hash probe per
+    /// (entity, value) pair and split afterwards.
     pub fn build(per_entity: Vec<FxHashMap<Value, u64>>) -> Self {
         let entity_totals: Vec<u64> = per_entity
             .iter()
             .map(|m| m.values().copied().sum())
             .collect();
-        let mut value_count_dists: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
-        let mut value_frac_dists: FxHashMap<Value, Vec<f64>> = FxHashMap::default();
+        let mut dists: FxHashMap<Value, (Vec<u64>, Vec<f64>)> = FxHashMap::default();
         for (row, counts) in per_entity.iter().enumerate() {
             let total = entity_totals[row];
             for (v, &c) in counts {
                 if c == 0 {
                     continue;
                 }
-                value_count_dists.entry(*v).or_default().push(c);
                 let frac = if total > 0 {
                     c as f64 / total as f64
                 } else {
                     0.0
                 };
-                value_frac_dists.entry(*v).or_default().push(frac);
+                let (cd, fd) = dists.entry(*v).or_default();
+                cd.push(c);
+                fd.push(frac);
             }
         }
-        for d in value_count_dists.values_mut() {
-            d.sort_unstable();
-        }
-        for d in value_frac_dists.values_mut() {
-            d.sort_by(f64::total_cmp);
+        let mut value_count_dists: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
+        let mut value_frac_dists: FxHashMap<Value, Vec<f64>> = FxHashMap::default();
+        value_count_dists.reserve(dists.len());
+        value_frac_dists.reserve(dists.len());
+        for (v, (mut cd, mut fd)) in dists {
+            cd.sort_unstable();
+            fd.sort_by(f64::total_cmp);
+            value_count_dists.insert(v, cd);
+            value_frac_dists.insert(v, fd);
         }
         DerivedStats {
             per_entity,

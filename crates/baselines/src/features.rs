@@ -8,10 +8,19 @@
 //! (entity, fact row) pair, carrying the entity's attributes plus the fact
 //! and associated table's attributes; entities absent from a fact table
 //! keep a single row with missing fact features.
+//!
+//! Extraction is **batch-wise over the columnar views**: every table scan
+//! goes through the shared kernels of [`squid_relation::kernel`] (non-null
+//! words, contiguous typed slices), each source column is encoded once in
+//! column order, and categorical codes are memoized per interned symbol —
+//! the per-cell `Value::to_string` of the row-at-a-time path survives only
+//! for the first occurrence of each distinct category.
 
 use std::collections::HashMap;
 
-use squid_relation::{DataType, Database, RowId, TableRole, Value};
+use squid_relation::{
+    kernel, ColumnData, ColumnVec, DataType, Database, FxHashMap, RowId, Sym, TableRole,
+};
 
 /// The kind of one feature column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,22 +99,64 @@ impl MatrixBuilder {
         self.matrix.names.len() - 1
     }
 
-    fn encode(&mut self, column: usize, v: &Value) -> FeatureValue {
-        match (self.matrix.kinds[column], v) {
-            (_, Value::Null) => FeatureValue::Missing,
-            (FeatureKind::Numeric, v) => v
-                .as_float()
-                .map(FeatureValue::Num)
-                .unwrap_or(FeatureValue::Missing),
-            (FeatureKind::Categorical, v) => {
-                let s = v.to_string();
-                let next = self.intern[column].len() as u32;
-                let code = *self.intern[column].entry(s.clone()).or_insert_with(|| next);
-                if code == next {
-                    self.matrix.vocab[column].push(s);
-                }
-                FeatureValue::Cat(code)
+    /// Batch-encode one source column into `rows[.][slot]` (each row a
+    /// pre-sized feature vector, `Missing`-initialized). Scans the
+    /// columnar view through the shared kernels: null lanes are skipped
+    /// 64 rows at a time, numeric cells come off the contiguous typed
+    /// slices, and categorical cells resolve their code through a
+    /// per-symbol memo instead of a per-cell `to_string`.
+    fn encode_column_into(
+        &mut self,
+        feature: usize,
+        slot: usize,
+        cv: &ColumnVec,
+        n: usize,
+        rows: &mut [Vec<FeatureValue>],
+    ) {
+        match (self.matrix.kinds[feature], cv.data()) {
+            (FeatureKind::Numeric, ColumnData::Int(xs)) => {
+                kernel::scan_non_null(cv, n, |r| rows[r][slot] = FeatureValue::Num(xs[r] as f64));
             }
+            (FeatureKind::Numeric, ColumnData::Float(xs)) => {
+                kernel::scan_non_null(cv, n, |r| rows[r][slot] = FeatureValue::Num(xs[r]));
+            }
+            (FeatureKind::Categorical, ColumnData::Text(xs)) => {
+                let vocab = &mut self.matrix.vocab[feature];
+                let imap = &mut self.intern[feature];
+                let mut code_of: FxHashMap<u32, u32> = FxHashMap::default();
+                kernel::scan_non_null(cv, n, |r| {
+                    let code = *code_of.entry(xs[r]).or_insert_with(|| {
+                        let s = Sym::from_id(xs[r]).as_str();
+                        let next = imap.len() as u32;
+                        let code = *imap.entry(s.to_string()).or_insert(next);
+                        if code == next {
+                            vocab.push(s.to_string());
+                        }
+                        code
+                    });
+                    rows[r][slot] = FeatureValue::Cat(code);
+                });
+            }
+            (FeatureKind::Categorical, ColumnData::Bool(xs)) => {
+                let vocab = &mut self.matrix.vocab[feature];
+                let imap = &mut self.intern[feature];
+                let mut codes: [Option<u32>; 2] = [None, None];
+                kernel::scan_non_null(cv, n, |r| {
+                    let code = *codes[xs[r] as usize].get_or_insert_with(|| {
+                        let s = if xs[r] { "true" } else { "false" };
+                        let next = imap.len() as u32;
+                        let code = *imap.entry(s.to_string()).or_insert(next);
+                        if code == next {
+                            vocab.push(s.to_string());
+                        }
+                        code
+                    });
+                    rows[r][slot] = FeatureValue::Cat(code);
+                });
+            }
+            // Kind/type mismatches cannot happen (kind is derived from the
+            // column's declared dtype); cells stay Missing if they do.
+            _ => {}
         }
     }
 }
@@ -119,7 +170,8 @@ fn kind_of(dtype: DataType) -> FeatureKind {
 
 /// Extract features from a single table (one row per table row). Excludes
 /// the primary key and any `name`-like projection columns passed in
-/// `exclude`.
+/// `exclude`. Scans column-by-column over the columnar view — one batch
+/// kernel pass per feature, no per-cell `Value` dispatch.
 pub fn single_table(db: &Database, table: &str, exclude: &[&str]) -> (FeatureMatrix, Vec<RowId>) {
     let t = db.table(table).expect("table exists");
     let schema = t.schema();
@@ -132,17 +184,13 @@ pub fn single_table(db: &Database, table: &str, exclude: &[&str]) -> (FeatureMat
         b.add_column(format!("{table}.{}", c.name), kind_of(c.dtype));
         cols.push(i);
     }
-    let mut origin = Vec::with_capacity(t.len());
-    for (rid, row) in t.iter() {
-        let frow: Vec<FeatureValue> = cols
-            .iter()
-            .enumerate()
-            .map(|(fi, &ci)| b.encode(fi, &row[ci]))
-            .collect();
-        b.matrix.rows.push(frow);
-        origin.push(rid);
+    let n = t.len();
+    let mut rows = vec![vec![FeatureValue::Missing; cols.len()]; n];
+    for (fi, &ci) in cols.iter().enumerate() {
+        b.encode_column_into(fi, fi, t.column(ci), n, &mut rows);
     }
-    (b.matrix, origin)
+    b.matrix.rows = rows;
+    (b.matrix, (0..n).collect())
 }
 
 /// TALOS-style denormalization: the entity table joined with every fact
@@ -150,6 +198,11 @@ pub fn single_table(db: &Database, table: &str, exclude: &[&str]) -> (FeatureMat
 /// output row per (entity row, fact row); entities with no fact rows keep
 /// one row of missing fact features. Returns the matrix and the entity row
 /// id each feature row came from.
+///
+/// Every source table is scanned **once, batch-wise**: entity, fact, and
+/// target columns are pre-encoded column-by-column through the kernel
+/// scans, and the output assembly is pure gathers from those encoded
+/// blocks — no per-cell encoding inside the join loop.
 pub fn denormalize(db: &Database, entity: &str, exclude: &[&str]) -> (FeatureMatrix, Vec<RowId>) {
     let t = db.table(entity).expect("entity exists");
     let schema = t.schema();
@@ -169,101 +222,140 @@ pub fn denormalize(db: &Database, entity: &str, exclude: &[&str]) -> (FeatureMat
     // One feature block per fact table referencing the entity; each block
     // contributes the fact's own attributes plus the referenced target's
     // attributes (including its display name — TALOS sees `movie.title`).
+    // Feature cells of the fact/target columns are pre-encoded per source
+    // row ("narrow" vectors in block-column order) and gathered during
+    // assembly.
     struct Block {
         fact: String,
-        fact_feature_cols: Vec<(usize, usize)>,
+        /// Global feature indexes of the fact's own columns.
+        fact_features: Vec<usize>,
         target: Option<TargetBlock>,
         /// entity pk value → fact row ids
-        by_entity: HashMap<i64, Vec<RowId>>,
+        by_entity: FxHashMap<i64, Vec<RowId>>,
     }
     struct TargetBlock {
-        table: String,
-        feature_cols: Vec<(usize, usize)>,
+        /// Global feature indexes of the target's columns.
+        features: Vec<usize>,
         fact_target_col: usize,
-        pk_to_row: HashMap<i64, RowId>,
+        pk_to_row: FxHashMap<i64, RowId>,
+    }
+
+    struct BlockCols {
+        fact_cols: Vec<usize>,
+        target: Option<(String, Vec<usize>)>,
     }
 
     let mut blocks: Vec<Block> = Vec::new();
+    let mut block_cols: Vec<BlockCols> = Vec::new();
     for assoc in db.associations_of(entity) {
         let fact_t = db.table(assoc.fact_table).unwrap();
         let fact_schema = fact_t.schema();
-        let mut fact_feature_cols = Vec::new();
+        let mut fact_features = Vec::new();
+        let mut fact_cols = Vec::new();
         for (i, c) in fact_schema.columns.iter().enumerate() {
             if fact_schema.foreign_key_on(i).is_some() || fact_schema.primary_key == Some(i) {
                 continue;
             }
             let f = b.add_column(format!("{}.{}", assoc.fact_table, c.name), kind_of(c.dtype));
-            fact_feature_cols.push((f, i));
+            fact_features.push(f);
+            fact_cols.push(i);
         }
         let target_t = db.table(assoc.to_table).unwrap();
         let target_schema = target_t.schema();
-        let target = if target_schema.role != TableRole::Fact {
+        let (target, target_cols) = if target_schema.role != TableRole::Fact {
             let tpk = target_schema.primary_key.expect("target pk");
-            let mut feature_cols = Vec::new();
+            let mut features = Vec::new();
+            let mut cols = Vec::new();
             for (i, c) in target_schema.columns.iter().enumerate() {
                 if i == tpk {
                     continue;
                 }
                 let f = b.add_column(format!("{}.{}", assoc.to_table, c.name), kind_of(c.dtype));
-                feature_cols.push((f, i));
+                features.push(f);
+                cols.push(i);
             }
-            let pk_to_row: HashMap<i64, RowId> = target_t
-                .iter()
-                .filter_map(|(rid, r)| r[tpk].as_int().map(|k| (k, rid)))
-                .collect();
-            Some(TargetBlock {
-                table: assoc.to_table.to_string(),
-                feature_cols,
-                fact_target_col: assoc.to_column,
-                pk_to_row,
-            })
+            let mut pk_to_row: FxHashMap<i64, RowId> = FxHashMap::default();
+            kernel::scan_ints(target_t.column(tpk), target_t.len(), |rid, k| {
+                pk_to_row.insert(k, rid);
+            });
+            (
+                Some(TargetBlock {
+                    features,
+                    fact_target_col: assoc.to_column,
+                    pk_to_row,
+                }),
+                Some((assoc.to_table.to_string(), cols)),
+            )
         } else {
-            None
+            (None, None)
         };
-        let mut by_entity: HashMap<i64, Vec<RowId>> = HashMap::new();
-        for (rid, r) in fact_t.iter() {
-            if let Some(k) = r[assoc.from_column].as_int() {
-                by_entity.entry(k).or_default().push(rid);
-            }
-        }
+        let mut by_entity: FxHashMap<i64, Vec<RowId>> = FxHashMap::default();
+        kernel::scan_ints(fact_t.column(assoc.from_column), fact_t.len(), |rid, k| {
+            by_entity.entry(k).or_default().push(rid);
+        });
         blocks.push(Block {
             fact: assoc.fact_table.to_string(),
-            fact_feature_cols,
+            fact_features,
             target,
             by_entity,
+        });
+        block_cols.push(BlockCols {
+            fact_cols,
+            target: target_cols,
         });
     }
 
     let width = b.matrix.names.len();
-    let mut origin = Vec::new();
-    for (rid, row) in t.iter() {
-        let Some(pk_val) = row[pk].as_int() else {
-            continue;
-        };
-        let mut base = vec![FeatureValue::Missing; width];
-        for &(f, ci) in &entity_cols {
-            base[f] = b.encode(f, &row[ci]);
+
+    // Phase 1 — batch-encode every source table, column by column.
+    let n = t.len();
+    let mut bases = vec![vec![FeatureValue::Missing; width]; n];
+    for &(f, ci) in &entity_cols {
+        b.encode_column_into(f, f, t.column(ci), n, &mut bases);
+    }
+    let mut fact_encoded: Vec<Vec<Vec<FeatureValue>>> = Vec::with_capacity(blocks.len());
+    let mut target_encoded: Vec<Vec<Vec<FeatureValue>>> = Vec::with_capacity(blocks.len());
+    for (block, cols) in blocks.iter().zip(&block_cols) {
+        let fact_t = db.table(&block.fact).unwrap();
+        let mut enc = vec![vec![FeatureValue::Missing; cols.fact_cols.len()]; fact_t.len()];
+        for (slot, (&f, &ci)) in block.fact_features.iter().zip(&cols.fact_cols).enumerate() {
+            b.encode_column_into(f, slot, fact_t.column(ci), fact_t.len(), &mut enc);
         }
+        fact_encoded.push(enc);
+        let enc = match (&block.target, &cols.target) {
+            (Some(tb), Some((tname, tcols))) => {
+                let tt = db.table(tname).unwrap();
+                let mut enc = vec![vec![FeatureValue::Missing; tcols.len()]; tt.len()];
+                for (slot, (&f, &ci)) in tb.features.iter().zip(tcols).enumerate() {
+                    b.encode_column_into(f, slot, tt.column(ci), tt.len(), &mut enc);
+                }
+                enc
+            }
+            _ => Vec::new(),
+        };
+        target_encoded.push(enc);
+    }
+
+    // Phase 2 — assemble output rows by gathering the encoded blocks.
+    let mut origin = Vec::new();
+    kernel::scan_ints(t.column(pk), n, |rid, pk_val| {
+        let base = &bases[rid];
         let mut emitted = false;
-        for block in &blocks {
+        for (bi, block) in blocks.iter().enumerate() {
             let Some(fact_rows) = block.by_entity.get(&pk_val) else {
                 continue;
             };
             let fact_t = db.table(&block.fact).unwrap();
             for &fr in fact_rows {
-                let frow = fact_t.row(fr).unwrap();
                 let mut out = base.clone();
-                for &(f, ci) in &block.fact_feature_cols {
-                    out[f] = b.encode(f, &frow[ci]);
+                for (slot, &f) in block.fact_features.iter().enumerate() {
+                    out[f] = fact_encoded[bi][fr][slot];
                 }
                 if let Some(tb) = &block.target {
-                    if let Some(k) = frow[tb.fact_target_col].as_int() {
-                        if let Some(&trid) = tb.pk_to_row.get(&k) {
-                            let tt = db.table(&tb.table).unwrap();
-                            let trow = tt.row(trid).unwrap();
-                            for &(f, ci) in &tb.feature_cols {
-                                out[f] = b.encode(f, &trow[ci]);
-                            }
+                    let tcol = fact_t.column(tb.fact_target_col);
+                    if let Some(trid) = tcol.int_at(fr).and_then(|k| tb.pk_to_row.get(&k)) {
+                        for (slot, &f) in tb.features.iter().enumerate() {
+                            out[f] = target_encoded[bi][*trid][slot];
                         }
                     }
                 }
@@ -273,10 +365,10 @@ pub fn denormalize(db: &Database, entity: &str, exclude: &[&str]) -> (FeatureMat
             }
         }
         if !emitted {
-            b.matrix.rows.push(base);
+            b.matrix.rows.push(base.clone());
             origin.push(rid);
         }
-    }
+    });
     (b.matrix, origin)
 }
 

@@ -9,7 +9,7 @@
 //! times — `min_count = 1` is a plain semi-join, `min_count = k` expresses
 //! `GROUP BY root HAVING count(*) >= k`.
 
-use squid_relation::Value;
+use squid_relation::{CmpSpec, Value};
 
 /// Comparison operator for selection predicates. The paper limits selections
 /// to `attribute OP value` with `OP ∈ {=, >=, <=}`; `Between` and `In` are
@@ -87,7 +87,23 @@ impl Pred {
         }
     }
 
-    /// Does `v` satisfy this predicate? Nulls never match.
+    /// Lower to the shared batch-kernel comparison spec
+    /// ([`squid_relation::kernel`]): the column name stays with the
+    /// caller, which resolves it and compiles the spec against the
+    /// column's typed storage.
+    pub fn spec(&self) -> CmpSpec {
+        match &self.op {
+            CmpOp::Eq => CmpSpec::Eq(self.value),
+            CmpOp::Ge => CmpSpec::Ge(self.value),
+            CmpOp::Le => CmpSpec::Le(self.value),
+            CmpOp::Between(lo, hi) => CmpSpec::Between(*lo, *hi),
+            CmpOp::In(set) => CmpSpec::In(set.clone()),
+        }
+    }
+
+    /// Does `v` satisfy this predicate? Nulls never match. (Scalar oracle
+    /// with the same semantics as [`Pred::spec`]'s compiled kernels;
+    /// kept allocation-free for per-row fallback paths.)
     pub fn matches(&self, v: &Value) -> bool {
         if v.is_null() {
             return false;

@@ -6,21 +6,23 @@
 //! regardless of root cardinality. Intersection intersects root row-id
 //! bitmaps.
 //!
-//! Hot-path layout: predicates are compiled once per scan against the
-//! table's columnar view ([`squid_relation::ColumnVec`]) into typed
-//! matchers — integer range checks, symbol equality, bitmap null tests —
-//! so the per-row loop performs no `Value` construction, cloning, or
-//! string work. Semi-join fold maps are keyed by raw `u64` encodings of
-//! the join column (symbol id / integer bits) whenever both sides of a
-//! link share a type, falling back to `Value` keys only for heterogeneous
-//! joins.
+//! Hot-path layout: predicates are compiled once per scan into the shared
+//! **batch kernels** of [`squid_relation::kernel`] — typed 64-row match
+//! kernels over the table's columnar view. A block scan evaluates whole
+//! `u64` match words: each predicate kernel emits a word per 64 rows,
+//! conjunctions AND words (not rows), and the result words are stored
+//! directly into the output [`RowSet`], so the executor performs no
+//! `Value` construction, cloning, or string work per row. Semi-join fold
+//! maps are keyed by the kernel module's raw `u64` join-key encoding
+//! (symbol id / integer bits) whenever both sides of a link share a type,
+//! falling back to `Value` keys only for heterogeneous joins.
 
 use squid_relation::{
-    ColumnVec, DataType, Database, FxHashMap, RelationError, Result, RowId, RowSet, Sym, Table,
-    Value,
+    kernel, ColumnVec, DataType, Database, FxHashMap, RelationError, Result, RowId, RowSet,
+    ScanPlan, Table, Value,
 };
 
-use crate::ast::{CmpOp, PathStep, Pred, Query, QueryBlock, SemiJoin};
+use crate::ast::{PathStep, Pred, Query, QueryBlock, SemiJoin};
 
 /// Result of executing a [`Query`]: the qualifying root rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,266 +55,13 @@ impl ResultSet {
                     table: self.root.clone(),
                     column: column.to_string(),
                 })?;
-        let col = table.column(ci);
-        Ok(self.rows.iter().map(|r| col.value_at(r)).collect())
+        // Kernel gather: dtype dispatch hoisted out of the per-row loop.
+        Ok(kernel::gather(table.column(ci), &self.rows))
     }
 
     /// Size of the intersection with another result set (same root assumed).
     pub fn intersection_size(&self, other: &ResultSet) -> usize {
         self.rows.intersection_size(&other.rows)
-    }
-}
-
-/// A predicate compiled against one column's typed storage. Matching a row
-/// is a couple of integer/float comparisons — never a `Value` match.
-enum CompiledPred<'t> {
-    /// Cannot match any row (e.g. text probe that was never interned).
-    Never,
-    /// `lo <= cell <= hi` on an Int column.
-    IntRange {
-        vals: &'t [i64],
-        nulls: &'t RowSet,
-        lo: i64,
-        hi: i64,
-    },
-    /// `lo <= cell <= hi` (total order) on a Float column.
-    FloatRange {
-        vals: &'t [f64],
-        nulls: &'t RowSet,
-        lo: f64,
-        hi: f64,
-    },
-    /// Symbol equality on a Text column (nulls excluded by sentinel).
-    SymEq { vals: &'t [u32], sym: u32 },
-    /// Symbol membership on a Text column.
-    SymIn { vals: &'t [u32], syms: Vec<u32> },
-    /// Boolean equality.
-    BoolEq {
-        vals: &'t [bool],
-        nulls: &'t RowSet,
-        expect: bool,
-    },
-    /// Rare shapes (string ranges, numeric IN): evaluated per row through
-    /// the generic `Pred::matches` on a reconstructed `Copy` scalar.
-    Generic { col: &'t ColumnVec, pred: &'t Pred },
-}
-
-impl CompiledPred<'_> {
-    #[inline]
-    fn matches(&self, row: RowId) -> bool {
-        match self {
-            CompiledPred::Never => false,
-            CompiledPred::IntRange {
-                vals,
-                nulls,
-                lo,
-                hi,
-            } => {
-                let v = vals[row];
-                *lo <= v && v <= *hi && !nulls.contains(row)
-            }
-            CompiledPred::FloatRange {
-                vals,
-                nulls,
-                lo,
-                hi,
-            } => {
-                let v = vals[row];
-                v.total_cmp(lo).is_ge() && v.total_cmp(hi).is_le() && !nulls.contains(row)
-            }
-            CompiledPred::SymEq { vals, sym } => vals[row] == *sym,
-            CompiledPred::SymIn { vals, syms } => syms.contains(&vals[row]),
-            CompiledPred::BoolEq {
-                vals,
-                nulls,
-                expect,
-            } => vals[row] == *expect && !nulls.contains(row),
-            CompiledPred::Generic { col, pred } => pred.matches(&col.value_at(row)),
-        }
-    }
-}
-
-/// Compile `pred` against `table`'s columnar storage.
-fn compile_pred<'t>(table: &'t Table, pred: &'t Pred) -> Result<CompiledPred<'t>> {
-    let ci = column_index(table, &pred.column)?;
-    let col = table.column(ci);
-    let dtype = table.schema().columns[ci].dtype;
-    let generic = || CompiledPred::Generic { col, pred };
-
-    Ok(match (dtype, &pred.op) {
-        (DataType::Text, CmpOp::Eq) => match &pred.value {
-            Value::Text(s) => CompiledPred::SymEq {
-                vals: col.syms().expect("text column"),
-                sym: s.id(),
-            },
-            _ => CompiledPred::Never, // non-text never equals text
-        },
-        (DataType::Text, CmpOp::In(vals)) => {
-            let syms: Vec<u32> = vals
-                .iter()
-                .filter_map(|v| v.as_sym())
-                .map(Sym::id)
-                .collect();
-            if syms.is_empty() {
-                CompiledPred::Never
-            } else {
-                CompiledPred::SymIn {
-                    vals: col.syms().expect("text column"),
-                    syms,
-                }
-            }
-        }
-        (DataType::Int, op) => match int_bounds(op, &pred.value) {
-            Bounds::Range(lo, hi) if lo <= hi => CompiledPred::IntRange {
-                vals: col.ints().expect("int column"),
-                nulls: col.nulls(),
-                lo,
-                hi,
-            },
-            Bounds::Range(..) | Bounds::Never => CompiledPred::Never,
-            Bounds::Fallback => generic(),
-        },
-        (DataType::Float, op) => match float_bounds(op, &pred.value) {
-            Some((lo, hi)) => CompiledPred::FloatRange {
-                vals: col.floats().expect("float column"),
-                nulls: col.nulls(),
-                lo,
-                hi,
-            },
-            None => generic(),
-        },
-        (DataType::Bool, CmpOp::Eq) => match &pred.value {
-            Value::Bool(b) => CompiledPred::BoolEq {
-                vals: col.bools().expect("bool column"),
-                nulls: col.nulls(),
-                expect: *b,
-            },
-            _ => CompiledPred::Never,
-        },
-        _ => generic(),
-    })
-}
-
-enum Bounds {
-    Range(i64, i64),
-    Never,
-    Fallback,
-}
-
-/// Integer bounds `[lo, hi]` equivalent to `op` on an Int column, widening
-/// float operands through ceil/floor exactly like `Value`'s numeric order.
-/// NaN operands fall back to the generic matcher (which reproduces the
-/// total-order semantics precisely).
-fn int_bounds(op: &CmpOp, value: &Value) -> Bounds {
-    // Smallest integer >= v (total order), or None when no such integer
-    // exists. -0.0 sorts strictly below Int(0) in `Value`'s order, and any
-    // finite float at or above 2^63 exceeds every i64.
-    fn lo_of(v: &Value) -> Option<i64> {
-        match v {
-            Value::Int(i) => Some(*i),
-            Value::Float(x) if x.is_finite() && *x < i64::MAX as f64 => Some(clamp_i64(x.ceil())),
-            Value::Float(x) if *x == f64::NEG_INFINITY => Some(i64::MIN),
-            _ => None, // 2^63-boundary / NaN / +inf handled by callers
-        }
-    }
-    // Largest integer <= v (total order).
-    fn hi_of(v: &Value) -> Option<i64> {
-        match v {
-            Value::Int(i) => Some(*i),
-            Value::Float(x) if *x == 0.0 && x.is_sign_negative() => Some(-1),
-            Value::Float(x) if x.is_finite() => {
-                if *x < i64::MIN as f64 {
-                    None
-                } else {
-                    Some(clamp_i64(x.floor()))
-                }
-            }
-            Value::Float(x) if *x == f64::INFINITY => Some(i64::MAX),
-            _ => None,
-        }
-    }
-    let is_nan = matches!(value, Value::Float(x) if x.is_nan());
-    // `Value` widens i64 operands through `as f64` (lossy near 2^63), so
-    // bounds touching that region can admit i64::MAX-adjacent rows; the
-    // generic matcher reproduces those semantics exactly.
-    let near_i64_max =
-        |v: &Value| matches!(v, Value::Float(x) if x.is_finite() && x.abs() >= i64::MAX as f64);
-    match op {
-        _ if is_nan => Bounds::Fallback,
-        CmpOp::Eq | CmpOp::Ge | CmpOp::Le if near_i64_max(value) => Bounds::Fallback,
-        CmpOp::Between(l, h) if near_i64_max(l) || near_i64_max(h) => Bounds::Fallback,
-        CmpOp::Eq => match value {
-            Value::Int(i) => Bounds::Range(*i, *i),
-            Value::Float(x)
-                if x.is_finite()
-                    && x.fract() == 0.0
-                    && in_i64(*x)
-                    && !(*x == 0.0 && x.is_sign_negative()) =>
-            {
-                Bounds::Range(*x as i64, *x as i64)
-            }
-            Value::Float(_) => Bounds::Never, // non-integral / -0.0 / infinite
-            _ => Bounds::Never,               // cross-type eq with Int
-        },
-        CmpOp::Ge => match lo_of(value) {
-            Some(lo) => Bounds::Range(lo, i64::MAX),
-            None => Bounds::Never, // v >= +inf (NaN handled above)
-        },
-        CmpOp::Le => match hi_of(value) {
-            Some(hi) => Bounds::Range(i64::MIN, hi),
-            None => Bounds::Never, // v <= -inf
-        },
-        CmpOp::Between(l, h) => {
-            if matches!(l, Value::Float(x) if x.is_nan())
-                || matches!(h, Value::Float(x) if x.is_nan())
-            {
-                return Bounds::Fallback;
-            }
-            match (lo_of(l), hi_of(h)) {
-                (Some(lo), Some(hi)) => Bounds::Range(lo, hi),
-                (None, _) => Bounds::Never, // lower bound above all ints
-                (_, None) => Bounds::Never, // upper bound below all ints
-            }
-        }
-        CmpOp::In(_) => Bounds::Fallback,
-    }
-}
-
-fn in_i64(x: f64) -> bool {
-    x >= i64::MIN as f64 && x < i64::MAX as f64
-}
-
-fn clamp_i64(x: f64) -> i64 {
-    if x >= i64::MAX as f64 {
-        i64::MAX
-    } else if x <= i64::MIN as f64 {
-        i64::MIN
-    } else {
-        x as i64
-    }
-}
-
-/// Lowest / highest values of `f64::total_cmp`'s order (negative and
-/// positive NaN with full payload).
-const TOTAL_MIN: f64 = f64::from_bits(u64::MAX);
-const TOTAL_MAX: f64 = f64::from_bits(0x7FFF_FFFF_FFFF_FFFF);
-
-/// Float bounds `[lo, hi]` (total order) equivalent to `op` on a Float
-/// column; `None` falls back to the generic matcher.
-fn float_bounds(op: &CmpOp, value: &Value) -> Option<(f64, f64)> {
-    fn num(v: &Value) -> Option<f64> {
-        match v {
-            Value::Int(i) => Some(*i as f64),
-            Value::Float(x) => Some(*x),
-            _ => None,
-        }
-    }
-    match op {
-        CmpOp::Eq => num(value).map(|x| (x, x)),
-        CmpOp::Ge => num(value).map(|x| (x, TOTAL_MAX)),
-        CmpOp::Le => num(value).map(|x| (TOTAL_MIN, x)),
-        CmpOp::Between(l, h) => Some((num(l)?, num(h)?)),
-        CmpOp::In(_) => None,
     }
 }
 
@@ -326,8 +75,20 @@ fn column_index(table: &Table, column: &str) -> Result<usize> {
         })
 }
 
-fn compile_preds<'t>(table: &'t Table, preds: &'t [Pred]) -> Result<Vec<CompiledPred<'t>>> {
-    preds.iter().map(|p| compile_pred(table, p)).collect()
+/// Compile a predicate list into a batch [`ScanPlan`]: each predicate
+/// becomes a typed 64-row kernel against its column's storage (the shared
+/// kernel module owns the bounds translation, including the −0.0 / NaN /
+/// 2^63 fallback rules), and the plan ANDs their match words.
+fn compile_plan<'t>(table: &'t Table, preds: &[Pred]) -> Result<ScanPlan<'t>> {
+    let kernels = preds
+        .iter()
+        .map(|p| {
+            let ci = column_index(table, &p.column)?;
+            let dtype = table.schema().columns[ci].dtype;
+            Ok(kernel::compile(table.column(ci), dtype, &p.spec()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ScanPlan::new(kernels, table.len()))
 }
 
 /// A semi-join fold result: `join-key → tuple count`, keyed by a raw
@@ -343,7 +104,7 @@ impl CountMap {
     /// [`CountMap::into_lookup`], which decodes the map ONCE.
     pub fn count_at(&self, col: &ColumnVec, dtype: DataType, row: RowId) -> u64 {
         debug_assert_eq!(dtype, self.dtype, "use into_lookup for mixed types");
-        encode_key(col, self.dtype, row)
+        kernel::join_key_at(col, self.dtype, row)
             .and_then(|k| self.map.get(&k).copied())
             .unwrap_or(0)
     }
@@ -360,7 +121,7 @@ impl CountMap {
             let by_value: FxHashMap<Value, u64> = self
                 .map
                 .iter()
-                .map(|(&k, &w)| (decode_key(self.dtype, k), w))
+                .map(|(&k, &w)| (kernel::key_to_value(self.dtype, k), w))
                 .collect();
             CountLookup::ByValue(by_value)
         }
@@ -387,32 +148,6 @@ impl CountLookup {
                 }
             }
         }
-    }
-}
-
-/// Encode the cell at `row` as a raw map key; `None` for nulls.
-#[inline]
-fn encode_key(col: &ColumnVec, dtype: DataType, row: RowId) -> Option<u64> {
-    match dtype {
-        DataType::Int => col.int_at(row).map(|v| v as u64),
-        DataType::Float => col.float_at(row).map(f64::to_bits),
-        DataType::Text => col.sym_at(row).map(u64::from),
-        DataType::Bool => {
-            if col.is_null(row) {
-                None
-            } else {
-                col.bools().and_then(|b| b.get(row)).map(|&b| b as u64)
-            }
-        }
-    }
-}
-
-fn decode_key(dtype: DataType, key: u64) -> Value {
-    match dtype {
-        DataType::Int => Value::Int(key as i64),
-        DataType::Float => Value::Float(f64::from_bits(key)),
-        DataType::Text => Value::Text(Sym::from_id(key as u32)),
-        DataType::Bool => Value::Bool(key != 0),
     }
 }
 
@@ -457,10 +192,13 @@ impl<'a> Executor<'a> {
         })
     }
 
-    /// Execute one block.
+    /// Execute one block: evaluate the root predicates as a batch kernel
+    /// plan (64 match bits per iteration, conjunction = word AND), then
+    /// thin each surviving word through the semi-join count checks before
+    /// storing it into the result bitmap.
     fn execute_block(&self, block: &QueryBlock) -> Result<RowSet> {
         let root_table = self.db.table(&block.root)?;
-        let preds = compile_preds(root_table, &block.root_predicates)?;
+        let plan = compile_plan(root_table, &block.root_predicates)?;
 
         // Fold every semi-join into a per-root-join-column count map first.
         struct SjCheck<'t> {
@@ -469,6 +207,11 @@ impl<'a> Executor<'a> {
             min_count: u64,
             lookup: CountLookup,
         }
+        let n = root_table.len();
+        let mut out = RowSet::with_universe(n);
+        // Fold (and validate) every semi-join BEFORE consulting the root
+        // plan: a block whose predicates can never match must still
+        // surface unknown-table/column errors from its join paths.
         let mut checks: Vec<SjCheck<'_>> = Vec::with_capacity(block.semi_joins.len());
         for sj in &block.semi_joins {
             let (root_ci, map) = self.fold_semi_join(root_table, sj)?;
@@ -480,21 +223,27 @@ impl<'a> Executor<'a> {
                 lookup: map.into_lookup(dtype),
             });
         }
+        if plan.is_never() {
+            return Ok(out);
+        }
 
-        let n = root_table.len();
-        let mut out = RowSet::with_universe(n);
-        'rows: for rid in 0..n {
-            for pred in &preds {
-                if !pred.matches(rid) {
-                    continue 'rows;
+        for b in 0..plan.num_batches() {
+            let mut w = plan.eval_word(b);
+            if w != 0 && !checks.is_empty() {
+                let mut bits = w;
+                while bits != 0 {
+                    let lane = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let rid = b * 64 + lane;
+                    for c in &checks {
+                        if c.lookup.count_at(c.col, c.dtype, rid) < c.min_count {
+                            w &= !(1u64 << lane);
+                            break;
+                        }
+                    }
                 }
             }
-            for c in &checks {
-                if c.lookup.count_at(c.col, c.dtype, rid) < c.min_count {
-                    continue 'rows;
-                }
-            }
-            out.insert(rid);
+            out.set_word(b, w);
         }
         Ok(out)
     }
@@ -517,7 +266,7 @@ impl<'a> Executor<'a> {
         let mut deeper: Option<CountMap> = None;
         for (i, step) in sj.path.iter().enumerate().rev() {
             let table = self.db.table(&step.table)?;
-            let preds = compile_preds(table, &step.predicates)?;
+            let plan = compile_plan(table, &step.predicates)?;
             let child_ci = column_index(table, &step.child_column)?;
             let child_col = table.column(child_ci);
             let child_dtype = table.schema().columns[child_ci].dtype;
@@ -532,25 +281,21 @@ impl<'a> Executor<'a> {
                 _ => None,
             };
             let mut map: FxHashMap<u64, u64> = FxHashMap::default();
-            let n = table.len();
-            'rows: for row in 0..n {
-                for pred in &preds {
-                    if !pred.matches(row) {
-                        continue 'rows;
-                    }
-                }
+            // Batch scan: local predicates are evaluated 64 rows at a
+            // time; only rows surviving the ANDed word reach the fold.
+            plan.for_each_match(|row| {
                 let w = match &next_parent {
                     Some((col, dtype, deep)) => match deep.count_at(col, *dtype, row) {
-                        0 => continue 'rows,
+                        0 => return,
                         w => w,
                     },
                     None => 1,
                 };
-                let Some(key) = encode_key(child_col, child_dtype, row) else {
-                    continue 'rows; // null join keys never match
+                let Some(key) = kernel::join_key_at(child_col, child_dtype, row) else {
+                    return; // null join keys never match
                 };
                 *map.entry(key).or_insert(0) += w;
-            }
+            });
             deeper = Some(CountMap {
                 dtype: child_dtype,
                 map,
@@ -799,6 +544,22 @@ mod tests {
         let db = academics_db();
         let q = Query::single(
             QueryBlock::new("academics").filter(Pred::eq("nope", 1)),
+            "name",
+        );
+        assert!(Executor::new(&db).execute(&q).is_err());
+    }
+
+    #[test]
+    fn never_predicate_still_surfaces_semi_join_errors() {
+        // A root predicate that can never match must not short-circuit
+        // semi-join validation: broken join paths stay errors.
+        let db = academics_db();
+        let q = Query::single(
+            QueryBlock::new("academics")
+                .filter(Pred::eq("id", "not-an-int")) // Never on an Int column
+                .semi_join(SemiJoin::exists(vec![PathStep::new(
+                    "missing", "id", "aid",
+                )])),
             "name",
         );
         assert!(Executor::new(&db).execute(&q).is_err());

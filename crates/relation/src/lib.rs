@@ -17,16 +17,19 @@
 //! over cache-friendly, allocation-free inner loops:
 //!
 //! * **Dictionary-encoded text** ([`intern::Sym`]): every `Value::Text`
-//!   is a `u32` symbol into a global interner. [`Value`] is a 16-byte
-//!   `Copy` scalar; text equality, hashing, and group-by are integer
-//!   operations, and lexicographic ordering resolves strings only when two
-//!   symbols actually differ.
+//!   is a `u32` symbol into a global interner — 16 hash-sharded write
+//!   dictionaries (parallel ingest threads touching different shards never
+//!   contend) over a lock-free segmented id→string table. [`Value`] is a
+//!   16-byte `Copy` scalar; text equality, hashing, and group-by are
+//!   integer operations, and lexicographic ordering resolves strings only
+//!   when two symbols actually differ.
 //! * **Columnar table view** ([`table::ColumnVec`]): each [`Table`]
 //!   maintains per-column typed vectors (`Vec<i64>`, `Vec<f64>`, symbol
 //!   `Vec<u32>`, `Vec<bool>`) plus a null bitmap alongside the row view.
-//!   The executor's predicate scans, semi-join folds, and the αDB
-//!   statistics pass read these slices directly — no per-cell `Value`
-//!   matching, no row indirection.
+//!   Bulk loads and derived relations go through the columnar constructor
+//!   ([`Table::from_columns`] + [`table::ColumnBuilder`]): typed columns
+//!   are built first and the row view is derived once, with no per-row
+//!   arity/type checks.
 //! * **Compact inverted index** ([`inverted::InvertedIndex`]): postings
 //!   are packed 8-byte `(table: u16, column: u16, row: u32)` triples keyed
 //!   by folded-string symbols, sorted and deduplicated at build time;
@@ -36,9 +39,36 @@
 //!   replacing per-element tree-set operations in block intersection and
 //!   result handling.
 //!
-//! Planned follow-ups live in `ROADMAP.md` (SIMD-friendly predicate
-//! kernels over the columnar slices, a sharded interner for write-heavy
-//! parallel loads).
+//! ## Batch-kernel scan ABI ([`kernel`])
+//!
+//! All predicate evaluation — the executor's block scans and semi-join
+//! folds, the αDB statistics pass, and the baselines' feature extraction —
+//! shares ONE scan ABI: predicates compile to typed [`kernel::Kernel`]s
+//! that evaluate **64 rows per call** and return a `u64` match word (bit
+//! `b` ⇔ row `batch*64 + b` matches). The contract:
+//!
+//! * **Word layout**: batch `i` covers rows `i*64..i*64+64`; words are
+//!   exactly [`RowSet`]'s storage unit, so scans emit result bitmaps with
+//!   one store per 64 rows ([`RowSet::set_word`] / [`RowSet::from_words`])
+//!   and conjunctions AND words, not rows ([`kernel::ScanPlan`]).
+//! * **Tail handling**: the final partial batch is a scalar tail — lane
+//!   loops simply stop at the column's end and [`kernel::tail_mask`]
+//!   zeroes the phantom high lanes, so no word ever carries bits past the
+//!   table.
+//! * **Null words**: null bitmaps participate word-wise (`!nulls.word(b)`
+//!   masks), never as per-row branches; [`kernel::scan_ints`],
+//!   [`kernel::scan_int_pairs`], and friends give the αDB's fact scans the
+//!   same 64-rows-at-a-time shape.
+//! * **Fallback rules**: typed kernels cover `i64`/`f64` ranges (floats
+//!   via `total_cmp`-order integer keys), symbol equality/membership, and
+//!   bool equality. Shapes a typed kernel cannot translate exactly — NaN
+//!   operands, float bounds at magnitude `2^53`+ (where the scalar
+//!   order's int-cell widening is lossy), string ranges, numeric `IN` —
+//!   fall back to [`kernel::Kernel::Generic`],
+//!   which evaluates the [`kernel::CmpSpec`] per reconstructed `Copy`
+//!   cell. Either path is bit-for-bit equal to `Value`'s total order
+//!   (−0.0 below 0, NaN above +∞); `tests/kernel_prop.rs` pins the parity
+//!   on adversarial columns.
 
 #![warn(missing_docs)]
 
@@ -48,6 +78,7 @@ pub mod fxhash;
 pub mod index;
 pub mod intern;
 pub mod inverted;
+pub mod kernel;
 pub mod rowset;
 pub mod schema;
 pub mod table;
@@ -59,7 +90,8 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::{HashIndex, OrderedIndex};
 pub use intern::Sym;
 pub use inverted::{InvertedIndex, Posting};
+pub use kernel::{CmpSpec, Kernel, ScanPlan};
 pub use rowset::RowSet;
 pub use schema::{Column, ForeignKey, SchemaMeta, TableRole, TableSchema};
-pub use table::{ColumnData, ColumnVec, RowId, Table, NULL_SYM};
+pub use table::{ColumnBuilder, ColumnData, ColumnVec, RowId, Table, NULL_SYM};
 pub use value::{DataType, Value};

@@ -90,6 +90,42 @@ impl RowSet {
             .is_some_and(|w| w & (1u64 << (row % 64)) != 0)
     }
 
+    /// The `i`-th 64-row word (bit `b` set ⇔ row `i*64 + b` is in the
+    /// set). Out-of-range words read as 0 — the batch-kernel contract: a
+    /// kernel can ask for any batch's null/membership word without
+    /// bounds bookkeeping.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of stored words (batches with at least one possible member).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Overwrite the `i`-th 64-row word with a kernel-emitted match word,
+    /// updating the cardinality. This is how batch scans publish 64 match
+    /// bits at once instead of 64 `insert` calls.
+    pub fn set_word(&mut self, i: usize, word: u64) {
+        if i >= self.words.len() {
+            if word == 0 {
+                return;
+            }
+            self.words.resize(i + 1, 0);
+        }
+        let old = self.words[i];
+        self.words[i] = word;
+        self.len = self.len + word.count_ones() as usize - old.count_ones() as usize;
+    }
+
+    /// Build directly from kernel-emitted words (`words[i]` covers rows
+    /// `i*64 .. i*64+64`).
+    pub fn from_words(words: Vec<u64>) -> RowSet {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        RowSet { words, len }
+    }
+
     /// Iterate rows in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -327,6 +363,39 @@ mod tests {
             assert_eq!(f.len(), n);
             assert_eq!(f.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn word_emission_round_trips() {
+        // Kernel contract: a set built from emitted words reads back the
+        // same words and the same rows, including the implicit zero tail.
+        let words = vec![0b1011u64, 0, u64::MAX, 1 << 63];
+        let s = RowSet::from_words(words.clone());
+        assert_eq!(s.len(), 3 + 64 + 1);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(s.word(i), w);
+        }
+        assert_eq!(s.word(4), 0); // out of range reads as empty
+        assert_eq!(s.word(999), 0);
+        let rebuilt = RowSet::from_words((0..s.word_count()).map(|i| s.word(i)).collect());
+        assert_eq!(rebuilt, s);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            rebuilt.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn set_word_tracks_len() {
+        let mut s = RowSet::new();
+        s.set_word(2, 0b101);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(128) && s.contains(130));
+        s.set_word(2, 0b1);
+        assert_eq!(s.len(), 1);
+        s.set_word(10, 0); // no-op beyond the stored words
+        assert_eq!(s.word_count(), 3);
+        assert_eq!(s, RowSet::from_words(vec![0, 0, 1]));
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub enum ColumnData {
     Bool(Vec<bool>),
 }
 
+impl ColumnData {
+    /// The declared type this storage holds.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Text(_) => DataType::Text,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+}
+
 /// One column of the columnar view: typed data plus a null bitmap.
 #[derive(Debug, Clone)]
 pub struct ColumnVec {
@@ -79,6 +91,26 @@ impl ColumnVec {
     /// The typed storage.
     pub fn data(&self) -> &ColumnData {
         &self.data
+    }
+
+    /// Number of cells (equals the owning table's row count).
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(xs) => xs.len(),
+            ColumnData::Float(xs) => xs.len(),
+            ColumnData::Text(xs) => xs.len(),
+            ColumnData::Bool(xs) => xs.len(),
+        }
+    }
+
+    /// True iff the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The declared type of this column's storage.
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
     }
 
     /// Dense `i64` cells, if this is an Int column.
@@ -165,6 +197,144 @@ impl ColumnVec {
     }
 }
 
+/// Typed staging storage for one column of a columnar bulk build (see
+/// [`Table::from_columns`]): push cells through the typed methods — no
+/// `Value` wrapping, no per-row type dispatch — then hand the builders to
+/// the table constructor, which derives the row view in one pass.
+#[derive(Debug, Clone)]
+pub struct ColumnBuilder {
+    data: ColumnData,
+    nulls: RowSet,
+    len: usize,
+}
+
+impl ColumnBuilder {
+    /// Empty builder for a column of `dtype`.
+    pub fn new(dtype: DataType) -> Self {
+        Self::with_capacity(dtype, 0)
+    }
+
+    /// Empty builder pre-sized for `cap` rows.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Text => ColumnData::Text(Vec::with_capacity(cap)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+        };
+        ColumnBuilder {
+            data,
+            nulls: RowSet::new(),
+            len: 0,
+        }
+    }
+
+    /// The builder's column type.
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    /// Number of cells pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no cells were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a NULL cell (stores the type's sentinel and sets the bitmap).
+    pub fn push_null(&mut self) {
+        self.nulls.insert(self.len);
+        match &mut self.data {
+            ColumnData::Int(xs) => xs.push(0),
+            ColumnData::Float(xs) => xs.push(0.0),
+            ColumnData::Text(xs) => xs.push(NULL_SYM),
+            ColumnData::Bool(xs) => xs.push(false),
+        }
+        self.len += 1;
+    }
+
+    /// Append an `i64` cell. Panics if the builder is not an Int column —
+    /// the typed push methods are the no-check fast path; mixed callers
+    /// use [`ColumnBuilder::push_value`].
+    pub fn push_int(&mut self, v: i64) {
+        match &mut self.data {
+            ColumnData::Int(xs) => xs.push(v),
+            _ => panic!("push_int on a {} column", self.dtype()),
+        }
+        self.len += 1;
+    }
+
+    /// Append an `f64` cell (Float columns only).
+    pub fn push_float(&mut self, v: f64) {
+        match &mut self.data {
+            ColumnData::Float(xs) => xs.push(v),
+            _ => panic!("push_float on a {} column", self.dtype()),
+        }
+        self.len += 1;
+    }
+
+    /// Append an interned-symbol cell (Text columns only).
+    pub fn push_sym(&mut self, s: crate::intern::Sym) {
+        match &mut self.data {
+            ColumnData::Text(xs) => xs.push(s.id()),
+            _ => panic!("push_sym on a {} column", self.dtype()),
+        }
+        self.len += 1;
+    }
+
+    /// Append a boolean cell (Bool columns only).
+    pub fn push_bool(&mut self, v: bool) {
+        match &mut self.data {
+            ColumnData::Bool(xs) => xs.push(v),
+            _ => panic!("push_bool on a {} column", self.dtype()),
+        }
+        self.len += 1;
+    }
+
+    /// Append an arbitrary `Value`, type-checked (the generic path for
+    /// callers holding row-oriented data).
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        match (v, &mut self.data) {
+            (Value::Null, _) => self.push_null(),
+            (Value::Int(x), ColumnData::Int(xs)) => {
+                xs.push(*x);
+                self.len += 1;
+            }
+            (Value::Float(x), ColumnData::Float(xs)) => {
+                xs.push(*x);
+                self.len += 1;
+            }
+            (Value::Text(s), ColumnData::Text(xs)) => {
+                xs.push(s.id());
+                self.len += 1;
+            }
+            (Value::Bool(b), ColumnData::Bool(xs)) => {
+                xs.push(*b);
+                self.len += 1;
+            }
+            _ => {
+                return Err(RelationError::TypeMismatch {
+                    table: "<bulk>".to_string(),
+                    column: "<bulk>".to_string(),
+                    expected: self.dtype(),
+                    got: v.data_type().expect("null handled above"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn into_column_vec(self) -> ColumnVec {
+        ColumnVec {
+            data: self.data,
+            nulls: self.nulls,
+        }
+    }
+}
+
 /// An in-memory table: a schema plus rows in both layouts. The row view is
 /// a single flat `Vec<Value>` with `arity` stride — `Value` is `Copy`, so
 /// inserting a row is a bounds-checked memcpy with no per-row allocation,
@@ -192,6 +362,83 @@ impl Table {
             len: 0,
             columns,
         }
+    }
+
+    /// Columnar bulk constructor: take fully-built typed columns and
+    /// *derive* the row view from them, instead of type-checking and
+    /// scattering cell-by-cell. Column count, per-column types, and equal
+    /// lengths are validated once up front; after that no per-row checks
+    /// run — bulk load and derived-relation materialization go through
+    /// here.
+    pub fn from_columns(schema: TableSchema, builders: Vec<ColumnBuilder>) -> Result<Table> {
+        if builders.len() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                table: schema.name.clone(),
+                expected: schema.arity(),
+                got: builders.len(),
+            });
+        }
+        let len = builders.first().map(|b| b.len()).unwrap_or(0);
+        for (b, c) in builders.iter().zip(&schema.columns) {
+            if b.dtype() != c.dtype {
+                return Err(RelationError::TypeMismatch {
+                    table: schema.name.clone(),
+                    column: c.name.clone(),
+                    expected: c.dtype,
+                    got: b.dtype(),
+                });
+            }
+            if b.len() != len {
+                return Err(RelationError::InvalidSchema(format!(
+                    "{}: bulk columns have unequal lengths ({} vs {})",
+                    schema.name,
+                    len,
+                    b.len()
+                )));
+            }
+        }
+        let columns: Vec<ColumnVec> = builders
+            .into_iter()
+            .map(ColumnBuilder::into_column_vec)
+            .collect();
+        // Derive the flat row view column-major: one typed dispatch per
+        // column, a strided scatter of `Copy` scalars, then a sparse
+        // second pass overwriting the null positions from the bitmap.
+        let arity = schema.arity();
+        let mut cells = vec![Value::Null; len * arity];
+        for (ci, col) in columns.iter().enumerate() {
+            match col.data() {
+                ColumnData::Int(xs) => {
+                    for (row, &x) in xs.iter().enumerate() {
+                        cells[row * arity + ci] = Value::Int(x);
+                    }
+                }
+                ColumnData::Float(xs) => {
+                    for (row, &x) in xs.iter().enumerate() {
+                        cells[row * arity + ci] = Value::Float(x);
+                    }
+                }
+                ColumnData::Text(xs) => {
+                    for (row, &s) in xs.iter().enumerate() {
+                        cells[row * arity + ci] = Value::Text(crate::intern::Sym::from_id(s));
+                    }
+                }
+                ColumnData::Bool(xs) => {
+                    for (row, &b) in xs.iter().enumerate() {
+                        cells[row * arity + ci] = Value::Bool(b);
+                    }
+                }
+            }
+            for row in col.nulls().iter() {
+                cells[row * arity + ci] = Value::Null;
+            }
+        }
+        Ok(Table {
+            schema,
+            cells,
+            len,
+            columns,
+        })
     }
 
     /// The table's schema.
@@ -408,6 +655,69 @@ mod tests {
         assert_eq!(names.sym_at(2), None);
         assert_eq!(names.value_at(0), Value::text("alpha"));
         assert_eq!(names.value_at(2), Value::Null);
+    }
+
+    #[test]
+    fn bulk_constructor_agrees_with_row_inserts() {
+        let mut by_rows = table();
+        let mut ids = ColumnBuilder::with_capacity(DataType::Int, 5);
+        let mut names = ColumnBuilder::with_capacity(DataType::Text, 5);
+        for i in 0..5i64 {
+            let name = if i == 2 {
+                Value::Null
+            } else {
+                Value::text(format!("bulk{i}"))
+            };
+            by_rows.insert(vec![Value::Int(i), name]).unwrap();
+            ids.push_int(i);
+            if i == 2 {
+                names.push_null();
+            } else {
+                names.push_sym(Sym::intern(&format!("bulk{i}")));
+            }
+        }
+        let bulk = Table::from_columns(by_rows.schema().clone(), vec![ids, names]).unwrap();
+        assert_eq!(bulk.len(), by_rows.len());
+        for (rid, row) in by_rows.iter() {
+            assert_eq!(bulk.row(rid).unwrap(), row);
+            assert_eq!(bulk.column(0).value_at(rid), row[0]);
+            assert_eq!(bulk.column(1).value_at(rid), row[1]);
+        }
+        assert_eq!(bulk.column(1).nulls().iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn bulk_constructor_validates_shape() {
+        let schema = table().schema().clone();
+        // Wrong column count.
+        let err = Table::from_columns(schema.clone(), vec![ColumnBuilder::new(DataType::Int)])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        // Wrong column type.
+        let err = Table::from_columns(
+            schema.clone(),
+            vec![
+                ColumnBuilder::new(DataType::Float),
+                ColumnBuilder::new(DataType::Text),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+        // Unequal lengths.
+        let mut a = ColumnBuilder::new(DataType::Int);
+        a.push_int(1);
+        let err =
+            Table::from_columns(schema, vec![a, ColumnBuilder::new(DataType::Text)]).unwrap_err();
+        assert!(matches!(err, RelationError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn builder_generic_push_type_checks() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push_value(&Value::Int(3)).unwrap();
+        b.push_value(&Value::Null).unwrap();
+        assert!(b.push_value(&Value::text("no")).is_err());
+        assert_eq!(b.len(), 2);
     }
 
     #[test]

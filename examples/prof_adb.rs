@@ -1,0 +1,38 @@
+//! Ad-hoc profiling harness for αDB build phases (not part of the test
+//! suite; run with `cargo run --release --example prof_adb`).
+use std::time::Instant;
+
+use squid_adb::{ADb, AdbConfig};
+use squid_datasets::{generate_imdb, ImdbConfig};
+use squid_relation::InvertedIndex;
+
+fn main() {
+    let cfg = ImdbConfig {
+        persons: 1_500,
+        movies: 800,
+        ..ImdbConfig::default()
+    };
+    let db = generate_imdb(&cfg);
+    let _ = ADb::build(&db).unwrap(); // warmup
+    for mat in [true, false] {
+        let cfg = AdbConfig {
+            materialize_derived: mat,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            let _ = ADb::build_with(&db, &cfg).unwrap();
+        }
+        println!("materialize={mat}: {:?}/build", t0.elapsed() / 20);
+    }
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        let _ = db.clone();
+    }
+    println!("db.clone: {:?}", t0.elapsed() / 20);
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        let _ = InvertedIndex::build(&db);
+    }
+    println!("inverted: {:?}", t0.elapsed() / 20);
+}
