@@ -424,7 +424,9 @@ fn compute_stats(
                     per_entity[rid].push(*v);
                 }
             });
-            Some(PropStats::Categorical(categorical_from_sets(per_entity)))
+            Some(PropStats::Categorical(CategoricalStats::from_sets(
+                per_entity,
+            )))
         }
         PropKind::InlineCategorical {
             fact,
@@ -446,7 +448,9 @@ fn compute_stats(
                     }
                 });
             }
-            Some(PropStats::Categorical(categorical_from_sets(per_entity)))
+            Some(PropStats::Categorical(CategoricalStats::from_sets(
+                per_entity,
+            )))
         }
         PropKind::FactAttrCount {
             fact,
@@ -603,21 +607,6 @@ fn compute_stats(
             Some(PropStats::Derived(DerivedStats::build(per_entity)))
         }
     })
-}
-
-/// Assemble categorical stats from per-entity value sets (tallies how many
-/// distinct entities carry each value).
-fn categorical_from_sets(per_entity: Vec<Vec<Value>>) -> CategoricalStats {
-    let mut value_entity_counts: FxHashMap<Value, usize> = FxHashMap::default();
-    for vals in &per_entity {
-        for v in vals {
-            *value_entity_counts.entry(*v).or_insert(0) += 1;
-        }
-    }
-    CategoricalStats {
-        value_entity_counts,
-        per_entity,
-    }
 }
 
 /// Sanitize a property id into a valid derived-table name.

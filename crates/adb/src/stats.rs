@@ -13,6 +13,10 @@ pub struct CategoricalStats {
     pub value_entity_counts: FxHashMap<Value, usize>,
     /// Per-entity value sets, indexed by entity row id.
     pub per_entity: Vec<Vec<Value>>,
+    /// For each value: the entity rows carrying it, ascending (the postings
+    /// that let `attr = v` filters enumerate matches instead of scanning
+    /// all entities).
+    pub value_rows: FxHashMap<Value, Vec<RowId>>,
 }
 
 impl CategoricalStats {
@@ -21,16 +25,42 @@ impl CategoricalStats {
     /// time, and each surviving cell is reconstructed once as a `Copy`
     /// scalar.
     pub fn from_column(cv: &ColumnVec, n: usize) -> CategoricalStats {
-        let mut stats = CategoricalStats {
-            per_entity: vec![Vec::new(); n],
-            ..Default::default()
-        };
+        let mut per_entity: Vec<Vec<Value>> = vec![Vec::new(); n];
         kernel::scan_non_null(cv, n, |rid| {
-            let v = cv.value_at(rid);
-            *stats.value_entity_counts.entry(v).or_insert(0) += 1;
-            stats.per_entity[rid].push(v);
+            per_entity[rid].push(cv.value_at(rid));
         });
-        stats
+        Self::from_sets(per_entity)
+    }
+
+    /// Assemble from per-entity value sets (tallies how many distinct
+    /// entities carry each value and transposes the row postings).
+    pub fn from_sets(per_entity: Vec<Vec<Value>>) -> CategoricalStats {
+        let mut value_entity_counts: FxHashMap<Value, usize> = FxHashMap::default();
+        let mut value_rows: FxHashMap<Value, Vec<RowId>> = FxHashMap::default();
+        for (rid, vals) in per_entity.iter().enumerate() {
+            for v in vals {
+                *value_entity_counts.entry(*v).or_insert(0) += 1;
+                value_rows.entry(*v).or_default().push(rid);
+            }
+        }
+        CategoricalStats {
+            value_entity_counts,
+            per_entity,
+            value_rows,
+        }
+    }
+
+    /// Entity rows carrying value `v`, ascending. Empty when `v` is absent
+    /// — callers gating on [`CategoricalStats::enumerable`] can trust this
+    /// as the exact satisfying set of `attr = v`.
+    pub fn rows_with(&self, v: &Value) -> &[RowId] {
+        self.value_rows.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the row postings are populated (hand-assembled stats may
+    /// fill only the count fields; those must fall back to scanning).
+    pub fn enumerable(&self) -> bool {
+        !self.value_rows.is_empty() || self.value_entity_counts.is_empty()
     }
 
     /// Number of distinct values in the active domain.
@@ -97,6 +127,9 @@ pub struct NumericStats {
     pub prefix: Vec<usize>,
     /// Per-entity value (None for null).
     pub per_entity: Vec<Option<f64>>,
+    /// `(value, row)` pairs ascending by value: range filters enumerate
+    /// their matches with two binary searches.
+    pub sorted_rows: Vec<(f64, RowId)>,
 }
 
 impl NumericStats {
@@ -110,6 +143,12 @@ impl NumericStats {
 
     /// Build from per-entity values.
     pub fn build(per_entity: Vec<Option<f64>>) -> Self {
+        let mut sorted_rows: Vec<(f64, RowId)> = per_entity
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, v)| v.map(|x| (x, rid)))
+            .collect();
+        sorted_rows.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut vals: Vec<f64> = per_entity.iter().flatten().copied().collect();
         vals.sort_by(f64::total_cmp);
         let mut sorted_values = Vec::new();
@@ -131,7 +170,33 @@ impl NumericStats {
             sorted_values,
             prefix,
             per_entity,
+            sorted_rows,
         }
+    }
+
+    /// The `(value, row)` pairs with `l ≤ value ≤ h` under IEEE comparison
+    /// semantics (matching `CandidateFilter::matches_row`), located with
+    /// two binary searches over the value-sorted postings. Total-order
+    /// comparisons keep the predicates partitioned even around NaN; zero
+    /// bounds are widened to the signed-zero pair so `-0.0 == 0.0` holds
+    /// like it does for IEEE `>=`/`<=`.
+    pub fn rows_in_range(&self, l: f64, h: f64) -> &[(f64, RowId)] {
+        use std::cmp::Ordering;
+        let l = if l == 0.0 { -0.0 } else { l };
+        let h = if h == 0.0 { 0.0 } else { h };
+        let start = self
+            .sorted_rows
+            .partition_point(|&(v, _)| v.total_cmp(&l) == Ordering::Less);
+        let end = self
+            .sorted_rows
+            .partition_point(|&(v, _)| v.total_cmp(&h) != Ordering::Greater);
+        &self.sorted_rows[start.min(end)..end]
+    }
+
+    /// Whether the row postings are populated (hand-assembled stats may
+    /// fill only `per_entity`; those must fall back to scanning).
+    pub fn enumerable(&self) -> bool {
+        !self.sorted_rows.is_empty() || self.per_entity.iter().all(Option::is_none)
     }
 
     /// Number of entities with value ≤ `x`.
@@ -210,6 +275,10 @@ pub struct DerivedStats {
     pub value_count_dists: FxHashMap<Value, Vec<u64>>,
     /// For each value: ascending per-entity fractions count/total.
     pub value_frac_dists: FxHashMap<Value, Vec<f64>>,
+    /// For each value: `(entity row, count)` postings ascending by row —
+    /// `⟨A, v, θ⟩` filters enumerate the entities associated with `v`
+    /// instead of scanning all of them.
+    pub value_postings: FxHashMap<Value, Vec<(RowId, u64)>>,
 }
 
 impl DerivedStats {
@@ -222,6 +291,7 @@ impl DerivedStats {
             .map(|m| m.values().copied().sum())
             .collect();
         let mut dists: FxHashMap<Value, (Vec<u64>, Vec<f64>)> = FxHashMap::default();
+        let mut value_postings: FxHashMap<Value, Vec<(RowId, u64)>> = FxHashMap::default();
         for (row, counts) in per_entity.iter().enumerate() {
             let total = entity_totals[row];
             for (v, &c) in counts {
@@ -236,6 +306,7 @@ impl DerivedStats {
                 let (cd, fd) = dists.entry(*v).or_default();
                 cd.push(c);
                 fd.push(frac);
+                value_postings.entry(*v).or_default().push((row, c));
             }
         }
         let mut value_count_dists: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
@@ -253,7 +324,22 @@ impl DerivedStats {
             entity_totals,
             value_count_dists,
             value_frac_dists,
+            value_postings,
         }
+    }
+
+    /// `(entity row, count)` postings for value `v`, ascending by row.
+    /// Empty when `v` is absent — with [`DerivedStats::enumerable`] true,
+    /// this is the exact set of entities with count > 0 for `v`.
+    pub fn postings_of(&self, v: &Value) -> &[(RowId, u64)] {
+        self.value_postings.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the row postings are populated (hand-assembled stats may
+    /// fill only the distribution fields; those must fall back to
+    /// scanning).
+    pub fn enumerable(&self) -> bool {
+        !self.value_postings.is_empty() || self.value_count_dists.is_empty()
     }
 
     /// Number of distinct values in the active domain.

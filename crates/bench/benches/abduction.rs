@@ -1,11 +1,13 @@
 //! Criterion benches for the abduction pipeline — the timing counterparts
 //! of Figure 9(a) (time vs #examples) and Figure 9(b) (time vs dataset
-//! size), plus αDB construction (Figure 18's precomputation column).
+//! size), plus αDB construction (Figure 18's precomputation column) and the
+//! incremental-session latency experiment (per-example update vs full
+//! recompute).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use squid_adb::ADb;
 use squid_bench::{params_for, sample_examples};
-use squid_core::Squid;
+use squid_core::{Squid, SquidSession};
 use squid_datasets::{generate_imdb, generate_imdb_variant, imdb_queries, ImdbConfig, ImdbVariant};
 
 fn bench_adb_build(c: &mut Criterion) {
@@ -82,10 +84,55 @@ fn bench_discovery_vs_dataset_size(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_incremental_session(c: &mut Criterion) {
+    // The interactive loop on the IMDb slate: a session already holding
+    // k−1 examples receives the k-th, versus re-running the full one-shot
+    // `discover` on all k examples — the cost the session API removes from
+    // every interaction after the first.
+    let cfg = ImdbConfig {
+        persons: 1_500,
+        movies: 800,
+        ..ImdbConfig::default()
+    };
+    let db = generate_imdb(&cfg);
+    let adb = ADb::build(&db).unwrap();
+    let queries = imdb_queries(&db);
+    let q = queries.iter().find(|q| q.id == "IQ15").unwrap();
+    let params = params_for("imdb");
+    let mut group = c.benchmark_group("incr_session");
+    for k in [5usize, 10] {
+        let (examples, _) = sample_examples(&db, &q.query, k, 3);
+        let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+        // Full recompute: one-shot discover over all k examples (target
+        // inference, resolution, context discovery from scratch).
+        let squid = Squid::with_params(&adb, params.clone());
+        group.bench_with_input(BenchmarkId::new("full_discover", k), &refs, |b, refs| {
+            b.iter(|| squid.discover(std::hint::black_box(refs)).unwrap())
+        });
+        // Incremental update: a session holding the first k−1 examples
+        // folds in the k-th (cloned fresh per iteration; only the add is
+        // timed).
+        let mut base = SquidSession::with_params(&adb, params.clone());
+        for e in &refs[..k - 1] {
+            base.add_example(e).unwrap();
+        }
+        let last = refs[k - 1];
+        group.bench_with_input(BenchmarkId::new("session_add", k), &base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut s| s.add_example(std::hint::black_box(last)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_adb_build,
     bench_discovery_vs_examples,
-    bench_discovery_vs_dataset_size
+    bench_discovery_vs_dataset_size,
+    bench_incremental_session
 );
 criterion_main!(benches);

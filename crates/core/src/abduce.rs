@@ -11,7 +11,7 @@
 //! Ties drop the filter (Occam's razor). The result maximizes
 //! Pr*(Qᵠ|E) (Theorem 1; property-tested in this module).
 
-use std::collections::HashMap;
+use squid_relation::FxHashMap;
 
 use crate::filter::CandidateFilter;
 use crate::params::SquidParams;
@@ -34,11 +34,13 @@ pub struct ScoredFilter {
 
 /// Association-strength families: derived candidates grouped by property
 /// (Figure 8's "family of derived filters sharing the same attribute").
-pub fn strength_families(candidates: &[CandidateFilter]) -> HashMap<String, Vec<f64>> {
-    let mut families: HashMap<String, Vec<f64>> = HashMap::new();
+/// Keys borrow from `candidates` — this runs on every interactive session
+/// update, so no per-call `String` clones.
+pub fn strength_families(candidates: &[CandidateFilter]) -> FxHashMap<&str, Vec<f64>> {
+    let mut families: FxHashMap<&str, Vec<f64>> = FxHashMap::default();
     for c in candidates {
         if let Some(s) = c.value.strength() {
-            families.entry(c.prop_id.clone()).or_default().push(s);
+            families.entry(c.prop_id.as_str()).or_default().push(s);
         }
     }
     families
@@ -52,11 +54,18 @@ pub fn abduce(
 ) -> Vec<ScoredFilter> {
     let families = strength_families(&candidates);
     let empty: Vec<f64> = Vec::new();
+    let priors: Vec<f64> = candidates
+        .iter()
+        .map(|filter| {
+            let family = families.get(filter.prop_id.as_str()).unwrap_or(&empty);
+            filter_prior(filter, family, params)
+        })
+        .collect();
+    drop(families);
     candidates
         .into_iter()
-        .map(|filter| {
-            let family = families.get(&filter.prop_id).unwrap_or(&empty);
-            let prior = filter_prior(&filter, family, params);
+        .zip(priors)
+        .map(|(filter, prior)| {
             let include_score = prior; // Pr(x|φ) = 1
             let psi = filter.selectivity.clamp(0.0, 1.0);
             let exclude_score = (1.0 - prior) * psi.powi(example_count as i32);

@@ -1,6 +1,16 @@
 //! Semantic context discovery (paper Section 6.1.2): given the resolved
 //! example entities, derive all *minimal valid* candidate filters Φ from the
 //! αDB's precomputed properties.
+//!
+//! Discovery is **incremental**: [`ContextState`] keeps, per property, the
+//! running intersection state over the examples seen so far (shared
+//! categorical values, numeric min/max with endpoint multiplicities, derived
+//! θ/fraction minima, per-cutpoint suffix minima). Adding example *k+1*
+//! intersects only the new row's properties against the cached state —
+//! O(properties) instead of O(k · properties) — which is what makes the
+//! interactive [`crate::SquidSession`] loop cheap. The classic one-shot
+//! [`discover_contexts`] folds the rows through the same state, so the two
+//! paths agree by construction.
 
 use squid_adb::{EntityProps, PropStats};
 use squid_relation::{RowId, Value};
@@ -8,190 +18,541 @@ use squid_relation::{RowId, Value};
 use crate::filter::{CandidateFilter, FilterValue};
 use crate::params::SquidParams;
 
+/// Incremental per-property intersection state for one property.
+///
+/// Each variant caches exactly what the corresponding snapshot needs; adding
+/// a row refines the state in place, removing a row either adjusts it (the
+/// numeric endpoint-count trick) or rebuilds that one property from the
+/// remaining rows.
+#[derive(Debug, Clone)]
+enum PropState {
+    /// Categorical: running shared-value intersection plus the single-valued
+    /// union that feeds the disjunction fallback (footnote 7).
+    Cat {
+        /// Values shared by every example so far (sorted).
+        shared: Vec<Value>,
+        /// Union of values over examples, maintained while every example is
+        /// single-valued (sorted).
+        union: Vec<Value>,
+        /// Every example so far carried exactly one value.
+        all_single: bool,
+    },
+    /// Direct numeric: tightest range with endpoint multiplicities so that
+    /// removing an interior example is O(1).
+    Num {
+        lo: f64,
+        hi: f64,
+        /// Examples attaining `lo` / `hi` (for removal without rebuild).
+        lo_count: usize,
+        hi_count: usize,
+        /// Examples with a NULL (or NaN — which no range filter can
+        /// satisfy) value; any > 0 kills the filter.
+        null_count: usize,
+    },
+    /// Derived counted: shared values with running θ and fraction minima,
+    /// sorted by value.
+    Derived { shared: Vec<(Value, u64, f64)> },
+    /// Derived numeric: per-cutpoint minimum suffix counts.
+    DerivedNum { thetas: Vec<u64> },
+}
+
+/// Incremental semantic-context discovery state over one entity's examples.
+///
+/// ```
+/// use squid_adb::{test_fixtures, ADb};
+/// use squid_core::{discover_contexts, ContextState, SquidParams};
+///
+/// let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+/// let entity = adb.entity("person").unwrap();
+/// let params = SquidParams::default();
+///
+/// let mut state = ContextState::new(entity);
+/// state.add_row(entity, 0);
+/// state.add_row(entity, 1);
+/// assert_eq!(
+///     state
+///         .candidates(entity, &params)
+///         .iter()
+///         .map(|f| f.describe())
+///         .collect::<Vec<_>>(),
+///     discover_contexts(entity, &[0, 1], &params)
+///         .iter()
+///         .map(|f| f.describe())
+///         .collect::<Vec<_>>(),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContextState {
+    /// Per-property states, parallel to `entity.props`.
+    states: Vec<PropState>,
+    /// Per-property snapshot cache: `Some` holds the filters the state
+    /// currently emits; mutations that may change a property's output
+    /// clear its slot, so [`ContextState::candidates`] recomputes only
+    /// dirty properties. Valid for a fixed `(entity, params)` pair.
+    cached: Vec<Option<Vec<CandidateFilter>>>,
+    /// Distinct example rows currently folded in (sorted).
+    rows: Vec<RowId>,
+    /// Scratch buffer for suffix-count walks.
+    buf: Vec<u64>,
+}
+
+impl ContextState {
+    /// Fresh state with no examples.
+    pub fn new(entity: &EntityProps) -> ContextState {
+        let states: Vec<PropState> = entity.props.iter().map(|p| fresh_state(&p.stats)).collect();
+        let cached = vec![None; states.len()];
+        ContextState {
+            states,
+            cached,
+            rows: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Example rows currently folded in (sorted, distinct).
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// Fold one example row into every property state — O(properties), the
+    /// per-example incremental step. Duplicate rows are ignored.
+    pub fn add_row(&mut self, entity: &EntityProps, row: RowId) {
+        match self.rows.binary_search(&row) {
+            Ok(_) => return,
+            Err(pos) => self.rows.insert(pos, row),
+        }
+        let first = self.rows.len() == 1;
+        for (i, (state, prop)) in self.states.iter_mut().zip(&entity.props).enumerate() {
+            if add_row_to_state(state, &prop.stats, row, first, &mut self.buf) {
+                self.cached[i] = None;
+            }
+        }
+    }
+
+    /// Remove one example row, rebuilding only the affected property states:
+    /// numeric states adjust in place when the removed value is interior to
+    /// the current range; intersection/minimum states (categorical, derived)
+    /// are rebuilt for the remaining rows since removal can relax them.
+    pub fn remove_row(&mut self, entity: &EntityProps, row: RowId) {
+        let Ok(pos) = self.rows.binary_search(&row) else {
+            return;
+        };
+        self.rows.remove(pos);
+        for (i, (state, prop)) in self.states.iter_mut().zip(&entity.props).enumerate() {
+            // `adjusted`: the state is still exact without a rebuild;
+            // `unchanged`: additionally, its emitted filters are identical.
+            let (adjusted, unchanged) = match (&mut *state, &prop.stats) {
+                (
+                    PropState::Num {
+                        lo,
+                        hi,
+                        lo_count,
+                        hi_count,
+                        null_count,
+                    },
+                    PropStats::Numeric(s),
+                ) => match s.value_of(row).filter(|x| !x.is_nan()) {
+                    None => {
+                        *null_count -= 1;
+                        // Output changes if the last null example left.
+                        (true, *null_count > 0)
+                    }
+                    Some(x) => {
+                        // Interior removal leaves the tightest range as is.
+                        let at_lo = x == *lo;
+                        let at_hi = x == *hi;
+                        if at_lo {
+                            *lo_count -= 1;
+                        }
+                        if at_hi {
+                            *hi_count -= 1;
+                        }
+                        let ok = (!at_lo || *lo_count > 0) && (!at_hi || *hi_count > 0);
+                        (ok, ok)
+                    }
+                },
+                _ => (false, false),
+            };
+            if !adjusted {
+                *state = fresh_state(&prop.stats);
+                for (k, &r) in self.rows.iter().enumerate() {
+                    add_row_to_state(state, &prop.stats, r, k == 0, &mut self.buf);
+                }
+            }
+            if !unchanged {
+                self.cached[i] = None;
+            }
+        }
+    }
+
+    /// Snapshot the candidate filter set Φ for the current examples.
+    ///
+    /// Filters are emitted in property order with values in a canonical
+    /// (sorted) order, so the output is independent of the order examples
+    /// were added in. Properties whose state did not change since the last
+    /// snapshot are served from the per-property cache (pass the same
+    /// `entity` and `params` across calls on one state).
+    pub fn candidates(
+        &mut self,
+        entity: &EntityProps,
+        params: &SquidParams,
+    ) -> Vec<CandidateFilter> {
+        let mut out = Vec::new();
+        if self.rows.is_empty() {
+            return out;
+        }
+        for i in 0..self.states.len() {
+            if let Some(cached) = &self.cached[i] {
+                out.extend_from_slice(cached);
+                continue;
+            }
+            let start = out.len();
+            emit_prop(
+                &self.states[i],
+                &entity.props[i],
+                entity.n,
+                params,
+                &mut out,
+            );
+            self.cached[i] = Some(out[start..].to_vec());
+        }
+        out
+    }
+}
+
+/// Emit the candidate filters one property's state currently implies.
+fn emit_prop(
+    state: &PropState,
+    prop: &squid_adb::Property,
+    n: usize,
+    params: &SquidParams,
+    out: &mut Vec<CandidateFilter>,
+) {
+    match (state, &prop.stats) {
+        (
+            PropState::Cat {
+                shared,
+                union,
+                all_single,
+            },
+            PropStats::Categorical(s),
+        ) => {
+            if !shared.is_empty() {
+                for v in shared {
+                    out.push(CandidateFilter {
+                        prop_id: prop.def.id.clone(),
+                        attr_name: prop.def.attr_name.clone(),
+                        selectivity: s.selectivity_eq(v, n),
+                        coverage: s.coverage_eq(),
+                        value: FilterValue::CatEq(*v),
+                    });
+                }
+            } else if params.allow_disjunction
+                && *all_single
+                && union.len() >= 2
+                && union.len() <= params.disjunction_limit
+            {
+                // Footnote 7: single-valued categorical attributes
+                // may form a small disjunction covering all examples.
+                out.push(CandidateFilter {
+                    prop_id: prop.def.id.clone(),
+                    attr_name: prop.def.attr_name.clone(),
+                    selectivity: s.selectivity_in(union, n),
+                    coverage: s.coverage_in(union.len()),
+                    value: FilterValue::CatIn(union.clone()),
+                });
+            }
+        }
+        (
+            PropState::Num {
+                lo, hi, null_count, ..
+            },
+            PropStats::Numeric(s),
+        ) => {
+            // Tightest range [lo, hi]; requires every example to
+            // have a value (validity).
+            if *null_count == 0 && lo.is_finite() {
+                out.push(CandidateFilter {
+                    prop_id: prop.def.id.clone(),
+                    attr_name: prop.def.attr_name.clone(),
+                    selectivity: s.selectivity_range(*lo, *hi, n),
+                    coverage: s.coverage_range(*lo, *hi),
+                    value: FilterValue::NumRange(*lo, *hi),
+                });
+            }
+        }
+        (PropState::Derived { shared }, PropStats::Derived(s)) => {
+            for &(v, theta, frac) in shared {
+                let (value, selectivity) = if params.normalize_association {
+                    (
+                        FilterValue::DerivedFrac {
+                            value: v,
+                            frac,
+                            raw_theta: theta,
+                        },
+                        s.selectivity_frac(&v, frac, n),
+                    )
+                } else {
+                    (
+                        FilterValue::DerivedEq { value: v, theta },
+                        s.selectivity(&v, theta, n),
+                    )
+                };
+                out.push(CandidateFilter {
+                    prop_id: prop.def.id.clone(),
+                    attr_name: prop.def.attr_name.clone(),
+                    selectivity,
+                    coverage: s.coverage_eq(),
+                    value,
+                });
+            }
+        }
+        (PropState::DerivedNum { thetas }, PropStats::DerivedNumeric(s)) => {
+            // Every cutpoint yields a valid filter; pick the most
+            // surprising (minimum selectivity) point on the
+            // (c, θ(c)) frontier — abduction favors exactly that one.
+            let mut best: Option<(f64, u64, f64)> = None; // (cut, θ, ψ)
+            for (ci, &cut) in s.cutpoints.iter().enumerate() {
+                let theta = thetas[ci];
+                if theta == 0 || theta == u64::MAX {
+                    continue;
+                }
+                let psi = s.selectivity_ge(cut, theta, n);
+                let better = match best {
+                    None => true,
+                    Some((_, _, best_psi)) => psi < best_psi,
+                };
+                if better {
+                    best = Some((cut, theta, psi));
+                }
+            }
+            if let Some((cut, theta, psi)) = best {
+                out.push(CandidateFilter {
+                    prop_id: prop.def.id.clone(),
+                    attr_name: prop.def.attr_name.clone(),
+                    selectivity: psi,
+                    coverage: s.coverage_ge(cut),
+                    value: FilterValue::DerivedGe { cut, theta },
+                });
+            }
+        }
+        _ => unreachable!("state/stats kinds are built in lockstep"),
+    }
+}
+
+fn fresh_state(stats: &PropStats) -> PropState {
+    match stats {
+        PropStats::Categorical(_) => PropState::Cat {
+            shared: Vec::new(),
+            union: Vec::new(),
+            all_single: true,
+        },
+        PropStats::Numeric(_) => PropState::Num {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            lo_count: 0,
+            hi_count: 0,
+            null_count: 0,
+        },
+        PropStats::Derived(_) => PropState::Derived { shared: Vec::new() },
+        PropStats::DerivedNumeric(s) => PropState::DerivedNum {
+            thetas: vec![u64::MAX; s.cutpoints.len()],
+        },
+    }
+}
+
+/// Fold one row into a property state, returning whether the state's
+/// emitted filters may have changed (the snapshot-cache invalidation
+/// signal; conservative — `true` never misses a real change).
+fn add_row_to_state(
+    state: &mut PropState,
+    stats: &PropStats,
+    row: RowId,
+    first: bool,
+    buf: &mut Vec<u64>,
+) -> bool {
+    if first {
+        // The first row constrains everything: fold it in and report dirty.
+        fold_first_row(state, stats, row, buf);
+        return true;
+    }
+    match (state, stats) {
+        (
+            PropState::Cat {
+                shared,
+                union,
+                all_single,
+            },
+            PropStats::Categorical(s),
+        ) => {
+            let vals = s.values_of(row);
+            let before = shared.len();
+            shared.retain(|v| vals.contains(v));
+            let mut changed = shared.len() != before;
+            if *all_single {
+                if vals.len() == 1 {
+                    if let Err(pos) = union.binary_search(&vals[0]) {
+                        union.insert(pos, vals[0]);
+                        changed = true;
+                    }
+                } else {
+                    *all_single = false;
+                    union.clear();
+                    changed = true;
+                }
+            }
+            changed
+        }
+        (
+            PropState::Num {
+                lo,
+                hi,
+                lo_count,
+                hi_count,
+                null_count,
+            },
+            PropStats::Numeric(s),
+        ) => match s.value_of(row).filter(|x| !x.is_nan()) {
+            None => {
+                *null_count += 1;
+                *null_count == 1 // only the first null flips validity
+            }
+            Some(x) => {
+                let mut changed = false;
+                if x < *lo {
+                    *lo = x;
+                    *lo_count = 0;
+                    changed = true;
+                }
+                if x == *lo {
+                    *lo_count += 1;
+                }
+                if x > *hi {
+                    *hi = x;
+                    *hi_count = 0;
+                    changed = true;
+                }
+                if x == *hi {
+                    *hi_count += 1;
+                }
+                changed
+            }
+        },
+        (PropState::Derived { shared }, PropStats::Derived(s)) => {
+            let before = shared.len();
+            let mut changed = false;
+            shared.retain_mut(|(v, theta, frac)| {
+                let c = s.count_of(row, v);
+                if c == 0 {
+                    return false;
+                }
+                if c < *theta {
+                    *theta = c;
+                    changed = true;
+                }
+                let f = s.frac_of(row, v);
+                if f < *frac {
+                    *frac = f;
+                    changed = true;
+                }
+                true
+            });
+            changed || shared.len() != before
+        }
+        (PropState::DerivedNum { thetas }, PropStats::DerivedNumeric(s)) => {
+            // One descending walk per example (O(C + K)), not a binary
+            // search per (example, cutpoint) pair.
+            s.suffix_counts_into(row, buf);
+            let mut changed = false;
+            for (t, &c) in thetas.iter_mut().zip(buf.iter()) {
+                if c < *t {
+                    *t = c;
+                    changed = true;
+                }
+            }
+            changed
+        }
+        _ => unreachable!("state/stats kinds are built in lockstep"),
+    }
+}
+
+/// Fold the first row into a fresh property state.
+fn fold_first_row(state: &mut PropState, stats: &PropStats, row: RowId, buf: &mut Vec<u64>) {
+    match (state, stats) {
+        (
+            PropState::Cat {
+                shared,
+                union,
+                all_single,
+            },
+            PropStats::Categorical(s),
+        ) => {
+            let vals = s.values_of(row);
+            shared.extend_from_slice(vals);
+            shared.sort();
+            if vals.len() == 1 {
+                union.push(vals[0]);
+            } else {
+                *all_single = false;
+            }
+        }
+        (
+            PropState::Num {
+                lo,
+                hi,
+                lo_count,
+                hi_count,
+                null_count,
+            },
+            PropStats::Numeric(s),
+        ) => match s.value_of(row).filter(|x| !x.is_nan()) {
+            None => *null_count += 1,
+            Some(x) => {
+                *lo = x;
+                *hi = x;
+                *lo_count = 1;
+                *hi_count = 1;
+            }
+        },
+        (PropState::Derived { shared }, PropStats::Derived(s)) => {
+            if let Some(counts) = s.counts_of(row) {
+                let mut vals: Vec<(Value, u64, f64)> = counts
+                    .iter()
+                    .map(|(v, &c)| (*v, c, s.frac_of(row, v)))
+                    .collect();
+                vals.sort_by_key(|a| a.0);
+                *shared = vals;
+            }
+        }
+        (PropState::DerivedNum { thetas }, PropStats::DerivedNumeric(s)) => {
+            s.suffix_counts_into(row, buf);
+            for (t, &c) in thetas.iter_mut().zip(buf.iter()) {
+                *t = (*t).min(c);
+            }
+        }
+        _ => unreachable!("state/stats kinds are built in lockstep"),
+    }
+}
+
 /// Derive the candidate filter set Φ for `examples` (entity row ids).
 ///
 /// Each returned filter is valid (every example satisfies it) and minimal
-/// (tightest bounds / maximal θ), per Definitions 3.1–3.2.
+/// (tightest bounds / maximal θ), per Definitions 3.1–3.2. This is the
+/// one-shot form: it folds the rows through a fresh [`ContextState`], so it
+/// agrees with the incremental session path by construction.
 pub fn discover_contexts(
     entity: &EntityProps,
     examples: &[RowId],
     params: &SquidParams,
 ) -> Vec<CandidateFilter> {
-    let mut out = Vec::new();
     if examples.is_empty() {
-        return out;
+        return Vec::new();
     }
-    let n = entity.n;
-    for prop in &entity.props {
-        match &prop.stats {
-            PropStats::Categorical(s) => {
-                // Values shared by every example.
-                let mut shared: Vec<Value> = s.values_of(examples[0]).to_vec();
-                for &row in &examples[1..] {
-                    let vals = s.values_of(row);
-                    shared.retain(|v| vals.contains(v));
-                    if shared.is_empty() {
-                        break;
-                    }
-                }
-                if !shared.is_empty() {
-                    for v in shared {
-                        out.push(CandidateFilter {
-                            prop_id: prop.def.id.clone(),
-                            attr_name: prop.def.attr_name.clone(),
-                            selectivity: s.selectivity_eq(&v, n),
-                            coverage: s.coverage_eq(),
-                            value: FilterValue::CatEq(v),
-                        });
-                    }
-                } else if params.allow_disjunction {
-                    // Footnote 7: single-valued categorical attributes may
-                    // form a small disjunction covering all examples.
-                    let mut union: Vec<Value> = Vec::new();
-                    let mut ok = true;
-                    for &row in examples {
-                        let vals = s.values_of(row);
-                        if vals.len() != 1 {
-                            ok = false;
-                            break;
-                        }
-                        if !union.contains(&vals[0]) {
-                            union.push(vals[0]);
-                        }
-                    }
-                    if ok && union.len() >= 2 && union.len() <= params.disjunction_limit {
-                        union.sort();
-                        out.push(CandidateFilter {
-                            prop_id: prop.def.id.clone(),
-                            attr_name: prop.def.attr_name.clone(),
-                            selectivity: s.selectivity_in(&union, n),
-                            coverage: s.coverage_in(union.len()),
-                            value: FilterValue::CatIn(union),
-                        });
-                    }
-                }
-            }
-            PropStats::Numeric(s) => {
-                // Tightest range [vmin, vmax]; requires every example to
-                // have a value (validity).
-                let mut lo = f64::INFINITY;
-                let mut hi = f64::NEG_INFINITY;
-                let mut all = true;
-                for &row in examples {
-                    match s.value_of(row) {
-                        Some(x) => {
-                            lo = lo.min(x);
-                            hi = hi.max(x);
-                        }
-                        None => {
-                            all = false;
-                            break;
-                        }
-                    }
-                }
-                if all && lo.is_finite() {
-                    out.push(CandidateFilter {
-                        prop_id: prop.def.id.clone(),
-                        attr_name: prop.def.attr_name.clone(),
-                        selectivity: s.selectivity_range(lo, hi, n),
-                        coverage: s.coverage_range(lo, hi),
-                        value: FilterValue::NumRange(lo, hi),
-                    });
-                }
-            }
-            PropStats::Derived(s) => {
-                // Values every example is associated with (count > 0);
-                // θ = minimum association strength (Section 6.1.2).
-                let Some(first) = s.counts_of(examples[0]) else {
-                    continue;
-                };
-                let mut shared: Vec<(Value, u64, f64)> = first
-                    .iter()
-                    .map(|(v, &c)| (*v, c, s.frac_of(examples[0], v)))
-                    .collect();
-                for &row in &examples[1..] {
-                    shared.retain_mut(|(v, theta, frac)| {
-                        let c = s.count_of(row, v);
-                        if c == 0 {
-                            return false;
-                        }
-                        *theta = (*theta).min(c);
-                        *frac = frac.min(s.frac_of(row, v));
-                        true
-                    });
-                    if shared.is_empty() {
-                        break;
-                    }
-                }
-                shared.sort_by_key(|a| a.0);
-                for (v, theta, frac) in shared {
-                    let (value, selectivity) = if params.normalize_association {
-                        (
-                            FilterValue::DerivedFrac {
-                                value: v,
-                                frac,
-                                raw_theta: theta,
-                            },
-                            s.selectivity_frac(&v, frac, n),
-                        )
-                    } else {
-                        (
-                            FilterValue::DerivedEq { value: v, theta },
-                            s.selectivity(&v, theta, n),
-                        )
-                    };
-                    out.push(CandidateFilter {
-                        prop_id: prop.def.id.clone(),
-                        attr_name: prop.def.attr_name.clone(),
-                        selectivity,
-                        coverage: s.coverage_eq(),
-                        value,
-                    });
-                }
-            }
-            PropStats::DerivedNumeric(s) => {
-                // Range filter `attr ≥ c` with θ = min suffix count. Every
-                // cutpoint yields a valid filter; pick the most surprising
-                // (minimum selectivity) point on the (c, θ(c)) frontier —
-                // abduction favors exactly that one. Suffix counts come
-                // from one descending walk per example (O(C + K)), not a
-                // binary search per (example, cutpoint) pair.
-                let mut thetas: Vec<u64> = vec![u64::MAX; s.cutpoints.len()];
-                let mut buf: Vec<u64> = Vec::new();
-                for &r in examples {
-                    s.suffix_counts_into(r, &mut buf);
-                    for (t, &c) in thetas.iter_mut().zip(&buf) {
-                        *t = (*t).min(c);
-                    }
-                }
-                let mut best: Option<(f64, u64, f64)> = None; // (cut, θ, ψ)
-                for (ci, &cut) in s.cutpoints.iter().enumerate() {
-                    let theta = thetas[ci];
-                    if theta == 0 || theta == u64::MAX {
-                        continue;
-                    }
-                    let psi = s.selectivity_ge(cut, theta, n);
-                    let better = match best {
-                        None => true,
-                        Some((_, _, best_psi)) => psi < best_psi,
-                    };
-                    if better {
-                        best = Some((cut, theta, psi));
-                    }
-                }
-                if let Some((cut, theta, psi)) = best {
-                    out.push(CandidateFilter {
-                        prop_id: prop.def.id.clone(),
-                        attr_name: prop.def.attr_name.clone(),
-                        selectivity: psi,
-                        coverage: s.coverage_ge(cut),
-                        value: FilterValue::DerivedGe { cut, theta },
-                    });
-                }
-            }
-        }
+    let mut state = ContextState::new(entity);
+    for &row in examples {
+        state.add_row(entity, row);
     }
-    out
+    state.candidates(entity, params)
 }
 
 #[cfg(test)]
@@ -339,5 +700,99 @@ mod tests {
         let (adb, _) = setup();
         let e = adb.entity("person").unwrap();
         assert!(discover_contexts(e, &[], &SquidParams::default()).is_empty());
+    }
+
+    /// Incremental adds must match the one-shot fold for every prefix, and
+    /// additions must be order-independent.
+    #[test]
+    fn incremental_adds_match_one_shot() {
+        let (adb, _) = setup();
+        let e = adb.entity("person").unwrap();
+        let params = SquidParams {
+            allow_disjunction: true,
+            ..SquidParams::default()
+        };
+        let rows: Vec<RowId> = (0..e.n).collect();
+        let mut state = ContextState::new(e);
+        for k in 0..rows.len() {
+            state.add_row(e, rows[k]);
+            let inc: Vec<String> = state
+                .candidates(e, &params)
+                .iter()
+                .map(|f| format!("{} {:.6}", f.describe(), f.selectivity))
+                .collect();
+            let one: Vec<String> = discover_contexts(e, &rows[..=k], &params)
+                .iter()
+                .map(|f| format!("{} {:.6}", f.describe(), f.selectivity))
+                .collect();
+            assert_eq!(inc, one, "prefix of {} rows", k + 1);
+        }
+        // Reverse insertion order: same snapshot.
+        let mut rev = ContextState::new(e);
+        for &r in rows.iter().rev() {
+            rev.add_row(e, r);
+        }
+        let a: Vec<String> = state
+            .candidates(e, &params)
+            .iter()
+            .map(|f| f.describe())
+            .collect();
+        let b: Vec<String> = rev
+            .candidates(e, &params)
+            .iter()
+            .map(|f| f.describe())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    /// remove_row must restore exactly the state of a fresh fold over the
+    /// remaining rows, for every removal target (endpoint, interior, null).
+    #[test]
+    fn removal_matches_fresh_fold() {
+        let (adb, _) = setup();
+        let e = adb.entity("person").unwrap();
+        let params = SquidParams::default();
+        let rows: Vec<RowId> = (0..e.n).collect();
+        for &gone in &rows {
+            let mut state = ContextState::new(e);
+            for &r in &rows {
+                state.add_row(e, r);
+            }
+            state.remove_row(e, gone);
+            let remaining: Vec<RowId> = rows.iter().copied().filter(|&r| r != gone).collect();
+            let direct: Vec<String> = discover_contexts(e, &remaining, &params)
+                .iter()
+                .map(|f| format!("{} {:.6}", f.describe(), f.selectivity))
+                .collect();
+            let incremental: Vec<String> = state
+                .candidates(e, &params)
+                .iter()
+                .map(|f| format!("{} {:.6}", f.describe(), f.selectivity))
+                .collect();
+            assert_eq!(incremental, direct, "after removing row {gone}");
+            assert_eq!(state.rows(), remaining.as_slice());
+        }
+    }
+
+    #[test]
+    fn duplicate_adds_are_ignored() {
+        let (adb, rows) = setup();
+        let e = adb.entity("person").unwrap();
+        let mut state = ContextState::new(e);
+        state.add_row(e, rows[0]);
+        state.add_row(e, rows[0]);
+        assert_eq!(state.rows().len(), 1);
+        state.add_row(e, rows[1]);
+        let params = SquidParams::default();
+        let a: Vec<String> = state
+            .candidates(e, &params)
+            .iter()
+            .map(|f| f.describe())
+            .collect();
+        let b: Vec<String> = discover_contexts(e, &rows, &params)
+            .iter()
+            .map(|f| f.describe())
+            .collect();
+        assert_eq!(a, b);
     }
 }

@@ -29,6 +29,26 @@ pub enum SquidError {
         /// Target table.
         table: String,
     },
+    /// A session operation referenced an example that was never added (or
+    /// was already removed).
+    UnknownExample {
+        /// The example value.
+        example: String,
+    },
+    /// Disambiguation feedback named an entity that is not among the
+    /// example's candidate matches.
+    InvalidChoice {
+        /// The example value.
+        example: String,
+        /// The rejected primary key.
+        pk: i64,
+    },
+    /// The session id is unknown to the manager (never created, closed, or
+    /// evicted after its TTL).
+    UnknownSession {
+        /// The session id.
+        id: u64,
+    },
     /// Underlying relational error.
     Relation(RelationError),
 }
@@ -47,6 +67,15 @@ impl fmt::Display for SquidError {
             }
             SquidError::EntityNotFound { example, table } => {
                 write!(f, "example {example:?} matches no entity in {table}")
+            }
+            SquidError::UnknownExample { example } => {
+                write!(f, "example {example:?} is not in the session")
+            }
+            SquidError::InvalidChoice { example, pk } => {
+                write!(f, "entity {pk} is not a candidate match for {example:?}")
+            }
+            SquidError::UnknownSession { id } => {
+                write!(f, "unknown or expired session {id}")
             }
             SquidError::Relation(e) => write!(f, "relational error: {e}"),
         }

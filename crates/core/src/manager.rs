@@ -1,0 +1,311 @@
+//! Concurrent session hosting: many interactive [`SquidSession`]s over one
+//! shared, immutable αDB.
+//!
+//! The [`SessionManager`] is the serving seam for RPC/HTTP frontends: the
+//! αDB lives in a single [`Arc`] that every session reads without any
+//! synchronization (it is immutable after build), the session registry is
+//! sharded 16 ways so unrelated sessions never contend on the same lock,
+//! and idle sessions are evicted after a configurable TTL. Within a shard,
+//! operating on a session holds only a brief read lock to clone the entry
+//! handle — long-running discovery work happens outside the registry locks,
+//! under the session's own mutex.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use squid_adb::{test_fixtures, ADb};
+//! use squid_core::SessionManager;
+//!
+//! let adb = Arc::new(ADb::build(&test_fixtures::mini_imdb()).unwrap());
+//! let manager = SessionManager::new(adb);
+//! let id = manager.create_session();
+//! let rows = manager
+//!     .with_session(id, |s| {
+//!         s.add_example("Jim Carrey")?;
+//!         s.add_example("Eddie Murphy")?;
+//!         Ok(s.discovery().unwrap().rows.len())
+//!     })
+//!     .unwrap();
+//! assert!(rows >= 2);
+//! manager.end_session(id);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use squid_adb::ADb;
+use squid_relation::FxHashMap;
+
+use crate::error::SquidError;
+use crate::params::SquidParams;
+use crate::session::SquidSession;
+
+/// Opaque session identifier handed out by [`SessionManager::create_session`].
+pub type SessionId = u64;
+
+const SHARDS: usize = 16;
+
+struct Entry {
+    session: Mutex<SquidSession<'static>>,
+    /// Milliseconds since the manager's epoch at last use (atomic so
+    /// touching a session never takes a write lock).
+    last_used_ms: AtomicU64,
+}
+
+/// Hosts many concurrent [`SquidSession`]s over one shared αDB (see the
+/// module docs for the locking story).
+pub struct SessionManager {
+    adb: Arc<ADb>,
+    params: SquidParams,
+    ttl: Option<Duration>,
+    epoch: Instant,
+    next_id: AtomicU64,
+    shards: Vec<RwLock<FxHashMap<SessionId, Arc<Entry>>>>,
+}
+
+impl SessionManager {
+    /// New manager with default parameters and no TTL eviction.
+    pub fn new(adb: Arc<ADb>) -> SessionManager {
+        Self::with_params(adb, SquidParams::default())
+    }
+
+    /// New manager whose sessions start from `params`.
+    pub fn with_params(adb: Arc<ADb>, params: SquidParams) -> SessionManager {
+        SessionManager {
+            adb,
+            params,
+            ttl: None,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Evict sessions idle longer than `ttl` (checked lazily on access and
+    /// by [`evict_expired`](Self::evict_expired)).
+    pub fn with_ttl(mut self, ttl: Duration) -> SessionManager {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// The shared αDB.
+    pub fn adb(&self) -> &Arc<ADb> {
+        &self.adb
+    }
+
+    /// Parameters new sessions start from.
+    pub fn params(&self) -> &SquidParams {
+        &self.params
+    }
+
+    fn shard(&self, id: SessionId) -> &RwLock<FxHashMap<SessionId, Arc<Entry>>> {
+        &self.shards[(id as usize) % SHARDS]
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Open a new session with the manager's default parameters.
+    pub fn create_session(&self) -> SessionId {
+        self.create_session_with_params(self.params.clone())
+    }
+
+    /// Open a new session with explicit parameters.
+    pub fn create_session_with_params(&self, params: SquidParams) -> SessionId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Entry {
+            session: Mutex::new(SquidSession::shared_with_params(
+                Arc::clone(&self.adb),
+                params,
+            )),
+            last_used_ms: AtomicU64::new(self.now_ms()),
+        });
+        self.shard(id)
+            .write()
+            .expect("shard lock")
+            .insert(id, entry);
+        id
+    }
+
+    /// Run `f` against session `id`. The registry lock is held only long
+    /// enough to clone the entry handle; `f` runs under the session's own
+    /// mutex. Expired sessions are evicted and reported as unknown.
+    pub fn with_session<T>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut SquidSession<'static>) -> Result<T, SquidError>,
+    ) -> Result<T, SquidError> {
+        let entry = {
+            let shard = self.shard(id).read().expect("shard lock");
+            shard.get(&id).cloned()
+        };
+        let Some(entry) = entry else {
+            return Err(SquidError::UnknownSession { id });
+        };
+        let now = self.now_ms();
+        if let Some(ttl) = self.ttl {
+            let cutoff = ttl.as_millis() as u64;
+            if now.saturating_sub(entry.last_used_ms.load(Ordering::Relaxed)) > cutoff {
+                // Re-check under the write lock: a concurrent caller may
+                // have renewed the session between our read and now, and
+                // evicting a just-renewed session would drop live state.
+                let mut shard = self.shard(id).write().expect("shard lock");
+                let still_stale = shard.get(&id).is_some_and(|e| {
+                    now.saturating_sub(e.last_used_ms.load(Ordering::Relaxed)) > cutoff
+                });
+                if still_stale {
+                    shard.remove(&id);
+                }
+                if still_stale || !shard.contains_key(&id) {
+                    return Err(SquidError::UnknownSession { id });
+                }
+            }
+        }
+        entry.last_used_ms.store(now, Ordering::Relaxed);
+        let result = {
+            let mut session = entry.session.lock().expect("session lock");
+            f(&mut session)
+        };
+        // Stamp again after `f`: a long-running operation must not leave
+        // the session looking idle for its whole duration (a sweep could
+        // otherwise evict a session that is actively in use).
+        entry.last_used_ms.store(self.now_ms(), Ordering::Relaxed);
+        result
+    }
+
+    /// Close a session. Returns whether it existed.
+    pub fn end_session(&self, id: SessionId) -> bool {
+        self.shard(id)
+            .write()
+            .expect("shard lock")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Sweep every shard, removing sessions idle past the TTL. Returns the
+    /// number evicted. No-op without a TTL.
+    pub fn evict_expired(&self) -> usize {
+        let Some(ttl) = self.ttl else {
+            return 0;
+        };
+        let cutoff_ms = ttl.as_millis() as u64;
+        let now = self.now_ms();
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("shard lock");
+            let before = shard.len();
+            shard.retain(|_, e| {
+                now.saturating_sub(e.last_used_ms.load(Ordering::Relaxed)) <= cutoff_ms
+            });
+            evicted += before - shard.len();
+        }
+        evicted
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").len())
+            .sum()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::squid::Squid;
+    use squid_adb::test_fixtures::mini_imdb;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(Arc::new(ADb::build(&mini_imdb()).unwrap()))
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let m = manager();
+        let a = m.create_session();
+        let b = m.create_session();
+        m.with_session(a, |s| s.add_example("Jim Carrey")).unwrap();
+        m.with_session(b, |s| s.add_example("Julia Roberts"))
+            .unwrap();
+        let ea = m.with_session(a, |s| Ok(s.examples().join(","))).unwrap();
+        let eb = m.with_session(b, |s| Ok(s.examples().join(","))).unwrap();
+        assert_eq!(ea, "Jim Carrey");
+        assert_eq!(eb, "Julia Roberts");
+        assert_eq!(m.len(), 2);
+        assert!(m.end_session(a));
+        assert!(!m.end_session(a));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn unknown_session_errors() {
+        let m = manager();
+        let err = m.with_session(42, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, SquidError::UnknownSession { id: 42 }));
+    }
+
+    #[test]
+    fn ttl_evicts_idle_sessions() {
+        let m = manager().with_ttl(Duration::from_millis(0));
+        let id = m.create_session();
+        assert_eq!(m.len(), 1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.evict_expired(), 1);
+        assert!(m.is_empty());
+        let id2 = m.create_session();
+        std::thread::sleep(Duration::from_millis(5));
+        // Lazy eviction on access reports the session as unknown.
+        let err = m.with_session(id2, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, SquidError::UnknownSession { .. }));
+        assert!(m.is_empty());
+        let _ = id;
+    }
+
+    #[test]
+    fn concurrent_sessions_match_one_shot() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let m = SessionManager::new(Arc::clone(&adb));
+        let slates: Vec<Vec<&str>> = vec![
+            vec!["Jim Carrey", "Eddie Murphy"],
+            vec!["Sylvester Stallone", "Arnold Schwarzenegger"],
+            vec!["Julia Roberts", "Emma Stone"],
+        ];
+        let results: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slates
+                .iter()
+                .map(|slate| {
+                    let m = &m;
+                    scope.spawn(move || {
+                        let id = m.create_session();
+                        let sql = m
+                            .with_session(id, |s| {
+                                for e in slate {
+                                    s.add_example(e)?;
+                                }
+                                Ok(s.discovery().unwrap().sql())
+                            })
+                            .unwrap();
+                        m.end_session(id);
+                        sql
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let squid = Squid::new(&adb);
+        for (slate, sql) in slates.iter().zip(&results) {
+            assert_eq!(&squid.discover(slate).unwrap().sql(), sql);
+        }
+        assert!(m.is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 //! materialized derived relations (Example 2.2), and a direct evaluation
 //! path against the αDB's per-entity statistics.
 
-use squid_adb::{EntityProps, PropKind};
+use squid_adb::{EntityProps, PropKind, PropStats, Property};
 use squid_engine::{PathStep, Pred, Query, QueryBlock, SemiJoin};
 use squid_relation::{RowSet, Value};
 
@@ -124,6 +124,12 @@ pub fn adb_query(
 /// statistics: the set of qualifying entity rows. This is exact for every
 /// filter kind (including normalized fractions) and is how SQuID returns
 /// result tuples in real time.
+///
+/// When the most selective filter can *enumerate* its satisfying rows from
+/// the αDB's value→row postings (equality, range, and derived-count
+/// filters can; suffix-range filters cannot), evaluation walks only those
+/// rows instead of every entity — O(matches of the rarest filter) rather
+/// than O(n).
 pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> RowSet {
     let mut out = RowSet::with_universe(entity.n);
     // Resolve each filter's property once, not once per row. A filter
@@ -135,17 +141,97 @@ pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> RowSet {
         };
         resolved.push((f, prop));
     }
-    // Most selective filter first: rows that fail short-circuit earliest.
+    // Most selective filter first: rows that fail short-circuit earliest
+    // (and the driver below enumerates the fewest candidates).
     resolved.sort_by(|a, b| a.0.selectivity.total_cmp(&b.0.selectivity));
-    'rows: for row in 0..entity.n {
-        for (f, prop) in &resolved {
-            if !f.matches_row(prop, row) {
-                continue 'rows;
+    let driver = resolved.iter().position(|(f, p)| can_enumerate(f, p));
+    match driver {
+        Some(di) => {
+            let rest: Vec<_> = resolved
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != di)
+                .map(|(_, fp)| *fp)
+                .collect();
+            let (df, dp) = resolved[di];
+            enumerate_rows(df, dp, &mut |row| {
+                if !out.contains(row) && rest.iter().all(|(f, p)| f.matches_row(p, row)) {
+                    out.insert(row);
+                }
+            });
+        }
+        None => {
+            'rows: for row in 0..entity.n {
+                for (f, prop) in &resolved {
+                    if !f.matches_row(prop, row) {
+                        continue 'rows;
+                    }
+                }
+                out.insert(row);
             }
         }
-        out.insert(row);
     }
     out
+}
+
+/// Can this filter enumerate exactly its satisfying rows from postings?
+/// (`enumerable()` guards against hand-assembled stats without postings.)
+fn can_enumerate(f: &CandidateFilter, prop: &Property) -> bool {
+    match (&f.value, &prop.stats) {
+        (FilterValue::CatEq(_) | FilterValue::CatIn(_), PropStats::Categorical(s)) => {
+            s.enumerable()
+        }
+        (FilterValue::NumRange(..), PropStats::Numeric(s)) => s.enumerable(),
+        (
+            FilterValue::DerivedEq { .. } | FilterValue::DerivedFrac { .. },
+            PropStats::Derived(s),
+        ) => s.enumerable(),
+        _ => false,
+    }
+}
+
+/// Visit every row satisfying `f` (exactly once per distinct row for the
+/// single-value kinds; `CatIn` may revisit rows shared between values —
+/// the caller deduplicates via its output set).
+fn enumerate_rows(
+    f: &CandidateFilter,
+    prop: &Property,
+    visit: &mut dyn FnMut(squid_relation::RowId),
+) {
+    match (&f.value, &prop.stats) {
+        (FilterValue::CatEq(v), PropStats::Categorical(s)) => {
+            for &row in s.rows_with(v) {
+                visit(row);
+            }
+        }
+        (FilterValue::CatIn(vs), PropStats::Categorical(s)) => {
+            for v in vs {
+                for &row in s.rows_with(v) {
+                    visit(row);
+                }
+            }
+        }
+        (FilterValue::NumRange(l, h), PropStats::Numeric(s)) => {
+            for &(_, row) in s.rows_in_range(*l, *h) {
+                visit(row);
+            }
+        }
+        (FilterValue::DerivedEq { value, theta }, PropStats::Derived(s)) => {
+            for &(row, c) in s.postings_of(value) {
+                if c >= *theta {
+                    visit(row);
+                }
+            }
+        }
+        (FilterValue::DerivedFrac { value, frac, .. }, PropStats::Derived(s)) => {
+            for &(row, _) in s.postings_of(value) {
+                if s.frac_of(row, value) >= *frac {
+                    visit(row);
+                }
+            }
+        }
+        _ => unreachable!("gated by can_enumerate"),
+    }
 }
 
 fn num_value(x: f64) -> Value {

@@ -1,20 +1,26 @@
-//! The end-to-end SQuID API (Figure 4's online "query intent discovery"
-//! module): entity lookup & disambiguation → semantic context discovery →
-//! query abduction → executable query + result tuples.
+//! The classic one-shot SQuID API (Figure 4's online "query intent
+//! discovery" module): entity lookup & disambiguation → semantic context
+//! discovery → query abduction → executable query + result tuples.
+//!
+//! Since the session redesign, [`Squid::discover`] and
+//! [`Squid::discover_on`] are thin wrappers over a one-shot
+//! [`SquidSession`](crate::SquidSession): they feed every example through
+//! the same incremental pipeline the interactive loop uses, so the two
+//! paths cannot drift. New code that adds examples over time (or wants
+//! feedback operations like pinning filters) should hold a session instead
+//! of re-calling `discover`.
 
 use std::time::{Duration, Instant};
 
 use squid_adb::ADb;
 use squid_engine::Query;
-use squid_relation::{DataType, RowId, RowSet, TableRole};
+use squid_relation::{DataType, RowId, RowSet};
 
-use crate::abduce::{abduce, ScoredFilter};
-use crate::context::discover_contexts;
-use crate::disambiguate::{disambiguate, similarity_score};
+use crate::abduce::ScoredFilter;
 use crate::error::SquidError;
 use crate::filter::CandidateFilter;
 use crate::params::SquidParams;
-use crate::query_gen::{adb_query, evaluate, original_query};
+use crate::session::SquidSession;
 
 /// The outcome of one query intent discovery run.
 #[derive(Debug, Clone)]
@@ -54,7 +60,10 @@ impl Discovery {
     }
 }
 
-/// Semantic similarity-aware query intent discovery.
+/// Semantic similarity-aware query intent discovery (one-shot form).
+///
+/// Soft-deprecated in favor of [`SquidSession`](crate::SquidSession),
+/// which this type now wraps: prefer a session for anything interactive.
 pub struct Squid<'a> {
     adb: &'a ADb,
     params: SquidParams,
@@ -85,36 +94,10 @@ impl<'a> Squid<'a> {
     /// The projection target is inferred via the inverted column index: the
     /// candidate `(entity table, text column)` pairs containing *all*
     /// examples, ranked by the semantic similarity of their disambiguated
-    /// entities (a rare coherent match beats a scattered one).
+    /// entities (a rare coherent match beats a scattered one; score ties
+    /// break deterministically by `(table, column)` name).
     pub fn discover(&self, examples: &[&str]) -> Result<Discovery, SquidError> {
-        if examples.is_empty() {
-            return Err(SquidError::EmptyExamples);
-        }
-        let started = Instant::now();
-        let candidates = self.candidate_targets(examples);
-        if candidates.is_empty() {
-            return Err(SquidError::NoMatchingColumn {
-                examples: examples.iter().map(|s| s.to_string()).collect(),
-            });
-        }
-        // Rank candidate targets by resolved-entity similarity.
-        let mut best: Option<(f64, String, usize, Vec<RowId>)> = None;
-        for (table, column) in candidates {
-            let Ok(rows) = self.resolve_examples(&table, column, examples) else {
-                continue;
-            };
-            let entity = self.adb.entity(&table).expect("entity exists");
-            let score = similarity_score(entity, &rows);
-            if best.as_ref().is_none_or(|(b, _, _, _)| score > *b) {
-                best = Some((score, table, column, rows));
-            }
-        }
-        let Some((_, table, column, rows)) = best else {
-            return Err(SquidError::NoMatchingColumn {
-                examples: examples.iter().map(|s| s.to_string()).collect(),
-            });
-        };
-        self.finish(started, &table, column, rows)
+        self.run(None, examples)
     }
 
     /// Discover with an explicit projection target `table.column`
@@ -125,115 +108,29 @@ impl<'a> Squid<'a> {
         column: &str,
         examples: &[&str],
     ) -> Result<Discovery, SquidError> {
+        self.run(Some((table, column)), examples)
+    }
+
+    /// One-shot session drive shared by both entry points.
+    fn run(
+        &self,
+        target: Option<(&str, &str)>,
+        examples: &[&str],
+    ) -> Result<Discovery, SquidError> {
         if examples.is_empty() {
             return Err(SquidError::EmptyExamples);
         }
         let started = Instant::now();
-        let entity = self
-            .adb
-            .entity(table)
-            .ok_or_else(|| SquidError::UnknownTarget {
-                table: table.to_string(),
-                column: column.to_string(),
-            })?;
-        let ci = self
-            .adb
-            .database
-            .table(table)?
-            .schema()
-            .column_index(column)
-            .ok_or_else(|| SquidError::UnknownTarget {
-                table: table.to_string(),
-                column: column.to_string(),
-            })?;
-        let _ = entity;
-        let rows = self.resolve_examples(table, ci, examples)?;
-        self.finish(started, table, ci, rows)
-    }
-
-    /// Candidate `(entity table, column)` targets containing all examples.
-    fn candidate_targets(&self, examples: &[&str]) -> Vec<(String, usize)> {
-        self.adb
-            .inverted
-            .columns_containing_all(examples)
-            .into_iter()
-            .filter(|(t, _)| {
-                self.adb.entity(t).is_some()
-                    && self
-                        .adb
-                        .database
-                        .table(t)
-                        .map(|tab| tab.schema().role == TableRole::Entity)
-                        .unwrap_or(false)
-            })
-            .collect()
-    }
-
-    /// Resolve examples to entity rows in a fixed target, disambiguating
-    /// multi-matches.
-    fn resolve_examples(
-        &self,
-        table: &str,
-        column: usize,
-        examples: &[&str],
-    ) -> Result<Vec<RowId>, SquidError> {
-        let entity = self
-            .adb
-            .entity(table)
-            .ok_or_else(|| SquidError::UnknownTarget {
-                table: table.to_string(),
-                column: format!("#{column}"),
-            })?;
-        let mut candidates: Vec<Vec<RowId>> = Vec::with_capacity(examples.len());
-        for ex in examples {
-            let rows = self.adb.inverted.lookup_in(ex, table, column);
-            if rows.is_empty() {
-                return Err(SquidError::EntityNotFound {
-                    example: ex.to_string(),
-                    table: table.to_string(),
-                });
-            }
-            candidates.push(rows);
+        let mut session = SquidSession::with_params(self.adb, self.params.clone());
+        if let Some((table, column)) = target {
+            session.set_target(table, column)?;
         }
-        if !self.params.disambiguate {
-            return Ok(candidates.iter().map(|c| c[0]).collect());
-        }
-        Ok(disambiguate(entity, &candidates, &self.params))
-    }
-
-    fn finish(
-        &self,
-        started: Instant,
-        table: &str,
-        column: usize,
-        mut rows: Vec<RowId>,
-    ) -> Result<Discovery, SquidError> {
-        let entity = self.adb.entity(table).expect("entity exists");
-        // Duplicate example strings may resolve to the same entity.
-        rows.sort_unstable();
-        rows.dedup();
-        let candidates = discover_contexts(entity, &rows, &self.params);
-        let scored = abduce(candidates, rows.len(), &self.params);
-        let chosen: Vec<CandidateFilter> = scored
-            .iter()
-            .filter(|s| s.included)
-            .map(|s| s.filter.clone())
-            .collect();
-        let schema = self.adb.database.table(table)?.schema().clone();
-        let projection_column = schema.columns[column].name.clone();
-        let (query, _) = original_query(entity, &chosen, &projection_column);
-        let adb_q = adb_query(entity, &chosen, &projection_column);
-        let result_rows = evaluate(entity, &chosen);
-        Ok(Discovery {
-            entity_table: table.to_string(),
-            projection_column,
-            example_rows: rows,
-            scored,
-            query,
-            adb_query: adb_q,
-            rows: result_rows,
-            elapsed: started.elapsed(),
-        })
+        session.add_examples(examples)?;
+        let mut d = session
+            .into_discovery()
+            .expect("non-empty session has a discovery");
+        d.elapsed = started.elapsed();
+        Ok(d)
     }
 }
 

@@ -126,6 +126,18 @@ impl RowSet {
         RowSet { words, len }
     }
 
+    /// Number of rows in `self` but not in `other`, word-parallel (the
+    /// delta-reporting primitive: `a.difference_size(b)` +
+    /// `b.difference_size(a)` gives added/removed counts without per-row
+    /// membership probes).
+    pub fn difference_size(&self, other: &RowSet) -> usize {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w & !other.word(i)).count_ones() as usize)
+            .sum()
+    }
+
     /// Iterate rows in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {

@@ -47,6 +47,18 @@ impl BenchmarkId {
     }
 }
 
+/// Per-iteration input sizing hint (API parity with criterion; the shim
+/// times each routine call individually, so the hint is not needed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// Timing driver handed to bench closures.
 pub struct Bencher {
     budget: Duration,
@@ -55,6 +67,38 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// Measure `routine` repeatedly on fresh inputs from `setup`, timing
+    /// only the routine (criterion's `iter_batched`): the way to bench a
+    /// mutation without paying for state reconstruction in the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.result = Some((0.0, 1));
+            return;
+        }
+        // Warmup: one untimed call (fills caches, triggers lazy init).
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+            if started.elapsed() >= self.budget || iters >= 100_000 {
+                break;
+            }
+        }
+        self.result = Some((measured.as_nanos() as f64 / iters as f64, iters));
+    }
+
     /// Measure `f` repeatedly and record the mean iteration time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.test_mode {
@@ -227,6 +271,25 @@ mod tests {
             records: Vec::new(),
         };
         c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].iters > 0);
+        c.records.clear(); // avoid Drop writing JSON in tests
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            test_mode: false,
+            records: Vec::new(),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| black_box(v.iter().sum::<u64>()),
+                BatchSize::SmallInput,
+            )
+        });
         assert_eq!(c.records.len(), 1);
         assert!(c.records[0].iters > 0);
         c.records.clear(); // avoid Drop writing JSON in tests

@@ -1,17 +1,18 @@
-//! Quickstart: the paper's Figure 1 / Example 1.1 scenario end to end.
+//! Quickstart: the paper's Figure 1 / Example 1.1 scenario end to end —
+//! interactively, the way SQuID is meant to be used.
 //!
 //! Builds the tiny CS-academics database, makes it abduction-ready, and
-//! asks SQuID what `{Dan Suciu, Sam Madden}` have in common. A structure-
-//! only QBE system would answer `SELECT name FROM academics` (Q1); SQuID
-//! finds the shared semantic context `interest = 'data management'` and
-//! abduces Q2.
+//! drops examples into a [`SquidSession`] one at a time, printing how the
+//! abduced query refines after each. A structure-only QBE system would
+//! answer `SELECT name FROM academics` (Q1); SQuID finds the shared
+//! semantic context `interest = 'data management'` and abduces Q2.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use squid_adb::ADb;
-use squid_core::{Squid, SquidParams};
+use squid_core::{SquidParams, SquidSession};
 use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
 
 fn academics_db() -> Database {
@@ -82,19 +83,37 @@ fn main() {
         adb.build_stats.property_count, adb.build_stats.derived_row_count
     );
 
-    // Online phase. On a 6-row toy database nothing is statistically rare
-    // (the shared interest still covers half the table, ψ = 0.5), so we
-    // raise the base prior a notch; at real data sizes the default ρ = 0.1
-    // works (see the benchmark experiments).
-    let examples = ["Dan Suciu", "Sam Madden", "Joseph Hellerstein"];
+    // Online phase: an interactive session, Figure 1 style. On a 6-row toy
+    // database nothing is statistically rare (the shared interest still
+    // covers half the table, ψ = 0.5), so we raise the base prior a notch;
+    // at real data sizes the default ρ = 0.1 works (see the benchmarks).
     let params = SquidParams {
         rho: 0.2,
         ..SquidParams::default()
     };
-    let squid = Squid::with_params(&adb, params);
-    let d = squid.discover(&examples).expect("discovery");
+    let mut session = SquidSession::with_params(&adb, params);
+    for example in ["Dan Suciu", "Sam Madden", "Joseph Hellerstein"] {
+        let delta = session.add_example(example).expect("discovery");
+        let d = delta.discovery.as_ref().expect("session has examples");
+        println!(
+            "+ {example:<18} → {} result tuple(s), {} update in {:?}",
+            d.rows.len(),
+            if delta.incremental {
+                "incremental"
+            } else {
+                "initial"
+            },
+            d.elapsed
+        );
+        for f in &delta.added_filters {
+            println!("    filter in:  {f}");
+        }
+        for f in &delta.removed_filters {
+            println!("    filter out: {f}");
+        }
+    }
 
-    println!("Examples: {examples:?}");
+    let d = session.discovery().expect("three examples resolved");
     println!("\nCandidate filters and abduction decisions:");
     for s in &d.scored {
         println!(

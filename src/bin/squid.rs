@@ -1,14 +1,33 @@
 //! `squid` — command-line query intent discovery over the bundled
 //! synthetic datasets.
 //!
+//! One-shot mode (classic):
+//!
 //! ```text
 //! squid imdb "Person 000121" "Person 000620"
 //! squid --normalized imdb "Person 000019" "Person 000026"
 //! squid --alternatives 3 --recommend 5 dblp "Author 00012" "Author 00044"
 //! ```
+//!
+//! Interactive session mode (`--repl`): drop examples in one at a time and
+//! watch the abduced query refine after each, Figure 1 style. `--batch`
+//! reads the same commands from stdin without prompts (for scripting and
+//! CI) and exits non-zero on the first failed command.
+//!
+//! ```text
+//! squid --repl imdb
+//! squid> add Person 000121
+//! squid> add Person 000620
+//! squid> show
+//! printf 'add Person 000121\nadd Person 000620\nsql\n' | squid --repl --batch imdb
+//! ```
+
+use std::io::BufRead;
 
 use squid_adb::ADb;
-use squid_core::{recommend_examples, top_k_queries, Squid, SquidParams};
+use squid_core::{
+    recommend_examples, top_k_queries, Discovery, DiscoveryDelta, Squid, SquidParams, SquidSession,
+};
 use squid_datasets::{
     generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig,
 };
@@ -16,13 +35,36 @@ use squid_relation::Database;
 
 const USAGE: &str = "\
 usage: squid [flags] <dataset> <example>...
+       squid --repl [--batch] [flags] <dataset> [example]...
 datasets: imdb | dblp | adult
 flags:
   --normalized        use normalized association strength (case-study mode)
   --optimistic        QRE preset (closed-world reverse engineering)
   --alternatives <k>  also print the k best alternative queries
   --recommend <k>     suggest k informative next examples
-  --rho <x>           override the base filter prior";
+  --rho <x>           override the base filter prior
+  --repl              interactive session mode (incremental discovery)
+  --batch             with --repl: read commands from stdin, no prompts,
+                      exit non-zero on the first failed command";
+
+const REPL_HELP: &str = "\
+session commands:
+  add <example>        add one example value (query refines incrementally)
+  remove <example>     remove a previously added example
+  target <tbl> <col>   fix the projection target (disables inference)
+  auto                 return to automatic target inference
+  pin <prop|attr>      force matching filters INTO the query
+  ban <prop|attr>      force matching filters OUT of the query
+  unpin <prop|attr>    drop a pin
+  unban <prop|attr>    drop a ban
+  choose <pk> <ex>     resolve example <ex> to the entity with key <pk>
+  unchoose <ex>        clear disambiguation feedback for <ex>
+  show                 print the current abduction decisions and query
+  sql                  print the abduced SQL only
+  rows [n]             print up to n result tuples (default 10)
+  examples             list the session's examples
+  help                 this text
+  quit                 exit";
 
 fn build_dataset(name: &str) -> Option<Database> {
     match name {
@@ -38,12 +80,16 @@ fn main() {
     let mut params = SquidParams::default();
     let mut alternatives = 0usize;
     let mut recommend = 0usize;
+    let mut repl = false;
+    let mut batch = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--normalized" => params = SquidParams::normalized(),
             "--optimistic" => params = SquidParams::optimistic(),
+            "--repl" => repl = true,
+            "--batch" => batch = true,
             "--alternatives" => {
                 alternatives = it
                     .next()
@@ -69,7 +115,8 @@ fn main() {
             other => positional.push(other.to_string()),
         }
     }
-    if positional.len() < 2 {
+    let min_positional = if repl { 1 } else { 2 };
+    if positional.len() < min_positional {
         die::<()>(USAGE);
         return;
     }
@@ -96,6 +143,11 @@ fn main() {
         adb.build_stats.derived_row_count
     );
 
+    if repl {
+        run_repl(&adb, params, &examples, batch);
+        return;
+    }
+
     let squid = Squid::with_params(&adb, params);
     let d = match squid.discover(&examples) {
         Ok(d) => d,
@@ -111,31 +163,10 @@ fn main() {
         d.projection_column,
         d.elapsed
     );
-    println!("\nabduction decisions:");
-    for s in &d.scored {
-        println!(
-            "  [{}] {}  ψ={:.4} prior={:.4}",
-            if s.included { "x" } else { " " },
-            s.filter.describe(),
-            s.filter.selectivity,
-            s.prior
-        );
-    }
+    print_decisions(&d);
     println!("\nabduced query:\n{}", d.sql());
     println!("\nresult: {} tuples", d.rows.len());
-    let table = adb.database.table(&d.entity_table).expect("entity table");
-    let ci = table
-        .schema()
-        .column_index(&d.projection_column)
-        .expect("projection column");
-    for (i, row) in d.rows.iter().take(10).enumerate() {
-        if let Some(v) = table.cell(row, ci) {
-            println!("  {}. {v}", i + 1);
-        }
-    }
-    if d.rows.len() > 10 {
-        println!("  ... ({} more)", d.rows.len() - 10);
-    }
+    print_rows(&adb, &d, 10);
 
     if alternatives > 0 {
         println!("\ntop-{alternatives} alternative queries (log-posterior):");
@@ -159,6 +190,11 @@ fn main() {
 
     if recommend > 0 {
         let entity = adb.entity(&d.entity_table).expect("entity");
+        let table = adb.database.table(&d.entity_table).expect("entity table");
+        let ci = table
+            .schema()
+            .column_index(&d.projection_column)
+            .expect("projection column");
         let recs = recommend_examples(entity, &d, recommend, 0.05);
         if recs.is_empty() {
             println!("\nno contested filters — no examples to recommend.");
@@ -174,6 +210,209 @@ fn main() {
                 );
             }
         }
+    }
+}
+
+/// Drive a [`SquidSession`] from stdin commands. In batch mode any failed
+/// command aborts with a non-zero exit so scripted runs (CI) catch rot.
+fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
+    let mut session = SquidSession::with_params(adb, params);
+    for e in initial {
+        match session.add_example(e) {
+            Ok(delta) => print_delta(e, &delta),
+            Err(err) => {
+                die::<()>(&format!("initial example {e:?} failed: {err}"));
+                return;
+            }
+        }
+    }
+    if !batch {
+        eprintln!("interactive session — type `help` for commands, `quit` to exit");
+    }
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        if !batch {
+            eprint!("squid> ");
+        }
+        let Some(Ok(line)) = lines.next() else {
+            break;
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let result: Result<Option<DiscoveryDelta>, String> = match cmd {
+            "quit" | "exit" => break,
+            "help" => {
+                println!("{REPL_HELP}");
+                Ok(None)
+            }
+            "add" => session
+                .add_example(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "remove" => session
+                .remove_example(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "target" => match rest.split_once(char::is_whitespace) {
+                Some((tbl, col)) => session
+                    .set_target(tbl.trim(), col.trim())
+                    .map(Some)
+                    .map_err(|e| e.to_string()),
+                None => Err("usage: target <table> <column>".into()),
+            },
+            "auto" => session
+                .set_target_auto()
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "pin" => session
+                .pin_filter(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "ban" => session
+                .ban_filter(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "unpin" => session
+                .unpin_filter(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "unban" => session
+                .unban_filter(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "choose" => match rest.split_once(char::is_whitespace) {
+                Some((pk, example)) => match pk.trim().parse::<i64>() {
+                    Ok(pk) => session
+                        .choose_entity(example.trim(), pk)
+                        .map(Some)
+                        .map_err(|e| e.to_string()),
+                    Err(_) => Err("usage: choose <pk> <example>".into()),
+                },
+                None => Err("usage: choose <pk> <example>".into()),
+            },
+            "unchoose" => session
+                .clear_choice(rest)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            "examples" => {
+                println!("examples: {:?}", session.examples());
+                Ok(None)
+            }
+            "show" => {
+                match session.discovery() {
+                    Some(d) => {
+                        println!(
+                            "target {}.{} — {} example(s), {} result tuples",
+                            d.entity_table,
+                            d.projection_column,
+                            d.example_rows.len(),
+                            d.rows.len()
+                        );
+                        print_decisions(d);
+                        println!("\nabduced query:\n{}", d.sql());
+                    }
+                    None => println!("(no examples yet)"),
+                }
+                Ok(None)
+            }
+            "sql" => {
+                match session.discovery() {
+                    Some(d) => println!("{}", d.sql()),
+                    None => println!("(no examples yet)"),
+                }
+                Ok(None)
+            }
+            "rows" => {
+                let n: usize = rest.parse().unwrap_or(10);
+                match session.discovery() {
+                    Some(d) => {
+                        println!("result: {} tuples", d.rows.len());
+                        print_rows(adb, d, n);
+                    }
+                    None => println!("(no examples yet)"),
+                }
+                Ok(None)
+            }
+            other => Err(format!("unknown command {other:?} — try `help`")),
+        };
+        match result {
+            Ok(Some(delta)) => print_delta(cmd, &delta),
+            Ok(None) => {}
+            Err(msg) => {
+                if batch {
+                    die::<()>(&format!("command {line:?} failed: {msg}"));
+                    return;
+                }
+                eprintln!("error: {msg}");
+            }
+        }
+    }
+}
+
+/// One-line summary of what a session operation changed.
+fn print_delta(op: &str, delta: &DiscoveryDelta) {
+    let Some(d) = &delta.discovery else {
+        println!("[{op}] session empty (-{} rows)", delta.rows_removed);
+        return;
+    };
+    let mut parts = vec![format!(
+        "{} filter(s), {} tuples (+{} -{})",
+        d.chosen_filters().len(),
+        d.rows.len(),
+        delta.rows_added,
+        delta.rows_removed
+    )];
+    for f in &delta.added_filters {
+        parts.push(format!("+{f}"));
+    }
+    for f in &delta.removed_filters {
+        parts.push(format!("-{f}"));
+    }
+    parts.push(format!(
+        "{} in {:?}",
+        if delta.incremental {
+            "incremental"
+        } else {
+            "rebuilt"
+        },
+        d.elapsed
+    ));
+    println!("[{op}] {}", parts.join("  "));
+}
+
+fn print_decisions(d: &Discovery) {
+    println!("\nabduction decisions:");
+    for s in &d.scored {
+        println!(
+            "  [{}] {}  ψ={:.4} prior={:.4}",
+            if s.included { "x" } else { " " },
+            s.filter.describe(),
+            s.filter.selectivity,
+            s.prior
+        );
+    }
+}
+
+fn print_rows(adb: &ADb, d: &Discovery, limit: usize) {
+    let table = adb.database.table(&d.entity_table).expect("entity table");
+    let ci = table
+        .schema()
+        .column_index(&d.projection_column)
+        .expect("projection column");
+    for (i, row) in d.rows.iter().take(limit).enumerate() {
+        if let Some(v) = table.cell(row, ci) {
+            println!("  {}. {v}", i + 1);
+        }
+    }
+    if d.rows.len() > limit {
+        println!("  ... ({} more)", d.rows.len() - limit);
     }
 }
 

@@ -9,12 +9,18 @@
 //! * [`relation`] — in-memory relational substrate (tables, keys, indexes)
 //! * [`engine`] — SPJAI query AST, executor, SQL rendering
 //! * [`adb`] — the abduction-ready database (derived relations + statistics)
-//! * [`core`] — SQuID: contexts, priors, Algorithm 1, disambiguation
+//! * [`core`] — SQuID: sessions, contexts, priors, Algorithm 1,
+//!   disambiguation. The primary entry point is
+//!   [`core::SquidSession`](squid_core::SquidSession) — the incremental,
+//!   feedback-capable interaction loop — with
+//!   [`core::SessionManager`](squid_core::SessionManager) hosting many
+//!   concurrent sessions over one shared αDB and
+//!   [`core::Squid`](squid_core::Squid) kept as the one-shot wrapper.
 //! * [`baselines`] — decision tree / random forest / PU-learning / TALOS
 //! * [`datasets`] — seeded synthetic IMDb / DBLP / Adult + benchmark suites
 //!
-//! See the repository README for a guided tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction record.
+//! See the repository README for a guided tour and the `Squid` →
+//! `SquidSession` migration note.
 
 pub use squid_adb as adb;
 pub use squid_baselines as baselines;
