@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use squid_relation::{
     kernel, Column, ColumnBuilder, DataType, Database, FxHashMap, FxHashSet, InvertedIndex,
-    RelationError, Result, RowId, Table, TableRole, TableSchema, Value,
+    RelationError, Result, RowId, Sym, Table, TableRole, TableSchema, Value,
 };
 
 use crate::properties::{discover_properties, PropKind, PropertyDef};
@@ -62,6 +62,14 @@ pub struct Property {
     pub stats: PropStats,
     /// Name of the materialized derived relation, if any.
     pub derived_table: Option<String>,
+    /// `def.id` interned once at build time: candidate-filter emission runs
+    /// on every session turn and must not re-hash the id string.
+    pub id_sym: Sym,
+    /// `def.attr_name` interned once at build time.
+    pub attr_sym: Sym,
+    /// Prebuilt, value-patchable query fragments (interned semi-join
+    /// templates and root-predicate columns) for per-turn query generation.
+    pub fragments: crate::properties::QueryFragments,
 }
 
 /// All properties and statistics of one entity table.
@@ -80,9 +88,41 @@ pub struct EntityProps {
 }
 
 impl EntityProps {
-    /// Find a property by id.
-    pub fn property(&self, id: &str) -> Option<&Property> {
-        self.props.iter().find(|p| p.def.id == id)
+    /// Find a property by id (accepts `&str` or an interned `Sym`).
+    /// An interned id takes the integer-compare fast path — the per-turn
+    /// resolve paths pass `Sym`s and must not re-walk id strings.
+    pub fn property<'i>(&self, id: impl Into<PropId<'i>>) -> Option<&Property> {
+        match id.into() {
+            PropId::Sym(sym) => self.props.iter().find(|p| p.id_sym == sym),
+            PropId::Str(id) => self.props.iter().find(|p| p.def.id == id),
+        }
+    }
+}
+
+/// Property-id lookup key: an interned symbol (integer compares) or a raw
+/// string (content compares, for callers without a `Sym` in hand).
+pub enum PropId<'a> {
+    /// Interned id.
+    Sym(Sym),
+    /// Raw id string.
+    Str(&'a str),
+}
+
+impl From<Sym> for PropId<'_> {
+    fn from(s: Sym) -> Self {
+        PropId::Sym(s)
+    }
+}
+
+impl<'a> From<&'a str> for PropId<'a> {
+    fn from(s: &'a str) -> Self {
+        PropId::Str(s)
+    }
+}
+
+impl<'a> From<&'a String> for PropId<'a> {
+    fn from(s: &'a String) -> Self {
+        PropId::Str(s)
     }
 }
 
@@ -98,6 +138,11 @@ pub struct ADb {
     pub database: Database,
     /// Build statistics.
     pub build_stats: BuildStats,
+    /// Process-unique build generation. Evaluation caches
+    /// ([`crate::FilterSetCache`]) tag their entries with this and drop
+    /// them when handed an αDB from a different build, so cached row
+    /// bitmaps can never outlive the statistics they were derived from.
+    pub generation: u64,
 }
 
 impl ADb {
@@ -207,6 +252,13 @@ impl ADb {
                     derived_table_count += 1;
                 }
                 props.push(Property {
+                    id_sym: Sym::intern(&def.id),
+                    attr_sym: Sym::intern(&def.attr_name),
+                    fragments: crate::properties::QueryFragments::build(
+                        def,
+                        &pk_column,
+                        derived_table.as_deref(),
+                    ),
                     def: def.clone(),
                     stats,
                     derived_table,
@@ -231,11 +283,13 @@ impl ADb {
             derived_row_count,
             original_row_count: db.total_rows(),
         };
+        static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Ok(ADb {
             inverted,
             entities,
             database: adb_database,
             build_stats,
+            generation: NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 
@@ -365,6 +419,18 @@ impl ValMap {
     }
 }
 
+/// Add one association to a per-entity `(value, count)` run. Runs hold an
+/// entity's *distinct* associated values — a handful in practice — so a
+/// linear probe (symbol-id equality, no hashing) beats a map and keeps
+/// the run dense for [`DerivedStats::from_runs`].
+#[inline]
+fn bump_run(run: &mut Vec<(Value, u64)>, v: Value) {
+    match run.iter_mut().find(|e| e.0 == v) {
+        Some(e) => e.1 += 1,
+        None => run.push((v, 1)),
+    }
+}
+
 fn col(db: &Database, table: &str, column: &str) -> Result<usize> {
     db.table(table)?
         .schema()
@@ -460,16 +526,18 @@ fn compute_stats(
             let fact_t = db.table(fact)?;
             let fe = fact_t.column(col(db, fact, fact_entity_col)?);
             let fc = fact_t.column(col(db, fact, column)?);
-            let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
+            // Raw run accumulation: one push per fact row, no per-entity
+            // hash maps; `from_runs` sorts and coalesces once per entity.
+            let mut per_entity: Vec<Vec<(Value, u64)>> = vec![Vec::new(); n];
             if let Some(fe_vals) = fe.ints() {
                 kernel::scan_non_null_pair(fe, fc, fact_t.len(), |row| {
                     let Some(rid) = pk_to_row.get(fe_vals[row]) else {
                         return;
                     };
-                    *per_entity[rid].entry(fc.value_at(row)).or_insert(0) += 1;
+                    bump_run(&mut per_entity[rid], fc.value_at(row));
                 });
             }
-            Some(PropStats::Derived(DerivedStats::build(per_entity)))
+            Some(PropStats::Derived(DerivedStats::from_runs(per_entity)))
         }
         PropKind::MidAttrCount {
             fact,
@@ -534,16 +602,16 @@ fn compute_stats(
                     per_entity,
                 )))
             } else {
-                let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
+                let mut per_entity: Vec<Vec<(Value, u64)>> = vec![Vec::new(); n];
                 kernel::scan_int_pairs(fe, fm, fact_t.len(), |_, e, m| {
                     let (Some(rid), Some(v)) = (pk_to_row.get(e), mid_values.get(m)) else {
                         return;
                     };
                     if !v.is_null() {
-                        *per_entity[rid].entry(*v).or_insert(0) += 1;
+                        bump_run(&mut per_entity[rid], *v);
                     }
                 });
-                Some(PropStats::Derived(DerivedStats::build(per_entity)))
+                Some(PropStats::Derived(DerivedStats::from_runs(per_entity)))
             }
         }
         PropKind::TwoHopCount {
@@ -588,7 +656,7 @@ fn compute_stats(
             let fact1_t = db.table(fact1)?;
             let f1e = fact1_t.column(col(db, fact1, f1_entity_col)?);
             let f1m = fact1_t.column(col(db, fact1, f1_mid_col)?);
-            let mut per_entity: Vec<FxHashMap<Value, u64>> = vec![FxHashMap::default(); n];
+            let mut per_entity: Vec<Vec<(Value, u64)>> = vec![Vec::new(); n];
             kernel::scan_int_pairs(f1e, f1m, fact1_t.len(), |_, e, m| {
                 let Some(rid) = pk_to_row.get(e) else {
                     return;
@@ -601,10 +669,10 @@ fn compute_stats(
                     },
                 };
                 for v in props {
-                    *per_entity[rid].entry(*v).or_insert(0) += 1;
+                    bump_run(&mut per_entity[rid], *v);
                 }
             });
-            Some(PropStats::Derived(DerivedStats::build(per_entity)))
+            Some(PropStats::Derived(DerivedStats::from_runs(per_entity)))
         }
     })
 }
@@ -636,13 +704,14 @@ fn materialize(
 ) -> Result<Option<String>> {
     let (row_hint, value_type) = match stats {
         PropStats::Derived(d) => {
-            let vt = d
-                .per_entity
-                .iter()
-                .flat_map(|m| m.keys())
-                .find_map(|v| v.data_type())
+            let vt = (0..d.entity_count())
+                .flat_map(|r| d.counts_of(r))
+                .find_map(|(v, _)| v.data_type())
                 .unwrap_or(DataType::Text);
-            (d.per_entity.iter().map(|m| m.len()).sum::<usize>(), vt)
+            (
+                (0..d.entity_count()).map(|r| d.counts_of(r).len()).sum(),
+                vt,
+            )
         }
         PropStats::DerivedNumeric(d) => (
             d.per_entity.iter().map(|e| e.len()).sum::<usize>(),
@@ -661,10 +730,10 @@ fn materialize(
     let mut cnt = ColumnBuilder::with_capacity(DataType::Int, row_hint);
     match stats {
         PropStats::Derived(d) => {
-            for (rid, counts) in d.per_entity.iter().enumerate() {
-                for (v, &c) in counts {
-                    ent.push_value(&pk_vals[rid])?;
-                    val.push_value(v)?;
+            for (rid, pk) in pk_vals.iter().enumerate().take(d.entity_count()) {
+                for &(v, c) in d.counts_of(rid) {
+                    ent.push_value(pk)?;
+                    val.push_value(&v)?;
                     cnt.push_int(c as i64);
                 }
             }

@@ -14,6 +14,9 @@ pub mod properties;
 pub mod stats;
 pub mod test_fixtures;
 
-pub use build::{ADb, AdbConfig, BuildStats, EntityProps, Property};
-pub use properties::{discover_properties, PropKind, PropertyDef};
-pub use stats::{CategoricalStats, DerivedNumericStats, DerivedStats, NumericStats, PropStats};
+pub use build::{ADb, AdbConfig, BuildStats, EntityProps, PropId, Property};
+pub use properties::{discover_properties, PropKind, PropertyDef, QueryFragments};
+pub use stats::{
+    CategoricalStats, DerivedNumericStats, DerivedStats, FilterFingerprint, FilterSetCache,
+    NumericStats, PropStats,
+};

@@ -16,7 +16,7 @@
 //! Discovery is restricted to a depth of two fact tables, as in the paper.
 
 use squid_engine::{PathStep, Pred, SemiJoin};
-use squid_relation::{DataType, Database, TableRole, Value};
+use squid_relation::{DataType, Database, Sym, TableRole, Value};
 
 /// How a semantic property is reached from its entity table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -237,6 +237,117 @@ impl PropertyDef {
             PropKind::DirectNumeric { column } => Some(Pred::eq(column, *v)),
             _ => None,
         }
+    }
+}
+
+/// Value-patchable query fragments prebuilt per property at αDB build
+/// time. Abduced queries are regenerated on every interactive session
+/// turn; with the fragments, generation clones a small interned template
+/// and patches in the filter's value and θ instead of re-interning every
+/// table and column name of every join path.
+#[derive(Debug, Clone, Default)]
+pub struct QueryFragments {
+    /// Template for [`PropertyDef::semi_join`]; `None` for direct kinds.
+    sj: Option<SjTemplate>,
+    /// Template for [`PropertyDef::semi_join_ge`] (numeric mid attributes).
+    sj_ge: Option<SjTemplate>,
+    /// Semi-join over the materialized derived relation (the αDB query
+    /// form), when one was materialized.
+    adb_sj: Option<SemiJoin>,
+    /// Interned attribute column for direct-kind root predicates.
+    root_col: Option<Sym>,
+}
+
+/// A [`SemiJoin`] with the position of its value-carrying predicate.
+#[derive(Debug, Clone)]
+struct SjTemplate {
+    sj: SemiJoin,
+    /// `(path step, predicate)` holding the placeholder value.
+    at: (usize, usize),
+    /// Whether θ flows into `min_count` (derived kinds).
+    theta_min_count: bool,
+}
+
+impl SjTemplate {
+    /// Wrap a template emitted with `Value::Null` as the placeholder.
+    fn of(sj: SemiJoin, theta_min_count: bool) -> Option<SjTemplate> {
+        let at = sj.path.iter().enumerate().find_map(|(si, step)| {
+            step.predicates
+                .iter()
+                .position(|p| p.value.is_null())
+                .map(|pi| (si, pi))
+        })?;
+        Some(SjTemplate {
+            sj,
+            at,
+            theta_min_count,
+        })
+    }
+
+    fn instantiate(&self, v: &Value, theta: u64) -> SemiJoin {
+        let mut sj = self.sj.clone();
+        if self.theta_min_count {
+            sj.min_count = theta;
+        }
+        sj.path[self.at.0].predicates[self.at.1].value = *v;
+        sj
+    }
+}
+
+impl QueryFragments {
+    /// Prebuild the fragments for one property of an entity with primary
+    /// key column `pk_column` (and, when materialized, the derived
+    /// relation `derived_table`).
+    pub fn build(def: &PropertyDef, pk_column: &str, derived_table: Option<&str>) -> Self {
+        let derived = def.kind.is_derived();
+        let sj = def
+            .semi_join(pk_column, &Value::Null, 1)
+            .and_then(|sj| SjTemplate::of(sj, derived));
+        let sj_ge = def
+            .semi_join_ge(pk_column, &Value::Null, 1)
+            .and_then(|sj| SjTemplate::of(sj, true));
+        let adb_sj = derived_table.map(|table| {
+            SemiJoin::exists(vec![PathStep::new(table, pk_column, "entity_id")
+                .filter(Pred::eq("value", Value::Null))
+                .filter(Pred::ge("count", Value::Null))])
+        });
+        let root_col = match &def.kind {
+            PropKind::DirectCategorical { column } | PropKind::DirectNumeric { column } => {
+                Some(Sym::intern(column))
+            }
+            _ => None,
+        };
+        QueryFragments {
+            sj,
+            sj_ge,
+            adb_sj,
+            root_col,
+        }
+    }
+
+    /// [`PropertyDef::semi_join`] from the prebuilt template.
+    pub fn semi_join(&self, v: &Value, theta: u64) -> Option<SemiJoin> {
+        Some(self.sj.as_ref()?.instantiate(v, theta))
+    }
+
+    /// [`PropertyDef::semi_join_ge`] from the prebuilt template.
+    pub fn semi_join_ge(&self, cut: &Value, theta: u64) -> Option<SemiJoin> {
+        Some(self.sj_ge.as_ref()?.instantiate(cut, theta))
+    }
+
+    /// Semi-join over the materialized derived relation expressing
+    /// "associated with `value` at least `theta` times" (Example 2.2's SPJ
+    /// form on the αDB). `None` when the relation was not materialized.
+    pub fn adb_semi_join(&self, value: &Value, theta: u64) -> Option<SemiJoin> {
+        let mut sj = self.adb_sj.clone()?;
+        sj.path[0].predicates[0].value = *value;
+        sj.path[0].predicates[1].value = Value::Int(theta as i64);
+        Some(sj)
+    }
+
+    /// Interned attribute column for direct-kind root predicates.
+    pub fn root_col(&self) -> Option<Sym> {
+        self.root_col
     }
 }
 

@@ -2,7 +2,7 @@
 //! online phase needs to compute filter selectivities ψ(φ) and domain
 //! coverages in O(log n) ("smart selectivity computation", Section 5).
 
-use squid_relation::{kernel, ColumnVec, FxHashMap, RowId, Value};
+use squid_relation::{kernel, ColumnVec, FxHashMap, RowId, RowSet, Sym, Value};
 
 /// Statistics for a categorical property (direct attribute or a property
 /// table reached through one fact hop). Multi-valued per entity in the
@@ -265,10 +265,19 @@ impl NumericStats {
 /// counts per value, plus per-value sorted count distributions so that
 /// ψ(φ⟨A, v, θ⟩) — the fraction of entities associated with value `v` at
 /// least θ times — is a binary search.
+///
+/// Per-entity counts are stored as flat sorted `(value, count)` runs over
+/// one shared arena (`runs` + `offsets`) instead of one little hash map
+/// per entity: αDB construction allocates two vectors per property rather
+/// than one map per entity, and per-entity reads walk a contiguous slice.
 #[derive(Debug, Clone, Default)]
 pub struct DerivedStats {
-    /// Per entity row: value → association count.
-    pub per_entity: Vec<FxHashMap<Value, u64>>,
+    /// Shared arena: entity `r`'s run is `runs[offsets[r]..offsets[r+1]]`,
+    /// sorted by [`run_cmp`] (a cheap deterministic value order) with
+    /// positive coalesced counts.
+    runs: Vec<(Value, u64)>,
+    /// `n + 1` arena offsets (empty when no entities).
+    offsets: Vec<u32>,
     /// Per entity row: total association count (for normalization).
     pub entity_totals: Vec<u64>,
     /// For each value: ascending per-entity counts (entities with count > 0).
@@ -281,33 +290,74 @@ pub struct DerivedStats {
     pub value_postings: FxHashMap<Value, Vec<(RowId, u64)>>,
 }
 
+/// Cheap total order for derived-run values: the primary key compares
+/// symbols by id and numerics by widened float bits (agreeing with
+/// [`Value`]'s `Eq`, including `Int(3) == Float(3.0)`), so sorting a run
+/// never touches strings; rare primary-key ties (the lossy > 2⁵³ integer
+/// band) fall back to `Value`'s exact order.
+#[inline]
+fn run_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    #[inline]
+    fn key(v: &Value) -> (u8, u64) {
+        match v {
+            Value::Null => (0, 0),
+            Value::Bool(x) => (1, *x as u64),
+            Value::Int(x) => (2, (*x as f64).to_bits()),
+            Value::Float(x) => (2, x.to_bits()),
+            Value::Text(s) => (3, s.id() as u64),
+        }
+    }
+    key(a).cmp(&key(b)).then_with(|| a.cmp(b))
+}
+
 impl DerivedStats {
-    /// Build from the per-entity count maps. The count and fraction
-    /// distributions are accumulated through ONE hash probe per
-    /// (entity, value) pair and split afterwards.
+    /// Build from per-entity count maps (the hand-assembly/test path; hot
+    /// builders accumulate raw runs and use [`DerivedStats::from_runs`]).
     pub fn build(per_entity: Vec<FxHashMap<Value, u64>>) -> Self {
-        let entity_totals: Vec<u64> = per_entity
-            .iter()
-            .map(|m| m.values().copied().sum())
-            .collect();
+        Self::from_runs(
+            per_entity
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect(),
+        )
+    }
+
+    /// Build from raw per-entity `(value, count)` runs — unsorted, with
+    /// duplicate values allowed (they coalesce by summing). This is the
+    /// αDB build path: fact scans push pairs, no per-entity hash maps.
+    pub fn from_runs(mut per_entity: Vec<Vec<(Value, u64)>>) -> Self {
+        let mut runs: Vec<(Value, u64)> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::with_capacity(per_entity.len() + 1);
+        offsets.push(0);
+        let mut entity_totals: Vec<u64> = Vec::with_capacity(per_entity.len());
         let mut dists: FxHashMap<Value, (Vec<u64>, Vec<f64>)> = FxHashMap::default();
         let mut value_postings: FxHashMap<Value, Vec<(RowId, u64)>> = FxHashMap::default();
-        for (row, counts) in per_entity.iter().enumerate() {
-            let total = entity_totals[row];
-            for (v, &c) in counts {
-                if c == 0 {
-                    continue;
+        for (row, ent) in per_entity.iter_mut().enumerate() {
+            ent.sort_unstable_by(|a, b| run_cmp(&a.0, &b.0));
+            ent.dedup_by(|next, acc| {
+                if acc.0 == next.0 {
+                    acc.1 += next.1;
+                    true
+                } else {
+                    false
                 }
+            });
+            ent.retain(|&(_, c)| c > 0);
+            let total: u64 = ent.iter().map(|(_, c)| c).sum();
+            entity_totals.push(total);
+            for &(v, c) in ent.iter() {
                 let frac = if total > 0 {
                     c as f64 / total as f64
                 } else {
                     0.0
                 };
-                let (cd, fd) = dists.entry(*v).or_default();
+                let (cd, fd) = dists.entry(v).or_default();
                 cd.push(c);
                 fd.push(frac);
-                value_postings.entry(*v).or_default().push((row, c));
+                value_postings.entry(v).or_default().push((row, c));
             }
+            runs.extend_from_slice(ent);
+            offsets.push(u32::try_from(runs.len()).expect("derived arena exceeds u32 range"));
         }
         let mut value_count_dists: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
         let mut value_frac_dists: FxHashMap<Value, Vec<f64>> = FxHashMap::default();
@@ -320,7 +370,8 @@ impl DerivedStats {
             value_frac_dists.insert(v, fd);
         }
         DerivedStats {
-            per_entity,
+            runs,
+            offsets,
             entity_totals,
             value_count_dists,
             value_frac_dists,
@@ -340,6 +391,11 @@ impl DerivedStats {
     /// scanning).
     pub fn enumerable(&self) -> bool {
         !self.value_postings.is_empty() || self.value_count_dists.is_empty()
+    }
+
+    /// Number of entities the statistics cover.
+    pub fn entity_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Number of distinct values in the active domain.
@@ -380,18 +436,23 @@ impl DerivedStats {
         }
     }
 
-    /// Count map of one entity.
-    pub fn counts_of(&self, row: RowId) -> Option<&FxHashMap<Value, u64>> {
-        self.per_entity.get(row)
+    /// One entity's `(value, count)` run, ascending by value (empty for
+    /// out-of-range rows).
+    pub fn counts_of(&self, row: RowId) -> &[(Value, u64)] {
+        match (self.offsets.get(row), self.offsets.get(row + 1)) {
+            (Some(&a), Some(&b)) => &self.runs[a as usize..b as usize],
+            _ => &[],
+        }
     }
 
-    /// Association count of one entity for one value.
+    /// Association count of one entity for one value (binary search in the
+    /// entity's sorted run).
     pub fn count_of(&self, row: RowId, v: &Value) -> u64 {
-        self.per_entity
-            .get(row)
-            .and_then(|m| m.get(v))
-            .copied()
-            .unwrap_or(0)
+        let run = self.counts_of(row);
+        match run.binary_search_by(|(x, _)| run_cmp(x, v)) {
+            Ok(i) => run[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Normalized share of one entity's associations going to `v`.
@@ -477,12 +538,19 @@ impl DerivedNumericStats {
 
     /// ψ(φ⟨A ≥ cut, θ⟩): fraction of entities with suffix count ≥ θ.
     pub fn selectivity_ge(&self, cut: f64, theta: u64, n: usize) -> f64 {
-        if n == 0 {
-            return 0.0;
-        }
         // Snap to the smallest cutpoint ≥ cut (suffix counts are piecewise
         // constant between cutpoints).
         let ci = self.cutpoints.partition_point(|&c| c < cut);
+        self.selectivity_at(ci, theta, n)
+    }
+
+    /// ψ at cutpoint *index* `ci` — the candidate-emission fast path: the
+    /// frontier scan already walks cutpoints by index, so it must not pay
+    /// the cut-snapping binary search per point.
+    pub fn selectivity_at(&self, ci: usize, theta: u64, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
         let Some(dist) = self.per_cut_dists.get(ci) else {
             return 0.0;
         };
@@ -527,6 +595,200 @@ fn suffix_walk(ent: &[(f64, u64)], cutpoints: &[f64], out: &mut Vec<u64>) {
             j -= 1;
         }
         out[ci] = run;
+    }
+}
+
+/// Canonical fingerprint of one candidate filter's *satisfying row set*:
+/// the interned property id, a kind tag, the association-strength
+/// threshold θ (0 when the filter carries none), and the filter's
+/// value/bounds canonicalized to raw `u64` words (symbol ids, float bits).
+///
+/// Two filters with equal fingerprints satisfy exactly the same entity
+/// rows, which is what lets [`FilterSetCache`] memoize row bitmaps across
+/// session turns. The encoding is chosen by the caller (squid-core's
+/// `filter_fingerprint`); this type only guarantees `Eq`/`Hash` over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterFingerprint {
+    prop: Sym,
+    kind: u8,
+    /// Words actually used in `words` (≤ 4 before spilling).
+    len: u8,
+    theta: u64,
+    /// Inline payload: every filter kind except long IN-lists fits here, so
+    /// building and cloning a fingerprint never allocates.
+    words: [u64; 4],
+    /// Overflow payload for variable-length kinds (empty `Vec`s don't
+    /// allocate).
+    spill: Vec<u64>,
+}
+
+impl std::hash::Hash for FilterFingerprint {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Only the used words: unused slots are always zero by
+        // construction, so equal fingerprints still hash equal.
+        self.prop.hash(state);
+        self.kind.hash(state);
+        self.theta.hash(state);
+        self.words[..self.len as usize].hash(state);
+        self.spill.hash(state);
+    }
+}
+
+impl FilterFingerprint {
+    /// Assemble a fingerprint from its canonical parts.
+    pub fn new(prop: Sym, kind: u8, theta: u64, payload: &[u64]) -> FilterFingerprint {
+        let mut words = [0u64; 4];
+        let inline = payload.len().min(4);
+        words[..inline].copy_from_slice(&payload[..inline]);
+        FilterFingerprint {
+            prop,
+            kind,
+            len: inline as u8,
+            theta,
+            words,
+            spill: payload[inline..].to_vec(),
+        }
+    }
+
+    /// The interned property id this fingerprint constrains.
+    pub fn prop(&self) -> Sym {
+        self.prop
+    }
+
+    /// Approximate heap footprint of the fingerprint key itself.
+    fn key_bytes(&self) -> usize {
+        std::mem::size_of::<FilterFingerprint>() + self.spill.len() * 8
+    }
+}
+
+/// Cross-turn evaluation cache: memoized per-filter row bitmaps keyed by
+/// [`FilterFingerprint`], with generation-tagged invalidation and hit/miss
+/// accounting.
+///
+/// The interactive session loop re-evaluates the abduced query after every
+/// example or feedback action, yet successive turns share almost all of
+/// their filters. Caching each filter's exact satisfying [`RowSet`] turns
+/// repeat evaluation into word-wise bitmap intersections — the αDB postings
+/// are only walked the first time a filter is seen.
+///
+/// The cache is tied to the αDB it was computed against through a
+/// generation tag ([`crate::ADb::generation`]): pointing an existing cache
+/// at a rebuilt αDB drops every entry instead of serving stale bitmaps.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSetCache {
+    generation: u64,
+    /// `Arc`-shared bitmaps: cloning a session (or handing sets out to
+    /// concurrent readers) bumps refcounts instead of copying bitmap words.
+    map: FxHashMap<FilterFingerprint, std::sync::Arc<RowSet>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FilterSetCache {
+    /// Empty cache bound to an αDB generation.
+    pub fn new(generation: u64) -> FilterSetCache {
+        FilterSetCache {
+            generation,
+            ..FilterSetCache::default()
+        }
+    }
+
+    /// The αDB generation this cache's entries were computed against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Re-bind the cache to `generation`, dropping every entry when it
+    /// differs from the tagged one (the invalidation path for sessions
+    /// whose αDB handle was swapped for a rebuilt database).
+    pub fn revalidate(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.map.clear();
+            self.generation = generation;
+        }
+    }
+
+    /// The cached set for `fp`, computing and memoizing it on a miss.
+    /// Counts one hit or one miss per call; a single hash probe either way.
+    pub fn get_or_insert_with(
+        &mut self,
+        fp: &FilterFingerprint,
+        compute: impl FnOnce() -> RowSet,
+    ) -> &RowSet {
+        match self.map.entry(fp.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses += 1;
+                v.insert(std::sync::Arc::new(compute()))
+            }
+        }
+    }
+
+    /// Resident set for `fp` as a shared handle, counting one hit;
+    /// `None` (uncounted) when absent. With [`FilterSetCache::insert_with`]
+    /// this is the single-probe read path: one hash probe per filter per
+    /// evaluation, versus the contains + entry + get triple.
+    pub fn lookup(&mut self, fp: &FilterFingerprint) -> Option<std::sync::Arc<RowSet>> {
+        match self.map.get(fp) {
+            Some(a) => {
+                self.hits += 1;
+                Some(std::sync::Arc::clone(a))
+            }
+            None => None,
+        }
+    }
+
+    /// Compute, admit, and return the set for `fp`, counting one miss.
+    pub fn insert_with(
+        &mut self,
+        fp: &FilterFingerprint,
+        compute: impl FnOnce() -> RowSet,
+    ) -> std::sync::Arc<RowSet> {
+        self.misses += 1;
+        let set = std::sync::Arc::new(compute());
+        self.map.insert(fp.clone(), std::sync::Arc::clone(&set));
+        set
+    }
+
+    /// Peek at a cached set without touching the hit/miss counters.
+    pub fn get(&self, fp: &FilterFingerprint) -> Option<&RowSet> {
+        self.map.get(fp).map(|a| &**a)
+    }
+
+    /// Is `fp` resident?
+    pub fn contains(&self, fp: &FilterFingerprint) -> bool {
+        self.map.contains_key(fp)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (each one computed and admitted a row set).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of resident filter row sets.
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Approximate resident bytes: bitmap words plus fingerprint keys.
+    pub fn resident_bytes(&self) -> usize {
+        self.map
+            .iter()
+            .map(|(k, v)| k.key_bytes() + v.word_count() * 8 + std::mem::size_of::<RowSet>())
+            .sum()
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 }
 

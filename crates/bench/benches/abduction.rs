@@ -124,6 +124,44 @@ fn bench_incremental_session(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+        // Repeat-filter turns — the evaluation cache's home ground:
+        //
+        // `re_add` removes the k-th example and folds it back in with every
+        // chosen filter's bitmap already resident, so the re-add's result
+        // maintenance is pure word-wise intersection.
+        let mut warm = base.clone();
+        warm.add_example(last).unwrap();
+        let mut removed = warm.clone();
+        removed.remove_example(last).unwrap();
+        group.bench_with_input(BenchmarkId::new("re_add", k), &removed, |b, removed| {
+            b.iter_batched(
+                || removed.clone(),
+                |mut s| s.add_example(std::hint::black_box(last)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        // `pin_toggle` is a feedback turn (the Figure 1 loop's pin/ban):
+        // forcing one filter into the query updates the result by ANDing a
+        // single cached bitmap onto the previous turn's rows. One warm-up
+        // toggle makes the pinned filter's set resident, so the timed turn
+        // is the repeat case.
+        let pin_key = warm
+            .discovery()
+            .unwrap()
+            .scored
+            .iter()
+            .find(|s| !s.included)
+            .map(|s| s.filter.prop_id.as_str().to_string())
+            .expect("an excluded candidate filter to pin");
+        warm.pin_filter(&pin_key).unwrap();
+        warm.unpin_filter(&pin_key).unwrap();
+        group.bench_with_input(BenchmarkId::new("pin_toggle", k), &warm, |b, warm| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut s| s.pin_filter(std::hint::black_box(&pin_key)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

@@ -32,7 +32,7 @@ fn run_workload(workload: &Workload, repeats: u32) {
     for q in &workload.queries {
         let (examples, _) = sample_examples(&workload.db, &q.query, 10, 1);
         let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
-        let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) else {
+        let Ok(d) = squid.discover_on(q.query.root(), q.query.projection.as_str(), &refs) else {
             continue;
         };
         let actual_ms = time_query(&workload.db, &q.query, repeats);

@@ -21,7 +21,7 @@ fn avg_abduction_time(workload: &Workload, k: usize, repeats: u64) -> Duration {
                 continue;
             }
             let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
-            if let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) {
+            if let Ok(d) = squid.discover_on(q.query.root(), q.query.projection.as_str(), &refs) {
                 times.push(d.elapsed.as_secs_f64());
             }
         }

@@ -29,7 +29,9 @@ use squid_relation::{Database, RowSet};
 /// output row set as ground truth).
 pub fn sample_examples(db: &Database, query: &Query, k: usize, seed: u64) -> (Vec<String>, RowSet) {
     let rs = Executor::new(db).execute(query).expect("query executes");
-    let values = rs.project(db, &query.projection).expect("projection");
+    let values = rs
+        .project(db, query.projection.as_str())
+        .expect("projection");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..values.len()).collect();
     for i in 0..k.min(idx.len()) {
@@ -45,7 +47,9 @@ pub fn sample_examples(db: &Database, query: &Query, k: usize, seed: u64) -> (Ve
 /// input).
 pub fn full_output(db: &Database, query: &Query) -> (Vec<String>, RowSet) {
     let rs = Executor::new(db).execute(query).expect("query executes");
-    let values = rs.project(db, &query.projection).expect("projection");
+    let values = rs
+        .project(db, query.projection.as_str())
+        .expect("projection");
     (values.iter().map(|v| v.to_string()).collect(), rs.rows)
 }
 
@@ -58,7 +62,7 @@ pub fn discover_and_score(
     truth: &RowSet,
 ) -> Result<(Discovery, Accuracy), SquidError> {
     let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
-    let d = squid.discover_on(query.root(), &query.projection, &refs)?;
+    let d = squid.discover_on(query.root(), query.projection.as_str(), &refs)?;
     let acc = Accuracy::of(&d.rows, truth);
     Ok((d, acc))
 }

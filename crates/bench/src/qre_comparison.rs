@@ -30,7 +30,7 @@ fn run_workload(workload: &Workload, max_cardinality: usize) -> Vec<Row> {
             continue;
         }
         let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
-        let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) else {
+        let Ok(d) = squid.discover_on(q.query.root(), q.query.projection.as_str(), &refs) else {
             continue;
         };
         let squid_acc = Accuracy::of(&d.rows, &truth);

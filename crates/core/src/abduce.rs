@@ -107,7 +107,7 @@ mod tests {
 
     fn cat(attr: &str, selectivity: f64, coverage: f64) -> CandidateFilter {
         CandidateFilter {
-            prop_id: format!("person.{attr}"),
+            prop_id: format!("person.{attr}").into(),
             attr_name: attr.into(),
             value: FilterValue::CatEq(Value::text("v")),
             selectivity,
@@ -117,7 +117,7 @@ mod tests {
 
     fn derived(attr: &str, value: &str, theta: u64, selectivity: f64) -> CandidateFilter {
         CandidateFilter {
-            prop_id: format!("person~{attr}"),
+            prop_id: format!("person~{attr}").into(),
             attr_name: attr.into(),
             value: FilterValue::DerivedEq {
                 value: Value::text(value),

@@ -132,7 +132,7 @@ mod tests {
 
     fn cat(attr: &str, selectivity: f64) -> CandidateFilter {
         CandidateFilter {
-            prop_id: format!("p.{attr}"),
+            prop_id: format!("p.{attr}").into(),
             attr_name: attr.into(),
             value: FilterValue::CatEq(Value::text("v")),
             selectivity,

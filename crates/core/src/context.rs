@@ -94,6 +94,10 @@ pub struct ContextState {
     rows: Vec<RowId>,
     /// Scratch buffer for suffix-count walks.
     buf: Vec<u64>,
+    /// Bumped whenever any property's emitted filters may have changed —
+    /// the staleness signal for downstream memoization (a session caches
+    /// its scored filters against this).
+    generation: u64,
 }
 
 impl ContextState {
@@ -106,12 +110,19 @@ impl ContextState {
             cached,
             rows: Vec::new(),
             buf: Vec::new(),
+            generation: 0,
         }
     }
 
     /// Example rows currently folded in (sorted, distinct).
     pub fn rows(&self) -> &[RowId] {
         &self.rows
+    }
+
+    /// Monotonic staleness counter: unchanged between two calls means the
+    /// candidate set [`ContextState::candidates`] emits is unchanged too.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Fold one example row into every property state — O(properties), the
@@ -122,11 +133,14 @@ impl ContextState {
             Err(pos) => self.rows.insert(pos, row),
         }
         let first = self.rows.len() == 1;
+        let mut changed = false;
         for (i, (state, prop)) in self.states.iter_mut().zip(&entity.props).enumerate() {
             if add_row_to_state(state, &prop.stats, row, first, &mut self.buf) {
                 self.cached[i] = None;
+                changed = true;
             }
         }
+        self.generation += changed as u64;
     }
 
     /// Remove one example row, rebuilding only the affected property states:
@@ -138,6 +152,7 @@ impl ContextState {
             return;
         };
         self.rows.remove(pos);
+        let mut changed = false;
         for (i, (state, prop)) in self.states.iter_mut().zip(&entity.props).enumerate() {
             // `adjusted`: the state is still exact without a rebuild;
             // `unchanged`: additionally, its emitted filters are identical.
@@ -181,8 +196,10 @@ impl ContextState {
             }
             if !unchanged {
                 self.cached[i] = None;
+                changed = true;
             }
         }
+        self.generation += changed as u64;
     }
 
     /// Snapshot the candidate filter set Φ for the current examples.
@@ -228,6 +245,10 @@ fn emit_prop(
     params: &SquidParams,
     out: &mut Vec<CandidateFilter>,
 ) {
+    // Interned at αDB build time: emission runs per dirty property per
+    // turn, and the emitted filters clone without allocating.
+    let prop_id = prop.id_sym;
+    let attr_name = prop.attr_sym;
     match (state, &prop.stats) {
         (
             PropState::Cat {
@@ -240,8 +261,8 @@ fn emit_prop(
             if !shared.is_empty() {
                 for v in shared {
                     out.push(CandidateFilter {
-                        prop_id: prop.def.id.clone(),
-                        attr_name: prop.def.attr_name.clone(),
+                        prop_id,
+                        attr_name,
                         selectivity: s.selectivity_eq(v, n),
                         coverage: s.coverage_eq(),
                         value: FilterValue::CatEq(*v),
@@ -255,8 +276,8 @@ fn emit_prop(
                 // Footnote 7: single-valued categorical attributes
                 // may form a small disjunction covering all examples.
                 out.push(CandidateFilter {
-                    prop_id: prop.def.id.clone(),
-                    attr_name: prop.def.attr_name.clone(),
+                    prop_id,
+                    attr_name,
                     selectivity: s.selectivity_in(union, n),
                     coverage: s.coverage_in(union.len()),
                     value: FilterValue::CatIn(union.clone()),
@@ -273,8 +294,8 @@ fn emit_prop(
             // have a value (validity).
             if *null_count == 0 && lo.is_finite() {
                 out.push(CandidateFilter {
-                    prop_id: prop.def.id.clone(),
-                    attr_name: prop.def.attr_name.clone(),
+                    prop_id,
+                    attr_name,
                     selectivity: s.selectivity_range(*lo, *hi, n),
                     coverage: s.coverage_range(*lo, *hi),
                     value: FilterValue::NumRange(*lo, *hi),
@@ -299,8 +320,8 @@ fn emit_prop(
                     )
                 };
                 out.push(CandidateFilter {
-                    prop_id: prop.def.id.clone(),
-                    attr_name: prop.def.attr_name.clone(),
+                    prop_id,
+                    attr_name,
                     selectivity,
                     coverage: s.coverage_eq(),
                     value,
@@ -317,7 +338,7 @@ fn emit_prop(
                 if theta == 0 || theta == u64::MAX {
                     continue;
                 }
-                let psi = s.selectivity_ge(cut, theta, n);
+                let psi = s.selectivity_at(ci, theta, n);
                 let better = match best {
                     None => true,
                     Some((_, _, best_psi)) => psi < best_psi,
@@ -328,8 +349,8 @@ fn emit_prop(
             }
             if let Some((cut, theta, psi)) = best {
                 out.push(CandidateFilter {
-                    prop_id: prop.def.id.clone(),
-                    attr_name: prop.def.attr_name.clone(),
+                    prop_id,
+                    attr_name,
                     selectivity: psi,
                     coverage: s.coverage_ge(cut),
                     value: FilterValue::DerivedGe { cut, theta },
@@ -515,14 +536,15 @@ fn fold_first_row(state: &mut PropState, stats: &PropStats, row: RowId, buf: &mu
             }
         },
         (PropState::Derived { shared }, PropStats::Derived(s)) => {
-            if let Some(counts) = s.counts_of(row) {
-                let mut vals: Vec<(Value, u64, f64)> = counts
-                    .iter()
-                    .map(|(v, &c)| (*v, c, s.frac_of(row, v)))
-                    .collect();
-                vals.sort_by_key(|a| a.0);
-                *shared = vals;
-            }
+            // Entity runs are stored in the arena's cheap symbol-id order,
+            // which depends on interner history; re-sort by `Value`'s total
+            // order so emission stays canonical across processes.
+            *shared = s
+                .counts_of(row)
+                .iter()
+                .map(|&(v, c)| (v, c, s.frac_of(row, &v)))
+                .collect();
+            shared.sort_by_key(|e| e.0);
         }
         (PropState::DerivedNum { thetas }, PropStats::DerivedNumeric(s)) => {
             s.suffix_counts_into(row, buf);
@@ -684,7 +706,7 @@ mod tests {
         let filters = discover_contexts(e, &rows, &SquidParams::default());
         assert!(!filters.is_empty());
         for f in &filters {
-            let prop = e.property(&f.prop_id).unwrap();
+            let prop = e.property(f.prop_id).unwrap();
             for &r in &rows {
                 assert!(
                     f.matches_row(prop, r),

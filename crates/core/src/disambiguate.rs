@@ -55,14 +55,11 @@ pub fn similarity_score(entity: &EntityProps, rows: &[RowId]) -> f64 {
                 }
             }
             PropStats::Derived(s) => {
-                let Some(first) = s.counts_of(rows[0]) else {
-                    continue;
-                };
-                for (v, &c0) in first {
+                for &(v, c0) in s.counts_of(rows[0]) {
                     let mut theta = c0;
                     let mut shared = true;
                     for &r in &rows[1..] {
-                        let c = s.count_of(r, v);
+                        let c = s.count_of(r, &v);
                         if c == 0 {
                             shared = false;
                             break;

@@ -7,7 +7,7 @@
 //! probabilistic model needs.
 
 use squid_adb::{PropStats, Property};
-use squid_relation::{RowId, Value};
+use squid_relation::{RowId, Sym, Value};
 
 /// The value constraint carried by a filter.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,12 +78,16 @@ impl FilterValue {
 
 /// A minimal valid filter discovered from the examples, annotated with the
 /// statistics used by the probabilistic model.
+///
+/// Identifiers are interned [`Sym`]s: candidate filters flow through the
+/// interactive session pipeline on every turn (snapshot cache → abduction →
+/// delta rendering), so cloning one must not allocate.
 #[derive(Debug, Clone)]
 pub struct CandidateFilter {
-    /// Id of the semantic property this filter constrains.
-    pub prop_id: String,
-    /// Display name of the attribute (for rendering).
-    pub attr_name: String,
+    /// Id of the semantic property this filter constrains (interned).
+    pub prop_id: Sym,
+    /// Display name of the attribute (for rendering; interned).
+    pub attr_name: Sym,
     /// The constraint.
     pub value: FilterValue,
     /// ψ(φ): fraction of entities satisfying the filter.

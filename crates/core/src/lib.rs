@@ -61,7 +61,9 @@ pub use filter::{CandidateFilter, FilterValue};
 pub use manager::{SessionId, SessionManager};
 pub use metrics::Accuracy;
 pub use params::SquidParams;
-pub use query_gen::{adb_query, evaluate, original_query};
+pub use query_gen::{
+    adb_query, evaluate, evaluate_cached, filter_fingerprint, filter_row_set, original_query,
+};
 pub use recommend::{recommend_examples, uncertainty, Recommendation};
-pub use session::{DiscoveryDelta, SquidSession};
+pub use session::{DiscoveryDelta, EvalCacheStats, SquidSession};
 pub use squid::{Discovery, Squid};

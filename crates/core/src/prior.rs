@@ -11,6 +11,12 @@ pub fn domain_impact(coverage: f64, params: &SquidParams) -> f64 {
         return 1.0;
     }
     let ratio = (coverage / params.eta).max(1.0);
+    if ratio == 1.0 {
+        return 1.0; // low-coverage filters (the common case) skip powf
+    }
+    if params.gamma == 2.0 {
+        return 1.0 / (ratio * ratio); // the default γ, exact without powf
+    }
     1.0 / ratio.powf(params.gamma)
 }
 

@@ -3,8 +3,8 @@
 //! materialized derived relations (Example 2.2), and a direct evaluation
 //! path against the αDB's per-entity statistics.
 
-use squid_adb::{EntityProps, PropKind, PropStats, Property};
-use squid_engine::{PathStep, Pred, Query, QueryBlock, SemiJoin};
+use squid_adb::{EntityProps, FilterFingerprint, FilterSetCache, PropKind, PropStats, Property};
+use squid_engine::{Pred, Query, QueryBlock};
 use squid_relation::{RowSet, Value};
 
 use crate::filter::{CandidateFilter, FilterValue};
@@ -21,40 +21,44 @@ pub fn original_query(
     let mut block = QueryBlock::new(&entity.table);
     let mut skipped_normalized = false;
     for f in filters {
-        let Some(prop) = entity.property(&f.prop_id) else {
+        let Some(prop) = entity.property(f.prop_id) else {
             continue;
         };
+        // All identifiers come from the property's prebuilt fragments —
+        // query generation runs per session turn and must not re-intern
+        // (or re-allocate) the join-path names.
         match &f.value {
-            FilterValue::CatEq(v) => match &prop.def.kind {
-                PropKind::DirectCategorical { column } => {
-                    block = block.filter(Pred::eq(column, *v));
+            FilterValue::CatEq(v) => match (prop.fragments.root_col(), &prop.def.kind) {
+                (Some(col), PropKind::DirectCategorical { .. }) => {
+                    block = block.filter(Pred::eq(col, *v));
                 }
                 _ => {
-                    if let Some(sj) = prop.def.semi_join(&entity.pk_column, v, 1) {
+                    if let Some(sj) = prop.fragments.semi_join(v, 1) {
                         block = block.semi_join(sj);
                     }
                 }
             },
             FilterValue::CatIn(vs) => {
-                if let PropKind::DirectCategorical { column } = &prop.def.kind {
-                    block = block.filter(Pred::in_set(column, vs.clone()));
+                if let (Some(col), PropKind::DirectCategorical { .. }) =
+                    (prop.fragments.root_col(), &prop.def.kind)
+                {
+                    block = block.filter(Pred::in_set(col, vs.clone()));
                 }
             }
             FilterValue::NumRange(l, h) => {
-                if let PropKind::DirectNumeric { column } = &prop.def.kind {
-                    block = block.filter(range_pred(column, *l, *h));
+                if let (Some(col), PropKind::DirectNumeric { .. }) =
+                    (prop.fragments.root_col(), &prop.def.kind)
+                {
+                    block = block.filter(range_pred(col, *l, *h));
                 }
             }
             FilterValue::DerivedEq { value, theta } => {
-                if let Some(sj) = prop.def.semi_join(&entity.pk_column, value, *theta) {
+                if let Some(sj) = prop.fragments.semi_join(value, *theta) {
                     block = block.semi_join(sj);
                 }
             }
             FilterValue::DerivedGe { cut, theta } => {
-                if let Some(sj) = prop
-                    .def
-                    .semi_join_ge(&entity.pk_column, &num_value(*cut), *theta)
-                {
+                if let Some(sj) = prop.fragments.semi_join_ge(&num_value(*cut), *theta) {
                     block = block.semi_join(sj);
                 }
             }
@@ -77,40 +81,38 @@ pub fn adb_query(
 ) -> Option<Query> {
     let mut block = QueryBlock::new(&entity.table);
     for f in filters {
-        let prop = entity.property(&f.prop_id)?;
+        let prop = entity.property(f.prop_id)?;
         match &f.value {
-            FilterValue::CatEq(v) => match &prop.def.kind {
-                PropKind::DirectCategorical { column } => {
-                    block = block.filter(Pred::eq(column, *v));
+            FilterValue::CatEq(v) => match (prop.fragments.root_col(), &prop.def.kind) {
+                (Some(col), PropKind::DirectCategorical { .. }) => {
+                    block = block.filter(Pred::eq(col, *v));
                 }
                 _ => {
-                    let sj = prop.def.semi_join(&entity.pk_column, v, 1)?;
+                    let sj = prop.fragments.semi_join(v, 1)?;
                     block = block.semi_join(sj);
                 }
             },
             FilterValue::CatIn(vs) => {
-                if let PropKind::DirectCategorical { column } = &prop.def.kind {
-                    block = block.filter(Pred::in_set(column, vs.clone()));
+                if let (Some(col), PropKind::DirectCategorical { .. }) =
+                    (prop.fragments.root_col(), &prop.def.kind)
+                {
+                    block = block.filter(Pred::in_set(col, vs.clone()));
                 } else {
                     return None;
                 }
             }
             FilterValue::NumRange(l, h) => {
-                if let PropKind::DirectNumeric { column } = &prop.def.kind {
-                    block = block.filter(range_pred(column, *l, *h));
+                if let (Some(col), PropKind::DirectNumeric { .. }) =
+                    (prop.fragments.root_col(), &prop.def.kind)
+                {
+                    block = block.filter(range_pred(col, *l, *h));
                 } else {
                     return None;
                 }
             }
             FilterValue::DerivedEq { value, theta } => {
-                let table = prop.derived_table.as_deref()?;
-                block = block.semi_join(SemiJoin::exists(vec![PathStep::new(
-                    table,
-                    &entity.pk_column,
-                    "entity_id",
-                )
-                .filter(Pred::eq("value", *value))
-                .filter(Pred::ge("count", Value::Int(*theta as i64)))]));
+                let sj = prop.fragments.adb_semi_join(value, *theta)?;
+                block = block.semi_join(sj);
             }
             // Suffix ranges need SUM over derived rows: not expressible as
             // a single SPJ filter on the materialized relation.
@@ -136,7 +138,7 @@ pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> RowSet {
     // whose property is unknown excludes every row (as before).
     let mut resolved = Vec::with_capacity(filters.len());
     for f in filters {
-        let Some(prop) = entity.property(&f.prop_id) else {
+        let Some(prop) = entity.property(f.prop_id) else {
             return out;
         };
         resolved.push((f, prop));
@@ -169,6 +171,231 @@ pub fn evaluate(entity: &EntityProps, filters: &[CandidateFilter]) -> RowSet {
                 }
                 out.insert(row);
             }
+        }
+    }
+    out
+}
+
+/// Canonical [`FilterFingerprint`] of a candidate filter: the interned
+/// property id, a kind tag, θ, and the value/bounds as raw words (symbol
+/// id / integer / float bits per [`Value`] variant). Filters with equal
+/// fingerprints have identical satisfying row sets — the
+/// [`FilterSetCache`] admission key.
+///
+/// The encoding is intentionally conservative: `Int(3)` and `Float(3.0)`
+/// compare equal as [`Value`]s but fingerprint differently, which only
+/// costs a redundant cache entry, never a wrong hit.
+pub fn filter_fingerprint(f: &CandidateFilter) -> FilterFingerprint {
+    fn value_words(v: &Value) -> [u64; 2] {
+        match v {
+            Value::Null => [0, 0],
+            Value::Bool(b) => [1, *b as u64],
+            Value::Int(i) => [2, *i as u64],
+            Value::Float(x) => [3, x.to_bits()],
+            Value::Text(s) => [4, s.id() as u64],
+        }
+    }
+    let pid = f.prop_id;
+    match &f.value {
+        FilterValue::CatEq(v) => FilterFingerprint::new(pid, 0, 0, &value_words(v)),
+        FilterValue::CatIn(vs) => {
+            // Canonical order: `Value`'s total order, so permuted IN lists
+            // fingerprint identically.
+            let mut sorted: Vec<&Value> = vs.iter().collect();
+            sorted.sort();
+            let mut payload = Vec::with_capacity(2 * sorted.len());
+            for v in sorted {
+                payload.extend(value_words(v));
+            }
+            FilterFingerprint::new(pid, 1, 0, &payload)
+        }
+        FilterValue::NumRange(l, h) => {
+            FilterFingerprint::new(pid, 2, 0, &[l.to_bits(), h.to_bits()])
+        }
+        FilterValue::DerivedEq { value, theta } => {
+            FilterFingerprint::new(pid, 3, *theta, &value_words(value))
+        }
+        FilterValue::DerivedFrac {
+            value,
+            frac,
+            raw_theta,
+        } => {
+            let [a, b] = value_words(value);
+            FilterFingerprint::new(pid, 4, *raw_theta, &[a, b, frac.to_bits()])
+        }
+        FilterValue::DerivedGe { cut, theta } => {
+            FilterFingerprint::new(pid, 5, *theta, &[cut.to_bits()])
+        }
+    }
+}
+
+/// The exact satisfying row set of ONE filter: postings enumeration when
+/// the statistics support it, otherwise a full per-row scan (suffix-range
+/// filters and hand-assembled stats). This is the cache-miss path of
+/// [`evaluate_cached`] — each distinct filter pays it once per session.
+pub fn filter_row_set(entity: &EntityProps, f: &CandidateFilter, prop: &Property) -> RowSet {
+    let mut out = RowSet::with_universe(entity.n);
+    if can_enumerate(f, prop) {
+        enumerate_rows(f, prop, &mut |row| {
+            out.insert(row);
+        });
+    } else {
+        for row in 0..entity.n {
+            if f.matches_row(prop, row) {
+                out.insert(row);
+            }
+        }
+    }
+    out
+}
+
+/// Upper bound on a filter's match count, read off the statistics in O(1)
+/// (postings lengths) or O(log n) (two binary searches for ranges).
+/// `None` when the filter cannot enumerate its matches at all.
+fn match_estimate(f: &CandidateFilter, prop: &Property) -> Option<usize> {
+    match (&f.value, &prop.stats) {
+        (FilterValue::CatEq(v), PropStats::Categorical(s)) if s.enumerable() => {
+            Some(s.rows_with(v).len())
+        }
+        (FilterValue::CatIn(vs), PropStats::Categorical(s)) if s.enumerable() => {
+            Some(vs.iter().map(|v| s.rows_with(v).len()).sum())
+        }
+        (FilterValue::NumRange(l, h), PropStats::Numeric(s)) if s.enumerable() => {
+            Some(s.rows_in_range(*l, *h).len())
+        }
+        (
+            FilterValue::DerivedEq { value, .. } | FilterValue::DerivedFrac { value, .. },
+            PropStats::Derived(s),
+        ) if s.enumerable() => Some(s.postings_of(value).len()),
+        _ => None,
+    }
+}
+
+/// Is a cache miss on this filter worth materializing? Two gates:
+///
+/// * it must be *enumerable* — non-enumerable filters (suffix ranges,
+///   hand-assembled stats) would need an O(n) scan with a per-row probe,
+///   which the probe-restricted path beats by orders of magnitude;
+/// * it must be *selective enough* — a bitmap with most rows set costs a
+///   long postings walk to build yet removes almost nothing from the
+///   intersection, while probing it over the surviving rows is near-free.
+fn admit_on_miss(f: &CandidateFilter, prop: &Property, n: usize) -> bool {
+    match match_estimate(f, prop) {
+        Some(m) => m <= (n / 4).max(64),
+        None => false,
+    }
+}
+
+/// Drop from `rows` every row failing `f` — the evaluation path for
+/// filters whose sets are not worth materializing: only the rows that
+/// survived the cached intersection are probed.
+fn restrict_by_probe(rows: &mut RowSet, f: &CandidateFilter, prop: &Property) {
+    let failing: Vec<squid_relation::RowId> =
+        rows.iter().filter(|&r| !f.matches_row(prop, r)).collect();
+    for r in failing {
+        rows.remove(r);
+    }
+}
+
+/// One incremental result-maintenance step for the session: restrict
+/// `rows` by a single newly chosen filter — through its cached bitmap when
+/// resident (or cheap to admit from postings), by probing the surviving
+/// rows otherwise. An unknown property clears the result, matching
+/// [`evaluate`].
+pub(crate) fn restrict_rows(
+    rows: &mut RowSet,
+    entity: &EntityProps,
+    f: &CandidateFilter,
+    fp: &FilterFingerprint,
+    cache: &mut FilterSetCache,
+) {
+    let Some(prop) = entity.property(f.prop_id) else {
+        *rows = RowSet::with_universe(entity.n);
+        return;
+    };
+    if let Some(set) = cache.lookup(fp) {
+        rows.intersect_with(&set);
+    } else if admit_on_miss(f, prop, entity.n) {
+        let set = cache.insert_with(fp, || filter_row_set(entity, f, prop));
+        rows.intersect_with(&set);
+    } else {
+        restrict_by_probe(rows, f, prop);
+    }
+}
+
+/// [`evaluate`] through a [`FilterSetCache`]: each filter's satisfying set
+/// is fetched by fingerprint (computed from postings and memoized on a
+/// miss), the resident sets are intersected word-wise smallest-first, and
+/// filters too expensive to materialize probe only the surviving rows.
+/// With a warm cache a repeat evaluation performs no postings walks at all
+/// — only `u64` AND loops over resident bitmaps.
+///
+/// Exactly equivalent to the uncached [`evaluate`] (property-tested), and
+/// like it, an unknown property id excludes every row.
+pub fn evaluate_cached(
+    entity: &EntityProps,
+    filters: &[CandidateFilter],
+    cache: &mut FilterSetCache,
+) -> RowSet {
+    let fps: Vec<FilterFingerprint> = filters.iter().map(filter_fingerprint).collect();
+    evaluate_cached_fps(entity, filters, &fps, cache)
+}
+
+/// [`evaluate_cached`] with the fingerprints precomputed by the caller
+/// (the session already maintains them for its turn-over-turn diff).
+pub(crate) fn evaluate_cached_fps(
+    entity: &EntityProps,
+    filters: &[CandidateFilter],
+    fps: &[FilterFingerprint],
+    cache: &mut FilterSetCache,
+) -> RowSet {
+    if filters.is_empty() {
+        return RowSet::full(entity.n);
+    }
+    // The probe mask below is a `u64`; abduced filter sets are tiny, but
+    // stay correct for adversarial inputs.
+    if filters.len() > 64 {
+        return evaluate(entity, filters);
+    }
+    let mut props = Vec::with_capacity(filters.len());
+    for f in filters {
+        let Some(prop) = entity.property(f.prop_id) else {
+            return RowSet::with_universe(entity.n);
+        };
+        props.push(prop);
+    }
+    // Set-backed filters (resident, or cheap to admit from postings) feed
+    // the bitmap intersection; the rest probe the surviving rows after it.
+    // One hash probe per filter: the resident `Arc` handles ride along.
+    let mut sized: Vec<(usize, std::sync::Arc<RowSet>)> = Vec::with_capacity(filters.len());
+    let mut probe_mask = 0u64;
+    for (i, (f, prop)) in filters.iter().zip(&props).enumerate() {
+        if let Some(set) = cache.lookup(&fps[i]) {
+            sized.push((set.len(), set));
+        } else if admit_on_miss(f, prop, entity.n) {
+            let set = cache.insert_with(&fps[i], || filter_row_set(entity, f, prop));
+            sized.push((set.len(), set));
+        } else {
+            probe_mask |= 1 << i;
+        }
+    }
+    if sized.is_empty() {
+        // Nothing to intersect from bitmaps: the classic driver-based
+        // evaluation is strictly better than scanning per filter.
+        return evaluate(entity, filters);
+    }
+    // Ascending size: the running intersection shrinks as early as possible.
+    sized.sort_unstable_by_key(|(len, _)| *len);
+    let mut out = (*sized[0].1).clone();
+    for (_, set) in &sized[1..] {
+        if out.is_empty() {
+            break;
+        }
+        out.intersect_with(set);
+    }
+    for (i, (f, prop)) in filters.iter().zip(&props).enumerate() {
+        if probe_mask & (1 << i) != 0 && !out.is_empty() {
+            restrict_by_probe(&mut out, f, prop);
         }
     }
     out
@@ -242,7 +469,7 @@ fn num_value(x: f64) -> Value {
     }
 }
 
-fn range_pred(column: &str, l: f64, h: f64) -> Pred {
+fn range_pred(column: squid_relation::Sym, l: f64, h: f64) -> Pred {
     Pred::between(column, num_value(l), num_value(h))
 }
 
@@ -261,8 +488,8 @@ mod tests {
             .find(|p| matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre"))
             .unwrap();
         CandidateFilter {
-            prop_id: prop.def.id.clone(),
-            attr_name: prop.def.attr_name.clone(),
+            prop_id: prop.def.id.as_str().into(),
+            attr_name: prop.def.attr_name.as_str().into(),
             value: FilterValue::DerivedEq {
                 value: Value::text("Comedy"),
                 theta: 4,
@@ -322,8 +549,8 @@ mod tests {
             .find(|p| matches!(&p.def.kind, PropKind::TwoHopCount { prop_table, .. } if prop_table == "genre"))
             .unwrap();
         let f = CandidateFilter {
-            prop_id: prop.def.id.clone(),
-            attr_name: prop.def.attr_name.clone(),
+            prop_id: prop.def.id.as_str().into(),
+            attr_name: prop.def.attr_name.as_str().into(),
             value: FilterValue::DerivedFrac {
                 value: Value::text("Comedy"),
                 frac: 0.9,

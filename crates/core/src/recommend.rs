@@ -68,12 +68,12 @@ pub fn recommend_examples(
         let mut score = 0.0;
         let mut discriminates = Vec::new();
         for s in &contested {
-            let Some(prop) = entity.property(&s.filter.prop_id) else {
+            let Some(prop) = entity.property(s.filter.prop_id) else {
                 continue;
             };
             if !s.filter.matches_row(prop, row) {
                 score += uncertainty(s);
-                discriminates.push(s.filter.prop_id.clone());
+                discriminates.push(s.filter.prop_id.as_str().to_string());
             }
         }
         if score > 0.0 {

@@ -37,7 +37,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 use std::time::Instant;
 
-use squid_adb::ADb;
+use squid_adb::{ADb, FilterFingerprint, FilterSetCache};
 use squid_relation::RowId;
 
 use crate::abduce::abduce;
@@ -46,7 +46,7 @@ use crate::disambiguate::{disambiguate, similarity_score};
 use crate::error::SquidError;
 use crate::filter::CandidateFilter;
 use crate::params::SquidParams;
-use crate::query_gen::{adb_query, evaluate, original_query};
+use crate::query_gen::{adb_query, evaluate, filter_fingerprint, original_query};
 use crate::squid::Discovery;
 
 /// Shared or borrowed handle to the αDB. Sessions created from a borrow
@@ -117,6 +117,27 @@ pub struct DiscoveryDelta {
     /// (`true`) or rebuilt from scratch (`false`: first example, target
     /// change, or a disambiguation reshuffle of earlier examples).
     pub incremental: bool,
+    /// Evaluation-cache hits this operation: chosen filters whose row
+    /// bitmaps were already resident, so their contribution to the result
+    /// was a word-wise intersection instead of a postings walk.
+    pub cache_hits: u64,
+    /// Evaluation-cache misses this operation (each computed and admitted
+    /// one filter row set).
+    pub cache_misses: u64,
+}
+
+/// Point-in-time counters of a session's cross-turn evaluation cache
+/// (see [`SquidSession::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Lifetime cache hits across the session's operations.
+    pub hits: u64,
+    /// Lifetime cache misses.
+    pub misses: u64,
+    /// Resident memoized filter row sets.
+    pub entries: usize,
+    /// Approximate bytes held by the resident bitmaps and their keys.
+    pub resident_bytes: usize,
 }
 
 /// Interactive query intent discovery session (see the module docs).
@@ -138,6 +159,21 @@ pub struct SquidSession<'a> {
     last: Option<Arc<Discovery>>,
     /// Rendered chosen filters of `last` (cached for delta reporting).
     last_chosen: Vec<String>,
+    /// Fingerprints of `last`'s chosen filters, parallel to `last_chosen`:
+    /// the turn-over-turn diff that drives incremental result maintenance.
+    last_fps: Vec<FilterFingerprint>,
+    /// Cross-turn evaluation cache: memoized per-filter row bitmaps.
+    cache: FilterSetCache,
+    /// Scored filters memoized against `(ctx generation, example count)`:
+    /// feedback turns (pin/ban) leave the Φ state untouched, so abduction's
+    /// base decisions are replayed instead of recomputed. Cleared whenever
+    /// `ctx` is replaced wholesale (generations of distinct states are not
+    /// comparable).
+    last_scored: Option<(u64, usize, Vec<crate::abduce::ScoredFilter>)>,
+    /// Whether results go through the evaluation cache. One-shot wrappers
+    /// ([`Squid::discover`](crate::Squid::discover)) disable it: admitting
+    /// bitmaps a discarded session will never reuse is pure overhead.
+    eval_cache: bool,
 }
 
 impl<'a> SquidSession<'a> {
@@ -152,6 +188,7 @@ impl<'a> SquidSession<'a> {
     }
 
     fn from_ref(adb: AdbRef<'a>, params: SquidParams) -> SquidSession<'a> {
+        let cache = FilterSetCache::new(adb.generation);
         SquidSession {
             adb,
             params,
@@ -166,7 +203,16 @@ impl<'a> SquidSession<'a> {
             ctx_table: None,
             last: None,
             last_chosen: Vec::new(),
+            last_fps: Vec::new(),
+            cache,
+            last_scored: None,
+            eval_cache: true,
         }
+    }
+
+    /// Turn off cross-turn result caching (see the `eval_cache` field).
+    pub(crate) fn disable_eval_cache(&mut self) {
+        self.eval_cache = false;
     }
 
     /// Current parameters.
@@ -192,6 +238,17 @@ impl<'a> SquidSession<'a> {
     /// The most recent discovery, if the session has examples.
     pub fn discovery(&self) -> Option<&Discovery> {
         self.last.as_deref()
+    }
+
+    /// Counters of the session's cross-turn evaluation cache: lifetime
+    /// hits/misses plus the resident memoized-bitmap footprint.
+    pub fn cache_stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            entries: self.cache.entries(),
+            resident_bytes: self.cache.resident_bytes(),
+        }
     }
 
     /// Consume the session, yielding the final discovery.
@@ -592,10 +649,14 @@ impl<'a> SquidSession<'a> {
                 rows_added: 0,
                 rows_removed: self.last.as_ref().map(|d| d.rows.len()).unwrap_or(0),
                 incremental: true,
+                cache_hits: 0,
+                cache_misses: 0,
             };
             self.ctx = None;
             self.ctx_table = None;
             self.last = None;
+            self.last_fps.clear();
+            self.last_scored = None;
             if let TargetState::Auto { candidates, upto } = &mut self.target {
                 *candidates = None;
                 *upto = 0;
@@ -617,6 +678,7 @@ impl<'a> SquidSession<'a> {
         // Infallible from here: update the cached Φ state.
         if self.ctx_table.as_deref() != Some(table.as_str()) {
             self.ctx = None;
+            self.last_scored = None;
         }
         let entity = self.adb.entity(&table).expect("target is an entity");
         let mut incremental = true;
@@ -635,12 +697,15 @@ impl<'a> SquidSession<'a> {
                     .collect();
                 if !added.is_empty() && !removed.is_empty() {
                     // Disambiguation reshuffled earlier examples: rebuild.
+                    // (A fresh state restarts its generation counter, so
+                    // the scored memo must not survive it.)
                     incremental = false;
                     let mut st = ContextState::new(entity);
                     for &r in &distinct {
                         st.add_row(entity, r);
                     }
                     *ctx = st;
+                    self.last_scored = None;
                 } else {
                     for &r in &added {
                         ctx.add_row(entity, r);
@@ -680,6 +745,16 @@ impl<'a> SquidSession<'a> {
     /// The abduce-onward pipeline tail shared by [`refresh`](Self::refresh)
     /// and [`rescore`](Self::rescore): snapshot Φ, score, apply pins/bans,
     /// generate queries, evaluate, and report the delta.
+    ///
+    /// Result evaluation is **incremental bitmap algebra** over the
+    /// session's [`FilterSetCache`]: the chosen filters are diffed against
+    /// the previous turn by fingerprint, and
+    ///
+    /// * an unchanged filter set reuses the previous result bitmap;
+    /// * a turn that only *adds* filters intersects the previous bitmap
+    ///   with the added filters' cached sets (one word-wise AND each);
+    /// * any removal re-intersects the cached per-filter sets — with a warm
+    ///   cache that is still pure bitmap work, no postings walks.
     fn snapshot(
         &mut self,
         started: Instant,
@@ -690,8 +765,24 @@ impl<'a> SquidSession<'a> {
     ) -> Result<DiscoveryDelta, SquidError> {
         let entity = self.adb.entity(&table).expect("target is an entity");
         let ctx = self.ctx.as_mut().expect("context state ensured");
-        let candidates = ctx.candidates(entity, &self.params);
-        let mut scored = abduce(candidates, distinct.len(), &self.params);
+        // Abduction is a pure function of (Φ snapshot, |examples|): replay
+        // the memoized decisions when neither moved — the feedback-turn
+        // (pin/ban) fast path; pins and bans are applied after.
+        let scored_key = (ctx.generation(), distinct.len());
+        let mut scored = match &self.last_scored {
+            Some((generation, count, scored))
+                if (*generation, *count) == scored_key
+                    && self.ctx_table.as_deref() == Some(table.as_str()) =>
+            {
+                scored.clone()
+            }
+            _ => {
+                let candidates = ctx.candidates(entity, &self.params);
+                let scored = abduce(candidates, distinct.len(), &self.params);
+                self.last_scored = Some((scored_key.0, scored_key.1, scored.clone()));
+                scored
+            }
+        };
         for s in &mut scored {
             if key_matches(&self.banned, &s.filter) {
                 s.included = false;
@@ -704,9 +795,49 @@ impl<'a> SquidSession<'a> {
             .filter(|s| s.included)
             .map(|s| s.filter.clone())
             .collect();
-        let (query, _) = original_query(entity, &chosen, &projection_column);
-        let adb_q = adb_query(entity, &chosen, &projection_column);
-        let rows = evaluate(entity, &chosen);
+
+        self.cache.revalidate(self.adb.generation);
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+        let fps: Vec<FilterFingerprint> = chosen.iter().map(filter_fingerprint).collect();
+        let unchanged = fps == self.last_fps;
+        let prev_same_target = self
+            .last
+            .as_ref()
+            .filter(|p| p.entity_table == table)
+            .cloned();
+
+        // Queries depend only on (entity, chosen, projection): an unchanged
+        // turn reuses the previous turn's forms instead of re-deriving them.
+        let (query, adb_q) = match &prev_same_target {
+            Some(prev) if unchanged && prev.projection_column == projection_column => {
+                (prev.query.clone(), prev.adb_query.clone())
+            }
+            _ => (
+                original_query(entity, &chosen, &projection_column).0,
+                adb_query(entity, &chosen, &projection_column),
+            ),
+        };
+
+        let removed_any = self.last_fps.iter().any(|fp| !fps.contains(fp));
+        let rows = match &prev_same_target {
+            _ if !self.eval_cache => evaluate(entity, &chosen),
+            Some(prev) if unchanged => prev.rows.clone(),
+            Some(prev) if !removed_any => {
+                // Add-only turn: restrict the previous result by each newly
+                // chosen filter (cached bitmap AND, or a probe over the
+                // surviving rows for sets not worth materializing).
+                let mut rows = prev.rows.clone();
+                for (f, fp) in chosen.iter().zip(&fps) {
+                    if !self.last_fps.contains(fp) {
+                        crate::query_gen::restrict_rows(&mut rows, entity, f, fp, &mut self.cache);
+                    }
+                }
+                rows
+            }
+            _ => crate::query_gen::evaluate_cached_fps(entity, &chosen, &fps, &mut self.cache),
+        };
+        let (cache_hits, cache_misses) = (self.cache.hits() - hits0, self.cache.misses() - misses0);
+
         let discovery = Arc::new(Discovery {
             entity_table: table,
             projection_column,
@@ -717,18 +848,35 @@ impl<'a> SquidSession<'a> {
             rows,
             elapsed: started.elapsed(),
         });
-        let next_chosen: Vec<String> = chosen.iter().map(|f| f.describe()).collect();
-        let added_filters: Vec<String> = next_chosen
-            .iter()
-            .filter(|f| !self.last_chosen.contains(f))
-            .cloned()
-            .collect();
-        let removed_filters: Vec<String> = self
-            .last_chosen
-            .iter()
-            .filter(|f| !next_chosen.contains(f))
-            .cloned()
-            .collect();
+        // Equal fingerprints mean equal rendered filters: the string diff
+        // (and its re-rendering) only runs when the chosen set changed.
+        let (added_filters, removed_filters) = if unchanged {
+            (Vec::new(), Vec::new())
+        } else {
+            // Renders carry over from the previous turn for filters whose
+            // fingerprint did not change; only genuinely new ones format.
+            let next_chosen: Vec<String> = chosen
+                .iter()
+                .zip(&fps)
+                .map(|(f, fp)| match self.last_fps.iter().position(|p| p == fp) {
+                    Some(i) => self.last_chosen[i].clone(),
+                    None => f.describe(),
+                })
+                .collect();
+            let added: Vec<String> = next_chosen
+                .iter()
+                .filter(|f| !self.last_chosen.contains(f))
+                .cloned()
+                .collect();
+            let removed: Vec<String> = self
+                .last_chosen
+                .iter()
+                .filter(|f| !next_chosen.contains(f))
+                .cloned()
+                .collect();
+            self.last_chosen = next_chosen;
+            (added, removed)
+        };
         let (rows_added, rows_removed) = match &self.last {
             // Row ids are table-local: across a target change the bitmaps
             // are incomparable, so the whole result set turned over.
@@ -748,9 +896,11 @@ impl<'a> SquidSession<'a> {
             rows_added,
             rows_removed,
             incremental,
+            cache_hits,
+            cache_misses,
         };
         self.last = Some(discovery);
-        self.last_chosen = next_chosen;
+        self.last_fps = fps;
         Ok(delta)
     }
 }
@@ -769,7 +919,7 @@ impl SquidSession<'static> {
 
 fn key_matches(keys: &[String], filter: &CandidateFilter) -> bool {
     keys.iter()
-        .any(|k| *k == filter.prop_id || *k == filter.attr_name)
+        .any(|k| filter.prop_id == k.as_str() || filter.attr_name == k.as_str())
 }
 
 #[cfg(test)]

@@ -122,6 +122,7 @@ impl<'a> Squid<'a> {
         }
         let started = Instant::now();
         let mut session = SquidSession::with_params(self.adb, self.params.clone());
+        session.disable_eval_cache();
         if let Some((table, column)) = target {
             session.set_target(table, column)?;
         }

@@ -1,0 +1,148 @@
+//! Correctness of the cross-turn evaluation cache: cached evaluation must
+//! be *indistinguishable* from uncached postings enumeration for every
+//! filter set — including perturbed θs, shifted (even inverted) numeric
+//! bounds, and values absent from the active domain — and session turns
+//! that repeat filters must serve them from resident bitmaps.
+
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+use squid_adb::{test_fixtures, ADb, FilterSetCache};
+use squid_core::{
+    discover_contexts, evaluate, evaluate_cached, CandidateFilter, FilterValue, SquidParams,
+    SquidSession,
+};
+use squid_relation::Value;
+
+fn adb() -> &'static ADb {
+    static A: OnceLock<ADb> = OnceLock::new();
+    A.get_or_init(|| ADb::build(&test_fixtures::mini_imdb()).unwrap())
+}
+
+/// ONE cache shared by every proptest case: stale-entry bugs (a fingerprint
+/// colliding across distinct filters, or a set surviving a perturbation it
+/// shouldn't) would surface as a parity failure in a later case.
+fn shared_cache() -> &'static Mutex<FilterSetCache> {
+    static C: OnceLock<Mutex<FilterSetCache>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(FilterSetCache::new(adb().generation)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cached `evaluate` ≡ uncached postings enumeration, cold and warm,
+    /// across random (and randomly perturbed) filter sets.
+    #[test]
+    fn cached_evaluate_matches_uncached(
+        rows_mask in 1u8..=255,
+        subset in any::<u16>(),
+        tweak in any::<u32>(),
+    ) {
+        let adb = adb();
+        let entity = adb.entity("person").unwrap();
+        let rows: Vec<usize> = (0..8).filter(|i| rows_mask & (1 << i) != 0).collect();
+        let params = SquidParams {
+            allow_disjunction: true,
+            ..SquidParams::default()
+        };
+        let mut filters: Vec<CandidateFilter> = discover_contexts(entity, &rows, &params)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| subset & (1 << (i % 16)) != 0)
+            .map(|(_, f)| f)
+            .collect();
+        // Perturbations: raised θ, shifted/inverted bounds, absent values.
+        for (i, f) in filters.iter_mut().enumerate() {
+            let bit = |k: usize| tweak >> ((i + k) % 32) & 1 == 1;
+            match &mut f.value {
+                FilterValue::DerivedEq { theta, .. } if bit(0) => *theta += 1,
+                FilterValue::NumRange(l, h) => {
+                    if bit(1) {
+                        *l += 1.0; // may inverted-range to emptiness
+                    }
+                    if bit(2) {
+                        *h -= 1.0;
+                    }
+                }
+                FilterValue::CatEq(v) if bit(3) => *v = Value::text("NoSuchValue"),
+                _ => {}
+            }
+        }
+        let uncached = evaluate(entity, &filters);
+        let mut cache = shared_cache().lock().unwrap();
+        let cold = evaluate_cached(entity, &filters, &mut cache);
+        prop_assert_eq!(&cold, &uncached);
+        // Warm repeat: same result, and nothing new is admitted.
+        let misses_after_cold = cache.misses();
+        let warm = evaluate_cached(entity, &filters, &mut cache);
+        prop_assert_eq!(&warm, &uncached);
+        prop_assert_eq!(cache.misses(), misses_after_cold);
+    }
+}
+
+/// A remove → re-add round trip returns to the identical discovery with
+/// the re-added turn's filters served from resident bitmaps.
+#[test]
+fn re_add_turn_is_served_from_the_cache() {
+    let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+    let params = SquidParams {
+        tau_a: 3,
+        ..SquidParams::default()
+    };
+    let mut session = SquidSession::with_params(&adb, params);
+    for e in ["Jim Carrey", "Eddie Murphy", "Robin Williams"] {
+        session.add_example(e).unwrap();
+    }
+    let before = session.discovery().unwrap();
+    let (rows_before, sql_before) = (before.rows.clone(), before.sql());
+    session.remove_example("Robin Williams").unwrap();
+    let delta = session.add_example("Robin Williams").unwrap();
+    assert!(
+        delta.cache_hits > 0,
+        "re-added filters must hit the cache: {delta:?}"
+    );
+    let after = session.discovery().unwrap();
+    assert_eq!(after.rows, rows_before);
+    assert_eq!(after.sql(), sql_before);
+}
+
+/// A repeated pin (feedback toggle) is a pure cache hit: the second pin of
+/// the same key computes nothing new and reproduces the first pin's rows.
+#[test]
+fn repeated_pin_toggle_hits_the_cache() {
+    let adb = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+    let mut session = SquidSession::new(&adb);
+    session.add_example("Jim Carrey").unwrap();
+    session.add_example("Eddie Murphy").unwrap();
+    let first = session.pin_filter("gender").unwrap();
+    let pinned_rows = first.discovery.as_ref().unwrap().rows.clone();
+    session.unpin_filter("gender").unwrap();
+    let second = session.pin_filter("gender").unwrap();
+    assert!(second.cache_hits > 0, "second pin must hit: {second:?}");
+    assert_eq!(second.cache_misses, 0, "second pin admits nothing new");
+    assert_eq!(second.discovery.unwrap().rows, pinned_rows);
+    let stats = session.cache_stats();
+    assert!(stats.entries > 0);
+    assert!(stats.resident_bytes > 0);
+    assert!(stats.hits >= second.cache_hits);
+}
+
+/// Sessions report truthful cache statistics, and a cache re-bound to a
+/// different αDB generation drops its entries instead of serving them.
+#[test]
+fn cache_generation_invalidation() {
+    let adb_a = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+    let adb_b = ADb::build(&test_fixtures::mini_imdb()).unwrap();
+    assert_ne!(adb_a.generation, adb_b.generation);
+    let entity = adb_a.entity("person").unwrap();
+    let params = SquidParams::default();
+    let filters = discover_contexts(entity, &[0, 1], &params);
+    let mut cache = FilterSetCache::new(adb_a.generation);
+    evaluate_cached(entity, &filters, &mut cache);
+    assert!(cache.entries() > 0);
+    cache.revalidate(adb_a.generation);
+    assert!(cache.entries() > 0, "same generation keeps entries");
+    cache.revalidate(adb_b.generation);
+    assert_eq!(cache.entries(), 0, "new generation drops entries");
+    assert_eq!(cache.generation(), adb_b.generation);
+}

@@ -18,8 +18,8 @@ fn arb_filter() -> impl Strategy<Value = CandidateFilter> {
         prop_oneof![Just(None), (1u64..60).prop_map(Some),],
     )
         .prop_map(|(prop, selectivity, coverage, theta)| CandidateFilter {
-            prop_id: format!("prop{prop}"),
-            attr_name: format!("attr{prop}"),
+            prop_id: format!("prop{prop}").into(),
+            attr_name: format!("attr{prop}").into(),
             value: match theta {
                 None => FilterValue::CatEq(Value::text("v")),
                 Some(t) => FilterValue::DerivedEq {
@@ -98,7 +98,7 @@ proptest! {
         let candidates = discover_contexts(entity, &rows, &params);
         // Validity (Definition 3.1 / Lemma 3.1).
         for f in &candidates {
-            let prop = entity.property(&f.prop_id).unwrap();
+            let prop = entity.property(f.prop_id).unwrap();
             for &r in &rows {
                 prop_assert!(f.matches_row(prop, r), "{} fails on {r}", f.describe());
             }

@@ -17,8 +17,9 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
+use squid_relation::{Column, DataType, Database, Sym, Table, TableRole, TableSchema};
 
+use crate::builders_for;
 use crate::rng_util::{power_law, weighted_index};
 
 /// Venue names with popularity weights. The first two are the database
@@ -90,12 +91,9 @@ impl DblpConfig {
     }
 }
 
-/// Generate the synthetic DBLP database.
-pub fn generate_dblp(config: &DblpConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut db = Database::new();
-
-    db.create_table(
+/// The five table schemas, in a fixed order.
+fn table_schemas() -> Vec<TableSchema> {
+    vec![
         TableSchema::new(
             "author",
             vec![
@@ -105,9 +103,6 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
             ],
         )
         .with_primary_key("id"),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "publication",
             vec![
@@ -117,9 +112,6 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
             ],
         )
         .with_primary_key("id"),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "venue",
             vec![
@@ -129,9 +121,6 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
         )
         .with_primary_key("id")
         .with_role(TableRole::Property),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "writes",
             vec![
@@ -142,9 +131,6 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
         .with_role(TableRole::Fact)
         .with_foreign_key("author_id", "author", 0)
         .with_foreign_key("pub_id", "publication", 0),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "pubtovenue",
             vec![
@@ -155,14 +141,27 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
         .with_role(TableRole::Fact)
         .with_foreign_key("pub_id", "publication", 0)
         .with_foreign_key("venue_id", "venue", 0),
-    )
-    .unwrap();
-    db.meta.exclude("author", "name");
-    db.meta.exclude("publication", "title");
+    ]
+}
+
+/// Generate the synthetic DBLP database.
+///
+/// Bulk columnar load: rows stream into typed [`ColumnBuilder`]s in the
+/// exact order the former per-row inserts ran (the RNG call order is
+/// load-bearing for the fixed slates — pinned by the byte-identity test)
+/// and assemble through [`Table::from_columns`] once at the end.
+pub fn generate_dblp(config: &DblpConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schemas = table_schemas();
+    let mut author = builders_for(&schemas[0], config.authors);
+    let mut publication = builders_for(&schemas[1], config.publications);
+    let mut venue = builders_for(&schemas[2], VENUES.len());
+    let mut writes = builders_for(&schemas[3], config.authors * 8);
+    let mut pubtovenue = builders_for(&schemas[4], config.publications);
 
     for (i, (v, _)) in VENUES.iter().enumerate() {
-        db.insert("venue", vec![Value::Int(i as i64), Value::text(v)])
-            .unwrap();
+        venue[0].push_int(i as i64);
+        venue[1].push_sym(Sym::intern(v));
     }
 
     // Publications with venue assignment; bucket by venue for the loyalty
@@ -171,19 +170,13 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
     let mut pubs_by_venue: Vec<Vec<i64>> = vec![Vec::new(); VENUES.len()];
     for p in 0..config.publications as i64 {
         let year = rng.random_range(2000..=2015);
-        let venue = weighted_index(&mut rng, &venue_weights);
-        db.insert(
-            "publication",
-            vec![
-                Value::Int(p),
-                Value::text(format!("On the Theory of Things {p:06}")),
-                Value::Int(year),
-            ],
-        )
-        .unwrap();
-        db.insert("pubtovenue", vec![Value::Int(p), Value::Int(venue as i64)])
-            .unwrap();
-        pubs_by_venue[venue].push(p);
+        let venue_i = weighted_index(&mut rng, &venue_weights);
+        publication[0].push_int(p);
+        publication[1].push_sym(Sym::intern(&format!("On the Theory of Things {p:06}")));
+        publication[2].push_int(year);
+        pubtovenue[0].push_int(p);
+        pubtovenue[1].push_int(venue_i as i64);
+        pubs_by_venue[venue_i].push(p);
     }
 
     // Authors with heavy-tailed productivity and venue loyalty. The first
@@ -192,15 +185,9 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
     let country_weights: Vec<f64> = AUTHOR_COUNTRIES.iter().map(|(_, w)| *w).collect();
     for a in 0..config.authors as i64 {
         let country = AUTHOR_COUNTRIES[weighted_index(&mut rng, &country_weights)].0;
-        db.insert(
-            "author",
-            vec![
-                Value::Int(a),
-                Value::text(format!("Author {a:05}")),
-                Value::text(country),
-            ],
-        )
-        .unwrap();
+        author[0].push_int(a);
+        author[1].push_sym(Sym::intern(&format!("Author {a:05}")));
+        author[2].push_sym(Sym::intern(country));
         let is_db_person = (a as usize) < config.authors / 25;
         let productivity = if is_db_person {
             rng.random_range(25..=60)
@@ -230,12 +217,23 @@ pub fn generate_dblp(config: &DblpConfig) -> Database {
                 rng.random_range(0..config.publications as i64)
             };
             if seen.insert(p) {
-                db.insert("writes", vec![Value::Int(a), Value::Int(p)])
-                    .unwrap();
+                writes[0].push_int(a);
+                writes[1].push_int(p);
             }
         }
     }
 
+    let mut db = Database::new();
+    for (schema, cols) in
+        table_schemas()
+            .into_iter()
+            .zip([author, publication, venue, writes, pubtovenue])
+    {
+        db.add_table(Table::from_columns(schema, cols).expect("generated columns are typed"))
+            .expect("distinct table names");
+    }
+    db.meta.exclude("author", "name");
+    db.meta.exclude("publication", "title");
     db.validate().expect("generated schema is valid");
     db
 }

@@ -21,8 +21,11 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use squid_relation::{Column, DataType, Database, TableRole, TableSchema, Value};
+use squid_relation::{
+    Column, ColumnBuilder, DataType, Database, Sym, Table, TableRole, TableSchema,
+};
 
+use crate::builders_for;
 use crate::rng_util::{power_law, weighted_index};
 
 /// Genre names with popularity weights.
@@ -137,8 +140,9 @@ fn language_of(country: &str, rng: &mut StdRng) -> &'static str {
     }
 }
 
-fn schema(db: &mut Database) {
-    db.create_table(
+/// The seven table schemas, in a fixed order (see [`TABLES`]).
+fn table_schemas() -> Vec<TableSchema> {
+    vec![
         TableSchema::new(
             "person",
             vec![
@@ -150,9 +154,6 @@ fn schema(db: &mut Database) {
             ],
         )
         .with_primary_key("id"),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "movie",
             vec![
@@ -164,9 +165,6 @@ fn schema(db: &mut Database) {
             ],
         )
         .with_primary_key("id"),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "genre",
             vec![
@@ -176,9 +174,6 @@ fn schema(db: &mut Database) {
         )
         .with_primary_key("id")
         .with_role(TableRole::Property),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "company",
             vec![
@@ -188,9 +183,6 @@ fn schema(db: &mut Database) {
         )
         .with_primary_key("id")
         .with_role(TableRole::Property),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "castinfo",
             vec![
@@ -202,9 +194,6 @@ fn schema(db: &mut Database) {
         .with_role(TableRole::Fact)
         .with_foreign_key("person_id", "person", 0)
         .with_foreign_key("movie_id", "movie", 0),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "movietogenre",
             vec![
@@ -215,9 +204,6 @@ fn schema(db: &mut Database) {
         .with_role(TableRole::Fact)
         .with_foreign_key("movie_id", "movie", 0)
         .with_foreign_key("genre_id", "genre", 0),
-    )
-    .unwrap();
-    db.create_table(
         TableSchema::new(
             "movietocompany",
             vec![
@@ -228,25 +214,101 @@ fn schema(db: &mut Database) {
         .with_role(TableRole::Fact)
         .with_foreign_key("movie_id", "movie", 0)
         .with_foreign_key("company_id", "company", 0),
-    )
-    .unwrap();
-    db.meta.exclude("person", "name");
-    db.meta.exclude("movie", "title");
+    ]
+}
+
+/// Typed column builders for all seven tables, bulk-assembled into a
+/// [`Database`] at the end of generation — no per-row arity/type checks on
+/// the load path. Pushes happen in exactly the order the former per-row
+/// `insert` calls did, so the RNG stream and the resulting row orders are
+/// byte-identical to the row-insert generator (pinned by the
+/// `generated_slates_are_byte_identical` test).
+#[derive(Default)]
+struct ImdbBuilders {
+    person: Vec<ColumnBuilder>,
+    movie: Vec<ColumnBuilder>,
+    genre: Vec<ColumnBuilder>,
+    company: Vec<ColumnBuilder>,
+    castinfo: Vec<ColumnBuilder>,
+    movietogenre: Vec<ColumnBuilder>,
+    movietocompany: Vec<ColumnBuilder>,
+}
+
+impl ImdbBuilders {
+    fn new(config: &ImdbConfig) -> ImdbBuilders {
+        let schemas = table_schemas();
+        ImdbBuilders {
+            person: builders_for(&schemas[0], config.persons),
+            movie: builders_for(&schemas[1], config.movies),
+            genre: builders_for(&schemas[2], GENRES.len()),
+            company: builders_for(&schemas[3], COMPANIES.len()),
+            castinfo: builders_for(&schemas[4], config.persons * 4),
+            movietogenre: builders_for(&schemas[5], config.movies * 2),
+            movietocompany: builders_for(&schemas[6], config.movies),
+        }
+    }
+
+    fn person(&mut self, id: i64, name: &str, gender: &str, country: &str, birth_year: i64) {
+        self.person[0].push_int(id);
+        self.person[1].push_sym(Sym::intern(name));
+        self.person[2].push_sym(Sym::intern(gender));
+        self.person[3].push_sym(Sym::intern(country));
+        self.person[4].push_int(birth_year);
+    }
+
+    fn movie(&mut self, id: i64, title: &str, year: i64, country: &str, language: &str) {
+        self.movie[0].push_int(id);
+        self.movie[1].push_sym(Sym::intern(title));
+        self.movie[2].push_int(year);
+        self.movie[3].push_sym(Sym::intern(country));
+        self.movie[4].push_sym(Sym::intern(language));
+    }
+
+    fn castinfo(&mut self, person_id: i64, movie_id: i64, role: &str) {
+        self.castinfo[0].push_int(person_id);
+        self.castinfo[1].push_int(movie_id);
+        self.castinfo[2].push_sym(Sym::intern(role));
+    }
+
+    fn pair(cols: &mut [ColumnBuilder], a: i64, b: i64) {
+        cols[0].push_int(a);
+        cols[1].push_int(b);
+    }
+
+    fn finish(self) -> Database {
+        let mut db = Database::new();
+        let mut schemas = table_schemas().into_iter();
+        for cols in [
+            self.person,
+            self.movie,
+            self.genre,
+            self.company,
+            self.castinfo,
+            self.movietogenre,
+            self.movietocompany,
+        ] {
+            let schema = schemas.next().expect("one schema per table");
+            db.add_table(Table::from_columns(schema, cols).expect("generated columns are typed"))
+                .expect("distinct table names");
+        }
+        db.meta.exclude("person", "name");
+        db.meta.exclude("movie", "title");
+        db
+    }
 }
 
 /// Generate the synthetic IMDb database.
 pub fn generate_imdb(config: &ImdbConfig) -> Database {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut db = Database::new();
-    schema(&mut db);
+    let mut b = ImdbBuilders::new(config);
 
     for (i, (g, _)) in GENRES.iter().enumerate() {
-        db.insert("genre", vec![Value::Int(i as i64), Value::text(g)])
-            .unwrap();
+        b.genre[0].push_int(i as i64);
+        b.genre[1].push_sym(Sym::intern(g));
     }
     for (i, c) in COMPANIES.iter().enumerate() {
-        db.insert("company", vec![Value::Int(i as i64), Value::text(c)])
-            .unwrap();
+        b.company[0].push_int(i as i64);
+        b.company[1].push_sym(Sym::intern(c));
     }
 
     let genre_weights: Vec<f64> = GENRES.iter().map(|(_, w)| *w).collect();
@@ -325,26 +387,12 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
     }
 
     for (m, title, year, country, language) in &movie_rows {
-        db.insert(
-            "movie",
-            vec![
-                Value::Int(*m),
-                Value::text(title),
-                Value::Int(*year),
-                Value::text(country),
-                Value::text(language),
-            ],
-        )
-        .unwrap();
+        b.movie(*m, title, *year, country, language);
     }
     // Genre and company facts.
     for (m, genres) in movie_genres.iter().enumerate() {
         for &g in genres {
-            db.insert(
-                "movietogenre",
-                vec![Value::Int(m as i64), Value::Int(g as i64)],
-            )
-            .unwrap();
+            ImdbBuilders::pair(&mut b.movietogenre, m as i64, g as i64);
         }
         // Studio: the animation house makes animation; the family studio
         // favors Family/Adventure; otherwise zipf-weighted generalists.
@@ -359,11 +407,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
                 .collect();
             weighted_index(&mut rng, &w)
         };
-        db.insert(
-            "movietocompany",
-            vec![Value::Int(m as i64), Value::Int(company as i64)],
-        )
-        .unwrap();
+        ImdbBuilders::pair(&mut b.movietocompany, m as i64, company as i64);
     }
 
     // ---- Persons -----------------------------------------------------
@@ -390,17 +434,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
             COUNTRIES[weighted_index(&mut rng, &country_weights)].0
         };
         let birth_year = rng.random_range(1930..=2000);
-        db.insert(
-            "person",
-            vec![
-                Value::Int(p),
-                Value::text(&name),
-                Value::text(gender),
-                Value::text(country),
-                Value::Int(birth_year),
-            ],
-        )
-        .unwrap();
+        b.person(p, &name, gender, country, birth_year);
 
         // Career: archetype with genre loyalty + heavy-tailed size.
         let is_director = rng.random_bool(0.01);
@@ -440,11 +474,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
             } else {
                 "producer"
             };
-            db.insert(
-                "castinfo",
-                vec![Value::Int(p), Value::Int(movie), Value::text(role)],
-            )
-            .unwrap();
+            b.castinfo(p, movie, role);
         }
         // Saga core cast: the first 20 non-cluster persons appear in all
         // three saga movies.
@@ -456,16 +486,13 @@ pub fn generate_imdb(config: &ImdbConfig) -> Database {
                     } else {
                         "actor"
                     };
-                    db.insert(
-                        "castinfo",
-                        vec![Value::Int(p), Value::Int(mid), Value::text(role)],
-                    )
-                    .unwrap();
+                    b.castinfo(p, mid, role);
                 }
             }
         }
     }
 
+    let db = b.finish();
     db.validate().expect("generated schema is valid");
     db
 }
@@ -505,8 +532,7 @@ pub fn generate_imdb_variant(config: &ImdbConfig, variant: ImdbVariant) -> Datab
 }
 
 fn duplicate_entities(base: &Database, dense: bool, config: &ImdbConfig) -> Database {
-    let mut db = Database::new();
-    schema(&mut db);
+    let mut b = ImdbBuilders::new(config);
     let np = config.persons as i64;
     let nm = config.movies as i64;
 
@@ -516,7 +542,8 @@ fn duplicate_entities(base: &Database, dense: bool, config: &ImdbConfig) -> Data
         .iter()
         .map(|(_, r)| (r[0].as_int().unwrap(), r[1]))
     {
-        db.insert("genre", vec![Value::Int(g), name]).unwrap();
+        b.genre[0].push_int(g);
+        b.genre[1].push_value(&name).unwrap();
     }
     for (c, name) in base
         .table("company")
@@ -524,61 +551,64 @@ fn duplicate_entities(base: &Database, dense: bool, config: &ImdbConfig) -> Data
         .iter()
         .map(|(_, r)| (r[0].as_int().unwrap(), r[1]))
     {
-        db.insert("company", vec![Value::Int(c), name]).unwrap();
+        b.company[0].push_int(c);
+        b.company[1].push_value(&name).unwrap();
     }
     for (_, r) in base.table("person").unwrap().iter() {
-        db.insert("person", r.to_vec()).unwrap();
+        for (col, v) in b.person.iter_mut().zip(r) {
+            col.push_value(v).unwrap();
+        }
     }
     for (_, r) in base.table("person").unwrap().iter() {
-        let mut dup = r.to_vec();
-        let id = dup[0].as_int().unwrap() + np;
-        dup[0] = Value::Int(id);
-        dup[1] = Value::text(format!("Dup {}", r[1]));
-        db.insert("person", dup).unwrap();
+        b.person[0].push_int(r[0].as_int().unwrap() + np);
+        b.person[1].push_sym(Sym::intern(&format!("Dup {}", r[1])));
+        for (col, v) in b.person[2..].iter_mut().zip(&r[2..]) {
+            col.push_value(v).unwrap();
+        }
     }
     for (_, r) in base.table("movie").unwrap().iter() {
-        db.insert("movie", r.to_vec()).unwrap();
+        for (col, v) in b.movie.iter_mut().zip(r) {
+            col.push_value(v).unwrap();
+        }
     }
     for (_, r) in base.table("movie").unwrap().iter() {
-        let mut dup = r.to_vec();
-        let id = dup[0].as_int().unwrap() + nm;
-        dup[0] = Value::Int(id);
-        dup[1] = Value::text(format!("Dup {}", r[1]));
-        db.insert("movie", dup).unwrap();
+        b.movie[0].push_int(r[0].as_int().unwrap() + nm);
+        b.movie[1].push_sym(Sym::intern(&format!("Dup {}", r[1])));
+        for (col, v) in b.movie[2..].iter_mut().zip(&r[2..]) {
+            col.push_value(v).unwrap();
+        }
     }
     for (_, r) in base.table("movietogenre").unwrap().iter() {
         let (m, g) = (r[0].as_int().unwrap(), r[1].as_int().unwrap());
-        db.insert("movietogenre", vec![Value::Int(m), Value::Int(g)])
-            .unwrap();
-        db.insert("movietogenre", vec![Value::Int(m + nm), Value::Int(g)])
-            .unwrap();
+        ImdbBuilders::pair(&mut b.movietogenre, m, g);
+        ImdbBuilders::pair(&mut b.movietogenre, m + nm, g);
     }
     for (_, r) in base.table("movietocompany").unwrap().iter() {
         let (m, c) = (r[0].as_int().unwrap(), r[1].as_int().unwrap());
-        db.insert("movietocompany", vec![Value::Int(m), Value::Int(c)])
-            .unwrap();
-        db.insert("movietocompany", vec![Value::Int(m + nm), Value::Int(c)])
-            .unwrap();
+        ImdbBuilders::pair(&mut b.movietocompany, m, c);
+        ImdbBuilders::pair(&mut b.movietocompany, m + nm, c);
     }
     for (_, r) in base.table("castinfo").unwrap().iter() {
         let (p, m) = (r[0].as_int().unwrap(), r[1].as_int().unwrap());
-        let role = r[2];
-        db.insert("castinfo", vec![Value::Int(p), Value::Int(m), role])
-            .unwrap();
+        let role = r[2].as_sym().expect("role is text");
+        b.castinfo[0].push_int(p);
+        b.castinfo[1].push_int(m);
+        b.castinfo[2].push_sym(role);
         // Appendix D.1: bs adds (P2, M2); bd additionally adds (P1, M2)
         // and (P2, M1).
-        db.insert(
-            "castinfo",
-            vec![Value::Int(p + np), Value::Int(m + nm), role],
-        )
-        .unwrap();
+        b.castinfo[0].push_int(p + np);
+        b.castinfo[1].push_int(m + nm);
+        b.castinfo[2].push_sym(role);
         if dense {
-            db.insert("castinfo", vec![Value::Int(p), Value::Int(m + nm), role])
-                .unwrap();
-            db.insert("castinfo", vec![Value::Int(p + np), Value::Int(m), role])
-                .unwrap();
+            b.castinfo[0].push_int(p);
+            b.castinfo[1].push_int(m + nm);
+            b.castinfo[2].push_sym(role);
+            b.castinfo[0].push_int(p + np);
+            b.castinfo[1].push_int(m);
+            b.castinfo[2].push_sym(role);
         }
     }
+    let db = b.finish();
     db.validate().expect("variant schema is valid");
     db
 }

@@ -9,7 +9,7 @@
 //! times — `min_count = 1` is a plain semi-join, `min_count = k` expresses
 //! `GROUP BY root HAVING count(*) >= k`.
 
-use squid_relation::{CmpSpec, Value};
+use squid_relation::{CmpSpec, Sym, Value};
 
 /// Comparison operator for selection predicates. The paper limits selections
 /// to `attribute OP value` with `OP ∈ {=, >=, <=}`; `Between` and `In` are
@@ -30,10 +30,14 @@ pub enum CmpOp {
 }
 
 /// One selection predicate on a named column of the table it is attached to.
+///
+/// Identifiers are interned [`Sym`]s: abduced queries are rebuilt on every
+/// interactive session turn, so constructing, cloning, and dropping the
+/// AST must not allocate per name. Constructors accept `&str` as before.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pred {
-    /// Column name within the owning table.
-    pub column: String,
+    /// Column name within the owning table (interned).
+    pub column: Sym,
     /// Comparison.
     pub op: CmpOp,
     /// Right-hand value for `Eq`/`Ge`/`Le`; ignored for `Between`/`In`
@@ -43,7 +47,7 @@ pub struct Pred {
 
 impl Pred {
     /// `column = value`.
-    pub fn eq(column: &str, value: impl Into<Value>) -> Self {
+    pub fn eq(column: impl Into<Sym>, value: impl Into<Value>) -> Self {
         Pred {
             column: column.into(),
             op: CmpOp::Eq,
@@ -52,7 +56,7 @@ impl Pred {
     }
 
     /// `column >= value`.
-    pub fn ge(column: &str, value: impl Into<Value>) -> Self {
+    pub fn ge(column: impl Into<Sym>, value: impl Into<Value>) -> Self {
         Pred {
             column: column.into(),
             op: CmpOp::Ge,
@@ -61,7 +65,7 @@ impl Pred {
     }
 
     /// `column <= value`.
-    pub fn le(column: &str, value: impl Into<Value>) -> Self {
+    pub fn le(column: impl Into<Sym>, value: impl Into<Value>) -> Self {
         Pred {
             column: column.into(),
             op: CmpOp::Le,
@@ -70,7 +74,7 @@ impl Pred {
     }
 
     /// `low <= column <= high`.
-    pub fn between(column: &str, low: impl Into<Value>, high: impl Into<Value>) -> Self {
+    pub fn between(column: impl Into<Sym>, low: impl Into<Value>, high: impl Into<Value>) -> Self {
         Pred {
             column: column.into(),
             op: CmpOp::Between(low.into(), high.into()),
@@ -79,7 +83,7 @@ impl Pred {
     }
 
     /// `column IN (values)`.
-    pub fn in_set(column: &str, values: Vec<Value>) -> Self {
+    pub fn in_set(column: impl Into<Sym>, values: Vec<Value>) -> Self {
         Pred {
             column: column.into(),
             op: CmpOp::In(values),
@@ -122,19 +126,23 @@ impl Pred {
 /// to this `table`'s `child_column`, then apply local `predicates`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PathStep {
-    /// Table visited at this step.
-    pub table: String,
+    /// Table visited at this step (interned).
+    pub table: Sym,
     /// Column of the parent (root, or previous step's table) on the join.
-    pub parent_column: String,
+    pub parent_column: Sym,
     /// Column of `table` equated with the parent column.
-    pub child_column: String,
+    pub child_column: Sym,
     /// Conjunctive local predicates on `table`.
     pub predicates: Vec<Pred>,
 }
 
 impl PathStep {
     /// Convenience constructor with no local predicates.
-    pub fn new(table: &str, parent_column: &str, child_column: &str) -> Self {
+    pub fn new(
+        table: impl Into<Sym>,
+        parent_column: impl Into<Sym>,
+        child_column: impl Into<Sym>,
+    ) -> Self {
         PathStep {
             table: table.into(),
             parent_column: parent_column.into(),
@@ -176,8 +184,8 @@ impl SemiJoin {
 /// One SPJ block over a root entity table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryBlock {
-    /// Root (entity) table.
-    pub root: String,
+    /// Root (entity) table (interned).
+    pub root: Sym,
     /// Conjunctive predicates on root columns.
     pub root_predicates: Vec<Pred>,
     /// Semi-join constraints.
@@ -186,7 +194,7 @@ pub struct QueryBlock {
 
 impl QueryBlock {
     /// New block with no constraints (selects all root rows).
-    pub fn new(root: &str) -> Self {
+    pub fn new(root: impl Into<Sym>) -> Self {
         QueryBlock {
             root: root.into(),
             root_predicates: Vec::new(),
@@ -213,13 +221,13 @@ impl QueryBlock {
 pub struct Query {
     /// Intersected blocks; all must share the same root table.
     pub blocks: Vec<QueryBlock>,
-    /// Projected root column name.
-    pub projection: String,
+    /// Projected root column name (interned).
+    pub projection: Sym,
 }
 
 impl Query {
     /// Single-block query.
-    pub fn single(block: QueryBlock, projection: &str) -> Self {
+    pub fn single(block: QueryBlock, projection: impl Into<Sym>) -> Self {
         Query {
             blocks: vec![block],
             projection: projection.into(),
@@ -227,7 +235,7 @@ impl Query {
     }
 
     /// Intersection of several blocks.
-    pub fn intersect(blocks: Vec<QueryBlock>, projection: &str) -> Self {
+    pub fn intersect(blocks: Vec<QueryBlock>, projection: impl Into<Sym>) -> Self {
         Query {
             blocks,
             projection: projection.into(),
@@ -236,7 +244,7 @@ impl Query {
 
     /// Root table name (of the first block).
     pub fn root(&self) -> &str {
-        &self.blocks[0].root
+        self.blocks[0].root.as_str()
     }
 
     /// Number of join predicates: each path step contributes one

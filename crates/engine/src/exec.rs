@@ -83,7 +83,7 @@ fn compile_plan<'t>(table: &'t Table, preds: &[Pred]) -> Result<ScanPlan<'t>> {
     let kernels = preds
         .iter()
         .map(|p| {
-            let ci = column_index(table, &p.column)?;
+            let ci = column_index(table, p.column.as_str())?;
             let dtype = table.schema().columns[ci].dtype;
             Ok(kernel::compile(table.column(ci), dtype, &p.spec()))
         })
@@ -91,22 +91,94 @@ fn compile_plan<'t>(table: &'t Table, preds: &[Pred]) -> Result<ScanPlan<'t>> {
     Ok(ScanPlan::new(kernels, table.len()))
 }
 
+/// Number of radix partitions in a radix-scatter semi-join fold.
+const RADIX_PARTITIONS: usize = 64;
+
+/// Scan-size floor for taking the radix-scatter fold instead of the
+/// per-row hash-entry fold. Measured on the CI container (see
+/// `examples/fold_xover.rs`): the hash fold's count maps stay
+/// cache-resident and win at every cardinality up to 4M rows / 1M
+/// distinct keys, so the radix path only makes sense for scans well
+/// beyond that — it exists for the out-of-cache regime and for
+/// experimentation ([`set_radix_fold_min_rows`]).
+static RADIX_FOLD_MIN_ROWS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(8 << 20);
+
+/// Override the radix-fold activation threshold (rows scanned per path
+/// step). `0` forces the radix-scatter fold everywhere; `usize::MAX`
+/// disables it. Returns the previous threshold.
+pub fn set_radix_fold_min_rows(rows: usize) -> usize {
+    RADIX_FOLD_MIN_ROWS.swap(rows, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Partition selector: high bits of a Fibonacci-style multiplicative mix.
+/// Join keys are symbol ids or small integers whose raw high bits are all
+/// zero, so the mix spreads them before taking the top `log2(partitions)`.
+#[inline]
+fn radix_of(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - RADIX_PARTITIONS.trailing_zeros())) as usize
+}
+
 /// A semi-join fold result: `join-key → tuple count`, keyed by a raw
 /// `u64` encoding of the producing column's values plus their type.
+///
+/// Build layout: the fold phase radix-scatters `(key, weight)` pairs into
+/// per-partition buffers (an append, not a hash probe, per surviving row);
+/// each small partition is then sorted and coalesced into a sorted run,
+/// and the probe-side dense map is assembled with exact capacity — one
+/// insert per *distinct* key instead of one hash probe per row.
 pub struct CountMap {
     dtype: DataType,
     map: FxHashMap<u64, u64>,
 }
 
 impl CountMap {
+    /// Aggregate raw per-partition `(key, weight)` pairs: sort + coalesce
+    /// each partition's run, then assemble the probe map from the
+    /// duplicate-free runs.
+    fn from_parts(dtype: DataType, mut parts: Vec<Vec<(u64, u64)>>) -> CountMap {
+        let mut distinct = 0usize;
+        for p in &mut parts {
+            p.sort_unstable_by_key(|e| e.0);
+            p.dedup_by(|next, acc| {
+                if acc.0 == next.0 {
+                    acc.1 += next.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            distinct += p.len();
+        }
+        let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+        map.reserve(distinct);
+        for p in &parts {
+            for &(k, w) in p {
+                map.insert(k, w);
+            }
+        }
+        CountMap { dtype, map }
+    }
+
+    /// Count for a raw join key (0 when absent).
+    #[inline]
+    fn get(&self, key: u64) -> u64 {
+        self.map.get(&key).copied().unwrap_or(0)
+    }
+
     /// Count for the join key of `col` at `row` (0 when absent/null).
     /// Requires `dtype == self.dtype`; heterogeneous links go through
     /// [`CountMap::into_lookup`], which decodes the map ONCE.
     pub fn count_at(&self, col: &ColumnVec, dtype: DataType, row: RowId) -> u64 {
         debug_assert_eq!(dtype, self.dtype, "use into_lookup for mixed types");
         kernel::join_key_at(col, self.dtype, row)
-            .and_then(|k| self.map.get(&k).copied())
+            .map(|k| self.get(k))
             .unwrap_or(0)
+    }
+
+    /// Iterate the aggregated `(key, count)` pairs.
+    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&k, &w)| (k, w))
     }
 
     /// Specialize this map for probes from a column of `probe_dtype`:
@@ -119,9 +191,8 @@ impl CountMap {
             CountLookup::Typed(self)
         } else {
             let by_value: FxHashMap<Value, u64> = self
-                .map
                 .iter()
-                .map(|(&k, &w)| (kernel::key_to_value(self.dtype, k), w))
+                .map(|(k, w)| (kernel::key_to_value(self.dtype, k), w))
                 .collect();
             CountLookup::ByValue(by_value)
         }
@@ -169,7 +240,7 @@ impl<'a> Executor<'a> {
                 "query must have at least one block".into(),
             ));
         }
-        let root = query.blocks[0].root.clone();
+        let root = query.blocks[0].root;
         let mut rows: Option<RowSet> = None;
         for block in &query.blocks {
             if block.root != root {
@@ -187,7 +258,7 @@ impl<'a> Executor<'a> {
             });
         }
         Ok(ResultSet {
-            root,
+            root: root.as_str().to_string(),
             rows: rows.unwrap_or_default(),
         })
     }
@@ -197,7 +268,7 @@ impl<'a> Executor<'a> {
     /// thin each surviving word through the semi-join count checks before
     /// storing it into the result bitmap.
     fn execute_block(&self, block: &QueryBlock) -> Result<RowSet> {
-        let root_table = self.db.table(&block.root)?;
+        let root_table = self.db.table(block.root.as_str())?;
         let plan = compile_plan(root_table, &block.root_predicates)?;
 
         // Fold every semi-join into a per-root-join-column count map first.
@@ -265,43 +336,65 @@ impl<'a> Executor<'a> {
         // the remaining path suffix.
         let mut deeper: Option<CountMap> = None;
         for (i, step) in sj.path.iter().enumerate().rev() {
-            let table = self.db.table(&step.table)?;
+            let table = self.db.table(step.table.as_str())?;
             let plan = compile_plan(table, &step.predicates)?;
-            let child_ci = column_index(table, &step.child_column)?;
+            let child_ci = column_index(table, step.child_column.as_str())?;
             let child_col = table.column(child_ci);
             let child_dtype = table.schema().columns[child_ci].dtype;
             // Column in THIS table that the next (deeper) step joins on,
             // with the deeper map specialized to its type up front.
             let next_parent = match (sj.path.get(i + 1), deeper.take()) {
                 (Some(next), Some(deep)) => {
-                    let ci = column_index(table, &next.parent_column)?;
+                    let ci = column_index(table, next.parent_column.as_str())?;
                     let dtype = table.schema().columns[ci].dtype;
                     Some((table.column(ci), dtype, deep.into_lookup(dtype)))
                 }
                 _ => None,
             };
-            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
             // Batch scan: local predicates are evaluated 64 rows at a
-            // time; only rows surviving the ANDed word reach the fold.
-            plan.for_each_match(|row| {
+            // time; only rows surviving the ANDed word reach the fold. The
+            // `(key, weight)` extraction is shared by both fold layouts —
+            // null join keys and zero deeper-counts never emit.
+            let emit = |row: RowId| -> Option<(u64, u64)> {
                 let w = match &next_parent {
                     Some((col, dtype, deep)) => match deep.count_at(col, *dtype, row) {
-                        0 => return,
+                        0 => return None,
                         w => w,
                     },
                     None => 1,
                 };
-                let Some(key) = kernel::join_key_at(child_col, child_dtype, row) else {
-                    return; // null join keys never match
-                };
-                *map.entry(key).or_insert(0) += w;
-            });
-            deeper = Some(CountMap {
-                dtype: child_dtype,
-                map,
+                let key = kernel::join_key_at(child_col, child_dtype, row)?;
+                Some((key, w))
+            };
+            let radix =
+                table.len() >= RADIX_FOLD_MIN_ROWS.load(std::sync::atomic::Ordering::Relaxed);
+            deeper = Some(if radix {
+                // Radix-scatter fold: emitted keys append to per-partition
+                // buffers (no per-row hash probe) and aggregate once per
+                // partition via sorted runs.
+                let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); RADIX_PARTITIONS];
+                plan.for_each_match(|row| {
+                    if let Some((key, w)) = emit(row) {
+                        parts[radix_of(key)].push((key, w));
+                    }
+                });
+                CountMap::from_parts(child_dtype, parts)
+            } else {
+                // Hash-entry fold: one probe per surviving row into a map
+                // that stays cache-resident at these scan sizes.
+                let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+                plan.for_each_match(|row| {
+                    if let Some((key, w)) = emit(row) {
+                        *map.entry(key).or_insert(0) += w;
+                    }
+                });
+                CountMap {
+                    dtype: child_dtype,
+                    map,
+                }
             });
         }
-        let root_ci = column_index(root_table, &sj.path[0].parent_column)?;
+        let root_ci = column_index(root_table, sj.path[0].parent_column.as_str())?;
         Ok((root_ci, deeper.expect("non-empty path")))
     }
 }
@@ -309,7 +402,7 @@ impl<'a> Executor<'a> {
 /// Convenience: execute and return projected values.
 pub fn run_query(db: &Database, query: &Query) -> Result<Vec<Value>> {
     let rs = Executor::new(db).execute(query)?;
-    rs.project(db, &query.projection)
+    rs.project(db, query.projection.as_str())
 }
 
 /// Walk a semi-join path for ONE root row and count matching tuples.
@@ -324,12 +417,12 @@ pub fn count_path_for_row(
         let Some(step) = path.first() else {
             return Ok(1);
         };
-        let table = db.table(&step.table)?;
-        let child_ci = column_index(table, &step.child_column)?;
+        let table = db.table(step.table.as_str())?;
+        let child_ci = column_index(table, step.child_column.as_str())?;
         let preds: Vec<(usize, &Pred)> = step
             .predicates
             .iter()
-            .map(|p| Ok((column_index(table, &p.column)?, p)))
+            .map(|p| Ok((column_index(table, p.column.as_str())?, p)))
             .collect::<Result<_>>()?;
         let mut total = 0u64;
         'rows: for (_, row) in table.iter() {
@@ -343,7 +436,7 @@ pub fn count_path_for_row(
             }
             let next_key = match path.get(1) {
                 Some(next) => {
-                    let ci = column_index(table, &next.parent_column)?;
+                    let ci = column_index(table, next.parent_column.as_str())?;
                     Some(row[ci])
                 }
                 None => None,
@@ -355,7 +448,7 @@ pub fn count_path_for_row(
         }
         Ok(total)
     }
-    let root_ci = column_index(root_table, &sj.path[0].parent_column)?;
+    let root_ci = column_index(root_table, sj.path[0].parent_column.as_str())?;
     let key = root_table
         .cell(row, root_ci)
         .copied()
@@ -509,6 +602,36 @@ mod tests {
             let folded = map.count_at(col, dtype, rid);
             let oracle = count_path_for_row(&db, root, rid, &sj).unwrap();
             assert_eq!(folded, oracle, "row {rid}");
+        }
+    }
+
+    #[test]
+    fn radix_fold_matches_hash_fold_and_oracle() {
+        let db = academics_db();
+        let sj = SemiJoin::at_least(2, vec![PathStep::new("research", "id", "aid")]);
+        let root = db.table("academics").unwrap();
+        let exec = Executor::new(&db);
+        let (ci_h, hash_map) = exec.fold_semi_join(root, &sj).unwrap();
+        let prev = set_radix_fold_min_rows(0);
+        let (ci_r, radix_map) = exec.fold_semi_join(root, &sj).unwrap();
+        // Whole-query parity under the radix fold, including a filtered path.
+        let q = Query::single(
+            QueryBlock::new("academics").semi_join(SemiJoin::exists(vec![PathStep::new(
+                "research", "id", "aid",
+            )
+            .filter(Pred::eq("interest", "data management"))])),
+            "name",
+        );
+        let radix_rows = exec.execute(&q).unwrap();
+        set_radix_fold_min_rows(prev);
+        assert_eq!(exec.execute(&q).unwrap(), radix_rows);
+        assert_eq!(ci_h, ci_r);
+        let col = root.column(ci_h);
+        let dtype = root.schema().columns[ci_h].dtype;
+        for (rid, _) in root.iter() {
+            let r = radix_map.count_at(col, dtype, rid);
+            assert_eq!(r, hash_map.count_at(col, dtype, rid), "row {rid}");
+            assert_eq!(r, count_path_for_row(&db, root, rid, &sj).unwrap());
         }
     }
 

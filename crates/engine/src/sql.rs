@@ -100,7 +100,7 @@ pub fn to_sql(query: &Query) -> String {
     query
         .blocks
         .iter()
-        .map(|b| render_block(b, &query.projection))
+        .map(|b| render_block(b, query.projection.as_str()))
         .collect::<Vec<_>>()
         .join("\nINTERSECT\n")
 }

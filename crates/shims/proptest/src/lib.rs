@@ -164,6 +164,20 @@ impl Strategy for Any<u8> {
     }
 }
 
+impl Strategy for Any<u16> {
+    type Value = u16;
+    fn generate(&self, rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
 impl Strategy for Any<i64> {
     type Value = i64;
     fn generate(&self, rng: &mut TestRng) -> i64 {

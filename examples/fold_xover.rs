@@ -1,0 +1,116 @@
+//! Scratch: crossover between per-row hash-entry folds and radix-scatter
+//! folds at varying row counts / distinct-key cardinalities.
+use squid_relation::FxHashMap;
+use std::time::Instant;
+
+const RADIX: usize = 64;
+#[inline]
+fn radix_of(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - RADIX.trailing_zeros())) as usize
+}
+
+fn main() {
+    for &(rows, distinct) in &[
+        (10_000usize, 1_000u64),
+        (50_000, 2_000),
+        (100_000, 10_000),
+        (500_000, 50_000),
+        (1_000_000, 200_000),
+        (4_000_000, 1_000_000),
+    ] {
+        // Pseudo-random key stream.
+        let keys: Vec<u64> = (0..rows)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % distinct
+            })
+            .collect();
+        let reps = (2_000_000 / rows).max(1) as u32;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            for &k in &keys {
+                *map.entry(k).or_insert(0) += 1;
+            }
+            std::hint::black_box(map.len());
+        }
+        let hash = t.elapsed() / reps;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); RADIX];
+            for &k in &keys {
+                parts[radix_of(k)].push((k, 1));
+            }
+            let mut total = 0usize;
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            for p in &mut parts {
+                p.sort_unstable_by_key(|e| e.0);
+                p.dedup_by(|n, a| {
+                    if a.0 == n.0 {
+                        a.1 += n.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                total += p.len();
+            }
+            map.reserve(total);
+            for p in &parts {
+                for &(k, w) in p {
+                    map.insert(k, w);
+                }
+            }
+            std::hint::black_box(map.len());
+        }
+        let radix = t.elapsed() / reps;
+        // Variant: flat append, histogram, contiguous scatter, per-partition sort.
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut buf: Vec<(u64, u64)> = Vec::new();
+            for &k in &keys {
+                buf.push((k, 1));
+            }
+            let mut hist = [0usize; RADIX + 1];
+            for &(k, _) in &buf {
+                hist[radix_of(k) + 1] += 1;
+            }
+            for i in 0..RADIX {
+                hist[i + 1] += hist[i];
+            }
+            let mut cursors = hist;
+            let mut scat: Vec<(u64, u64)> = vec![(0, 0); buf.len()];
+            for &(k, w) in &buf {
+                let p = radix_of(k);
+                scat[cursors[p]] = (k, w);
+                cursors[p] += 1;
+            }
+            let mut total = 0usize;
+            for p in 0..RADIX {
+                let run = &mut scat[hist[p]..hist[p + 1]];
+                run.sort_unstable_by_key(|e| e.0);
+                total += 1 + run.windows(2).filter(|w| w[0].0 != w[1].0).count();
+            }
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            map.reserve(total);
+            for p in 0..RADIX {
+                let run = &scat[hist[p]..hist[p + 1]];
+                let mut i = 0;
+                while i < run.len() {
+                    let k = run[i].0;
+                    let mut w = 0;
+                    while i < run.len() && run[i].0 == k {
+                        w += run[i].1;
+                        i += 1;
+                    }
+                    map.insert(k, w);
+                }
+            }
+            std::hint::black_box(map.len());
+        }
+        let radix2 = t.elapsed() / reps;
+        println!("rows {rows:>8} distinct {distinct:>8}: hash {hash:>10?} radix {radix:>10?} flat {radix2:>10?} flat/hash {:.2}", radix2.as_nanos() as f64 / hash.as_nanos() as f64);
+    }
+}

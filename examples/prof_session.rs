@@ -24,7 +24,7 @@ fn main() {
     let queries = imdb_queries(&db);
     let q = queries.iter().find(|p| p.id == "IQ15").unwrap();
     let rs = squid_engine::Executor::new(&db).execute(&q.query).unwrap();
-    let values = rs.project(&db, &q.query.projection).unwrap();
+    let values = rs.project(&db, q.query.projection.as_str()).unwrap();
     let examples: Vec<String> = values.iter().take(5).map(|v| v.to_string()).collect();
     let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
     let squid = Squid::new(&adb);

@@ -63,6 +63,7 @@ session commands:
   sql                  print the abduced SQL only
   rows [n]             print up to n result tuples (default 10)
   examples             list the session's examples
+  stats                evaluation-cache hit/miss counters and resident bytes
   help                 this text
   quit                 exit";
 
@@ -303,6 +304,21 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
                 .map_err(|e| e.to_string()),
             "examples" => {
                 println!("examples: {:?}", session.examples());
+                Ok(None)
+            }
+            "stats" => {
+                let s = session.cache_stats();
+                let total = s.hits + s.misses;
+                let rate = if total > 0 {
+                    100.0 * s.hits as f64 / total as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "evaluation cache: {} hits / {} misses ({rate:.0}% hit rate), \
+                     {} resident filter bitmaps, {} bytes",
+                    s.hits, s.misses, s.entries, s.resident_bytes
+                );
                 Ok(None)
             }
             "show" => {

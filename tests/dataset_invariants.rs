@@ -5,7 +5,7 @@
 use std::collections::HashSet;
 
 use squid_datasets::{
-    adult_queries, dblp_queries, generate_adult, generate_dblp, generate_imdb,
+    adult_queries, db_fingerprint, dblp_queries, generate_adult, generate_dblp, generate_imdb,
     generate_imdb_variant, imdb_queries, AdultConfig, DblpConfig, ImdbConfig, ImdbVariant,
 };
 use squid_relation::{Database, TableRole};
@@ -146,6 +146,48 @@ fn benchmark_suites_are_stable_across_regeneration() {
     for (x, y) in da.iter().zip(&db_) {
         assert_eq!(x.query, y.query);
     }
+}
+
+/// The generated slates are pinned byte-for-byte. The cell stream was
+/// verified identical between the per-row `insert` generators and the
+/// typed `ColumnBuilder` bulk-load port before recording; the fingerprint
+/// also covers schemas (column names/dtypes, roles, keys) and the
+/// non-semantic exclusions, so schema/metadata drift fails here too, not
+/// just content drift. Regenerating the constants is a deliberate act:
+/// print `db_fingerprint` for each slate and update.
+#[test]
+fn generated_slates_are_byte_identical() {
+    let tiny = ImdbConfig::tiny();
+    assert_eq!(db_fingerprint(&generate_imdb(&tiny)), 0xcaa273adfa2c97bc);
+    assert_eq!(
+        db_fingerprint(&generate_imdb(&ImdbConfig::default())),
+        0x6697c984f58429eb
+    );
+    let var_cfg = ImdbConfig {
+        persons: 150,
+        movies: 90,
+        ..ImdbConfig::tiny()
+    };
+    assert_eq!(
+        db_fingerprint(&generate_imdb_variant(&var_cfg, ImdbVariant::Small)),
+        0x0696364988d4e282
+    );
+    assert_eq!(
+        db_fingerprint(&generate_imdb_variant(&var_cfg, ImdbVariant::BigSparse)),
+        0x1f1ccc541cafe640
+    );
+    assert_eq!(
+        db_fingerprint(&generate_imdb_variant(&var_cfg, ImdbVariant::BigDense)),
+        0x344744220393e37a
+    );
+    assert_eq!(
+        db_fingerprint(&generate_dblp(&DblpConfig::tiny())),
+        0xdda4afb8d6c415e0
+    );
+    assert_eq!(
+        db_fingerprint(&generate_dblp(&DblpConfig::default())),
+        0xb6107de0dffa2eca
+    );
 }
 
 #[test]

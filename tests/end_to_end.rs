@@ -19,7 +19,7 @@ fn sample_examples(
     seed: u64,
 ) -> (Vec<String>, squid_relation::RowSet) {
     let rs = Executor::new(db).execute(query).unwrap();
-    let values = rs.project(db, &query.projection).unwrap();
+    let values = rs.project(db, query.projection.as_str()).unwrap();
     let rows: Vec<usize> = rs.rows.iter().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..rows.len()).collect();
@@ -90,7 +90,7 @@ fn examples_are_always_contained_in_result() {
             continue;
         }
         let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
-        let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) else {
+        let Ok(d) = squid.discover_on(q.query.root(), q.query.projection.as_str(), &refs) else {
             continue;
         };
         for r in &d.example_rows {
@@ -118,10 +118,10 @@ fn accuracy_improves_with_more_examples_on_average() {
             let small: Vec<&str> = ex_small.iter().map(String::as_str).collect();
             let large: Vec<&str> = ex_large.iter().map(String::as_str).collect();
             let d_small = squid
-                .discover_on(q.query.root(), &q.query.projection, &small)
+                .discover_on(q.query.root(), q.query.projection.as_str(), &small)
                 .unwrap();
             let d_large = squid
-                .discover_on(q.query.root(), &q.query.projection, &large)
+                .discover_on(q.query.root(), q.query.projection.as_str(), &large)
                 .unwrap();
             f_small += Accuracy::of(&d_small.rows, &truth).f_score;
             f_large += Accuracy::of(&d_large.rows, &truth).f_score;

@@ -55,13 +55,13 @@ fn imdb_qre_beats_talos_on_predicates() {
             continue;
         }
         let values: Vec<String> = rs
-            .project(&db, &q.query.projection)
+            .project(&db, q.query.projection.as_str())
             .unwrap()
             .iter()
             .map(|v| v.to_string())
             .collect();
         let refs: Vec<&str> = values.iter().map(String::as_str).collect();
-        let Ok(d) = squid.discover_on(q.query.root(), &q.query.projection, &refs) else {
+        let Ok(d) = squid.discover_on(q.query.root(), q.query.projection.as_str(), &refs) else {
             continue;
         };
         let excludes = default_excludes(&db, q.query.root());
