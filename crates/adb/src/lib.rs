@@ -18,5 +18,5 @@ pub use build::{ADb, AdbConfig, BuildStats, EntityProps, PropId, Property};
 pub use properties::{discover_properties, PropKind, PropertyDef, QueryFragments};
 pub use stats::{
     CategoricalStats, DerivedNumericStats, DerivedStats, FilterFingerprint, FilterSetCache,
-    NumericStats, PropStats,
+    NumericStats, PropStats, SharedCacheStats, SharedFilterSetCache, SHARED_CACHE_SHARDS,
 };

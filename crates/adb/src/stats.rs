@@ -661,9 +661,154 @@ impl FilterFingerprint {
     }
 }
 
+/// Approximate resident footprint of one cached entry: the bitmap words
+/// plus the fingerprint key and the `RowSet` header.
+fn entry_bytes(fp: &FilterFingerprint, set: &RowSet) -> usize {
+    fp.key_bytes() + set.word_count() * 8 + std::mem::size_of::<RowSet>()
+}
+
+/// One resident cache entry plus its CLOCK reference bit.
+#[derive(Debug, Clone)]
+struct Slot {
+    fp: FilterFingerprint,
+    set: std::sync::Arc<RowSet>,
+    bytes: usize,
+    referenced: bool,
+}
+
+/// Byte-bounded fingerprint → bitmap map with CLOCK (second-chance)
+/// eviction — the storage shared by the per-session [`FilterSetCache`] and
+/// each [`SharedFilterSetCache`] shard.
+///
+/// Entries live in stable slots; a clock hand sweeps them on pressure,
+/// clearing reference bits on the first pass and evicting unreferenced
+/// slots on the second — an O(1)-amortized LRU approximation that needs no
+/// per-access list surgery, so the hot lookup path stays one hash probe
+/// plus one flag store.
+#[derive(Debug, Clone, Default)]
+struct ClockMap {
+    map: FxHashMap<FilterFingerprint, usize>,
+    slots: Vec<Option<Slot>>,
+    /// Vacated slot indices, reused before growing `slots`.
+    free: Vec<usize>,
+    hand: usize,
+    resident_bytes: usize,
+    evictions: u64,
+}
+
+impl ClockMap {
+    /// Resident set for `fp`, marking its slot referenced (touch-on-use).
+    fn get(&mut self, fp: &FilterFingerprint) -> Option<&std::sync::Arc<RowSet>> {
+        let &i = self.map.get(fp)?;
+        let slot = self.slots[i].as_mut().expect("mapped slot is occupied");
+        slot.referenced = true;
+        Some(&slot.set)
+    }
+
+    /// Resident set without touching the reference bit.
+    fn peek(&self, fp: &FilterFingerprint) -> Option<&std::sync::Arc<RowSet>> {
+        self.map
+            .get(fp)
+            .map(|&i| &self.slots[i].as_ref().expect("mapped slot is occupied").set)
+    }
+
+    /// Admit `set` under `fp`, evicting second-chance victims first so the
+    /// resident footprint (including the new entry) stays within `budget`.
+    /// An entry larger than the whole budget is rejected outright (returns
+    /// `false`); a fingerprint already resident is left as-is. `referenced`
+    /// seeds the CLOCK bit: sessions admit hot (they intersect the set
+    /// immediately), the shared publish path admits cold (touch-on-use
+    /// only, so never-looked-up publications are the first victims).
+    fn insert(
+        &mut self,
+        fp: &FilterFingerprint,
+        set: std::sync::Arc<RowSet>,
+        referenced: bool,
+        budget: usize,
+    ) -> bool {
+        let bytes = entry_bytes(fp, &set);
+        if bytes > budget {
+            return false;
+        }
+        if self.map.contains_key(fp) {
+            return true;
+        }
+        self.evict_to(budget - bytes);
+        let slot = Slot {
+            fp: fp.clone(),
+            set,
+            bytes,
+            referenced,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(fp.clone(), i);
+        self.resident_bytes += bytes;
+        true
+    }
+
+    /// Advance the clock hand until the resident footprint is within
+    /// `budget`: referenced slots get their second chance (bit cleared,
+    /// hand moves on), unreferenced slots are evicted.
+    fn evict_to(&mut self, budget: usize) {
+        // Two full revolutions bound the sweep: the first clears every
+        // reference bit, the second can evict every slot.
+        let mut spared = 0usize;
+        while self.resident_bytes > budget && !self.map.is_empty() && spared <= 2 * self.slots.len()
+        {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            match &mut self.slots[self.hand] {
+                Some(s) if s.referenced => {
+                    s.referenced = false;
+                    spared += 1;
+                }
+                Some(_) => {
+                    let s = self.slots[self.hand].take().expect("occupied slot");
+                    self.map.remove(&s.fp);
+                    self.free.push(self.hand);
+                    self.resident_bytes -= s.bytes;
+                    self.evictions += 1;
+                }
+                None => spared += 1,
+            }
+            self.hand += 1;
+        }
+    }
+
+    /// Clear every reference bit (one aging round): entries not touched
+    /// again before the next pressure sweep become eviction candidates.
+    fn decay(&mut self) {
+        for s in self.slots.iter_mut().flatten() {
+            s.referenced = false;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.hand = 0;
+        self.resident_bytes = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Cross-turn evaluation cache: memoized per-filter row bitmaps keyed by
-/// [`FilterFingerprint`], with generation-tagged invalidation and hit/miss
-/// accounting.
+/// [`FilterFingerprint`], with generation-tagged invalidation, hit/miss
+/// accounting, and byte-bounded CLOCK eviction.
 ///
 /// The interactive session loop re-evaluates the abduced query after every
 /// example or feedback action, yet successive turns share almost all of
@@ -674,18 +819,45 @@ impl FilterFingerprint {
 /// The cache is tied to the αDB it was computed against through a
 /// generation tag ([`crate::ADb::generation`]): pointing an existing cache
 /// at a rebuilt αDB drops every entry instead of serving stale bitmaps.
-#[derive(Debug, Clone, Default)]
+///
+/// Optionally the cache participates in a fleet-wide
+/// [`SharedFilterSetCache`] ([`attach_shared`](Self::attach_shared)):
+/// lookups that miss locally consult the shared shards, and freshly
+/// computed sets are published back, so concurrent sessions over one αDB
+/// compute each popular bitmap once. A resident-byte bound
+/// ([`set_max_resident_bytes`](Self::set_max_resident_bytes)) keeps
+/// long-lived sessions over huge entities flat in memory.
+#[derive(Debug, Clone)]
 pub struct FilterSetCache {
     generation: u64,
-    /// `Arc`-shared bitmaps: cloning a session (or handing sets out to
-    /// concurrent readers) bumps refcounts instead of copying bitmap words.
-    map: FxHashMap<FilterFingerprint, std::sync::Arc<RowSet>>,
+    inner: ClockMap,
+    max_resident_bytes: usize,
     hits: u64,
     misses: u64,
+    /// Fleet-wide second level, consulted on local misses.
+    shared: Option<std::sync::Arc<SharedFilterSetCache>>,
+    shared_hits: u64,
+    shared_misses: u64,
+}
+
+impl Default for FilterSetCache {
+    fn default() -> FilterSetCache {
+        FilterSetCache {
+            generation: 0,
+            inner: ClockMap::default(),
+            max_resident_bytes: usize::MAX,
+            hits: 0,
+            misses: 0,
+            shared: None,
+            shared_hits: 0,
+            shared_misses: 0,
+        }
+    }
 }
 
 impl FilterSetCache {
-    /// Empty cache bound to an αDB generation.
+    /// Empty cache bound to an αDB generation (unbounded residency, no
+    /// shared level).
     pub fn new(generation: u64) -> FilterSetCache {
         FilterSetCache {
             generation,
@@ -698,50 +870,82 @@ impl FilterSetCache {
         self.generation
     }
 
-    /// Re-bind the cache to `generation`, dropping every entry when it
-    /// differs from the tagged one (the invalidation path for sessions
-    /// whose αDB handle was swapped for a rebuilt database).
+    /// Bound the resident memoized-bitmap footprint, evicting immediately
+    /// if the current residency exceeds the new bound.
+    pub fn set_max_resident_bytes(&mut self, bytes: usize) {
+        self.max_resident_bytes = bytes;
+        self.inner.evict_to(bytes);
+    }
+
+    /// The configured resident-byte bound (`usize::MAX` when unbounded).
+    pub fn max_resident_bytes(&self) -> usize {
+        self.max_resident_bytes
+    }
+
+    /// Join a fleet-wide shared cache: local misses consult it, local
+    /// computes publish to it.
+    pub fn attach_shared(&mut self, shared: std::sync::Arc<SharedFilterSetCache>) {
+        self.shared = Some(shared);
+    }
+
+    /// The attached fleet-wide cache, if any.
+    pub fn shared(&self) -> Option<&std::sync::Arc<SharedFilterSetCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Re-bind the cache to `generation`, dropping every local entry when
+    /// it differs from the tagged one (the invalidation path for sessions
+    /// whose αDB handle was swapped for a rebuilt database). The shared
+    /// level revalidates itself lazily, shard by shard, on access.
     pub fn revalidate(&mut self, generation: u64) {
         if self.generation != generation {
-            self.map.clear();
+            self.inner.clear();
             self.generation = generation;
         }
     }
 
-    /// The cached set for `fp`, computing and memoizing it on a miss.
-    /// Counts one hit or one miss per call; a single hash probe either way.
+    /// The cached set for `fp`, computing, memoizing, and publishing it on
+    /// a full (two-level) miss. Counts one hit or one miss per call.
     pub fn get_or_insert_with(
         &mut self,
         fp: &FilterFingerprint,
         compute: impl FnOnce() -> RowSet,
-    ) -> &RowSet {
-        match self.map.entry(fp.clone()) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                self.hits += 1;
-                e.into_mut()
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.misses += 1;
-                v.insert(std::sync::Arc::new(compute()))
-            }
+    ) -> std::sync::Arc<RowSet> {
+        match self.lookup(fp) {
+            Some(set) => set,
+            None => self.insert_with(fp, compute),
         }
     }
 
-    /// Resident set for `fp` as a shared handle, counting one hit;
-    /// `None` (uncounted) when absent. With [`FilterSetCache::insert_with`]
-    /// this is the single-probe read path: one hash probe per filter per
-    /// evaluation, versus the contains + entry + get triple.
+    /// Resident set for `fp` as a shared handle: the local level first
+    /// (counting one hit), then the attached [`SharedFilterSetCache`]
+    /// (counting one shared hit and admitting the set locally so the next
+    /// turn doesn't pay the shard lock). `None` when both levels miss.
     pub fn lookup(&mut self, fp: &FilterFingerprint) -> Option<std::sync::Arc<RowSet>> {
-        match self.map.get(fp) {
-            Some(a) => {
-                self.hits += 1;
-                Some(std::sync::Arc::clone(a))
-            }
-            None => None,
+        if let Some(set) = self.inner.get(fp) {
+            self.hits += 1;
+            return Some(std::sync::Arc::clone(set));
         }
+        if let Some(shared) = &self.shared {
+            if let Some(set) = shared.lookup(fp, self.generation) {
+                self.shared_hits += 1;
+                self.inner.insert(
+                    fp,
+                    std::sync::Arc::clone(&set),
+                    true,
+                    self.max_resident_bytes,
+                );
+                return Some(set);
+            }
+            self.shared_misses += 1;
+        }
+        None
     }
 
-    /// Compute, admit, and return the set for `fp`, counting one miss.
+    /// Compute, admit, and return the set for `fp`, counting one miss and
+    /// publishing the set to the attached shared cache (which applies its
+    /// own byte bound). The set is returned even when the local bound
+    /// rejects residency — correctness never depends on admission.
     pub fn insert_with(
         &mut self,
         fp: &FilterFingerprint,
@@ -749,46 +953,271 @@ impl FilterSetCache {
     ) -> std::sync::Arc<RowSet> {
         self.misses += 1;
         let set = std::sync::Arc::new(compute());
-        self.map.insert(fp.clone(), std::sync::Arc::clone(&set));
+        self.inner.insert(
+            fp,
+            std::sync::Arc::clone(&set),
+            true,
+            self.max_resident_bytes,
+        );
+        if let Some(shared) = &self.shared {
+            shared.publish(fp, self.generation, &set);
+        }
         set
     }
 
-    /// Peek at a cached set without touching the hit/miss counters.
+    /// Peek at a locally cached set without touching any counter or
+    /// reference bit (the shared level is not consulted).
     pub fn get(&self, fp: &FilterFingerprint) -> Option<&RowSet> {
-        self.map.get(fp).map(|a| &**a)
+        self.inner.peek(fp).map(|a| &**a)
     }
 
-    /// Is `fp` resident?
+    /// Is `fp` locally resident?
     pub fn contains(&self, fp: &FilterFingerprint) -> bool {
-        self.map.contains_key(fp)
+        self.inner.peek(fp).is_some()
     }
 
-    /// Cache hits so far.
+    /// Local cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Cache misses (each one computed and admitted a row set).
+    /// Full misses (each one computed and admitted a row set).
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
-    /// Number of resident filter row sets.
-    pub fn entries(&self) -> usize {
-        self.map.len()
+    /// Lookups served by the attached shared cache after a local miss.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
     }
 
-    /// Approximate resident bytes: bitmap words plus fingerprint keys.
+    /// Lookups that missed both the local and the shared level (0 when no
+    /// shared cache is attached).
+    pub fn shared_misses(&self) -> u64 {
+        self.shared_misses
+    }
+
+    /// Entries evicted from the local level by the byte bound.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions
+    }
+
+    /// Number of locally resident filter row sets.
+    pub fn entries(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Approximate local resident bytes: bitmap words plus fingerprint
+    /// keys (tracked incrementally, O(1)).
     pub fn resident_bytes(&self) -> usize {
-        self.map
+        self.inner.resident_bytes
+    }
+
+    /// Drop every local entry (counters are preserved).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Number of independently locked shards in a [`SharedFilterSetCache`].
+pub const SHARED_CACHE_SHARDS: usize = 16;
+
+/// Fleet-wide evaluation cache: one sharded fingerprint → bitmap store
+/// that every session over the same `Arc<ADb>` consults after its local
+/// [`FilterSetCache`] misses, and publishes freshly computed sets back to.
+///
+/// Under a many-user serving workload, concurrent sessions keep abducing
+/// the same popular filters; without sharing, each re-derives the same
+/// bitmaps from the αDB postings. The shared cache makes every popular
+/// filter's set a process-wide one-time cost: sets are `Arc<RowSet>`
+/// handles, so crossing the cache clones a pointer, never bitmap words.
+///
+/// * **Sharding** — [`SHARED_CACHE_SHARDS`] independently locked shards,
+///   selected by fingerprint hash: unrelated filters never contend, and
+///   each lock is held only for one hash probe (lookup) or one admission
+///   (publish).
+/// * **Byte bound** — the configured `max_resident_bytes` is split evenly
+///   across shards; each shard runs CLOCK second-chance eviction over its
+///   slots, so the fleet-wide footprint stays flat no matter how many
+///   distinct filters the workload touches. Publications are admitted
+///   *cold* (reference bit clear): only an actual cross-session lookup
+///   marks an entry hot, so bitmaps published by a session that died
+///   before anyone reused them are the first victims.
+/// * **Generation tags** — every shard is tagged with the αDB generation
+///   its entries were computed against; an access carrying a different
+///   generation clears that shard before proceeding, so a rebuilt αDB can
+///   never be served stale bitmaps. Invalidation is lazy (per shard, on
+///   first access), which keeps generation bumps O(1).
+///
+/// A [`SessionManager`](../../squid_core/struct.SessionManager.html) owns
+/// one per fleet by default; a standalone instance can also be constructed
+/// and attached to one-shot sessions via [`FilterSetCache::attach_shared`].
+#[derive(Debug)]
+pub struct SharedFilterSetCache {
+    shards: Vec<std::sync::Mutex<SharedShard>>,
+    /// Per-shard byte budget: `max_resident_bytes / SHARED_CACHE_SHARDS`
+    /// (floor, so the summed residency never exceeds the configured total).
+    shard_budget: usize,
+    max_resident_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct SharedShard {
+    generation: u64,
+    inner: ClockMap,
+    hits: u64,
+    misses: u64,
+}
+
+/// Point-in-time aggregate counters of a [`SharedFilterSetCache`],
+/// summed across shards (see [`SharedFilterSetCache::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups served from a shard.
+    pub hits: u64,
+    /// Lookups that found nothing resident.
+    pub misses: u64,
+    /// Entries evicted by the byte bound across all shards.
+    pub evictions: u64,
+    /// Resident filter row sets across all shards.
+    pub entries: usize,
+    /// Approximate resident bytes across all shards.
+    pub resident_bytes: usize,
+    /// Per-shard resident bytes (length [`SHARED_CACHE_SHARDS`]) — the
+    /// skew diagnostic for tuning `max_resident_bytes`.
+    pub per_shard_resident_bytes: Vec<usize>,
+    /// The configured fleet-wide resident-byte bound.
+    pub max_resident_bytes: usize,
+}
+
+impl SharedFilterSetCache {
+    /// Empty shared cache bound to an αDB generation, with a fleet-wide
+    /// resident-byte bound (split evenly across shards — a single entry can
+    /// therefore occupy at most `max_resident_bytes / SHARED_CACHE_SHARDS`
+    /// bytes; larger sets are simply not admitted).
+    pub fn new(generation: u64, max_resident_bytes: usize) -> SharedFilterSetCache {
+        SharedFilterSetCache {
+            shards: (0..SHARED_CACHE_SHARDS)
+                .map(|_| {
+                    std::sync::Mutex::new(SharedShard {
+                        generation,
+                        ..SharedShard::default()
+                    })
+                })
+                .collect(),
+            shard_budget: max_resident_bytes / SHARED_CACHE_SHARDS,
+            max_resident_bytes,
+        }
+    }
+
+    /// The configured fleet-wide resident-byte bound.
+    pub fn max_resident_bytes(&self) -> usize {
+        self.max_resident_bytes
+    }
+
+    fn shard_for(&self, fp: &FilterFingerprint) -> &std::sync::Mutex<SharedShard> {
+        use std::hash::BuildHasher;
+        let h = squid_relation::FxBuildHasher::default().hash_one(fp);
+        // Shard on the HIGH hash bits: each shard's inner FxHashMap (same
+        // hasher) buckets on the low bits, so consuming those here would
+        // leave every shard's keys clustered in 1/16 of its buckets.
+        &self.shards[(h >> 60) as usize % SHARED_CACHE_SHARDS]
+    }
+
+    /// Lock `fp`'s shard and revalidate it against `generation` (clearing
+    /// entries computed against a different αDB build).
+    fn locked_shard(
+        &self,
+        fp: &FilterFingerprint,
+        generation: u64,
+    ) -> std::sync::MutexGuard<'_, SharedShard> {
+        let mut shard = self.shard_for(fp).lock().expect("shared cache shard");
+        if shard.generation != generation {
+            shard.inner.clear();
+            shard.generation = generation;
+        }
+        shard
+    }
+
+    /// Resident set for `fp` computed against αDB `generation`, as a
+    /// shared handle; marks the entry hot (touch-on-use). One brief shard
+    /// lock, one hash probe, one `Arc` clone — no bitmap copying.
+    pub fn lookup(
+        &self,
+        fp: &FilterFingerprint,
+        generation: u64,
+    ) -> Option<std::sync::Arc<RowSet>> {
+        let mut shard = self.locked_shard(fp, generation);
+        let found = shard.inner.get(fp).map(std::sync::Arc::clone);
+        if found.is_some() {
+            shard.hits += 1;
+        } else {
+            shard.misses += 1;
+        }
+        found
+    }
+
+    /// Publish a freshly computed set so other sessions can reuse it.
+    /// Admission is cold (reference bit clear): only a later cross-session
+    /// [`lookup`](Self::lookup) promotes the entry, so unused publications
+    /// are evicted first when the shard's byte budget tightens.
+    pub fn publish(&self, fp: &FilterFingerprint, generation: u64, set: &std::sync::Arc<RowSet>) {
+        let budget = self.shard_budget;
+        let mut shard = self.locked_shard(fp, generation);
+        shard
+            .inner
+            .insert(fp, std::sync::Arc::clone(set), false, budget);
+    }
+
+    /// One aging round: clear every entry's reference bit so bitmaps not
+    /// looked up again before the next pressure sweep become eviction
+    /// candidates. The `SessionManager` TTL sweep calls this after evicting
+    /// dead sessions, so their published-but-unused entries can't stay
+    /// pinned by a stale reference bit.
+    pub fn decay(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shared cache shard").inner.decay();
+        }
+    }
+
+    /// Drop every entry in every shard (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shared cache shard").inner.clear();
+        }
+    }
+
+    /// Approximate resident bytes across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
             .iter()
-            .map(|(k, v)| k.key_bytes() + v.word_count() * 8 + std::mem::size_of::<RowSet>())
+            .map(|s| s.lock().expect("shared cache shard").inner.resident_bytes)
             .sum()
     }
 
-    /// Drop every entry (counters are preserved).
-    pub fn clear(&mut self) {
-        self.map.clear();
+    /// Aggregate counters, summed across shards under their locks.
+    pub fn stats(&self) -> SharedCacheStats {
+        let mut stats = SharedCacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: 0,
+            resident_bytes: 0,
+            per_shard_resident_bytes: Vec::with_capacity(self.shards.len()),
+            max_resident_bytes: self.max_resident_bytes,
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shared cache shard");
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.evictions += shard.inner.evictions;
+            stats.entries += shard.inner.len();
+            stats.resident_bytes += shard.inner.resident_bytes;
+            stats
+                .per_shard_resident_bytes
+                .push(shard.inner.resident_bytes);
+        }
+        stats
     }
 }
 
@@ -938,5 +1367,212 @@ mod tests {
         let s = DerivedNumericStats::build(vec![vec![], vec![]]);
         assert_eq!(s.selectivity_ge(0.0, 1, 2), 0.0);
         assert_eq!(s.coverage_ge(0.0), 1.0);
+    }
+
+    /// Distinct fingerprint `i` with a one-word row set `{i % 64}`.
+    fn fp(i: u64) -> FilterFingerprint {
+        FilterFingerprint::new(Sym::from(format!("p{i}").as_str()), 0, 0, &[i])
+    }
+
+    fn one_row_set(i: u64) -> RowSet {
+        let mut s = RowSet::with_universe(64);
+        s.insert(i as usize % 64);
+        s
+    }
+
+    /// Adversarial insert order never pushes residency past the bound, and
+    /// the evictions counter accounts for every displaced entry.
+    #[test]
+    fn session_cache_eviction_respects_byte_bound() {
+        let mut cache = FilterSetCache::new(7);
+        let per_entry = entry_bytes(&fp(0), &one_row_set(0));
+        // Room for three entries, not four.
+        let bound = per_entry * 3 + per_entry / 2;
+        cache.set_max_resident_bytes(bound);
+        for round in 0..3 {
+            // Alternate sweep directions so the clock hand sees inserts in
+            // both LIFO and FIFO order relative to its position.
+            let ids: Vec<u64> = if round % 2 == 0 {
+                (0..32).collect()
+            } else {
+                (0..32).rev().collect()
+            };
+            for i in ids {
+                cache.insert_with(&fp(i), || one_row_set(i));
+                assert!(
+                    cache.resident_bytes() <= bound,
+                    "resident {} exceeds bound {bound} after inserting {i}",
+                    cache.resident_bytes()
+                );
+                assert!(cache.entries() <= 3);
+            }
+        }
+        assert!(cache.evictions() > 0);
+        // Post-churn integrity: every fingerprint the map still claims to
+        // hold must actually be servable (eviction bookkeeping kept the
+        // map ↔ slot mapping consistent).
+        let resident: Vec<u64> = (0..32).filter(|&i| cache.contains(&fp(i))).collect();
+        assert!(!resident.is_empty());
+        for i in resident {
+            assert!(
+                cache.lookup(&fp(i)).is_some(),
+                "resident entry {i} must be servable after churn"
+            );
+        }
+    }
+
+    /// Second-chance: a recently touched entry survives pressure that
+    /// evicts an untouched one.
+    #[test]
+    fn clock_eviction_prefers_untouched_entries() {
+        let mut cache = FilterSetCache::new(1);
+        let per_entry = entry_bytes(&fp(0), &one_row_set(0));
+        cache.set_max_resident_bytes(per_entry * 2 + 1);
+        cache.insert_with(&fp(1), || one_row_set(1));
+        cache.insert_with(&fp(2), || one_row_set(2));
+        // Age both, then touch only #2: the next admission must evict #1.
+        cache.set_max_resident_bytes(per_entry * 2 + 1); // no-op, residency fits
+        for s in cache.inner.slots.iter_mut().flatten() {
+            s.referenced = false;
+        }
+        assert!(cache.lookup(&fp(2)).is_some());
+        cache.insert_with(&fp(3), || one_row_set(3));
+        assert!(cache.contains(&fp(2)), "touched entry must survive");
+        assert!(!cache.contains(&fp(1)), "untouched entry is the victim");
+    }
+
+    /// An entry larger than the whole budget is never admitted (and never
+    /// panics the byte accounting).
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut cache = FilterSetCache::new(1);
+        cache.set_max_resident_bytes(8);
+        let set = cache.insert_with(&fp(1), || one_row_set(1));
+        assert_eq!(set.len(), 1, "the computed set is still returned");
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_cache_round_trips_and_counts() {
+        let shared = SharedFilterSetCache::new(42, 1 << 20);
+        let set = std::sync::Arc::new(one_row_set(5));
+        assert!(shared.lookup(&fp(5), 42).is_none());
+        shared.publish(&fp(5), 42, &set);
+        let got = shared.lookup(&fp(5), 42).expect("published entry");
+        assert_eq!(*got, *set);
+        let stats = shared.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.per_shard_resident_bytes.len(), SHARED_CACHE_SHARDS);
+        assert_eq!(
+            stats.per_shard_resident_bytes.iter().sum::<usize>(),
+            stats.resident_bytes
+        );
+        assert_eq!(stats.max_resident_bytes, 1 << 20);
+    }
+
+    /// A generation bump invalidates lazily: the stale entry is dropped on
+    /// first access with the new tag instead of being served.
+    #[test]
+    fn shared_cache_generation_invalidation_is_lazy() {
+        let shared = SharedFilterSetCache::new(1, 1 << 20);
+        shared.publish(&fp(9), 1, &std::sync::Arc::new(one_row_set(9)));
+        assert!(shared.lookup(&fp(9), 1).is_some());
+        assert!(shared.lookup(&fp(9), 2).is_none(), "new generation misses");
+        // Republishing under the old generation also misses first (the
+        // shard re-tagged to 2), so no cross-generation set survives.
+        assert!(shared.lookup(&fp(9), 1).is_none());
+    }
+
+    /// The fleet-wide byte bound holds under adversarial publish order,
+    /// and per-shard residency stays within the per-shard budget.
+    #[test]
+    fn shared_cache_eviction_respects_byte_bound() {
+        let per_entry = entry_bytes(&fp(0), &one_row_set(0));
+        let cap = per_entry * SHARED_CACHE_SHARDS * 2;
+        let shared = SharedFilterSetCache::new(3, cap);
+        for i in 0..500 {
+            shared.publish(&fp(i), 3, &std::sync::Arc::new(one_row_set(i)));
+            assert!(shared.resident_bytes() <= cap);
+        }
+        let stats = shared.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.resident_bytes <= cap);
+        let shard_budget = cap / SHARED_CACHE_SHARDS;
+        for &b in &stats.per_shard_resident_bytes {
+            assert!(
+                b <= shard_budget,
+                "shard residency {b} > budget {shard_budget}"
+            );
+        }
+    }
+
+    /// Two-level lookup: a local miss is served from the shared cache and
+    /// admitted locally; a full miss publishes.
+    #[test]
+    fn two_level_lookup_pulls_and_publishes() {
+        let shared = std::sync::Arc::new(SharedFilterSetCache::new(11, 1 << 20));
+        let mut a = FilterSetCache::new(11);
+        a.attach_shared(std::sync::Arc::clone(&shared));
+        let mut b = FilterSetCache::new(11);
+        b.attach_shared(std::sync::Arc::clone(&shared));
+
+        // A computes: one full miss, published fleet-wide.
+        let set = a.insert_with(&fp(1), || one_row_set(1));
+        assert_eq!((a.misses(), a.shared_hits()), (1, 0));
+        // B's first lookup: local miss, shared hit, admitted locally.
+        let via_shared = b.lookup(&fp(1)).expect("served from the shared cache");
+        assert_eq!(*via_shared, *set);
+        assert_eq!((b.hits(), b.shared_hits(), b.misses()), (0, 1, 0));
+        // B's second lookup is purely local.
+        assert!(b.lookup(&fp(1)).is_some());
+        assert_eq!((b.hits(), b.shared_hits()), (1, 1));
+        // A full miss on both levels counts a shared miss.
+        assert!(b.lookup(&fp(2)).is_none());
+        assert_eq!(b.shared_misses(), 1);
+    }
+
+    /// `decay` must actually revoke reference protection: a touched (hot)
+    /// entry survives one pressure sweep, but after `decay` the clock hand
+    /// takes it immediately instead of sparing it once. (If `decay` were a
+    /// no-op, the hand would clear #1's bit, move on, and evict #2.)
+    #[test]
+    fn decay_revokes_second_chances() {
+        let mut m = ClockMap::default();
+        let budget = entry_bytes(&fp(1), &one_row_set(1)) * 2;
+        assert!(m.insert(&fp(1), std::sync::Arc::new(one_row_set(1)), false, budget));
+        assert!(m.insert(&fp(2), std::sync::Arc::new(one_row_set(2)), false, budget));
+        m.get(&fp(1)).expect("resident");
+        m.decay();
+        // One admission forces one eviction; the hand sits at slot 0 (#1).
+        assert!(m.insert(&fp(3), std::sync::Arc::new(one_row_set(3)), false, budget));
+        assert!(
+            m.peek(&fp(1)).is_none(),
+            "decayed entry must have lost its second chance"
+        );
+        assert!(m.peek(&fp(2)).is_some());
+        assert_eq!(m.evictions, 1);
+    }
+
+    /// Shared-level smoke of the TTL-sweep aging path: decay keeps every
+    /// entry resident (it drops priority, not residency) and post-decay
+    /// lookups still serve and re-promote them.
+    #[test]
+    fn decay_unpins_unused_entries() {
+        let per_entry = entry_bytes(&fp(0), &one_row_set(0));
+        let shared = SharedFilterSetCache::new(5, per_entry * SHARED_CACHE_SHARDS * 2);
+        for i in 0..100 {
+            shared.publish(&fp(i), 5, &std::sync::Arc::new(one_row_set(i)));
+        }
+        let before = shared.stats();
+        shared.decay();
+        assert_eq!(shared.stats().entries, before.entries);
+        for i in 0..100 {
+            let _ = shared.lookup(&fp(i), 5);
+        }
+        let after = shared.stats();
+        assert!(after.hits > before.hits);
+        assert!(after.resident_bytes <= shared.max_resident_bytes());
     }
 }

@@ -1,0 +1,149 @@
+//! `multi_session` — the fleet-serving counterpart of `incr_session`:
+//! N concurrent-style sessions over one shared `Arc<ADb>` replaying
+//! overlapping filter workloads, measuring what the manager-level
+//! [`SharedFilterSetCache`] buys.
+//!
+//! * `cold_session` — a fresh manager (empty shared cache) runs one
+//!   session through the slate: every filter bitmap is computed from αDB
+//!   postings. This is the cold-turn baseline.
+//! * `warm_session` — a manager whose shared cache was already populated
+//!   by a previous session hosts a brand-new session replaying the same
+//!   slate: its local cache starts empty, so every turn is served
+//!   cross-session from the shared shards.
+//! * `fleet_shared` / `fleet_unshared` — an 8-session fleet replays two
+//!   overlapping slates with and without the shared cache: the A/B that
+//!   shows hot filters becoming a process-wide one-time cost.
+//!
+//! After the timed runs the warm manager's hit rate and resident bytes
+//! are printed so recorded runs carry the cache effectiveness alongside
+//! the latency numbers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use squid_adb::ADb;
+use squid_bench::{params_for, sample_examples};
+use squid_core::SessionManager;
+use squid_datasets::{generate_imdb_variant, imdb_queries, ImdbConfig, ImdbVariant};
+
+const FLEET: usize = 8;
+
+/// Drive one session through a slate inside `manager`, returning the
+/// result size (kept live so the work cannot be optimized away).
+fn replay(manager: &SessionManager, slate: &[&str]) -> usize {
+    let id = manager.create_session();
+    let rows = manager
+        .with_session(id, |s| {
+            for e in slate {
+                s.add_example(e)?;
+            }
+            Ok(s.discovery().expect("slate resolves").rows.len())
+        })
+        .expect("replay succeeds");
+    manager.end_session(id);
+    rows
+}
+
+fn bench_multi_session(c: &mut Criterion) {
+    // Bigger and denser than the fig9a dataset: cross-session reuse pays
+    // off in proportion to postings length (cold walks grow with the
+    // associations, warm bitmap ANDs only with n/64 words).
+    let cfg = ImdbConfig {
+        persons: 12_000,
+        movies: 8_000,
+        ..ImdbConfig::default()
+    };
+    let db = generate_imdb_variant(&cfg, ImdbVariant::BigDense);
+    let adb = Arc::new(ADb::build(&db).unwrap());
+    let queries = imdb_queries(&db);
+    let params = params_for("imdb");
+    // Two overlapping workloads: both slates are drawn from IQ15 with
+    // different seeds, so fleets replaying them share most (not all) of
+    // their abduced filters — the realistic popular-filter overlap.
+    let q = queries.iter().find(|q| q.id == "IQ15").unwrap();
+    let (examples_a, _) = sample_examples(&db, &q.query, 10, 3);
+    let (examples_b, _) = sample_examples(&db, &q.query, 10, 7);
+    let slate_a: Vec<&str> = examples_a.iter().map(String::as_str).collect();
+    let slate_b: Vec<&str> = examples_b.iter().map(String::as_str).collect();
+
+    let mut group = c.benchmark_group("multi_session");
+
+    // Cold: a fresh manager per iteration — the shared cache starts empty,
+    // so the session computes every admitted bitmap from postings.
+    group.bench_with_input(BenchmarkId::new("cold_session", 10), &slate_a, |b, s| {
+        b.iter_batched(
+            || SessionManager::with_params(Arc::clone(&adb), params.clone()),
+            |m| replay(&m, s),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Warm: the shared cache was populated by an earlier session; each
+    // iteration creates a NEW session (empty local cache) and replays the
+    // same turns — pure cross-session reuse.
+    let warm = SessionManager::with_params(Arc::clone(&adb), params.clone());
+    replay(&warm, &slate_a);
+    group.bench_with_input(BenchmarkId::new("warm_session", 10), &slate_a, |b, s| {
+        b.iter(|| replay(&warm, std::hint::black_box(s)))
+    });
+
+    // Fleet A/B: 8 sessions alternating between the two overlapping
+    // slates, with and without the fleet-wide cache.
+    group.bench_function(format!("fleet_shared/{FLEET}"), |b| {
+        b.iter_batched(
+            || SessionManager::with_params(Arc::clone(&adb), params.clone()),
+            |m| {
+                let mut total = 0;
+                for i in 0..FLEET {
+                    let slate = if i % 2 == 0 { &slate_a } else { &slate_b };
+                    total += replay(&m, slate);
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(format!("fleet_unshared/{FLEET}"), |b| {
+        b.iter_batched(
+            || SessionManager::with_params(Arc::clone(&adb), params.clone()).without_shared_cache(),
+            |m| {
+                let mut total = 0;
+                for i in 0..FLEET {
+                    let slate = if i % 2 == 0 { &slate_a } else { &slate_b };
+                    total += replay(&m, slate);
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Cache-effectiveness report for the warm manager (many whole-slate
+    // replays by now): hit rate and bounded residency.
+    if let Some(stats) = warm.shared_cache_stats() {
+        let total = stats.hits + stats.misses;
+        let rate = if total > 0 {
+            100.0 * stats.hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "multi_session shared cache: {} hits / {} misses ({rate:.0}% hit rate), \
+             {} entries, {} / {} resident bytes, {} evictions",
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            stats.resident_bytes,
+            stats.max_resident_bytes,
+            stats.evictions
+        );
+        assert!(
+            stats.resident_bytes <= stats.max_resident_bytes,
+            "shared cache must respect its byte bound"
+        );
+    }
+}
+
+criterion_group!(benches, bench_multi_session);
+criterion_main!(benches);

@@ -58,12 +58,17 @@ pub use context::{discover_contexts, ContextState};
 pub use disambiguate::{disambiguate, similarity_score};
 pub use error::SquidError;
 pub use filter::{CandidateFilter, FilterValue};
-pub use manager::{SessionId, SessionManager};
+pub use manager::{SessionId, SessionManager, DEFAULT_SHARED_CACHE_BYTES};
 pub use metrics::Accuracy;
 pub use params::SquidParams;
 pub use query_gen::{
     adb_query, evaluate, evaluate_cached, filter_fingerprint, filter_row_set, original_query,
 };
-pub use recommend::{recommend_examples, uncertainty, Recommendation};
+pub use recommend::{recommend_examples, uncertainty, Recommendation, DEFAULT_MIN_UNCERTAINTY};
 pub use session::{DiscoveryDelta, EvalCacheStats, SquidSession};
 pub use squid::{Discovery, Squid};
+
+// The fleet-wide evaluation-cache types live in `squid-adb` (next to the
+// per-session `FilterSetCache`); re-export them so serving code that only
+// depends on squid-core can configure and inspect the shared cache.
+pub use squid_adb::{SharedCacheStats, SharedFilterSetCache};

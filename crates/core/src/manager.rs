@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use squid_adb::ADb;
+use squid_adb::{ADb, SharedCacheStats, SharedFilterSetCache};
 use squid_relation::FxHashMap;
 
 use crate::error::SquidError;
@@ -44,6 +44,11 @@ use crate::session::SquidSession;
 pub type SessionId = u64;
 
 const SHARDS: usize = 16;
+
+/// Default fleet-wide resident-byte bound of the manager's
+/// [`SharedFilterSetCache`] (64 MiB — generous for bitmap row sets, which
+/// cost one bit per entity row per cached filter).
+pub const DEFAULT_SHARED_CACHE_BYTES: usize = 64 << 20;
 
 struct Entry {
     session: Mutex<SquidSession<'static>>,
@@ -61,16 +66,27 @@ pub struct SessionManager {
     epoch: Instant,
     next_id: AtomicU64,
     shards: Vec<RwLock<FxHashMap<SessionId, Arc<Entry>>>>,
+    /// Fleet-wide evaluation cache every hosted session consults after its
+    /// local cache misses (`None` when disabled).
+    shared_cache: Option<Arc<SharedFilterSetCache>>,
+    /// Per-session local evaluation-cache byte bound (`None` = unbounded).
+    session_cache_bytes: Option<usize>,
 }
 
 impl SessionManager {
-    /// New manager with default parameters and no TTL eviction.
+    /// New manager with default parameters and no TTL eviction. The
+    /// fleet-wide shared evaluation cache is on, bounded by
+    /// [`DEFAULT_SHARED_CACHE_BYTES`].
     pub fn new(adb: Arc<ADb>) -> SessionManager {
         Self::with_params(adb, SquidParams::default())
     }
 
     /// New manager whose sessions start from `params`.
     pub fn with_params(adb: Arc<ADb>, params: SquidParams) -> SessionManager {
+        let shared_cache = Some(Arc::new(SharedFilterSetCache::new(
+            adb.generation,
+            DEFAULT_SHARED_CACHE_BYTES,
+        )));
         SessionManager {
             adb,
             params,
@@ -80,6 +96,8 @@ impl SessionManager {
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
+            shared_cache,
+            session_cache_bytes: None,
         }
     }
 
@@ -87,6 +105,31 @@ impl SessionManager {
     /// by [`evict_expired`](Self::evict_expired)).
     pub fn with_ttl(mut self, ttl: Duration) -> SessionManager {
         self.ttl = Some(ttl);
+        self
+    }
+
+    /// Replace the fleet-wide shared evaluation cache with one bounded by
+    /// `max_resident_bytes` (applies to sessions created afterwards).
+    pub fn with_shared_cache_bytes(mut self, max_resident_bytes: usize) -> SessionManager {
+        self.shared_cache = Some(Arc::new(SharedFilterSetCache::new(
+            self.adb.generation,
+            max_resident_bytes,
+        )));
+        self
+    }
+
+    /// Disable the fleet-wide shared evaluation cache: sessions created
+    /// afterwards keep only their local caches (the pre-shared behavior,
+    /// and the A/B baseline in the `multi_session` bench).
+    pub fn without_shared_cache(mut self) -> SessionManager {
+        self.shared_cache = None;
+        self
+    }
+
+    /// Bound each hosted session's *local* evaluation cache to
+    /// `max_resident_bytes` (applies to sessions created afterwards).
+    pub fn with_session_cache_bytes(mut self, max_resident_bytes: usize) -> SessionManager {
+        self.session_cache_bytes = Some(max_resident_bytes);
         self
     }
 
@@ -98,6 +141,20 @@ impl SessionManager {
     /// Parameters new sessions start from.
     pub fn params(&self) -> &SquidParams {
         &self.params
+    }
+
+    /// The fleet-wide shared evaluation cache, when enabled (hand this to
+    /// standalone sessions or one-shot [`Squid`](crate::Squid) fleets that
+    /// should share bitmaps with the hosted sessions).
+    pub fn shared_cache(&self) -> Option<&Arc<SharedFilterSetCache>> {
+        self.shared_cache.as_ref()
+    }
+
+    /// Aggregate counters of the shared evaluation cache (`None` when the
+    /// shared cache is disabled): hits/misses, evictions, and total plus
+    /// per-shard resident bytes.
+    pub fn shared_cache_stats(&self) -> Option<SharedCacheStats> {
+        self.shared_cache.as_ref().map(|c| c.stats())
     }
 
     fn shard(&self, id: SessionId) -> &RwLock<FxHashMap<SessionId, Arc<Entry>>> {
@@ -116,11 +173,15 @@ impl SessionManager {
     /// Open a new session with explicit parameters.
     pub fn create_session_with_params(&self, params: SquidParams) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut session = SquidSession::shared_with_params(Arc::clone(&self.adb), params);
+        if let Some(shared) = &self.shared_cache {
+            session.attach_shared_cache(Arc::clone(shared));
+        }
+        if let Some(bytes) = self.session_cache_bytes {
+            session.set_cache_budget(bytes);
+        }
         let entry = Arc::new(Entry {
-            session: Mutex::new(SquidSession::shared_with_params(
-                Arc::clone(&self.adb),
-                params,
-            )),
+            session: Mutex::new(session),
             last_used_ms: AtomicU64::new(self.now_ms()),
         });
         self.shard(id)
@@ -187,6 +248,12 @@ impl SessionManager {
 
     /// Sweep every shard, removing sessions idle past the TTL. Returns the
     /// number evicted. No-op without a TTL.
+    ///
+    /// When sessions were evicted, the shared evaluation cache is aged one
+    /// round ([`SharedFilterSetCache::decay`]): shared-cache LRU priority
+    /// is touch-on-use only, so bitmaps a dead session published but
+    /// nobody ever looked up lose their residency protection instead of
+    /// staying pinned fleet-wide.
     pub fn evict_expired(&self) -> usize {
         let Some(ttl) = self.ttl else {
             return 0;
@@ -201,6 +268,11 @@ impl SessionManager {
                 now.saturating_sub(e.last_used_ms.load(Ordering::Relaxed)) <= cutoff_ms
             });
             evicted += before - shard.len();
+        }
+        if evicted > 0 {
+            if let Some(shared) = &self.shared_cache {
+                shared.decay();
+            }
         }
         evicted
     }
@@ -269,6 +341,80 @@ mod tests {
         assert!(matches!(err, SquidError::UnknownSession { .. }));
         assert!(m.is_empty());
         let _ = id;
+    }
+
+    #[test]
+    fn shared_cache_warms_across_sessions() {
+        let m = manager();
+        let slate = ["Jim Carrey", "Eddie Murphy"];
+        let a = m.create_session();
+        m.with_session(a, |s| {
+            for e in slate {
+                s.add_example(e)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        m.end_session(a);
+        let published = m.shared_cache_stats().expect("shared cache on");
+        assert!(published.entries > 0, "session A published bitmaps");
+
+        // A brand-new session replaying the same turns is served from the
+        // shared cache: its local cache starts empty, yet it computes
+        // nothing the fleet already knows.
+        let b = m.create_session();
+        let stats = m
+            .with_session(b, |s| {
+                for e in slate {
+                    s.add_example(e)?;
+                }
+                Ok(s.cache_stats())
+            })
+            .unwrap();
+        assert!(
+            stats.shared_hits > 0,
+            "cross-session turns must hit the shared cache: {stats:?}"
+        );
+        let shared = m.shared_cache_stats().unwrap();
+        assert!(shared.hits >= stats.shared_hits);
+        assert!(shared.resident_bytes <= shared.max_resident_bytes);
+    }
+
+    #[test]
+    fn disabled_shared_cache_keeps_sessions_local() {
+        let m = manager().without_shared_cache();
+        assert!(m.shared_cache().is_none());
+        assert!(m.shared_cache_stats().is_none());
+        let id = m.create_session();
+        let stats = m
+            .with_session(id, |s| {
+                s.add_example("Jim Carrey")?;
+                s.add_example("Eddie Murphy")?;
+                Ok(s.cache_stats())
+            })
+            .unwrap();
+        assert_eq!(stats.shared_hits, 0);
+        assert_eq!(stats.shared_misses, 0);
+    }
+
+    #[test]
+    fn ttl_sweep_decays_but_keeps_shared_entries() {
+        let m = manager().with_ttl(Duration::from_millis(0));
+        let id = m.create_session();
+        m.with_session(id, |s| {
+            s.add_example("Jim Carrey")?;
+            s.add_example("Eddie Murphy")?;
+            Ok(())
+        })
+        .unwrap();
+        let before = m.shared_cache_stats().unwrap();
+        assert!(before.entries > 0);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.evict_expired(), 1);
+        // Decay drops LRU priority, not residency: entries stay resident
+        // (they evict first only once the byte budget tightens).
+        let after = m.shared_cache_stats().unwrap();
+        assert_eq!(after.entries, before.entries);
     }
 
     #[test]

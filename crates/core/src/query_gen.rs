@@ -330,6 +330,12 @@ pub(crate) fn restrict_rows(
 /// With a warm cache a repeat evaluation performs no postings walks at all
 /// — only `u64` AND loops over resident bitmaps.
 ///
+/// The lookup is transparently **two-level** when the cache has a
+/// [`SharedFilterSetCache`](squid_adb::SharedFilterSetCache) attached: a
+/// local miss consults the fleet-wide shards (brief per-shard lock,
+/// `Arc` clone out), and a full miss publishes the freshly computed set
+/// back — so warm *cross-session* evaluations are bitmap algebra too.
+///
 /// Exactly equivalent to the uncached [`evaluate`] (property-tested), and
 /// like it, an unknown property id excludes every row.
 pub fn evaluate_cached(

@@ -17,6 +17,11 @@ use squid_relation::RowId;
 use crate::abduce::ScoredFilter;
 use crate::squid::Discovery;
 
+/// Default `min_uncertainty` threshold below which a filter decision is
+/// considered settled (shared by [`recommend_examples`] callers: the
+/// session's `suggest`, the REPL, and the CLI `--recommend` flag).
+pub const DEFAULT_MIN_UNCERTAINTY: f64 = 0.05;
+
 /// A recommended next example with its diagnostic score.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {

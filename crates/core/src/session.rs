@@ -37,7 +37,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 use std::time::Instant;
 
-use squid_adb::{ADb, FilterFingerprint, FilterSetCache};
+use squid_adb::{ADb, FilterFingerprint, FilterSetCache, SharedFilterSetCache};
 use squid_relation::RowId;
 
 use crate::abduce::abduce;
@@ -47,6 +47,7 @@ use crate::error::SquidError;
 use crate::filter::CandidateFilter;
 use crate::params::SquidParams;
 use crate::query_gen::{adb_query, evaluate, filter_fingerprint, original_query};
+use crate::recommend::{recommend_examples, Recommendation, DEFAULT_MIN_UNCERTAINTY};
 use crate::squid::Discovery;
 
 /// Shared or borrowed handle to the αDB. Sessions created from a borrow
@@ -118,8 +119,9 @@ pub struct DiscoveryDelta {
     /// change, or a disambiguation reshuffle of earlier examples).
     pub incremental: bool,
     /// Evaluation-cache hits this operation: chosen filters whose row
-    /// bitmaps were already resident, so their contribution to the result
-    /// was a word-wise intersection instead of a postings walk.
+    /// bitmaps were already resident (session-locally or in the attached
+    /// fleet-wide shared cache), so their contribution to the result was a
+    /// word-wise intersection instead of a postings walk.
     pub cache_hits: u64,
     /// Evaluation-cache misses this operation (each computed and admitted
     /// one filter row set).
@@ -130,14 +132,20 @@ pub struct DiscoveryDelta {
 /// (see [`SquidSession::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalCacheStats {
-    /// Lifetime cache hits across the session's operations.
+    /// Lifetime local cache hits across the session's operations.
     pub hits: u64,
-    /// Lifetime cache misses.
+    /// Lifetime full misses (both levels; each computed a row set).
     pub misses: u64,
-    /// Resident memoized filter row sets.
+    /// Resident memoized filter row sets (session-local level).
     pub entries: usize,
     /// Approximate bytes held by the resident bitmaps and their keys.
     pub resident_bytes: usize,
+    /// Entries evicted from the session-local level by its byte bound.
+    pub evictions: u64,
+    /// Local misses served by the attached fleet-wide shared cache.
+    pub shared_hits: u64,
+    /// Lookups that missed both levels (0 without a shared cache).
+    pub shared_misses: u64,
 }
 
 /// Interactive query intent discovery session (see the module docs).
@@ -241,14 +249,47 @@ impl<'a> SquidSession<'a> {
     }
 
     /// Counters of the session's cross-turn evaluation cache: lifetime
-    /// hits/misses plus the resident memoized-bitmap footprint.
+    /// hits/misses (local and shared levels), eviction count, and the
+    /// resident memoized-bitmap footprint.
     pub fn cache_stats(&self) -> EvalCacheStats {
         EvalCacheStats {
             hits: self.cache.hits(),
             misses: self.cache.misses(),
             entries: self.cache.entries(),
             resident_bytes: self.cache.resident_bytes(),
+            evictions: self.cache.evictions(),
+            shared_hits: self.cache.shared_hits(),
+            shared_misses: self.cache.shared_misses(),
         }
+    }
+
+    /// Join a fleet-wide [`SharedFilterSetCache`]: this session's local
+    /// evaluation-cache misses consult the shared shards before computing,
+    /// and freshly computed bitmaps are published back. Sessions hosted by
+    /// a [`SessionManager`](crate::SessionManager) are attached
+    /// automatically; call this for standalone (or one-shot) fleets.
+    pub fn attach_shared_cache(&mut self, shared: Arc<SharedFilterSetCache>) {
+        self.cache.attach_shared(shared);
+    }
+
+    /// Bound the session-local evaluation cache's resident bytes (CLOCK
+    /// second-chance eviction; evicts immediately if already over).
+    pub fn set_cache_budget(&mut self, max_resident_bytes: usize) {
+        self.cache.set_max_resident_bytes(max_resident_bytes);
+    }
+
+    /// Uncertainty-driven next-example hints (the paper's Figure-1 loop
+    /// closed end to end): the `k` result tuples whose confirmation or
+    /// rejection would resolve the most contested abduction decisions.
+    /// Empty when the session has no discovery or no filter is contested.
+    pub fn suggest(&self, k: usize) -> Vec<Recommendation> {
+        let Some(d) = self.last.as_deref() else {
+            return Vec::new();
+        };
+        let Some(entity) = self.adb.entity(&d.entity_table) else {
+            return Vec::new();
+        };
+        recommend_examples(entity, d, k, DEFAULT_MIN_UNCERTAINTY)
     }
 
     /// Consume the session, yielding the final discovery.
@@ -797,7 +838,12 @@ impl<'a> SquidSession<'a> {
             .collect();
 
         self.cache.revalidate(self.adb.generation);
-        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+        // Shared-cache hits count as hits in the delta: either way the
+        // filter's bitmap was served resident instead of computed.
+        let (hits0, misses0) = (
+            self.cache.hits() + self.cache.shared_hits(),
+            self.cache.misses(),
+        );
         let fps: Vec<FilterFingerprint> = chosen.iter().map(filter_fingerprint).collect();
         let unchanged = fps == self.last_fps;
         let prev_same_target = self
@@ -836,7 +882,10 @@ impl<'a> SquidSession<'a> {
             }
             _ => crate::query_gen::evaluate_cached_fps(entity, &chosen, &fps, &mut self.cache),
         };
-        let (cache_hits, cache_misses) = (self.cache.hits() - hits0, self.cache.misses() - misses0);
+        let (cache_hits, cache_misses) = (
+            self.cache.hits() + self.cache.shared_hits() - hits0,
+            self.cache.misses() - misses0,
+        );
 
         let discovery = Arc::new(Discovery {
             entity_table: table,

@@ -1,0 +1,190 @@
+//! Correctness of the fleet-wide shared evaluation cache: concurrent
+//! sessions routing through one `SharedFilterSetCache` must be
+//! *indistinguishable* from uncached postings enumeration — including
+//! while byte-bound eviction churns entries mid-run and while αDB
+//! generation bumps invalidate shards under the readers' feet.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use squid_adb::{test_fixtures, ADb, FilterSetCache, SharedFilterSetCache};
+use squid_core::{
+    discover_contexts, evaluate, evaluate_cached, CandidateFilter, FilterValue, SessionManager,
+    Squid, SquidParams,
+};
+use squid_relation::{RowSet, Value};
+
+fn adb() -> &'static ADb {
+    static A: OnceLock<ADb> = OnceLock::new();
+    A.get_or_init(|| ADb::build(&test_fixtures::mini_imdb()).unwrap())
+}
+
+/// ONE deliberately tiny shared cache for every proptest case and thread:
+/// a stale entry (wrong generation, wrong fingerprint, or a set corrupted
+/// by eviction bookkeeping) would surface as a parity failure in a later
+/// case. ~2 KiB total across 16 shards keeps eviction churning constantly.
+fn shared() -> &'static Arc<SharedFilterSetCache> {
+    static C: OnceLock<Arc<SharedFilterSetCache>> = OnceLock::new();
+    C.get_or_init(|| Arc::new(SharedFilterSetCache::new(adb().generation, 16 * 128)))
+}
+
+/// Random-but-deterministic filter set: contexts of an example-row subset,
+/// perturbed (θ bumps, shifted bounds, absent values) by `tweak`.
+fn filter_set(rows_mask: u8, subset: u16, tweak: u32) -> Vec<CandidateFilter> {
+    let entity = adb().entity("person").unwrap();
+    let rows: Vec<usize> = (0..8).filter(|i| rows_mask & (1 << i) != 0).collect();
+    let params = SquidParams {
+        allow_disjunction: true,
+        ..SquidParams::default()
+    };
+    let mut filters: Vec<CandidateFilter> = discover_contexts(entity, &rows, &params)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| subset & (1 << (i % 16)) != 0)
+        .map(|(_, f)| f)
+        .collect();
+    for (i, f) in filters.iter_mut().enumerate() {
+        let bit = |k: usize| tweak >> ((i + k) % 32) & 1 == 1;
+        match &mut f.value {
+            FilterValue::DerivedEq { theta, .. } if bit(0) => *theta += 1,
+            FilterValue::NumRange(l, h) => {
+                if bit(1) {
+                    *l += 1.0;
+                }
+                if bit(2) {
+                    *h -= 1.0;
+                }
+            }
+            FilterValue::CatEq(v) if bit(3) => *v = Value::text("NoSuchValue"),
+            _ => {}
+        }
+    }
+    filters
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Three threads, three workloads, one shared cache under constant
+    /// eviction pressure, with a mid-run αDB generation bump per thread:
+    /// every cached evaluation must equal the uncached one.
+    #[test]
+    fn concurrent_shared_evaluation_matches_uncached(
+        m0 in 1u8..=255u8,
+        m1 in 1u8..=255u8,
+        m2 in 1u8..=255u8,
+        subset in any::<u16>(),
+        tweak in any::<u32>(),
+    ) {
+        let adb = adb();
+        let entity = adb.entity("person").unwrap();
+        let shared = shared();
+        let masks = [m0, m1, m2];
+        let mismatches: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = masks
+                .iter()
+                .enumerate()
+                .map(|(t, &mask)| {
+                    scope.spawn(move || -> Option<String> {
+                        // Overlap: each thread perturbs with a nearby tweak,
+                        // so some fingerprints collide across threads (the
+                        // sharing case) and some are thread-private.
+                        let filters = filter_set(mask, subset, tweak ^ (t as u32 & 1));
+                        let uncached = evaluate(entity, &filters);
+                        let mut cache = FilterSetCache::new(adb.generation);
+                        cache.attach_shared(Arc::clone(shared));
+                        // Local level under pressure too.
+                        cache.set_max_resident_bytes(512);
+                        let check = |got: RowSet, phase: &str| -> Option<String> {
+                            (got != uncached).then(|| {
+                                format!("thread {t} {phase}: {got:?} != {uncached:?}")
+                            })
+                        };
+                        for phase in ["cold", "warm"] {
+                            let got = evaluate_cached(entity, &filters, &mut cache);
+                            if let Some(m) = check(got, phase) {
+                                return Some(m);
+                            }
+                        }
+                        // Generation bump mid-run: the local cache clears,
+                        // shared shards invalidate lazily on access, and
+                        // parity must survive both directions.
+                        cache.revalidate(adb.generation + 1 + t as u64);
+                        let got = evaluate_cached(entity, &filters, &mut cache);
+                        if let Some(m) = check(got, "bumped generation") {
+                            return Some(m);
+                        }
+                        cache.revalidate(adb.generation);
+                        let got = evaluate_cached(entity, &filters, &mut cache);
+                        check(got, "restored generation")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("worker thread"))
+                .collect()
+        });
+        prop_assert!(mismatches.is_empty(), "{mismatches:?}");
+        let stats = shared.stats();
+        prop_assert!(
+            stats.resident_bytes <= stats.max_resident_bytes,
+            "shared residency {} exceeds bound {}",
+            stats.resident_bytes,
+            stats.max_resident_bytes
+        );
+    }
+}
+
+/// A manager fleet with adversarially tiny cache bounds (both levels)
+/// still answers every slate exactly like the uncached one-shot path,
+/// from concurrent threads, with residency pinned under the caps.
+#[test]
+fn tiny_bounded_fleet_matches_one_shot() {
+    let adb = Arc::new(ADb::build(&test_fixtures::mini_imdb()).unwrap());
+    let m = SessionManager::new(Arc::clone(&adb))
+        .with_shared_cache_bytes(16 * 160)
+        .with_session_cache_bytes(512);
+    let slates: Vec<Vec<&str>> = vec![
+        vec!["Jim Carrey", "Eddie Murphy"],
+        vec!["Sylvester Stallone", "Arnold Schwarzenegger"],
+        vec!["Julia Roberts", "Emma Stone"],
+        vec!["Jim Carrey", "Robin Williams"],
+    ];
+    // Several rounds so later sessions run against a churned shared cache.
+    for _ in 0..3 {
+        let results: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slates
+                .iter()
+                .map(|slate| {
+                    let m = &m;
+                    scope.spawn(move || {
+                        let id = m.create_session();
+                        let sql = m
+                            .with_session(id, |s| {
+                                for e in slate {
+                                    s.add_example(e)?;
+                                }
+                                Ok(s.discovery().unwrap().sql())
+                            })
+                            .unwrap();
+                        m.end_session(id);
+                        sql
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let squid = Squid::new(&adb);
+        for (slate, sql) in slates.iter().zip(&results) {
+            assert_eq!(&squid.discover(slate).unwrap().sql(), sql);
+        }
+        let stats = m.shared_cache_stats().unwrap();
+        assert!(stats.resident_bytes <= stats.max_resident_bytes);
+    }
+    let stats = m.shared_cache_stats().unwrap();
+    assert!(
+        stats.evictions > 0,
+        "the tiny bound must have forced evictions: {stats:?}"
+    );
+}

@@ -23,10 +23,12 @@
 //! ```
 
 use std::io::BufRead;
+use std::sync::Arc;
 
 use squid_adb::ADb;
 use squid_core::{
-    recommend_examples, top_k_queries, Discovery, DiscoveryDelta, Squid, SquidParams, SquidSession,
+    recommend_examples, top_k_queries, Discovery, DiscoveryDelta, SharedFilterSetCache, Squid,
+    SquidParams, SquidSession, DEFAULT_SHARED_CACHE_BYTES,
 };
 use squid_datasets::{
     generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig,
@@ -62,8 +64,10 @@ session commands:
   show                 print the current abduction decisions and query
   sql                  print the abduced SQL only
   rows [n]             print up to n result tuples (default 10)
+  suggest [k]          k most informative next examples (default 3)
   examples             list the session's examples
-  stats                evaluation-cache hit/miss counters and resident bytes
+  stats                evaluation-cache counters (both levels), evictions,
+                       and resident bytes (total and per shared shard)
   help                 this text
   quit                 exit";
 
@@ -191,26 +195,12 @@ fn main() {
 
     if recommend > 0 {
         let entity = adb.entity(&d.entity_table).expect("entity");
-        let table = adb.database.table(&d.entity_table).expect("entity table");
-        let ci = table
-            .schema()
-            .column_index(&d.projection_column)
-            .expect("projection column");
-        let recs = recommend_examples(entity, &d, recommend, 0.05);
-        if recs.is_empty() {
-            println!("\nno contested filters — no examples to recommend.");
-        } else {
-            println!("\ninformative next examples (confirming one refutes the listed filters):");
-            for r in &recs {
-                let v = table.cell(r.row, ci).cloned();
-                println!(
-                    "  {} (score {:.3}) — tests {}",
-                    v.map(|v| v.to_string()).unwrap_or_default(),
-                    r.score,
-                    r.discriminates.join(", ")
-                );
-            }
-        }
+        println!();
+        print_recommendations(
+            &adb,
+            &d,
+            &recommend_examples(entity, &d, recommend, squid_core::DEFAULT_MIN_UNCERTAINTY),
+        );
     }
 }
 
@@ -218,6 +208,16 @@ fn main() {
 /// command aborts with a non-zero exit so scripted runs (CI) catch rot.
 fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
     let mut session = SquidSession::with_params(adb, params);
+    // Standalone fleet-wide cache (the same byte-bounded sharded store a
+    // SessionManager owns). A fleet of one can't produce cross-session
+    // hits — the honest 0 in `stats` says exactly that — but attaching it
+    // keeps the REPL on the production two-level path and gives `stats`
+    // real per-shard residency/eviction numbers to surface.
+    let shared = Arc::new(SharedFilterSetCache::new(
+        adb.generation,
+        DEFAULT_SHARED_CACHE_BYTES,
+    ));
+    session.attach_shared_cache(Arc::clone(&shared));
     for e in initial {
         match session.add_example(e) {
             Ok(delta) => print_delta(e, &delta),
@@ -308,17 +308,44 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
             }
             "stats" => {
                 let s = session.cache_stats();
-                let total = s.hits + s.misses;
+                let total = s.hits + s.shared_hits + s.misses;
                 let rate = if total > 0 {
-                    100.0 * s.hits as f64 / total as f64
+                    100.0 * (s.hits + s.shared_hits) as f64 / total as f64
                 } else {
                     0.0
                 };
                 println!(
-                    "evaluation cache: {} hits / {} misses ({rate:.0}% hit rate), \
-                     {} resident filter bitmaps, {} bytes",
-                    s.hits, s.misses, s.entries, s.resident_bytes
+                    "evaluation cache: {} local + {} shared hits / {} misses \
+                     ({rate:.0}% hit rate), {} resident filter bitmaps, {} bytes, \
+                     {} evicted",
+                    s.hits, s.shared_hits, s.misses, s.entries, s.resident_bytes, s.evictions
                 );
+                let sh = shared.stats();
+                let occupied = sh
+                    .per_shard_resident_bytes
+                    .iter()
+                    .filter(|&&b| b > 0)
+                    .count();
+                println!(
+                    "shared cache: {} hits / {} misses, {} entries, {} / {} bytes \
+                     across {} of {} shards, {} evicted",
+                    sh.hits,
+                    sh.misses,
+                    sh.entries,
+                    sh.resident_bytes,
+                    sh.max_resident_bytes,
+                    occupied,
+                    sh.per_shard_resident_bytes.len(),
+                    sh.evictions
+                );
+                Ok(None)
+            }
+            "suggest" => {
+                let k: usize = rest.parse().unwrap_or(3);
+                match session.discovery() {
+                    Some(_) => print_suggestions(adb, &session, k),
+                    None => println!("(no examples yet)"),
+                }
                 Ok(None)
             }
             "show" => {
@@ -359,7 +386,15 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
             other => Err(format!("unknown command {other:?} — try `help`")),
         };
         match result {
-            Ok(Some(delta)) => print_delta(cmd, &delta),
+            Ok(Some(delta)) => {
+                print_delta(cmd, &delta);
+                // Figure-1 loop closed end to end: after each add, hint at
+                // the example whose confirmation would sharpen abduction
+                // the most (full list via the `suggest` command).
+                if cmd == "add" && delta.discovery.is_some() {
+                    print_hint(adb, &session);
+                }
+            }
             Ok(None) => {}
             Err(msg) => {
                 if batch {
@@ -369,6 +404,54 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
                 eprintln!("error: {msg}");
             }
         }
+    }
+}
+
+/// Render the projection value of one entity row, if present.
+fn projection_value(adb: &ADb, d: &Discovery, row: usize) -> Option<String> {
+    let table = adb.database.table(&d.entity_table).ok()?;
+    let ci = table.schema().column_index(&d.projection_column)?;
+    table.cell(row, ci).map(|v| v.to_string())
+}
+
+/// Print ranked next-example recommendations for a discovery (shared by
+/// the one-shot `--recommend` flag and the REPL `suggest` command).
+fn print_recommendations(adb: &ADb, d: &Discovery, recs: &[squid_core::Recommendation]) {
+    if recs.is_empty() {
+        println!("no contested filters — no examples to recommend.");
+        return;
+    }
+    println!("informative next examples (confirming one refutes the listed filters):");
+    for r in recs {
+        println!(
+            "  {} (score {:.3}) — tests {}",
+            projection_value(adb, d, r.row).unwrap_or_default(),
+            r.score,
+            r.discriminates.join(", ")
+        );
+    }
+}
+
+/// Print the `k` most informative next examples of a session.
+fn print_suggestions(adb: &ADb, session: &SquidSession, k: usize) {
+    if let Some(d) = session.discovery() {
+        print_recommendations(adb, d, &session.suggest(k));
+    }
+}
+
+/// One-line next-example hint after an add (top suggestion only).
+fn print_hint(adb: &ADb, session: &SquidSession) {
+    let Some(d) = session.discovery() else {
+        return;
+    };
+    let Some(top) = session.suggest(1).into_iter().next() else {
+        return;
+    };
+    if let Some(v) = projection_value(adb, d, top.row) {
+        println!(
+            "hint: adding {v:?} would test {} — `suggest` for more",
+            top.discriminates.join(", ")
+        );
     }
 }
 
