@@ -283,13 +283,12 @@ impl ADb {
             derived_row_count,
             original_row_count: db.total_rows(),
         };
-        static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Ok(ADb {
             inverted,
             entities,
             database: adb_database,
             build_stats,
-            generation: NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            generation: next_generation(),
         })
     }
 
@@ -297,6 +296,15 @@ impl ADb {
     pub fn entity(&self, table: &str) -> Option<&EntityProps> {
         self.entities.get(table)
     }
+}
+
+/// Next process-unique αDB generation. Every way an `ADb` comes into
+/// existence (generator build, snapshot load) must draw from this counter
+/// so evaluation caches keyed by generation can never alias across
+/// distinct αDB instances.
+pub(crate) fn next_generation() -> u64 {
+    static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Map `pk value → value of a column` for a referenced table. Reads the

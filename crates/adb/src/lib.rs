@@ -11,6 +11,7 @@
 
 pub mod build;
 pub mod properties;
+pub mod snapshot;
 pub mod stats;
 pub mod test_fixtures;
 

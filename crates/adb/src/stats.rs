@@ -379,6 +379,37 @@ impl DerivedStats {
         }
     }
 
+    /// Reassemble from previously built arenas (the snapshot load path:
+    /// the distributions and postings were computed by [`from_runs`] in
+    /// the saving process and persisted verbatim, so none of that work is
+    /// repeated here). Each entity's run slice is re-sorted by
+    /// [`run_cmp`] — the comparator orders text by symbol id, which is
+    /// process-local, so the persisted order is not this process's order.
+    /// `offsets` must be monotone within `runs` (the loader builds them
+    /// from validated lengths).
+    ///
+    /// [`from_runs`]: DerivedStats::from_runs
+    pub(crate) fn from_arenas(
+        mut runs: Vec<(Value, u64)>,
+        offsets: Vec<u32>,
+        entity_totals: Vec<u64>,
+        value_count_dists: FxHashMap<Value, Vec<u64>>,
+        value_frac_dists: FxHashMap<Value, Vec<f64>>,
+        value_postings: FxHashMap<Value, Vec<(RowId, u64)>>,
+    ) -> Self {
+        for w in offsets.windows(2) {
+            runs[w[0] as usize..w[1] as usize].sort_unstable_by(|a, b| run_cmp(&a.0, &b.0));
+        }
+        DerivedStats {
+            runs,
+            offsets,
+            entity_totals,
+            value_count_dists,
+            value_frac_dists,
+            value_postings,
+        }
+    }
+
     /// `(entity row, count)` postings for value `v`, ascending by row.
     /// Empty when `v` is absent — with [`DerivedStats::enumerable`] true,
     /// this is the exact set of entities with count > 0 for `v`.
@@ -1126,12 +1157,22 @@ impl SharedFilterSetCache {
 
     /// Lock `fp`'s shard and revalidate it against `generation` (clearing
     /// entries computed against a different αDB build).
+    ///
+    /// Shard guards here (and in the sweeps below) recover from poisoning
+    /// rather than propagating it: no user code ever runs under a shard
+    /// lock, so a poisoned flag means some *other* session's turn panicked
+    /// — its cache entries are whole `Arc` values and stay consistent, and
+    /// one crashed session must not take the shared cache down for every
+    /// sibling on the fleet.
     fn locked_shard(
         &self,
         fp: &FilterFingerprint,
         generation: u64,
     ) -> std::sync::MutexGuard<'_, SharedShard> {
-        let mut shard = self.shard_for(fp).lock().expect("shared cache shard");
+        let mut shard = self
+            .shard_for(fp)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if shard.generation != generation {
             shard.inner.clear();
             shard.generation = generation;
@@ -1176,14 +1217,22 @@ impl SharedFilterSetCache {
     /// pinned by a stale reference bit.
     pub fn decay(&self) {
         for shard in &self.shards {
-            shard.lock().expect("shared cache shard").inner.decay();
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .inner
+                .decay();
         }
     }
 
     /// Drop every entry in every shard (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("shared cache shard").inner.clear();
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .inner
+                .clear();
         }
     }
 
@@ -1191,7 +1240,12 @@ impl SharedFilterSetCache {
     pub fn resident_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shared cache shard").inner.resident_bytes)
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .inner
+                    .resident_bytes
+            })
             .sum()
     }
 
@@ -1207,7 +1261,9 @@ impl SharedFilterSetCache {
             max_resident_bytes: self.max_resident_bytes,
         };
         for shard in &self.shards {
-            let shard = shard.lock().expect("shared cache shard");
+            let shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             stats.hits += shard.hits;
             stats.misses += shard.misses;
             stats.evictions += shard.inner.evictions;

@@ -51,6 +51,21 @@ pub enum SquidError {
     },
     /// Underlying relational error.
     Relation(RelationError),
+    /// An I/O failure in the durability layer (snapshot save/load, journal
+    /// append/replay). Carries the rendered error text: `std::io::Error`
+    /// is neither `Clone` nor `Eq`, which this enum requires.
+    Io(String),
+    /// Durable bytes (snapshot section or journal record) failed
+    /// validation — checksum mismatch, truncation, or a value out of
+    /// range. The file is damaged; the state it caches must be rebuilt
+    /// from its source (generators for snapshots, the valid journal
+    /// prefix for sessions).
+    Corrupt {
+        /// Which section or record failed to decode.
+        section: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SquidError {
@@ -78,6 +93,10 @@ impl fmt::Display for SquidError {
                 write!(f, "unknown or expired session {id}")
             }
             SquidError::Relation(e) => write!(f, "relational error: {e}"),
+            SquidError::Io(detail) => write!(f, "i/o error: {detail}"),
+            SquidError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
         }
     }
 }
@@ -87,6 +106,23 @@ impl std::error::Error for SquidError {}
 impl From<RelationError> for SquidError {
     fn from(e: RelationError) -> Self {
         SquidError::Relation(e)
+    }
+}
+
+impl From<std::io::Error> for SquidError {
+    fn from(e: std::io::Error) -> Self {
+        SquidError::Io(e.to_string())
+    }
+}
+
+impl From<squid_relation::FrameError> for SquidError {
+    fn from(e: squid_relation::FrameError) -> Self {
+        match e {
+            squid_relation::FrameError::Io(e) => SquidError::Io(e.to_string()),
+            squid_relation::FrameError::Corrupt { section, detail } => {
+                SquidError::Corrupt { section, detail }
+            }
+        }
     }
 }
 

@@ -1,0 +1,464 @@
+//! Append-only session journal: the durable source of truth for live
+//! [`SquidSession`] state.
+//!
+//! The αDB snapshot (`squid_adb::snapshot`) is a rebuildable cache; what a
+//! crash actually destroys is the *interactive* state — which examples a
+//! user added, what they pinned, banned, and chose. This module journals
+//! every session-mutating operation as a length-prefixed, CRC-32 protected
+//! record appended through a buffered writer, and replays the journal on
+//! restart ([`read_journal`] + `SessionManager::recover`).
+//!
+//! ## Record format
+//!
+//! ```text
+//! +---------+-----------+------------------------------------+
+//! | len u32 | crc32 u32 | payload: session u64, op tag, args |
+//! +---------+-----------+------------------------------------+
+//! ```
+//!
+//! ## Write-ahead semantics, inverted
+//!
+//! Session mutators are deterministic functions of the (immutable) αDB and
+//! are rollback-on-error, so the journal records operations *after* they
+//! succeed: a replayed journal applies exactly the successful prefix of
+//! history and lands bit-identical to the never-crashed fleet. A torn or
+//! bit-flipped tail record — the signature of dying mid-append — is
+//! detected by length/CRC and **truncated**, not treated as fatal:
+//! everything before the damage is recovered.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use squid_relation::frame::{crc32, ByteReader, ByteWriter, FrameError};
+
+use crate::error::SquidError;
+use crate::manager::SessionId;
+use crate::session::{DiscoveryDelta, SquidSession};
+
+/// Largest accepted journal record payload (1 MiB): a declared length
+/// beyond this is treated as tail corruption, not an allocation request.
+const MAX_RECORD: u32 = 1 << 20;
+
+/// When appended records are pushed toward the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: survives OS crash and power loss at the
+    /// cost of one disk round-trip per operation.
+    Always,
+    /// Flush to the OS after every record (default): survives process
+    /// crashes — the common failure — but a simultaneous OS crash may lose
+    /// the last few records.
+    Flush,
+    /// Leave records in the user-space buffer until it fills or the
+    /// journal is dropped: fastest, loses the buffer on a process crash.
+    Never,
+}
+
+/// One journaled session-mutating operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    /// Session was created.
+    Create,
+    /// `add_example(value)`.
+    AddExample(String),
+    /// `remove_example(value)`.
+    RemoveExample(String),
+    /// `set_target(table, column)`.
+    SetTarget {
+        /// Target entity table.
+        table: String,
+        /// Target column.
+        column: String,
+    },
+    /// `set_target_auto()`.
+    SetTargetAuto,
+    /// `pin_filter(key)`.
+    PinFilter(String),
+    /// `ban_filter(key)`.
+    BanFilter(String),
+    /// `unpin_filter(key)`.
+    UnpinFilter(String),
+    /// `unban_filter(key)`.
+    UnbanFilter(String),
+    /// `choose_entity(example, pk)`.
+    ChooseEntity {
+        /// The ambiguous example value.
+        example: String,
+        /// The chosen entity's primary key.
+        pk: i64,
+    },
+    /// `clear_choice(example)`.
+    ClearChoice(String),
+    /// Session was ended.
+    End,
+}
+
+impl SessionOp {
+    /// Apply this operation to a live session. `Create`/`End` are session
+    /// lifecycle markers handled by the manager and are no-ops here.
+    pub fn apply(&self, s: &mut SquidSession<'_>) -> Result<Option<DiscoveryDelta>, SquidError> {
+        match self {
+            SessionOp::Create | SessionOp::End => Ok(None),
+            SessionOp::AddExample(v) => s.add_example(v).map(Some),
+            SessionOp::RemoveExample(v) => s.remove_example(v).map(Some),
+            SessionOp::SetTarget { table, column } => s.set_target(table, column).map(Some),
+            SessionOp::SetTargetAuto => s.set_target_auto().map(Some),
+            SessionOp::PinFilter(k) => s.pin_filter(k).map(Some),
+            SessionOp::BanFilter(k) => s.ban_filter(k).map(Some),
+            SessionOp::UnpinFilter(k) => s.unpin_filter(k).map(Some),
+            SessionOp::UnbanFilter(k) => s.unban_filter(k).map(Some),
+            SessionOp::ChooseEntity { example, pk } => s.choose_entity(example, *pk).map(Some),
+            SessionOp::ClearChoice(example) => s.clear_choice(example).map(Some),
+        }
+    }
+
+    fn encode(&self, session: SessionId) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(session);
+        match self {
+            SessionOp::Create => w.put_u8(0),
+            SessionOp::AddExample(v) => {
+                w.put_u8(1);
+                w.put_str(v);
+            }
+            SessionOp::RemoveExample(v) => {
+                w.put_u8(2);
+                w.put_str(v);
+            }
+            SessionOp::SetTarget { table, column } => {
+                w.put_u8(3);
+                w.put_str(table);
+                w.put_str(column);
+            }
+            SessionOp::SetTargetAuto => w.put_u8(4),
+            SessionOp::PinFilter(k) => {
+                w.put_u8(5);
+                w.put_str(k);
+            }
+            SessionOp::BanFilter(k) => {
+                w.put_u8(6);
+                w.put_str(k);
+            }
+            SessionOp::UnpinFilter(k) => {
+                w.put_u8(7);
+                w.put_str(k);
+            }
+            SessionOp::UnbanFilter(k) => {
+                w.put_u8(8);
+                w.put_str(k);
+            }
+            SessionOp::ChooseEntity { example, pk } => {
+                w.put_u8(9);
+                w.put_str(example);
+                w.put_i64(*pk);
+            }
+            SessionOp::ClearChoice(example) => {
+                w.put_u8(10);
+                w.put_str(example);
+            }
+            SessionOp::End => w.put_u8(11),
+        }
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<(SessionId, SessionOp), FrameError> {
+        let mut r = ByteReader::new(payload, "journal record");
+        let session = r.get_u64()?;
+        let op = match r.get_u8()? {
+            0 => SessionOp::Create,
+            1 => SessionOp::AddExample(r.get_str()?),
+            2 => SessionOp::RemoveExample(r.get_str()?),
+            3 => SessionOp::SetTarget {
+                table: r.get_str()?,
+                column: r.get_str()?,
+            },
+            4 => SessionOp::SetTargetAuto,
+            5 => SessionOp::PinFilter(r.get_str()?),
+            6 => SessionOp::BanFilter(r.get_str()?),
+            7 => SessionOp::UnpinFilter(r.get_str()?),
+            8 => SessionOp::UnbanFilter(r.get_str()?),
+            9 => SessionOp::ChooseEntity {
+                example: r.get_str()?,
+                pk: r.get_i64()?,
+            },
+            10 => SessionOp::ClearChoice(r.get_str()?),
+            11 => SessionOp::End,
+            t => {
+                return Err(FrameError::corrupt(
+                    "journal record",
+                    format!("invalid op tag {t}"),
+                ))
+            }
+        };
+        r.expect_end()?;
+        Ok((session, op))
+    }
+}
+
+/// Appender half of the journal: opened once per process, shared by the
+/// `SessionManager`.
+#[derive(Debug)]
+pub struct Journal {
+    w: BufWriter<File>,
+    policy: FsyncPolicy,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Open `path` for appending (creating it if absent).
+    pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Journal, SquidError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            w: BufWriter::new(file),
+            policy,
+            path,
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and push it toward the disk per the fsync policy.
+    pub fn append(&mut self, session: SessionId, op: &SessionOp) -> Result<(), SquidError> {
+        let payload = op.encode(session);
+        debug_assert!(payload.len() as u32 <= MAX_RECORD);
+        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.w.write_all(&crc32(&payload).to_le_bytes())?;
+        self.w.write_all(&payload)?;
+        match self.policy {
+            FsyncPolicy::Always => {
+                self.w.flush()?;
+                self.w.get_ref().sync_data()?;
+            }
+            FsyncPolicy::Flush => self.w.flush()?,
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records to the OS (and to disk under
+    /// [`FsyncPolicy::Always`]).
+    pub fn sync(&mut self) -> Result<(), SquidError> {
+        self.w.flush()?;
+        if self.policy == FsyncPolicy::Always {
+            self.w.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Result of scanning a journal file: the decoded valid prefix plus how
+/// much tail (if any) had to be abandoned as torn or corrupt.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Decoded records in append order.
+    pub records: Vec<(SessionId, SessionOp)>,
+    /// Byte length of the valid prefix.
+    pub bytes_valid: u64,
+    /// Bytes after the valid prefix (torn/corrupt tail, or zero).
+    pub bytes_truncated: u64,
+}
+
+/// Read and validate a journal file, stopping at the first torn or
+/// corrupt record (crash-mid-append is expected, not an error). A missing
+/// file is an empty journal.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalReplay, SquidError> {
+    let bytes = match std::fs::read(path.as_ref()) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            break; // empty or torn mid-header
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD || rest.len() - 8 < len as usize {
+            break; // corrupt length or torn payload
+        }
+        let payload = &rest[8..8 + len as usize];
+        if crc32(payload) != crc {
+            break; // bit-flipped record
+        }
+        let Ok(decoded) = SessionOp::decode(payload) else {
+            break; // CRC-valid but undecodable: treat as tail damage
+        };
+        records.push(decoded);
+        pos += 8 + len as usize;
+    }
+    Ok(JournalReplay {
+        records,
+        bytes_valid: pos as u64,
+        bytes_truncated: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Truncate `path` to its valid prefix so the damaged tail can never be
+/// re-read (and appends continue from a clean boundary).
+pub fn truncate_to_valid(path: impl AsRef<Path>, bytes_valid: u64) -> Result<(), SquidError> {
+    match OpenOptions::new().write(true).open(path.as_ref()) {
+        Ok(f) => {
+            f.set_len(bytes_valid)?;
+            f.sync_data()?;
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Drain a reader into bytes — helper for tests feeding fault-injected
+/// readers into [`read_journal`]-equivalent scans.
+pub fn read_all<R: Read>(r: &mut R) -> Result<Vec<u8>, SquidError> {
+    let mut out = Vec::new();
+    r.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("squid_journal_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_ops() -> Vec<(SessionId, SessionOp)> {
+        vec![
+            (1, SessionOp::Create),
+            (1, SessionOp::AddExample("Jim Carrey".into())),
+            (
+                1,
+                SessionOp::SetTarget {
+                    table: "person".into(),
+                    column: "name".into(),
+                },
+            ),
+            (2, SessionOp::Create),
+            (1, SessionOp::PinFilter("gender = Male".into())),
+            (
+                2,
+                SessionOp::ChooseEntity {
+                    example: "Titanic".into(),
+                    pk: 7,
+                },
+            ),
+            (1, SessionOp::ClearChoice("Titanic".into())),
+            (2, SessionOp::End),
+        ]
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("round_trip.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        for (sid, op) in sample_ops() {
+            j.append(sid, &op).unwrap();
+        }
+        drop(j);
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.records, sample_ops());
+        assert_eq!(replay.bytes_truncated, 0);
+        assert_eq!(replay.bytes_valid, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix_at_every_cut() {
+        let path = tmp("torn.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        for (sid, op) in sample_ops() {
+            j.append(sid, &op).unwrap();
+        }
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        let complete = read_journal(&path).unwrap();
+        for cut in 0..full.len() {
+            let cut_path = tmp("torn_cut.journal");
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            let replay = read_journal(&cut_path).unwrap();
+            // The recovered prefix is exactly the complete records that
+            // fit in `cut` bytes; never an error, never a panic.
+            assert!(replay.records.len() <= complete.records.len());
+            assert_eq!(replay.records[..], complete.records[..replay.records.len()]);
+            assert_eq!(replay.bytes_valid + replay.bytes_truncated, cut as u64);
+            std::fs::remove_file(&cut_path).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flips_truncate_at_the_damaged_record() {
+        let path = tmp("flip.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        for (sid, op) in sample_ops() {
+            j.append(sid, &op).unwrap();
+        }
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        for i in 0..40 {
+            let bit = (i * 6067) % (full.len() * 8);
+            let mut damaged = full.clone();
+            squid_relation::frame::failpoint::flip_bit(&mut damaged, bit);
+            let flip_path = tmp("flip_case.journal");
+            std::fs::write(&flip_path, &damaged).unwrap();
+            let replay = read_journal(&flip_path).unwrap();
+            // Valid prefix only: every recovered record matches history.
+            let complete = sample_ops();
+            assert_eq!(replay.records[..], complete[..replay.records.len()]);
+            std::fs::remove_file(&flip_path).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_to_valid_drops_the_tail() {
+        let path = tmp("truncate.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        for (sid, op) in sample_ops() {
+            j.append(sid, &op).unwrap();
+        }
+        drop(j);
+        // Simulate a torn append.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x55, 0x2, 0x3]).unwrap();
+        drop(f);
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.bytes_truncated, 3);
+        truncate_to_valid(&path, replay.bytes_valid).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), replay.bytes_valid);
+        let again = read_journal(&path).unwrap();
+        assert_eq!(again.bytes_truncated, 0);
+        assert_eq!(again.records, sample_ops());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let replay = read_journal(tmp("never_written.journal")).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.bytes_valid, 0);
+        assert_eq!(replay.bytes_truncated, 0);
+    }
+}

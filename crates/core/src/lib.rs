@@ -43,6 +43,7 @@ pub mod context;
 pub mod disambiguate;
 pub mod error;
 pub mod filter;
+pub mod journal;
 pub mod manager;
 pub mod metrics;
 pub mod params;
@@ -58,7 +59,8 @@ pub use context::{discover_contexts, ContextState};
 pub use disambiguate::{disambiguate, similarity_score};
 pub use error::SquidError;
 pub use filter::{CandidateFilter, FilterValue};
-pub use manager::{SessionId, SessionManager, DEFAULT_SHARED_CACHE_BYTES};
+pub use journal::{read_journal, FsyncPolicy, Journal, JournalReplay, SessionOp};
+pub use manager::{RecoverStats, SessionId, SessionManager, DEFAULT_SHARED_CACHE_BYTES};
 pub use metrics::Accuracy;
 pub use params::SquidParams;
 pub use query_gen::{

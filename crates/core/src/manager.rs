@@ -29,16 +29,18 @@
 //! manager.end_session(id);
 //! ```
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use squid_adb::{ADb, SharedCacheStats, SharedFilterSetCache};
 use squid_relation::FxHashMap;
 
 use crate::error::SquidError;
+use crate::journal::{self, FsyncPolicy, Journal, SessionOp};
 use crate::params::SquidParams;
-use crate::session::SquidSession;
+use crate::session::{DiscoveryDelta, SquidSession};
 
 /// Opaque session identifier handed out by [`SessionManager::create_session`].
 pub type SessionId = u64;
@@ -57,6 +59,22 @@ struct Entry {
     last_used_ms: AtomicU64,
 }
 
+/// What a journal recovery actually did (see [`SessionManager::recover`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverStats {
+    /// Sessions created during replay (`Create` records).
+    pub sessions_replayed: usize,
+    /// Records applied successfully.
+    pub records_applied: u64,
+    /// CRC-valid records whose replay failed (e.g. they referenced a
+    /// session evicted by an `End` later in real time); skipped.
+    pub records_failed: u64,
+    /// Torn/corrupt tail bytes truncated from the journal.
+    pub bytes_truncated: u64,
+    /// Sessions live after replay (created and never ended).
+    pub live_sessions: usize,
+}
+
 /// Hosts many concurrent [`SquidSession`]s over one shared αDB (see the
 /// module docs for the locking story).
 pub struct SessionManager {
@@ -71,6 +89,21 @@ pub struct SessionManager {
     shared_cache: Option<Arc<SharedFilterSetCache>>,
     /// Per-session local evaluation-cache byte bound (`None` = unbounded).
     session_cache_bytes: Option<usize>,
+    /// Append-only durability journal (`None` until attached/recovered).
+    journal: Mutex<Option<Journal>>,
+    /// What the last [`SessionManager::recover`] call did.
+    recover_stats: Mutex<Option<RecoverStats>>,
+    /// Journal appends that failed on the best-effort create/end paths.
+    journal_write_errors: AtomicU64,
+}
+
+/// Recover a lock guard from a poisoned registry lock: no user code ever
+/// runs while a *registry* lock is held (shards map ids to `Arc<Entry>`
+/// handles; session turns run under the entry's own mutex), so poisoning
+/// here only means some unrelated thread panicked — the map itself is
+/// structurally intact and siblings must keep working.
+fn recover_guard<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl SessionManager {
@@ -98,6 +131,9 @@ impl SessionManager {
                 .collect(),
             shared_cache,
             session_cache_bytes: None,
+            journal: Mutex::new(None),
+            recover_stats: Mutex::new(None),
+            journal_write_errors: AtomicU64::new(0),
         }
     }
 
@@ -173,6 +209,19 @@ impl SessionManager {
     /// Open a new session with explicit parameters.
     pub fn create_session_with_params(&self, params: SquidParams) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.install_session(id, params);
+        // Best-effort journaling on the infallible create path; failures
+        // are counted (surfaced via `journal_write_errors`) and the next
+        // fallible `apply_op` on this journal will report the condition.
+        if self.journal_append(id, &SessionOp::Create).is_err() {
+            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        id
+    }
+
+    /// Install a session under a fixed id (the create path minus id
+    /// allocation and journaling — also the journal-replay path).
+    fn install_session(&self, id: SessionId, params: SquidParams) {
         let mut session = SquidSession::shared_with_params(Arc::clone(&self.adb), params);
         if let Some(shared) = &self.shared_cache {
             session.attach_shared_cache(Arc::clone(shared));
@@ -184,11 +233,7 @@ impl SessionManager {
             session: Mutex::new(session),
             last_used_ms: AtomicU64::new(self.now_ms()),
         });
-        self.shard(id)
-            .write()
-            .expect("shard lock")
-            .insert(id, entry);
-        id
+        recover_guard(self.shard(id).write()).insert(id, entry);
     }
 
     /// Run `f` against session `id`. The registry lock is held only long
@@ -200,7 +245,7 @@ impl SessionManager {
         f: impl FnOnce(&mut SquidSession<'static>) -> Result<T, SquidError>,
     ) -> Result<T, SquidError> {
         let entry = {
-            let shard = self.shard(id).read().expect("shard lock");
+            let shard = recover_guard(self.shard(id).read());
             shard.get(&id).cloned()
         };
         let Some(entry) = entry else {
@@ -213,7 +258,7 @@ impl SessionManager {
                 // Re-check under the write lock: a concurrent caller may
                 // have renewed the session between our read and now, and
                 // evicting a just-renewed session would drop live state.
-                let mut shard = self.shard(id).write().expect("shard lock");
+                let mut shard = recover_guard(self.shard(id).write());
                 let still_stale = shard.get(&id).is_some_and(|e| {
                     now.saturating_sub(e.last_used_ms.load(Ordering::Relaxed)) > cutoff
                 });
@@ -227,7 +272,18 @@ impl SessionManager {
         }
         entry.last_used_ms.store(now, Ordering::Relaxed);
         let result = {
-            let mut session = entry.session.lock().expect("session lock");
+            let mut session = match entry.session.lock() {
+                Ok(guard) => guard,
+                // This session's own mutex is poisoned: a previous turn
+                // panicked mid-mutation, so its state may be half-applied
+                // (unlike the registry shards, real work runs under this
+                // lock). Evict it — siblings are untouched, and the caller
+                // sees the same error as for an expired session.
+                Err(_) => {
+                    recover_guard(self.shard(id).write()).remove(&id);
+                    return Err(SquidError::UnknownSession { id });
+                }
+            };
             f(&mut session)
         };
         // Stamp again after `f`: a long-running operation must not leave
@@ -239,11 +295,11 @@ impl SessionManager {
 
     /// Close a session. Returns whether it existed.
     pub fn end_session(&self, id: SessionId) -> bool {
-        self.shard(id)
-            .write()
-            .expect("shard lock")
-            .remove(&id)
-            .is_some()
+        let existed = recover_guard(self.shard(id).write()).remove(&id).is_some();
+        if existed && self.journal_append(id, &SessionOp::End).is_err() {
+            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
     }
 
     /// Sweep every shard, removing sessions idle past the TTL. Returns the
@@ -262,7 +318,7 @@ impl SessionManager {
         let now = self.now_ms();
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut shard = shard.write().expect("shard lock");
+            let mut shard = recover_guard(shard.write());
             let before = shard.len();
             shard.retain(|_, e| {
                 now.saturating_sub(e.last_used_ms.load(Ordering::Relaxed)) <= cutoff_ms
@@ -281,13 +337,138 @@ impl SessionManager {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock").len())
+            .map(|s| recover_guard(s.read()).len())
             .sum()
     }
 
     /// Whether no sessions are live.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Ids of every live session, ascending. Operator tooling uses this
+    /// after [`SessionManager::recover`] to resume the newest session.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .shards
+            .iter()
+            .flat_map(|s| recover_guard(s.read()).keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Attach an append-only journal: from now on `create_session`,
+    /// `end_session`, and every [`SessionManager::apply_op`] mutation is
+    /// recorded so a crashed fleet can be resurrected with
+    /// [`SessionManager::recover`].
+    pub fn attach_journal(&self, journal: Journal) {
+        *recover_guard(self.journal.lock()) = Some(journal);
+    }
+
+    /// Whether a journal is attached.
+    pub fn has_journal(&self) -> bool {
+        recover_guard(self.journal.lock()).is_some()
+    }
+
+    /// Flush (and under [`FsyncPolicy::Always`], sync) the journal.
+    pub fn journal_sync(&self) -> Result<(), SquidError> {
+        match recover_guard(self.journal.lock()).as_mut() {
+            Some(j) => j.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Journal appends that failed on the infallible create/end paths.
+    pub fn journal_write_errors(&self) -> u64 {
+        self.journal_write_errors.load(Ordering::Relaxed)
+    }
+
+    fn journal_append(&self, id: SessionId, op: &SessionOp) -> Result<(), SquidError> {
+        match recover_guard(self.journal.lock()).as_mut() {
+            Some(j) => j.append(id, op),
+            None => Ok(()),
+        }
+    }
+
+    /// Apply one session-mutating operation *and* journal it. The record
+    /// is appended only after the operation succeeds (mutators are
+    /// rollback-on-error), so the journal always holds exactly the
+    /// successful history — replaying it is deterministic.
+    ///
+    /// Lifecycle ops are not applicable here: use
+    /// [`SessionManager::create_session`] / [`SessionManager::end_session`],
+    /// which journal themselves.
+    pub fn apply_op(
+        &self,
+        id: SessionId,
+        op: &SessionOp,
+    ) -> Result<Option<DiscoveryDelta>, SquidError> {
+        let delta = self.with_session(id, |s| op.apply(s))?;
+        self.journal_append(id, op)?;
+        Ok(delta)
+    }
+
+    /// Rebuild session state by replaying the journal at `path`, then
+    /// truncate any torn/corrupt tail and attach the journal for further
+    /// appends. Call on a freshly-constructed manager (existing sessions
+    /// are kept; replayed ids that collide would be overwritten).
+    ///
+    /// Replay semantics: `Create`/`End` records drive session lifecycle
+    /// under their original ids; every other record re-executes the
+    /// operation against the (immutable) αDB, which reproduces the exact
+    /// pre-crash state because mutators are deterministic and only
+    /// successful operations were journaled. A record that fails to apply
+    /// (e.g. the αDB changed under the journal) is counted in
+    /// [`RecoverStats::records_failed`] and skipped — recovery salvages
+    /// everything salvageable instead of failing outright.
+    pub fn recover(
+        &self,
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<RecoverStats, SquidError> {
+        let path = path.as_ref();
+        let replay = journal::read_journal(path)?;
+        let mut stats = RecoverStats {
+            bytes_truncated: replay.bytes_truncated,
+            ..RecoverStats::default()
+        };
+        let mut max_id = 0;
+        for (sid, op) in &replay.records {
+            max_id = max_id.max(*sid);
+            match op {
+                SessionOp::Create => {
+                    self.install_session(*sid, self.params.clone());
+                    stats.sessions_replayed += 1;
+                    stats.records_applied += 1;
+                }
+                SessionOp::End => {
+                    recover_guard(self.shard(*sid).write()).remove(sid);
+                    stats.records_applied += 1;
+                }
+                _ => match self.with_session(*sid, |s| op.apply(s)) {
+                    Ok(_) => stats.records_applied += 1,
+                    Err(_) => stats.records_failed += 1,
+                },
+            }
+        }
+        // Fresh ids must never collide with replayed ones.
+        self.next_id.fetch_max(max_id + 1, Ordering::Relaxed);
+        // Drop the damaged tail on disk before appending after it, so the
+        // journal never contains valid records behind a corrupt region.
+        journal::truncate_to_valid(path, replay.bytes_valid)?;
+        self.attach_journal(Journal::open(path, policy)?);
+        stats.live_sessions = self.len();
+        *recover_guard(self.recover_stats.lock()) = Some(stats);
+        Ok(stats)
+    }
+
+    /// What the last [`SessionManager::recover`] call on this manager did,
+    /// if any — surfaced by operator tooling (the REPL `stats` command).
+    pub fn recover_stats(&self) -> Option<RecoverStats> {
+        *recover_guard(self.recover_stats.lock())
     }
 }
 
@@ -415,6 +596,125 @@ mod tests {
         // (they evict first only once the byte budget tightens).
         let after = m.shared_cache_stats().unwrap();
         assert_eq!(after.entries, before.entries);
+    }
+
+    #[test]
+    fn panicked_session_is_evicted_and_siblings_survive() {
+        let m = manager();
+        let doomed = m.create_session();
+        let sibling = m.create_session();
+        m.with_session(sibling, |s| s.add_example("Jim Carrey"))
+            .unwrap();
+        // A turn that panics mid-operation poisons only its own session.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), _> = m.with_session(doomed, |s| {
+                s.add_example("Eddie Murphy")?;
+                panic!("injected turn panic");
+            });
+        }));
+        assert!(panicked.is_err());
+        // The sibling keeps working, through the same shard registry.
+        let examples = m
+            .with_session(sibling, |s| Ok(s.examples().join(",")))
+            .unwrap();
+        assert_eq!(examples, "Jim Carrey");
+        // The poisoned session is evicted on next touch, like an expired one.
+        let err = m.with_session(doomed, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, SquidError::UnknownSession { .. }));
+        // And new sessions can still be created afterwards.
+        let fresh = m.create_session();
+        m.with_session(fresh, |s| s.add_example("Julia Roberts"))
+            .unwrap();
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("squid_manager_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn recover_replays_journaled_sessions_bit_identical() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("recover.journal");
+        std::fs::remove_file(&path).ok();
+
+        // Fleet A: journaling on, two sessions, one ended.
+        let a = SessionManager::new(Arc::clone(&adb));
+        a.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let s1 = a.create_session();
+        let s2 = a.create_session();
+        a.apply_op(s1, &SessionOp::AddExample("Jim Carrey".into()))
+            .unwrap();
+        a.apply_op(s1, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap();
+        a.apply_op(s1, &SessionOp::PinFilter("person:gender".into()))
+            .ok();
+        a.apply_op(s2, &SessionOp::AddExample("Julia Roberts".into()))
+            .unwrap();
+        a.end_session(s2);
+        let sql_before = a
+            .with_session(s1, |s| Ok(s.discovery().unwrap().sql()))
+            .unwrap();
+        let examples_before = a.with_session(s1, |s| Ok(s.examples().join("|"))).unwrap();
+        drop(a); // "crash": the manager is gone, only the journal survives
+
+        // Fleet B: fresh manager over the same αDB, recovered from disk.
+        let b = SessionManager::new(Arc::clone(&adb));
+        let stats = b.recover(&path, FsyncPolicy::Flush).unwrap();
+        assert_eq!(stats.sessions_replayed, 2);
+        assert_eq!(stats.live_sessions, 1, "s2 was ended before the crash");
+        assert_eq!(stats.bytes_truncated, 0);
+        assert_eq!(b.recover_stats(), Some(stats));
+        let sql_after = b
+            .with_session(s1, |s| Ok(s.discovery().unwrap().sql()))
+            .unwrap();
+        let examples_after = b.with_session(s1, |s| Ok(s.examples().join("|"))).unwrap();
+        assert_eq!(
+            sql_before, sql_after,
+            "recovered discovery is bit-identical"
+        );
+        assert_eq!(examples_before, examples_after);
+        assert!(matches!(
+            b.with_session(s2, |_| Ok(())),
+            Err(SquidError::UnknownSession { .. })
+        ));
+        // New ids never collide with replayed ones.
+        let s3 = b.create_session();
+        assert!(s3 > s2.max(s1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail_and_continues() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("torn_recover.journal");
+        std::fs::remove_file(&path).ok();
+        let a = SessionManager::new(Arc::clone(&adb));
+        a.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let s1 = a.create_session();
+        a.apply_op(s1, &SessionOp::AddExample("Jim Carrey".into()))
+            .unwrap();
+        a.apply_op(s1, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap();
+        drop(a);
+        // Tear the file mid-record: drop the last 5 bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let b = SessionManager::new(Arc::clone(&adb));
+        let stats = b.recover(&path, FsyncPolicy::Flush).unwrap();
+        assert!(stats.bytes_truncated > 0);
+        // The prefix state: session exists with the first example only.
+        let examples = b.with_session(s1, |s| Ok(s.examples().join("|"))).unwrap();
+        assert_eq!(examples, "Jim Carrey");
+        // The tail is gone on disk, and appends continue cleanly.
+        b.apply_op(s1, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap();
+        drop(b);
+        let replay = crate::journal::read_journal(&path).unwrap();
+        assert_eq!(replay.bytes_truncated, 0, "tail truncated before reopen");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -36,63 +36,9 @@ pub(crate) fn builders_for(
         .collect()
 }
 
-/// Deterministic FNV-1a fingerprint over a database's complete contents:
-/// every table (in name order) with its full schema (column names and
-/// dtypes, role, primary/foreign keys), the administrator metadata
-/// (non-semantic exclusions), and every cell in row order. Two databases
-/// fingerprint equal iff they are byte-identical up to string interning
-/// (cell *contents* are hashed, not symbol ids) — schema or metadata
-/// drift changes the property space and must fail the slate pins too.
-pub fn db_fingerprint(db: &squid_relation::Database) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    for (t, c) in &db.meta.non_semantic {
-        eat(t.as_bytes());
-        eat(c.as_bytes());
-    }
-    for table in db.tables() {
-        let schema = table.schema();
-        eat(table.name().as_bytes());
-        eat(&(schema.arity() as u64).to_le_bytes());
-        eat(&[schema.role as u8]);
-        eat(&(schema.primary_key.map(|i| i as u64 + 1).unwrap_or(0)).to_le_bytes());
-        for col in &schema.columns {
-            eat(col.name.as_bytes());
-            eat(&[col.dtype as u8]);
-        }
-        for fk in &schema.foreign_keys {
-            eat(&(fk.column as u64).to_le_bytes());
-            eat(fk.ref_table.as_bytes());
-            eat(&(fk.ref_column as u64).to_le_bytes());
-        }
-        eat(&(table.len() as u64).to_le_bytes());
-        for (_, row) in table.iter() {
-            for cell in row {
-                match cell {
-                    squid_relation::Value::Null => eat(&[0]),
-                    squid_relation::Value::Int(v) => {
-                        eat(&[1]);
-                        eat(&v.to_le_bytes());
-                    }
-                    squid_relation::Value::Float(x) => {
-                        eat(&[2]);
-                        eat(&x.to_bits().to_le_bytes());
-                    }
-                    squid_relation::Value::Text(s) => {
-                        eat(&[3]);
-                        eat(s.as_str().as_bytes());
-                    }
-                    squid_relation::Value::Bool(b) => eat(&[4, *b as u8]),
-                }
-            }
-        }
-    }
-    h
-}
+/// Deterministic fingerprint over a database's complete contents: the
+/// slate pins below assert byte-identical regeneration. The definition
+/// lives in `squid-relation` (shared with the αDB snapshot loader, which
+/// verifies loaded databases against the fingerprint recorded at save
+/// time); re-exported here to keep the historical API.
+pub use squid_relation::db_fingerprint;

@@ -74,6 +74,8 @@
 
 pub mod catalog;
 pub mod error;
+pub mod fingerprint;
+pub mod frame;
 pub mod fxhash;
 pub mod index;
 pub mod intern;
@@ -86,6 +88,8 @@ pub mod value;
 
 pub use catalog::{Association, Database};
 pub use error::{RelationError, Result};
+pub use fingerprint::{db_fingerprint, db_verification_hash};
+pub use frame::{ByteReader, ByteWriter, FrameError, FrameResult};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::{HashIndex, OrderedIndex};
 pub use intern::Sym;

@@ -294,6 +294,22 @@ impl ColumnBuilder {
         self.len += 1;
     }
 
+    /// Assemble a builder directly from bulk-decoded parts: the typed
+    /// storage and its null bitmap, with no per-cell push. The caller
+    /// guarantees two invariants the push methods normally maintain:
+    /// every set bit in `nulls` addresses a cell below `data`'s length
+    /// (violations panic later in [`Table::from_columns`]'s row-view
+    /// scatter), and null positions hold the type's sentinel value.
+    pub fn from_parts(data: ColumnData, nulls: RowSet) -> ColumnBuilder {
+        let len = match &data {
+            ColumnData::Int(xs) => xs.len(),
+            ColumnData::Float(xs) => xs.len(),
+            ColumnData::Text(xs) => xs.len(),
+            ColumnData::Bool(xs) => xs.len(),
+        };
+        ColumnBuilder { data, nulls, len }
+    }
+
     /// Append an arbitrary `Value`, type-checked (the generic path for
     /// callers holding row-oriented data).
     pub fn push_value(&mut self, v: &Value) -> Result<()> {

@@ -21,14 +21,21 @@
 //! squid> show
 //! printf 'add Person 000121\nadd Person 000620\nsql\n' | squid --repl --batch imdb
 //! ```
+//!
+//! Durability: `--snapshot <path>` loads the αDB from a snapshot file when
+//! present (falling back to a generator rebuild on any corruption) and
+//! saves one after building; `--journal <path>` records every session
+//! mutation so a killed REPL relaunched with the same flags resumes
+//! exactly where the journal ends.
 
 use std::io::BufRead;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use squid_adb::ADb;
 use squid_core::{
-    recommend_examples, top_k_queries, Discovery, DiscoveryDelta, SharedFilterSetCache, Squid,
-    SquidParams, SquidSession, DEFAULT_SHARED_CACHE_BYTES,
+    recommend_examples, top_k_queries, Discovery, DiscoveryDelta, FsyncPolicy, SessionId,
+    SessionManager, SessionOp, Squid, SquidParams, SquidSession,
 };
 use squid_datasets::{
     generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig,
@@ -47,7 +54,12 @@ flags:
   --rho <x>           override the base filter prior
   --repl              interactive session mode (incremental discovery)
   --batch             with --repl: read commands from stdin, no prompts,
-                      exit non-zero on the first failed command";
+                      exit non-zero on the first failed command
+  --snapshot <path>   load the αDB from this snapshot if present (corrupt
+                      or missing -> rebuild from generators and save)
+  --journal <path>    journal session mutations; on start, recover the
+                      sessions the journal holds (REPL mode)
+  --fsync <mode>      journal durability: always | flush (default) | never";
 
 const REPL_HELP: &str = "\
 session commands:
@@ -67,7 +79,9 @@ session commands:
   suggest [k]          k most informative next examples (default 3)
   examples             list the session's examples
   stats                evaluation-cache counters (both levels), evictions,
-                       and resident bytes (total and per shared shard)
+                       resident bytes, and recovery statistics
+  save [path]          write an αDB snapshot (default: the --snapshot path)
+  recover              rewind to the journal's durable state (--journal)
   help                 this text
   quit                 exit";
 
@@ -80,6 +94,62 @@ fn build_dataset(name: &str) -> Option<Database> {
     }
 }
 
+/// Build the αDB from the dataset generators (the slow path).
+fn build_adb(dataset: &str) -> ADb {
+    let db = build_dataset(dataset).unwrap_or_else(|| die(&format!("unknown dataset {dataset:?}")));
+    eprintln!("building αDB for {dataset}...");
+    let t = std::time::Instant::now();
+    let adb = match ADb::build(&db) {
+        Ok(a) => a,
+        Err(e) => die(&format!("αDB build failed: {e}")),
+    };
+    eprintln!(
+        "αDB ready in {:?} ({} properties, {} derived rows)",
+        t.elapsed(),
+        adb.build_stats.property_count,
+        adb.build_stats.derived_row_count
+    );
+    adb
+}
+
+/// Get the αDB the fast way when possible: load the snapshot if one exists
+/// (falling back to a generator rebuild on corruption — a snapshot is a
+/// cache, never the source of truth), otherwise build and, when a snapshot
+/// path was given, save one for the next start.
+fn acquire_adb(dataset: &str, snapshot: Option<&Path>) -> ADb {
+    if let Some(path) = snapshot {
+        if path.exists() {
+            let t = std::time::Instant::now();
+            match ADb::load_snapshot(path) {
+                Ok(adb) => {
+                    eprintln!(
+                        "αDB loaded from snapshot {} in {:?} ({} properties, {} derived rows)",
+                        path.display(),
+                        t.elapsed(),
+                        adb.build_stats.property_count,
+                        adb.build_stats.derived_row_count
+                    );
+                    return adb;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "snapshot {} unusable ({e}); rebuilding from generators",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+    let adb = build_adb(dataset);
+    if let Some(path) = snapshot {
+        match adb.save_snapshot(path) {
+            Ok(bytes) => eprintln!("snapshot saved to {} ({bytes} bytes)", path.display()),
+            Err(e) => eprintln!("warning: snapshot save to {} failed: {e}", path.display()),
+        }
+    }
+    adb
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut params = SquidParams::default();
@@ -87,6 +157,9 @@ fn main() {
     let mut recommend = 0usize;
     let mut repl = false;
     let mut batch = false;
+    let mut snapshot: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Flush;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -95,6 +168,24 @@ fn main() {
             "--optimistic" => params = SquidParams::optimistic(),
             "--repl" => repl = true,
             "--batch" => batch = true,
+            "--snapshot" => {
+                snapshot = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--snapshot needs a path")),
+                ))
+            }
+            "--journal" => {
+                journal = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--journal needs a path")),
+                ))
+            }
+            "--fsync" => {
+                fsync = match it.next().as_deref() {
+                    Some("always") => FsyncPolicy::Always,
+                    Some("flush") => FsyncPolicy::Flush,
+                    Some("never") => FsyncPolicy::Never,
+                    _ => die("--fsync needs one of: always | flush | never"),
+                }
+            }
             "--alternatives" => {
                 alternatives = it
                     .next()
@@ -128,28 +219,22 @@ fn main() {
     let dataset = positional.remove(0);
     let examples: Vec<&str> = positional.iter().map(String::as_str).collect();
 
-    let Some(db) = build_dataset(&dataset) else {
+    if !["imdb", "dblp", "adult"].contains(&dataset.as_str()) {
         die::<()>(&format!("unknown dataset {dataset:?}\n{USAGE}"));
         return;
-    };
-    eprintln!("building αDB for {dataset}...");
-    let t = std::time::Instant::now();
-    let adb = match ADb::build(&db) {
-        Ok(a) => a,
-        Err(e) => {
-            die::<()>(&format!("αDB build failed: {e}"));
-            return;
-        }
-    };
-    eprintln!(
-        "αDB ready in {:?} ({} properties, {} derived rows)",
-        t.elapsed(),
-        adb.build_stats.property_count,
-        adb.build_stats.derived_row_count
-    );
+    }
+    let adb = acquire_adb(&dataset, snapshot.as_deref());
 
     if repl {
-        run_repl(&adb, params, &examples, batch);
+        run_repl(
+            Arc::new(adb),
+            params,
+            &examples,
+            batch,
+            snapshot,
+            journal,
+            fsync,
+        );
         return;
     }
 
@@ -204,23 +289,83 @@ fn main() {
     }
 }
 
-/// Drive a [`SquidSession`] from stdin commands. In batch mode any failed
-/// command aborts with a non-zero exit so scripted runs (CI) catch rot.
-fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
-    let mut session = SquidSession::with_params(adb, params);
-    // Standalone fleet-wide cache (the same byte-bounded sharded store a
-    // SessionManager owns). A fleet of one can't produce cross-session
-    // hits — the honest 0 in `stats` says exactly that — but attaching it
-    // keeps the REPL on the production two-level path and gives `stats`
-    // real per-shard residency/eviction numbers to surface.
-    let shared = Arc::new(SharedFilterSetCache::new(
-        adb.generation,
-        DEFAULT_SHARED_CACHE_BYTES,
-    ));
-    session.attach_shared_cache(Arc::clone(&shared));
+/// Journal-and-apply one mutating REPL command through the manager.
+fn apply(
+    m: &SessionManager,
+    id: SessionId,
+    op: SessionOp,
+) -> Result<Option<DiscoveryDelta>, String> {
+    m.apply_op(id, &op).map_err(|e| e.to_string())
+}
+
+/// Run a read-only closure against the active session.
+fn inspect<T>(
+    m: &SessionManager,
+    id: SessionId,
+    f: impl FnOnce(&mut SquidSession<'static>) -> T,
+) -> Result<T, String> {
+    m.with_session(id, |s| Ok(f(s))).map_err(|e| e.to_string())
+}
+
+/// Resume the newest journaled session, or open a fresh one.
+fn pick_session(m: &SessionManager, batch: bool) -> SessionId {
+    match m.session_ids().last() {
+        Some(&id) => {
+            if !batch {
+                eprintln!("resuming recovered session {id}");
+            }
+            id
+        }
+        None => m.create_session(),
+    }
+}
+
+/// Drive a managed [`SquidSession`] fleet from stdin commands. Every
+/// mutating command goes through [`SessionManager::apply_op`], so with
+/// `--journal` the whole interaction is durable: a killed REPL relaunched
+/// with the same flags replays the journal and resumes the newest session.
+/// In batch mode any failed command aborts with a non-zero exit and the
+/// failing input line number, so scripted runs (CI) catch rot.
+fn run_repl(
+    adb: Arc<ADb>,
+    params: SquidParams,
+    initial: &[&str],
+    batch: bool,
+    snapshot: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    fsync: FsyncPolicy,
+) {
+    // The manager is the production concurrency layer; a REPL drives a
+    // fleet of one but stays on the same two-level cache and journaling
+    // path a serving deployment uses.
+    let mut manager = SessionManager::with_params(Arc::clone(&adb), params.clone());
+    if let Some(jp) = &journal {
+        match manager.recover(jp, fsync) {
+            Ok(st) => {
+                if st.records_applied > 0 || st.bytes_truncated > 0 {
+                    eprintln!(
+                        "journal {}: replayed {} session(s), {} record(s) applied, \
+                         {} failed, {} damaged byte(s) truncated, {} live",
+                        jp.display(),
+                        st.sessions_replayed,
+                        st.records_applied,
+                        st.records_failed,
+                        st.bytes_truncated,
+                        st.live_sessions
+                    );
+                }
+            }
+            Err(e) => {
+                die::<()>(&format!("journal {} unusable: {e}", jp.display()));
+                return;
+            }
+        }
+    }
+    let mut active = pick_session(&manager, batch);
     for e in initial {
-        match session.add_example(e) {
-            Ok(delta) => print_delta(e, &delta),
+        match apply(&manager, active, SessionOp::AddExample((*e).to_string())) {
+            Ok(Some(delta)) => print_delta(e, &delta),
+            Ok(None) => {}
             Err(err) => {
                 die::<()>(&format!("initial example {e:?} failed: {err}"));
                 return;
@@ -232,6 +377,7 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
     }
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
+    let mut line_no = 0usize;
     loop {
         if !batch {
             eprint!("squid> ");
@@ -239,6 +385,7 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
         let Some(Ok(line)) = lines.next() else {
             break;
         };
+        line_no += 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -253,61 +400,44 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
                 println!("{REPL_HELP}");
                 Ok(None)
             }
-            "add" => session
-                .add_example(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
-            "remove" => session
-                .remove_example(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
+            "add" => apply(&manager, active, SessionOp::AddExample(rest.to_string())),
+            "remove" => apply(&manager, active, SessionOp::RemoveExample(rest.to_string())),
             "target" => match rest.split_once(char::is_whitespace) {
-                Some((tbl, col)) => session
-                    .set_target(tbl.trim(), col.trim())
-                    .map(Some)
-                    .map_err(|e| e.to_string()),
+                Some((tbl, col)) => apply(
+                    &manager,
+                    active,
+                    SessionOp::SetTarget {
+                        table: tbl.trim().to_string(),
+                        column: col.trim().to_string(),
+                    },
+                ),
                 None => Err("usage: target <table> <column>".into()),
             },
-            "auto" => session
-                .set_target_auto()
-                .map(Some)
-                .map_err(|e| e.to_string()),
-            "pin" => session
-                .pin_filter(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
-            "ban" => session
-                .ban_filter(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
-            "unpin" => session
-                .unpin_filter(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
-            "unban" => session
-                .unban_filter(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
+            "auto" => apply(&manager, active, SessionOp::SetTargetAuto),
+            "pin" => apply(&manager, active, SessionOp::PinFilter(rest.to_string())),
+            "ban" => apply(&manager, active, SessionOp::BanFilter(rest.to_string())),
+            "unpin" => apply(&manager, active, SessionOp::UnpinFilter(rest.to_string())),
+            "unban" => apply(&manager, active, SessionOp::UnbanFilter(rest.to_string())),
             "choose" => match rest.split_once(char::is_whitespace) {
                 Some((pk, example)) => match pk.trim().parse::<i64>() {
-                    Ok(pk) => session
-                        .choose_entity(example.trim(), pk)
-                        .map(Some)
-                        .map_err(|e| e.to_string()),
+                    Ok(pk) => apply(
+                        &manager,
+                        active,
+                        SessionOp::ChooseEntity {
+                            example: example.trim().to_string(),
+                            pk,
+                        },
+                    ),
                     Err(_) => Err("usage: choose <pk> <example>".into()),
                 },
                 None => Err("usage: choose <pk> <example>".into()),
             },
-            "unchoose" => session
-                .clear_choice(rest)
-                .map(Some)
-                .map_err(|e| e.to_string()),
-            "examples" => {
-                println!("examples: {:?}", session.examples());
-                Ok(None)
-            }
-            "stats" => {
-                let s = session.cache_stats();
+            "unchoose" => apply(&manager, active, SessionOp::ClearChoice(rest.to_string())),
+            "examples" => inspect(&manager, active, |s| {
+                println!("examples: {:?}", s.examples());
+            })
+            .map(|()| None),
+            "stats" => inspect(&manager, active, |s| s.cache_stats()).map(|s| {
                 let total = s.hits + s.shared_hits + s.misses;
                 let rate = if total > 0 {
                     100.0 * (s.hits + s.shared_hits) as f64 / total as f64
@@ -320,69 +450,122 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
                      {} evicted",
                     s.hits, s.shared_hits, s.misses, s.entries, s.resident_bytes, s.evictions
                 );
-                let sh = shared.stats();
-                let occupied = sh
-                    .per_shard_resident_bytes
-                    .iter()
-                    .filter(|&&b| b > 0)
-                    .count();
-                println!(
-                    "shared cache: {} hits / {} misses, {} entries, {} / {} bytes \
-                     across {} of {} shards, {} evicted",
-                    sh.hits,
-                    sh.misses,
-                    sh.entries,
-                    sh.resident_bytes,
-                    sh.max_resident_bytes,
-                    occupied,
-                    sh.per_shard_resident_bytes.len(),
-                    sh.evictions
-                );
-                Ok(None)
-            }
+                if let Some(sh) = manager.shared_cache_stats() {
+                    let occupied = sh
+                        .per_shard_resident_bytes
+                        .iter()
+                        .filter(|&&b| b > 0)
+                        .count();
+                    println!(
+                        "shared cache: {} hits / {} misses, {} entries, {} / {} bytes \
+                         across {} of {} shards, {} evicted",
+                        sh.hits,
+                        sh.misses,
+                        sh.entries,
+                        sh.resident_bytes,
+                        sh.max_resident_bytes,
+                        occupied,
+                        sh.per_shard_resident_bytes.len(),
+                        sh.evictions
+                    );
+                }
+                if let Some(rs) = manager.recover_stats() {
+                    println!(
+                        "recovery: {} session(s) replayed, {} record(s) applied, \
+                         {} failed, {} damaged byte(s) truncated, {} journal write error(s)",
+                        rs.sessions_replayed,
+                        rs.records_applied,
+                        rs.records_failed,
+                        rs.bytes_truncated,
+                        manager.journal_write_errors()
+                    );
+                }
+                None
+            }),
             "suggest" => {
                 let k: usize = rest.parse().unwrap_or(3);
-                match session.discovery() {
-                    Some(_) => print_suggestions(adb, &session, k),
+                inspect(&manager, active, |s| match s.discovery() {
+                    Some(_) => print_suggestions(&adb, s, k),
                     None => println!("(no examples yet)"),
-                }
-                Ok(None)
+                })
+                .map(|()| None)
             }
-            "show" => {
-                match session.discovery() {
-                    Some(d) => {
-                        println!(
-                            "target {}.{} — {} example(s), {} result tuples",
-                            d.entity_table,
-                            d.projection_column,
-                            d.example_rows.len(),
-                            d.rows.len()
-                        );
-                        print_decisions(d);
-                        println!("\nabduced query:\n{}", d.sql());
-                    }
-                    None => println!("(no examples yet)"),
+            "show" => inspect(&manager, active, |s| match s.discovery() {
+                Some(d) => {
+                    println!(
+                        "target {}.{} — {} example(s), {} result tuples",
+                        d.entity_table,
+                        d.projection_column,
+                        d.example_rows.len(),
+                        d.rows.len()
+                    );
+                    print_decisions(d);
+                    println!("\nabduced query:\n{}", d.sql());
                 }
-                Ok(None)
-            }
-            "sql" => {
-                match session.discovery() {
-                    Some(d) => println!("{}", d.sql()),
-                    None => println!("(no examples yet)"),
-                }
-                Ok(None)
-            }
+                None => println!("(no examples yet)"),
+            })
+            .map(|()| None),
+            "sql" => inspect(&manager, active, |s| match s.discovery() {
+                Some(d) => println!("{}", d.sql()),
+                None => println!("(no examples yet)"),
+            })
+            .map(|()| None),
             "rows" => {
                 let n: usize = rest.parse().unwrap_or(10);
-                match session.discovery() {
+                inspect(&manager, active, |s| match s.discovery() {
                     Some(d) => {
                         println!("result: {} tuples", d.rows.len());
-                        print_rows(adb, d, n);
+                        print_rows(&adb, d, n);
                     }
                     None => println!("(no examples yet)"),
-                }
-                Ok(None)
+                })
+                .map(|()| None)
             }
+            "save" => {
+                let path = if rest.is_empty() {
+                    snapshot.clone()
+                } else {
+                    Some(PathBuf::from(rest))
+                };
+                match path {
+                    Some(p) => match adb.save_snapshot(&p) {
+                        Ok(bytes) => {
+                            println!("snapshot saved to {} ({bytes} bytes)", p.display());
+                            Ok(None)
+                        }
+                        Err(e) => Err(format!("snapshot save to {} failed: {e}", p.display())),
+                    },
+                    None => Err("usage: save <path> (or pass --snapshot)".into()),
+                }
+            }
+            "recover" => match &journal {
+                Some(jp) => {
+                    // Flush our own tail to the OS first so the re-read
+                    // sees everything this process has appended, then
+                    // rebuild a fresh fleet from the durable bytes. This
+                    // is the in-process equivalent of kill + relaunch.
+                    let _ = manager.journal_sync();
+                    let fresh = SessionManager::with_params(Arc::clone(&adb), params.clone());
+                    match fresh.recover(jp, fsync) {
+                        Ok(st) => {
+                            println!(
+                                "recovered {} session(s) from {} ({} record(s) applied, \
+                                 {} failed, {} damaged byte(s) truncated)",
+                                st.live_sessions,
+                                jp.display(),
+                                st.records_applied,
+                                st.records_failed,
+                                st.bytes_truncated
+                            );
+                            manager = fresh;
+                            active = pick_session(&manager, batch);
+                            Ok(None)
+                        }
+                        Err(e) => Err(format!("recover from {} failed: {e}", jp.display())),
+                    }
+                }
+                None => Err("no journal attached (pass --journal <path>)".into()),
+            },
             other => Err(format!("unknown command {other:?} — try `help`")),
         };
         match result {
@@ -392,19 +575,21 @@ fn run_repl(adb: &ADb, params: SquidParams, initial: &[&str], batch: bool) {
                 // the example whose confirmation would sharpen abduction
                 // the most (full list via the `suggest` command).
                 if cmd == "add" && delta.discovery.is_some() {
-                    print_hint(adb, &session);
+                    let _ = inspect(&manager, active, |s| print_hint(&adb, s));
                 }
             }
             Ok(None) => {}
             Err(msg) => {
                 if batch {
-                    die::<()>(&format!("command {line:?} failed: {msg}"));
+                    die::<()>(&format!("line {line_no}: command {line:?} failed: {msg}"));
                     return;
                 }
                 eprintln!("error: {msg}");
             }
         }
     }
+    // Push any buffered journal tail to the OS before exiting cleanly.
+    let _ = manager.journal_sync();
 }
 
 /// Render the projection value of one entity row, if present.
