@@ -21,8 +21,11 @@ pub struct AdbConfig {
     /// Materialize derived relations as real tables in the αDB database
     /// (needed for running abduced queries on the αDB, Example 2.2).
     pub materialize_derived: bool,
-    /// Worker threads for per-property statistics computation; 1 disables
-    /// parallelism.
+    /// Worker threads for the αDB build fan-outs — per-property statistics,
+    /// the inverted-index column scan, and derived-relation
+    /// materialization; 1 disables parallelism. Results are merged
+    /// deterministically, so the built αDB (and every database
+    /// fingerprint) is byte-identical at any worker count.
     pub parallel_workers: usize,
 }
 
@@ -155,7 +158,7 @@ impl ADb {
     pub fn build_with(db: &Database, config: &AdbConfig) -> Result<ADb> {
         let start = Instant::now();
         db.validate()?;
-        let inverted = InvertedIndex::build(db);
+        let inverted = InvertedIndex::build_with_workers(db, config.parallel_workers);
         let defs = discover_properties(db);
         let mut adb_database = db.clone();
         let mut entities: FxHashMap<String, EntityProps> = FxHashMap::default();
@@ -231,26 +234,41 @@ impl ADb {
                     .collect()
             };
 
+            let mut stats_opt: Vec<Option<PropStats>> = Vec::with_capacity(entity_defs.len());
+            for r in stats_results {
+                stats_opt.push(r?);
+            }
+
+            // Derived-relation materialization fans out too: building each
+            // `(entity_id, value, count)` table (pk gather + columnar
+            // builders + row-view derivation) is independent per property.
+            // Only `add_table` mutates the αDB database, and it stays
+            // sequential in definition order below, so the table order and
+            // row order — and with them every database fingerprint — are
+            // byte-identical to the sequential build.
+            let derived_tables: Vec<Result<Option<(String, Table)>>> = if config.materialize_derived
+            {
+                build_derived_tables(&entity_defs, &stats_opt, table, pk_idx, config)
+            } else {
+                entity_defs.iter().map(|_| Ok(None)).collect()
+            };
+
             let mut props = Vec::new();
-            for (def, stats) in entity_defs.into_iter().zip(stats_results) {
-                let Some(stats) = stats? else {
+            for ((def, stats), derived) in
+                entity_defs.into_iter().zip(stats_opt).zip(derived_tables)
+            {
+                let Some(stats) = stats else {
                     continue;
                 };
-                let derived_table = if config.materialize_derived {
-                    materialize(
-                        &mut adb_database,
-                        def,
-                        &stats,
-                        table,
-                        pk_idx,
-                        &mut derived_row_count,
-                    )?
-                } else {
-                    None
+                let derived_table = match derived? {
+                    Some((name, derived)) => {
+                        derived_row_count += derived.len();
+                        derived_table_count += 1;
+                        adb_database.add_table(derived)?;
+                        Some(name)
+                    }
+                    None => None,
                 };
-                if derived_table.is_some() {
-                    derived_table_count += 1;
-                }
                 props.push(Property {
                     id_sym: Sym::intern(&def.id),
                     attr_sym: Sym::intern(&def.attr_name),
@@ -695,21 +713,75 @@ fn derived_table_name(def: &PropertyDef) -> String {
     s
 }
 
-/// Materialize a derived relation `(entity_id, value, count)` for derived
-/// properties (the paper's `persontogenre`). Returns the table name.
+/// Build the derived relations of one entity's properties, fanned out
+/// over `config.parallel_workers` scoped threads with the same
+/// work-stealing shape as the statistics pass. Results come back indexed
+/// by definition position, so the caller adds tables to the αDB in
+/// definition order regardless of scheduling — parallelism never changes
+/// the database layout.
+fn build_derived_tables(
+    defs: &[&PropertyDef],
+    stats: &[Option<PropStats>],
+    entity_table: &Table,
+    pk_idx: usize,
+    config: &AdbConfig,
+) -> Vec<Result<Option<(String, Table)>>> {
+    let build_one = |i: usize| match &stats[i] {
+        Some(s) => build_derived(defs[i], s, entity_table, pk_idx),
+        None => Ok(None),
+    };
+    if config.parallel_workers <= 1 || defs.len() <= 1 {
+        return (0..defs.len()).map(build_one).collect();
+    }
+    let workers = config.parallel_workers.min(defs.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    type WorkerOut = Vec<(usize, Result<Option<(String, Table)>>)>;
+    let per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let build_one = &build_one;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= defs.len() {
+                            break;
+                        }
+                        out.push((i, build_one(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("derived-table worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Result<Option<(String, Table)>>> =
+        (0..defs.len()).map(|_| Ok(None)).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        results[i] = r;
+    }
+    results
+}
+
+/// Build a derived relation `(entity_id, value, count)` for a derived
+/// property (the paper's `persontogenre`). Returns the table, named and
+/// ready for `add_table` — pure with respect to the αDB, so the fan-out
+/// above can run it on any thread.
 ///
 /// Columnar bulk build: the per-entity count structures stream straight
 /// into typed [`ColumnBuilder`]s and [`Table::from_columns`] derives the
 /// row view once — no intermediate row vector and no per-row arity/type
 /// checks on the materialization path.
-fn materialize(
-    adb: &mut Database,
+fn build_derived(
     def: &PropertyDef,
     stats: &PropStats,
     entity_table: &Table,
     pk_idx: usize,
-    derived_row_count: &mut usize,
-) -> Result<Option<String>> {
+) -> Result<Option<(String, Table)>> {
     let (row_hint, value_type) = match stats {
         PropStats::Derived(d) => {
             let vt = (0..d.entity_count())
@@ -757,7 +829,6 @@ fn materialize(
         }
         _ => unreachable!("filtered above"),
     }
-    *derived_row_count += ent.len();
     let name = derived_table_name(def);
     let schema = TableSchema::new(
         &name,
@@ -769,8 +840,8 @@ fn materialize(
     )
     .with_role(TableRole::Fact)
     .with_foreign_key("entity_id", &def.entity, pk_idx);
-    adb.add_table(Table::from_columns(schema, vec![ent, val, cnt])?)?;
-    Ok(Some(name))
+    let table = Table::from_columns(schema, vec![ent, val, cnt])?;
+    Ok(Some((name, table)))
 }
 
 #[cfg(test)]
@@ -1042,6 +1113,7 @@ mod parallel_tests {
             assert_eq!(e_seq.props.len(), e_par.props.len());
             for (a, b) in e_seq.props.iter().zip(&e_par.props) {
                 assert_eq!(a.def, b.def);
+                assert_eq!(a.derived_table, b.derived_table);
                 // Spot-check selectivities agree.
                 if let (PropStats::Derived(x), PropStats::Derived(y)) = (&a.stats, &b.stats) {
                     assert_eq!(
@@ -1050,6 +1122,26 @@ mod parallel_tests {
                     );
                 }
             }
+        }
+        // The αDB databases (originals + derived relations in definition
+        // order) must be byte-identical: table layout, row order, cells.
+        assert_eq!(
+            squid_relation::db_fingerprint(&seq.database),
+            squid_relation::db_fingerprint(&par.database),
+        );
+        assert_eq!(
+            seq.database.tables().map(|t| t.name()).collect::<Vec<_>>(),
+            par.database.tables().map(|t| t.name()).collect::<Vec<_>>(),
+        );
+        // The parallel inverted-index build merges deterministically too.
+        assert_eq!(seq.inverted.distinct_count(), par.inverted.distinct_count());
+        for (sym, postings) in seq.inverted.entries() {
+            let probe = sym.as_str();
+            assert_eq!(
+                par.inverted.lookup(probe),
+                postings,
+                "postings for {probe:?}"
+            );
         }
     }
 }

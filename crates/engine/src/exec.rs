@@ -101,6 +101,14 @@ const RADIX_PARTITIONS: usize = 64;
 /// distinct keys, so the radix path only makes sense for scans well
 /// beyond that — it exists for the out-of-cache regime and for
 /// experimentation ([`set_radix_fold_min_rows`]).
+///
+/// Re-measured after the SIMD superbatch scan tier landed, with keys
+/// emitted by a real `ScanPlan::for_each_match` at ~50% selectivity
+/// (the `probed` section of the example): the faster probe narrows the
+/// gap but does not flip it — the radix fold is still 1.9–2.8× slower
+/// than the hash fold from 100K through 4M rows, so the threshold
+/// stands. The scatter's extra pass over every emitted pair costs more
+/// than the hash probes it saves while the count map fits in cache.
 static RADIX_FOLD_MIN_ROWS: std::sync::atomic::AtomicUsize =
     std::sync::atomic::AtomicUsize::new(8 << 20);
 
@@ -298,23 +306,30 @@ impl<'a> Executor<'a> {
             return Ok(out);
         }
 
-        for b in 0..plan.num_batches() {
-            let mut w = plan.eval_word(b);
-            if w != 0 && !checks.is_empty() {
-                let mut bits = w;
-                while bits != 0 {
-                    let lane = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let rid = b * 64 + lane;
-                    for c in &checks {
-                        if c.lookup.count_at(c.col, c.dtype, rid) < c.min_count {
-                            w &= !(1u64 << lane);
-                            break;
+        // Superbatch spine: 512 predicate rows per dispatch, then thin
+        // each surviving word through the semi-join count checks.
+        let mut buf = [0u64; kernel::SUPERBATCH_WORDS];
+        for sb in 0..plan.num_superbatches() {
+            plan.eval_superbatch(sb, &mut buf);
+            for (j, &word) in buf.iter().enumerate() {
+                let b = sb * kernel::SUPERBATCH_WORDS + j;
+                let mut w = word;
+                if w != 0 && !checks.is_empty() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let rid = b * 64 + lane;
+                        for c in &checks {
+                            if c.lookup.count_at(c.col, c.dtype, rid) < c.min_count {
+                                w &= !(1u64 << lane);
+                                break;
+                            }
                         }
                     }
                 }
+                out.set_word(b, w);
             }
-            out.set_word(b, w);
         }
         Ok(out)
     }

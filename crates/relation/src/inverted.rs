@@ -13,9 +13,10 @@
 use crate::catalog::Database;
 use crate::fxhash::FxHashMap;
 use crate::intern::Sym;
-use crate::table::{RowId, NULL_SYM};
+use crate::table::{RowId, Table, NULL_SYM};
 use crate::value::DataType;
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One occurrence of a text value, packed to 8 bytes.
 ///
@@ -43,34 +44,76 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Build over every text column of every table in the database.
     pub fn build(db: &Database) -> Self {
-        let mut map: FxHashMap<Sym, Vec<Posting>> = FxHashMap::default();
-        let mut tables: Vec<String> = Vec::new();
-        for table in db.tables() {
-            let ti = u16::try_from(tables.len()).expect("more than u16::MAX tables");
-            tables.push(table.name().to_string());
-            for (ci, col) in table.schema().columns.iter().enumerate() {
-                if col.dtype != DataType::Text {
-                    continue;
-                }
-                let ci16 = u16::try_from(ci).expect("more than u16::MAX columns");
-                let syms = table.column(ci).syms().expect("text column");
-                for (rid, &sym) in syms.iter().enumerate() {
-                    if sym == NULL_SYM {
-                        continue;
-                    }
-                    let raw = Sym::from_id(sym);
-                    let folded = match Self::fold(raw.as_str()) {
-                        // Identity fold (trim removed nothing): reuse the
-                        // cell's own symbol, zero allocations.
-                        Cow::Borrowed(b) if b.len() == raw.as_str().len() => raw,
-                        other => Sym::intern(&other),
-                    };
-                    map.entry(folded).or_default().push(Posting {
-                        table: ti,
-                        column: ci16,
-                        row: u32::try_from(rid).expect("more than u32::MAX rows"),
-                    });
-                }
+        Self::build_with_workers(db, 1)
+    }
+
+    /// [`InvertedIndex::build`] fanned out over `workers` scoped threads.
+    ///
+    /// The unit of work is one text column: workers steal columns off a
+    /// shared counter and accumulate thread-local `sym → postings` maps
+    /// that are merged afterwards. The merge is order-insensitive — the
+    /// key set is identical however columns were scheduled, and every
+    /// postings list is sorted and deduplicated after concatenation — so
+    /// the built index (and everything fingerprinted downstream of it) is
+    /// byte-identical to the sequential build.
+    pub fn build_with_workers(db: &Database, workers: usize) -> Self {
+        let tables: Vec<String> = db.tables().map(|t| t.name().to_string()).collect();
+        // One work unit per text column, in catalog order.
+        let units: Vec<(u16, &Table, u16)> = db
+            .tables()
+            .enumerate()
+            .flat_map(|(ti, table)| {
+                let ti = u16::try_from(ti).expect("more than u16::MAX tables");
+                table
+                    .schema()
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, col)| col.dtype == DataType::Text)
+                    .map(move |(ci, _)| {
+                        (
+                            ti,
+                            table,
+                            u16::try_from(ci).expect("more than u16::MAX columns"),
+                        )
+                    })
+            })
+            .collect();
+        let workers = workers.max(1).min(units.len().max(1));
+        let mut partials: Vec<FxHashMap<Sym, Vec<Posting>>> = if workers <= 1 {
+            let mut map = FxHashMap::default();
+            for &(ti, table, ci) in &units {
+                Self::index_column(table, ti, ci, &mut map);
+            }
+            vec![map]
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local: FxHashMap<Sym, Vec<Posting>> = FxHashMap::default();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(ti, table, ci)) = units.get(i) else {
+                                    break;
+                                };
+                                Self::index_column(table, ti, ci, &mut local);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("inverted-index worker panicked"))
+                    .collect()
+            })
+        };
+        let mut map = partials.pop().unwrap_or_default();
+        for partial in partials {
+            for (sym, postings) in partial {
+                map.entry(sym).or_default().extend(postings);
             }
         }
         // Sort + dedup each postings list once at build time: lookups hand
@@ -81,6 +124,28 @@ impl InvertedIndex {
             postings.dedup();
         }
         InvertedIndex { map, tables }
+    }
+
+    /// Index one text column into `map` (the per-worker unit of work).
+    fn index_column(table: &Table, ti: u16, ci: u16, map: &mut FxHashMap<Sym, Vec<Posting>>) {
+        let syms = table.column(ci as usize).syms().expect("text column");
+        for (rid, &sym) in syms.iter().enumerate() {
+            if sym == NULL_SYM {
+                continue;
+            }
+            let raw = Sym::from_id(sym);
+            let folded = match Self::fold(raw.as_str()) {
+                // Identity fold (trim removed nothing): reuse the
+                // cell's own symbol, zero allocations.
+                Cow::Borrowed(b) if b.len() == raw.as_str().len() => raw,
+                other => Sym::intern(&other),
+            };
+            map.entry(folded).or_default().push(Posting {
+                table: ti,
+                column: ci,
+                row: u32::try_from(rid).expect("more than u32::MAX rows"),
+            });
+        }
     }
 
     /// Case folding used for lookups: trimmed, lowercase. Returns a
@@ -294,6 +359,24 @@ mod tests {
         ));
         assert_eq!(InvertedIndex::fold("MiXeD").as_ref(), "mixed");
         assert_eq!(InvertedIndex::fold("ÉCOLE").as_ref(), "école");
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let db = db();
+        let seq = InvertedIndex::build(&db);
+        for workers in [2, 3, 8] {
+            let par = InvertedIndex::build_with_workers(&db, workers);
+            assert_eq!(par.tables, seq.tables, "{workers} workers");
+            assert_eq!(par.map.len(), seq.map.len(), "{workers} workers");
+            for (sym, postings) in &seq.map {
+                assert_eq!(
+                    par.map.get(sym).map(|p| p.as_slice()),
+                    Some(postings.as_slice()),
+                    "{workers} workers, sym {sym:?}"
+                );
+            }
+        }
     }
 
     #[test]

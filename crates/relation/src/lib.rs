@@ -83,6 +83,7 @@ pub mod inverted;
 pub mod kernel;
 pub mod rowset;
 pub mod schema;
+pub mod simd;
 pub mod table;
 pub mod value;
 
@@ -97,5 +98,6 @@ pub use inverted::{InvertedIndex, Posting};
 pub use kernel::{CmpSpec, Kernel, ScanPlan};
 pub use rowset::RowSet;
 pub use schema::{Column, ForeignKey, SchemaMeta, TableRole, TableSchema};
+pub use simd::SimdTier;
 pub use table::{ColumnBuilder, ColumnData, ColumnVec, RowId, Table, NULL_SYM};
 pub use value::{DataType, Value};

@@ -1,0 +1,466 @@
+//! Explicit `core::arch::x86_64` word kernels behind runtime tier
+//! dispatch: the SIMD layer under [`crate::kernel`]'s 64-row scan ABI.
+//!
+//! Each function here evaluates one predicate family over up to 64 lanes
+//! and returns the match word (`bit i` ⇔ `lanes[i]` matches). Three tiers
+//! exist:
+//!
+//! * [`SimdTier::Scalar`] — the per-lane loops the kernels have always
+//!   used; the bit-exact oracle the vector tiers must reproduce.
+//! * [`SimdTier::Sse2`] — baseline x86-64 vectors (always present on the
+//!   architecture). 64-bit signed compares and the float total-order key
+//!   transform are emulated from 32-bit ops.
+//! * [`SimdTier::Avx2`] — 256-bit vectors selected at runtime via
+//!   `is_x86_feature_detected!`.
+//!
+//! The active tier is resolved once per process ([`active_tier`]) from the
+//! host CPU, overridable with `SQUID_SIMD=scalar|sse2|avx2|auto` (an
+//! unavailable request degrades to the best available tier — never a
+//! crash). Every entry point also accepts an explicit tier so the parity
+//! property tests can drive each implementation regardless of which tier
+//! the host would pick.
+//!
+//! Vector paths run only on full 64-lane words; partial tail words take
+//! the scalar loop, which keeps tail masking in one place
+//! ([`crate::kernel::tail_mask`]) and the vector bodies branch-free.
+
+use std::sync::OnceLock;
+
+/// Instruction tier a word kernel runs on. Ordered from most portable to
+/// most capable; `active_tier()` picks the highest the host supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Per-lane scalar loops (any architecture); the semantic oracle.
+    Scalar,
+    /// 128-bit SSE2 vectors (x86-64 baseline).
+    Sse2,
+    /// 256-bit AVX2 vectors (runtime-detected).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Short lowercase name (`scalar`/`sse2`/`avx2`), matching the
+    /// `SQUID_SIMD` override values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Tiers the current host can actually execute, ascending. `Scalar` is
+/// always present; on x86-64 so is `Sse2`; `Avx2` joins when detected.
+pub fn available_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        tiers.push(SimdTier::Sse2);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push(SimdTier::Avx2);
+        }
+    }
+    tiers
+}
+
+/// The tier every default kernel call dispatches to. Resolved once: the
+/// best available tier, clamped down by `SQUID_SIMD` (`scalar`/`off`
+/// forces the oracle loops, `sse2` caps at 128-bit, `avx2`/`auto` ask for
+/// the maximum; an unavailable request degrades to the best available).
+pub fn active_tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let best = *available_tiers().last().expect("scalar always available");
+        match std::env::var("SQUID_SIMD").as_deref() {
+            Ok("scalar") | Ok("off") | Ok("0") => SimdTier::Scalar,
+            Ok("sse2") => best.min(SimdTier::Sse2),
+            Ok("avx2") | Ok("auto") | Ok(_) | Err(_) => best,
+        }
+    })
+}
+
+/// Match word of `lo <= lane <= hi` over up to 64 `i64` lanes.
+#[inline]
+pub fn int_range_word(tier: SimdTier, lanes: &[i64], lo: i64, hi: i64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if lanes.len() == 64 {
+        match tier {
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            SimdTier::Sse2 => return unsafe { x86::int_range_word_sse2(lanes, lo, hi) },
+            // SAFETY: Avx2 is only handed out by available_tiers()/
+            // active_tier() after is_x86_feature_detected!("avx2").
+            SimdTier::Avx2 => return unsafe { x86::int_range_word_avx2(lanes, lo, hi) },
+            SimdTier::Scalar => {}
+        }
+    }
+    let _ = tier;
+    let mut w = 0u64;
+    for (i, &v) in lanes.iter().enumerate() {
+        w |= ((lo <= v && v <= hi) as u64) << i;
+    }
+    w
+}
+
+/// Map an `f64` to an `i64` key that orders exactly like
+/// `f64::total_cmp`: sign-magnitude IEEE bits folded into two's
+/// complement. Lets float range kernels run on integer compares.
+#[inline]
+pub fn f64_total_key(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+/// Match word of `lo_key <= total_key(lane) <= hi_key` (total order) over
+/// up to 64 `f64` lanes.
+#[inline]
+pub fn float_range_word(tier: SimdTier, lanes: &[f64], lo_key: i64, hi_key: i64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if lanes.len() == 64 {
+        match tier {
+            // SAFETY: see int_range_word.
+            SimdTier::Sse2 => return unsafe { x86::float_range_word_sse2(lanes, lo_key, hi_key) },
+            // SAFETY: see int_range_word.
+            SimdTier::Avx2 => return unsafe { x86::float_range_word_avx2(lanes, lo_key, hi_key) },
+            SimdTier::Scalar => {}
+        }
+    }
+    let _ = tier;
+    let mut w = 0u64;
+    for (i, &v) in lanes.iter().enumerate() {
+        let k = f64_total_key(v);
+        w |= ((lo_key <= k && k <= hi_key) as u64) << i;
+    }
+    w
+}
+
+/// Match word of `lane == sym` over up to 64 `u32` symbol lanes.
+#[inline]
+pub fn sym_eq_word(tier: SimdTier, lanes: &[u32], sym: u32) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if lanes.len() == 64 {
+        match tier {
+            // SAFETY: see int_range_word.
+            SimdTier::Sse2 => return unsafe { x86::sym_eq_word_sse2(lanes, sym) },
+            // SAFETY: see int_range_word.
+            SimdTier::Avx2 => return unsafe { x86::sym_eq_word_avx2(lanes, sym) },
+            SimdTier::Scalar => {}
+        }
+    }
+    let _ = tier;
+    let mut w = 0u64;
+    for (i, &v) in lanes.iter().enumerate() {
+        w |= ((v == sym) as u64) << i;
+    }
+    w
+}
+
+/// Match word of `lane IN syms` over up to 64 `u32` symbol lanes. The
+/// probe set is small (a handful of interned symbols), so the vector path
+/// ORs one equality compare per probe.
+#[inline]
+pub fn sym_in_word(tier: SimdTier, lanes: &[u32], syms: &[u32]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if lanes.len() == 64 {
+        match tier {
+            // SAFETY: see int_range_word.
+            SimdTier::Sse2 => return unsafe { x86::sym_in_word_sse2(lanes, syms) },
+            // SAFETY: see int_range_word.
+            SimdTier::Avx2 => return unsafe { x86::sym_in_word_avx2(lanes, syms) },
+            SimdTier::Scalar => {}
+        }
+    }
+    let _ = tier;
+    let mut w = 0u64;
+    for (i, &v) in lanes.iter().enumerate() {
+        w |= (syms.contains(&v) as u64) << i;
+    }
+    w
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The intrinsic bodies. Every function takes exactly 64 lanes (the
+    //! callers guarantee it) and mirrors its scalar loop bit for bit.
+    use core::arch::x86_64::*;
+
+    /// Sign-bit-only 64-bit signed `a > b` for SSE2, which has no
+    /// `_mm_cmpgt_epi64`. Composed from 32-bit ops: if the high halves
+    /// differ their signed compare decides; if they are equal, the borrow
+    /// sign of `b - a` decides (an unsigned low-half compare). Only bit
+    /// 63 of each lane is meaningful — extract with `_mm_movemask_pd`.
+    #[inline]
+    unsafe fn sse2_gt64_mask(a: __m128i, b: __m128i) -> i32 {
+        unsafe {
+            let eq = _mm_cmpeq_epi32(a, b);
+            let borrow = _mm_sub_epi64(b, a);
+            let gt = _mm_cmpgt_epi32(a, b);
+            let r = _mm_or_si128(_mm_and_si128(eq, borrow), gt);
+            _mm_movemask_pd(_mm_castsi128_pd(r))
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn int_range_word_sse2(lanes: &[i64], lo: i64, hi: i64) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let lo_v = _mm_set1_epi64x(lo);
+            let hi_v = _mm_set1_epi64x(hi);
+            let mut w = 0u64;
+            for i in 0..32 {
+                let v = _mm_loadu_si128(lanes.as_ptr().add(i * 2) as *const __m128i);
+                let below = sse2_gt64_mask(lo_v, v); // lo > v
+                let above = sse2_gt64_mask(v, hi_v); // v > hi
+                w |= ((!(below | above) & 0b11) as u64) << (i * 2);
+            }
+            w
+        }
+    }
+
+    /// `f64::total_cmp` key transform for two lanes: fold sign-magnitude
+    /// bits into two's complement (`b ^ (sign(b) >> 1)`). The 64-lane
+    /// arithmetic shift is emulated by broadcasting each high half's
+    /// 32-bit sign mask across its lane.
+    #[inline]
+    unsafe fn sse2_total_key(bits: __m128i) -> __m128i {
+        unsafe {
+            let sign32 = _mm_srai_epi32(bits, 31);
+            let sign = _mm_shuffle_epi32(sign32, 0b11_11_01_01); // lanes (3,3,1,1)
+            _mm_xor_si128(bits, _mm_srli_epi64(sign, 1))
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn float_range_word_sse2(lanes: &[f64], lo_key: i64, hi_key: i64) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let lo_v = _mm_set1_epi64x(lo_key);
+            let hi_v = _mm_set1_epi64x(hi_key);
+            let mut w = 0u64;
+            for i in 0..32 {
+                let bits = _mm_loadu_si128(lanes.as_ptr().add(i * 2) as *const __m128i);
+                let k = sse2_total_key(bits);
+                let below = sse2_gt64_mask(lo_v, k);
+                let above = sse2_gt64_mask(k, hi_v);
+                w |= ((!(below | above) & 0b11) as u64) << (i * 2);
+            }
+            w
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sym_eq_word_sse2(lanes: &[u32], sym: u32) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let probe = _mm_set1_epi32(sym as i32);
+            let mut w = 0u64;
+            for i in 0..16 {
+                let v = _mm_loadu_si128(lanes.as_ptr().add(i * 4) as *const __m128i);
+                let eq = _mm_cmpeq_epi32(v, probe);
+                let m = _mm_movemask_ps(_mm_castsi128_ps(eq)) as u64;
+                w |= m << (i * 4);
+            }
+            w
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sym_in_word_sse2(lanes: &[u32], syms: &[u32]) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let mut w = 0u64;
+            for i in 0..16 {
+                let v = _mm_loadu_si128(lanes.as_ptr().add(i * 4) as *const __m128i);
+                let mut any = _mm_setzero_si128();
+                for &s in syms {
+                    let probe = _mm_set1_epi32(s as i32);
+                    any = _mm_or_si128(any, _mm_cmpeq_epi32(v, probe));
+                }
+                let m = _mm_movemask_ps(_mm_castsi128_ps(any)) as u64;
+                w |= m << (i * 4);
+            }
+            w
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn int_range_word_avx2(lanes: &[i64], lo: i64, hi: i64) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let lo_v = _mm256_set1_epi64x(lo);
+            let hi_v = _mm256_set1_epi64x(hi);
+            let mut w = 0u64;
+            for i in 0..16 {
+                let v = _mm256_loadu_si256(lanes.as_ptr().add(i * 4) as *const __m256i);
+                let below = _mm256_cmpgt_epi64(lo_v, v);
+                let above = _mm256_cmpgt_epi64(v, hi_v);
+                let bad = _mm256_or_si256(below, above);
+                let m = _mm256_movemask_pd(_mm256_castsi256_pd(bad)) as u64;
+                w |= (!m & 0xF) << (i * 4);
+            }
+            w
+        }
+    }
+
+    /// `f64::total_cmp` key transform for four lanes. AVX2 has no 64-bit
+    /// arithmetic shift, so the sign mask comes from a signed compare
+    /// against zero.
+    #[inline]
+    unsafe fn avx2_total_key(bits: __m256i) -> __m256i {
+        unsafe {
+            let sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), bits);
+            _mm256_xor_si256(bits, _mm256_srli_epi64(sign, 1))
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn float_range_word_avx2(lanes: &[f64], lo_key: i64, hi_key: i64) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let lo_v = _mm256_set1_epi64x(lo_key);
+            let hi_v = _mm256_set1_epi64x(hi_key);
+            let mut w = 0u64;
+            for i in 0..16 {
+                let bits = _mm256_loadu_si256(lanes.as_ptr().add(i * 4) as *const __m256i);
+                let k = avx2_total_key(bits);
+                let below = _mm256_cmpgt_epi64(lo_v, k);
+                let above = _mm256_cmpgt_epi64(k, hi_v);
+                let bad = _mm256_or_si256(below, above);
+                let m = _mm256_movemask_pd(_mm256_castsi256_pd(bad)) as u64;
+                w |= (!m & 0xF) << (i * 4);
+            }
+            w
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sym_eq_word_avx2(lanes: &[u32], sym: u32) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let probe = _mm256_set1_epi32(sym as i32);
+            let mut w = 0u64;
+            for i in 0..8 {
+                let v = _mm256_loadu_si256(lanes.as_ptr().add(i * 8) as *const __m256i);
+                let eq = _mm256_cmpeq_epi32(v, probe);
+                let m = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u64;
+                w |= m << (i * 8);
+            }
+            w
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sym_in_word_avx2(lanes: &[u32], syms: &[u32]) -> u64 {
+        debug_assert_eq!(lanes.len(), 64);
+        unsafe {
+            let mut w = 0u64;
+            for i in 0..8 {
+                let v = _mm256_loadu_si256(lanes.as_ptr().add(i * 8) as *const __m256i);
+                let mut any = _mm256_setzero_si256();
+                for &s in syms {
+                    let probe = _mm256_set1_epi32(s as i32);
+                    any = _mm256_or_si256(any, _mm256_cmpeq_epi32(v, probe));
+                }
+                let m = _mm256_movemask_ps(_mm256_castsi256_ps(any)) as u64;
+                w |= m << (i * 8);
+            }
+            w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adversarial_ints() -> Vec<i64> {
+        let mut v: Vec<i64> = (0..64).map(|i| (i as i64 - 32) * 3).collect();
+        v[0] = i64::MIN;
+        v[1] = i64::MAX;
+        v[2] = i64::MIN + 1;
+        v[3] = i64::MAX - 1;
+        v[63] = 0;
+        v
+    }
+
+    fn adversarial_floats() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..64).map(|i| (i as f64 - 32.0) * 0.5).collect();
+        v[0] = f64::NAN;
+        v[1] = -f64::NAN;
+        v[2] = f64::INFINITY;
+        v[3] = f64::NEG_INFINITY;
+        v[4] = -0.0;
+        v[5] = 0.0;
+        v[6] = f64::MIN_POSITIVE;
+        v[7] = -f64::MIN_POSITIVE;
+        v
+    }
+
+    #[test]
+    fn int_range_tiers_agree() {
+        let lanes = adversarial_ints();
+        let bounds = [
+            (i64::MIN, i64::MAX),
+            (-10, 10),
+            (0, 0),
+            (i64::MIN, -1),
+            (i64::MAX, i64::MIN), // empty range
+        ];
+        for &(lo, hi) in &bounds {
+            let oracle = int_range_word(SimdTier::Scalar, &lanes, lo, hi);
+            for tier in available_tiers() {
+                assert_eq!(
+                    int_range_word(tier, &lanes, lo, hi),
+                    oracle,
+                    "tier {tier:?} bounds ({lo}, {hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_range_tiers_agree() {
+        let lanes = adversarial_floats();
+        let keys = [
+            (f64_total_key(-1.0), f64_total_key(1.0)),
+            (f64_total_key(f64::NEG_INFINITY), f64_total_key(0.0)),
+            (f64_total_key(-0.0), f64_total_key(-0.0)),
+            (f64_total_key(f64::INFINITY), f64_total_key(f64::NAN)),
+            (i64::MIN, i64::MAX),
+        ];
+        for &(lo, hi) in &keys {
+            let oracle = float_range_word(SimdTier::Scalar, &lanes, lo, hi);
+            for tier in available_tiers() {
+                assert_eq!(
+                    float_range_word(tier, &lanes, lo, hi),
+                    oracle,
+                    "tier {tier:?} keys ({lo}, {hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sym_tiers_agree() {
+        let lanes: Vec<u32> = (0..64).map(|i| (i % 7) * 1000).collect();
+        let oracle_eq = sym_eq_word(SimdTier::Scalar, &lanes, lanes[5]);
+        let probes = vec![lanes[3], lanes[10], u32::MAX];
+        let oracle_in = sym_in_word(SimdTier::Scalar, &lanes, &probes);
+        for tier in available_tiers() {
+            assert_eq!(sym_eq_word(tier, &lanes, lanes[5]), oracle_eq, "{tier:?}");
+            assert_eq!(sym_in_word(tier, &lanes, &probes), oracle_in, "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn partial_words_stay_scalar_and_exact() {
+        let lanes = &adversarial_ints()[..13];
+        for tier in available_tiers() {
+            assert_eq!(
+                int_range_word(tier, lanes, -10, 10),
+                int_range_word(SimdTier::Scalar, lanes, -10, 10)
+            );
+            assert_eq!(int_range_word(tier, lanes, -10, 10) >> 13, 0);
+        }
+    }
+}

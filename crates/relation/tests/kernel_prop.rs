@@ -4,9 +4,16 @@
 //! (positive and negative), −0.0, infinities, and values straddling the
 //! 2^63 int/float widening boundary — and emitted words must round-trip
 //! through `RowSet` exactly.
+//!
+//! Parity is asserted on EVERY SIMD tier the host can execute (scalar,
+//! SSE2, and AVX2 when detected) through both the per-word and the
+//! 512-row superbatch entry points, so the explicit vector kernels and
+//! their ragged-tail handling are pinned to the scalar oracle no matter
+//! which tier `SQUID_SIMD`/runtime detection would pick.
 
 use proptest::prelude::*;
-use squid_relation::kernel::{self, CmpSpec};
+use squid_relation::kernel::{self, CmpSpec, SUPERBATCH_WORDS};
+use squid_relation::simd::available_tiers;
 use squid_relation::{Column, DataType, RowSet, ScanPlan, Table, TableSchema, Value};
 
 /// 2^63 as an f64 (exactly representable): the top of the i64 range.
@@ -72,19 +79,48 @@ fn spec_of(op: u8, a: Value, b: Value, set: Vec<Value>) -> CmpSpec {
 }
 
 /// Assert kernel-vs-scalar parity for `spec` over a one-column table and
-/// check the emitted words round-trip through `RowSet`.
+/// check the emitted words round-trip through `RowSet`. Every available
+/// SIMD tier is driven through both the per-word and the superbatch entry
+/// points and must agree with the oracle bit for bit.
 fn assert_parity(table: &Table, dtype: DataType, spec: &CmpSpec) {
     let col = table.column(0);
+    let n = table.len();
     let k = kernel::compile(col, dtype, spec);
-    let plan = ScanPlan::new(vec![k], table.len());
+    let plan = ScanPlan::new(vec![k], n);
     let got = plan.collect();
-    for rid in 0..table.len() {
+    for rid in 0..n {
         let cell = col.value_at(rid);
         assert_eq!(
             got.contains(rid),
             spec.matches(&cell),
             "row {rid} (cell {cell:?}) under {spec:?}"
         );
+    }
+    // Tier sweep: each tier's word and superbatch evaluations must equal
+    // the collected (active-tier) words, including zeroed tail lanes.
+    let k = kernel::compile(col, dtype, spec);
+    if !k.is_never() {
+        let mut buf = [0u64; SUPERBATCH_WORDS];
+        for tier in available_tiers() {
+            for b in 0..kernel::batch_count(n) {
+                assert_eq!(
+                    k.eval_word_with(tier, b, n) & kernel::tail_mask(n, b),
+                    got.word(b),
+                    "tier {tier:?} batch {b} under {spec:?}"
+                );
+            }
+            for sb in 0..kernel::superbatch_count(n) {
+                k.eval_superbatch_with(tier, sb, n, &mut buf);
+                for (j, &w) in buf.iter().enumerate() {
+                    let b = sb * SUPERBATCH_WORDS + j;
+                    assert_eq!(
+                        w & kernel::tail_mask(n, b),
+                        got.word(b),
+                        "tier {tier:?} superbatch {sb} word {j} under {spec:?}"
+                    );
+                }
+            }
+        }
     }
     // Word-emission round trip: rebuilding from the emitted words and
     // from per-row inserts must agree with the collected set.
@@ -204,6 +240,75 @@ proptest! {
             let want = specs.iter().all(|s| s.matches(&cell));
             prop_assert_eq!(got.contains(rid), want, "row {}", rid);
         }
+    }
+
+    /// Columns spanning several 512-row superbatches with ragged tails at
+    /// every level (partial word, partial superbatch): the SIMD fast path
+    /// covers the full words, the scalar tail the rest, and both must
+    /// agree with the oracle on every tier.
+    #[test]
+    fn superbatch_ragged_tails_match_oracle(
+        n in 1usize..1300,
+        seed in any::<i64>(),
+        lo in -60i64..60,
+        hi in -60i64..60,
+        probe_float in arb_num_operand(),
+    ) {
+        let mut x = seed as u64 | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        let int_cells: Vec<Value> = (0..n)
+            .map(|_| {
+                let r = next();
+                if r % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((r >> 33) as i64 % 100 - 50)
+                }
+            })
+            .collect();
+        let t = one_column_table("sb_ints", DataType::Int, int_cells);
+        assert_parity(&t, DataType::Int, &CmpSpec::Between(Value::Int(lo), Value::Int(hi)));
+        assert_parity(&t, DataType::Int, &spec_of(1, probe_float, Value::Null, vec![]));
+
+        let float_cells: Vec<Value> = (0..n)
+            .map(|_| {
+                let r = next();
+                match r % 13 {
+                    0 => Value::Null,
+                    1 => Value::Float(-0.0),
+                    2 => Value::Float(f64::NAN),
+                    _ => Value::Float((r >> 33) as i64 as f64 / 64.0 - 60.0),
+                }
+            })
+            .collect();
+        let t = one_column_table("sb_floats", DataType::Float, float_cells);
+        assert_parity(
+            &t,
+            DataType::Float,
+            &CmpSpec::Between(Value::Int(lo), Value::Int(hi)),
+        );
+        assert_parity(&t, DataType::Float, &CmpSpec::Le(probe_float));
+
+        let text_cells: Vec<Value> = (0..n)
+            .map(|_| {
+                let r = next();
+                if r % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::text(["a", "b", "c", "d"][(r >> 33) as usize % 4])
+                }
+            })
+            .collect();
+        let t = one_column_table("sb_texts", DataType::Text, text_cells);
+        assert_parity(&t, DataType::Text, &CmpSpec::Eq(Value::text("b")));
+        assert_parity(
+            &t,
+            DataType::Text,
+            &CmpSpec::In(vec![Value::text("a"), Value::text("d"), Value::text("zz")]),
+        );
     }
 }
 

@@ -4,10 +4,14 @@
 //! `criterion_group!` / `criterion_main!` macros.
 //!
 //! Each benchmark is warmed up, then timed adaptively until the sampling
-//! budget (`SQUID_BENCH_MS`, default 300 ms per benchmark) is spent. Mean
-//! wall-clock times are printed and, when `SQUID_BENCH_JSON` names a file,
-//! written there as a flat `{"bench_id": mean_ns}` JSON object so perf
-//! trajectories can be diffed across commits (see `BENCH_squid.json`).
+//! budget (`SQUID_BENCH_MS`, default 300 ms per benchmark) is spent. With
+//! `SQUID_BENCH_RUNS=N` (default 1) the whole measurement repeats `N`
+//! times and the run with the smallest mean is kept — min-of-N discards
+//! scheduler and frequency-scaling noise, which is what you want when
+//! gating on ratios between runs. Mean wall-clock times are printed and,
+//! when `SQUID_BENCH_JSON` names a file, written there as a flat
+//! `{"bench_id": mean_ns}` JSON object so perf trajectories can be diffed
+//! across commits (see `BENCH_squid.json`).
 //!
 //! Under `cargo test` (the harness passes `--test`) every benchmark runs a
 //! single iteration as a smoke check and no JSON is emitted.
@@ -125,6 +129,9 @@ impl Bencher {
 /// Top-level benchmark driver (stand-in for criterion's `Criterion`).
 pub struct Criterion {
     budget: Duration,
+    /// Independent measurement repetitions per benchmark; the smallest
+    /// mean wins (`SQUID_BENCH_RUNS`, default 1).
+    runs: u32,
     test_mode: bool,
     records: Vec<BenchRecord>,
 }
@@ -136,8 +143,14 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(300);
+        let runs: u32 = std::env::var("SQUID_BENCH_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+            .max(1);
         Criterion {
             budget: Duration::from_millis(budget_ms),
+            runs,
             test_mode,
             records: Vec::new(),
         }
@@ -145,20 +158,30 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Run one named benchmark.
+    /// Run one named benchmark: `runs` independent measurements, keeping
+    /// the one with the smallest mean (min-of-N noise rejection).
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
         let id = id.to_string();
-        let mut b = Bencher {
-            budget: self.budget,
-            test_mode: self.test_mode,
-            result: None,
-        };
-        f(&mut b);
-        let (mean_ns, iters) = b.result.unwrap_or((0.0, 0));
+        let runs = if self.test_mode { 1 } else { self.runs };
+        let mut best: Option<(f64, u64)> = None;
+        for _ in 0..runs {
+            let mut b = Bencher {
+                budget: self.budget,
+                test_mode: self.test_mode,
+                result: None,
+            };
+            f(&mut b);
+            let run = b.result.unwrap_or((0.0, 0));
+            best = Some(match best {
+                Some(prev) if prev.0 <= run.0 => prev,
+                _ => run,
+            });
+        }
+        let (mean_ns, iters) = best.unwrap_or((0.0, 0));
         if !self.test_mode {
             eprintln!("bench {id:<50} {:>12.1} ns/iter ({iters} iters)", mean_ns);
         }
@@ -267,6 +290,7 @@ mod tests {
     fn bench_function_records_a_measurement() {
         let mut c = Criterion {
             budget: Duration::from_millis(5),
+            runs: 1,
             test_mode: false,
             records: Vec::new(),
         };
@@ -280,6 +304,7 @@ mod tests {
     fn iter_batched_times_only_the_routine() {
         let mut c = Criterion {
             budget: Duration::from_millis(5),
+            runs: 1,
             test_mode: false,
             records: Vec::new(),
         };
@@ -296,9 +321,29 @@ mod tests {
     }
 
     #[test]
+    fn min_of_n_runs_every_measurement_and_keeps_one() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+            runs: 3,
+            test_mode: false,
+            records: Vec::new(),
+        };
+        let mut measurements = 0;
+        c.bench_function("min_of_n", |b| {
+            measurements += 1;
+            b.iter(|| black_box(2 + 2));
+        });
+        assert_eq!(measurements, 3, "each run re-measures");
+        assert_eq!(c.records.len(), 1, "only the best run is recorded");
+        assert!(c.records[0].iters > 0);
+        c.records.clear(); // avoid Drop writing JSON in tests
+    }
+
+    #[test]
     fn groups_prefix_ids() {
         let mut c = Criterion {
             budget: Duration::from_millis(1),
+            runs: 1,
             test_mode: false,
             records: Vec::new(),
         };

@@ -1,6 +1,14 @@
 //! Scratch: crossover between per-row hash-entry folds and radix-scatter
 //! folds at varying row counts / distinct-key cardinalities.
-use squid_relation::FxHashMap;
+//!
+//! Two sections: a synthetic fold over a raw key vector (the original
+//! measurement), and a probed fold where keys are emitted by a real
+//! `ScanPlan::for_each_match` over a ~50%-selective predicate — i.e. the
+//! fold downstream of the SIMD superbatch scan tier, exactly as
+//! `squid-engine`'s semi-join path drives it.
+use squid_relation::{
+    kernel, CmpSpec, Column, ColumnBuilder, DataType, FxHashMap, ScanPlan, Table, TableSchema,
+};
 use std::time::Instant;
 
 const RADIX: usize = 64;
@@ -112,5 +120,94 @@ fn main() {
         }
         let radix2 = t.elapsed() / reps;
         println!("rows {rows:>8} distinct {distinct:>8}: hash {hash:>10?} radix {radix:>10?} flat {radix2:>10?} flat/hash {:.2}", radix2.as_nanos() as f64 / hash.as_nanos() as f64);
+    }
+
+    println!("\nprobed (keys emitted by a superbatched ScanPlan, ~50% selectivity):");
+    for &(rows, distinct) in &[
+        (100_000usize, 10_000u64),
+        (500_000, 50_000),
+        (1_000_000, 200_000),
+        (4_000_000, 1_000_000),
+    ] {
+        let mut keys = ColumnBuilder::new(DataType::Int);
+        let mut vals = ColumnBuilder::new(DataType::Int);
+        for i in 0..rows {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            keys.push_int(((x >> 33) % distinct) as i64);
+            vals.push_int((x >> 17) as i64 % 100);
+        }
+        let table = Table::from_columns(
+            TableSchema::new(
+                "t",
+                vec![
+                    Column::new("k", DataType::Int),
+                    Column::new("v", DataType::Int),
+                ],
+            ),
+            vec![keys, vals],
+        )
+        .unwrap();
+        let key_col = table.column(0);
+        let val_col = table.column(1);
+        let plan = ScanPlan::new(
+            vec![kernel::compile(
+                val_col,
+                DataType::Int,
+                &CmpSpec::Between(
+                    squid_relation::Value::Int(0),
+                    squid_relation::Value::Int(49),
+                ),
+            )],
+            table.len(),
+        );
+        let reps = (2_000_000 / rows).max(1) as u32;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            plan.for_each_match(|row| {
+                if let Some(k) = key_col.int_at(row) {
+                    *map.entry(k as u64).or_insert(0) += 1;
+                }
+            });
+            std::hint::black_box(map.len());
+        }
+        let hash = t.elapsed() / reps;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); RADIX];
+            plan.for_each_match(|row| {
+                if let Some(k) = key_col.int_at(row) {
+                    parts[radix_of(k as u64)].push((k as u64, 1));
+                }
+            });
+            let mut total = 0usize;
+            for p in &mut parts {
+                p.sort_unstable_by_key(|e| e.0);
+                p.dedup_by(|n, a| {
+                    if a.0 == n.0 {
+                        a.1 += n.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                total += p.len();
+            }
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            map.reserve(total);
+            for p in &parts {
+                for &(k, w) in p {
+                    map.insert(k, w);
+                }
+            }
+            std::hint::black_box(map.len());
+        }
+        let radix = t.elapsed() / reps;
+        println!(
+            "rows {rows:>8} distinct {distinct:>8}: hash {hash:>10?} radix {radix:>10?} radix/hash {:.2}",
+            radix.as_nanos() as f64 / hash.as_nanos() as f64
+        );
     }
 }

@@ -457,16 +457,47 @@ fn run_repl(
                         .filter(|&&b| b > 0)
                         .count();
                     println!(
-                        "shared cache: {} hits / {} misses, {} entries, {} / {} bytes \
-                         across {} of {} shards, {} evicted",
+                        "shared cache: {} hits / {} misses ({:.0}% hit rate), {} entries, \
+                         {} / {} bytes across {} of {} shards, {} evicted",
                         sh.hits,
                         sh.misses,
+                        100.0 * sh.hit_rate(),
                         sh.entries,
                         sh.resident_bytes,
                         sh.max_resident_bytes,
                         occupied,
                         sh.per_shard_resident_bytes.len(),
                         sh.evictions
+                    );
+                    let nshards = sh.per_shard_hits.len();
+                    let warm = (0..nshards)
+                        .filter(|&i| sh.per_shard_hits[i] + sh.per_shard_misses[i] > 0)
+                        .count();
+                    let (mut lo, mut hi) = (1.0f64, 0.0f64);
+                    for i in 0..nshards {
+                        if sh.per_shard_hits[i] + sh.per_shard_misses[i] > 0 {
+                            let r = sh.shard_hit_rate(i);
+                            lo = lo.min(r);
+                            hi = hi.max(r);
+                        }
+                    }
+                    let peak_of_peaks = sh.per_shard_peak_resident_bytes.iter().max().copied();
+                    println!(
+                        "shared warm-start: {warm} of {nshards} shards touched \
+                         (hit rate {}–{}%), peak {} bytes resident \
+                         (hottest shard {} bytes)",
+                        if warm > 0 {
+                            format!("{:.0}", 100.0 * lo)
+                        } else {
+                            "0".into()
+                        },
+                        if warm > 0 {
+                            format!("{:.0}", 100.0 * hi)
+                        } else {
+                            "0".into()
+                        },
+                        sh.peak_resident_bytes,
+                        peak_of_peaks.unwrap_or(0),
                     );
                 }
                 if let Some(rs) = manager.recover_stats() {
