@@ -293,13 +293,32 @@ impl SessionManager {
         result
     }
 
-    /// Close a session. Returns whether it existed.
+    /// Close a session. Returns whether it existed. Journal write failures
+    /// are swallowed into [`SessionManager::journal_write_errors`]; callers
+    /// that must surface them (the serving frontend) use
+    /// [`SessionManager::close_session`] instead.
     pub fn end_session(&self, id: SessionId) -> bool {
-        let existed = recover_guard(self.shard(id).write()).remove(&id).is_some();
-        if existed && self.journal_append(id, &SessionOp::End).is_err() {
-            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        match self.close_session(id) {
+            Ok(()) => true,
+            Err(SquidError::UnknownSession { .. }) => false,
+            // The session is already gone; only the journal record failed.
+            Err(_) => {
+                self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+                true
+            }
         }
-        existed
+    }
+
+    /// Close a session and journal the close, surfacing failures: an
+    /// unknown id is [`SquidError::UnknownSession`], and a failed journal
+    /// append (the session itself is still removed) propagates so the
+    /// caller can report that durability was not achieved.
+    pub fn close_session(&self, id: SessionId) -> Result<(), SquidError> {
+        let existed = recover_guard(self.shard(id).write()).remove(&id).is_some();
+        if !existed {
+            return Err(SquidError::UnknownSession { id });
+        }
+        self.journal_append(id, &SessionOp::End)
     }
 
     /// Sweep every shard, removing sessions idle past the TTL. Returns the
@@ -344,6 +363,18 @@ impl SessionManager {
     /// Whether no sessions are live.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of live sessions — [`SessionManager::len`] under the name
+    /// the serving frontend's admission control reads it by.
+    pub fn session_count(&self) -> usize {
+        self.len()
+    }
+
+    /// Ids of every live session, ascending — [`SessionManager::session_ids`]
+    /// under the name the serving `stats` verb reports it by.
+    pub fn active_ids(&self) -> Vec<SessionId> {
+        self.session_ids()
     }
 
     /// Ids of every live session, ascending. Operator tooling uses this
@@ -505,6 +536,54 @@ mod tests {
         let m = manager();
         let err = m.with_session(42, |_| Ok(())).unwrap_err();
         assert!(matches!(err, SquidError::UnknownSession { id: 42 }));
+    }
+
+    #[test]
+    fn session_count_and_active_ids_track_the_fleet() {
+        let m = manager();
+        assert_eq!(m.session_count(), 0);
+        assert!(m.active_ids().is_empty());
+        let a = m.create_session();
+        let b = m.create_session();
+        let c = m.create_session();
+        assert_eq!(m.session_count(), 3);
+        assert_eq!(m.active_ids(), vec![a, b, c]);
+        m.close_session(b).unwrap();
+        assert_eq!(m.session_count(), 2);
+        assert_eq!(m.active_ids(), vec![a, c]);
+    }
+
+    #[test]
+    fn close_session_journals_the_close() {
+        let dir = std::env::temp_dir().join(format!(
+            "squid-close-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let m = SessionManager::new(Arc::clone(&adb));
+        m.attach_journal(Journal::open(&path, FsyncPolicy::Always).unwrap());
+        let a = m.create_session();
+        let b = m.create_session();
+        m.apply_op(a, &SessionOp::AddExample("Jim Carrey".into()))
+            .unwrap();
+        m.close_session(a).unwrap();
+        let err = m.close_session(a).unwrap_err();
+        assert!(matches!(err, SquidError::UnknownSession { .. }));
+        m.journal_sync().unwrap();
+
+        // A recovered fleet must see the close: only `b` comes back.
+        let m2 = SessionManager::new(adb);
+        let st = m2.recover(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(st.live_sessions, 1);
+        assert_eq!(m2.active_ids(), vec![b]);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! `squid-serve` — TCP serving frontend for SQuID session fleets, plus a
+//! scripted client and a load generator (one binary, three modes).
+//!
+//! Server (default):
+//!
+//! ```text
+//! squid-serve --addr 127.0.0.1:7878 --journal /var/lib/squid.journal imdb
+//! squid-serve --addr 127.0.0.1:0 imdb        # random port, printed on stdout
+//! ```
+//!
+//! Prints `listening on <addr>` once serving. SIGTERM/SIGINT (or a
+//! `shutdown` request) triggers the graceful path: drain in-flight turns,
+//! fsync the journal, optionally save a snapshot, exit 0. A fleet killed
+//! hard instead recovers from its journal on the next `--journal` start.
+//!
+//! Scripted client (`--client <addr>`): reads REPL-grammar commands from
+//! stdin (`create`, `add <value>`, `suggest [k]`, `sql`, `close`, ...),
+//! sends them as protocol requests against the most recently created
+//! session, prints one raw JSON response line per command, and exits
+//! non-zero on the first error response — the network twin of
+//! `squid --repl --batch`, which CI diffs it against.
+//!
+//! Load generator (`--loadgen <addr> --clients N --sessions M`): reads a
+//! turn script from stdin (same grammar, no `create`/`close` — the
+//! harness brackets each session) and replays it from N concurrent
+//! connections, printing sessions/sec, turns/sec, and latency
+//! percentiles.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use squid_adb::ADb;
+use squid_core::{FsyncPolicy, SessionManager, SquidParams};
+use squid_datasets::{
+    generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig,
+};
+use squid_relation::Database;
+use squid_serve::json::Json;
+use squid_serve::{Client, LoadConfig, LoadTurn, ServeConfig, Server};
+
+const USAGE: &str = "\
+usage: squid-serve [flags] <dataset>                 serve a session fleet
+       squid-serve --client <addr>                   scripted client (stdin)
+       squid-serve --loadgen <addr> [load flags]     load generator (stdin)
+datasets: imdb | dblp | adult
+server flags:
+  --addr <host:port>   bind address (default 127.0.0.1:0; port printed)
+  --workers <n>        worker threads = concurrent connections (default 8)
+  --max-pending <n>    queued connections before `overloaded` (default 64)
+  --max-sessions <n>   fleet-wide live-session cap (default 4096)
+  --idle-timeout <s>   reap idle connections after s seconds (default 300)
+  --ttl <s>            evict sessions idle past s seconds (default: never)
+  --no-shared-cache    disable the fleet-wide shared evaluation cache
+  --snapshot <path>    load the αDB from this snapshot if present (corrupt
+                       or missing -> rebuild from generators and save)
+  --exit-snapshot <p>  also save an αDB snapshot during graceful shutdown
+  --journal <path>     journal session mutations; recover on start
+  --fsync <mode>       journal durability: always | flush (default) | never
+  --normalized         normalized association strength (case-study mode)
+load flags:
+  --clients <n>        concurrent client threads (default 8)
+  --sessions <n>       sessions per client (default 2)";
+
+fn die<T>(msg: &str) -> T {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+/// SIGTERM/SIGINT handling without crates: the C runtime std already
+/// links provides `signal`; the handler only stores to an atomic, which
+/// is async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn stop_requested() -> bool {
+        false
+    }
+}
+
+fn build_dataset(name: &str) -> Option<Database> {
+    match name {
+        "imdb" => Some(generate_imdb(&ImdbConfig::default())),
+        "dblp" => Some(generate_dblp(&DblpConfig::default())),
+        "adult" => Some(generate_adult(&AdultConfig::default())),
+        _ => None,
+    }
+}
+
+/// Snapshot-or-rebuild αDB acquisition (same policy as the `squid` CLI:
+/// a snapshot is a cache, never the source of truth).
+fn acquire_adb(dataset: &str, snapshot: Option<&Path>) -> ADb {
+    if let Some(path) = snapshot {
+        if path.exists() {
+            match ADb::load_snapshot(path) {
+                Ok(adb) => {
+                    eprintln!("αDB loaded from snapshot {}", path.display());
+                    return adb;
+                }
+                Err(e) => eprintln!(
+                    "snapshot {} unusable ({e}); rebuilding from generators",
+                    path.display()
+                ),
+            }
+        }
+    }
+    let db = build_dataset(dataset).unwrap_or_else(|| die(&format!("unknown dataset {dataset:?}")));
+    eprintln!("building αDB for {dataset}...");
+    let adb = match ADb::build(&db) {
+        Ok(a) => a,
+        Err(e) => die(&format!("αDB build failed: {e}")),
+    };
+    if let Some(path) = snapshot {
+        match adb.save_snapshot(path) {
+            Ok(bytes) => eprintln!("snapshot saved to {} ({bytes} bytes)", path.display()),
+            Err(e) => eprintln!("warning: snapshot save to {} failed: {e}", path.display()),
+        }
+    }
+    adb
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut params = SquidParams::default();
+    let mut client_addr: Option<String> = None;
+    let mut loadgen_addr: Option<String> = None;
+    let mut clients = 8usize;
+    let mut sessions = 2usize;
+    let mut snapshot: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Flush;
+    let mut ttl: Option<Duration> = None;
+    let mut no_shared_cache = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    let next_num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--client" => {
+                client_addr = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--client needs an address")),
+                )
+            }
+            "--loadgen" => {
+                loadgen_addr = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--loadgen needs an address")),
+                )
+            }
+            "--addr" => cfg.addr = it.next().unwrap_or_else(|| die("--addr needs host:port")),
+            "--workers" => cfg.workers = next_num(&mut it, "--workers") as usize,
+            "--max-pending" => cfg.max_pending = next_num(&mut it, "--max-pending") as usize,
+            "--max-sessions" => cfg.max_sessions = next_num(&mut it, "--max-sessions") as usize,
+            "--idle-timeout" => {
+                cfg.idle_timeout = Duration::from_secs(next_num(&mut it, "--idle-timeout"))
+            }
+            "--ttl" => {
+                let secs = next_num(&mut it, "--ttl");
+                ttl = Some(Duration::from_secs(secs));
+                cfg.sweep_interval = Some(Duration::from_secs((secs / 4).max(1)));
+            }
+            "--no-shared-cache" => no_shared_cache = true,
+            "--clients" => clients = next_num(&mut it, "--clients") as usize,
+            "--sessions" => sessions = next_num(&mut it, "--sessions") as usize,
+            "--snapshot" => {
+                snapshot = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--snapshot needs a path")),
+                ))
+            }
+            "--exit-snapshot" => {
+                cfg.snapshot_on_shutdown = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| die("--exit-snapshot needs a path")),
+                ))
+            }
+            "--journal" => {
+                journal = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--journal needs a path")),
+                ))
+            }
+            "--fsync" => {
+                fsync = match it.next().as_deref() {
+                    Some("always") => FsyncPolicy::Always,
+                    Some("flush") => FsyncPolicy::Flush,
+                    Some("never") => FsyncPolicy::Never,
+                    _ => die("--fsync needs one of: always | flush | never"),
+                }
+            }
+            "--normalized" => params = SquidParams::normalized(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    if let Some(addr) = client_addr {
+        run_client(&addr);
+        return;
+    }
+    if let Some(addr) = loadgen_addr {
+        run_loadgen(&addr, clients, sessions);
+        return;
+    }
+
+    let Some(dataset) = positional.first() else {
+        die::<()>(USAGE);
+        return;
+    };
+    let adb = Arc::new(acquire_adb(dataset, snapshot.as_deref()));
+    let mut manager = SessionManager::with_params(Arc::clone(&adb), params);
+    if no_shared_cache {
+        manager = manager.without_shared_cache();
+    }
+    if let Some(ttl) = ttl {
+        manager = manager.with_ttl(ttl);
+    }
+    let manager = Arc::new(manager);
+    if let Some(jp) = &journal {
+        match manager.recover(jp, fsync) {
+            Ok(st) => eprintln!(
+                "journal {}: replayed {} session(s), {} record(s) applied, \
+                 {} failed, {} damaged byte(s) truncated, {} live",
+                jp.display(),
+                st.sessions_replayed,
+                st.records_applied,
+                st.records_failed,
+                st.bytes_truncated,
+                st.live_sessions
+            ),
+            Err(e) => {
+                die::<()>(&format!("journal {} unusable: {e}", jp.display()));
+                return;
+            }
+        }
+    }
+
+    sig::install();
+    let server = match Server::start(manager, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            die::<()>(&format!("bind failed: {e}"));
+            return;
+        }
+    };
+    // The port announcement is the startup handshake CI scripts wait for;
+    // flush so it is visible even through a pipe.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    while !sig::stop_requested() && !server.stop_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining...");
+    let report = server.shutdown();
+    eprintln!(
+        "drained: {} request(s), {} turn(s), {} connection(s), {} live session(s), \
+         journal {}{}",
+        report.metrics.requests,
+        report.metrics.turns,
+        report.metrics.connections_closed,
+        report.live_sessions,
+        if report.journal_synced {
+            "synced"
+        } else {
+            "sync FAILED"
+        },
+        match report.snapshot_bytes {
+            Some(b) => format!(", snapshot saved ({b} bytes)"),
+            None => String::new(),
+        }
+    );
+}
+
+/// Translate one REPL-grammar command line into a protocol request body.
+/// `current` is the session the script is driving (set by `create`).
+fn command_to_request(line: &str, current: Option<u64>) -> Result<Json, String> {
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    let sid = || -> Result<Json, String> {
+        current
+            .map(|s| Json::Int(s as i64))
+            .ok_or_else(|| "no session yet — `create` first".to_string())
+    };
+    let obj = |fields: Vec<(&'static str, Json)>| {
+        let mut members = vec![("op", Json::str(cmd))];
+        members.extend(fields);
+        Ok(Json::obj(members))
+    };
+    match cmd {
+        "ping" | "create" | "shutdown" => obj(vec![]),
+        "stats" => match current {
+            Some(_) => obj(vec![("session", sid()?)]),
+            None => obj(vec![]),
+        },
+        "add" | "remove" => obj(vec![("session", sid()?), ("value", Json::str(rest))]),
+        "pin" | "ban" | "unpin" | "unban" => {
+            obj(vec![("session", sid()?), ("key", Json::str(rest))])
+        }
+        "target" => match rest.split_once(char::is_whitespace) {
+            Some((tbl, col)) => obj(vec![
+                ("session", sid()?),
+                ("table", Json::str(tbl.trim())),
+                ("column", Json::str(col.trim())),
+            ]),
+            None => Err("usage: target <table> <column>".into()),
+        },
+        "auto" | "sql" | "examples" | "close" => obj(vec![("session", sid()?)]),
+        "choose" => match rest.split_once(char::is_whitespace) {
+            Some((pk, example)) => match pk.trim().parse::<i64>() {
+                Ok(pk) => obj(vec![
+                    ("session", sid()?),
+                    ("example", Json::str(example.trim())),
+                    ("pk", Json::Int(pk)),
+                ]),
+                Err(_) => Err("usage: choose <pk> <example>".into()),
+            },
+            None => Err("usage: choose <pk> <example>".into()),
+        },
+        "unchoose" => obj(vec![("session", sid()?), ("example", Json::str(rest))]),
+        "suggest" => obj(vec![
+            ("session", sid()?),
+            ("k", Json::Int(rest.parse().unwrap_or(3))),
+        ]),
+        "rows" => obj(vec![
+            ("session", sid()?),
+            ("limit", Json::Int(rest.parse().unwrap_or(10))),
+        ]),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Scripted client: stdin commands → protocol requests → raw JSON
+/// response lines on stdout; non-zero exit on the first error response.
+fn run_client(addr: &str) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => die(&format!("connect to {addr} failed: {e}")),
+    };
+    let mut current: Option<u64> = None;
+    let stdin = std::io::stdin();
+    let mut line_no = 0usize;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        line_no += 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        // Client-local: re-address an existing session (e.g. one that a
+        // restarted server just recovered from its journal).
+        if let Some(rest) = line.strip_prefix("session ") {
+            match rest.trim().parse::<u64>() {
+                Ok(sid) => {
+                    current = Some(sid);
+                    continue;
+                }
+                Err(_) => die(&format!("line {line_no}: usage: session <id>")),
+            }
+        }
+        let body = match command_to_request(line, current) {
+            Ok(b) => b,
+            Err(msg) => die(&format!("line {line_no}: {msg}")),
+        };
+        let resp = match client.round_trip(&body) {
+            Ok(r) => r,
+            Err(e) => die(&format!("line {line_no}: {e}")),
+        };
+        println!("{}", resp.encode());
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            die::<()>(&format!("line {line_no}: command {line:?} failed: {resp}"));
+            return;
+        }
+        if let Some(sid) = resp.get("session").and_then(Json::as_u64) {
+            current = Some(sid);
+        }
+    }
+}
+
+/// Load-generator mode: replay a stdin turn script from N connections.
+fn run_loadgen(addr: &str, clients: usize, sessions: usize) {
+    let stdin = std::io::stdin();
+    let mut script = Vec::new();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let turn = match cmd {
+            "add" => LoadTurn::Add(rest.to_string()),
+            "remove" => LoadTurn::Remove(rest.to_string()),
+            "pin" => LoadTurn::Pin(rest.to_string()),
+            "unpin" => LoadTurn::Unpin(rest.to_string()),
+            "suggest" => LoadTurn::Suggest(rest.parse().unwrap_or(3)),
+            "sql" => LoadTurn::Sql,
+            "rows" => LoadTurn::Rows(rest.parse().unwrap_or(10)),
+            other => die(&format!("loadgen script: unknown turn {other:?}")),
+        };
+        script.push(turn);
+    }
+    if script.is_empty() {
+        die::<()>("loadgen: empty script on stdin (expected add/suggest/sql/... lines)");
+        return;
+    }
+    let cfg = LoadConfig {
+        clients,
+        sessions_per_client: sessions,
+        script,
+    };
+    match squid_serve::run_load(addr, &cfg) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => die(&format!("loadgen against {addr} failed: {e}")),
+    }
+}

@@ -1,0 +1,56 @@
+//! # squid-serve
+//!
+//! The TCP serving frontend of the SQuID fleet engine: a hand-rolled
+//! [`std::net::TcpListener`] server (no crates.io dependencies) speaking
+//! a newline-delimited JSON protocol that maps 1:1 onto the
+//! [`squid_core::SquidSession`] API, plus the client and load-generator
+//! harness that measure it.
+//!
+//! The design premise (Polynesia's lesson, via the Cambridge Report): the
+//! interactive frontend is co-designed with the analytical core, so a
+//! network turn costs what a [`squid_core::DiscoveryDelta`] costs — the
+//! incremental session path, the two-level evaluation cache, and the
+//! journal all sit directly behind the socket, and the protocol exposes
+//! their evidence (`incremental`, cache counters, recovery stats) so
+//! clients and CI can hold the server to it.
+//!
+//! - [`json`]: minimal std-only JSON encode/parse (the wire format).
+//! - [`protocol`]: request/response grammar and stable error codes.
+//! - [`server`]: listener + fixed worker pool, admission control,
+//!   timeouts/reaping, graceful drain.
+//! - [`client`]: blocking lock-step client.
+//! - [`load`]: concurrent load generator with latency percentiles.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use squid_adb::{test_fixtures, ADb};
+//! use squid_core::SessionManager;
+//! use squid_serve::{Client, ServeConfig, Server};
+//!
+//! let adb = Arc::new(ADb::build(&test_fixtures::mini_imdb()).unwrap());
+//! let server = Server::start(
+//!     Arc::new(SessionManager::new(adb)),
+//!     ServeConfig::default(),
+//! ).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let sid = client.create().unwrap();
+//! client.add(sid, "Jim Carrey").unwrap();
+//! client.add(sid, "Eddie Murphy").unwrap();
+//! println!("{}", client.sql(sid).unwrap().unwrap());
+//! client.close(sid).unwrap();
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod load;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use load::{run_load, LoadConfig, LoadReport, LoadTurn};
+pub use protocol::{parse_request, ErrorCode, Request, Verb};
+pub use server::{ServeConfig, Server, ServerMetrics, ShutdownReport};

@@ -1,0 +1,268 @@
+//! Load generator: N concurrent client threads replaying session scripts
+//! over real sockets, measuring what the serving path actually costs.
+//!
+//! Each client thread opens one connection and replays
+//! `sessions_per_client` sessions of the given script (`create`, the
+//! scripted turns, `close`), timing every request round trip. The merged
+//! timings produce sessions/sec, turns/sec, and p50/p95/p99 turn latency
+//! — the numbers `BENCH_squid.json` records for the serving trajectory
+//! (`cargo bench -p squid-bench --bench serving`).
+
+use std::io;
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+
+use crate::client::{Client, ClientError};
+use crate::json::Json;
+
+/// One scripted turn of a load session.
+#[derive(Debug, Clone)]
+pub enum LoadTurn {
+    /// `add` an example value.
+    Add(String),
+    /// `remove` an example value.
+    Remove(String),
+    /// `pin` a filter key.
+    Pin(String),
+    /// `unpin` a filter key.
+    Unpin(String),
+    /// `suggest` k next examples.
+    Suggest(usize),
+    /// Fetch the current SQL.
+    Sql,
+    /// Fetch up to n result rows.
+    Rows(usize),
+}
+
+/// Load shape: `clients` threads × `sessions_per_client` sessions ×
+/// `script` turns each.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads (each with its own connection).
+    pub clients: usize,
+    /// Sessions each client replays, one after another.
+    pub sessions_per_client: usize,
+    /// The turns of every session.
+    pub script: Vec<LoadTurn>,
+}
+
+/// Aggregated result of a load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Sessions completed (create → turns → close).
+    pub sessions: u64,
+    /// Scripted turns completed.
+    pub turns: u64,
+    /// Requests that came back `ok:false` or failed transport-level.
+    pub errors: u64,
+    /// Wall-clock of the whole run (slowest client).
+    pub wall: Duration,
+    /// Mean turn round-trip latency.
+    pub turn_mean: Duration,
+    /// Median turn round-trip latency.
+    pub turn_p50: Duration,
+    /// 95th-percentile turn latency.
+    pub turn_p95: Duration,
+    /// 99th-percentile turn latency.
+    pub turn_p99: Duration,
+}
+
+impl LoadReport {
+    /// Completed sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        per_sec(self.sessions, self.wall)
+    }
+
+    /// Completed turns per wall-clock second.
+    pub fn turns_per_sec(&self) -> f64 {
+        per_sec(self.turns, self.wall)
+    }
+
+    /// One-line human rendering.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sessions, {} turns, {} errors in {:.2?} \
+             ({:.1} sessions/s, {:.1} turns/s; turn p50 {:?} p95 {:?} p99 {:?})",
+            self.sessions,
+            self.turns,
+            self.errors,
+            self.wall,
+            self.sessions_per_sec(),
+            self.turns_per_sec(),
+            self.turn_p50,
+            self.turn_p95,
+            self.turn_p99,
+        )
+    }
+}
+
+fn per_sec(n: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        n as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+struct ClientOutcome {
+    sessions: u64,
+    turns: u64,
+    errors: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Run one load shape against a server; returns the merged report.
+/// Client threads count protocol errors instead of aborting, so a report
+/// with `errors == 0` is positive evidence the server held up.
+pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|_| scope.spawn(move || run_client(addr, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut report = LoadReport {
+        wall,
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for o in outcomes {
+        report.sessions += o.sessions;
+        report.turns += o.turns;
+        report.errors += o.errors;
+        latencies.extend(o.latencies_ns);
+    }
+    if !latencies.is_empty() {
+        latencies.sort_unstable();
+        let sum: u64 = latencies.iter().sum();
+        report.turn_mean = Duration::from_nanos(sum / latencies.len() as u64);
+        report.turn_p50 = Duration::from_nanos(percentile(&latencies, 50.0));
+        report.turn_p95 = Duration::from_nanos(percentile(&latencies, 95.0));
+        report.turn_p99 = Duration::from_nanos(percentile(&latencies, 99.0));
+    }
+    Ok(report)
+}
+
+/// Nearest-rank percentile over sorted samples.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn run_client(addr: std::net::SocketAddr, cfg: &LoadConfig) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        sessions: 0,
+        turns: 0,
+        errors: 0,
+        latencies_ns: Vec::with_capacity(cfg.sessions_per_client * cfg.script.len()),
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    for _ in 0..cfg.sessions_per_client {
+        let sid = match client.create() {
+            Ok(sid) => sid,
+            Err(e) => {
+                out.errors += 1;
+                if transport_dead(&e) {
+                    return out;
+                }
+                continue;
+            }
+        };
+        let mut session_ok = true;
+        for turn in &cfg.script {
+            let t = Instant::now();
+            let result = play_turn(&mut client, sid, turn);
+            let elapsed = t.elapsed().as_nanos() as u64;
+            match result {
+                Ok(()) => {
+                    out.turns += 1;
+                    out.latencies_ns.push(elapsed);
+                }
+                Err(e) => {
+                    out.errors += 1;
+                    session_ok = false;
+                    if transport_dead(&e) {
+                        return out;
+                    }
+                }
+            }
+        }
+        match client.close(sid) {
+            Ok(()) => {
+                if session_ok {
+                    out.sessions += 1;
+                }
+            }
+            Err(e) => {
+                out.errors += 1;
+                if transport_dead(&e) {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A transport error means the connection is gone; server-level errors
+/// leave it usable.
+fn transport_dead(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::BadResponse(_))
+}
+
+fn play_turn(client: &mut Client, sid: u64, turn: &LoadTurn) -> Result<(), ClientError> {
+    match turn {
+        LoadTurn::Add(v) => client.add(sid, v).map(|_| ()),
+        LoadTurn::Remove(v) => client.remove(sid, v).map(|_| ()),
+        LoadTurn::Pin(k) => client.pin(sid, k).map(|_| ()),
+        LoadTurn::Unpin(k) => client
+            .request(&Json::obj([
+                ("op", Json::str("unpin")),
+                ("session", Json::Int(sid as i64)),
+                ("key", Json::str(k.as_str())),
+            ]))
+            .map(|_| ()),
+        LoadTurn::Suggest(k) => client.suggest(sid, *k).map(|_| ()),
+        LoadTurn::Sql => client.sql(sid).map(|_| ()),
+        LoadTurn::Rows(n) => client
+            .request(&Json::obj([
+                ("op", Json::str("rows")),
+                ("session", Json::Int(sid as i64)),
+                ("limit", Json::Int(*n as i64)),
+            ]))
+            .map(|_| ()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50.0), 50);
+        assert_eq!(percentile(&xs, 95.0), 95);
+        assert_eq!(percentile(&xs, 99.0), 99);
+        assert_eq!(percentile(&xs, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+}

@@ -1,0 +1,476 @@
+//! The newline-delimited JSON serving protocol.
+//!
+//! One request per line, one response per line, always in order. Every
+//! verb maps 1:1 onto the [`squid_core`] session API — the server never
+//! invents work a [`squid_core::SquidSession`] would not do, which is what
+//! keeps a network turn priced like a [`squid_core::DiscoveryDelta`], not
+//! a full rediscovery.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! request  := { "op": <verb>, ...args, "id"?: int }
+//! response := { "ok": true, "op": <verb>, "id"?: int, ...result }
+//!           | { "ok": false, "id"?: int,
+//!               "error": { "code": <code>, "detail": string } }
+//! ```
+//!
+//! Verbs and their arguments (`session` is the id from `create`):
+//!
+//! | verb       | arguments                          | session API          |
+//! |------------|------------------------------------|----------------------|
+//! | `ping`     |                                    | —                    |
+//! | `create`   |                                    | `create_session`     |
+//! | `add`      | `session`, `value`                 | `add_example`        |
+//! | `remove`   | `session`, `value`                 | `remove_example`     |
+//! | `target`   | `session`, `table`, `column`       | `set_target`         |
+//! | `auto`     | `session`                          | `set_target_auto`    |
+//! | `pin`      | `session`, `key`                   | `pin_filter`         |
+//! | `ban`      | `session`, `key`                   | `ban_filter`         |
+//! | `unpin`    | `session`, `key`                   | `unpin_filter`       |
+//! | `unban`    | `session`, `key`                   | `unban_filter`       |
+//! | `choose`   | `session`, `example`, `pk`         | `choose_entity`      |
+//! | `unchoose` | `session`, `example`               | `clear_choice`       |
+//! | `suggest`  | `session`, `k`?                    | `suggest`            |
+//! | `sql`      | `session`                          | `discovery().sql()`  |
+//! | `rows`     | `session`, `limit`?                | `discovery().rows`   |
+//! | `examples` | `session`                          | `examples`           |
+//! | `stats`    | `session`?                         | fleet + cache stats  |
+//! | `close`    | `session`                          | `close_session`      |
+//! | `shutdown` |                                    | graceful stop        |
+//!
+//! Error codes are machine-stable strings ([`ErrorCode`]); a protocol
+//! error is a *response*, never a dropped connection — except the two
+//! framing errors (`line_too_long`, `invalid_utf8`) after which the byte
+//! stream can no longer be trusted, so the server replies and closes.
+
+use crate::json::{self, Json};
+
+/// Mutating verbs translate to this (journaled) operation type.
+pub use squid_core::SessionOp;
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: Option<i64>,
+    /// The decoded verb and arguments.
+    pub verb: Verb,
+}
+
+/// Every protocol verb (see the module docs for the grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verb {
+    /// Liveness probe.
+    Ping,
+    /// Open a session.
+    Create,
+    /// A session-mutating verb, mapped straight onto a journaled
+    /// [`SessionOp`] (`add`/`remove`/`target`/`auto`/`pin`/`ban`/
+    /// `unpin`/`unban`/`choose`/`unchoose`).
+    Apply {
+        /// Target session.
+        session: u64,
+        /// The operation.
+        op: SessionOp,
+    },
+    /// `k` most informative next examples.
+    Suggest {
+        /// Target session.
+        session: u64,
+        /// How many suggestions (default 3).
+        k: usize,
+    },
+    /// The abduced SQL of the current discovery.
+    Sql {
+        /// Target session.
+        session: u64,
+    },
+    /// Result tuples of the current discovery.
+    Rows {
+        /// Target session.
+        session: u64,
+        /// Maximum tuples returned (default 10).
+        limit: usize,
+    },
+    /// The session's example list.
+    Examples {
+        /// Target session.
+        session: u64,
+    },
+    /// Fleet and cache statistics (plus per-session counters when a
+    /// session id is given).
+    Stats {
+        /// Optional session whose local cache counters to include.
+        session: Option<u64>,
+    },
+    /// Close a session (journaled).
+    Close {
+        /// Target session.
+        session: u64,
+    },
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+impl Verb {
+    /// The wire name of this verb (the `op` member of its response).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verb::Ping => "ping",
+            Verb::Create => "create",
+            Verb::Apply { op, .. } => match op {
+                SessionOp::AddExample(_) => "add",
+                SessionOp::RemoveExample(_) => "remove",
+                SessionOp::SetTarget { .. } => "target",
+                SessionOp::SetTargetAuto => "auto",
+                SessionOp::PinFilter(_) => "pin",
+                SessionOp::BanFilter(_) => "ban",
+                SessionOp::UnpinFilter(_) => "unpin",
+                SessionOp::UnbanFilter(_) => "unban",
+                SessionOp::ChooseEntity { .. } => "choose",
+                SessionOp::ClearChoice(_) => "unchoose",
+                SessionOp::Create | SessionOp::End => "apply",
+            },
+            Verb::Suggest { .. } => "suggest",
+            Verb::Sql { .. } => "sql",
+            Verb::Rows { .. } => "rows",
+            Verb::Examples { .. } => "examples",
+            Verb::Stats { .. } => "stats",
+            Verb::Close { .. } => "close",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Machine-stable error codes carried in `error.code`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The JSON was well-formed but not a valid request (missing or
+    /// ill-typed fields).
+    BadRequest,
+    /// The `op` member named no known verb.
+    UnknownVerb,
+    /// Request line exceeded the configured maximum (connection closes).
+    LineTooLong,
+    /// Request bytes were not UTF-8 (connection closes).
+    InvalidUtf8,
+    /// The session id is unknown, closed, or expired.
+    UnknownSession,
+    /// Admission control refused the work (connection or session limit);
+    /// retry later or against another replica.
+    Overloaded,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+    /// The connection sat idle past the reaping deadline (closes).
+    IdleTimeout,
+    /// The operation itself failed (discovery-level error, e.g. an
+    /// example matching nothing); the session rolled back and is intact.
+    Discovery,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownVerb => "unknown_verb",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::InvalidUtf8 => "invalid_utf8",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::IdleTimeout => "idle_timeout",
+            ErrorCode::Discovery => "discovery",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A request that could not be decoded (the response still goes out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The stable error code.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub detail: String,
+    /// The request id, when one could be salvaged from the line.
+    pub id: Option<i64>,
+}
+
+impl ProtocolError {
+    fn new(code: ErrorCode, detail: impl Into<String>, id: Option<i64>) -> ProtocolError {
+        ProtocolError {
+            code,
+            detail: detail.into(),
+            id,
+        }
+    }
+}
+
+/// Decode one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let v = json::parse(line)
+        .map_err(|e| ProtocolError::new(ErrorCode::BadJson, e.to_string(), None))?;
+    let id = v.get("id").and_then(Json::as_i64);
+    let bad = |detail: &str| ProtocolError::new(ErrorCode::BadRequest, detail, id);
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string member \"op\""))?;
+    let session = || {
+        v.get("session")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing non-negative integer member \"session\""))
+    };
+    let string = |key: &'static str| {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad(&format!("missing string member {key:?}")))
+    };
+    let verb = match op {
+        "ping" => Verb::Ping,
+        "create" => Verb::Create,
+        "add" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::AddExample(string("value")?),
+        },
+        "remove" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::RemoveExample(string("value")?),
+        },
+        "target" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::SetTarget {
+                table: string("table")?,
+                column: string("column")?,
+            },
+        },
+        "auto" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::SetTargetAuto,
+        },
+        "pin" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::PinFilter(string("key")?),
+        },
+        "ban" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::BanFilter(string("key")?),
+        },
+        "unpin" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::UnpinFilter(string("key")?),
+        },
+        "unban" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::UnbanFilter(string("key")?),
+        },
+        "choose" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::ChooseEntity {
+                example: string("example")?,
+                pk: v
+                    .get("pk")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| bad("missing integer member \"pk\""))?,
+            },
+        },
+        "unchoose" => Verb::Apply {
+            session: session()?,
+            op: SessionOp::ClearChoice(string("example")?),
+        },
+        "suggest" => Verb::Suggest {
+            session: session()?,
+            k: v.get("k").and_then(Json::as_u64).unwrap_or(3) as usize,
+        },
+        "sql" => Verb::Sql {
+            session: session()?,
+        },
+        "rows" => Verb::Rows {
+            session: session()?,
+            limit: v.get("limit").and_then(Json::as_u64).unwrap_or(10) as usize,
+        },
+        "examples" => Verb::Examples {
+            session: session()?,
+        },
+        "stats" => Verb::Stats {
+            session: v.get("session").and_then(Json::as_u64),
+        },
+        "close" => Verb::Close {
+            session: session()?,
+        },
+        "shutdown" => Verb::Shutdown,
+        other => {
+            return Err(ProtocolError::new(
+                ErrorCode::UnknownVerb,
+                format!("unknown verb {other:?}"),
+                id,
+            ))
+        }
+    };
+    Ok(Request { id, verb })
+}
+
+/// Build a success response: `{"ok":true,"op":...,"id"?,...fields}`.
+pub fn ok_response(op: &str, id: Option<i64>, fields: Vec<(String, Json)>) -> Json {
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::str(op)),
+    ];
+    if let Some(id) = id {
+        members.push(("id".to_string(), Json::Int(id)));
+    }
+    members.extend(fields);
+    Json::Obj(members)
+}
+
+/// Build an error response: `{"ok":false,"id"?,"error":{...}}`.
+pub fn error_response(code: ErrorCode, detail: &str, id: Option<i64>) -> Json {
+    let mut members = vec![("ok".to_string(), Json::Bool(false))];
+    if let Some(id) = id {
+        members.push(("id".to_string(), Json::Int(id)));
+    }
+    members.push((
+        "error".to_string(),
+        Json::obj([
+            ("code", Json::str(code.as_str())),
+            ("detail", Json::str(detail)),
+        ]),
+    ));
+    Json::Obj(members)
+}
+
+impl From<&ProtocolError> for Json {
+    fn from(e: &ProtocolError) -> Json {
+        error_response(e.code, &e.detail, e.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        let cases = [
+            (r#"{"op":"ping"}"#, Verb::Ping),
+            (r#"{"op":"create"}"#, Verb::Create),
+            (
+                r#"{"op":"add","session":3,"value":"Jim Carrey"}"#,
+                Verb::Apply {
+                    session: 3,
+                    op: SessionOp::AddExample("Jim Carrey".into()),
+                },
+            ),
+            (
+                r#"{"op":"target","session":1,"table":"person","column":"name"}"#,
+                Verb::Apply {
+                    session: 1,
+                    op: SessionOp::SetTarget {
+                        table: "person".into(),
+                        column: "name".into(),
+                    },
+                },
+            ),
+            (
+                r#"{"op":"choose","session":1,"example":"Titanic","pk":-7}"#,
+                Verb::Apply {
+                    session: 1,
+                    op: SessionOp::ChooseEntity {
+                        example: "Titanic".into(),
+                        pk: -7,
+                    },
+                },
+            ),
+            (
+                r#"{"op":"suggest","session":2}"#,
+                Verb::Suggest { session: 2, k: 3 },
+            ),
+            (
+                r#"{"op":"rows","session":2,"limit":5}"#,
+                Verb::Rows {
+                    session: 2,
+                    limit: 5,
+                },
+            ),
+            (r#"{"op":"stats"}"#, Verb::Stats { session: None }),
+            (
+                r#"{"op":"stats","session":9}"#,
+                Verb::Stats { session: Some(9) },
+            ),
+            (r#"{"op":"close","session":4}"#, Verb::Close { session: 4 }),
+            (r#"{"op":"shutdown"}"#, Verb::Shutdown),
+        ];
+        for (line, want) in cases {
+            let req = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+            assert_eq!(req.verb, want, "{line}");
+        }
+    }
+
+    #[test]
+    fn request_id_is_salvaged_into_errors() {
+        let req = parse_request(r#"{"op":"sql","session":1,"id":77}"#).unwrap();
+        assert_eq!(req.id, Some(77));
+        let err = parse_request(r#"{"op":"sql","id":78}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(err.id, Some(78));
+        let err = parse_request(r#"{"op":"frobnicate","id":79}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownVerb);
+        assert_eq!(err.id, Some(79));
+    }
+
+    #[test]
+    fn malformed_requests_error_with_stable_codes() {
+        assert_eq!(
+            parse_request("not json").unwrap_err().code,
+            ErrorCode::BadJson
+        );
+        assert_eq!(
+            parse_request("[1,2]").unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"noop":true}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        // Ill-typed session (string instead of int).
+        assert_eq!(
+            parse_request(r#"{"op":"sql","session":"three"}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        // Negative session ids are ill-typed, not a lookup miss.
+        assert_eq!(
+            parse_request(r#"{"op":"sql","session":-4}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn responses_render_deterministically() {
+        let ok = ok_response("add", Some(5), vec![("rows".into(), Json::Int(12))]);
+        assert_eq!(ok.encode(), r#"{"ok":true,"op":"add","id":5,"rows":12}"#);
+        let err = error_response(
+            ErrorCode::UnknownSession,
+            "unknown or expired session 9",
+            None,
+        );
+        assert_eq!(
+            err.encode(),
+            r#"{"ok":false,"error":{"code":"unknown_session","detail":"unknown or expired session 9"}}"#
+        );
+    }
+}

@@ -1,0 +1,817 @@
+//! `squid-serve` server core: a hand-rolled [`TcpListener`] frontend over
+//! a [`SessionManager`] fleet.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             accept()          bounded queue            worker pool
+//! clients ──► acceptor ──try_send(conn)──► mpsc ──recv──► worker 0..W
+//!                │  full? reply {overloaded} + close        │
+//!                ▼                                          ▼
+//!          admission control                    line loop: read → parse →
+//!          (fleet connection cap)               SessionManager → respond
+//! ```
+//!
+//! One acceptor thread hands connections to a **fixed** pool of `workers`
+//! threads through a bounded queue — the two numbers together are the
+//! connection admission bound: at most `workers` connections are being
+//! served and `max_pending` are waiting; anything beyond gets an explicit
+//! `{"ok":false,"error":{"code":"overloaded"}}` line and a close, never a
+//! silent drop. Session admission is a separate fleet-wide cap
+//! (`max_sessions`) checked on `create`.
+//!
+//! Each worker serves its connection to completion: newline-delimited
+//! JSON requests ([`crate::protocol`]) dispatched straight onto the
+//! session API. A turn served here takes the same incremental path a
+//! local [`squid_core::SquidSession`] turn takes — the response carries
+//! the `incremental` flag and cache counters of the underlying
+//! [`squid_core::DiscoveryDelta`] so clients (and CI) can verify that.
+//!
+//! Protocol errors are *responses*, never worker deaths; the two framing
+//! errors (oversized line, invalid UTF-8) poison the byte stream, so the
+//! server replies and closes that connection only. Idle connections are
+//! reaped after `idle_timeout`; a partially-received request must
+//! complete within `read_timeout`.
+//!
+//! ## Graceful shutdown
+//!
+//! [`Server::shutdown`] (or the `shutdown` verb, or the binary's SIGTERM
+//! handler) sets a stop flag, wakes the acceptor, and drains: in-flight
+//! turns complete and their responses are written, queued-but-unserved
+//! connections get a `shutting_down` reply, workers join, the journal is
+//! fsynced, and (when configured) an αDB snapshot is saved. A fleet
+//! killed *without* the graceful path recovers from its journal on the
+//! next start ([`SessionManager::recover`]), which the CI serving smoke
+//! exercises with a literal SIGTERM mid-load.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use squid_adb::ADb;
+use squid_core::{Discovery, DiscoveryDelta, SessionManager, SquidError};
+
+use crate::json::Json;
+use crate::protocol::{self, ErrorCode, Request, Verb};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Fixed worker-thread count — the concurrent-connection bound.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this,
+    /// admission control replies `overloaded` and closes.
+    pub max_pending: usize,
+    /// Fleet-wide live-session cap enforced on `create`.
+    pub max_sessions: usize,
+    /// Longest accepted request line in bytes (framing bound).
+    pub max_line_bytes: usize,
+    /// A partially-received request must complete within this.
+    pub read_timeout: Duration,
+    /// Per-response socket write timeout.
+    pub write_timeout: Duration,
+    /// Connections idle (no request in progress) past this are reaped.
+    pub idle_timeout: Duration,
+    /// Sweep cadence for TTL session eviction (`None` = no sweeper; only
+    /// useful when the manager was built `with_ttl`).
+    pub sweep_interval: Option<Duration>,
+    /// Save an αDB snapshot here during graceful shutdown.
+    pub snapshot_on_shutdown: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            max_pending: 64,
+            max_sessions: 4096,
+            max_line_bytes: 256 << 10,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            sweep_interval: None,
+            snapshot_on_shutdown: None,
+        }
+    }
+}
+
+/// How often blocked reads wake to re-check deadlines and the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Monotonic serving counters (all relaxed: they are reporting, not
+/// synchronization).
+#[derive(Debug, Default)]
+struct Metrics {
+    accepted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    requests: AtomicU64,
+    turns: AtomicU64,
+    protocol_errors: AtomicU64,
+    connections_closed: AtomicU64,
+    idle_reaped: AtomicU64,
+}
+
+/// Point-in-time copy of the server's counters (the `stats` verb and
+/// [`Server::metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Connections accepted by the listener.
+    pub accepted: u64,
+    /// Connections refused by admission control (got an `overloaded`
+    /// reply instead of service).
+    pub rejected_overloaded: u64,
+    /// Requests dispatched (well-formed or not).
+    pub requests: u64,
+    /// Session-mutating turns served (`add`/`remove`/feedback verbs).
+    pub turns: u64,
+    /// Error responses sent (protocol or discovery level).
+    pub protocol_errors: u64,
+    /// Connections closed (any reason).
+    pub connections_closed: u64,
+    /// Connections reaped by the idle timeout.
+    pub idle_reaped: u64,
+}
+
+impl Metrics {
+    fn snapshot(&self) -> ServerMetrics {
+        ServerMetrics {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            turns: self.turns.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by the acceptor, every worker, and the [`Server`] handle.
+struct Shared {
+    manager: Arc<SessionManager>,
+    cfg: ServeConfig,
+    /// The actually-bound address (port 0 resolved) — the wake-up target
+    /// for unblocking the acceptor on shutdown.
+    addr: SocketAddr,
+    stop: AtomicBool,
+    metrics: Metrics,
+}
+
+/// What a graceful [`Server::shutdown`] did.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownReport {
+    /// Final serving counters.
+    pub metrics: ServerMetrics,
+    /// Whether the journal flushed cleanly.
+    pub journal_synced: bool,
+    /// Bytes of the αDB snapshot written on the way out, when configured.
+    pub snapshot_bytes: Option<u64>,
+    /// Sessions still live at shutdown (journaled, so recoverable).
+    pub live_sessions: usize,
+}
+
+/// A running serving frontend (see the module docs).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `manager` per `cfg`. Returns once the
+    /// listener is bound and every worker is running.
+    pub fn start(manager: Arc<SessionManager>, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            manager,
+            cfg,
+            addr,
+            stop: AtomicBool::new(false),
+            metrics: Metrics::default(),
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.cfg.max_pending);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("squid-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("squid-serve-acceptor".to_string())
+                // The acceptor owns the only sender: when it exits (stop
+                // flag) the channel closes and idle workers drain out.
+                .spawn(move || accept_loop(&shared, listener, tx))
+                .expect("spawn acceptor")
+        };
+        let sweeper = shared.cfg.sweep_interval.map(|every| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("squid-serve-sweeper".to_string())
+                .spawn(move || {
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(every.min(POLL * 4));
+                        shared.manager.evict_expired();
+                    }
+                })
+                .expect("spawn sweeper")
+        });
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            sweeper,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted fleet.
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.shared.manager
+    }
+
+    /// Current serving counters.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Whether a stop was requested (`shutdown` verb, signal, or
+    /// [`Server::request_stop`]).
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful stop without blocking (the drain happens in
+    /// [`Server::shutdown`]). Safe to call more than once.
+    pub fn request_stop(&self) {
+        request_stop(&self.shared, self.addr);
+    }
+
+    /// Gracefully stop: drain in-flight turns, reply `shutting_down` to
+    /// queued connections, join every thread, fsync the journal, and save
+    /// the configured shutdown snapshot.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.request_stop();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(s) = self.sweeper.take() {
+            let _ = s.join();
+        }
+        let journal_synced = self.shared.manager.journal_sync().is_ok();
+        let snapshot_bytes = self
+            .shared
+            .cfg
+            .snapshot_on_shutdown
+            .as_ref()
+            .and_then(|p| self.shared.manager.adb().save_snapshot(p).ok());
+        ShutdownReport {
+            metrics: self.metrics(),
+            journal_synced,
+            snapshot_bytes,
+            live_sessions: self.shared.manager.session_count(),
+        }
+    }
+}
+
+/// Set the stop flag and wake the acceptor out of its blocking
+/// `accept()` with a throwaway connection to ourselves.
+fn request_stop(shared: &Shared, addr: SocketAddr) {
+    if !shared.stop.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late arrival): decline politely.
+            respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining");
+            return;
+        }
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(conn) {
+            Ok(()) => {}
+            Err(TrySendError::Full(conn)) => {
+                shared
+                    .metrics
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                respond_and_close(
+                    conn,
+                    ErrorCode::Overloaded,
+                    "connection limit reached; retry later",
+                );
+            }
+            Err(TrySendError::Disconnected(conn)) => {
+                respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining");
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort single error line to a connection we will not serve.
+fn respond_and_close(mut conn: TcpStream, code: ErrorCode, detail: &str) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut line = protocol::error_response(code, detail, None).encode();
+    line.push('\n');
+    let _ = conn.write_all(line.as_bytes());
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Lock scope: hold the receiver only for the dequeue, never while
+        // serving (siblings must keep pulling connections).
+        let conn = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(conn) = conn else {
+            return; // channel closed: acceptor exited and queue is drained
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining");
+            shared
+                .metrics
+                .connections_closed
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        serve_connection(shared, conn);
+        shared
+            .metrics
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Why the per-connection line loop ended.
+enum LineEvent {
+    /// One complete request line (newline stripped, may be empty).
+    Line(Vec<u8>),
+    /// Peer closed (or half-closed) the stream.
+    Eof,
+    /// No request started within the idle timeout.
+    Idle,
+    /// A started request did not complete within the read timeout.
+    Stalled,
+    /// The line exceeded `max_line_bytes`.
+    TooLong,
+    /// Stop flag observed while no request was in progress.
+    Stopped,
+    /// Transport error.
+    Failed,
+}
+
+/// Buffered line reader with deadline tracking: blocked reads wake every
+/// [`POLL`] to re-check the idle/read deadlines and the stop flag, so
+/// reaping and shutdown never wait on a silent peer.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_line: usize,
+    idle_timeout: Duration,
+    read_timeout: Duration,
+}
+
+impl LineReader {
+    fn next_line(&mut self, stop: &AtomicBool) -> LineEvent {
+        let started = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineEvent::Line(line);
+            }
+            if self.buf.len() > self.max_line {
+                return LineEvent::TooLong;
+            }
+            if stop.load(Ordering::SeqCst) {
+                return LineEvent::Stopped;
+            }
+            let limit = if self.buf.is_empty() {
+                self.idle_timeout
+            } else {
+                self.read_timeout
+            };
+            if started.elapsed() > limit {
+                return if self.buf.is_empty() {
+                    LineEvent::Idle
+                } else {
+                    LineEvent::Stalled
+                };
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LineEvent::Failed,
+            }
+        }
+    }
+}
+
+/// After responding, keep the connection or close it.
+#[derive(PartialEq)]
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    // Round-trip latency is the product here: defeat Nagle+delayed-ack.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader {
+        stream: read_half,
+        buf: Vec::new(),
+        max_line: shared.cfg.max_line_bytes,
+        idle_timeout: shared.cfg.idle_timeout,
+        read_timeout: shared.cfg.read_timeout,
+    };
+    let mut out = stream;
+    let mut send = |resp: &Json, is_err: bool| -> bool {
+        if is_err {
+            shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let mut line = resp.encode();
+        line.push('\n');
+        out.write_all(line.as_bytes()).is_ok()
+    };
+    loop {
+        match reader.next_line(&shared.stop) {
+            LineEvent::Line(bytes) => {
+                let Ok(text) = String::from_utf8(bytes) else {
+                    // The stream is not decodable; framing is untrustworthy
+                    // beyond this point. Reply, then close.
+                    let resp = protocol::error_response(
+                        ErrorCode::InvalidUtf8,
+                        "request bytes are not UTF-8",
+                        None,
+                    );
+                    send(&resp, true);
+                    return;
+                };
+                let line = text.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let (resp, is_err, flow) = dispatch_line(shared, line);
+                if !send(&resp, is_err) || flow == Flow::Close {
+                    return;
+                }
+            }
+            LineEvent::Eof | LineEvent::Stopped | LineEvent::Failed => return,
+            LineEvent::Idle => {
+                shared.metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                let resp = protocol::error_response(
+                    ErrorCode::IdleTimeout,
+                    "connection idle past the reaping deadline",
+                    None,
+                );
+                send(&resp, true);
+                return;
+            }
+            LineEvent::Stalled => {
+                let resp = protocol::error_response(
+                    ErrorCode::IdleTimeout,
+                    "request did not complete within the read timeout",
+                    None,
+                );
+                send(&resp, true);
+                return;
+            }
+            LineEvent::TooLong => {
+                // The remainder of the oversized line is undelivered; the
+                // stream cannot be re-synchronized. Reply, then close.
+                let resp = protocol::error_response(
+                    ErrorCode::LineTooLong,
+                    &format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
+                    None,
+                );
+                send(&resp, true);
+                return;
+            }
+        }
+    }
+}
+
+/// Parse and execute one request line. Returns the response, whether it
+/// is an error (for the counters), and whether to keep the connection.
+fn dispatch_line(shared: &Shared, line: &str) -> (Json, bool, Flow) {
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(e) => return (Json::from(&e), true, Flow::Continue),
+    };
+    let id = req.id;
+    match execute(shared, req) {
+        Ok((resp, flow)) => (resp, false, flow),
+        Err((code, detail)) => (
+            protocol::error_response(code, &detail, id),
+            true,
+            Flow::Continue,
+        ),
+    }
+}
+
+type ExecResult = Result<(Json, Flow), (ErrorCode, String)>;
+
+fn squid_error(e: SquidError) -> (ErrorCode, String) {
+    let code = match &e {
+        SquidError::UnknownSession { .. } => ErrorCode::UnknownSession,
+        SquidError::Io(_) | SquidError::Corrupt { .. } => ErrorCode::Internal,
+        _ => ErrorCode::Discovery,
+    };
+    (code, e.to_string())
+}
+
+fn execute(shared: &Shared, req: Request) -> ExecResult {
+    let m = &shared.manager;
+    let adb = Arc::clone(m.adb());
+    let id = req.id;
+    let name = req.verb.name();
+    let ok =
+        |fields: Vec<(String, Json)>| Ok((protocol::ok_response(name, id, fields), Flow::Continue));
+    match req.verb {
+        Verb::Ping => ok(vec![("pong".into(), Json::Bool(true))]),
+        Verb::Create => {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Err((ErrorCode::ShuttingDown, "server is draining".into()));
+            }
+            if m.session_count() >= shared.cfg.max_sessions {
+                return Err((
+                    ErrorCode::Overloaded,
+                    format!("session limit {} reached", shared.cfg.max_sessions),
+                ));
+            }
+            let sid = m.create_session();
+            ok(vec![("session".into(), Json::Int(sid as i64))])
+        }
+        Verb::Apply { session, op } => {
+            shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
+            let delta = m.apply_op(session, &op).map_err(squid_error)?;
+            match delta {
+                Some(delta) => ok(delta_fields(&delta)),
+                None => ok(vec![]),
+            }
+        }
+        Verb::Suggest { session, k } => {
+            let suggestions = m
+                .with_session(session, |s| {
+                    let Some(d) = s.discovery() else {
+                        return Ok(Vec::new());
+                    };
+                    Ok(s.suggest(k)
+                        .into_iter()
+                        .map(|r| {
+                            Json::obj([
+                                (
+                                    "value",
+                                    match projection_value(&adb, d, r.row) {
+                                        Some(v) => Json::Str(v),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("score", Json::Float(r.score)),
+                                (
+                                    "tests",
+                                    Json::Arr(r.discriminates.into_iter().map(Json::Str).collect()),
+                                ),
+                            ])
+                        })
+                        .collect::<Vec<_>>())
+                })
+                .map_err(squid_error)?;
+            ok(vec![("suggestions".into(), Json::Arr(suggestions))])
+        }
+        Verb::Sql { session } => {
+            let sql = m
+                .with_session(session, |s| Ok(s.discovery().map(|d| d.sql())))
+                .map_err(squid_error)?;
+            ok(vec![(
+                "sql".into(),
+                match sql {
+                    Some(sql) => Json::Str(sql),
+                    None => Json::Null,
+                },
+            )])
+        }
+        Verb::Rows { session, limit } => {
+            let (total, rows) = m
+                .with_session(session, |s| {
+                    let Some(d) = s.discovery() else {
+                        return Ok((0, Vec::new()));
+                    };
+                    let rows = d
+                        .rows
+                        .iter()
+                        .take(limit)
+                        .filter_map(|row| projection_value(&adb, d, row))
+                        .map(Json::Str)
+                        .collect();
+                    Ok((d.rows.len(), rows))
+                })
+                .map_err(squid_error)?;
+            ok(vec![
+                ("total".into(), Json::Int(total as i64)),
+                ("rows".into(), Json::Arr(rows)),
+            ])
+        }
+        Verb::Examples { session } => {
+            let examples = m
+                .with_session(session, |s| {
+                    Ok(s.examples()
+                        .iter()
+                        .map(|e| Json::str(*e))
+                        .collect::<Vec<_>>())
+                })
+                .map_err(squid_error)?;
+            ok(vec![("examples".into(), Json::Arr(examples))])
+        }
+        Verb::Stats { session } => {
+            let mut fields = vec![
+                ("sessions".into(), Json::Int(m.session_count() as i64)),
+                (
+                    "active_ids".into(),
+                    Json::Arr(
+                        m.active_ids()
+                            .into_iter()
+                            .map(|i| Json::Int(i as i64))
+                            .collect(),
+                    ),
+                ),
+                ("server".into(), metrics_json(&shared.metrics.snapshot())),
+            ];
+            fields.push((
+                "shared_cache".into(),
+                match m.shared_cache_stats() {
+                    Some(sh) => Json::obj([
+                        ("hits", Json::Int(sh.hits as i64)),
+                        ("misses", Json::Int(sh.misses as i64)),
+                        ("entries", Json::Int(sh.entries as i64)),
+                        ("resident_bytes", Json::Int(sh.resident_bytes as i64)),
+                        (
+                            "max_resident_bytes",
+                            Json::Int(sh.max_resident_bytes as i64),
+                        ),
+                        ("evictions", Json::Int(sh.evictions as i64)),
+                        ("hit_rate", Json::Float(sh.hit_rate())),
+                    ]),
+                    // Explicit, not absent: "disabled" is an answer, a
+                    // missing member is a question.
+                    None => Json::str("disabled"),
+                },
+            ));
+            if let Some(rs) = m.recover_stats() {
+                fields.push((
+                    "recovery".into(),
+                    Json::obj([
+                        ("sessions_replayed", Json::Int(rs.sessions_replayed as i64)),
+                        ("records_applied", Json::Int(rs.records_applied as i64)),
+                        ("records_failed", Json::Int(rs.records_failed as i64)),
+                        ("bytes_truncated", Json::Int(rs.bytes_truncated as i64)),
+                        ("live_sessions", Json::Int(rs.live_sessions as i64)),
+                    ]),
+                ));
+            }
+            if let Some(sid) = session {
+                let cs = m
+                    .with_session(sid, |s| Ok(s.cache_stats()))
+                    .map_err(squid_error)?;
+                fields.push((
+                    "session_cache".into(),
+                    Json::obj([
+                        ("hits", Json::Int(cs.hits as i64)),
+                        ("shared_hits", Json::Int(cs.shared_hits as i64)),
+                        ("misses", Json::Int(cs.misses as i64)),
+                        ("entries", Json::Int(cs.entries as i64)),
+                        ("resident_bytes", Json::Int(cs.resident_bytes as i64)),
+                        ("evictions", Json::Int(cs.evictions as i64)),
+                    ]),
+                ));
+            }
+            ok(fields)
+        }
+        Verb::Close { session } => {
+            m.close_session(session).map_err(squid_error)?;
+            ok(vec![("closed".into(), Json::Bool(true))])
+        }
+        Verb::Shutdown => {
+            // Respond first (Flow::Close flushes this line before the
+            // worker exits), then the flag drains the whole server.
+            let resp = protocol::ok_response(name, id, vec![("stopping".into(), Json::Bool(true))]);
+            request_stop(shared, shared.addr);
+            Ok((resp, Flow::Close))
+        }
+    }
+}
+
+fn metrics_json(mx: &ServerMetrics) -> Json {
+    Json::obj([
+        ("accepted", Json::Int(mx.accepted as i64)),
+        (
+            "rejected_overloaded",
+            Json::Int(mx.rejected_overloaded as i64),
+        ),
+        ("requests", Json::Int(mx.requests as i64)),
+        ("turns", Json::Int(mx.turns as i64)),
+        ("protocol_errors", Json::Int(mx.protocol_errors as i64)),
+        (
+            "connections_closed",
+            Json::Int(mx.connections_closed as i64),
+        ),
+        ("idle_reaped", Json::Int(mx.idle_reaped as i64)),
+    ])
+}
+
+/// Response fields of a session-mutating turn: the wire rendering of a
+/// [`DiscoveryDelta`], incremental-path evidence included.
+fn delta_fields(delta: &DiscoveryDelta) -> Vec<(String, Json)> {
+    let mut fields: Vec<(String, Json)> = Vec::with_capacity(10);
+    match &delta.discovery {
+        Some(d) => {
+            fields.push(("rows".into(), Json::Int(d.rows.len() as i64)));
+            fields.push(("filters".into(), Json::Int(d.chosen_filters().len() as i64)));
+            fields.push(("sql".into(), Json::Str(d.sql())));
+        }
+        None => {
+            fields.push(("rows".into(), Json::Int(0)));
+            fields.push(("empty".into(), Json::Bool(true)));
+        }
+    }
+    fields.push((
+        "added_filters".into(),
+        Json::Arr(delta.added_filters.iter().map(Json::str).collect()),
+    ));
+    fields.push((
+        "removed_filters".into(),
+        Json::Arr(delta.removed_filters.iter().map(Json::str).collect()),
+    ));
+    fields.push(("rows_added".into(), Json::Int(delta.rows_added as i64)));
+    fields.push(("rows_removed".into(), Json::Int(delta.rows_removed as i64)));
+    fields.push(("incremental".into(), Json::Bool(delta.incremental)));
+    fields.push(("cache_hits".into(), Json::Int(delta.cache_hits as i64)));
+    fields.push(("cache_misses".into(), Json::Int(delta.cache_misses as i64)));
+    fields
+}
+
+/// Render the projection value of one entity row (shared shape with the
+/// CLI's printer).
+fn projection_value(adb: &ADb, d: &Discovery, row: usize) -> Option<String> {
+    let table = adb.database.table(&d.entity_table).ok()?;
+    let ci = table.schema().column_index(&d.projection_column)?;
+    table.cell(row, ci).map(|v| v.to_string())
+}

@@ -1,0 +1,200 @@
+//! Protocol edge cases: malformed input must produce structured error
+//! replies — never a dead worker, and never a silently dropped byte — and
+//! concurrent turns against one session id must serialize.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use squid_adb::{test_fixtures, ADb};
+use squid_core::SessionManager;
+use squid_serve::{json, Client, ServeConfig, Server};
+
+fn start(cfg: ServeConfig) -> Server {
+    let adb = Arc::new(ADb::build(&test_fixtures::mini_imdb()).unwrap());
+    Server::start(Arc::new(SessionManager::new(adb)), cfg).unwrap()
+}
+
+fn raw_connect(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Send raw bytes (appending a newline) and read one response line.
+fn raw_round_trip(stream: &mut TcpStream, bytes: &[u8]) -> json::Json {
+    stream.write_all(bytes).unwrap();
+    stream.write_all(b"\n").unwrap();
+    read_line(stream)
+}
+
+fn read_line(stream: &mut TcpStream) -> json::Json {
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(!line.is_empty(), "server closed without replying");
+    json::parse(line.trim()).expect("response must be valid JSON")
+}
+
+fn error_code(resp: &json::Json) -> String {
+    assert_eq!(
+        resp.get("ok").and_then(json::Json::as_bool),
+        Some(false),
+        "expected an error response, got {resp}"
+    );
+    resp.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(json::Json::as_str)
+        .expect("error responses carry error.code")
+        .to_string()
+}
+
+/// Reading after the server closed must observe the close, not hang.
+/// Either a clean EOF or a reset counts: closing with unread bytes still
+/// queued (the tail of an oversized line) makes the kernel send RST.
+fn assert_closed(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(n) => assert_eq!(n, 0, "connection must be closed"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset),
+    }
+}
+
+#[test]
+fn bad_json_and_unknown_verb_keep_the_connection_alive() {
+    let server = start(ServeConfig::default());
+    let mut conn = raw_connect(&server);
+
+    let resp = raw_round_trip(&mut conn, b"this is not json");
+    assert_eq!(error_code(&resp), "bad_json");
+
+    let resp = raw_round_trip(&mut conn, br#"{"op":"frobnicate","id":7}"#);
+    assert_eq!(error_code(&resp), "unknown_verb");
+    assert_eq!(
+        resp.get("id").and_then(json::Json::as_i64),
+        Some(7),
+        "the request id must be salvaged into the error"
+    );
+
+    let resp = raw_round_trip(&mut conn, br#"{"op":"add","session":0}"#);
+    assert_eq!(error_code(&resp), "bad_request");
+
+    let resp = raw_round_trip(&mut conn, br#"{"op":"sql","session":999}"#);
+    assert_eq!(error_code(&resp), "unknown_session");
+
+    // After four straight protocol errors the same connection still works.
+    let resp = raw_round_trip(&mut conn, br#"{"op":"ping"}"#);
+    assert_eq!(resp.get("ok").and_then(json::Json::as_bool), Some(true));
+
+    server.shutdown();
+}
+
+#[test]
+fn oversized_line_gets_a_reply_then_close() {
+    let server = start(ServeConfig {
+        max_line_bytes: 1024,
+        ..ServeConfig::default()
+    });
+    let mut conn = raw_connect(&server);
+    // 8 KiB of garbage with no newline: the server must bail on the frame
+    // bound, not buffer forever.
+    let huge = vec![b'x'; 8 << 10];
+    conn.write_all(&huge).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let resp = read_line(&mut conn);
+    assert_eq!(error_code(&resp), "line_too_long");
+    assert_closed(&mut conn);
+
+    // The worker survived; a fresh connection is served.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn invalid_utf8_gets_a_reply_then_close() {
+    let server = start(ServeConfig::default());
+    let mut conn = raw_connect(&server);
+    let resp = raw_round_trip(&mut conn, &[0x7b, 0xff, 0xfe, 0x7d]);
+    assert_eq!(error_code(&resp), "invalid_utf8");
+    assert_closed(&mut conn);
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn half_closed_socket_mid_request_is_survivable() {
+    let server = start(ServeConfig::default());
+    let mut conn = raw_connect(&server);
+    // Half a request, never finished: the peer half-closes its write side
+    // with the line incomplete.
+    conn.write_all(br#"{"op":"ping""#).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    // No reply is owed for an unterminated line; the server just closes.
+    assert_closed(&mut conn);
+
+    // And keeps serving everyone else.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    let sid = client.create().unwrap();
+    client.add(sid, "Jim Carrey").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_turns_on_one_session_serialize() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut owner = Client::connect(addr).unwrap();
+    let sid = owner.create().unwrap();
+
+    // Eight connections, one shared session id, one add each: the
+    // per-session lock must serialize the turns into eight intact
+    // examples — no torn state, no lost update, no worker error.
+    let names = [
+        "Jim Carrey",
+        "Eddie Murphy",
+        "Robin Williams",
+        "Sylvester Stallone",
+        "Arnold Schwarzenegger",
+        "Ewan McGregor",
+        "Julia Roberts",
+        "Emma Stone",
+    ];
+    std::thread::scope(|scope| {
+        for name in names {
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.add(sid, name).unwrap();
+            });
+        }
+    });
+
+    let resp = owner
+        .request(&json::Json::obj([
+            ("op", json::Json::str("examples")),
+            ("session", json::Json::Int(sid as i64)),
+        ]))
+        .unwrap();
+    let mut got: Vec<String> = resp
+        .get("examples")
+        .and_then(json::Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| e.as_str().unwrap().to_string())
+        .collect();
+    got.sort();
+    let mut want: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+    want.sort();
+    assert_eq!(got, want);
+
+    // The session is still coherent: a discovery exists over all examples.
+    assert!(owner.sql(sid).unwrap().is_some());
+    let report = server.shutdown();
+    assert_eq!(report.metrics.turns, 8);
+    assert_eq!(report.metrics.protocol_errors, 0);
+}

@@ -59,7 +59,9 @@ flags:
                       or missing -> rebuild from generators and save)
   --journal <path>    journal session mutations; on start, recover the
                       sessions the journal holds (REPL mode)
-  --fsync <mode>      journal durability: always | flush (default) | never";
+  --fsync <mode>      journal durability: always | flush (default) | never
+  --no-shared-cache   disable the fleet-wide shared evaluation cache
+                      (REPL mode; `stats` then reports it as disabled)";
 
 const REPL_HELP: &str = "\
 session commands:
@@ -160,6 +162,7 @@ fn main() {
     let mut snapshot: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Flush;
+    let mut no_shared_cache = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -168,6 +171,7 @@ fn main() {
             "--optimistic" => params = SquidParams::optimistic(),
             "--repl" => repl = true,
             "--batch" => batch = true,
+            "--no-shared-cache" => no_shared_cache = true,
             "--snapshot" => {
                 snapshot = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| die("--snapshot needs a path")),
@@ -234,6 +238,7 @@ fn main() {
             snapshot,
             journal,
             fsync,
+            no_shared_cache,
         );
         return;
     }
@@ -326,6 +331,7 @@ fn pick_session(m: &SessionManager, batch: bool) -> SessionId {
 /// with the same flags replays the journal and resumes the newest session.
 /// In batch mode any failed command aborts with a non-zero exit and the
 /// failing input line number, so scripted runs (CI) catch rot.
+#[allow(clippy::too_many_arguments)]
 fn run_repl(
     adb: Arc<ADb>,
     params: SquidParams,
@@ -334,11 +340,15 @@ fn run_repl(
     snapshot: Option<PathBuf>,
     journal: Option<PathBuf>,
     fsync: FsyncPolicy,
+    no_shared_cache: bool,
 ) {
     // The manager is the production concurrency layer; a REPL drives a
     // fleet of one but stays on the same two-level cache and journaling
     // path a serving deployment uses.
     let mut manager = SessionManager::with_params(Arc::clone(&adb), params.clone());
+    if no_shared_cache {
+        manager = manager.without_shared_cache();
+    }
     if let Some(jp) = &journal {
         match manager.recover(jp, fsync) {
             Ok(st) => {
@@ -499,6 +509,10 @@ fn run_repl(
                         sh.peak_resident_bytes,
                         peak_of_peaks.unwrap_or(0),
                     );
+                } else {
+                    // Say so explicitly: silently printing nothing made
+                    // "disabled" indistinguishable from "broken".
+                    println!("shared cache: disabled");
                 }
                 if let Some(rs) = manager.recover_stats() {
                     println!(
