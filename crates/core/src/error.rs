@@ -49,6 +49,18 @@ pub enum SquidError {
         /// The session id.
         id: u64,
     },
+    /// A sequenced mutation skipped ahead of the session's cursor: the
+    /// client claims turns the server never saw, so applying it would
+    /// silently drop history. (At or below the cursor is a benign retry,
+    /// not an error.)
+    SequenceGap {
+        /// The session id.
+        id: u64,
+        /// The next sequence number the session would accept.
+        expected: u64,
+        /// The sequence number the caller sent.
+        got: u64,
+    },
     /// Underlying relational error.
     Relation(RelationError),
     /// An I/O failure in the durability layer (snapshot save/load, journal
@@ -91,6 +103,12 @@ impl fmt::Display for SquidError {
             }
             SquidError::UnknownSession { id } => {
                 write!(f, "unknown or expired session {id}")
+            }
+            SquidError::SequenceGap { id, expected, got } => {
+                write!(
+                    f,
+                    "session {id}: sequence gap (expected {expected}, got {got})"
+                )
             }
             SquidError::Relation(e) => write!(f, "relational error: {e}"),
             SquidError::Io(detail) => write!(f, "i/o error: {detail}"),

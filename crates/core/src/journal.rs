@@ -11,10 +11,20 @@
 //! ## Record format
 //!
 //! ```text
-//! +---------+-----------+------------------------------------+
-//! | len u32 | crc32 u32 | payload: session u64, op tag, args |
-//! +---------+-----------+------------------------------------+
+//! +---------+-----------+---------------------------------------------+
+//! | len u32 | crc32 u32 | payload: session u64, seq u64, op tag, args |
+//! +---------+-----------+---------------------------------------------+
 //! ```
+//!
+//! `seq` is the session's operation sequence number: every applied
+//! mutation bumps it by one. Replay skips any non-zero `seq` at or below
+//! the session's current cursor, which makes replay idempotent — the
+//! property that lets a compacted snapshot coexist with a live tail (see
+//! [`Journal::compact`]) and lets the serving frontend deduplicate
+//! retried client turns. Seq 0 is special: live-append lifecycle records
+//! (`Create`/`End`) carry it, and compaction writes its snapshot state
+//! ops at 0 so they apply unconditionally; a compacted `Create` instead
+//! carries the session's cursor, which replay restores.
 //!
 //! ## Write-ahead semantics, inverted
 //!
@@ -25,6 +35,18 @@
 //! bit-flipped tail record — the signature of dying mid-append — is
 //! detected by length/CRC and **truncated**, not treated as fatal:
 //! everything before the damage is recovered.
+//!
+//! ## Compaction
+//!
+//! Recovery time is proportional to journal length, which grows with
+//! *history*; the state worth recovering grows only with *live sessions*.
+//! [`Journal::compact`] closes that gap: it rewrites the file as one
+//! snapshot section — `Create` plus the minimal op sequence that rebuilds
+//! each live session ([`SquidSession::state_ops`]) — written to a temp
+//! file and atomically renamed over the old journal. A crash anywhere
+//! during compaction leaves the old journal untouched (the rename either
+//! happened completely or not at all), so torn compaction falls back to
+//! full replay, never to data loss.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -113,9 +135,10 @@ impl SessionOp {
         }
     }
 
-    fn encode(&self, session: SessionId) -> Vec<u8> {
+    fn encode(&self, session: SessionId, seq: u64) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u64(session);
+        w.put_u64(seq);
         match self {
             SessionOp::Create => w.put_u8(0),
             SessionOp::AddExample(v) => {
@@ -162,9 +185,10 @@ impl SessionOp {
         w.into_bytes()
     }
 
-    fn decode(payload: &[u8]) -> Result<(SessionId, SessionOp), FrameError> {
+    fn decode(payload: &[u8]) -> Result<(SessionId, u64, SessionOp), FrameError> {
         let mut r = ByteReader::new(payload, "journal record");
         let session = r.get_u64()?;
+        let seq = r.get_u64()?;
         let op = match r.get_u8()? {
             0 => SessionOp::Create,
             1 => SessionOp::AddExample(r.get_str()?),
@@ -192,7 +216,7 @@ impl SessionOp {
             }
         };
         r.expect_end()?;
-        Ok((session, op))
+        Ok((session, seq, op))
     }
 }
 
@@ -203,6 +227,8 @@ pub struct Journal {
     w: BufWriter<File>,
     policy: FsyncPolicy,
     path: PathBuf,
+    /// File length in bytes as of the last append (replay-debt metric).
+    bytes: u64,
 }
 
 impl Journal {
@@ -210,10 +236,29 @@ impl Journal {
     pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Journal, SquidError> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
         Ok(Journal {
             w: BufWriter::new(file),
             policy,
             path,
+            bytes,
+        })
+    }
+
+    /// Open `path` truncated to empty (the compaction temp-file path; the
+    /// appending open above never destroys records).
+    fn create(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Journal, SquidError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Journal {
+            w: BufWriter::new(file),
+            policy,
+            path,
+            bytes: 0,
         })
     }
 
@@ -222,13 +267,33 @@ impl Journal {
         &self.path
     }
 
+    /// The journal's fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Bytes written to the journal file so far (valid records only; a
+    /// freshly-opened journal starts from the existing file length).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
     /// Append one record and push it toward the disk per the fsync policy.
-    pub fn append(&mut self, session: SessionId, op: &SessionOp) -> Result<(), SquidError> {
-        let payload = op.encode(session);
+    /// `seq` is the session's operation sequence number after applying
+    /// `op` (0 for lifecycle records); replay skips records at or below a
+    /// session's current cursor.
+    pub fn append(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        op: &SessionOp,
+    ) -> Result<(), SquidError> {
+        let payload = op.encode(session, seq);
         debug_assert!(payload.len() as u32 <= MAX_RECORD);
         self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.w.write_all(&crc32(&payload).to_le_bytes())?;
         self.w.write_all(&payload)?;
+        self.bytes += 8 + payload.len() as u64;
         match self.policy {
             FsyncPolicy::Always => {
                 self.w.flush()?;
@@ -249,6 +314,83 @@ impl Journal {
         }
         Ok(())
     }
+
+    /// Rewrite the journal at `path` as a snapshot of the given live
+    /// sessions, returning a fresh appender over the compacted file. Each
+    /// entry is `(session id, op-sequence cursor, state ops)` — the
+    /// minimal op sequence that rebuilds the session plus the cursor its
+    /// replay must land on (see [`SquidSession::state_ops`] and
+    /// `SessionManager::compact_journal`).
+    ///
+    /// Crash-safe: the snapshot is written to a temp file, fsynced, and
+    /// atomically renamed over `path`. Dying at any point before the
+    /// rename leaves the old journal byte-identical (torn compaction
+    /// falls back to full replay); dying after it leaves the complete
+    /// compacted journal.
+    pub fn compact(
+        path: impl AsRef<Path>,
+        live: &[(SessionId, u64, Vec<SessionOp>)],
+        policy: FsyncPolicy,
+    ) -> Result<(Journal, CompactStats), SquidError> {
+        let path = path.as_ref();
+        let bytes_before = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let tmp = path.with_extension("compacting");
+        let mut snapshot = Journal::create(&tmp, policy)?;
+        let mut records_written = 0u64;
+        for (sid, cursor, ops) in live {
+            // The `Create` record carries the session's cursor, so replay
+            // restores it even when the state ops undercount history (an
+            // add that was later removed contributed two cursor bumps but
+            // zero state ops). State ops are written at seq 0 — the
+            // always-apply sequence — because the restored cursor would
+            // otherwise shadow them; a tail record appended after the
+            // snapshot was taken (seq > cursor) still replays, while a
+            // pre-snapshot append that raced compaction (seq <= cursor)
+            // is skipped.
+            snapshot.append(*sid, *cursor, &SessionOp::Create)?;
+            records_written += 1;
+            for op in ops {
+                snapshot.append(*sid, 0, op)?;
+                records_written += 1;
+            }
+        }
+        // The rename must never promote a half-written snapshot: force the
+        // temp file to disk first, regardless of the append-path policy.
+        snapshot.w.flush()?;
+        snapshot.w.get_ref().sync_data()?;
+        let bytes_after = snapshot.bytes;
+        drop(snapshot);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself (the directory entry) where possible.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let journal = Journal::open(path, policy)?;
+        let stats = CompactStats {
+            sessions: live.len(),
+            records_written,
+            bytes_before,
+            bytes_after,
+        };
+        Ok((journal, stats))
+    }
+}
+
+/// What one [`Journal::compact`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Live sessions snapshotted.
+    pub sessions: usize,
+    /// Records in the compacted journal (the snapshot section; the live
+    /// tail grows from here).
+    pub records_written: u64,
+    /// Journal bytes before compaction.
+    pub bytes_before: u64,
+    /// Journal bytes after compaction.
+    pub bytes_after: u64,
 }
 
 impl Drop for Journal {
@@ -261,8 +403,8 @@ impl Drop for Journal {
 /// much tail (if any) had to be abandoned as torn or corrupt.
 #[derive(Debug)]
 pub struct JournalReplay {
-    /// Decoded records in append order.
-    pub records: Vec<(SessionId, SessionOp)>,
+    /// Decoded `(session, seq, op)` records in append order.
+    pub records: Vec<(SessionId, u64, SessionOp)>,
     /// Byte length of the valid prefix.
     pub bytes_valid: u64,
     /// Bytes after the valid prefix (torn/corrupt tail, or zero).
@@ -339,28 +481,30 @@ mod tests {
         dir.join(name)
     }
 
-    fn sample_ops() -> Vec<(SessionId, SessionOp)> {
+    fn sample_ops() -> Vec<(SessionId, u64, SessionOp)> {
         vec![
-            (1, SessionOp::Create),
-            (1, SessionOp::AddExample("Jim Carrey".into())),
+            (1, 0, SessionOp::Create),
+            (1, 1, SessionOp::AddExample("Jim Carrey".into())),
             (
                 1,
+                2,
                 SessionOp::SetTarget {
                     table: "person".into(),
                     column: "name".into(),
                 },
             ),
-            (2, SessionOp::Create),
-            (1, SessionOp::PinFilter("gender = Male".into())),
+            (2, 0, SessionOp::Create),
+            (1, 3, SessionOp::PinFilter("gender = Male".into())),
             (
                 2,
+                1,
                 SessionOp::ChooseEntity {
                     example: "Titanic".into(),
                     pk: 7,
                 },
             ),
-            (1, SessionOp::ClearChoice("Titanic".into())),
-            (2, SessionOp::End),
+            (1, 4, SessionOp::ClearChoice("Titanic".into())),
+            (2, 0, SessionOp::End),
         ]
     }
 
@@ -369,8 +513,8 @@ mod tests {
         let path = tmp("round_trip.journal");
         std::fs::remove_file(&path).ok();
         let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
-        for (sid, op) in sample_ops() {
-            j.append(sid, &op).unwrap();
+        for (sid, seq, op) in sample_ops() {
+            j.append(sid, seq, &op).unwrap();
         }
         drop(j);
         let replay = read_journal(&path).unwrap();
@@ -385,8 +529,8 @@ mod tests {
         let path = tmp("torn.journal");
         std::fs::remove_file(&path).ok();
         let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
-        for (sid, op) in sample_ops() {
-            j.append(sid, &op).unwrap();
+        for (sid, seq, op) in sample_ops() {
+            j.append(sid, seq, &op).unwrap();
         }
         drop(j);
         let full = std::fs::read(&path).unwrap();
@@ -410,8 +554,8 @@ mod tests {
         let path = tmp("flip.journal");
         std::fs::remove_file(&path).ok();
         let mut j = Journal::open(&path, FsyncPolicy::Always).unwrap();
-        for (sid, op) in sample_ops() {
-            j.append(sid, &op).unwrap();
+        for (sid, seq, op) in sample_ops() {
+            j.append(sid, seq, &op).unwrap();
         }
         drop(j);
         let full = std::fs::read(&path).unwrap();
@@ -435,8 +579,8 @@ mod tests {
         let path = tmp("truncate.journal");
         std::fs::remove_file(&path).ok();
         let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
-        for (sid, op) in sample_ops() {
-            j.append(sid, &op).unwrap();
+        for (sid, seq, op) in sample_ops() {
+            j.append(sid, seq, &op).unwrap();
         }
         drop(j);
         // Simulate a torn append.

@@ -59,8 +59,10 @@ pub use context::{discover_contexts, ContextState};
 pub use disambiguate::{disambiguate, similarity_score};
 pub use error::SquidError;
 pub use filter::{CandidateFilter, FilterValue};
-pub use journal::{read_journal, FsyncPolicy, Journal, JournalReplay, SessionOp};
-pub use manager::{RecoverStats, SessionId, SessionManager, DEFAULT_SHARED_CACHE_BYTES};
+pub use journal::{read_journal, CompactStats, FsyncPolicy, Journal, JournalReplay, SessionOp};
+pub use manager::{
+    JournalStats, RecoverStats, SeqOutcome, SessionId, SessionManager, DEFAULT_SHARED_CACHE_BYTES,
+};
 pub use metrics::Accuracy;
 pub use params::SquidParams;
 pub use query_gen::{

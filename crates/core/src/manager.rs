@@ -38,7 +38,7 @@ use squid_adb::{ADb, SharedCacheStats, SharedFilterSetCache};
 use squid_relation::FxHashMap;
 
 use crate::error::SquidError;
-use crate::journal::{self, FsyncPolicy, Journal, SessionOp};
+use crate::journal::{self, CompactStats, FsyncPolicy, Journal, SessionOp};
 use crate::params::SquidParams;
 use crate::session::{DiscoveryDelta, SquidSession};
 
@@ -69,10 +69,59 @@ pub struct RecoverStats {
     /// CRC-valid records whose replay failed (e.g. they referenced a
     /// session evicted by an `End` later in real time); skipped.
     pub records_failed: u64,
+    /// Records skipped because their sequence number was already covered
+    /// by the session's cursor (duplicates from the compaction/append
+    /// race; replay is idempotent, so these are expected, not damage).
+    pub records_skipped: u64,
     /// Torn/corrupt tail bytes truncated from the journal.
     pub bytes_truncated: u64,
     /// Sessions live after replay (created and never ended).
     pub live_sessions: usize,
+}
+
+/// The attached journal plus its replay-debt bookkeeping (one mutex: the
+/// appender and the counters must move together).
+struct JournalState {
+    journal: Journal,
+    /// Records the current file began with (recovery replay prefix or the
+    /// last compaction snapshot) — an estimate of live-state size.
+    base_records: u64,
+    /// Records appended since open/recover/compaction: the replay tail
+    /// that full recovery would have to re-execute.
+    tail_records: u64,
+    /// Compactions performed over this journal's lifetime.
+    compactions: u64,
+    /// What the most recent compaction did.
+    last_compaction: Option<CompactStats>,
+}
+
+/// Point-in-time journal health for the `stats` surfaces (REPL and the
+/// serving `stats`/`health` verbs): how much replay debt has accumulated
+/// and what the last compaction bought.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalStats {
+    /// The journal file's path.
+    pub path: String,
+    /// Journal file size in bytes.
+    pub bytes: u64,
+    /// Records the file began with (snapshot/replay prefix).
+    pub base_records: u64,
+    /// Records appended since (the replay tail).
+    pub tail_records: u64,
+    /// Compactions performed so far.
+    pub compactions: u64,
+    /// What the most recent compaction did, if any.
+    pub last_compaction: Option<CompactStats>,
+}
+
+/// Outcome of a sequenced mutation ([`SessionManager::apply_op_at`]).
+#[derive(Debug)]
+pub enum SeqOutcome {
+    /// The operation was applied and journaled; carries the delta.
+    Applied(Option<DiscoveryDelta>),
+    /// The sequence number was at or below the session's cursor: the
+    /// operation was already applied (a retried turn) and was not re-run.
+    Duplicate,
 }
 
 /// Hosts many concurrent [`SquidSession`]s over one shared αDB (see the
@@ -89,8 +138,12 @@ pub struct SessionManager {
     shared_cache: Option<Arc<SharedFilterSetCache>>,
     /// Per-session local evaluation-cache byte bound (`None` = unbounded).
     session_cache_bytes: Option<usize>,
-    /// Append-only durability journal (`None` until attached/recovered).
-    journal: Mutex<Option<Journal>>,
+    /// Append-only durability journal plus its replay-debt counters
+    /// (`None` until attached/recovered).
+    journal: Mutex<Option<JournalState>>,
+    /// Auto-compaction floor: compact once the appended tail reaches
+    /// `max(this, base_records)` records (`None` = manual only).
+    auto_compact: Option<u64>,
     /// What the last [`SessionManager::recover`] call did.
     recover_stats: Mutex<Option<RecoverStats>>,
     /// Journal appends that failed on the best-effort create/end paths.
@@ -132,6 +185,7 @@ impl SessionManager {
             shared_cache,
             session_cache_bytes: None,
             journal: Mutex::new(None),
+            auto_compact: None,
             recover_stats: Mutex::new(None),
             journal_write_errors: AtomicU64::new(0),
         }
@@ -141,6 +195,16 @@ impl SessionManager {
     /// by [`evict_expired`](Self::evict_expired)).
     pub fn with_ttl(mut self, ttl: Duration) -> SessionManager {
         self.ttl = Some(ttl);
+        self
+    }
+
+    /// Auto-compact the journal once the appended tail reaches
+    /// `max(min_tail, base_records)` records — i.e. when replaying the
+    /// tail would cost at least as much as replaying the last snapshot,
+    /// and at least `min_tail` either way. Doubling-style trigger, so
+    /// compaction work is amortized O(1) per append.
+    pub fn with_auto_compact(mut self, min_tail: u64) -> SessionManager {
+        self.auto_compact = Some(min_tail.max(1));
         self
     }
 
@@ -213,7 +277,7 @@ impl SessionManager {
         // Best-effort journaling on the infallible create path; failures
         // are counted (surfaced via `journal_write_errors`) and the next
         // fallible `apply_op` on this journal will report the condition.
-        if self.journal_append(id, &SessionOp::Create).is_err() {
+        if self.journal_append(id, 0, &SessionOp::Create).is_err() {
             self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
         }
         id
@@ -318,7 +382,7 @@ impl SessionManager {
         if !existed {
             return Err(SquidError::UnknownSession { id });
         }
-        self.journal_append(id, &SessionOp::End)
+        self.journal_append(id, 0, &SessionOp::End).map(|_| ())
     }
 
     /// Sweep every shard, removing sessions idle past the TTL. Returns the
@@ -396,7 +460,20 @@ impl SessionManager {
     /// recorded so a crashed fleet can be resurrected with
     /// [`SessionManager::recover`].
     pub fn attach_journal(&self, journal: Journal) {
-        *recover_guard(self.journal.lock()) = Some(journal);
+        self.attach_journal_with_base(journal, 0);
+    }
+
+    /// Attach with a known base-record count (the recovery replay prefix
+    /// or a compaction snapshot) so the auto-compaction trigger sees how
+    /// much live state the file already encodes.
+    fn attach_journal_with_base(&self, journal: Journal, base_records: u64) {
+        *recover_guard(self.journal.lock()) = Some(JournalState {
+            journal,
+            base_records,
+            tail_records: 0,
+            compactions: 0,
+            last_compaction: None,
+        });
     }
 
     /// Whether a journal is attached.
@@ -407,7 +484,7 @@ impl SessionManager {
     /// Flush (and under [`FsyncPolicy::Always`], sync) the journal.
     pub fn journal_sync(&self) -> Result<(), SquidError> {
         match recover_guard(self.journal.lock()).as_mut() {
-            Some(j) => j.sync(),
+            Some(state) => state.journal.sync(),
             None => Ok(()),
         }
     }
@@ -417,17 +494,55 @@ impl SessionManager {
         self.journal_write_errors.load(Ordering::Relaxed)
     }
 
-    fn journal_append(&self, id: SessionId, op: &SessionOp) -> Result<(), SquidError> {
+    /// Journal health for the `stats`/`health` surfaces: file size, base
+    /// vs tail record counts (replay debt), and compaction history.
+    /// `None` when no journal is attached.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        recover_guard(self.journal.lock())
+            .as_ref()
+            .map(|state| JournalStats {
+                path: state.journal.path().display().to_string(),
+                bytes: state.journal.bytes(),
+                base_records: state.base_records,
+                tail_records: state.tail_records,
+                compactions: state.compactions,
+                last_compaction: state.last_compaction,
+            })
+    }
+
+    /// Append one record; returns whether the auto-compaction threshold
+    /// was crossed by this append.
+    fn journal_append(&self, id: SessionId, seq: u64, op: &SessionOp) -> Result<bool, SquidError> {
         match recover_guard(self.journal.lock()).as_mut() {
-            Some(j) => j.append(id, op),
-            None => Ok(()),
+            Some(state) => {
+                state.journal.append(id, seq, op)?;
+                state.tail_records += 1;
+                Ok(self
+                    .auto_compact
+                    .is_some_and(|min| state.tail_records >= min.max(state.base_records)))
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Run the auto-compaction a threshold-crossing append asked for. The
+    /// triggering turn already succeeded and is durable, so a compaction
+    /// failure must not fail it — the old journal is intact (compaction is
+    /// temp+rename), and the error is counted like other best-effort
+    /// journal maintenance failures.
+    fn autocompact(&self) {
+        if self.compact_journal().is_err() {
+            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Apply one session-mutating operation *and* journal it. The record
     /// is appended only after the operation succeeds (mutators are
     /// rollback-on-error), so the journal always holds exactly the
-    /// successful history — replaying it is deterministic.
+    /// successful history — replaying it is deterministic. Each applied
+    /// record advances the session's sequence cursor, which is what makes
+    /// journal replay (and client retries via
+    /// [`SessionManager::apply_op_at`]) idempotent.
     ///
     /// Lifecycle ops are not applicable here: use
     /// [`SessionManager::create_session`] / [`SessionManager::end_session`],
@@ -437,9 +552,101 @@ impl SessionManager {
         id: SessionId,
         op: &SessionOp,
     ) -> Result<Option<DiscoveryDelta>, SquidError> {
-        let delta = self.with_session(id, |s| op.apply(s))?;
-        self.journal_append(id, op)?;
+        let (delta, seq) = self.with_session(id, |s| {
+            let delta = op.apply(s)?;
+            let seq = s.op_seq() + 1;
+            s.advance_op_seq(seq);
+            Ok((delta, seq))
+        })?;
+        if self.journal_append(id, seq, op)? {
+            self.autocompact();
+        }
         Ok(delta)
+    }
+
+    /// Apply a client-sequenced mutation exactly once. `seq` is the
+    /// client's per-session turn number (1-based, contiguous): at or below
+    /// the session's cursor the turn was already applied — a retry of an
+    /// acknowledged request — and is reported as
+    /// [`SeqOutcome::Duplicate`] without re-running anything; exactly
+    /// `cursor + 1` applies and journals like
+    /// [`SessionManager::apply_op`]; anything further ahead is a
+    /// [`SquidError::SequenceGap`] (the client claims turns the server
+    /// never saw).
+    pub fn apply_op_at(
+        &self,
+        id: SessionId,
+        seq: u64,
+        op: &SessionOp,
+    ) -> Result<SeqOutcome, SquidError> {
+        enum Step {
+            Applied(Option<DiscoveryDelta>),
+            Duplicate,
+        }
+        let step = self.with_session(id, |s| {
+            let cur = s.op_seq();
+            if seq <= cur {
+                return Ok(Step::Duplicate);
+            }
+            if seq != cur + 1 {
+                return Err(SquidError::SequenceGap {
+                    id,
+                    expected: cur + 1,
+                    got: seq,
+                });
+            }
+            let delta = op.apply(s)?;
+            s.advance_op_seq(seq);
+            Ok(Step::Applied(delta))
+        })?;
+        match step {
+            Step::Duplicate => Ok(SeqOutcome::Duplicate),
+            Step::Applied(delta) => {
+                if self.journal_append(id, seq, op)? {
+                    self.autocompact();
+                }
+                Ok(SeqOutcome::Applied(delta))
+            }
+        }
+    }
+
+    /// Rewrite the journal as a snapshot of the live sessions, discarding
+    /// replayed-over history (removed examples, ended sessions, superseded
+    /// targets) so recovery time is bounded by live state, not by session
+    /// age. Crash-safe: the snapshot is written to a temp file, fsynced,
+    /// and renamed over the old journal — a crash mid-compaction recovers
+    /// from whichever complete file the rename left behind.
+    ///
+    /// Concurrency: the journal lock is held for the whole rewrite, so
+    /// mutations that race the snapshot block at the append and land in
+    /// the *new* journal. A mutation applied before its session was
+    /// snapshotted is then recorded twice (in the snapshot's state and as
+    /// a tail record), which sequence-cursor replay dedupes — see the
+    /// journal module docs.
+    ///
+    /// Returns `None` when no journal is attached.
+    pub fn compact_journal(&self) -> Result<Option<CompactStats>, SquidError> {
+        let mut guard = recover_guard(self.journal.lock());
+        let Some(state) = guard.as_mut() else {
+            return Ok(None);
+        };
+        let path = state.journal.path().to_path_buf();
+        let policy = state.journal.policy();
+        let mut live: Vec<(SessionId, u64, Vec<SessionOp>)> = Vec::new();
+        for id in self.session_ids() {
+            // A session closed/evicted between the listing and the lock is
+            // simply not live anymore; skip it.
+            if let Ok(snap) = self.with_session(id, |s| Ok((s.op_seq(), s.state_ops()))) {
+                live.push((id, snap.0, snap.1));
+            }
+        }
+        let (journal, stats) = Journal::compact(&path, &live, policy)?;
+        state.journal = journal;
+        state.base_records = stats.records_written;
+        state.tail_records = 0;
+        state.compactions += 1;
+        state.last_compaction = Some(stats);
+        Ok(Some(stats))
     }
 
     /// Rebuild session state by replaying the journal at `path`, then
@@ -467,20 +674,46 @@ impl SessionManager {
             ..RecoverStats::default()
         };
         let mut max_id = 0;
-        for (sid, op) in &replay.records {
+        for (sid, seq, op) in &replay.records {
             max_id = max_id.max(*sid);
             match op {
                 SessionOp::Create => {
-                    self.install_session(*sid, self.params.clone());
-                    stats.sessions_replayed += 1;
-                    stats.records_applied += 1;
+                    // A duplicate Create (the session was live across a
+                    // compaction that raced its create-append) must not
+                    // reinstall — that would wipe the replayed state.
+                    if recover_guard(self.shard(*sid).read()).contains_key(sid) {
+                        stats.records_skipped += 1;
+                    } else {
+                        self.install_session(*sid, self.params.clone());
+                        // A compacted Create carries the session's
+                        // pre-compaction cursor (live-append Creates
+                        // carry 0); restore it so retried client turns
+                        // keep deduping across compaction + crash.
+                        let _ = self.with_session(*sid, |s| {
+                            s.advance_op_seq(*seq);
+                            Ok(())
+                        });
+                        stats.sessions_replayed += 1;
+                        stats.records_applied += 1;
+                    }
                 }
                 SessionOp::End => {
                     recover_guard(self.shard(*sid).write()).remove(sid);
                     stats.records_applied += 1;
                 }
-                _ => match self.with_session(*sid, |s| op.apply(s)) {
-                    Ok(_) => stats.records_applied += 1,
+                _ => match self.with_session(*sid, |s| {
+                    // The cursor makes replay idempotent: a record whose
+                    // sequence the session has already absorbed (the
+                    // compaction/append race) is skipped, not re-applied.
+                    if *seq != 0 && *seq <= s.op_seq() {
+                        return Ok(false);
+                    }
+                    op.apply(s)?;
+                    s.advance_op_seq(*seq);
+                    Ok(true)
+                }) {
+                    Ok(true) => stats.records_applied += 1,
+                    Ok(false) => stats.records_skipped += 1,
                     Err(_) => stats.records_failed += 1,
                 },
             }
@@ -490,7 +723,7 @@ impl SessionManager {
         // Drop the damaged tail on disk before appending after it, so the
         // journal never contains valid records behind a corrupt region.
         journal::truncate_to_valid(path, replay.bytes_valid)?;
-        self.attach_journal(Journal::open(path, policy)?);
+        self.attach_journal_with_base(Journal::open(path, policy)?, replay.records.len() as u64);
         stats.live_sessions = self.len();
         *recover_guard(self.recover_stats.lock()) = Some(stats);
         Ok(stats)
@@ -793,6 +1026,140 @@ mod tests {
         drop(b);
         let replay = crate::journal::read_journal(&path).unwrap();
         assert_eq!(replay.bytes_truncated, 0, "tail truncated before reopen");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_the_journal() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("compact.journal");
+        std::fs::remove_file(&path).ok();
+
+        let a = SessionManager::new(Arc::clone(&adb));
+        a.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let s1 = a.create_session();
+        // Churn: adds and removes whose history dwarfs the live state.
+        for _ in 0..10 {
+            a.apply_op(s1, &SessionOp::AddExample("Julia Roberts".into()))
+                .unwrap();
+            a.apply_op(s1, &SessionOp::RemoveExample("Julia Roberts".into()))
+                .unwrap();
+        }
+        a.apply_op(s1, &SessionOp::AddExample("Jim Carrey".into()))
+            .unwrap();
+        a.apply_op(s1, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap();
+        let dead = a.create_session();
+        a.end_session(dead);
+        let sql_before = a
+            .with_session(s1, |s| Ok(s.discovery().unwrap().sql()))
+            .unwrap();
+        let cursor_before = a.with_session(s1, |s| Ok(s.op_seq())).unwrap();
+
+        let stats = a.compact_journal().unwrap().expect("journal attached");
+        assert_eq!(stats.sessions, 1, "only the live session is snapshotted");
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "churn history must be discarded: {stats:?}"
+        );
+        let jstats = a.journal_stats().unwrap();
+        assert_eq!(jstats.compactions, 1);
+        assert_eq!(jstats.tail_records, 0);
+        assert_eq!(jstats.last_compaction, Some(stats));
+
+        // The cursor survives compaction, so client retries of
+        // pre-compaction turns still dedupe.
+        assert_eq!(
+            a.with_session(s1, |s| Ok(s.op_seq())).unwrap(),
+            cursor_before
+        );
+
+        // Appends continue into the compacted journal...
+        let pinned = a
+            .apply_op(s1, &SessionOp::PinFilter("person:gender".into()))
+            .is_ok();
+        let sql_live = a
+            .with_session(s1, |s| Ok(s.discovery().unwrap().sql()))
+            .unwrap();
+        a.journal_sync().unwrap();
+        drop(a);
+
+        // ...and recovery from the compacted journal is diff-identical.
+        let b = SessionManager::new(Arc::clone(&adb));
+        let rstats = b.recover(&path, FsyncPolicy::Flush).unwrap();
+        assert_eq!(rstats.live_sessions, 1);
+        assert_eq!(rstats.records_failed, 0);
+        let sql_after = b
+            .with_session(s1, |s| Ok(s.discovery().unwrap().sql()))
+            .unwrap();
+        assert_eq!(sql_after, sql_live);
+        assert_eq!(
+            b.with_session(s1, |s| Ok(s.op_seq())).unwrap(),
+            cursor_before + u64::from(pinned)
+        );
+        let _ = sql_before;
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequenced_ops_dedupe_retries_and_reject_gaps() {
+        let m = manager();
+        let id = m.create_session();
+        let op = SessionOp::AddExample("Jim Carrey".into());
+        assert!(matches!(
+            m.apply_op_at(id, 1, &op).unwrap(),
+            SeqOutcome::Applied(_)
+        ));
+        // A retry of an acknowledged turn is absorbed, not re-applied.
+        assert!(matches!(
+            m.apply_op_at(id, 1, &op).unwrap(),
+            SeqOutcome::Duplicate
+        ));
+        let examples = m.with_session(id, |s| Ok(s.examples().len())).unwrap();
+        assert_eq!(examples, 1, "duplicate must not add the example twice");
+        // Skipping ahead claims turns the server never saw.
+        let err = m
+            .apply_op_at(id, 5, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SquidError::SequenceGap {
+                expected: 2,
+                got: 5,
+                ..
+            }
+        ));
+        // Unsequenced and sequenced ops share one cursor.
+        m.apply_op(id, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap();
+        assert!(matches!(
+            m.apply_op_at(id, 3, &SessionOp::AddExample("Robin Williams".into()))
+                .unwrap(),
+            SeqOutcome::Applied(_)
+        ));
+        assert_eq!(m.with_session(id, |s| Ok(s.op_seq())).unwrap(), 3);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_when_the_tail_dwarfs_live_state() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("autocompact.journal");
+        std::fs::remove_file(&path).ok();
+        let m = SessionManager::new(adb).with_auto_compact(8);
+        m.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let id = m.create_session();
+        for _ in 0..6 {
+            m.apply_op(id, &SessionOp::AddExample("Jim Carrey".into()))
+                .unwrap();
+            m.apply_op(id, &SessionOp::RemoveExample("Jim Carrey".into()))
+                .unwrap();
+        }
+        let stats = m.journal_stats().unwrap();
+        assert!(
+            stats.compactions >= 1,
+            "12 churn appends past a floor of 8 must have compacted: {stats:?}"
+        );
+        assert_eq!(m.journal_write_errors(), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -45,6 +45,7 @@ use crate::context::ContextState;
 use crate::disambiguate::{disambiguate, similarity_score};
 use crate::error::SquidError;
 use crate::filter::CandidateFilter;
+use crate::journal::SessionOp;
 use crate::params::SquidParams;
 use crate::query_gen::{adb_query, evaluate, filter_fingerprint, original_query};
 use crate::recommend::{recommend_examples, Recommendation, DEFAULT_MIN_UNCERTAINTY};
@@ -182,6 +183,11 @@ pub struct SquidSession<'a> {
     /// ([`Squid::discover`](crate::Squid::discover)) disable it: admitting
     /// bitmaps a discarded session will never reuse is pure overhead.
     eval_cache: bool,
+    /// Monotonic count of applied journaled operations — the replay-dedupe
+    /// cursor maintained by [`SessionManager`](crate::SessionManager):
+    /// journal records carry it so replay (and retried serving turns) can
+    /// skip operations already folded into this state.
+    op_seq: u64,
 }
 
 impl<'a> SquidSession<'a> {
@@ -215,6 +221,7 @@ impl<'a> SquidSession<'a> {
             cache,
             last_scored: None,
             eval_cache: true,
+            op_seq: 0,
         }
     }
 
@@ -246,6 +253,65 @@ impl<'a> SquidSession<'a> {
     /// The most recent discovery, if the session has examples.
     pub fn discovery(&self) -> Option<&Discovery> {
         self.last.as_deref()
+    }
+
+    /// The session's operation sequence number: how many journaled
+    /// mutations this state is the product of (the replay-dedupe cursor).
+    pub fn op_seq(&self) -> u64 {
+        self.op_seq
+    }
+
+    /// Move the operation cursor forward (replay installs the journaled
+    /// seq; live mutation paths use `seq = op_seq() + 1`). Backward moves
+    /// are ignored — the cursor is monotonic by construction.
+    pub fn advance_op_seq(&mut self, seq: u64) {
+        self.op_seq = self.op_seq.max(seq);
+    }
+
+    /// The minimal operation sequence that rebuilds this session's logical
+    /// state from scratch: the journal-compaction snapshot form. Replaying
+    /// the returned ops against a fresh session on the same αDB lands on
+    /// the same discovery (mutators are deterministic), in far fewer steps
+    /// than the add/remove/pin churn that produced it.
+    ///
+    /// Order matters: a fixed target is restored first (so example adds
+    /// resolve against it exactly as live adds did), then examples in
+    /// insertion order with their disambiguation choices, then pins and
+    /// bans (whose vectors already reflect net pin/ban/unpin history).
+    pub fn state_ops(&self) -> Vec<SessionOp> {
+        let mut ops =
+            Vec::with_capacity(1 + 2 * self.examples.len() + self.pinned.len() + self.banned.len());
+        if let TargetState::Fixed { table, column } = &self.target {
+            // The journal op carries the column *name*; map the index back.
+            if let Some(name) = self
+                .adb
+                .database
+                .table(table)
+                .ok()
+                .and_then(|t| t.schema().columns.get(*column).map(|c| c.name.clone()))
+            {
+                ops.push(SessionOp::SetTarget {
+                    table: table.clone(),
+                    column: name,
+                });
+            }
+        }
+        for ex in &self.examples {
+            ops.push(SessionOp::AddExample(ex.text.clone()));
+            if let Some(pk) = ex.chosen_pk {
+                ops.push(SessionOp::ChooseEntity {
+                    example: ex.text.clone(),
+                    pk,
+                });
+            }
+        }
+        for key in &self.pinned {
+            ops.push(SessionOp::PinFilter(key.clone()));
+        }
+        for key in &self.banned {
+            ops.push(SessionOp::BanFilter(key.clone()));
+        }
+        ops
     }
 
     /// Counters of the session's cross-turn evaluation cache: lifetime

@@ -38,13 +38,16 @@ use squid_datasets::{
 };
 use squid_relation::Database;
 use squid_serve::json::Json;
-use squid_serve::{Client, LoadConfig, LoadTurn, ServeConfig, Server};
+use squid_serve::{
+    run_chaos, ChaosConfig, LoadConfig, LoadTurn, RateLimit, RetryClient, ServeConfig, Server,
+};
 
 const USAGE: &str = "\
 usage: squid-serve [flags] <dataset>                 serve a session fleet
        squid-serve --client <addr>                   scripted client (stdin)
        squid-serve --loadgen <addr> [load flags]     load generator (stdin)
-datasets: imdb | dblp | adult
+       squid-serve --chaos [chaos flags]             SIGKILL-loop chaos smoke
+datasets: imdb | dblp | adult | mini
 server flags:
   --addr <host:port>   bind address (default 127.0.0.1:0; port printed)
   --workers <n>        worker threads = concurrent connections (default 8)
@@ -58,10 +61,17 @@ server flags:
   --exit-snapshot <p>  also save an αDB snapshot during graceful shutdown
   --journal <path>     journal session mutations; recover on start
   --fsync <mode>       journal durability: always | flush (default) | never
+  --auto-compact <n>   compact the journal when its replay tail exceeds
+                       max(n, records at startup) (default: off)
+  --rate-limit <r[:b]> per-session token bucket: r turns/sec, burst b
+                       (default burst = 2r; refusals carry retry_after_ms)
   --normalized         normalized association strength (case-study mode)
 load flags:
   --clients <n>        concurrent client threads (default 8)
-  --sessions <n>       sessions per client (default 2)";
+  --sessions <n>       sessions per client (default 2)
+chaos flags:
+  --kills <n>          SIGKILL -> restart cycles (default 5)
+  --clients <n>        concurrent retrying clients (default 8)";
 
 fn die<T>(msg: &str) -> T {
     eprintln!("{msg}");
@@ -112,6 +122,9 @@ fn build_dataset(name: &str) -> Option<Database> {
         "imdb" => Some(generate_imdb(&ImdbConfig::default())),
         "dblp" => Some(generate_dblp(&DblpConfig::default())),
         "adult" => Some(generate_adult(&AdultConfig::default())),
+        // The tiny test fixture: instant αDB builds, which is what lets
+        // the chaos harness restart the server many times per run.
+        "mini" => Some(squid_adb::test_fixtures::mini_imdb()),
         _ => None,
     }
 }
@@ -154,11 +167,14 @@ fn main() {
     let mut params = SquidParams::default();
     let mut client_addr: Option<String> = None;
     let mut loadgen_addr: Option<String> = None;
+    let mut chaos_mode = false;
+    let mut kills = 5u32;
     let mut clients = 8usize;
     let mut sessions = 2usize;
     let mut snapshot: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Flush;
+    let mut auto_compact: Option<u64> = None;
     let mut ttl: Option<Duration> = None;
     let mut no_shared_cache = false;
     let mut positional: Vec<String> = Vec::new();
@@ -221,6 +237,27 @@ fn main() {
                     _ => die("--fsync needs one of: always | flush | never"),
                 }
             }
+            "--auto-compact" => auto_compact = Some(next_num(&mut it, "--auto-compact")),
+            "--rate-limit" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| die("--rate-limit needs r or r:b"));
+                let (r, b) = match spec.split_once(':') {
+                    Some((r, b)) => (r.parse::<f64>().ok(), b.parse::<f64>().ok()),
+                    None => {
+                        let r = spec.parse::<f64>().ok();
+                        (r, r.map(|r| r * 2.0))
+                    }
+                };
+                match (r, b) {
+                    (Some(per_sec), Some(burst)) if per_sec > 0.0 && burst >= 1.0 => {
+                        cfg.rate_limit = Some(RateLimit { per_sec, burst })
+                    }
+                    _ => die("--rate-limit needs r > 0 (turns/sec), burst >= 1"),
+                }
+            }
+            "--chaos" => chaos_mode = true,
+            "--kills" => kills = next_num(&mut it, "--kills") as u32,
             "--normalized" => params = SquidParams::normalized(),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -230,6 +267,26 @@ fn main() {
         }
     }
 
+    if chaos_mode {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| die(&format!("cannot locate own binary: {e}")));
+        let cfg = ChaosConfig {
+            server_cmd: vec![exe.display().to_string(), "mini".into()],
+            clients,
+            kills,
+            ..ChaosConfig::default()
+        };
+        match run_chaos(&cfg) {
+            Ok(report) => {
+                println!("{}", report.summary());
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => die(&format!("chaos run failed: {e}")),
+        }
+        return;
+    }
     if let Some(addr) = client_addr {
         run_client(&addr);
         return;
@@ -250,6 +307,9 @@ fn main() {
     }
     if let Some(ttl) = ttl {
         manager = manager.with_ttl(ttl);
+    }
+    if let Some(floor) = auto_compact {
+        manager = manager.with_auto_compact(floor);
     }
     let manager = Arc::new(manager);
     if let Some(jp) = &journal {
@@ -308,73 +368,81 @@ fn main() {
     );
 }
 
-/// Translate one REPL-grammar command line into a protocol request body.
-/// `current` is the session the script is driving (set by `create`).
-fn command_to_request(line: &str, current: Option<u64>) -> Result<Json, String> {
+/// Which path a scripted command takes through the retry client.
+enum CommandKind {
+    /// No session addressed (or fleet-wide).
+    Fleet,
+    /// Session-scoped read — retried but not sequence-numbered.
+    Read,
+    /// Session-scoped mutation — sequence-numbered, so a retry after a
+    /// lost acknowledgement dedupes instead of double-applying.
+    Turn,
+}
+
+/// A parsed command line: the wire verb, its fields (minus
+/// `session`/`seq`, which the retry client injects), and which path it
+/// takes.
+type ParsedCommand<'a> = (&'a str, Vec<(&'static str, Json)>, CommandKind);
+
+/// Translate one REPL-grammar command line into its wire form.
+/// `has_session` is whether the script is driving one.
+fn command_parts(line: &str, has_session: bool) -> Result<ParsedCommand<'_>, String> {
     let (cmd, rest) = match line.split_once(char::is_whitespace) {
         Some((c, r)) => (c, r.trim()),
         None => (line, ""),
     };
-    let sid = || -> Result<Json, String> {
-        current
-            .map(|s| Json::Int(s as i64))
-            .ok_or_else(|| "no session yet — `create` first".to_string())
-    };
-    let obj = |fields: Vec<(&'static str, Json)>| {
-        let mut members = vec![("op", Json::str(cmd))];
-        members.extend(fields);
-        Ok(Json::obj(members))
-    };
+    use CommandKind::*;
+    let parts = |fields, kind| Ok((cmd, fields, kind));
     match cmd {
-        "ping" | "create" | "shutdown" => obj(vec![]),
-        "stats" => match current {
-            Some(_) => obj(vec![("session", sid()?)]),
-            None => obj(vec![]),
-        },
-        "add" | "remove" => obj(vec![("session", sid()?), ("value", Json::str(rest))]),
-        "pin" | "ban" | "unpin" | "unban" => {
-            obj(vec![("session", sid()?), ("key", Json::str(rest))])
+        "ping" | "create" | "shutdown" | "health" => parts(vec![], Fleet),
+        "stats" => {
+            if has_session {
+                parts(vec![], Read)
+            } else {
+                parts(vec![], Fleet)
+            }
         }
+        "add" | "remove" => parts(vec![("value", Json::str(rest))], Turn),
+        "pin" | "ban" | "unpin" | "unban" => parts(vec![("key", Json::str(rest))], Turn),
         "target" => match rest.split_once(char::is_whitespace) {
-            Some((tbl, col)) => obj(vec![
-                ("session", sid()?),
-                ("table", Json::str(tbl.trim())),
-                ("column", Json::str(col.trim())),
-            ]),
+            Some((tbl, col)) => parts(
+                vec![
+                    ("table", Json::str(tbl.trim())),
+                    ("column", Json::str(col.trim())),
+                ],
+                Turn,
+            ),
             None => Err("usage: target <table> <column>".into()),
         },
-        "auto" | "sql" | "examples" | "close" => obj(vec![("session", sid()?)]),
+        "auto" => parts(vec![], Turn),
+        "sql" | "examples" | "close" => parts(vec![], Read),
         "choose" => match rest.split_once(char::is_whitespace) {
             Some((pk, example)) => match pk.trim().parse::<i64>() {
-                Ok(pk) => obj(vec![
-                    ("session", sid()?),
-                    ("example", Json::str(example.trim())),
-                    ("pk", Json::Int(pk)),
-                ]),
+                Ok(pk) => parts(
+                    vec![
+                        ("example", Json::str(example.trim())),
+                        ("pk", Json::Int(pk)),
+                    ],
+                    Turn,
+                ),
                 Err(_) => Err("usage: choose <pk> <example>".into()),
             },
             None => Err("usage: choose <pk> <example>".into()),
         },
-        "unchoose" => obj(vec![("session", sid()?), ("example", Json::str(rest))]),
-        "suggest" => obj(vec![
-            ("session", sid()?),
-            ("k", Json::Int(rest.parse().unwrap_or(3))),
-        ]),
-        "rows" => obj(vec![
-            ("session", sid()?),
-            ("limit", Json::Int(rest.parse().unwrap_or(10))),
-        ]),
+        "unchoose" => parts(vec![("example", Json::str(rest))], Turn),
+        "suggest" => parts(vec![("k", Json::Int(rest.parse().unwrap_or(3)))], Read),
+        "rows" => parts(vec![("limit", Json::Int(rest.parse().unwrap_or(10)))], Read),
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
 /// Scripted client: stdin commands → protocol requests → raw JSON
 /// response lines on stdout; non-zero exit on the first error response.
+/// Rides through restarts: requests retry with backoff, reconnects are
+/// automatic, and `session <id>` re-adopts a recovered session (syncing
+/// the turn cursor so further mutations keep deduping).
 fn run_client(addr: &str) {
-    let mut client = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(e) => die(&format!("connect to {addr} failed: {e}")),
-    };
+    let mut client = RetryClient::new(addr.to_string());
     let mut current: Option<u64> = None;
     let stdin = std::io::stdin();
     let mut line_no = 0usize;
@@ -389,32 +457,60 @@ fn run_client(addr: &str) {
             break;
         }
         // Client-local: re-address an existing session (e.g. one that a
-        // restarted server just recovered from its journal).
+        // restarted server just recovered from its journal), resuming
+        // its turn numbering from the server's cursor.
         if let Some(rest) = line.strip_prefix("session ") {
             match rest.trim().parse::<u64>() {
-                Ok(sid) => {
-                    current = Some(sid);
-                    continue;
-                }
+                Ok(sid) => match client.adopt(sid) {
+                    Ok(cursor) => {
+                        eprintln!("session {sid} adopted at turn {cursor}");
+                        current = Some(sid);
+                        continue;
+                    }
+                    Err(e) => die(&format!("line {line_no}: adopt {sid}: {e}")),
+                },
                 Err(_) => die(&format!("line {line_no}: usage: session <id>")),
             }
         }
-        let body = match command_to_request(line, current) {
-            Ok(b) => b,
+        let (cmd, fields, kind) = match command_parts(line, current.is_some()) {
+            Ok(p) => p,
             Err(msg) => die(&format!("line {line_no}: {msg}")),
         };
-        let resp = match client.round_trip(&body) {
+        let sid = |current: Option<u64>| -> u64 {
+            current
+                .unwrap_or_else(|| die(&format!("line {line_no}: no session yet — `create` first")))
+        };
+        let result = match kind {
+            CommandKind::Fleet => {
+                let mut members = vec![("op", Json::str(cmd))];
+                members.extend(fields);
+                client.call(&Json::obj(members))
+            }
+            CommandKind::Read => {
+                let mut members = vec![
+                    ("op", Json::str(cmd)),
+                    ("session", Json::Int(sid(current) as i64)),
+                ];
+                members.extend(fields);
+                client.call(&Json::obj(members))
+            }
+            CommandKind::Turn => client.turn(sid(current), cmd, fields),
+        };
+        let resp = match result {
             Ok(r) => r,
-            Err(e) => die(&format!("line {line_no}: {e}")),
+            Err(e) => die(&format!("line {line_no}: command {line:?} failed: {e}")),
         };
         println!("{}", resp.encode());
-        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
-            die::<()>(&format!("line {line_no}: command {line:?} failed: {resp}"));
-            return;
-        }
         if let Some(sid) = resp.get("session").and_then(Json::as_u64) {
             current = Some(sid);
         }
+    }
+    let c = client.counters();
+    if c.retries + c.reconnects + c.deduped + c.rate_limited > 0 {
+        eprintln!(
+            "client: {} retries, {} reconnects, {} deduped turns, {} rate-limited replies",
+            c.retries, c.reconnects, c.deduped, c.rate_limited
+        );
     }
 }
 

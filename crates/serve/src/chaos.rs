@@ -1,0 +1,439 @@
+//! The chaos harness: SIGKILL the server repeatedly under retrying load
+//! and prove nothing acknowledged was lost.
+//!
+//! [`run_chaos`] spawns a real `squid-serve` child process (serving the
+//! `mini` fixture with `--fsync always` and a journal), points a fleet
+//! of [`RetryClient`]s at it, and then kills the child with SIGKILL —
+//! no drain, no flush — a configurable number of times, restarting it
+//! against the same journal each time. Clients ride through the crashes
+//! on sequence-numbered retries.
+//!
+//! Two invariants are checked at the end, against the final recovered
+//! server:
+//!
+//! 1. **Zero acknowledged-turn loss**: every turn a client saw `ok:true`
+//!    for is reflected in the session's recovered `op_seq` cursor. An
+//!    ack means journaled-and-fsynced, so SIGKILL may lose in-flight
+//!    turns (which clients retry) but never acknowledged ones.
+//! 2. **Diff-identical recovery**: each session's recovered SQL equals
+//!    the SQL produced by replaying that client's acknowledged ops, in
+//!    order, on a fresh in-process [`SessionManager`] over the same
+//!    αDB — the crash-riddled fleet and an uninterrupted one are
+//!    indistinguishable.
+//!
+//! The harness requires the server command to serve the `mini` dataset
+//! (the [`squid_adb::test_fixtures::mini_imdb`] fixture), because the
+//! verification replay rebuilds that αDB in-process.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use squid_adb::{test_fixtures, ADb};
+use squid_core::{SessionManager, SessionOp};
+
+use crate::client::Client;
+use crate::json::Json;
+use crate::retry::{RetryClient, RetryCounters, RetryPolicy};
+
+/// How much chaos to inflict.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The server command: binary path plus every argument *except*
+    /// `--addr`, `--journal`, `--fsync`, and `--auto-compact`, which the
+    /// harness appends. Must serve the `mini` dataset (e.g.
+    /// `["target/release/squid-serve", "mini"]`) — verification replays
+    /// against that fixture.
+    pub server_cmd: Vec<String>,
+    /// Concurrent retrying clients (default 8).
+    pub clients: usize,
+    /// SIGKILL → restart cycles (default 5).
+    pub kills: u32,
+    /// Traffic window between kills (default 400ms).
+    pub kill_interval: Duration,
+    /// Journal path (default: a pid-scoped file in the temp dir,
+    /// removed before the run).
+    pub journal: Option<PathBuf>,
+    /// `--auto-compact` floor passed to the server, so crash-recovery is
+    /// exercised against compacted journals too (default `Some(32)`).
+    pub auto_compact: Option<u64>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            server_cmd: Vec::new(),
+            clients: 8,
+            kills: 5,
+            kill_interval: Duration::from_millis(400),
+            journal: None,
+            auto_compact: Some(32),
+        }
+    }
+}
+
+/// What the chaos run did and found. `lost_turns == 0` and
+/// `sql_mismatches == 0` are the invariants; everything else is
+/// evidence of how hard they were tested.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// SIGKILLs delivered.
+    pub kills: u32,
+    /// Sessions driven (one per client).
+    pub sessions: usize,
+    /// Turns acknowledged across all clients.
+    pub turns_acked: u64,
+    /// Acknowledged turns missing from recovered cursors (must be 0).
+    pub lost_turns: u64,
+    /// Sessions whose recovered SQL diverged from an uninterrupted
+    /// replay of their acknowledged ops (must be 0).
+    pub sql_mismatches: u64,
+    /// Journal compactions the server performed during the run.
+    pub compactions: u64,
+    /// Aggregated client-side retry work.
+    pub counters: RetryCounters,
+    /// Wall clock of the whole run.
+    pub wall: Duration,
+}
+
+impl ChaosReport {
+    /// Did both invariants hold (and was anything actually exercised)?
+    pub fn passed(&self) -> bool {
+        self.lost_turns == 0 && self.sql_mismatches == 0 && self.turns_acked > 0
+    }
+
+    /// One-line human rendering.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} kills, {} sessions, {} turns acked, {} lost, {} sql mismatches, \
+             {} compactions in {:.2?} (retries {}, reconnects {}, deduped {}, rate_limited {})",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.kills,
+            self.sessions,
+            self.turns_acked,
+            self.lost_turns,
+            self.sql_mismatches,
+            self.compactions,
+            self.wall,
+            self.counters.retries,
+            self.counters.reconnects,
+            self.counters.deduped,
+            self.counters.rate_limited,
+        )
+    }
+}
+
+/// The mutation script clients cycle through — only ops valid on the
+/// `mini` fixture, staggered per client so the fleet is heterogeneous.
+fn chaos_script() -> Vec<SessionOp> {
+    vec![
+        SessionOp::AddExample("Jim Carrey".into()),
+        SessionOp::AddExample("Eddie Murphy".into()),
+        SessionOp::PinFilter("person:gender".into()),
+        SessionOp::AddExample("Robin Williams".into()),
+        SessionOp::RemoveExample("Eddie Murphy".into()),
+        SessionOp::UnpinFilter("person:gender".into()),
+        SessionOp::BanFilter("movie:genre".into()),
+        SessionOp::AddExample("Eddie Murphy".into()),
+        SessionOp::UnbanFilter("movie:genre".into()),
+        SessionOp::RemoveExample("Robin Williams".into()),
+    ]
+}
+
+/// Patient policy: a restart can take seconds (αDB rebuild + journal
+/// replay), and a client must outlive it.
+fn chaos_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 40,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(250),
+        read_timeout: Some(Duration::from_secs(5)),
+    }
+}
+
+fn free_port() -> Result<u16, String> {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map(|a| a.port())
+        .map_err(|e| format!("no free port: {e}"))
+}
+
+fn spawn_server(argv: &[String]) -> Result<Child, String> {
+    // stderr is inherited on purpose: this is a diagnostic harness, and
+    // a server that dies on startup should say why.
+    Command::new(&argv[0])
+        .args(&argv[1..])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {:?} failed: {e}", argv[0]))
+}
+
+fn wait_ready(addr: &str, deadline: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.set_read_timeout(Some(Duration::from_secs(1)));
+            if c.ping().is_ok() {
+                return Ok(());
+            }
+        }
+        if t0.elapsed() > deadline {
+            return Err(format!("server at {addr} not ready within {deadline:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn turn_body(op: &SessionOp) -> Option<(&'static str, Vec<(&'static str, Json)>)> {
+    match op {
+        SessionOp::AddExample(v) => Some(("add", vec![("value", Json::str(v))])),
+        SessionOp::RemoveExample(v) => Some(("remove", vec![("value", Json::str(v))])),
+        SessionOp::PinFilter(k) => Some(("pin", vec![("key", Json::str(k))])),
+        SessionOp::UnpinFilter(k) => Some(("unpin", vec![("key", Json::str(k))])),
+        SessionOp::BanFilter(k) => Some(("ban", vec![("key", Json::str(k))])),
+        SessionOp::UnbanFilter(k) => Some(("unban", vec![("key", Json::str(k))])),
+        _ => None,
+    }
+}
+
+/// One client's acknowledged history: `acked[i]` was acknowledged at
+/// sequence `i + 1`.
+struct ClientLog {
+    session: u64,
+    acked: Vec<SessionOp>,
+    counters: RetryCounters,
+}
+
+/// Send one sequenced turn and drive it to a *resolution*: acknowledged
+/// (recorded, true), refused with a non-retryable error (not recorded,
+/// false), or — if the server stays unreachable past `deadline` — an
+/// error. A turn is never abandoned in the ambiguous state, which is
+/// what makes the final ledger comparable to the server's.
+fn resolve_turn(
+    client: &mut RetryClient,
+    session: u64,
+    op: &SessionOp,
+    deadline: Duration,
+) -> Result<bool, String> {
+    let (verb, fields) = turn_body(op).ok_or("non-turn op in chaos script")?;
+    let t0 = Instant::now();
+    loop {
+        match client.turn(session, verb, fields.clone()) {
+            Ok(_) => return Ok(true),
+            Err(crate::ClientError::Server { ref code, .. }) if !crate::retry::retryable(code) => {
+                // Refused deterministically (e.g. a discovery error); the
+                // server's cursor did not move, so the sequence number is
+                // reused by the next op.
+                return Ok(false);
+            }
+            Err(e) => {
+                if t0.elapsed() > deadline {
+                    return Err(format!("turn unresolved after {deadline:?}: {e}"));
+                }
+                // Retry budget exhausted mid-restart; same seq, go again.
+            }
+        }
+    }
+}
+
+fn client_thread(addr: &str, idx: usize, stop: &AtomicBool) -> Result<ClientLog, String> {
+    let mut client = RetryClient::with_policy(addr, chaos_policy());
+    let script = chaos_script();
+    let deadline = Duration::from_secs(60);
+    // Creation retries ride the same policy; a duplicate create orphans
+    // a server-side session, which is harmless here (never verified).
+    let session = {
+        let t0 = Instant::now();
+        loop {
+            match client.create() {
+                Ok(sid) => break sid,
+                Err(e) if t0.elapsed() > deadline => {
+                    return Err(format!("client {idx}: create failed: {e}"));
+                }
+                Err(_) => {}
+            }
+        }
+    };
+    let mut acked = Vec::new();
+    let mut step = idx; // stagger the script per client
+    while !stop.load(Ordering::Relaxed) {
+        let op = script[step % script.len()].clone();
+        step += 1;
+        if resolve_turn(&mut client, session, &op, deadline)
+            .map_err(|e| format!("client {idx}: {e}"))?
+        {
+            acked.push(op);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Ok(ClientLog {
+        session,
+        acked,
+        counters: client.counters(),
+    })
+}
+
+/// Run the kill loop and verify the invariants. See the module docs.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    if cfg.server_cmd.is_empty() {
+        return Err("ChaosConfig.server_cmd is empty".into());
+    }
+    let started = Instant::now();
+    let port = free_port()?;
+    let addr = format!("127.0.0.1:{port}");
+    let journal = cfg.journal.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("squid-chaos-{}.journal", std::process::id()))
+    });
+    let _ = std::fs::remove_file(&journal);
+    let mut argv = cfg.server_cmd.clone();
+    argv.extend([
+        "--addr".into(),
+        addr.clone(),
+        "--journal".into(),
+        journal.display().to_string(),
+        "--fsync".into(),
+        "always".into(),
+        // The server is thread-per-connection over a fixed pool, and the
+        // client fleet re-dials the instant a restart binds. Leave
+        // headroom above the fleet or the clients monopolize every
+        // worker and the readiness probe starves in the accept queue.
+        "--workers".into(),
+        (cfg.clients * 2 + 4).to_string(),
+    ]);
+    if let Some(n) = cfg.auto_compact {
+        argv.extend(["--auto-compact".into(), n.to_string()]);
+    }
+
+    let mut child = spawn_server(&argv)?;
+    let ready_deadline = Duration::from_secs(30);
+    if let Err(e) = wait_ready(&addr, ready_deadline) {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(e);
+    }
+
+    let stop = AtomicBool::new(false);
+    let logs: Result<Vec<ClientLog>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|i| {
+                let addr = addr.clone();
+                let stop = &stop;
+                scope.spawn(move || client_thread(&addr, i, stop))
+            })
+            .collect();
+
+        let mut kill_err = None;
+        for _ in 0..cfg.kills {
+            std::thread::sleep(cfg.kill_interval);
+            // SIGKILL: no drain, no fsync-on-exit — recovery must come
+            // from per-turn durability alone.
+            let _ = child.kill();
+            let _ = child.wait();
+            match spawn_server(&argv) {
+                Ok(c) => child = c,
+                Err(e) => {
+                    kill_err = Some(e);
+                    break;
+                }
+            }
+            if let Err(e) = wait_ready(&addr, ready_deadline) {
+                kill_err = Some(e);
+                break;
+            }
+        }
+        // One more traffic window after the last recovery, then stop.
+        std::thread::sleep(cfg.kill_interval);
+        stop.store(true, Ordering::Relaxed);
+        let joined: Result<Vec<ClientLog>, String> = handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "client thread panicked".to_string())?)
+            .collect();
+        match kill_err {
+            Some(e) => Err(e),
+            None => joined,
+        }
+    });
+    let logs = match logs {
+        Ok(l) => l,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(e);
+        }
+    };
+
+    // ---- Verification against the final recovered server ----
+    let verdict = verify(&addr, &logs);
+    // The server child is ours either way; tear it down before reporting.
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_file(&journal);
+    let (lost_turns, sql_mismatches, compactions) = verdict?;
+
+    let mut counters = RetryCounters::default();
+    let mut turns_acked = 0u64;
+    for log in &logs {
+        turns_acked += log.acked.len() as u64;
+        counters.retries += log.counters.retries;
+        counters.reconnects += log.counters.reconnects;
+        counters.deduped += log.counters.deduped;
+        counters.rate_limited += log.counters.rate_limited;
+    }
+    Ok(ChaosReport {
+        kills: cfg.kills,
+        sessions: logs.len(),
+        turns_acked,
+        lost_turns,
+        sql_mismatches,
+        compactions,
+        counters,
+        wall: started.elapsed(),
+    })
+}
+
+/// Check both invariants against the live recovered server; returns
+/// `(lost_turns, sql_mismatches, compactions)`.
+fn verify(addr: &str, logs: &[ClientLog]) -> Result<(u64, u64, u64), String> {
+    let mut probe = RetryClient::with_policy(addr, chaos_policy());
+    let adb = Arc::new(
+        ADb::build(&test_fixtures::mini_imdb()).map_err(|e| format!("verify αDB build: {e}"))?,
+    );
+    let replayer = SessionManager::new(adb);
+    let mut lost = 0u64;
+    let mut mismatches = 0u64;
+    for log in logs {
+        let cursor = probe
+            .adopt(log.session)
+            .map_err(|e| format!("session {} stats: {e}", log.session))?;
+        // Every acked turn advanced the cursor past its sequence number;
+        // a cursor below the acked count means acknowledged turns died
+        // with the crash.
+        lost += (log.acked.len() as u64).saturating_sub(cursor);
+        let server_sql = probe
+            .sql(log.session)
+            .map_err(|e| format!("session {} sql: {e}", log.session))?;
+        let rid = replayer.create_session();
+        for op in &log.acked {
+            replayer
+                .apply_op(rid, op)
+                .map_err(|e| format!("replaying acked op failed ({e}) — ledger corrupt?"))?;
+        }
+        let replayed_sql = replayer
+            .with_session(rid, |s| Ok(s.discovery().map(|d| d.sql())))
+            .map_err(|e| format!("replay session: {e}"))?;
+        if server_sql != replayed_sql {
+            mismatches += 1;
+        }
+    }
+    let health = probe.health().map_err(|e| format!("health: {e}"))?;
+    let compactions = health
+        .get("journal")
+        .and_then(|j| j.get("compactions"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    Ok((lost, mismatches, compactions))
+}

@@ -25,6 +25,9 @@ pub enum ClientError {
         code: String,
         /// Human-readable description.
         detail: String,
+        /// The server's back-pressure hint, when the error carried one
+        /// (`overloaded`, `session_limit`, `rate_limited`).
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -33,7 +36,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::BadResponse(d) => write!(f, "malformed server response: {d}"),
-            ClientError::Server { code, detail } => write!(f, "server error [{code}]: {detail}"),
+            ClientError::Server { code, detail, .. } => {
+                write!(f, "server error [{code}]: {detail}")
+            }
         }
     }
 }
@@ -105,6 +110,14 @@ impl Client {
                 "server closed the connection",
             )));
         }
+        // A line without its newline is a connection torn mid-response —
+        // a transport event (retryable), not a malformed server reply.
+        if !resp.ends_with('\n') {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection lost mid-response",
+            )));
+        }
         json::parse(resp.trim()).map_err(|e| ClientError::BadResponse(e.to_string()))
     }
 
@@ -127,7 +140,15 @@ impl Client {
             .and_then(Json::as_str)
             .unwrap_or("")
             .to_string();
-        Err(ClientError::Server { code, detail })
+        let retry_after_ms = resp
+            .get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_u64);
+        Err(ClientError::Server {
+            code,
+            detail,
+            retry_after_ms,
+        })
     }
 
     fn verb(op: &str, fields: Vec<(&'static str, Json)>) -> Json {
@@ -205,6 +226,11 @@ impl Client {
             .and_then(Json::as_arr)
             .unwrap_or_default()
             .to_vec())
+    }
+
+    /// Load/session/journal health probe.
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.request(&Self::verb("health", vec![]))
     }
 
     /// Fleet statistics (optionally including one session's counters).

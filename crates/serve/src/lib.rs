@@ -17,9 +17,16 @@
 //! - [`json`]: minimal std-only JSON encode/parse (the wire format).
 //! - [`protocol`]: request/response grammar and stable error codes.
 //! - [`server`]: listener + fixed worker pool, admission control,
-//!   timeouts/reaping, graceful drain.
+//!   rate limiting and load shedding, timeouts/reaping, graceful drain.
 //! - [`client`]: blocking lock-step client.
-//! - [`load`]: concurrent load generator with latency percentiles.
+//! - [`retry`]: resilient client wrapper — backoff + jitter, reconnect
+//!   with session re-adoption, sequence-numbered exactly-once turns.
+//! - [`load`]: concurrent load generator with latency percentiles and
+//!   retry/error counters.
+//! - [`proxy`]: std-only fault-injecting TCP proxy (delay, drop,
+//!   truncate, sever) for chaos tests.
+//! - [`chaos`]: the `--chaos` harness — SIGKILL loops under retrying
+//!   load asserting zero acknowledged-turn loss.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -43,14 +50,20 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod load;
 pub mod protocol;
+pub mod proxy;
+pub mod retry;
 pub mod server;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::{Client, ClientError};
 pub use json::Json;
 pub use load::{run_load, LoadConfig, LoadReport, LoadTurn};
 pub use protocol::{parse_request, ErrorCode, Request, Verb};
-pub use server::{ServeConfig, Server, ServerMetrics, ShutdownReport};
+pub use proxy::{FaultProxy, FaultRule};
+pub use retry::{RetryClient, RetryCounters, RetryPolicy};
+pub use server::{RateLimit, ServeConfig, Server, ServerMetrics, ShutdownReport};

@@ -12,8 +12,9 @@ use std::io;
 use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
-use crate::client::{Client, ClientError};
+use crate::client::ClientError;
 use crate::json::Json;
+use crate::retry::{RetryClient, RetryCounters, RetryPolicy};
 
 /// One scripted turn of a load session.
 #[derive(Debug, Clone)]
@@ -65,6 +66,10 @@ pub struct LoadReport {
     pub turn_p95: Duration,
     /// 99th-percentile turn latency.
     pub turn_p99: Duration,
+    /// Retry work the clients absorbed (retries, reconnects, deduped
+    /// turns, rate-limited replies) — zero across the board on a healthy
+    /// unthrottled server.
+    pub retry: RetryCounters,
 }
 
 impl LoadReport {
@@ -82,7 +87,8 @@ impl LoadReport {
     pub fn summary(&self) -> String {
         format!(
             "{} sessions, {} turns, {} errors in {:.2?} \
-             ({:.1} sessions/s, {:.1} turns/s; turn p50 {:?} p95 {:?} p99 {:?})",
+             ({:.1} sessions/s, {:.1} turns/s; turn p50 {:?} p95 {:?} p99 {:?}; \
+             retries {} reconnects {} deduped {} rate_limited {})",
             self.sessions,
             self.turns,
             self.errors,
@@ -92,6 +98,10 @@ impl LoadReport {
             self.turn_p50,
             self.turn_p95,
             self.turn_p99,
+            self.retry.retries,
+            self.retry.reconnects,
+            self.retry.deduped,
+            self.retry.rate_limited,
         )
     }
 }
@@ -110,6 +120,7 @@ struct ClientOutcome {
     turns: u64,
     errors: u64,
     latencies_ns: Vec<u64>,
+    retry: RetryCounters,
 }
 
 /// Run one load shape against a server; returns the merged report.
@@ -140,6 +151,10 @@ pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> io::Result<LoadRe
         report.sessions += o.sessions;
         report.turns += o.turns;
         report.errors += o.errors;
+        report.retry.retries += o.retry.retries;
+        report.retry.reconnects += o.retry.reconnects;
+        report.retry.deduped += o.retry.deduped;
+        report.retry.rate_limited += o.retry.rate_limited;
         latencies.extend(o.latencies_ns);
     }
     if !latencies.is_empty() {
@@ -166,22 +181,27 @@ fn run_client(addr: std::net::SocketAddr, cfg: &LoadConfig) -> ClientOutcome {
         turns: 0,
         errors: 0,
         latencies_ns: Vec::with_capacity(cfg.sessions_per_client * cfg.script.len()),
+        retry: RetryCounters::default(),
     };
-    let mut client = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(_) => {
-            out.errors += 1;
-            return out;
-        }
-    };
+    // Back-pressure-aware clients: a shed or rate-limited turn backs off
+    // and retries inside the timed window (honest latency accounting — a
+    // refused-then-retried turn costs what the caller actually waited),
+    // and a dropped connection re-dials instead of abandoning the run.
+    let mut client = RetryClient::with_policy(
+        addr.to_string(),
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            read_timeout: Some(Duration::from_secs(10)),
+        },
+    );
     for _ in 0..cfg.sessions_per_client {
         let sid = match client.create() {
             Ok(sid) => sid,
-            Err(e) => {
+            Err(_) => {
                 out.errors += 1;
-                if transport_dead(&e) {
-                    return out;
-                }
+                out.retry = client.counters();
                 continue;
             }
         };
@@ -195,54 +215,42 @@ fn run_client(addr: std::net::SocketAddr, cfg: &LoadConfig) -> ClientOutcome {
                     out.turns += 1;
                     out.latencies_ns.push(elapsed);
                 }
-                Err(e) => {
+                Err(_) => {
                     out.errors += 1;
                     session_ok = false;
-                    if transport_dead(&e) {
-                        return out;
-                    }
                 }
             }
         }
-        match client.close(sid) {
-            Ok(()) => {
-                if session_ok {
-                    out.sessions += 1;
-                }
+        if client.close(sid).is_ok() {
+            if session_ok {
+                out.sessions += 1;
             }
-            Err(e) => {
-                out.errors += 1;
-                if transport_dead(&e) {
-                    return out;
-                }
-            }
+        } else {
+            out.errors += 1;
         }
     }
+    out.retry = client.counters();
     out
 }
 
-/// A transport error means the connection is gone; server-level errors
-/// leave it usable.
-fn transport_dead(e: &ClientError) -> bool {
-    matches!(e, ClientError::Io(_) | ClientError::BadResponse(_))
-}
-
-fn play_turn(client: &mut Client, sid: u64, turn: &LoadTurn) -> Result<(), ClientError> {
+fn play_turn(client: &mut RetryClient, sid: u64, turn: &LoadTurn) -> Result<(), ClientError> {
     match turn {
         LoadTurn::Add(v) => client.add(sid, v).map(|_| ()),
         LoadTurn::Remove(v) => client.remove(sid, v).map(|_| ()),
         LoadTurn::Pin(k) => client.pin(sid, k).map(|_| ()),
         LoadTurn::Unpin(k) => client
-            .request(&Json::obj([
-                ("op", Json::str("unpin")),
+            .turn(sid, "unpin", vec![("key", Json::str(k.as_str()))])
+            .map(|_| ()),
+        LoadTurn::Suggest(k) => client
+            .call(&Json::obj([
+                ("op", Json::str("suggest")),
                 ("session", Json::Int(sid as i64)),
-                ("key", Json::str(k.as_str())),
+                ("k", Json::Int(*k as i64)),
             ]))
             .map(|_| ()),
-        LoadTurn::Suggest(k) => client.suggest(sid, *k).map(|_| ()),
         LoadTurn::Sql => client.sql(sid).map(|_| ()),
         LoadTurn::Rows(n) => client
-            .request(&Json::obj([
+            .call(&Json::obj([
                 ("op", Json::str("rows")),
                 ("session", Json::Int(sid as i64)),
                 ("limit", Json::Int(*n as i64)),

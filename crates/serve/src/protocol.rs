@@ -36,13 +36,24 @@
 //! | `rows`     | `session`, `limit`?                | `discovery().rows`   |
 //! | `examples` | `session`                          | `examples`           |
 //! | `stats`    | `session`?                         | fleet + cache stats  |
+//! | `health`   |                                    | load/journal health  |
 //! | `close`    | `session`                          | `close_session`      |
 //! | `shutdown` |                                    | graceful stop        |
+//!
+//! Mutating verbs additionally accept an optional `seq` member: the
+//! client's per-session turn number (1-based, contiguous). A replayed
+//! `seq` the server has already applied is acknowledged without re-running
+//! (the response carries `"deduped":true`), which upgrades at-least-once
+//! retries to exactly-once application; a `seq` beyond the next expected
+//! turn is a `bad_request` (the client claims turns the server never saw).
 //!
 //! Error codes are machine-stable strings ([`ErrorCode`]); a protocol
 //! error is a *response*, never a dropped connection — except the two
 //! framing errors (`line_too_long`, `invalid_utf8`) after which the byte
 //! stream can no longer be trusted, so the server replies and closes.
+//! Back-pressure codes (`overloaded`, `session_limit`, `rate_limited`)
+//! carry a `retry_after_ms` hint next to `detail` — the server's estimate
+//! of when retrying will succeed.
 
 use crate::json::{self, Json};
 
@@ -73,6 +84,9 @@ pub enum Verb {
         session: u64,
         /// The operation.
         op: SessionOp,
+        /// The client's per-session turn number, when it opted into
+        /// exactly-once dedupe (see the module docs).
+        seq: Option<u64>,
     },
     /// `k` most informative next examples.
     Suggest {
@@ -104,6 +118,9 @@ pub enum Verb {
         /// Optional session whose local cache counters to include.
         session: Option<u64>,
     },
+    /// Cheap load/session/journal health probe for orchestrators and
+    /// load balancers (never sheds, never touches a session).
+    Health,
     /// Close a session (journaled).
     Close {
         /// Target session.
@@ -137,6 +154,7 @@ impl Verb {
             Verb::Rows { .. } => "rows",
             Verb::Examples { .. } => "examples",
             Verb::Stats { .. } => "stats",
+            Verb::Health => "health",
             Verb::Close { .. } => "close",
             Verb::Shutdown => "shutdown",
         }
@@ -159,9 +177,16 @@ pub enum ErrorCode {
     InvalidUtf8,
     /// The session id is unknown, closed, or expired.
     UnknownSession,
-    /// Admission control refused the work (connection or session limit);
-    /// retry later or against another replica.
+    /// Admission control refused the work (connection backlog full, or a
+    /// cheap verb shed under load); retry later or against another
+    /// replica.
     Overloaded,
+    /// The fleet-wide session cap is reached; `create` will succeed once
+    /// a session closes or expires.
+    SessionLimit,
+    /// The session exceeded its per-session token-bucket rate limit;
+    /// retry after the hinted delay.
+    RateLimited,
     /// The server is draining; no new work is accepted.
     ShuttingDown,
     /// The connection sat idle past the reaping deadline (closes).
@@ -184,6 +209,8 @@ impl ErrorCode {
             ErrorCode::InvalidUtf8 => "invalid_utf8",
             ErrorCode::UnknownSession => "unknown_session",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::SessionLimit => "session_limit",
+            ErrorCode::RateLimited => "rate_limited",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::IdleTimeout => "idle_timeout",
             ErrorCode::Discovery => "discovery",
@@ -237,19 +264,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             .map(str::to_string)
             .ok_or_else(|| bad(&format!("missing string member {key:?}")))
     };
+    // Optional per-session turn number on mutating verbs (module docs).
+    let seq = v.get("seq").and_then(Json::as_u64);
     let verb = match op {
         "ping" => Verb::Ping,
         "create" => Verb::Create,
         "add" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::AddExample(string("value")?),
         },
         "remove" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::RemoveExample(string("value")?),
         },
         "target" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::SetTarget {
                 table: string("table")?,
                 column: string("column")?,
@@ -257,26 +289,32 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         },
         "auto" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::SetTargetAuto,
         },
         "pin" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::PinFilter(string("key")?),
         },
         "ban" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::BanFilter(string("key")?),
         },
         "unpin" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::UnpinFilter(string("key")?),
         },
         "unban" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::UnbanFilter(string("key")?),
         },
         "choose" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::ChooseEntity {
                 example: string("example")?,
                 pk: v
@@ -287,6 +325,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         },
         "unchoose" => Verb::Apply {
             session: session()?,
+            seq,
             op: SessionOp::ClearChoice(string("example")?),
         },
         "suggest" => Verb::Suggest {
@@ -309,6 +348,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "close" => Verb::Close {
             session: session()?,
         },
+        "health" => Verb::Health,
         "shutdown" => Verb::Shutdown,
         other => {
             return Err(ProtocolError::new(
@@ -350,6 +390,30 @@ pub fn error_response(code: ErrorCode, detail: &str, id: Option<i64>) -> Json {
     Json::Obj(members)
 }
 
+/// Build a back-pressure error response whose `error` member carries a
+/// `retry_after_ms` hint — the server's estimate of when retrying will
+/// succeed (`overloaded`, `session_limit`, `rate_limited`).
+pub fn retry_error_response(
+    code: ErrorCode,
+    detail: &str,
+    id: Option<i64>,
+    retry_after_ms: u64,
+) -> Json {
+    let mut members = vec![("ok".to_string(), Json::Bool(false))];
+    if let Some(id) = id {
+        members.push(("id".to_string(), Json::Int(id)));
+    }
+    members.push((
+        "error".to_string(),
+        Json::obj([
+            ("code", Json::str(code.as_str())),
+            ("detail", Json::str(detail)),
+            ("retry_after_ms", Json::Int(retry_after_ms as i64)),
+        ]),
+    ));
+    Json::Obj(members)
+}
+
 impl From<&ProtocolError> for Json {
     fn from(e: &ProtocolError) -> Json {
         error_response(e.code, &e.detail, e.id)
@@ -369,6 +433,7 @@ mod tests {
                 r#"{"op":"add","session":3,"value":"Jim Carrey"}"#,
                 Verb::Apply {
                     session: 3,
+                    seq: None,
                     op: SessionOp::AddExample("Jim Carrey".into()),
                 },
             ),
@@ -376,6 +441,7 @@ mod tests {
                 r#"{"op":"target","session":1,"table":"person","column":"name"}"#,
                 Verb::Apply {
                     session: 1,
+                    seq: None,
                     op: SessionOp::SetTarget {
                         table: "person".into(),
                         column: "name".into(),
@@ -386,6 +452,7 @@ mod tests {
                 r#"{"op":"choose","session":1,"example":"Titanic","pk":-7}"#,
                 Verb::Apply {
                     session: 1,
+                    seq: None,
                     op: SessionOp::ChooseEntity {
                         example: "Titanic".into(),
                         pk: -7,
@@ -401,6 +468,15 @@ mod tests {
                 Verb::Rows {
                     session: 2,
                     limit: 5,
+                },
+            ),
+            (r#"{"op":"health"}"#, Verb::Health),
+            (
+                r#"{"op":"add","session":3,"value":"Jim Carrey","seq":7}"#,
+                Verb::Apply {
+                    session: 3,
+                    seq: Some(7),
+                    op: SessionOp::AddExample("Jim Carrey".into()),
                 },
             ),
             (r#"{"op":"stats"}"#, Verb::Stats { session: None }),
@@ -472,5 +548,16 @@ mod tests {
             err.encode(),
             r#"{"ok":false,"error":{"code":"unknown_session","detail":"unknown or expired session 9"}}"#
         );
+    }
+
+    #[test]
+    fn backpressure_errors_carry_a_retry_hint() {
+        let err = retry_error_response(ErrorCode::RateLimited, "session 4 over budget", None, 250);
+        assert_eq!(
+            err.encode(),
+            r#"{"ok":false,"error":{"code":"rate_limited","detail":"session 4 over budget","retry_after_ms":250}}"#
+        );
+        assert_eq!(ErrorCode::SessionLimit.as_str(), "session_limit");
+        assert_eq!(ErrorCode::RateLimited.as_str(), "rate_limited");
     }
 }

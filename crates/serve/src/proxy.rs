@@ -1,0 +1,198 @@
+//! A std-only fault-injecting TCP proxy for chaos tests.
+//!
+//! [`FaultProxy`] sits between a client and a `squid-serve` listener and
+//! perturbs the lock-step line protocol in the ways real networks do:
+//! delayed replies, swallowed replies, replies cut off mid-line, and
+//! connections severed outright. Faults are scripted, not random — a
+//! test enqueues an exact sequence of [`FaultRule`]s and every exchange
+//! consumes the next one (pass-through once the script runs dry), so a
+//! failure reproduces byte-for-byte.
+//!
+//! The proxy understands just enough of the protocol to be useful: one
+//! request line in, one response line out. That is what lets `Truncate`
+//! cut a record mid-line and `DropReply` swallow exactly one
+//! acknowledgement — the ambiguous-outcome cases the retry layer
+//! ([`crate::retry`]) exists to survive.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// One scripted perturbation, applied to a single request/response
+/// exchange.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultRule {
+    /// Forward the exchange untouched.
+    Pass,
+    /// Forward the request, then hold the reply for this long before
+    /// delivering it (drives clients past read timeouts and sessions
+    /// past idle deadlines).
+    Delay(Duration),
+    /// Forward the request, read the reply, and swallow it — the server
+    /// applied the turn but the client never hears so (the lost-ack
+    /// case; the connection stays up and times out client-side).
+    DropReply,
+    /// Forward the request, then deliver only the first half of the
+    /// reply line — no newline — and sever both directions (a reply torn
+    /// mid-record).
+    Truncate,
+    /// Sever both directions without even forwarding the request.
+    Sever,
+}
+
+/// A running proxy. Dropping it (or calling [`FaultProxy::stop`]) shuts
+/// the listener down; established connections are severed.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    faults: Arc<AtomicU64>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral localhost port, forwarding to `upstream`.
+    /// `script` is consumed one rule per exchange, shared across all
+    /// connections in arrival order.
+    pub fn start(upstream: SocketAddr, script: Vec<FaultRule>) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let faults = Arc::new(AtomicU64::new(0));
+        let script = Arc::new(Mutex::new(VecDeque::from(script)));
+        let accept_stop = Arc::clone(&stop);
+        let accept_faults = Arc::clone(&faults);
+        let handle = thread::spawn(move || {
+            let mut conns = vec![];
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let script = Arc::clone(&script);
+                        let stop = Arc::clone(&accept_stop);
+                        let faults = Arc::clone(&accept_faults);
+                        conns.push(thread::spawn(move || {
+                            let _ = shuttle(stream, upstream, &script, &stop, &faults);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(FaultProxy {
+            addr,
+            stop,
+            faults,
+            handle: Some(handle),
+        })
+    }
+
+    /// Where clients should connect.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many non-`Pass` rules have been injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the proxy threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pump one client connection's lock-step exchanges through the fault
+/// script. Returns on EOF from either side, a sever rule, or shutdown.
+fn shuttle(
+    client: TcpStream,
+    upstream: SocketAddr,
+    script: &Mutex<VecDeque<FaultRule>>,
+    stop: &AtomicBool,
+    faults: &AtomicU64,
+) -> io::Result<()> {
+    client.set_nodelay(true)?;
+    // Poll the client side so a stopped proxy doesn't hang in read_line.
+    client.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let server = TcpStream::connect(upstream)?;
+    server.set_nodelay(true)?;
+    let mut client_w = client.try_clone()?;
+    let mut server_w = server.try_clone()?;
+    let mut client_r = BufReader::new(client);
+    let mut server_r = BufReader::new(server);
+    loop {
+        let mut request = String::new();
+        match client_r.read_line(&mut request) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let rule = script
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+            .unwrap_or(FaultRule::Pass);
+        if !matches!(rule, FaultRule::Pass) {
+            faults.fetch_add(1, Ordering::Relaxed);
+        }
+        if let FaultRule::Sever = rule {
+            return Ok(());
+        }
+        server_w.write_all(request.as_bytes())?;
+        let mut reply = String::new();
+        if server_r.read_line(&mut reply)? == 0 {
+            return Ok(());
+        }
+        match rule {
+            FaultRule::Pass | FaultRule::Sever => {
+                client_w.write_all(reply.as_bytes())?;
+            }
+            FaultRule::Delay(d) => {
+                thread::sleep(d);
+                client_w.write_all(reply.as_bytes())?;
+            }
+            FaultRule::DropReply => {
+                // Swallowed: the server applied it, the client will
+                // retry with the same sequence number.
+            }
+            FaultRule::Truncate => {
+                let torn = &reply.as_bytes()[..reply.len() / 2];
+                client_w.write_all(torn)?;
+                client_w.flush()?;
+                return Ok(());
+            }
+        }
+        client_w.flush()?;
+    }
+}

@@ -44,10 +44,11 @@
 //! next start ([`SessionManager::recover`]), which the CI serving smoke
 //! exercises with a literal SIGTERM mid-load.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -84,6 +85,26 @@ pub struct ServeConfig {
     pub sweep_interval: Option<Duration>,
     /// Save an αDB snapshot here during graceful shutdown.
     pub snapshot_on_shutdown: Option<PathBuf>,
+    /// Per-session token-bucket rate limit on mutating turns (`None` =
+    /// unlimited). Refusals are `rate_limited` replies carrying a
+    /// `retry_after_ms` hint, never dropped connections.
+    pub rate_limit: Option<RateLimit>,
+    /// Graceful degradation: once at least this many accepted connections
+    /// are waiting for a worker, cheap-to-retry verbs (`suggest`,
+    /// fleet-wide `stats`) are shed with `overloaded` + `retry_after_ms`
+    /// so accepted turns keep their workers. The default equals the
+    /// default `max_pending` — shedding starts only when the backlog is
+    /// saturated.
+    pub shed_pending: usize,
+}
+
+/// Token-bucket parameters of the per-session rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained mutating-turns-per-second budget.
+    pub per_sec: f64,
+    /// Burst capacity (the bucket size).
+    pub burst: f64,
 }
 
 impl Default for ServeConfig {
@@ -99,12 +120,22 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(300),
             sweep_interval: None,
             snapshot_on_shutdown: None,
+            rate_limit: None,
+            shed_pending: 64,
         }
     }
 }
 
 /// How often blocked reads wake to re-check deadlines and the stop flag.
 const POLL: Duration = Duration::from_millis(50);
+
+/// `retry_after_ms` hint on backlog refusals: one worker-queue drain is a
+/// short wait, not a failover.
+const RETRY_OVERLOADED_MS: u64 = 100;
+
+/// `retry_after_ms` hint on the session cap: a slot opens when a session
+/// closes or expires, which is slower than a backlog drain.
+const RETRY_SESSION_LIMIT_MS: u64 = 1000;
 
 /// Monotonic serving counters (all relaxed: they are reporting, not
 /// synchronization).
@@ -117,6 +148,9 @@ struct Metrics {
     protocol_errors: AtomicU64,
     connections_closed: AtomicU64,
     idle_reaped: AtomicU64,
+    deduped: AtomicU64,
+    rate_limited: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// Point-in-time copy of the server's counters (the `stats` verb and
@@ -138,6 +172,12 @@ pub struct ServerMetrics {
     pub connections_closed: u64,
     /// Connections reaped by the idle timeout.
     pub idle_reaped: u64,
+    /// Retried turns acknowledged without re-running (sequence dedupe).
+    pub deduped: u64,
+    /// Turns refused by the per-session rate limit.
+    pub rate_limited: u64,
+    /// Cheap verbs shed under backlog pressure.
+    pub shed: u64,
 }
 
 impl Metrics {
@@ -150,8 +190,17 @@ impl Metrics {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
+}
+
+/// One session's token bucket (see [`RateLimit`]).
+struct Bucket {
+    tokens: f64,
+    last: Instant,
 }
 
 /// State shared by the acceptor, every worker, and the [`Server`] handle.
@@ -163,6 +212,58 @@ struct Shared {
     addr: SocketAddr,
     stop: AtomicBool,
     metrics: Metrics,
+    /// Server start time (uptime in the `health` reply).
+    started: Instant,
+    /// Accepted connections currently waiting for a worker — the backlog
+    /// depth the load-shedding decision reads.
+    pending: AtomicUsize,
+    /// Per-session rate-limit buckets (present only while `rate_limit`
+    /// is configured; pruned on `close`).
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    /// Per-session last acknowledged sequenced turn and its response
+    /// fields: a retry of that exact turn gets the original answer back
+    /// (plus `deduped`) instead of re-running. Pruned on `close`; after a
+    /// crash the cache is empty and duplicates get a minimal ack.
+    acked: Mutex<HashMap<u64, AckedTurn>>,
+}
+
+/// A session's last acknowledged sequence number and the response fields
+/// it was answered with.
+type AckedTurn = (u64, Vec<(String, Json)>);
+
+impl Shared {
+    /// Take one token from `session`'s bucket, or report how long until
+    /// one accrues.
+    fn take_token(&self, session: u64, rl: RateLimit) -> Result<(), u64> {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let b = buckets.entry(session).or_insert(Bucket {
+            tokens: rl.burst,
+            last: now,
+        });
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + dt * rl.per_sec).min(rl.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait_s = (1.0 - b.tokens) / rl.per_sec.max(f64::MIN_POSITIVE);
+            Err((wait_s * 1000.0).ceil() as u64)
+        }
+    }
+
+    /// Forget per-session serving state (rate bucket, dedupe cache).
+    fn forget_session(&self, session: u64) {
+        self.buckets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session);
+        self.acked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session);
+    }
 }
 
 /// What a graceful [`Server::shutdown`] did.
@@ -178,6 +279,77 @@ pub struct ShutdownReport {
     pub live_sessions: usize,
 }
 
+/// Bind the listening socket with `SO_REUSEADDR`, so a restarted server
+/// reclaims its address immediately instead of failing while the killed
+/// process's connections drain out of `TIME_WAIT` — a fleet that is
+/// SIGKILLed and relaunched (the chaos harness, a supervisor restart
+/// loop) must come back on the same port without a cooldown. std's
+/// `TcpListener::bind` does not set the option, so on Linux/IPv4 the
+/// socket is built by hand against the C runtime std already links (the
+/// same no-crates route the CLI takes for `signal`); everywhere else
+/// this falls back to the std bind.
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    use std::os::unix::io::FromRawFd;
+
+    let resolved = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable bind address"))?;
+    let SocketAddr::V4(v4) = resolved else {
+        return TcpListener::bind(addr); // IPv6: take the std path
+    };
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x80000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    // SAFETY: plain syscalls on a fresh fd; every failure path closes it.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> io::Error {
+            let e = io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+            return Err(fail(fd));
+        }
+        // struct sockaddr_in: family u16 (native), port u16 (BE),
+        // addr u32 (BE), 8 bytes of zero padding.
+        let mut sa = [0u8; 16];
+        sa[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+        sa[2..4].copy_from_slice(&v4.port().to_be_bytes());
+        sa[4..8].copy_from_slice(&v4.ip().octets());
+        if bind(fd, sa.as_ptr(), sa.len() as u32) != 0 {
+            return Err(fail(fd));
+        }
+        if listen(fd, 128) != 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
 /// A running serving frontend (see the module docs).
 pub struct Server {
     addr: SocketAddr,
@@ -191,7 +363,7 @@ impl Server {
     /// Bind and start serving `manager` per `cfg`. Returns once the
     /// listener is bound and every worker is running.
     pub fn start(manager: Arc<SessionManager>, cfg: ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = bind_reuseaddr(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
         let shared = Arc::new(Shared {
@@ -200,6 +372,10 @@ impl Server {
             addr,
             stop: AtomicBool::new(false),
             metrics: Metrics::default(),
+            started: Instant::now(),
+            pending: AtomicUsize::new(0),
+            buckets: Mutex::new(HashMap::new()),
+            acked: Mutex::new(HashMap::new()),
         });
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.cfg.max_pending);
         let rx = Arc::new(Mutex::new(rx));
@@ -321,12 +497,14 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
         };
         if shared.stop.load(Ordering::SeqCst) {
             // The wake-up connection (or a late arrival): decline politely.
-            respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining");
+            respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining", None);
             return;
         }
         shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(conn) {
-            Ok(()) => {}
+            Ok(()) => {
+                shared.pending.fetch_add(1, Ordering::Relaxed);
+            }
             Err(TrySendError::Full(conn)) => {
                 shared
                     .metrics
@@ -336,10 +514,11 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
                     conn,
                     ErrorCode::Overloaded,
                     "connection limit reached; retry later",
+                    Some(RETRY_OVERLOADED_MS),
                 );
             }
             Err(TrySendError::Disconnected(conn)) => {
-                respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining");
+                respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining", None);
                 return;
             }
         }
@@ -347,9 +526,18 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
 }
 
 /// Best-effort single error line to a connection we will not serve.
-fn respond_and_close(mut conn: TcpStream, code: ErrorCode, detail: &str) {
+fn respond_and_close(
+    mut conn: TcpStream,
+    code: ErrorCode,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) {
     let _ = conn.set_write_timeout(Some(Duration::from_millis(500)));
-    let mut line = protocol::error_response(code, detail, None).encode();
+    let resp = match retry_after_ms {
+        Some(ms) => protocol::retry_error_response(code, detail, None, ms),
+        None => protocol::error_response(code, detail, None),
+    };
+    let mut line = resp.encode();
     line.push('\n');
     let _ = conn.write_all(line.as_bytes());
 }
@@ -365,8 +553,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
         let Ok(conn) = conn else {
             return; // channel closed: acceptor exited and queue is drained
         };
+        shared.pending.fetch_sub(1, Ordering::Relaxed);
         if shared.stop.load(Ordering::SeqCst) {
-            respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining");
+            respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining", None);
             shared
                 .metrics
                 .connections_closed
@@ -559,23 +748,68 @@ fn dispatch_line(shared: &Shared, line: &str) -> (Json, bool, Flow) {
     let id = req.id;
     match execute(shared, req) {
         Ok((resp, flow)) => (resp, false, flow),
-        Err((code, detail)) => (
-            protocol::error_response(code, &detail, id),
-            true,
-            Flow::Continue,
-        ),
+        Err(r) => {
+            let resp = match r.retry_after_ms {
+                Some(ms) => protocol::retry_error_response(r.code, &r.detail, id, ms),
+                None => protocol::error_response(r.code, &r.detail, id),
+            };
+            (resp, true, Flow::Continue)
+        }
     }
 }
 
-type ExecResult = Result<(Json, Flow), (ErrorCode, String)>;
+/// A refused request: the stable code, the human detail, and — for
+/// back-pressure refusals — when retrying is expected to succeed.
+struct Refusal {
+    code: ErrorCode,
+    detail: String,
+    retry_after_ms: Option<u64>,
+}
 
-fn squid_error(e: SquidError) -> (ErrorCode, String) {
+impl Refusal {
+    fn new(code: ErrorCode, detail: impl Into<String>) -> Refusal {
+        Refusal {
+            code,
+            detail: detail.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    fn retry(code: ErrorCode, detail: impl Into<String>, after_ms: u64) -> Refusal {
+        Refusal {
+            code,
+            detail: detail.into(),
+            retry_after_ms: Some(after_ms),
+        }
+    }
+}
+
+type ExecResult = Result<(Json, Flow), Refusal>;
+
+fn squid_error(e: SquidError) -> Refusal {
     let code = match &e {
         SquidError::UnknownSession { .. } => ErrorCode::UnknownSession,
+        SquidError::SequenceGap { .. } => ErrorCode::BadRequest,
         SquidError::Io(_) | SquidError::Corrupt { .. } => ErrorCode::Internal,
         _ => ErrorCode::Discovery,
     };
-    (code, e.to_string())
+    Refusal::new(code, e.to_string())
+}
+
+/// Graceful degradation: refuse a cheap-to-retry verb when the worker
+/// backlog is saturated, so accepted turns keep their workers. Turns are
+/// never shed — a turn carries session state the client would have to
+/// replay; a shed `suggest`/`stats` costs one retry.
+fn shed_cheap(shared: &Shared, verb: &str) -> Result<(), Refusal> {
+    if shared.pending.load(Ordering::Relaxed) >= shared.cfg.shed_pending {
+        shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(Refusal::retry(
+            ErrorCode::Overloaded,
+            format!("{verb} shed under load; retry shortly"),
+            RETRY_OVERLOADED_MS,
+        ));
+    }
+    Ok(())
 }
 
 fn execute(shared: &Shared, req: Request) -> ExecResult {
@@ -589,26 +823,74 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
         Verb::Ping => ok(vec![("pong".into(), Json::Bool(true))]),
         Verb::Create => {
             if shared.stop.load(Ordering::SeqCst) {
-                return Err((ErrorCode::ShuttingDown, "server is draining".into()));
+                return Err(Refusal::new(ErrorCode::ShuttingDown, "server is draining"));
             }
             if m.session_count() >= shared.cfg.max_sessions {
-                return Err((
-                    ErrorCode::Overloaded,
+                return Err(Refusal::retry(
+                    ErrorCode::SessionLimit,
                     format!("session limit {} reached", shared.cfg.max_sessions),
+                    RETRY_SESSION_LIMIT_MS,
                 ));
             }
             let sid = m.create_session();
             ok(vec![("session".into(), Json::Int(sid as i64))])
         }
-        Verb::Apply { session, op } => {
-            shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
-            let delta = m.apply_op(session, &op).map_err(squid_error)?;
-            match delta {
-                Some(delta) => ok(delta_fields(&delta)),
-                None => ok(vec![]),
+        Verb::Apply { session, op, seq } => {
+            if let Some(rl) = shared.cfg.rate_limit {
+                if let Err(wait_ms) = shared.take_token(session, rl) {
+                    shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    return Err(Refusal::retry(
+                        ErrorCode::RateLimited,
+                        format!("session {session} exceeded its turn budget"),
+                        wait_ms,
+                    ));
+                }
+            }
+            match seq {
+                None => {
+                    shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
+                    let delta = m.apply_op(session, &op).map_err(squid_error)?;
+                    match delta {
+                        Some(delta) => ok(delta_fields(&delta)),
+                        None => ok(vec![]),
+                    }
+                }
+                Some(seq) => match m.apply_op_at(session, seq, &op).map_err(squid_error)? {
+                    squid_core::SeqOutcome::Applied(delta) => {
+                        shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
+                        let fields = match delta {
+                            Some(delta) => delta_fields(&delta),
+                            None => vec![],
+                        };
+                        shared
+                            .acked
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(session, (seq, fields.clone()));
+                        ok(fields)
+                    }
+                    squid_core::SeqOutcome::Duplicate => {
+                        // An acknowledged turn retried: hand back the
+                        // original answer when we still have it (same
+                        // process), else a minimal ack (post-crash replay
+                        // already restored the state the answer described).
+                        shared.metrics.deduped.fetch_add(1, Ordering::Relaxed);
+                        let cached = shared
+                            .acked
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get(&session)
+                            .filter(|(s, _)| *s == seq)
+                            .map(|(_, fields)| fields.clone());
+                        let mut fields = cached.unwrap_or_default();
+                        fields.push(("deduped".into(), Json::Bool(true)));
+                        ok(fields)
+                    }
+                },
             }
         }
         Verb::Suggest { session, k } => {
+            shed_cheap(shared, "suggest")?;
             let suggestions = m
                 .with_session(session, |s| {
                     let Some(d) = s.discovery() else {
@@ -682,6 +964,13 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             ok(vec![("examples".into(), Json::Arr(examples))])
         }
         Verb::Stats { session } => {
+            // Fleet-wide stats are orchestrator telemetry and shed under
+            // load; a session-scoped stats call is part of a client's
+            // re-adoption handshake (it learns its turn cursor from
+            // `op_seq`) and is never shed.
+            if session.is_none() {
+                shed_cheap(shared, "stats")?;
+            }
             let mut fields = vec![
                 ("sessions".into(), Json::Int(m.session_count() as i64)),
                 (
@@ -722,15 +1011,22 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
                         ("sessions_replayed", Json::Int(rs.sessions_replayed as i64)),
                         ("records_applied", Json::Int(rs.records_applied as i64)),
                         ("records_failed", Json::Int(rs.records_failed as i64)),
+                        ("records_skipped", Json::Int(rs.records_skipped as i64)),
                         ("bytes_truncated", Json::Int(rs.bytes_truncated as i64)),
                         ("live_sessions", Json::Int(rs.live_sessions as i64)),
                     ]),
                 ));
             }
+            if let Some(js) = m.journal_stats() {
+                fields.push(("journal".into(), journal_json(&js)));
+            }
             if let Some(sid) = session {
-                let cs = m
-                    .with_session(sid, |s| Ok(s.cache_stats()))
+                let (cs, op_seq) = m
+                    .with_session(sid, |s| Ok((s.cache_stats(), s.op_seq())))
                     .map_err(squid_error)?;
+                // The session's turn cursor: a reconnecting client resumes
+                // its sequence numbering from here.
+                fields.push(("op_seq".into(), Json::Int(op_seq as i64)));
                 fields.push((
                     "session_cache".into(),
                     Json::obj([
@@ -745,8 +1041,48 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             }
             ok(fields)
         }
+        Verb::Health => {
+            // Deliberately cheap (counters and two map sizes) and never
+            // shed: orchestrators must be able to probe an overloaded
+            // server — that is exactly when they ask.
+            let mx = shared.metrics.snapshot();
+            let mut fields = vec![
+                ("healthy".into(), Json::Bool(true)),
+                (
+                    "draining".into(),
+                    Json::Bool(shared.stop.load(Ordering::SeqCst)),
+                ),
+                (
+                    "uptime_ms".into(),
+                    Json::Int(shared.started.elapsed().as_millis() as i64),
+                ),
+                ("sessions".into(), Json::Int(m.session_count() as i64)),
+                (
+                    "max_sessions".into(),
+                    Json::Int(shared.cfg.max_sessions as i64),
+                ),
+                (
+                    "pending".into(),
+                    Json::Int(shared.pending.load(Ordering::Relaxed) as i64),
+                ),
+                ("workers".into(), Json::Int(shared.cfg.workers as i64)),
+                ("requests".into(), Json::Int(mx.requests as i64)),
+                ("turns".into(), Json::Int(mx.turns as i64)),
+                ("rate_limited".into(), Json::Int(mx.rate_limited as i64)),
+                ("shed".into(), Json::Int(mx.shed as i64)),
+            ];
+            fields.push((
+                "journal".into(),
+                match m.journal_stats() {
+                    Some(js) => journal_json(&js),
+                    None => Json::str("detached"),
+                },
+            ));
+            ok(fields)
+        }
         Verb::Close { session } => {
             m.close_session(session).map_err(squid_error)?;
+            shared.forget_session(session);
             ok(vec![("closed".into(), Json::Bool(true))])
         }
         Verb::Shutdown => {
@@ -774,7 +1110,40 @@ fn metrics_json(mx: &ServerMetrics) -> Json {
             Json::Int(mx.connections_closed as i64),
         ),
         ("idle_reaped", Json::Int(mx.idle_reaped as i64)),
+        ("deduped", Json::Int(mx.deduped as i64)),
+        ("rate_limited", Json::Int(mx.rate_limited as i64)),
+        ("shed", Json::Int(mx.shed as i64)),
     ])
+}
+
+/// Wire rendering of [`squid_core::JournalStats`]: replay debt (base vs
+/// tail records), file size, and compaction history.
+fn journal_json(js: &squid_core::JournalStats) -> Json {
+    let mut members = vec![
+        ("bytes".to_string(), Json::Int(js.bytes as i64)),
+        (
+            "base_records".to_string(),
+            Json::Int(js.base_records as i64),
+        ),
+        (
+            "tail_records".to_string(),
+            Json::Int(js.tail_records as i64),
+        ),
+        ("compactions".to_string(), Json::Int(js.compactions as i64)),
+    ];
+    members.push((
+        "last_compaction".to_string(),
+        match &js.last_compaction {
+            Some(c) => Json::obj([
+                ("sessions", Json::Int(c.sessions as i64)),
+                ("records_written", Json::Int(c.records_written as i64)),
+                ("bytes_before", Json::Int(c.bytes_before as i64)),
+                ("bytes_after", Json::Int(c.bytes_after as i64)),
+            ]),
+            None => Json::Null,
+        },
+    ));
+    Json::Obj(members)
 }
 
 /// Response fields of a session-mutating turn: the wire rendering of a

@@ -1,0 +1,140 @@
+//! Flaky-network e2e: drive a real server through the fault-injecting
+//! proxy and prove the retry layer converts every ambiguous outcome
+//! (lost ack, torn reply, severed connection, reply stuck past the
+//! deadline) into exactly-once turns.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use squid_adb::{test_fixtures, ADb};
+use squid_core::SessionManager;
+use squid_serve::{
+    json::Json, Client, FaultProxy, FaultRule, RetryClient, RetryPolicy, ServeConfig, Server,
+};
+
+fn start_server(cfg: ServeConfig) -> Server {
+    let adb = Arc::new(ADb::build(&test_fixtures::mini_imdb()).unwrap());
+    Server::start(Arc::new(SessionManager::new(adb)), cfg).unwrap()
+}
+
+fn impatient_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        read_timeout: Some(Duration::from_millis(300)),
+    }
+}
+
+/// The examples the server actually holds for a session, asked directly
+/// (not through the proxy).
+fn server_examples(server: &Server, sid: u64) -> Vec<String> {
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let resp = c
+        .request(&Json::obj([
+            ("op", Json::str("examples")),
+            ("session", Json::Int(sid as i64)),
+        ]))
+        .unwrap();
+    resp.get("examples")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|j| j.as_str().map(str::to_string))
+        .collect()
+}
+
+#[test]
+fn a_dropped_acknowledgement_dedupes_instead_of_double_applying() {
+    let server = start_server(ServeConfig::default());
+    // Exchange 1 (create) passes; exchange 2 (the add) is applied by the
+    // server but its ack is swallowed.
+    let proxy = FaultProxy::start(
+        server.local_addr(),
+        vec![FaultRule::Pass, FaultRule::DropReply],
+    )
+    .unwrap();
+    let mut rc = RetryClient::with_policy(proxy.local_addr().to_string(), impatient_policy());
+    let sid = rc.create().unwrap();
+    rc.add(sid, "Jim Carrey").unwrap();
+    assert_eq!(
+        rc.counters().deduped,
+        1,
+        "the retried turn must be absorbed by the server's cursor"
+    );
+    assert_eq!(server_examples(&server, sid), vec!["Jim Carrey"]);
+    assert_eq!(proxy.faults_injected(), 1);
+    proxy.stop();
+    server.shutdown();
+}
+
+#[test]
+fn a_reply_torn_mid_record_is_a_transport_error_and_retries() {
+    let server = start_server(ServeConfig::default());
+    // The add's reply is cut off halfway through the line, then severed.
+    let proxy = FaultProxy::start(
+        server.local_addr(),
+        vec![FaultRule::Pass, FaultRule::Truncate],
+    )
+    .unwrap();
+    let mut rc = RetryClient::with_policy(proxy.local_addr().to_string(), impatient_policy());
+    let sid = rc.create().unwrap();
+    // Applied on the server; the torn line must surface as a transport
+    // error (not a protocol error), reconnect, and dedupe.
+    rc.add(sid, "Eddie Murphy").unwrap();
+    assert!(rc.counters().reconnects >= 1);
+    assert_eq!(rc.counters().deduped, 1);
+    assert_eq!(server_examples(&server, sid), vec!["Eddie Murphy"]);
+    proxy.stop();
+    server.shutdown();
+}
+
+#[test]
+fn a_severed_request_is_retried_and_applied_exactly_once() {
+    let server = start_server(ServeConfig::default());
+    // The add is severed before the server ever sees it: the retry is a
+    // first delivery, not a duplicate.
+    let proxy =
+        FaultProxy::start(server.local_addr(), vec![FaultRule::Pass, FaultRule::Sever]).unwrap();
+    let mut rc = RetryClient::with_policy(proxy.local_addr().to_string(), impatient_policy());
+    let sid = rc.create().unwrap();
+    rc.add(sid, "Robin Williams").unwrap();
+    assert!(rc.counters().reconnects >= 1);
+    assert_eq!(
+        rc.counters().deduped,
+        0,
+        "the server never saw the severed request, so nothing dedupes"
+    );
+    assert_eq!(server_examples(&server, sid), vec!["Robin Williams"]);
+    proxy.stop();
+    server.shutdown();
+}
+
+#[test]
+fn a_reply_delayed_past_every_deadline_still_converges() {
+    // Short server idle deadline: the stalled upstream connection gets
+    // reaped while the proxy is still sitting on the reply.
+    let server = start_server(ServeConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..ServeConfig::default()
+    });
+    let proxy = FaultProxy::start(
+        server.local_addr(),
+        vec![
+            FaultRule::Pass,
+            FaultRule::Delay(Duration::from_millis(800)),
+        ],
+    )
+    .unwrap();
+    let mut rc = RetryClient::with_policy(proxy.local_addr().to_string(), impatient_policy());
+    let sid = rc.create().unwrap();
+    // The add is applied promptly server-side, but its reply is held
+    // past the client's 300ms read timeout — the retry (on a fresh
+    // connection) dedupes.
+    rc.add(sid, "Jim Carrey").unwrap();
+    assert!(rc.counters().retries >= 1);
+    assert_eq!(rc.counters().deduped, 1);
+    assert_eq!(server_examples(&server, sid), vec!["Jim Carrey"]);
+    proxy.stop();
+    server.shutdown();
+}

@@ -1,0 +1,165 @@
+//! Server-protection e2e: sequence-numbered turn dedupe, per-session
+//! rate limiting with retry hints, and the `health` probe — the parts of
+//! the self-healing story that don't need a crashing process.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use squid_adb::{test_fixtures, ADb};
+use squid_core::{FsyncPolicy, Journal, SessionManager};
+use squid_serve::{
+    json::Json, Client, ClientError, RateLimit, RetryClient, RetryPolicy, ServeConfig, Server,
+};
+
+fn test_adb() -> Arc<ADb> {
+    Arc::new(ADb::build(&test_fixtures::mini_imdb()).unwrap())
+}
+
+fn start_with(manager: SessionManager, cfg: ServeConfig) -> Server {
+    Server::start(Arc::new(manager), cfg).unwrap()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "squid-resilience-{tag}-{}-{:?}.journal",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn sequenced_turns_dedupe_and_reject_gaps_over_the_wire() {
+    let server = start_with(SessionManager::new(test_adb()), ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let sid = client.create().unwrap();
+    let body = |seq: i64| {
+        Json::obj([
+            ("op", Json::str("add")),
+            ("session", Json::Int(sid as i64)),
+            ("seq", Json::Int(seq)),
+            ("value", Json::str("Jim Carrey")),
+        ])
+    };
+
+    let first = client.request(&body(1)).unwrap();
+    assert_eq!(
+        first.get("deduped"),
+        None,
+        "a fresh turn must not be marked deduped"
+    );
+
+    // A client retrying a lost ack re-sends the same sequence number:
+    // the server absorbs it and answers with the original turn's fields.
+    let replay = client.request(&body(1)).unwrap();
+    assert_eq!(replay.get("deduped").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        replay.get("rows").and_then(Json::as_i64),
+        first.get("rows").and_then(Json::as_i64),
+        "deduped ack must carry the original response fields"
+    );
+
+    // Applied once, not twice.
+    let examples = client
+        .request(&Json::obj([
+            ("op", Json::str("examples")),
+            ("session", Json::Int(sid as i64)),
+        ]))
+        .unwrap();
+    assert_eq!(
+        examples
+            .get("examples")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+
+    // Claiming turns the server never saw is a client bug, not a retry.
+    let err = client.request(&body(5)).unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"));
+
+    // Unsequenced turns still work and share the same cursor.
+    client.add(sid, "Eddie Murphy").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn rate_limited_turns_carry_hints_and_retry_clients_absorb_them() {
+    let server = start_with(
+        SessionManager::new(test_adb()),
+        ServeConfig {
+            rate_limit: Some(RateLimit {
+                per_sec: 4.0,
+                burst: 1.0,
+            }),
+            ..ServeConfig::default()
+        },
+    );
+
+    // A bare client sees the refusal and its hint.
+    let mut raw = Client::connect(server.local_addr()).unwrap();
+    let sid = raw.create().unwrap();
+    raw.add(sid, "Jim Carrey").unwrap();
+    let err = raw.add(sid, "Eddie Murphy").unwrap_err();
+    match err {
+        ClientError::Server {
+            ref code,
+            retry_after_ms,
+            ..
+        } if code == "rate_limited" => {
+            let ms = retry_after_ms.expect("rate_limited must carry retry_after_ms");
+            assert!(ms > 0 && ms <= 250, "hint {ms}ms out of range for 4/sec");
+        }
+        other => panic!("expected rate_limited, got {other}"),
+    }
+    // Reads are not budgeted turns.
+    raw.sql(sid).unwrap();
+
+    // A retry client turns the refusals into waits and finishes the
+    // script anyway.
+    let mut rc = RetryClient::with_policy(
+        server.local_addr().to_string(),
+        RetryPolicy {
+            max_attempts: 30,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(400),
+            read_timeout: Some(Duration::from_secs(5)),
+        },
+    );
+    let sid2 = rc.create().unwrap();
+    for name in ["Jim Carrey", "Eddie Murphy", "Robin Williams"] {
+        rc.add(sid2, name).unwrap();
+    }
+    assert!(
+        rc.counters().rate_limited >= 1,
+        "back-to-back turns at 4/sec must hit the limiter at least once"
+    );
+    let report = server.shutdown();
+    assert!(report.metrics.rate_limited >= 2);
+}
+
+#[test]
+fn health_reports_load_sessions_and_journal() {
+    let path = temp_path("health");
+    let _ = std::fs::remove_file(&path);
+    let manager = SessionManager::new(test_adb());
+    manager.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+    let server = start_with(manager, ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let sid = client.create().unwrap();
+    client.add(sid, "Jim Carrey").unwrap();
+
+    let h = client.health().unwrap();
+    assert_eq!(h.get("healthy").and_then(Json::as_bool), Some(true));
+    assert_eq!(h.get("draining").and_then(Json::as_bool), Some(false));
+    assert_eq!(h.get("sessions").and_then(Json::as_i64), Some(1));
+    assert!(h.get("uptime_ms").and_then(Json::as_i64).is_some());
+    let journal = h.get("journal").expect("journal stats in health");
+    assert!(journal.get("bytes").and_then(Json::as_i64).unwrap() > 0);
+    // The create and the add are both journal tail records.
+    assert_eq!(journal.get("tail_records").and_then(Json::as_i64), Some(2));
+    assert_eq!(journal.get("compactions").and_then(Json::as_i64), Some(0));
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

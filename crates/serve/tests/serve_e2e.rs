@@ -144,7 +144,15 @@ fn session_cap_refuses_create_but_keeps_the_connection() {
     let a = client.create().unwrap();
     let _b = client.create().unwrap();
     let err = client.create().unwrap_err();
-    assert_eq!(err.code(), Some("overloaded"));
+    assert_eq!(err.code(), Some("session_limit"));
+    // The refusal tells the client when to try again.
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            retry_after_ms: Some(ms),
+            ..
+        } if ms > 0
+    ));
     // Refusal is per-request: the connection still serves, and closing a
     // session frees a slot.
     client.close(a).unwrap();

@@ -81,9 +81,11 @@ session commands:
   suggest [k]          k most informative next examples (default 3)
   examples             list the session's examples
   stats                evaluation-cache counters (both levels), evictions,
-                       resident bytes, and recovery statistics
+                       resident bytes, recovery and journal statistics
   save [path]          write an αDB snapshot (default: the --snapshot path)
   recover              rewind to the journal's durable state (--journal)
+  compact              rewrite the journal to live-session snapshots
+                       (bounds recovery time; --journal)
   help                 this text
   quit                 exit";
 
@@ -525,6 +527,20 @@ fn run_repl(
                         manager.journal_write_errors()
                     );
                 }
+                if let Some(js) = manager.journal_stats() {
+                    println!(
+                        "journal: {} bytes at {} ({} base + {} tail record(s), \
+                         {} compaction(s))",
+                        js.bytes, js.path, js.base_records, js.tail_records, js.compactions
+                    );
+                    if let Some(lc) = js.last_compaction {
+                        println!(
+                            "last compaction: {} session(s) snapshotted into {} record(s), \
+                             {} -> {} bytes",
+                            lc.sessions, lc.records_written, lc.bytes_before, lc.bytes_after
+                        );
+                    }
+                }
                 None
             }),
             "suggest" => {
@@ -610,6 +626,18 @@ fn run_repl(
                     }
                 }
                 None => Err("no journal attached (pass --journal <path>)".into()),
+            },
+            "compact" => match manager.compact_journal() {
+                Ok(Some(cs)) => {
+                    println!(
+                        "journal compacted: {} session(s) snapshotted into {} record(s), \
+                         {} -> {} bytes",
+                        cs.sessions, cs.records_written, cs.bytes_before, cs.bytes_after
+                    );
+                    Ok(None)
+                }
+                Ok(None) => Err("no journal attached (pass --journal <path>)".into()),
+                Err(e) => Err(format!("journal compaction failed: {e}")),
             },
             other => Err(format!("unknown command {other:?} — try `help`")),
         };

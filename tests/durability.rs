@@ -208,10 +208,10 @@ proptest! {
         prop_assert!(stats.records_failed == 0, "no replayed record may fail");
 
         // An uncrashed fleet that executed exactly the recovered prefix.
-        let replayed: Vec<(u64, SessionOp)> =
+        let replayed: Vec<(u64, u64, SessionOp)> =
             squid_core::read_journal(&path).unwrap().records;
         let reference = SessionManager::new(Arc::clone(&adb));
-        for (_, op) in &replayed {
+        for (_, _, op) in &replayed {
             match op {
                 SessionOp::Create => { reference.create_session(); }
                 SessionOp::End => {}
