@@ -316,11 +316,17 @@ impl Journal {
     }
 
     /// Rewrite the journal at `path` as a snapshot of the given live
-    /// sessions, returning a fresh appender over the compacted file. Each
-    /// entry is `(session id, op-sequence cursor, state ops)` — the
-    /// minimal op sequence that rebuilds the session plus the cursor its
-    /// replay must land on (see [`SquidSession::state_ops`] and
-    /// `SessionManager::compact_journal`).
+    /// sessions plus a carried tail, returning a fresh appender over the
+    /// compacted file. Each `live` entry is `(session id, op-sequence
+    /// cursor, state ops)` — the minimal op sequence that rebuilds the
+    /// session plus the cursor its replay must land on (see
+    /// [`SquidSession::state_ops`] and `SessionManager::compact_journal`).
+    /// `tail` holds old-journal records the snapshot does not cover
+    /// (appended while the snapshot was being collected, or lifecycle
+    /// records of sessions born since); they are re-appended after the
+    /// snapshot section with their original sequence numbers, so replay
+    /// ordering and dedupe behave exactly as they would have against the
+    /// old file.
     ///
     /// Crash-safe: the snapshot is written to a temp file, fsynced, and
     /// atomically renamed over `path`. Dying at any point before the
@@ -330,6 +336,7 @@ impl Journal {
     pub fn compact(
         path: impl AsRef<Path>,
         live: &[(SessionId, u64, Vec<SessionOp>)],
+        tail: &[(SessionId, u64, SessionOp)],
         policy: FsyncPolicy,
     ) -> Result<(Journal, CompactStats), SquidError> {
         let path = path.as_ref();
@@ -353,6 +360,10 @@ impl Journal {
                 snapshot.append(*sid, 0, op)?;
                 records_written += 1;
             }
+        }
+        for (sid, seq, op) in tail {
+            snapshot.append(*sid, *seq, op)?;
+            records_written += 1;
         }
         // The rename must never promote a half-written snapshot: force the
         // temp file to disk first, regardless of the append-path policy.
@@ -384,8 +395,8 @@ impl Journal {
 pub struct CompactStats {
     /// Live sessions snapshotted.
     pub sessions: usize,
-    /// Records in the compacted journal (the snapshot section; the live
-    /// tail grows from here).
+    /// Records in the compacted journal (the snapshot section plus the
+    /// carried tail; new appends grow from here).
     pub records_written: u64,
     /// Journal bytes before compaction.
     pub bytes_before: u64,

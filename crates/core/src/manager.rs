@@ -144,9 +144,15 @@ pub struct SessionManager {
     /// Auto-compaction floor: compact once the appended tail reaches
     /// `max(this, base_records)` records (`None` = manual only).
     auto_compact: Option<u64>,
+    /// Serializes [`SessionManager::compact_journal`] runs: two racing
+    /// compactions could otherwise rewrite the file from the staler of
+    /// two session snapshots, dropping the fresher one's records.
+    compact_lock: Mutex<()>,
     /// What the last [`SessionManager::recover`] call did.
     recover_stats: Mutex<Option<RecoverStats>>,
-    /// Journal appends that failed on the best-effort create/end paths.
+    /// Journal appends that failed: best-effort create/end records, plus
+    /// turn appends that fail-stopped their session (see
+    /// [`SessionManager::apply_op`]).
     journal_write_errors: AtomicU64,
 }
 
@@ -186,6 +192,7 @@ impl SessionManager {
             session_cache_bytes: None,
             journal: Mutex::new(None),
             auto_compact: None,
+            compact_lock: Mutex::new(()),
             recover_stats: Mutex::new(None),
             journal_write_errors: AtomicU64::new(0),
         }
@@ -435,6 +442,13 @@ impl SessionManager {
         self.len()
     }
 
+    /// Whether `id` is currently hosted (registry membership only; does
+    /// not touch the idle clock or run TTL checks). Frontends use this to
+    /// validate an id before allocating per-session serving state.
+    pub fn contains_session(&self, id: SessionId) -> bool {
+        recover_guard(self.shard(id).read()).contains_key(&id)
+    }
+
     /// Ids of every live session, ascending — [`SessionManager::session_ids`]
     /// under the name the serving `stats` verb reports it by.
     pub fn active_ids(&self) -> Vec<SessionId> {
@@ -489,7 +503,8 @@ impl SessionManager {
         }
     }
 
-    /// Journal appends that failed on the infallible create/end paths.
+    /// Journal appends that failed: the infallible create/end paths plus
+    /// turn appends that fail-stopped their session.
     pub fn journal_write_errors(&self) -> u64 {
         self.journal_write_errors.load(Ordering::Relaxed)
     }
@@ -536,13 +551,22 @@ impl SessionManager {
         }
     }
 
-    /// Apply one session-mutating operation *and* journal it. The record
-    /// is appended only after the operation succeeds (mutators are
-    /// rollback-on-error), so the journal always holds exactly the
-    /// successful history — replaying it is deterministic. Each applied
-    /// record advances the session's sequence cursor, which is what makes
-    /// journal replay (and client retries via
-    /// [`SessionManager::apply_op_at`]) idempotent.
+    /// Apply one session-mutating operation *and* journal it. The
+    /// operation, the journal append, and the sequence-cursor advance all
+    /// happen under the session's mutex, so journal append order always
+    /// matches sequence order even when several connections drive the
+    /// same session (sessions are not connection-bound) — the invariant
+    /// that makes [`SessionManager::recover`]'s cursor-based dedupe safe.
+    /// The record is appended only after the operation succeeds (mutators
+    /// are rollback-on-error), so the journal always holds exactly the
+    /// successful history — replaying it is deterministic.
+    ///
+    /// If the operation succeeds but the append fails, the turn is *not*
+    /// acknowledged: the cursor stays put, the error propagates, and the
+    /// session is fail-stopped (evicted) — its in-memory state now holds
+    /// a mutation the journal does not, and serving it would let live
+    /// state silently diverge from what recovery can rebuild. Later turns
+    /// see [`SquidError::UnknownSession`].
     ///
     /// Lifecycle ops are not applicable here: use
     /// [`SessionManager::create_session`] / [`SessionManager::end_session`],
@@ -552,16 +576,10 @@ impl SessionManager {
         id: SessionId,
         op: &SessionOp,
     ) -> Result<Option<DiscoveryDelta>, SquidError> {
-        let (delta, seq) = self.with_session(id, |s| {
-            let delta = op.apply(s)?;
-            let seq = s.op_seq() + 1;
-            s.advance_op_seq(seq);
-            Ok((delta, seq))
-        })?;
-        if self.journal_append(id, seq, op)? {
-            self.autocompact();
+        match self.sequenced_apply(id, None, op)? {
+            SeqOutcome::Applied(delta) => Ok(delta),
+            SeqOutcome::Duplicate => unreachable!("unsequenced ops are never duplicates"),
         }
-        Ok(delta)
     }
 
     /// Apply a client-sequenced mutation exactly once. `seq` is the
@@ -570,7 +588,8 @@ impl SessionManager {
     /// acknowledged request — and is reported as
     /// [`SeqOutcome::Duplicate`] without re-running anything; exactly
     /// `cursor + 1` applies and journals like
-    /// [`SessionManager::apply_op`]; anything further ahead is a
+    /// [`SessionManager::apply_op`] (same atomicity and append-failure
+    /// semantics); anything further ahead is a
     /// [`SquidError::SequenceGap`] (the client claims turns the server
     /// never saw).
     pub fn apply_op_at(
@@ -579,30 +598,67 @@ impl SessionManager {
         seq: u64,
         op: &SessionOp,
     ) -> Result<SeqOutcome, SquidError> {
+        self.sequenced_apply(id, Some(seq), op)
+    }
+
+    /// The shared apply path: run the op, journal it, and advance the
+    /// cursor atomically under the session mutex (see
+    /// [`SessionManager::apply_op`]). Lock order is session → journal,
+    /// everywhere — [`SessionManager::compact_journal`] is built around
+    /// the same rule.
+    fn sequenced_apply(
+        &self,
+        id: SessionId,
+        seq: Option<u64>,
+        op: &SessionOp,
+    ) -> Result<SeqOutcome, SquidError> {
         enum Step {
-            Applied(Option<DiscoveryDelta>),
+            Applied(Option<DiscoveryDelta>, bool),
             Duplicate,
         }
+        let mut durability_lost = false;
         let step = self.with_session(id, |s| {
             let cur = s.op_seq();
-            if seq <= cur {
-                return Ok(Step::Duplicate);
-            }
-            if seq != cur + 1 {
-                return Err(SquidError::SequenceGap {
-                    id,
-                    expected: cur + 1,
-                    got: seq,
-                });
-            }
+            let next = match seq {
+                None => cur + 1,
+                Some(seq) if seq <= cur => return Ok(Step::Duplicate),
+                Some(seq) if seq != cur + 1 => {
+                    return Err(SquidError::SequenceGap {
+                        id,
+                        expected: cur + 1,
+                        got: seq,
+                    })
+                }
+                Some(seq) => seq,
+            };
             let delta = op.apply(s)?;
-            s.advance_op_seq(seq);
-            Ok(Step::Applied(delta))
-        })?;
-        match step {
+            match self.journal_append(id, next, op) {
+                Ok(compact) => {
+                    // Advance only once the record is durable: a failed
+                    // append must leave the cursor where the journal is,
+                    // or a client reusing this turn number would be
+                    // absorbed as a duplicate of a turn that never
+                    // happened.
+                    s.advance_op_seq(next);
+                    Ok(Step::Applied(delta, compact))
+                }
+                Err(e) => {
+                    durability_lost = true;
+                    Err(e)
+                }
+            }
+        });
+        if durability_lost {
+            // The op mutated in-memory state the journal never saw;
+            // fail-stop the session rather than serve state recovery
+            // cannot rebuild.
+            recover_guard(self.shard(id).write()).remove(&id);
+            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        match step? {
             Step::Duplicate => Ok(SeqOutcome::Duplicate),
-            Step::Applied(delta) => {
-                if self.journal_append(id, seq, op)? {
+            Step::Applied(delta, compact) => {
+                if compact {
                     self.autocompact();
                 }
                 Ok(SeqOutcome::Applied(delta))
@@ -617,21 +673,29 @@ impl SessionManager {
     /// and renamed over the old journal — a crash mid-compaction recovers
     /// from whichever complete file the rename left behind.
     ///
-    /// Concurrency: the journal lock is held for the whole rewrite, so
-    /// mutations that race the snapshot block at the append and land in
-    /// the *new* journal. A mutation applied before its session was
-    /// snapshotted is then recorded twice (in the snapshot's state and as
-    /// a tail record), which sequence-cursor replay dedupes — see the
-    /// journal module docs.
+    /// Concurrency: lock order everywhere is session → journal (appends
+    /// run under the session mutex), so the snapshot is collected *before*
+    /// taking the journal lock — taking session locks under it would
+    /// deadlock against in-flight turns. Anything a session journals
+    /// after its snapshot but before the rewrite sits only in the old
+    /// file; the rewrite rescans that file and carries forward every
+    /// record the snapshot does not cover (sequence numbers above the
+    /// snapshotted cursor, plus lifecycle records of sessions born or
+    /// ended since), so a racing mutation is never dropped. Replay's
+    /// cursor dedupe makes any overlap harmless — see the journal module
+    /// docs.
     ///
     /// Returns `None` when no journal is attached.
     pub fn compact_journal(&self) -> Result<Option<CompactStats>, SquidError> {
-        let mut guard = recover_guard(self.journal.lock());
-        let Some(state) = guard.as_mut() else {
+        // One compaction at a time: two racing compactors could otherwise
+        // rewrite the file from the staler of two snapshots, and the
+        // carry-forward scan below would judge records against cursors
+        // that undercount the other snapshot's state.
+        let _compacting = recover_guard(self.compact_lock.lock());
+        if !self.has_journal() {
             return Ok(None);
-        };
-        let path = state.journal.path().to_path_buf();
-        let policy = state.journal.policy();
+        }
+        // Phase 1 — snapshot live sessions, journal lock not held.
         let mut live: Vec<(SessionId, u64, Vec<SessionOp>)> = Vec::new();
         for id in self.session_ids() {
             // A session closed/evicted between the listing and the lock is
@@ -640,7 +704,41 @@ impl SessionManager {
                 live.push((id, snap.0, snap.1));
             }
         }
-        let (journal, stats) = Journal::compact(&path, &live, policy)?;
+        // Phase 2 — rewrite under the journal lock (appends block until
+        // the swap completes, then land in the new file).
+        let mut guard = recover_guard(self.journal.lock());
+        let Some(state) = guard.as_mut() else {
+            return Ok(None);
+        };
+        // Buffered records must be visible to the carry-forward scan.
+        state.journal.sync()?;
+        let path = state.journal.path().to_path_buf();
+        let policy = state.journal.policy();
+        let cursors: FxHashMap<SessionId, u64> =
+            live.iter().map(|(id, cur, _)| (*id, *cur)).collect();
+        let mut tail: Vec<(SessionId, u64, SessionOp)> = Vec::new();
+        for (sid, seq, op) in journal::read_journal(&path)?.records {
+            let keep = match cursors.get(&sid) {
+                // Snapshotted session: its Create and everything at or
+                // below the snapshot cursor is subsumed by the snapshot
+                // (seq-0 records are a previous compaction's state ops);
+                // an End means it died after its snapshot was taken and
+                // must still die on replay.
+                Some(&cursor) => match op {
+                    SessionOp::Create => false,
+                    SessionOp::End => true,
+                    _ => seq != 0 && seq > cursor,
+                },
+                // Not snapshotted: either created after phase 1 (still
+                // hosted — keep its whole history) or dead (drop its
+                // history entirely; that is what compaction is for).
+                None => recover_guard(self.shard(sid).read()).contains_key(&sid),
+            };
+            if keep {
+                tail.push((sid, seq, op));
+            }
+        }
+        let (journal, stats) = Journal::compact(&path, &live, &tail, policy)?;
         state.journal = journal;
         state.base_records = stats.records_written;
         state.tail_records = 0;
@@ -1138,6 +1236,145 @@ mod tests {
             SeqOutcome::Applied(_)
         ));
         assert_eq!(m.with_session(id, |s| Ok(s.op_seq())).unwrap(), 3);
+    }
+
+    #[test]
+    fn concurrent_turns_on_one_session_journal_in_seq_order() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("seq_order.journal");
+        std::fs::remove_file(&path).ok();
+        let m = SessionManager::new(adb);
+        m.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let id = m.create_session();
+        // Four connections drive the same session (sessions are not
+        // connection-bound); each thread churns its own example so every
+        // op succeeds regardless of interleaving.
+        let names = [
+            "Jim Carrey",
+            "Eddie Murphy",
+            "Julia Roberts",
+            "Robin Williams",
+        ];
+        std::thread::scope(|scope| {
+            for name in names {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        m.apply_op(id, &SessionOp::AddExample(name.into())).unwrap();
+                        m.apply_op(id, &SessionOp::RemoveExample(name.into()))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        m.journal_sync().unwrap();
+        // The journal must hold the session's turns in exactly cursor
+        // order: recovery replays in append order and skips any seq at or
+        // below the cursor, so an out-of-order append would silently drop
+        // an acknowledged, fsynced turn.
+        let seqs: Vec<u64> = crate::journal::read_journal(&path)
+            .unwrap()
+            .records
+            .into_iter()
+            .filter(|(sid, seq, _)| *sid == id && *seq != 0)
+            .map(|(_, seq, _)| seq)
+            .collect();
+        let expected: Vec<u64> = (1..=seqs.len() as u64).collect();
+        assert_eq!(seqs, expected, "journal order must match seq order");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_racing_appends_loses_nothing() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("compact_race.journal");
+        std::fs::remove_file(&path).ok();
+        let m = SessionManager::new(Arc::clone(&adb));
+        m.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let names = ["Jim Carrey", "Eddie Murphy", "Julia Roberts"];
+        let ids: Vec<SessionId> = names.iter().map(|_| m.create_session()).collect();
+        std::thread::scope(|scope| {
+            for (idx, name) in names.iter().enumerate() {
+                let m = &m;
+                let id = ids[idx];
+                scope.spawn(move || {
+                    for k in 0..30 {
+                        let op = if k % 2 == 0 {
+                            SessionOp::AddExample((*name).into())
+                        } else {
+                            SessionOp::RemoveExample((*name).into())
+                        };
+                        m.apply_op(id, &op).unwrap();
+                    }
+                });
+            }
+            // Compact repeatedly while the turns are in flight: records
+            // appended between a session's snapshot and the rewrite must
+            // be carried forward, never dropped.
+            let m = &m;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    m.compact_journal().unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        m.journal_sync().unwrap();
+        let live: Vec<(u64, String, Option<String>)> = ids
+            .iter()
+            .map(|&id| {
+                m.with_session(id, |s| {
+                    Ok((
+                        s.op_seq(),
+                        s.examples().join("|"),
+                        s.discovery().map(|d| d.sql()),
+                    ))
+                })
+                .unwrap()
+            })
+            .collect();
+        drop(m);
+        let recovered = SessionManager::new(adb);
+        recovered.recover(&path, FsyncPolicy::Flush).unwrap();
+        let after: Vec<(u64, String, Option<String>)> = ids
+            .iter()
+            .map(|&id| {
+                recovered
+                    .with_session(id, |s| {
+                        Ok((
+                            s.op_seq(),
+                            s.examples().join("|"),
+                            s.discovery().map(|d| d.sql()),
+                        ))
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(live, after, "recovery diverged from the live fleet");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `/dev/full` makes every flush fail with ENOSPC: the turn must be
+    /// refused (not acknowledged) and the session fail-stopped, so its
+    /// unjournaled in-memory mutation can never be served.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn journal_append_failure_fail_stops_the_session() {
+        let m = manager();
+        let id = m.create_session();
+        m.attach_journal(Journal::open("/dev/full", FsyncPolicy::Flush).unwrap());
+        let err = m
+            .apply_op(id, &SessionOp::AddExample("Jim Carrey".into()))
+            .unwrap_err();
+        assert!(matches!(err, SquidError::Io(_)), "unexpected: {err}");
+        assert!(m.journal_write_errors() >= 1);
+        assert!(
+            matches!(
+                m.with_session(id, |_| Ok(())),
+                Err(SquidError::UnknownSession { .. })
+            ),
+            "a session whose durability failed must be evicted"
+        );
     }
 
     #[test]

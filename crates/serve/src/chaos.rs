@@ -226,8 +226,10 @@ fn resolve_turn(
             Ok(_) => return Ok(true),
             Err(crate::ClientError::Server { ref code, .. }) if !crate::retry::retryable(code) => {
                 // Refused deterministically (e.g. a discovery error); the
-                // server's cursor did not move, so the sequence number is
-                // reused by the next op.
+                // server's cursor did not move — apply failures roll back
+                // and journal-append failures fail-stop the session without
+                // advancing — so the sequence number is reused by the next
+                // op.
                 return Ok(false);
             }
             Err(e) => {

@@ -222,7 +222,10 @@ impl RetryClient {
     /// from this client's per-session counter and only advances once the
     /// server acknowledges — a turn refused with a non-retryable error
     /// (discovery failure, bad request) did not move the server's cursor
-    /// and its number is reused by the next turn.
+    /// and its number is reused by the next turn. The server upholds its
+    /// side of that contract: an op that applies but fails to journal
+    /// fail-stops the session rather than leaving the cursor advanced
+    /// past a turn recovery cannot replay.
     pub fn turn(
         &mut self,
         session: u64,

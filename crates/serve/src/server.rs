@@ -218,12 +218,13 @@ struct Shared {
     /// depth the load-shedding decision reads.
     pending: AtomicUsize,
     /// Per-session rate-limit buckets (present only while `rate_limit`
-    /// is configured; pruned on `close`).
+    /// is configured; created only for validated session ids, pruned on
+    /// `close`, unknown-session turns, and the TTL sweep).
     buckets: Mutex<HashMap<u64, Bucket>>,
     /// Per-session last acknowledged sequenced turn and its response
     /// fields: a retry of that exact turn gets the original answer back
-    /// (plus `deduped`) instead of re-running. Pruned on `close`; after a
-    /// crash the cache is empty and duplicates get a minimal ack.
+    /// (plus `deduped`) instead of re-running. Pruned like `buckets`;
+    /// after a crash the cache is empty and duplicates get a minimal ack.
     acked: Mutex<HashMap<u64, AckedTurn>>,
 }
 
@@ -263,6 +264,23 @@ impl Shared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&session);
+    }
+
+    /// Drop per-session serving state for sessions the manager no longer
+    /// hosts: the TTL sweep, lazy expiry, and durability fail-stops all
+    /// remove sessions without going through the `close` verb, and their
+    /// buckets and cached responses must not accumulate forever.
+    fn prune_serving_state(&self) {
+        let live: std::collections::HashSet<u64> =
+            self.manager.active_ids().into_iter().collect();
+        self.buckets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|id, _| live.contains(id));
+        self.acked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|id, _| live.contains(id));
     }
 }
 
@@ -405,7 +423,9 @@ impl Server {
                 .spawn(move || {
                     while !shared.stop.load(Ordering::SeqCst) {
                         std::thread::sleep(every.min(POLL * 4));
-                        shared.manager.evict_expired();
+                        if shared.manager.evict_expired() > 0 {
+                            shared.prune_serving_state();
+                        }
                     }
                 })
                 .expect("spawn sweeper")
@@ -501,11 +521,15 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
             return;
         }
         shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        // Count the connection as pending *before* it can be dequeued: if
+        // the worker's decrement landed first, the counter would wrap to
+        // usize::MAX and shed_cheap would spuriously shed everything
+        // until it rebalanced.
+        shared.pending.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(conn) {
-            Ok(()) => {
-                shared.pending.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(()) => {}
             Err(TrySendError::Full(conn)) => {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
                 shared
                     .metrics
                     .rejected_overloaded
@@ -518,6 +542,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>
                 );
             }
             Err(TrySendError::Disconnected(conn)) => {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
                 respond_and_close(conn, ErrorCode::ShuttingDown, "server is draining", None);
                 return;
             }
@@ -786,6 +811,17 @@ impl Refusal {
 
 type ExecResult = Result<(Json, Flow), Refusal>;
 
+/// Like [`squid_error`], but drops the session's serving-side state
+/// (rate bucket, dedupe cache) when the manager reports the session
+/// gone — it can vanish between validation and apply via the TTL sweep
+/// or a durability fail-stop, and nothing else would prune those maps.
+fn session_error(shared: &Shared, session: u64, e: SquidError) -> Refusal {
+    if matches!(e, SquidError::UnknownSession { .. }) {
+        shared.forget_session(session);
+    }
+    squid_error(e)
+}
+
 fn squid_error(e: SquidError) -> Refusal {
     let code = match &e {
         SquidError::UnknownSession { .. } => ErrorCode::UnknownSession,
@@ -836,6 +872,14 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             ok(vec![("session".into(), Json::Int(sid as i64))])
         }
         Verb::Apply { session, op, seq } => {
+            // Validate before charging rate-limit state: otherwise a bogus
+            // session id mints a token bucket that is never pruned, and the
+            // caller's *second* probe reads `rate_limited` instead of
+            // `unknown_session`.
+            if !m.contains_session(session) {
+                shared.forget_session(session);
+                return Err(squid_error(SquidError::UnknownSession { id: session }));
+            }
             if let Some(rl) = shared.cfg.rate_limit {
                 if let Err(wait_ms) = shared.take_token(session, rl) {
                     shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
@@ -849,13 +893,18 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             match seq {
                 None => {
                     shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
-                    let delta = m.apply_op(session, &op).map_err(squid_error)?;
+                    let delta = m
+                        .apply_op(session, &op)
+                        .map_err(|e| session_error(shared, session, e))?;
                     match delta {
                         Some(delta) => ok(delta_fields(&delta)),
                         None => ok(vec![]),
                     }
                 }
-                Some(seq) => match m.apply_op_at(session, seq, &op).map_err(squid_error)? {
+                Some(seq) => match m
+                    .apply_op_at(session, seq, &op)
+                    .map_err(|e| session_error(shared, session, e))?
+                {
                     squid_core::SeqOutcome::Applied(delta) => {
                         shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
                         let fields = match delta {
@@ -1081,7 +1130,8 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             ok(fields)
         }
         Verb::Close { session } => {
-            m.close_session(session).map_err(squid_error)?;
+            m.close_session(session)
+                .map_err(|e| session_error(shared, session, e))?;
             shared.forget_session(session);
             ok(vec![("closed".into(), Json::Bool(true))])
         }

@@ -139,6 +139,34 @@ fn rate_limited_turns_carry_hints_and_retry_clients_absorb_them() {
 }
 
 #[test]
+fn unknown_sessions_are_refused_before_rate_state_is_charged() {
+    // Turns against a session id the server never issued must answer
+    // `unknown_session` every time. Before validation-first ordering the
+    // first probe minted a rate bucket for the bogus id, so the second
+    // probe read `rate_limited` — and the bucket leaked forever.
+    let server = start_with(
+        SessionManager::new(test_adb()),
+        ServeConfig {
+            rate_limit: Some(RateLimit {
+                per_sec: 1.0,
+                burst: 1.0,
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let mut raw = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..3 {
+        let err = raw.add(9999, "Jim Carrey").unwrap_err();
+        assert_eq!(
+            err.code(),
+            Some("unknown_session"),
+            "bogus session must never surface as rate_limited"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
 fn health_reports_load_sessions_and_journal() {
     let path = temp_path("health");
     let _ = std::fs::remove_file(&path);
