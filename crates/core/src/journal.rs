@@ -431,6 +431,20 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalReplay, SquidError>
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(e.into()),
     };
+    let (records, bytes_valid) = scan_records(&bytes);
+    Ok(JournalReplay {
+        records,
+        bytes_valid,
+        bytes_truncated: bytes.len() as u64 - bytes_valid,
+    })
+}
+
+/// Decode the valid record prefix of raw journal bytes, stopping at the
+/// first torn or corrupt record. Returns the decoded records and the
+/// byte length of the valid prefix — the shared scanner behind
+/// [`read_journal`] and [`JournalTail`], and what a replication standby
+/// runs over bytes shipped off another node's journal.
+pub fn scan_records(bytes: &[u8]) -> (Vec<(SessionId, u64, SessionOp)>, u64) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     loop {
@@ -453,11 +467,7 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalReplay, SquidError>
         records.push(decoded);
         pos += 8 + len as usize;
     }
-    Ok(JournalReplay {
-        records,
-        bytes_valid: pos as u64,
-        bytes_truncated: (bytes.len() - pos) as u64,
-    })
+    (records, pos as u64)
 }
 
 /// Truncate `path` to its valid prefix so the damaged tail can never be
@@ -480,6 +490,147 @@ pub fn read_all<R: Read>(r: &mut R) -> Result<Vec<u8>, SquidError> {
     let mut out = Vec::new();
     r.read_to_end(&mut out)?;
     Ok(out)
+}
+
+/// A streaming reader over a live journal file: the replication sender's
+/// view of "what has been appended since I last looked".
+///
+/// Each [`JournalTail::poll`] re-opens the file, reads from the current
+/// byte offset, and decodes the complete records found there; a torn
+/// record mid-append simply stays unconsumed until a later poll sees the
+/// rest of its bytes. The reader holds no file handle between polls, so
+/// it never pins a compacted-away inode.
+///
+/// Compaction swaps a (usually smaller) rewritten file under the same
+/// path. A poll that finds the file shorter than its offset reports
+/// [`TailPoll::Truncated`] and rewinds to offset 0 — the caller must
+/// treat everything it streamed so far as superseded and re-snapshot
+/// from the new file. Compaction that leaves the file *longer* than the
+/// offset cannot be detected here; callers that race compaction guard
+/// with the owning manager's journal epoch (`JournalStats::epoch`),
+/// re-reading it around each poll and discarding the batch when it
+/// moved.
+#[derive(Debug)]
+pub struct JournalTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+/// One [`JournalTail::poll`] outcome.
+#[derive(Debug)]
+pub enum TailPoll {
+    /// Complete records appended since the previous poll (possibly none).
+    Records(TailBatch),
+    /// The file shrank below the reader's offset — a compacted journal
+    /// was swapped in. The reader has rewound to offset 0; re-snapshot.
+    Truncated,
+}
+
+/// A batch of decoded records plus their exact on-disk bytes, so a
+/// replication sender can ship the raw framing verbatim and the standby
+/// can re-verify CRCs on its side.
+#[derive(Debug)]
+pub struct TailBatch {
+    /// Decoded `(session, seq, op)` records in append order.
+    pub records: Vec<(SessionId, u64, SessionOp)>,
+    /// The raw journal bytes of exactly those records.
+    pub raw: Vec<u8>,
+    /// Byte offset the batch starts at.
+    pub start_offset: u64,
+    /// Byte offset after the batch (the reader's new position).
+    pub end_offset: u64,
+}
+
+impl JournalTail {
+    /// Start tailing `path` from the beginning of the file.
+    pub fn new(path: impl AsRef<Path>) -> JournalTail {
+        JournalTail {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// Resume tailing from a byte offset (e.g. a standby's acknowledged
+    /// position). The offset is *validated* against the current file: the
+    /// reader rescans from the start and snaps down to the largest record
+    /// boundary at or below `offset`, so resuming from a torn, stale, or
+    /// mid-record offset can never misframe the stream. Returns the
+    /// reader plus the number of complete records that precede its
+    /// (snapped) position — the caller's replay prefix.
+    pub fn resume(path: impl AsRef<Path>, offset: u64) -> Result<(JournalTail, u64), SquidError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut pos = 0u64;
+        let mut records_before = 0u64;
+        loop {
+            let rest = &bytes[pos as usize..];
+            if rest.len() < 8 {
+                break;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD || rest.len() - 8 < len as usize {
+                break;
+            }
+            let payload = &rest[8..8 + len as usize];
+            if crc32(payload) != crc || SessionOp::decode(payload).is_err() {
+                break;
+            }
+            let next = pos + 8 + len as u64;
+            if next > offset {
+                break; // the requested offset splits this record: snap down
+            }
+            pos = next;
+            records_before += 1;
+        }
+        Ok((JournalTail { path, offset: pos }, records_before))
+    }
+
+    /// The byte offset of the next unread record.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read everything appended since the last poll. A missing file is an
+    /// empty batch (the journal may not exist yet); a file shorter than
+    /// the reader's offset is [`TailPoll::Truncated`].
+    pub fn poll(&mut self) -> Result<TailPoll, SquidError> {
+        let mut f = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(TailPoll::Records(TailBatch {
+                    records: Vec::new(),
+                    raw: Vec::new(),
+                    start_offset: self.offset,
+                    end_offset: self.offset,
+                }))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let len = f.metadata()?.len();
+        if len < self.offset {
+            self.offset = 0;
+            return Ok(TailPoll::Truncated);
+        }
+        use std::io::Seek;
+        f.seek(std::io::SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::with_capacity((len - self.offset) as usize);
+        f.read_to_end(&mut bytes)?;
+        let (records, valid) = scan_records(&bytes);
+        bytes.truncate(valid as usize);
+        let start = self.offset;
+        self.offset += valid;
+        Ok(TailPoll::Records(TailBatch {
+            records,
+            raw: bytes,
+            start_offset: start,
+            end_offset: self.offset,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -615,5 +766,149 @@ mod tests {
         assert!(replay.records.is_empty());
         assert_eq!(replay.bytes_valid, 0);
         assert_eq!(replay.bytes_truncated, 0);
+    }
+
+    #[test]
+    fn tail_streams_appends_incrementally() {
+        let path = tmp("tail_incremental.journal");
+        std::fs::remove_file(&path).ok();
+        let mut tail = JournalTail::new(&path);
+        // Missing file: empty batch, not an error.
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!("missing file must not look truncated");
+        };
+        assert!(b.records.is_empty());
+
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        let ops = sample_ops();
+        let (head, rest) = ops.split_at(2);
+        for (sid, seq, op) in head {
+            j.append(*sid, *seq, op).unwrap();
+        }
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!("appends are records, not truncation");
+        };
+        assert_eq!(b.records, head);
+        assert_eq!(b.start_offset, 0);
+        assert_eq!(b.end_offset, tail.offset());
+        // Nothing new: empty batch at the same offset.
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!("idle poll must not look truncated");
+        };
+        assert!(b.records.is_empty());
+        for (sid, seq, op) in rest {
+            j.append(*sid, *seq, op).unwrap();
+        }
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!("appends are records, not truncation");
+        };
+        assert_eq!(b.records, rest);
+        // The raw bytes re-scan to the same records (what a standby does).
+        let (rescanned, valid) = scan_records(&b.raw);
+        assert_eq!(rescanned, rest);
+        assert_eq!(valid, b.raw.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_leaves_a_torn_record_unconsumed_until_complete() {
+        let path = tmp("tail_torn.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        let ops = sample_ops();
+        j.append(ops[0].0, ops[0].1, &ops[0].2).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        // Hand-write the first half of a record, as a flush mid-append would.
+        let (sid, seq, op) = &ops[1];
+        let payload = op.encode(*sid, *seq);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let split = frame.len() / 2;
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&frame[..split]).unwrap();
+        f.sync_data().unwrap();
+        let mut tail = JournalTail::new(&path);
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!("torn tail is not truncation");
+        };
+        assert_eq!(b.records, ops[..1]);
+        let boundary = tail.offset();
+        // The torn half stays unconsumed...
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!()
+        };
+        assert!(b.records.is_empty());
+        assert_eq!(tail.offset(), boundary);
+        // ...until the rest of its bytes arrive.
+        f.write_all(&frame[split..]).unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.records, ops[1..2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_detects_a_shrunken_file_and_rewinds() {
+        let path = tmp("tail_shrink.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        for (sid, seq, op) in sample_ops() {
+            j.append(sid, seq, &op).unwrap();
+        }
+        drop(j);
+        let mut tail = JournalTail::new(&path);
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.records.len(), sample_ops().len());
+        // Compaction swaps in a shorter file under the same path.
+        let mut j = Journal::create(&path, FsyncPolicy::Flush).unwrap();
+        j.append(9, 0, &SessionOp::Create).unwrap();
+        drop(j);
+        assert!(matches!(tail.poll().unwrap(), TailPoll::Truncated));
+        assert_eq!(tail.offset(), 0);
+        let TailPoll::Records(b) = tail.poll().unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.records, vec![(9, 0, SessionOp::Create)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_snaps_mid_record_offsets_to_a_boundary() {
+        let path = tmp("tail_resume.journal");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, FsyncPolicy::Flush).unwrap();
+        let ops = sample_ops();
+        let mut boundaries = vec![0u64];
+        for (sid, seq, op) in &ops {
+            j.append(*sid, *seq, op).unwrap();
+            boundaries.push(j.bytes());
+        }
+        drop(j);
+        let file_len = *boundaries.last().unwrap();
+        for offset in 0..=file_len + 7 {
+            let (mut tail, before) = JournalTail::resume(&path, offset).unwrap();
+            let snapped = tail.offset();
+            assert!(snapped <= offset.min(file_len));
+            assert!(
+                boundaries.contains(&snapped),
+                "offset {offset} snapped to non-boundary {snapped}"
+            );
+            let TailPoll::Records(b) = tail.poll().unwrap() else {
+                panic!()
+            };
+            // Prefix count + tail records always reassemble the full log.
+            assert_eq!(before as usize + b.records.len(), ops.len());
+            assert_eq!(b.records, ops[before as usize..]);
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -59,9 +59,13 @@ pub use context::{discover_contexts, ContextState};
 pub use disambiguate::{disambiguate, similarity_score};
 pub use error::SquidError;
 pub use filter::{CandidateFilter, FilterValue};
-pub use journal::{read_journal, CompactStats, FsyncPolicy, Journal, JournalReplay, SessionOp};
+pub use journal::{
+    read_journal, scan_records, CompactStats, FsyncPolicy, Journal, JournalReplay, JournalTail,
+    SessionOp, TailBatch, TailPoll,
+};
 pub use manager::{
-    JournalStats, RecoverStats, SeqOutcome, SessionId, SessionManager, DEFAULT_SHARED_CACHE_BYTES,
+    JournalStats, RecoverStats, ReplicatedStats, SeqOutcome, SessionId, SessionManager,
+    DEFAULT_SHARED_CACHE_BYTES,
 };
 pub use metrics::Accuracy;
 pub use params::SquidParams;

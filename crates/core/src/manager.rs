@@ -79,6 +79,26 @@ pub struct RecoverStats {
     pub live_sessions: usize,
 }
 
+/// What one [`SessionManager::apply_replicated`] batch did — the standby
+/// side's ledger of a replication stream segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicatedStats {
+    /// Records applied (and locally re-journaled).
+    pub records_applied: u64,
+    /// Records already covered by a session cursor or a skipped snapshot
+    /// section — the idempotent-overlap case, expected, not damage.
+    pub records_skipped: u64,
+    /// Records whose apply failed; skipped, mirroring recovery.
+    pub records_failed: u64,
+    /// Sessions newly installed from `Create` records.
+    pub sessions_installed: u64,
+    /// Stale sessions rebuilt from a re-snapshot's section (this replica
+    /// lagged across a primary compaction).
+    pub sessions_reinstalled: u64,
+    /// Sessions removed by `End` records.
+    pub sessions_ended: u64,
+}
+
 /// The attached journal plus its replay-debt bookkeeping (one mutex: the
 /// appender and the counters must move together).
 struct JournalState {
@@ -93,6 +113,12 @@ struct JournalState {
     compactions: u64,
     /// What the most recent compaction did.
     last_compaction: Option<CompactStats>,
+    /// File-generation counter: bumped every time compaction swaps a
+    /// rewritten file under the journal path. A reader streaming the file
+    /// by byte offset ([`crate::journal::JournalTail`]) samples this
+    /// around each read — if it moved, the bytes may belong to the new
+    /// generation and the stream must re-snapshot from offset 0.
+    epoch: u64,
 }
 
 /// Point-in-time journal health for the `stats` surfaces (REPL and the
@@ -112,6 +138,9 @@ pub struct JournalStats {
     pub compactions: u64,
     /// What the most recent compaction did, if any.
     pub last_compaction: Option<CompactStats>,
+    /// File-generation counter (bumps on every compaction swap); byte
+    /// offsets into the journal are only comparable within one epoch.
+    pub epoch: u64,
 }
 
 /// Outcome of a sequenced mutation ([`SessionManager::apply_op_at`]).
@@ -487,6 +516,7 @@ impl SessionManager {
             tail_records: 0,
             compactions: 0,
             last_compaction: None,
+            epoch: 0,
         });
     }
 
@@ -522,6 +552,7 @@ impl SessionManager {
                 tail_records: state.tail_records,
                 compactions: state.compactions,
                 last_compaction: state.last_compaction,
+                epoch: state.epoch,
             })
     }
 
@@ -744,6 +775,11 @@ impl SessionManager {
         state.tail_records = 0;
         state.compactions += 1;
         state.last_compaction = Some(stats);
+        // The rename above and this bump happen under the same journal
+        // lock, so a reader that samples the epoch (under the lock, via
+        // `journal_stats`) before and after an offset-based file read can
+        // tell whether the file could have been swapped mid-read.
+        state.epoch += 1;
         Ok(Some(stats))
     }
 
@@ -831,6 +867,128 @@ impl SessionManager {
     /// if any — surfaced by operator tooling (the REPL `stats` command).
     pub fn recover_stats(&self) -> Option<RecoverStats> {
         *recover_guard(self.recover_stats.lock())
+    }
+
+    /// Replay records shipped off another node's journal onto this *live*
+    /// manager — the replication standby's apply path. Same idempotent
+    /// skip/cursor rules as [`SessionManager::recover`], with one
+    /// extension for mid-stream re-snapshots: when the primary compacts,
+    /// the stream restarts with the full compacted journal, whose
+    /// snapshot sections (a `Create` carrying the session cursor followed
+    /// by seq-0 state ops) describe sessions this manager may already
+    /// host. A snapshot section for a session whose cursor we have
+    /// already reached is skipped wholesale (re-applying its seq-0 state
+    /// ops would double state); a section *ahead* of us (we lagged across
+    /// the compaction, so the ops between our cursor and the snapshot's
+    /// were compacted away) replaces our stale copy by reinstalling the
+    /// session from the snapshot.
+    ///
+    /// Applied records are appended to this manager's own journal (when
+    /// one is attached) under the usual cursor discipline, so a promoted
+    /// standby is durably journaled from its first turn as primary.
+    pub fn apply_replicated(&self, records: &[(SessionId, u64, SessionOp)]) -> ReplicatedStats {
+        let mut stats = ReplicatedStats::default();
+        let mut snapshot_skip: std::collections::HashSet<SessionId> =
+            std::collections::HashSet::new();
+        let mut max_id = 0;
+        let mut compact = false;
+        let mut journal_applied = |mgr: &SessionManager, sid, seq, op: &SessionOp| match mgr
+            .journal_append(sid, seq, op)
+        {
+            Ok(hit) => compact |= hit,
+            Err(_) => {
+                mgr.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        for (sid, seq, op) in records {
+            max_id = max_id.max(*sid);
+            match op {
+                SessionOp::Create => {
+                    let have = self.with_session(*sid, |s| Ok(s.op_seq())).ok();
+                    match have {
+                        // Our replica already covers this snapshot (or it
+                        // is a duplicate live create): keep our state and
+                        // ignore the section's seq-0 state ops.
+                        Some(cursor) if cursor >= *seq => {
+                            snapshot_skip.insert(*sid);
+                            stats.records_skipped += 1;
+                        }
+                        // We fell behind across a compaction: the ops
+                        // between our cursor and the snapshot's are gone
+                        // from the stream, so rebuild from the snapshot.
+                        Some(_) => {
+                            recover_guard(self.shard(*sid).write()).remove(sid);
+                            self.install_session(*sid, self.params.clone());
+                            let _ = self.with_session(*sid, |s| {
+                                s.advance_op_seq(*seq);
+                                Ok(())
+                            });
+                            snapshot_skip.remove(sid);
+                            journal_applied(self, *sid, *seq, op);
+                            stats.sessions_reinstalled += 1;
+                            stats.records_applied += 1;
+                        }
+                        None => {
+                            self.install_session(*sid, self.params.clone());
+                            let _ = self.with_session(*sid, |s| {
+                                s.advance_op_seq(*seq);
+                                Ok(())
+                            });
+                            snapshot_skip.remove(sid);
+                            journal_applied(self, *sid, *seq, op);
+                            stats.sessions_installed += 1;
+                            stats.records_applied += 1;
+                        }
+                    }
+                }
+                SessionOp::End => {
+                    recover_guard(self.shard(*sid).write()).remove(sid);
+                    journal_applied(self, *sid, 0, op);
+                    stats.sessions_ended += 1;
+                    stats.records_applied += 1;
+                }
+                _ if *seq == 0 && snapshot_skip.contains(sid) => {
+                    stats.records_skipped += 1;
+                }
+                _ => match self.with_session(*sid, |s| {
+                    if *seq != 0 && *seq <= s.op_seq() {
+                        return Ok(false);
+                    }
+                    op.apply(s)?;
+                    s.advance_op_seq(*seq);
+                    Ok(true)
+                }) {
+                    Ok(true) => {
+                        journal_applied(self, *sid, *seq, op);
+                        stats.records_applied += 1;
+                    }
+                    Ok(false) => stats.records_skipped += 1,
+                    Err(_) => stats.records_failed += 1,
+                },
+            }
+        }
+        // A promoted standby must hand out ids the old primary never used.
+        self.next_id.fetch_max(max_id + 1, Ordering::Relaxed);
+        if compact {
+            self.autocompact();
+        }
+        stats
+    }
+
+    /// Drop every hosted session whose id is not in `keep` — the standby's
+    /// zombie sweep when a re-snapshot arrives: a session absent from the
+    /// primary's full journal no longer exists there (its `End` raced a
+    /// compaction that erased its history), so a replica holding it would
+    /// serve stale reads forever. Returns how many sessions were dropped.
+    pub fn retain_sessions(&self, keep: &std::collections::HashSet<SessionId>) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = recover_guard(shard.write());
+            let before = shard.len();
+            shard.retain(|id, _| keep.contains(id));
+            dropped += before - shard.len();
+        }
+        dropped
     }
 }
 
@@ -1436,5 +1594,88 @@ mod tests {
             assert_eq!(&squid.discover(slate).unwrap().sql(), sql);
         }
         assert!(m.is_empty());
+    }
+
+    /// Stream every record of `path` onto `standby` the way the
+    /// replication link does: full-journal read + apply.
+    fn ship_full(standby: &SessionManager, path: &std::path::Path) -> ReplicatedStats {
+        let replay = crate::journal::read_journal(path).unwrap();
+        standby.apply_replicated(&replay.records)
+    }
+
+    #[test]
+    fn apply_replicated_mirrors_a_stream_and_survives_resnapshots() {
+        let adb = Arc::new(ADb::build(&mini_imdb()).unwrap());
+        let path = journal_path("replicate_primary.journal");
+        std::fs::remove_file(&path).ok();
+
+        let primary = SessionManager::new(Arc::clone(&adb));
+        primary.attach_journal(Journal::open(&path, FsyncPolicy::Flush).unwrap());
+        let standby = SessionManager::new(Arc::clone(&adb));
+
+        let s1 = primary.create_session();
+        primary
+            .apply_op(s1, &SessionOp::AddExample("Jim Carrey".into()))
+            .unwrap();
+        primary
+            .apply_op(s1, &SessionOp::AddExample("Eddie Murphy".into()))
+            .unwrap();
+        let stats = ship_full(&standby, &path);
+        assert_eq!(stats.sessions_installed, 1);
+        assert_eq!(stats.records_failed, 0);
+        let sql_at = |m: &SessionManager, id| {
+            m.with_session(id, |s| Ok(s.discovery().unwrap().sql()))
+                .unwrap()
+        };
+        assert_eq!(sql_at(&primary, s1), sql_at(&standby, s1));
+
+        // The primary compacts: the stream re-snapshots from the rewritten
+        // file. A standby already at the snapshot cursor must absorb the
+        // whole section as skips — no doubled examples, identical SQL.
+        let before = primary.journal_stats().unwrap().epoch;
+        primary.compact_journal().unwrap().unwrap();
+        assert_eq!(primary.journal_stats().unwrap().epoch, before + 1);
+        let stats = ship_full(&standby, &path);
+        assert_eq!(stats.records_applied, 0, "resnapshot overlap is all skips");
+        assert_eq!(
+            standby
+                .with_session(s1, |s| Ok(s.examples().join("|")))
+                .unwrap(),
+            "Jim Carrey|Eddie Murphy"
+        );
+        assert_eq!(sql_at(&primary, s1), sql_at(&standby, s1));
+
+        // Lag across a compaction: ops the standby never saw get compacted
+        // into the snapshot section, so the re-snapshot must *reinstall*
+        // the stale replica at the snapshot state.
+        primary
+            .apply_op(s1, &SessionOp::PinFilter("person:gender".into()))
+            .ok();
+        primary
+            .apply_op(s1, &SessionOp::AddExample("Robin Williams".into()))
+            .unwrap();
+        primary.compact_journal().unwrap().unwrap();
+        let stats = ship_full(&standby, &path);
+        assert_eq!(stats.sessions_reinstalled, 1);
+        assert_eq!(sql_at(&primary, s1), sql_at(&standby, s1));
+        let cursor = |m: &SessionManager, id| m.with_session(id, |s| Ok(s.op_seq())).unwrap();
+        assert_eq!(cursor(&primary, s1), cursor(&standby, s1));
+
+        // End flows through; the zombie sweep drops sessions the stream no
+        // longer mentions at all.
+        let zombie = standby.create_session();
+        primary.end_session(s1);
+        ship_full(&standby, &path);
+        assert!(!standby.contains_session(s1));
+        let replay = crate::journal::read_journal(&path).unwrap();
+        let keep: std::collections::HashSet<SessionId> =
+            replay.records.iter().map(|(sid, _, _)| *sid).collect();
+        assert_eq!(standby.retain_sessions(&keep), 1);
+        assert!(!standby.contains_session(zombie));
+
+        // A promoted standby hands out ids the old primary never used.
+        let fresh = standby.create_session();
+        assert!(fresh > s1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -32,14 +32,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use squid_adb::ADb;
-use squid_core::{FsyncPolicy, SessionManager, SquidParams};
+use squid_core::{FsyncPolicy, Journal, SessionManager, SquidParams};
 use squid_datasets::{
     generate_adult, generate_dblp, generate_imdb, AdultConfig, DblpConfig, ImdbConfig,
 };
 use squid_relation::Database;
 use squid_serve::json::Json;
 use squid_serve::{
-    run_chaos, ChaosConfig, LoadConfig, LoadTurn, RateLimit, RetryClient, ServeConfig, Server,
+    fetch_adb, run_chaos, run_load_fleet, ChaosConfig, LoadConfig, LoadTurn, RateLimit,
+    RetryClient, ServeConfig, Server,
 };
 
 const USAGE: &str = "\
@@ -66,29 +67,46 @@ server flags:
   --rate-limit <r[:b]> per-session token bucket: r turns/sec, burst b
                        (default burst = 2r; refusals carry retry_after_ms)
   --normalized         normalized association strength (case-study mode)
+replication flags:
+  --replicate-to <a>   also listen on a for standby links (host:port;
+                       port 0 allocates; the chosen addr is printed)
+  --standby-of <a>     start as a warm standby of the primary whose
+                       replication listener is at a; reads are served,
+                       mutations refused with a `not_primary` hint;
+                       SIGUSR1 or the `promote` verb flips to primary
+  --bootstrap-adb      (standby only) fetch the αDB over the replication
+                       link instead of building it; dataset arg optional
 load flags:
   --clients <n>        concurrent client threads (default 8)
   --sessions <n>       sessions per client (default 2)
+                       (--loadgen accepts a,b,... — clients fail over)
 chaos flags:
   --kills <n>          SIGKILL -> restart cycles (default 5)
-  --clients <n>        concurrent retrying clients (default 8)";
+  --clients <n>        concurrent retrying clients (default 8)
+  --standby            replicated-pair mode: SIGKILL the primary, promote
+                       the standby, relaunch the corpse as the new standby";
 
 fn die<T>(msg: &str) -> T {
     eprintln!("{msg}");
     std::process::exit(2)
 }
 
-/// SIGTERM/SIGINT handling without crates: the C runtime std already
-/// links provides `signal`; the handler only stores to an atomic, which
-/// is async-signal-safe.
+/// SIGTERM/SIGINT/SIGUSR1 handling without crates: the C runtime std
+/// already links provides `signal`; the handlers only store to atomics,
+/// which is async-signal-safe.
 #[cfg(unix)]
 mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static STOP: AtomicBool = AtomicBool::new(false);
+    pub static PROMOTE: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_signal(_signum: i32) {
         STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_promote(_signum: i32) {
+        PROMOTE.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -97,15 +115,22 @@ mod sig {
 
     pub fn install() {
         const SIGINT: i32 = 2;
+        const SIGUSR1: i32 = 10;
         const SIGTERM: i32 = 15;
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);
+            signal(SIGUSR1, on_promote);
         }
     }
 
     pub fn stop_requested() -> bool {
         STOP.load(Ordering::SeqCst)
+    }
+
+    /// One-shot: true at most once per SIGUSR1.
+    pub fn promote_requested() -> bool {
+        PROMOTE.swap(false, Ordering::SeqCst)
     }
 }
 
@@ -113,6 +138,9 @@ mod sig {
 mod sig {
     pub fn install() {}
     pub fn stop_requested() -> bool {
+        false
+    }
+    pub fn promote_requested() -> bool {
         false
     }
 }
@@ -168,6 +196,8 @@ fn main() {
     let mut client_addr: Option<String> = None;
     let mut loadgen_addr: Option<String> = None;
     let mut chaos_mode = false;
+    let mut chaos_standby = false;
+    let mut bootstrap_adb = false;
     let mut kills = 5u32;
     let mut clients = 8usize;
     let mut sessions = 2usize;
@@ -238,6 +268,20 @@ fn main() {
                 }
             }
             "--auto-compact" => auto_compact = Some(next_num(&mut it, "--auto-compact")),
+            "--replicate-to" => {
+                cfg.replicate_to = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--replicate-to needs host:port")),
+                )
+            }
+            "--standby-of" => {
+                cfg.standby_of = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--standby-of needs host:port")),
+                )
+            }
+            "--bootstrap-adb" => bootstrap_adb = true,
+            "--standby" => chaos_standby = true,
             "--rate-limit" => {
                 let spec = it
                     .next()
@@ -274,6 +318,7 @@ fn main() {
             server_cmd: vec![exe.display().to_string(), "mini".into()],
             clients,
             kills,
+            standby: chaos_standby,
             ..ChaosConfig::default()
         };
         match run_chaos(&cfg) {
@@ -296,11 +341,32 @@ fn main() {
         return;
     }
 
-    let Some(dataset) = positional.first() else {
-        die::<()>(USAGE);
+    // The journal is the replication stream: a primary without one could
+    // bootstrap standbys but never ship them a mutation.
+    if (cfg.replicate_to.is_some() || cfg.standby_of.is_some()) && journal.is_none() {
+        die::<()>("--replicate-to/--standby-of need --journal (the journal is what replicates)");
         return;
+    }
+
+    // A standby can pull the αDB over its replication link instead of
+    // building (or loading) it locally — new nodes join dataset-free.
+    let adb = if bootstrap_adb {
+        let Some(primary) = cfg.standby_of.as_deref() else {
+            die::<()>("--bootstrap-adb only makes sense with --standby-of");
+            return;
+        };
+        eprintln!("fetching αDB from primary at {primary}...");
+        match fetch_adb(primary, Duration::from_secs(60)) {
+            Ok(adb) => Arc::new(adb),
+            Err(e) => die(&format!("αDB bootstrap from {primary} failed: {e}")),
+        }
+    } else {
+        let Some(dataset) = positional.first() else {
+            die::<()>(USAGE);
+            return;
+        };
+        Arc::new(acquire_adb(dataset, snapshot.as_deref()))
     };
-    let adb = Arc::new(acquire_adb(dataset, snapshot.as_deref()));
     let mut manager = SessionManager::with_params(Arc::clone(&adb), params);
     if no_shared_cache {
         manager = manager.without_shared_cache();
@@ -312,7 +378,21 @@ fn main() {
         manager = manager.with_auto_compact(floor);
     }
     let manager = Arc::new(manager);
-    if let Some(jp) = &journal {
+    if let (Some(jp), true) = (&journal, cfg.standby_of.is_some()) {
+        // A standby's state comes from the primary's snapshot bootstrap,
+        // not from whatever journal a past life left behind — replaying
+        // it would only create sessions the SNAP immediately reinstalls
+        // or sweeps. Start the journal fresh; every replicated record is
+        // re-journaled locally, so durability is preserved.
+        let _ = std::fs::remove_file(jp);
+        match Journal::open(jp, fsync) {
+            Ok(j) => manager.attach_journal(j),
+            Err(e) => {
+                die::<()>(&format!("journal {} unusable: {e}", jp.display()));
+                return;
+            }
+        }
+    } else if let Some(jp) = &journal {
         match manager.recover(jp, fsync) {
             Ok(st) => eprintln!(
                 "journal {}: replayed {} session(s), {} record(s) applied, \
@@ -342,9 +422,17 @@ fn main() {
     // The port announcement is the startup handshake CI scripts wait for;
     // flush so it is visible even through a pipe.
     println!("listening on {}", server.local_addr());
+    if let Some(repl) = server.repl_addr() {
+        println!("replicating on {repl}");
+    }
     let _ = std::io::stdout().flush();
 
     while !sig::stop_requested() && !server.stop_requested() {
+        if sig::promote_requested() {
+            eprintln!("SIGUSR1: promoting...");
+            let role = server.promote(Duration::from_secs(10));
+            eprintln!("promotion -> {role:?}");
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("shutdown requested; draining...");
@@ -394,7 +482,7 @@ fn command_parts(line: &str, has_session: bool) -> Result<ParsedCommand<'_>, Str
     use CommandKind::*;
     let parts = |fields, kind| Ok((cmd, fields, kind));
     match cmd {
-        "ping" | "create" | "shutdown" | "health" => parts(vec![], Fleet),
+        "ping" | "create" | "shutdown" | "health" | "promote" => parts(vec![], Fleet),
         "stats" => {
             if has_session {
                 parts(vec![], Read)
@@ -459,6 +547,17 @@ fn run_client(addr: &str) {
         // Client-local: re-address an existing session (e.g. one that a
         // restarted server just recovered from its journal), resuming
         // its turn numbering from the server's cursor.
+        // Client-local: bind an admission identity; the retry client
+        // replays the handshake on every (re)connection.
+        if let Some(rest) = line.strip_prefix("client ") {
+            let id = rest.trim();
+            if id.is_empty() {
+                die::<()>(&format!("line {line_no}: usage: client <id>"));
+            }
+            client.identify(id);
+            eprintln!("client identity {id:?} bound");
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("session ") {
             match rest.trim().parse::<u64>() {
                 Ok(sid) => match client.adopt(sid) {
@@ -515,6 +614,8 @@ fn run_client(addr: &str) {
 }
 
 /// Load-generator mode: replay a stdin turn script from N connections.
+/// `addr` may be a comma-separated fleet — clients fail over between
+/// members, and the report's `failovers` counter says how often.
 fn run_loadgen(addr: &str, clients: usize, sessions: usize) {
     let stdin = std::io::stdin();
     let mut script = Vec::new();
@@ -549,7 +650,12 @@ fn run_loadgen(addr: &str, clients: usize, sessions: usize) {
         sessions_per_client: sessions,
         script,
     };
-    match squid_serve::run_load(addr, &cfg) {
+    let addrs: Vec<String> = addr
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    match run_load_fleet(&addrs, &cfg) {
         Ok(report) => {
             println!("{}", report.summary());
             if report.errors > 0 {

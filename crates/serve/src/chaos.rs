@@ -24,10 +24,22 @@
 //! The harness requires the server command to serve the `mini` dataset
 //! (the [`squid_adb::test_fixtures::mini_imdb`] fixture), because the
 //! verification replay rebuilds that αDB in-process.
+//!
+//! ## `--standby` mode
+//!
+//! With [`ChaosConfig::standby`] the harness runs a replicated pair and
+//! kills *primaries*: each cycle pauses the client fleet, waits for the
+//! primary's `health` to report replication lag zero (the acked state
+//! has provably reached the standby), SIGKILLs the primary, promotes the
+//! standby with the `promote` verb, relaunches the corpse as the new
+//! standby, and resumes traffic. Clients ride through on address
+//! failover + `not_primary` hints. Roles alternate every kill. The same
+//! two invariants are verified at the end against the final primary —
+//! across promotions, not just restarts.
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +71,10 @@ pub struct ChaosConfig {
     /// `--auto-compact` floor passed to the server, so crash-recovery is
     /// exercised against compacted journals too (default `Some(32)`).
     pub auto_compact: Option<u64>,
+    /// Run a replicated primary/standby pair and kill primaries,
+    /// promoting the standby each cycle (default false: the classic
+    /// single-node restart loop).
+    pub standby: bool,
 }
 
 impl Default for ChaosConfig {
@@ -70,6 +86,7 @@ impl Default for ChaosConfig {
             kill_interval: Duration::from_millis(400),
             journal: None,
             auto_compact: Some(32),
+            standby: false,
         }
     }
 }
@@ -92,6 +109,8 @@ pub struct ChaosReport {
     pub sql_mismatches: u64,
     /// Journal compactions the server performed during the run.
     pub compactions: u64,
+    /// Standby promotions performed (`--standby` mode; 0 otherwise).
+    pub promotions: u32,
     /// Aggregated client-side retry work.
     pub counters: RetryCounters,
     /// Wall clock of the whole run.
@@ -107,10 +126,12 @@ impl ChaosReport {
     /// One-line human rendering.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} kills, {} sessions, {} turns acked, {} lost, {} sql mismatches, \
-             {} compactions in {:.2?} (retries {}, reconnects {}, deduped {}, rate_limited {})",
+            "{}: {} kills, {} promotions, {} sessions, {} turns acked, {} lost, \
+             {} sql mismatches, {} compactions in {:.2?} (retries {}, reconnects {}, \
+             deduped {}, rate_limited {}, failovers {})",
             if self.passed() { "PASS" } else { "FAIL" },
             self.kills,
+            self.promotions,
             self.sessions,
             self.turns_acked,
             self.lost_turns,
@@ -121,6 +142,7 @@ impl ChaosReport {
             self.counters.reconnects,
             self.counters.deduped,
             self.counters.rate_limited,
+            self.counters.failovers,
         )
     }
 }
@@ -242,8 +264,15 @@ fn resolve_turn(
     }
 }
 
-fn client_thread(addr: &str, idx: usize, stop: &AtomicBool) -> Result<ClientLog, String> {
-    let mut client = RetryClient::with_policy(addr, chaos_policy());
+fn client_thread(
+    addrs: &[String],
+    idx: usize,
+    stop: &AtomicBool,
+    pause: &AtomicBool,
+    idle: &AtomicUsize,
+) -> Result<ClientLog, String> {
+    let mut client = RetryClient::fleet(addrs.to_vec(), chaos_policy());
+    client.identify(format!("chaos-{idx}"));
     let script = chaos_script();
     let deadline = Duration::from_secs(60);
     // Creation retries ride the same policy; a duplicate create orphans
@@ -263,6 +292,17 @@ fn client_thread(addr: &str, idx: usize, stop: &AtomicBool) -> Result<ClientLog,
     let mut acked = Vec::new();
     let mut step = idx; // stagger the script per client
     while !stop.load(Ordering::Relaxed) {
+        if pause.load(Ordering::Relaxed) {
+            // The quiesce barrier: report idle, hold until released. The
+            // standby harness drains replication lag and swaps primaries
+            // while every client sits here between turns.
+            idle.fetch_add(1, Ordering::Relaxed);
+            while pause.load(Ordering::Relaxed) && !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            idle.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
         let op = script[step % script.len()].clone();
         step += 1;
         if resolve_turn(&mut client, session, &op, deadline)
@@ -280,9 +320,14 @@ fn client_thread(addr: &str, idx: usize, stop: &AtomicBool) -> Result<ClientLog,
 }
 
 /// Run the kill loop and verify the invariants. See the module docs.
+/// Dispatches to the replicated-pair harness when
+/// [`ChaosConfig::standby`] is set.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     if cfg.server_cmd.is_empty() {
         return Err("ChaosConfig.server_cmd is empty".into());
+    }
+    if cfg.standby {
+        return run_chaos_standby(cfg);
     }
     let started = Instant::now();
     let port = free_port()?;
@@ -319,12 +364,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     }
 
     let stop = AtomicBool::new(false);
+    let pause = AtomicBool::new(false);
+    let idle = AtomicUsize::new(0);
+    let addrs = vec![addr.clone()];
     let logs: Result<Vec<ClientLog>, String> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients.max(1))
             .map(|i| {
-                let addr = addr.clone();
-                let stop = &stop;
-                scope.spawn(move || client_thread(&addr, i, stop))
+                let addrs = &addrs;
+                let (stop, pause, idle) = (&stop, &pause, &idle);
+                scope.spawn(move || client_thread(addrs, i, stop, pause, idle))
             })
             .collect();
 
@@ -376,15 +424,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let _ = std::fs::remove_file(&journal);
     let (lost_turns, sql_mismatches, compactions) = verdict?;
 
-    let mut counters = RetryCounters::default();
-    let mut turns_acked = 0u64;
-    for log in &logs {
-        turns_acked += log.acked.len() as u64;
-        counters.retries += log.counters.retries;
-        counters.reconnects += log.counters.reconnects;
-        counters.deduped += log.counters.deduped;
-        counters.rate_limited += log.counters.rate_limited;
-    }
+    let (turns_acked, counters) = tally(&logs);
     Ok(ChaosReport {
         kills: cfg.kills,
         sessions: logs.len(),
@@ -392,9 +432,258 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         lost_turns,
         sql_mismatches,
         compactions,
+        promotions: 0,
         counters,
         wall: started.elapsed(),
     })
+}
+
+/// Sum the client logs' acked-turn count and retry work.
+fn tally(logs: &[ClientLog]) -> (u64, RetryCounters) {
+    let mut counters = RetryCounters::default();
+    let mut turns_acked = 0u64;
+    for log in logs {
+        turns_acked += log.acked.len() as u64;
+        counters.retries += log.counters.retries;
+        counters.reconnects += log.counters.reconnects;
+        counters.deduped += log.counters.deduped;
+        counters.rate_limited += log.counters.rate_limited;
+        counters.failovers += log.counters.failovers;
+    }
+    (turns_acked, counters)
+}
+
+/// One node of the replicated pair: fixed serve + replication ports and
+/// its own journal, so a relaunch reuses the same identity.
+struct Node {
+    addr: String,
+    repl: String,
+    journal: PathBuf,
+}
+
+impl Node {
+    fn argv(&self, cfg: &ChaosConfig, standby_of: Option<&str>) -> Vec<String> {
+        let mut argv = cfg.server_cmd.clone();
+        argv.extend([
+            "--addr".into(),
+            self.addr.clone(),
+            "--journal".into(),
+            self.journal.display().to_string(),
+            "--fsync".into(),
+            "always".into(),
+            "--workers".into(),
+            (cfg.clients * 2 + 4).to_string(),
+            "--replicate-to".into(),
+            self.repl.clone(),
+        ]);
+        if let Some(primary_repl) = standby_of {
+            argv.extend(["--standby-of".into(), primary_repl.into()]);
+        }
+        if let Some(n) = cfg.auto_compact {
+            argv.extend(["--auto-compact".into(), n.to_string()]);
+        }
+        argv
+    }
+}
+
+/// Wait until every client thread has parked at the pause barrier.
+fn wait_idle(idle: &AtomicUsize, n: usize, deadline: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    while idle.load(Ordering::Relaxed) < n {
+        if t0.elapsed() > deadline {
+            return Err(format!(
+                "only {}/{n} clients quiesced within {deadline:?}",
+                idle.load(Ordering::Relaxed)
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Ok(())
+}
+
+/// Poll the primary's `health` until its replication lag is zero — the
+/// precondition for a kill that can lose nothing acknowledged.
+fn wait_zero_lag(addr: &str, deadline: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    let mut last = String::new();
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.set_read_timeout(Some(Duration::from_secs(2)));
+            if let Ok(health) = c.health() {
+                let lag = health
+                    .get("replication")
+                    .and_then(|r| r.get("lag_records"))
+                    .and_then(Json::as_u64);
+                if lag == Some(0) {
+                    return Ok(());
+                }
+                last = health.encode();
+            }
+        }
+        if t0.elapsed() > deadline {
+            return Err(format!(
+                "replication lag at {addr} never reached 0 within {deadline:?}; last health: {last}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Drive the `promote` verb on a standby until it reports `primary`.
+fn promote_node(addr: &str, deadline: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.set_read_timeout(Some(Duration::from_secs(15)));
+            match c.promote() {
+                Ok(role) if role == "primary" => return Ok(()),
+                Ok(_) | Err(_) => {}
+            }
+        }
+        if t0.elapsed() > deadline {
+            return Err(format!(
+                "standby at {addr} did not promote within {deadline:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The replicated-pair kill loop (see the module docs' `--standby`
+/// section): quiesce → lag 0 → SIGKILL primary → promote → relaunch the
+/// corpse as standby → resume, alternating roles every cycle.
+fn run_chaos_standby(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    let started = Instant::now();
+    let temp_tag = std::process::id();
+    let nodes: Vec<Node> = (0..2)
+        .map(|i| -> Result<Node, String> {
+            Ok(Node {
+                addr: format!("127.0.0.1:{}", free_port()?),
+                repl: format!("127.0.0.1:{}", free_port()?),
+                journal: std::env::temp_dir()
+                    .join(format!("squid-chaos-standby-{temp_tag}-{i}.journal")),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    for node in &nodes {
+        let _ = std::fs::remove_file(&node.journal);
+    }
+
+    let ready_deadline = Duration::from_secs(30);
+    let quiesce_deadline = Duration::from_secs(30);
+    // Node 0 starts as primary, node 1 as its standby.
+    let mut children: Vec<Child> = Vec::new();
+    children.push(spawn_server(&nodes[0].argv(cfg, None))?);
+    if let Err(e) = wait_ready(&nodes[0].addr, ready_deadline) {
+        kill_all(&mut children);
+        return Err(e);
+    }
+    children.push(spawn_server(&nodes[1].argv(cfg, Some(&nodes[0].repl)))?);
+    if let Err(e) = wait_ready(&nodes[1].addr, ready_deadline) {
+        kill_all(&mut children);
+        return Err(e);
+    }
+
+    let stop = AtomicBool::new(false);
+    let pause = AtomicBool::new(false);
+    let idle = AtomicUsize::new(0);
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+    let mut primary = 0usize;
+    let mut promotions = 0u32;
+    let logs: Result<Vec<ClientLog>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|i| {
+                let addrs = &addrs;
+                let (stop, pause, idle) = (&stop, &pause, &idle);
+                scope.spawn(move || client_thread(addrs, i, stop, pause, idle))
+            })
+            .collect();
+
+        let mut cycle = || -> Result<(), String> {
+            std::thread::sleep(cfg.kill_interval);
+            // Quiesce: no turns in flight while the primaries swap.
+            pause.store(true, Ordering::Relaxed);
+            wait_idle(&idle, cfg.clients.max(1), quiesce_deadline)?;
+            // The acceptance gate: lag must be *observed* at zero before
+            // the kill — every acked turn is on the standby.
+            wait_zero_lag(&nodes[primary].addr, quiesce_deadline)?;
+            let _ = children[primary].kill();
+            let _ = children[primary].wait();
+            let standby = 1 - primary;
+            promote_node(&nodes[standby].addr, quiesce_deadline)?;
+            // Relaunch the corpse as the new primary's standby: it
+            // re-bootstraps from a SNAP, so its stale journal is moot.
+            children[primary] =
+                spawn_server(&nodes[primary].argv(cfg, Some(&nodes[standby].repl)))?;
+            wait_ready(&nodes[primary].addr, ready_deadline)?;
+            primary = standby;
+            promotions += 1;
+            pause.store(false, Ordering::Relaxed);
+            Ok(())
+        };
+        let mut loop_err = None;
+        for _ in 0..cfg.kills {
+            if let Err(e) = cycle() {
+                loop_err = Some(e);
+                break;
+            }
+        }
+        if loop_err.is_none() {
+            // Final traffic window, then drain replication once more so
+            // verification reads a settled pair.
+            std::thread::sleep(cfg.kill_interval);
+            pause.store(true, Ordering::Relaxed);
+            if let Err(e) = wait_idle(&idle, cfg.clients.max(1), quiesce_deadline)
+                .and_then(|()| wait_zero_lag(&nodes[primary].addr, quiesce_deadline))
+            {
+                loop_err = Some(e);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        pause.store(false, Ordering::Relaxed);
+        let joined: Result<Vec<ClientLog>, String> = handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "client thread panicked".to_string())?)
+            .collect();
+        match loop_err {
+            Some(e) => Err(e),
+            None => joined,
+        }
+    });
+    let logs = match logs {
+        Ok(l) => l,
+        Err(e) => {
+            kill_all(&mut children);
+            return Err(e);
+        }
+    };
+
+    // ---- Verification against the final primary ----
+    let verdict = verify(&nodes[primary].addr, &logs);
+    kill_all(&mut children);
+    for node in &nodes {
+        let _ = std::fs::remove_file(&node.journal);
+    }
+    let (lost_turns, sql_mismatches, compactions) = verdict?;
+    let (turns_acked, counters) = tally(&logs);
+    Ok(ChaosReport {
+        kills: cfg.kills,
+        sessions: logs.len(),
+        turns_acked,
+        lost_turns,
+        sql_mismatches,
+        compactions,
+        promotions,
+        counters,
+        wall: started.elapsed(),
+    })
+}
+
+fn kill_all(children: &mut [Child]) {
+    for c in children {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
 }
 
 /// Check both invariants against the live recovered server; returns

@@ -28,6 +28,10 @@ pub enum ClientError {
         /// The server's back-pressure hint, when the error carried one
         /// (`overloaded`, `session_limit`, `rate_limited`).
         retry_after_ms: Option<u64>,
+        /// The primary's client address, when a standby refused a
+        /// mutation with `not_primary` — the failover hint a retrying
+        /// client follows.
+        primary: Option<String>,
     },
 }
 
@@ -144,10 +148,16 @@ impl Client {
             .get("error")
             .and_then(|e| e.get("retry_after_ms"))
             .and_then(Json::as_u64);
+        let primary = resp
+            .get("error")
+            .and_then(|e| e.get("primary"))
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Err(ClientError::Server {
             code,
             detail,
             retry_after_ms,
+            primary,
         })
     }
 
@@ -254,5 +264,22 @@ impl Client {
     /// Ask the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Self::verb("shutdown", vec![])).map(|_| ())
+    }
+
+    /// Identify this connection for per-client admission accounting.
+    pub fn identify(&mut self, id: &str) -> Result<(), ClientError> {
+        self.request(&Self::verb("client", vec![("client", Json::str(id))]))
+            .map(|_| ())
+    }
+
+    /// Ask a standby to become primary. Returns the node's role after the
+    /// call (`"primary"` once promotion completed).
+    pub fn promote(&mut self) -> Result<String, ClientError> {
+        let resp = self.request(&Self::verb("promote", vec![]))?;
+        Ok(resp
+            .get("role")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string())
     }
 }

@@ -26,7 +26,11 @@
 //! - [`proxy`]: std-only fault-injecting TCP proxy (delay, drop,
 //!   truncate, sever) for chaos tests.
 //! - [`chaos`]: the `--chaos` harness — SIGKILL loops under retrying
-//!   load asserting zero acknowledged-turn loss.
+//!   load asserting zero acknowledged-turn loss (`--standby` adds
+//!   primary-kill + promotion cycles over a replicated pair).
+//! - [`replication`]: warm-standby journal streaming — snapshot
+//!   bootstrap, record shipping with acks and lag accounting, and the
+//!   promotion latch behind the `promote` verb / SIGUSR1.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -56,14 +60,16 @@ pub mod json;
 pub mod load;
 pub mod protocol;
 pub mod proxy;
+pub mod replication;
 pub mod retry;
 pub mod server;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::{Client, ClientError};
 pub use json::Json;
-pub use load::{run_load, LoadConfig, LoadReport, LoadTurn};
+pub use load::{run_load, run_load_fleet, LoadConfig, LoadReport, LoadTurn};
 pub use protocol::{parse_request, ErrorCode, Request, Verb};
 pub use proxy::{FaultProxy, FaultRule};
+pub use replication::{fetch_adb, ReplState, Role};
 pub use retry::{RetryClient, RetryCounters, RetryPolicy};
 pub use server::{RateLimit, ServeConfig, Server, ServerMetrics, ShutdownReport};

@@ -88,7 +88,7 @@ impl LoadReport {
         format!(
             "{} sessions, {} turns, {} errors in {:.2?} \
              ({:.1} sessions/s, {:.1} turns/s; turn p50 {:?} p95 {:?} p99 {:?}; \
-             retries {} reconnects {} deduped {} rate_limited {})",
+             retries {} reconnects {} deduped {} rate_limited {} failovers {})",
             self.sessions,
             self.turns,
             self.errors,
@@ -102,6 +102,7 @@ impl LoadReport {
             self.retry.reconnects,
             self.retry.deduped,
             self.retry.rate_limited,
+            self.retry.failovers,
         )
     }
 }
@@ -131,10 +132,25 @@ pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> io::Result<LoadRe
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    run_load_fleet(&[addr.to_string()], cfg)
+}
+
+/// Like [`run_load`], but every client knows the whole fleet: a connect
+/// or transport error on the active address fails over to the next, and
+/// a standby's `not_primary` hint redirects mid-run — so the load keeps
+/// flowing across a promotion, with the work counted in
+/// [`RetryCounters::failovers`].
+pub fn run_load_fleet(addrs: &[String], cfg: &LoadConfig) -> io::Result<LoadReport> {
+    if addrs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no server addresses",
+        ));
+    }
     let started = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients.max(1))
-            .map(|_| scope.spawn(move || run_client(addr, cfg)))
+            .map(|_| scope.spawn(move || run_client(addrs, cfg)))
             .collect();
         handles
             .into_iter()
@@ -155,6 +171,7 @@ pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> io::Result<LoadRe
         report.retry.reconnects += o.retry.reconnects;
         report.retry.deduped += o.retry.deduped;
         report.retry.rate_limited += o.retry.rate_limited;
+        report.retry.failovers += o.retry.failovers;
         latencies.extend(o.latencies_ns);
     }
     if !latencies.is_empty() {
@@ -175,7 +192,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-fn run_client(addr: std::net::SocketAddr, cfg: &LoadConfig) -> ClientOutcome {
+fn run_client(addrs: &[String], cfg: &LoadConfig) -> ClientOutcome {
     let mut out = ClientOutcome {
         sessions: 0,
         turns: 0,
@@ -187,8 +204,8 @@ fn run_client(addr: std::net::SocketAddr, cfg: &LoadConfig) -> ClientOutcome {
     // and retries inside the timed window (honest latency accounting — a
     // refused-then-retried turn costs what the caller actually waited),
     // and a dropped connection re-dials instead of abandoning the run.
-    let mut client = RetryClient::with_policy(
-        addr.to_string(),
+    let mut client = RetryClient::fleet(
+        addrs.to_vec(),
         RetryPolicy {
             max_attempts: 5,
             base_backoff: Duration::from_millis(5),

@@ -39,6 +39,17 @@
 //! | `health`   |                                    | load/journal health  |
 //! | `close`    | `session`                          | `close_session`      |
 //! | `shutdown` |                                    | graceful stop        |
+//! | `client`   | `client`                           | admission identity   |
+//! | `promote`  |                                    | standby → primary    |
+//!
+//! `client` binds an admission identity to the connection: subsequent
+//! requests are rate-limited and counted per client in addition to per
+//! session (`stats`/`health` surface the per-client counters). `promote`
+//! flips a replication standby into a primary; on a node that is already
+//! primary it is an acknowledged no-op. A standby refuses every mutating
+//! verb with `not_primary`, whose `error` object carries the primary's
+//! client address under `"primary"` — the failover hint retrying clients
+//! follow.
 //!
 //! Mutating verbs additionally accept an optional `seq` member: the
 //! client's per-session turn number (1-based, contiguous). A replayed
@@ -128,6 +139,14 @@ pub enum Verb {
     },
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Bind an admission identity to this connection.
+    Client {
+        /// The caller-chosen client id.
+        id: String,
+    },
+    /// Flip a replication standby into a primary (no-op when already
+    /// primary).
+    Promote,
 }
 
 impl Verb {
@@ -157,6 +176,8 @@ impl Verb {
             Verb::Health => "health",
             Verb::Close { .. } => "close",
             Verb::Shutdown => "shutdown",
+            Verb::Client { .. } => "client",
+            Verb::Promote => "promote",
         }
     }
 }
@@ -191,6 +212,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The connection sat idle past the reaping deadline (closes).
     IdleTimeout,
+    /// This node is a replication standby: reads are served, mutations
+    /// must go to the primary named in the error's `primary` member.
+    NotPrimary,
     /// The operation itself failed (discovery-level error, e.g. an
     /// example matching nothing); the session rolled back and is intact.
     Discovery,
@@ -213,6 +237,7 @@ impl ErrorCode {
             ErrorCode::RateLimited => "rate_limited",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::IdleTimeout => "idle_timeout",
+            ErrorCode::NotPrimary => "not_primary",
             ErrorCode::Discovery => "discovery",
             ErrorCode::Internal => "internal",
         }
@@ -350,6 +375,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         },
         "health" => Verb::Health,
         "shutdown" => Verb::Shutdown,
+        "client" => Verb::Client {
+            id: string("client")?,
+        },
+        "promote" => Verb::Promote,
         other => {
             return Err(ProtocolError::new(
                 ErrorCode::UnknownVerb,
@@ -411,6 +440,25 @@ pub fn retry_error_response(
             ("retry_after_ms", Json::Int(retry_after_ms as i64)),
         ]),
     ));
+    Json::Obj(members)
+}
+
+/// Build a standby's mutation refusal: `not_primary`, with the primary's
+/// client address under `error.primary` so a failover-aware client can
+/// redirect without re-resolving the topology out of band.
+pub fn not_primary_response(detail: &str, id: Option<i64>, primary: Option<&str>) -> Json {
+    let mut members = vec![("ok".to_string(), Json::Bool(false))];
+    if let Some(id) = id {
+        members.push(("id".to_string(), Json::Int(id)));
+    }
+    let mut error = vec![
+        ("code", Json::str(ErrorCode::NotPrimary.as_str())),
+        ("detail", Json::str(detail)),
+    ];
+    if let Some(primary) = primary {
+        error.push(("primary", Json::str(primary)));
+    }
+    members.push(("error".to_string(), Json::obj(error)));
     Json::Obj(members)
 }
 
@@ -486,6 +534,13 @@ mod tests {
             ),
             (r#"{"op":"close","session":4}"#, Verb::Close { session: 4 }),
             (r#"{"op":"shutdown"}"#, Verb::Shutdown),
+            (
+                r#"{"op":"client","client":"loader-3"}"#,
+                Verb::Client {
+                    id: "loader-3".into(),
+                },
+            ),
+            (r#"{"op":"promote"}"#, Verb::Promote),
         ];
         for (line, want) in cases {
             let req = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
@@ -559,5 +614,19 @@ mod tests {
         );
         assert_eq!(ErrorCode::SessionLimit.as_str(), "session_limit");
         assert_eq!(ErrorCode::RateLimited.as_str(), "rate_limited");
+    }
+
+    #[test]
+    fn not_primary_carries_the_failover_hint() {
+        let err = not_primary_response("standby refuses mutations", Some(3), Some("10.0.0.1:7500"));
+        assert_eq!(
+            err.encode(),
+            r#"{"ok":false,"id":3,"error":{"code":"not_primary","detail":"standby refuses mutations","primary":"10.0.0.1:7500"}}"#
+        );
+        // A standby that has not yet learned its primary's client address
+        // still refuses with the stable code, just without the hint.
+        let bare = not_primary_response("standby refuses mutations", None, None);
+        assert!(bare.encode().contains(r#""code":"not_primary""#));
+        assert!(!bare.encode().contains("primary\":"));
     }
 }

@@ -16,8 +16,16 @@
 //! backoff never sleeps less than the server asked for. Everything the
 //! wrapper does on the caller's behalf is counted in [`RetryCounters`]
 //! so load reports and the chaos harness can surface it.
+//!
+//! With a replicated pair ([`crate::replication`]) the wrapper is also
+//! the failover path: [`RetryClient::fleet`] takes every known address,
+//! a connect or transport error rotates to the next one, and a standby's
+//! `not_primary` refusal redirects straight to the hinted primary. A
+//! failover retry is just a reconnect retry — the same sequence numbers
+//! dedupe a turn the old primary acknowledged but the client never saw.
 
 use std::collections::HashMap;
+use std::io;
 use std::thread;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -62,6 +70,10 @@ pub struct RetryCounters {
     pub deduped: u64,
     /// `rate_limited` refusals absorbed by backing off.
     pub rate_limited: u64,
+    /// Times the client switched to a different server address — after a
+    /// connect/transport error on the active one, or following a
+    /// standby's `not_primary` hint.
+    pub failovers: u64,
 }
 
 /// Server error codes worth retrying: transient refusals that a later
@@ -74,7 +86,8 @@ pub(crate) fn retryable(code: &str) -> bool {
     )
 }
 
-/// A [`Client`] that survives restarts, refusals, and lost replies.
+/// A [`Client`] that survives restarts, refusals, lost replies, and —
+/// given more than one address — primary failover.
 ///
 /// Connections are opened lazily and re-opened after any transport
 /// error; sessions are not connection-bound in this protocol, so a
@@ -82,13 +95,25 @@ pub(crate) fn retryable(code: &str) -> bool {
 /// server restart, [`RetryClient::adopt`] re-synchronises the turn
 /// cursor from the recovered journal before sending new mutations.
 pub struct RetryClient {
-    addr: String,
+    /// Every server address this client may talk to. `active` indexes
+    /// the one currently (or last successfully) used; a `not_primary`
+    /// hint naming an unknown address appends it here.
+    addrs: Vec<String>,
+    active: usize,
     policy: RetryPolicy,
     conn: Option<Client>,
     ever_connected: bool,
     /// Next turn number to send, per session.
     next_seq: HashMap<u64, u64>,
+    /// Identity replayed as a `client` handshake on every (re)connection,
+    /// so per-client admission accounting survives reconnects.
+    client_id: Option<String>,
     counters: RetryCounters,
+    /// Consecutive-failure rung driving the exponential backoff. Reset
+    /// to 0 by every successful acknowledgement, so an isolated blip
+    /// after a long healthy stretch starts the ladder from the base
+    /// delay again instead of where the last incident left it.
+    ladder: u32,
     rng: u64,
 }
 
@@ -101,25 +126,52 @@ impl RetryClient {
 
     /// Wrap `addr` with an explicit retry policy.
     pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        Self::fleet(vec![addr.into()], policy)
+    }
+
+    /// Wrap a list of candidate addresses (primary first, standbys
+    /// after). Connect and transport errors rotate through the list;
+    /// `not_primary` refusals jump straight to the hinted primary.
+    pub fn fleet(addrs: Vec<String>, policy: RetryPolicy) -> RetryClient {
+        assert!(!addrs.is_empty(), "RetryClient needs at least one address");
         let seed = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
             .unwrap_or(0x9e37_79b9)
             | 1;
         RetryClient {
-            addr: addr.into(),
+            addrs,
+            active: 0,
             policy,
             conn: None,
             ever_connected: false,
             next_seq: HashMap::new(),
+            client_id: None,
             counters: RetryCounters::default(),
+            ladder: 0,
             rng: seed,
         }
     }
 
-    /// Everything retried, reconnected, deduped, or rate-limited so far.
+    /// Identify this client for per-client admission accounting. The
+    /// handshake is (re)sent on every connection, so the identity
+    /// follows the client across reconnects and failovers.
+    pub fn identify(&mut self, id: impl Into<String>) {
+        self.client_id = Some(id.into());
+        // Re-handshake: drop the live connection so the next call dials
+        // (and identifies) fresh.
+        self.conn = None;
+    }
+
+    /// Everything retried, reconnected, deduped, rate-limited, or failed
+    /// over so far.
     pub fn counters(&self) -> RetryCounters {
         self.counters
+    }
+
+    /// The address currently (or last successfully) connected to.
+    pub fn active_addr(&self) -> &str {
+        &self.addrs[self.active]
     }
 
     /// xorshift64* — no `rand` crate; jitter only needs to decorrelate
@@ -133,9 +185,10 @@ impl RetryClient {
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
-    /// Sleep for the `attempt`-th retry (1-based): exponential from
-    /// `base_backoff`, jittered to 50–150%, capped at `max_backoff`, and
-    /// never below the server's `retry_after_ms` hint.
+    /// Sleep for the `attempt`-th rung of the ladder (1-based):
+    /// exponential from `base_backoff`, jittered to 50–150%, capped at
+    /// `max_backoff`, and never below the server's `retry_after_ms`
+    /// hint.
     fn backoff(&mut self, attempt: u32, hint_ms: Option<u64>) -> Duration {
         let base = self.policy.base_backoff.as_millis() as u64;
         let exp = base
@@ -150,15 +203,64 @@ impl RetryClient {
         )
     }
 
+    /// Dial the active address, rotating through the rest of the list on
+    /// connect failure. Landing on a different address than last time
+    /// (after having been connected at all) is a failover.
     fn connect_once(&mut self) -> Result<(), ClientError> {
-        let client = Client::connect(&self.addr)?;
-        client.set_read_timeout(self.policy.read_timeout)?;
-        if self.ever_connected {
-            self.counters.reconnects += 1;
+        let n = self.addrs.len();
+        let mut last_err: Option<ClientError> = None;
+        for off in 0..n {
+            let idx = (self.active + off) % n;
+            let client = match Client::connect(self.addrs[idx].as_str()) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = Some(ClientError::Io(e));
+                    continue;
+                }
+            };
+            client.set_read_timeout(self.policy.read_timeout)?;
+            if self.ever_connected {
+                self.counters.reconnects += 1;
+                if idx != self.active {
+                    self.counters.failovers += 1;
+                }
+            }
+            self.active = idx;
+            self.ever_connected = true;
+            let mut client = client;
+            if let Some(cid) = &self.client_id {
+                // Best-effort: a handshake failure surfaces on the real
+                // request right after, which retries and re-dials.
+                let _ = client.request(&Self::verb(
+                    "client",
+                    vec![("client", Json::str(cid.as_str()))],
+                ));
+            }
+            self.conn = Some(client);
+            return Ok(());
         }
-        self.ever_connected = true;
-        self.conn = Some(client);
-        Ok(())
+        Err(last_err.unwrap_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no server address reachable",
+            ))
+        }))
+    }
+
+    /// Point the client at `primary` (appending it to the address list
+    /// if unknown) after a `not_primary` refusal named it.
+    fn follow_primary_hint(&mut self, primary: &str) {
+        let idx = match self.addrs.iter().position(|a| a == primary) {
+            Some(i) => i,
+            None => {
+                self.addrs.push(primary.to_string());
+                self.addrs.len() - 1
+            }
+        };
+        if idx != self.active {
+            self.active = idx;
+            self.counters.failovers += 1;
+        }
     }
 
     /// Send `body`, retrying through refusals, reconnects, and server
@@ -176,10 +278,13 @@ impl RetryClient {
                 },
             };
             let (err, hint) = match outcome {
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    self.ladder = 0;
+                    return Ok(resp);
+                }
                 Err(ClientError::Io(e)) => {
                     // The connection is poisoned mid-exchange; drop it so
-                    // the next attempt dials fresh.
+                    // the next attempt dials fresh (rotating addresses).
                     self.conn = None;
                     (ClientError::Io(e), None)
                 }
@@ -187,6 +292,40 @@ impl RetryClient {
                     code,
                     detail,
                     retry_after_ms,
+                    primary,
+                }) if code == "not_primary" => {
+                    // A standby refused the mutation: follow the hint to
+                    // the primary (or rotate blindly without one) and
+                    // resend. The sequence number makes the resend safe.
+                    self.conn = None;
+                    match &primary {
+                        Some(p) => {
+                            let p = p.clone();
+                            self.follow_primary_hint(&p);
+                        }
+                        None => {
+                            let next = (self.active + 1) % self.addrs.len();
+                            if next != self.active {
+                                self.active = next;
+                                self.counters.failovers += 1;
+                            }
+                        }
+                    }
+                    (
+                        ClientError::Server {
+                            code,
+                            detail,
+                            retry_after_ms,
+                            primary,
+                        },
+                        retry_after_ms,
+                    )
+                }
+                Err(ClientError::Server {
+                    code,
+                    detail,
+                    retry_after_ms,
+                    primary,
                 }) if retryable(&code) => {
                     if code == "rate_limited" {
                         self.counters.rate_limited += 1;
@@ -196,6 +335,7 @@ impl RetryClient {
                             code,
                             detail,
                             retry_after_ms,
+                            primary,
                         },
                         retry_after_ms,
                     )
@@ -207,7 +347,11 @@ impl RetryClient {
                 return Err(err);
             }
             self.counters.retries += 1;
-            let delay = self.backoff(attempt, hint);
+            // The ladder, not the per-call attempt, drives the delay: it
+            // accumulates across calls during an incident and resets on
+            // the first success.
+            self.ladder = self.ladder.saturating_add(1);
+            let delay = self.backoff(self.ladder, hint);
             thread::sleep(delay);
         }
     }
@@ -435,6 +579,75 @@ mod tests {
         assert_eq!(c.counters().retries, 1);
         drop(c);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn the_backoff_ladder_resets_after_a_successful_ack() {
+        // One refusal, then the same connection acknowledges the resend.
+        let (addr, server) = scripted_server(vec![Box::new(|_req| {
+            Some(
+                "{\"ok\":false,\"error\":{\"code\":\"overloaded\",\
+                 \"detail\":\"backlog full\",\"retry_after_ms\":1}}"
+                    .to_string(),
+            )
+        })]);
+        let mut c = RetryClient::with_policy(addr, quick_policy(6));
+        // Pretend a long incident already climbed the ladder: the success
+        // below must reset it, so the *next* incident starts from base.
+        c.ladder = 17;
+        let resp = c.call(&Json::obj([("op", Json::str("ping"))])).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(c.ladder, 0, "success must reset the backoff ladder");
+        assert_eq!(c.counters().retries, 1);
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn a_dead_address_fails_over_to_the_next_in_the_fleet() {
+        // Reserve a port and close it: connecting there is refused.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let (live, server) = scripted_server(vec![Box::new(|_req| {
+            Some("{\"ok\":true,\"op\":\"ping\"}".to_string())
+        })]);
+        let mut c = RetryClient::fleet(vec![dead, live], quick_policy(4));
+        // Simulate an established client losing its primary (a fresh
+        // client's first dial is bootstrap, not failover).
+        c.ever_connected = true;
+        let resp = c.call(&Json::obj([("op", Json::str("ping"))])).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(c.counters().failovers, 1);
+        assert_eq!(c.active, 1, "the live address must become active");
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn a_not_primary_hint_redirects_to_the_named_primary() {
+        let (primary_addr, primary) = scripted_server(vec![Box::new(|_req| {
+            Some("{\"ok\":true,\"op\":\"add\"}".to_string())
+        })]);
+        let hint = primary_addr.clone();
+        let (standby_addr, standby) = scripted_server(vec![Box::new(move |_req| {
+            Some(format!(
+                "{{\"ok\":false,\"error\":{{\"code\":\"not_primary\",\
+                 \"detail\":\"standby refuses mutations\",\"primary\":\"{hint}\"}}}}"
+            ))
+        })]);
+        // The client only knows the standby; the hint teaches it the
+        // primary and the retried turn lands there.
+        let mut c = RetryClient::fleet(vec![standby_addr], quick_policy(4));
+        let resp = c.add(7, "Jim Carrey").unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(c.counters().failovers, 1);
+        assert_eq!(c.active_addr(), primary_addr);
+        assert_eq!(c.addrs.len(), 2, "the hinted primary joins the fleet");
+        drop(c);
+        primary.join().unwrap();
+        standby.join().unwrap();
     }
 
     #[test]

@@ -59,6 +59,7 @@ use squid_core::{Discovery, DiscoveryDelta, SessionManager, SquidError};
 
 use crate::json::Json;
 use crate::protocol::{self, ErrorCode, Request, Verb};
+use crate::replication::{self, ReplListener, ReplState, Role, StandbyLink};
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -96,6 +97,15 @@ pub struct ServeConfig {
     /// default `max_pending` — shedding starts only when the backlog is
     /// saturated.
     pub shed_pending: usize,
+    /// Bind a replication listener here (the primary side of a
+    /// warm-standby pair; see [`crate::replication`]). Port 0 picks a
+    /// free port (see [`Server::repl_addr`]). A standby node may bind
+    /// one too — it serves nothing until promotion.
+    pub replicate_to: Option<String>,
+    /// Start as a standby of this primary *replication* address: connect
+    /// there, absorb the snapshot bootstrap and journal stream, serve
+    /// reads, and refuse mutations with `not_primary` until promoted.
+    pub standby_of: Option<String>,
 }
 
 /// Token-bucket parameters of the per-session rate limit.
@@ -122,6 +132,8 @@ impl Default for ServeConfig {
             snapshot_on_shutdown: None,
             rate_limit: None,
             shed_pending: 64,
+            replicate_to: None,
+            standby_of: None,
         }
     }
 }
@@ -197,10 +209,43 @@ impl Metrics {
     }
 }
 
-/// One session's token bucket (see [`RateLimit`]).
+/// One session's (or identified client's) token bucket (see
+/// [`RateLimit`]).
 struct Bucket {
     tokens: f64,
     last: Instant,
+}
+
+/// Take one token from `b`, or report how many ms until one accrues.
+fn bucket_take(b: &mut Bucket, rl: RateLimit) -> Result<(), u64> {
+    let now = Instant::now();
+    let dt = now.duration_since(b.last).as_secs_f64();
+    b.tokens = (b.tokens + dt * rl.per_sec).min(rl.burst);
+    b.last = now;
+    if b.tokens >= 1.0 {
+        b.tokens -= 1.0;
+        Ok(())
+    } else {
+        let wait_s = (1.0 - b.tokens) / rl.per_sec.max(f64::MIN_POSITIVE);
+        Err((wait_s * 1000.0).ceil() as u64)
+    }
+}
+
+/// Admission counters of one identified client (the `client` handshake)
+/// — who is consuming the fleet, not just which session.
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientStats {
+    requests: u64,
+    turns: u64,
+    rate_limited: u64,
+    shed: u64,
+}
+
+/// Per-connection state: what this connection has told us about itself.
+struct ConnCtx {
+    /// Identity from the optional `client <id>` handshake; keys the
+    /// per-client token bucket and admission counters.
+    client: Option<String>,
 }
 
 /// State shared by the acceptor, every worker, and the [`Server`] handle.
@@ -226,6 +271,15 @@ struct Shared {
     /// (plus `deduped`) instead of re-running. Pruned like `buckets`;
     /// after a crash the cache is empty and duplicates get a minimal ack.
     acked: Mutex<HashMap<u64, AckedTurn>>,
+    /// Replication role, promotion latch, and lag bookkeeping. Always
+    /// present — an unreplicated server is simply a primary with no
+    /// standby attached.
+    repl: Arc<ReplState>,
+    /// Per-client token buckets (clients that sent the `client`
+    /// handshake; charged *in addition to* the per-session bucket).
+    client_buckets: Mutex<HashMap<String, Bucket>>,
+    /// Per-client admission counters, surfaced by `stats` and `health`.
+    clients: Mutex<HashMap<String, ClientStats>>,
 }
 
 /// A session's last acknowledged sequence number and the response fields
@@ -236,21 +290,35 @@ impl Shared {
     /// Take one token from `session`'s bucket, or report how long until
     /// one accrues.
     fn take_token(&self, session: u64, rl: RateLimit) -> Result<(), u64> {
-        let now = Instant::now();
         let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
         let b = buckets.entry(session).or_insert(Bucket {
             tokens: rl.burst,
-            last: now,
+            last: Instant::now(),
         });
-        let dt = now.duration_since(b.last).as_secs_f64();
-        b.tokens = (b.tokens + dt * rl.per_sec).min(rl.burst);
-        b.last = now;
-        if b.tokens >= 1.0 {
-            b.tokens -= 1.0;
-            Ok(())
-        } else {
-            let wait_s = (1.0 - b.tokens) / rl.per_sec.max(f64::MIN_POSITIVE);
-            Err((wait_s * 1000.0).ceil() as u64)
+        bucket_take(b, rl)
+    }
+
+    /// Take one token from an identified client's bucket — a second gate
+    /// on top of the session bucket, so one client driving many sessions
+    /// still has a bounded total budget.
+    fn take_client_token(&self, client: &str, rl: RateLimit) -> Result<(), u64> {
+        let mut buckets = self
+            .client_buckets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let b = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: rl.burst,
+            last: Instant::now(),
+        });
+        bucket_take(b, rl)
+    }
+
+    /// Bump an identified client's admission counters (no-op for
+    /// anonymous connections).
+    fn bump_client(&self, ctx: &ConnCtx, f: impl FnOnce(&mut ClientStats)) {
+        if let Some(id) = &ctx.client {
+            let mut clients = self.clients.lock().unwrap_or_else(|e| e.into_inner());
+            f(clients.entry(id.clone()).or_default());
         }
     }
 
@@ -271,8 +339,7 @@ impl Shared {
     /// remove sessions without going through the `close` verb, and their
     /// buckets and cached responses must not accumulate forever.
     fn prune_serving_state(&self) {
-        let live: std::collections::HashSet<u64> =
-            self.manager.active_ids().into_iter().collect();
+        let live: std::collections::HashSet<u64> = self.manager.active_ids().into_iter().collect();
         self.buckets
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -375,6 +442,8 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     sweeper: Option<JoinHandle<()>>,
+    repl_listener: Option<ReplListener>,
+    standby_link: Option<StandbyLink>,
 }
 
 impl Server {
@@ -384,6 +453,16 @@ impl Server {
         let listener = bind_reuseaddr(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
+        let role = if cfg.standby_of.is_some() {
+            Role::Standby
+        } else {
+            Role::Primary
+        };
+        let repl = Arc::new(ReplState::new(role));
+        if role == Role::Primary {
+            // The address SNAP frames carry as the `not_primary` hint.
+            repl.set_primary_addr(&addr.to_string());
+        }
         let shared = Arc::new(Shared {
             manager,
             cfg,
@@ -394,7 +473,26 @@ impl Server {
             pending: AtomicUsize::new(0),
             buckets: Mutex::new(HashMap::new()),
             acked: Mutex::new(HashMap::new()),
+            repl: Arc::clone(&repl),
+            client_buckets: Mutex::new(HashMap::new()),
+            clients: Mutex::new(HashMap::new()),
         });
+        let repl_listener = match &shared.cfg.replicate_to {
+            Some(bind) => Some(replication::start_repl_listener(
+                Arc::clone(&shared.manager),
+                bind.as_str(),
+                Arc::clone(&repl),
+            )?),
+            None => None,
+        };
+        let standby_link = match &shared.cfg.standby_of {
+            Some(primary) => Some(replication::start_standby_link(
+                Arc::clone(&shared.manager),
+                primary.clone(),
+                Arc::clone(&repl),
+            )?),
+            None => None,
+        };
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.cfg.max_pending);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers_n)
@@ -436,12 +534,32 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             sweeper,
+            repl_listener,
+            standby_link,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replication listener's bound address, when one is configured
+    /// (resolves a `--replicate-to` port 0).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_listener.as_ref().map(ReplListener::local_addr)
+    }
+
+    /// The node's replication state (role, lag, promotion latch).
+    pub fn repl(&self) -> &Arc<ReplState> {
+        &self.shared.repl
+    }
+
+    /// Promote this node to primary (no-op when it already is), waiting
+    /// up to `deadline` for the standby link to drain and flip. Returns
+    /// the role afterwards — [`Role::Primary`] on success.
+    pub fn promote(&self, deadline: Duration) -> Role {
+        do_promote(&self.shared, deadline)
     }
 
     /// The hosted fleet.
@@ -471,6 +589,10 @@ impl Server {
     /// the configured shutdown snapshot.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.request_stop();
+        // Wind the replication threads down alongside the serving ones:
+        // the stop flag unblocks the standby link's frame reads and the
+        // sender's ack waits within one poll interval.
+        self.shared.repl.request_stop();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -479,6 +601,12 @@ impl Server {
         }
         if let Some(s) = self.sweeper.take() {
             let _ = s.join();
+        }
+        if let Some(l) = self.repl_listener.take() {
+            l.shutdown();
+        }
+        if let Some(l) = self.standby_link.take() {
+            l.shutdown();
         }
         let journal_synced = self.shared.manager.journal_sync().is_ok();
         let snapshot_bytes = self
@@ -693,6 +821,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         read_timeout: shared.cfg.read_timeout,
     };
     let mut out = stream;
+    let mut ctx = ConnCtx { client: None };
     let mut send = |resp: &Json, is_err: bool| -> bool {
         if is_err {
             shared
@@ -723,7 +852,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     continue;
                 }
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                let (resp, is_err, flow) = dispatch_line(shared, line);
+                let (resp, is_err, flow) = dispatch_line(shared, &mut ctx, line);
                 if !send(&resp, is_err) || flow == Flow::Close {
                     return;
                 }
@@ -765,18 +894,22 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
 
 /// Parse and execute one request line. Returns the response, whether it
 /// is an error (for the counters), and whether to keep the connection.
-fn dispatch_line(shared: &Shared, line: &str) -> (Json, bool, Flow) {
+fn dispatch_line(shared: &Shared, ctx: &mut ConnCtx, line: &str) -> (Json, bool, Flow) {
     let req = match protocol::parse_request(line) {
         Ok(req) => req,
         Err(e) => return (Json::from(&e), true, Flow::Continue),
     };
     let id = req.id;
-    match execute(shared, req) {
+    match execute(shared, ctx, req) {
         Ok((resp, flow)) => (resp, false, flow),
         Err(r) => {
-            let resp = match r.retry_after_ms {
-                Some(ms) => protocol::retry_error_response(r.code, &r.detail, id, ms),
-                None => protocol::error_response(r.code, &r.detail, id),
+            let resp = if matches!(r.code, ErrorCode::NotPrimary) {
+                protocol::not_primary_response(&r.detail, id, r.primary.as_deref())
+            } else {
+                match r.retry_after_ms {
+                    Some(ms) => protocol::retry_error_response(r.code, &r.detail, id, ms),
+                    None => protocol::error_response(r.code, &r.detail, id),
+                }
             };
             (resp, true, Flow::Continue)
         }
@@ -789,6 +922,8 @@ struct Refusal {
     code: ErrorCode,
     detail: String,
     retry_after_ms: Option<u64>,
+    /// `not_primary` refusals only: the primary's client address.
+    primary: Option<String>,
 }
 
 impl Refusal {
@@ -797,6 +932,7 @@ impl Refusal {
             code,
             detail: detail.into(),
             retry_after_ms: None,
+            primary: None,
         }
     }
 
@@ -805,8 +941,46 @@ impl Refusal {
             code,
             detail: detail.into(),
             retry_after_ms: Some(after_ms),
+            primary: None,
         }
     }
+
+    fn not_primary(primary: Option<String>) -> Refusal {
+        Refusal {
+            code: ErrorCode::NotPrimary,
+            detail: "standby refuses mutations; dial the primary".into(),
+            retry_after_ms: None,
+            primary,
+        }
+    }
+}
+
+/// Refuse a mutation on a standby, hinting at the primary's address.
+fn require_primary(shared: &Shared) -> Result<(), Refusal> {
+    if shared.repl.role() == Role::Standby {
+        return Err(Refusal::not_primary(shared.repl.primary_addr()));
+    }
+    Ok(())
+}
+
+/// Run a promotion to completion (or `deadline`): latch the request and
+/// wait for the standby link thread to drain the stream and flip the
+/// role. On success the node starts hinting its own address as primary.
+/// Idempotent — promoting a primary is a no-op that reports success.
+fn do_promote(shared: &Shared, deadline: Duration) -> Role {
+    if shared.repl.role() == Role::Primary {
+        return Role::Primary;
+    }
+    shared.repl.request_promotion();
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if shared.repl.role() == Role::Primary {
+            shared.repl.set_primary_addr(&shared.addr.to_string());
+            return Role::Primary;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.repl.role()
 }
 
 type ExecResult = Result<(Json, Flow), Refusal>;
@@ -836,9 +1010,10 @@ fn squid_error(e: SquidError) -> Refusal {
 /// backlog is saturated, so accepted turns keep their workers. Turns are
 /// never shed — a turn carries session state the client would have to
 /// replay; a shed `suggest`/`stats` costs one retry.
-fn shed_cheap(shared: &Shared, verb: &str) -> Result<(), Refusal> {
+fn shed_cheap(shared: &Shared, ctx: &ConnCtx, verb: &str) -> Result<(), Refusal> {
     if shared.pending.load(Ordering::Relaxed) >= shared.cfg.shed_pending {
         shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        shared.bump_client(ctx, |c| c.shed += 1);
         return Err(Refusal::retry(
             ErrorCode::Overloaded,
             format!("{verb} shed under load; retry shortly"),
@@ -848,16 +1023,18 @@ fn shed_cheap(shared: &Shared, verb: &str) -> Result<(), Refusal> {
     Ok(())
 }
 
-fn execute(shared: &Shared, req: Request) -> ExecResult {
+fn execute(shared: &Shared, ctx: &mut ConnCtx, req: Request) -> ExecResult {
     let m = &shared.manager;
     let adb = Arc::clone(m.adb());
     let id = req.id;
     let name = req.verb.name();
+    shared.bump_client(ctx, |c| c.requests += 1);
     let ok =
         |fields: Vec<(String, Json)>| Ok((protocol::ok_response(name, id, fields), Flow::Continue));
     match req.verb {
         Verb::Ping => ok(vec![("pong".into(), Json::Bool(true))]),
         Verb::Create => {
+            require_primary(shared)?;
             if shared.stop.load(Ordering::SeqCst) {
                 return Err(Refusal::new(ErrorCode::ShuttingDown, "server is draining"));
             }
@@ -872,6 +1049,7 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             ok(vec![("session".into(), Json::Int(sid as i64))])
         }
         Verb::Apply { session, op, seq } => {
+            require_primary(shared)?;
             // Validate before charging rate-limit state: otherwise a bogus
             // session id mints a token bucket that is never pruned, and the
             // caller's *second* probe reads `rate_limited` instead of
@@ -881,8 +1059,22 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
                 return Err(squid_error(SquidError::UnknownSession { id: session }));
             }
             if let Some(rl) = shared.cfg.rate_limit {
+                // An identified client's own budget gates first: one
+                // client fanning out over many sessions is still bounded.
+                if let Some(cid) = ctx.client.clone() {
+                    if let Err(wait_ms) = shared.take_client_token(&cid, rl) {
+                        shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        shared.bump_client(ctx, |c| c.rate_limited += 1);
+                        return Err(Refusal::retry(
+                            ErrorCode::RateLimited,
+                            format!("client {cid} exceeded its turn budget"),
+                            wait_ms,
+                        ));
+                    }
+                }
                 if let Err(wait_ms) = shared.take_token(session, rl) {
                     shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    shared.bump_client(ctx, |c| c.rate_limited += 1);
                     return Err(Refusal::retry(
                         ErrorCode::RateLimited,
                         format!("session {session} exceeded its turn budget"),
@@ -893,6 +1085,7 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             match seq {
                 None => {
                     shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
+                    shared.bump_client(ctx, |c| c.turns += 1);
                     let delta = m
                         .apply_op(session, &op)
                         .map_err(|e| session_error(shared, session, e))?;
@@ -907,6 +1100,7 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
                 {
                     squid_core::SeqOutcome::Applied(delta) => {
                         shared.metrics.turns.fetch_add(1, Ordering::Relaxed);
+                        shared.bump_client(ctx, |c| c.turns += 1);
                         let fields = match delta {
                             Some(delta) => delta_fields(&delta),
                             None => vec![],
@@ -939,7 +1133,7 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             }
         }
         Verb::Suggest { session, k } => {
-            shed_cheap(shared, "suggest")?;
+            shed_cheap(shared, ctx, "suggest")?;
             let suggestions = m
                 .with_session(session, |s| {
                     let Some(d) = s.discovery() else {
@@ -1018,7 +1212,7 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             // re-adoption handshake (it learns its turn cursor from
             // `op_seq`) and is never shed.
             if session.is_none() {
-                shed_cheap(shared, "stats")?;
+                shed_cheap(shared, ctx, "stats")?;
             }
             let mut fields = vec![
                 ("sessions".into(), Json::Int(m.session_count() as i64)),
@@ -1033,6 +1227,27 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
                 ),
                 ("server".into(), metrics_json(&shared.metrics.snapshot())),
             ];
+            {
+                // Per-client admission counters (the `client` handshake),
+                // sorted for stable output.
+                let clients = shared.clients.lock().unwrap_or_else(|e| e.into_inner());
+                let mut entries: Vec<_> = clients
+                    .iter()
+                    .map(|(cid, cs)| {
+                        (
+                            cid.clone(),
+                            Json::obj([
+                                ("requests", Json::Int(cs.requests as i64)),
+                                ("turns", Json::Int(cs.turns as i64)),
+                                ("rate_limited", Json::Int(cs.rate_limited as i64)),
+                                ("shed", Json::Int(cs.shed as i64)),
+                            ]),
+                        )
+                    })
+                    .collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                fields.push(("clients".into(), Json::Obj(entries)));
+            }
             fields.push((
                 "shared_cache".into(),
                 match m.shared_cache_stats() {
@@ -1119,7 +1334,50 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
                 ("turns".into(), Json::Int(mx.turns as i64)),
                 ("rate_limited".into(), Json::Int(mx.rate_limited as i64)),
                 ("shed".into(), Json::Int(mx.shed as i64)),
+                (
+                    "clients".into(),
+                    Json::Int(
+                        shared
+                            .clients
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .len() as i64,
+                    ),
+                ),
+                (
+                    "role".into(),
+                    Json::str(match shared.repl.role() {
+                        Role::Primary => "primary",
+                        Role::Standby => "standby",
+                    }),
+                ),
             ];
+            if shared.cfg.replicate_to.is_some() || shared.cfg.standby_of.is_some() {
+                let mut repl = vec![
+                    (
+                        "standby_connected",
+                        Json::Bool(shared.repl.standby_connected()),
+                    ),
+                    ("link_up", Json::Bool(shared.repl.link_up())),
+                    (
+                        "applied_records",
+                        Json::Int(shared.repl.applied_records() as i64),
+                    ),
+                    ("snapshots", Json::Int(shared.repl.snapshots() as i64)),
+                ];
+                if let Some(js) = m.journal_stats() {
+                    // The primary's view: journal the standby has not
+                    // acknowledged. The chaos harness waits for zero here
+                    // before it is allowed to kill the primary.
+                    let (lag_records, lag_bytes) = shared.repl.lag(&js);
+                    repl.push(("lag_records", Json::Int(lag_records as i64)));
+                    repl.push(("lag_bytes", Json::Int(lag_bytes as i64)));
+                }
+                if let Some(p) = shared.repl.primary_addr() {
+                    repl.push(("primary", Json::Str(p)));
+                }
+                fields.push(("replication".into(), Json::obj(repl)));
+            }
             fields.push((
                 "journal".into(),
                 match m.journal_stats() {
@@ -1130,10 +1388,33 @@ fn execute(shared: &Shared, req: Request) -> ExecResult {
             ok(fields)
         }
         Verb::Close { session } => {
+            require_primary(shared)?;
             m.close_session(session)
                 .map_err(|e| session_error(shared, session, e))?;
             shared.forget_session(session);
             ok(vec![("closed".into(), Json::Bool(true))])
+        }
+        Verb::Client { id: client_id } => {
+            shared
+                .clients
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(client_id.clone())
+                .or_default();
+            ctx.client = Some(client_id.clone());
+            ok(vec![("client".into(), Json::Str(client_id))])
+        }
+        Verb::Promote => {
+            // Blocks this worker for up to the drain deadline — promotion
+            // is rare and the caller wants a definite answer.
+            match do_promote(shared, Duration::from_secs(10)) {
+                Role::Primary => ok(vec![("role".into(), Json::str("primary"))]),
+                Role::Standby => Err(Refusal::retry(
+                    ErrorCode::Internal,
+                    "promotion did not complete; the standby link is still draining",
+                    100,
+                )),
+            }
         }
         Verb::Shutdown => {
             // Respond first (Flow::Close flushes this line before the
